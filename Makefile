@@ -1,0 +1,23 @@
+.PHONY: install test bench examples figure1 all clean
+
+install:
+	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; \
+	echo "all examples ran"
+
+figure1:
+	python -m repro figure1 --out-dir examples/output
+
+all: test bench
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""A-r-sweep: the grid↔ball trade-off the paper's hybridization navigates.
+
+DESIGN.md calls out bucket count r as the core design choice: storage for
+ball grids scales like ``2^{O((d/r) log(d/r))}`` (fewer buckets = bigger
+bucket dimension = exponentially more grids to store per Lemma 7) while
+distortion scales like ``sqrt(r)`` (more buckets = worse embeddings).
+
+Series regenerated: for fixed data (d = 8), sweep r — measured mean
+stretch, measured grids actually used, and the Lemma 7 storage budget.
+"""
+
+import numpy as np
+from common import record
+
+from repro.core.distortion import expected_distortion_report
+from repro.core.params import grid_budget
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+
+N, D, DELTA, SAMPLES = 64, 8, 256, 6
+
+
+def test_ablation_bucket_count(benchmark):
+    pts = uniform_lattice(N, D, DELTA, seed=77, unique=True)
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for r in (1, 2, 4, 8):
+            trees = [
+                sequential_tree_embedding(pts, r, seed=s) for s in range(SAMPLES)
+            ]
+            rep = expected_distortion_report(trees, pts)
+            budget = grid_budget(D, r, n=N, num_levels=12)
+            rows.append(
+                {
+                    "r": r,
+                    "bucket_dim": -(-D // r),
+                    "mean_stretch": rep.mean_expected_ratio,
+                    "expected_distortion": rep.expected_distortion,
+                    "domination_min": rep.domination_min,
+                    "grid_budget_lemma7": budget,
+                    "grid_storage_words": budget * (-(-D // r)),
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("A-r-sweep", result)
+
+    stretches = [row["mean_stretch"] for row in result]
+    budgets = [row["grid_budget_lemma7"] for row in result]
+    # The trade-off: distortion increases with r, storage decreases.
+    assert stretches[0] < stretches[-1]
+    assert budgets[0] > budgets[-1]
+    for row in result:
+        assert row["domination_min"] >= 1.0

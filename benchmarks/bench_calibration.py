@@ -1,0 +1,53 @@
+"""A-constants: the implementation's empirical constants.
+
+Fits the multiplicative constants hidden in Theorem 2 and Lemma 1 and
+records their dispersion across parameter settings — a small spread is
+direct evidence the claimed functional forms (``sqrt(d r) logΔ`` and
+``sqrt(d) D / w``) describe this implementation.
+"""
+
+from common import record
+
+from repro.core.calibration import calibrate_lemma1, calibrate_theorem2
+
+
+def test_fitted_constants(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        t2 = calibrate_theorem2(
+            n=64,
+            delta=256,
+            cases=((4, 2), (8, 2), (8, 4), (16, 4)),
+            samples=6,
+            seed=5,
+        )
+        rows.append(
+            {
+                "quantity": "Theorem2: mean stretch / (sqrt(dr) log2 D)",
+                "fitted_constant": t2.constant,
+                "relative_spread": t2.spread,
+                "cases": len(t2.per_case),
+            }
+        )
+        l1 = calibrate_lemma1(
+            d=4, w=32.0, gaps=(1.0, 2.0, 4.0), r_values=(1, 2, 4),
+            trials=300, seed=6
+        )
+        rows.append(
+            {
+                "quantity": "Lemma1: sep freq / (sqrt(d) D / w)",
+                "fitted_constant": l1.constant,
+                "relative_spread": l1.spread,
+                "cases": len(l1.per_case),
+            }
+        )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("A-constants", result)
+
+    for row in result:
+        assert 0.05 < row["fitted_constant"] < 8.0, row
+        assert row["relative_spread"] < 0.6, row

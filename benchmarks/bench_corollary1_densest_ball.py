@@ -1,0 +1,72 @@
+"""C1-ball: Corollary 1(1) — bicriteria densest ball.
+
+Claim: an ``(1 - O(1/log log n), O(log^1.5 n))``-approximate densest
+ball: the returned cluster holds nearly as many points as the best
+diameter-D ball, with diameter at most ``O(log^1.5 n) * D``.
+
+Series regenerated: on planted-cluster instances — alpha (count ratio vs
+the exact point-centered scan) and beta (measured diameter / D) over
+embedding samples.
+"""
+
+import math
+
+import numpy as np
+from common import record
+
+from repro.apps.densest_ball import exact_densest_ball, tree_densest_ball
+from repro.core.sequential import sequential_tree_embedding
+
+SAMPLES = 6
+
+
+def planted(n_noise, n_cluster, d, delta, spread, seed):
+    rng = np.random.default_rng(seed)
+    noise = rng.uniform(1, delta, size=(n_noise, d))
+    center = rng.uniform(0.3 * delta, 0.7 * delta, size=d)
+    cluster = center + rng.uniform(-spread, spread, size=(n_cluster, d))
+    return np.rint(np.vstack([noise, cluster]))
+
+
+CASES = [
+    ("sparse-noise", 60, 40, 3, 1024, 4.0, 20.0),
+    ("dense-noise", 120, 60, 3, 1024, 4.0, 20.0),
+    ("small-target", 80, 40, 4, 2048, 2.0, 10.0),
+]
+
+
+def test_corollary1_densest_ball(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for name, n_noise, n_cluster, d, delta, spread, target in CASES:
+            pts = planted(n_noise, n_cluster, d, delta, spread, seed=hash(name) % 997)
+            n = pts.shape[0]
+            opt = exact_densest_ball(pts, target, radius_factor=0.5).count
+            counts, betas = [], []
+            for s in range(SAMPLES):
+                tree = sequential_tree_embedding(pts, 2, seed=s)
+                res = tree_densest_ball(tree, target, r=2, points=pts)
+                counts.append(res.count)
+                betas.append(res.diameter_bound / target)
+            rows.append(
+                {
+                    "instance": name,
+                    "n": n,
+                    "opt_count": opt,
+                    "alpha_mean": float(np.mean(counts)) / opt,
+                    "alpha_min": float(np.min(counts)) / opt,
+                    "beta_mean": float(np.mean(betas)),
+                    "beta_max": float(np.max(betas)),
+                    "beta_bound_log15": math.log2(n) ** 1.5,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("C1-ball", result)
+
+    for row in result:
+        assert row["alpha_mean"] >= 0.5, f"count guarantee too weak: {row}"
+        assert row["beta_max"] <= 4 * row["beta_bound_log15"], row

@@ -1,0 +1,68 @@
+"""C1-emd: Corollary 1(3) — O(log^1.5 n)-approximate Earth-Mover distance.
+
+Claim: tree-metric transport dominates the exact Euclidean EMD and
+exceeds it by at most the embedding distortion.
+
+Series regenerated: per instance family — mean/max approximation ratio
+of the tree estimate over embedding samples vs the exact Hungarian
+optimum.  A quadtree arm (the same transport formula on the grid-method
+hierarchy — the classic estimator the paper contrasts with [28]) is
+measured alongside the hybrid arm.
+"""
+
+import math
+
+import numpy as np
+from common import record
+
+from repro.apps.emd import exact_emd, tree_emd
+from repro.data.emd_instances import (
+    matched_pair_instance,
+    shifted_cloud_instance,
+    two_cluster_instance,
+)
+
+N, D, DELTA, SAMPLES = 48, 4, 256, 5
+FAMILIES = {
+    "matched": lambda seed: matched_pair_instance(N, D, DELTA, noise=0.02, seed=seed),
+    "shifted": lambda seed: shifted_cloud_instance(N, D, DELTA, seed=seed),
+    "two-cluster": lambda seed: two_cluster_instance(N, D, DELTA, seed=seed),
+}
+
+
+def test_corollary1_emd(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for name, gen in FAMILIES.items():
+            a, b = gen(7)
+            exact = exact_emd(a, b)
+            ratios, grid_ratios = [], []
+            for s in range(SAMPLES):
+                estimate, _ = tree_emd(a, b, r=2, seed=s, min_separation=1.0)
+                ratios.append(estimate / max(exact, 1e-9))
+                quad, _ = tree_emd(
+                    a, b, method="grid", seed=s, min_separation=1.0
+                )
+                grid_ratios.append(quad / max(exact, 1e-9))
+            rows.append(
+                {
+                    "instance": name,
+                    "n_per_side": N,
+                    "exact_emd": exact,
+                    "ratio_mean": float(np.mean(ratios)),
+                    "ratio_max": float(np.max(ratios)),
+                    "quadtree_ratio_mean": float(np.mean(grid_ratios)),
+                    "bound_log15": math.log2(2 * N) ** 1.5,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("C1-emd", result)
+
+    for row in result:
+        assert row["ratio_mean"] >= 1.0 - 1e-6, "tree EMD must dominate"
+        assert row["ratio_mean"] <= 4 * row["bound_log15"], row
+        assert row["quadtree_ratio_mean"] >= 1.0 - 1e-6, row

@@ -1,0 +1,72 @@
+"""C1-mpc: Corollary 1's applications as O(1)-round MPC algorithms.
+
+The corollary claims MST / EMD / densest ball in O(1) MPC rounds *on top
+of* the embedding.  This harness runs the distributed implementations in
+``repro.apps.mpc_apps`` across growing n and records that (a) their
+round counts stay constant, (b) their outputs agree exactly with the
+sequential reference computations, and (c) memory stays within the
+enforced budget.
+"""
+
+import numpy as np
+from common import record
+
+from repro.apps.emd import tree_emd_from_tree
+from repro.apps.mpc_apps import mpc_densest_ball, mpc_tree_emd, mpc_tree_mst
+from repro.apps.mst import tree_mst
+from repro.apps.densest_ball import tree_densest_ball
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters
+
+SIZES = [64, 128, 256]
+
+
+def test_corollary1_mpc_rounds(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for n in SIZES:
+            pts = gaussian_clusters(n, 4, 512, clusters=4, seed=n)
+            tree = sequential_tree_embedding(pts, 2, seed=n + 1)
+
+            mst = mpc_tree_mst(tree, pts)
+            seq_mst = tree_mst(tree, pts)
+
+            half = n // 2
+            emd = mpc_tree_emd(tree, half)
+            seq_emd = tree_emd_from_tree(tree, half)
+
+            ball = mpc_densest_ball(tree, 30.0, r=2)
+            seq_ball = tree_densest_ball(tree, 30.0, r=2)
+
+            rows.append(
+                {
+                    "n": n,
+                    "mst_rounds": mst.report.rounds,
+                    "emd_rounds": emd.report.rounds,
+                    "ball_rounds": ball.report.rounds,
+                    "mst_matches_seq": bool(
+                        np.isclose(mst.cost, seq_mst.cost)
+                    ),
+                    "emd_matches_seq": bool(np.isclose(emd.estimate, seq_emd)),
+                    "ball_matches_seq": ball.count == seq_ball.count,
+                    "mst_peak_frac": mst.report.max_local_words
+                    / mst.report.local_memory,
+                    "emd_peak_frac": emd.report.max_local_words
+                    / emd.report.local_memory,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("C1-mpc", result)
+
+    for field in ("mst_rounds", "emd_rounds", "ball_rounds"):
+        counts = [r[field] for r in result]
+        assert max(counts) - min(counts) <= 2, f"{field} grows with n: {counts}"
+        assert max(counts) <= 14
+    for row in result:
+        assert row["mst_matches_seq"] and row["emd_matches_seq"], row
+        assert row["ball_matches_seq"], row
+        assert row["mst_peak_frac"] <= 1.0 and row["emd_peak_frac"] <= 1.0

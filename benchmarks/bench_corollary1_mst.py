@@ -1,0 +1,65 @@
+"""C1-mst: Corollary 1(2) — O(log^1.5 n)-approximate Euclidean MST.
+
+Claim: the spanning tree extracted from the embedding costs at most
+``O(log^1.5 n)`` times the exact EMST (and never less — domination).
+
+Series regenerated: per workload and n — mean/max approximation ratio
+over embedding samples, against the log^1.5 n envelope.
+"""
+
+import math
+
+import numpy as np
+from common import record
+
+from repro.apps.mst import exact_emst, spanning_tree_is_valid, tree_mst
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+
+SAMPLES = 5
+CASES = [
+    ("uniform", 64),
+    ("uniform", 128),
+    ("clustered", 64),
+    ("clustered", 128),
+]
+
+
+def make_points(kind, n):
+    if kind == "uniform":
+        return uniform_lattice(n, 4, 512, seed=n, unique=True)
+    return gaussian_clusters(n, 4, 512, clusters=5, seed=n)
+
+
+def test_corollary1_mst(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for kind, n in CASES:
+            pts = make_points(kind, n)
+            exact = exact_emst(pts).cost
+            ratios = []
+            for s in range(SAMPLES):
+                tree = sequential_tree_embedding(pts, 2, seed=100 * n + s)
+                st = tree_mst(tree, pts)
+                assert spanning_tree_is_valid(st, n)
+                ratios.append(st.cost / exact)
+            rows.append(
+                {
+                    "workload": kind,
+                    "n": n,
+                    "exact_cost": exact,
+                    "ratio_mean": float(np.mean(ratios)),
+                    "ratio_max": float(np.max(ratios)),
+                    "bound_log15": math.log2(n) ** 1.5,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("C1-mst", result)
+
+    for row in result:
+        assert row["ratio_mean"] >= 1.0 - 1e-9, "tree MST cannot beat exact"
+        assert row["ratio_mean"] <= 2 * row["bound_log15"], row

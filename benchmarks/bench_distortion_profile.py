@@ -1,0 +1,54 @@
+"""A-profile: where the distortion lives — stretch by distance decile.
+
+Extends T2's analysis: tree embeddings pay their distortion on *short*
+distances (a nearby pair separated at a high level walks the full scale
+hierarchy).  The paper's Lemma 1 predicts the per-level separation
+probability ∝ distance/scale, so short pairs are rarely separated high —
+but when they are, the cost ratio is huge.  The profile quantifies the
+resulting monotone-decreasing stretch-vs-distance curve for hybrid and
+grid methods.
+"""
+
+from common import record
+
+from repro.core.distortion import distortion_by_distance_decile
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+
+N, D, DELTA, SAMPLES, BINS = 96, 4, 512, 6, 5
+
+
+def test_distortion_profile(benchmark):
+    pts = uniform_lattice(N, D, DELTA, seed=88, unique=True)
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for method, r in (("hybrid", 2), ("grid", None)):
+            trees = [
+                sequential_tree_embedding(pts, r, method=method, seed=s)
+                for s in range(SAMPLES)
+            ]
+            profile = distortion_by_distance_decile(trees, pts, bins=BINS)
+            for b in range(BINS):
+                rows.append(
+                    {
+                        "method": method,
+                        "bin": b,
+                        "dist_lo": float(profile["bin_lo"][b]),
+                        "dist_hi": float(profile["bin_hi"][b]),
+                        "mean_stretch": float(profile["mean_ratio"][b]),
+                        "max_stretch": float(profile["max_ratio"][b]),
+                        "pairs": int(profile["pairs"][b]),
+                    }
+                )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("A-profile", result)
+
+    for method in ("hybrid", "grid"):
+        series = [r["mean_stretch"] for r in result if r["method"] == method]
+        # Domination bin-wise and the characteristic decreasing shape.
+        assert all(s >= 1.0 for s in series)
+        assert series[0] >= series[-1], series

@@ -1,0 +1,55 @@
+"""A-eps-sweep: fully scalable behaviour across the memory exponent ε.
+
+"Fully scalable" (Section 1.1) means the algorithm works for *every*
+ε ∈ (0, 1): shrinking the local memory to ``(nd)^ε`` just spreads the
+data over more machines without changing the round count by more than
+the ``O(1/ε)`` broadcast/aggregation factors.  This sweep runs the FJLT
+and the embedding at several ε and records machines, rounds, and budget
+utilization.
+"""
+
+from common import record
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.jl.mpc_fjlt import mpc_fjlt
+
+import numpy as np
+
+EPS_VALUES = [0.4, 0.5, 0.6, 0.8]
+
+
+def test_eps_sweep(benchmark):
+    pts_embed = uniform_lattice(192, 4, 256, seed=7, unique=True)
+    pts_fjlt = np.random.default_rng(8).normal(size=(256, 128))
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for eps in EPS_VALUES:
+            _, fjlt_cluster = mpc_fjlt(pts_fjlt, xi=0.4, seed=9, eps=eps)
+            emb = mpc_tree_embedding(pts_embed, 2, seed=10, eps=eps)
+            f_rep = fjlt_cluster.report()
+            rows.append(
+                {
+                    "eps": eps,
+                    "fjlt_machines": f_rep.num_machines,
+                    "fjlt_rounds": f_rep.rounds,
+                    "fjlt_util": f_rep.max_local_words / f_rep.local_memory,
+                    "embed_machines": emb.report.num_machines,
+                    "embed_rounds": emb.rounds,
+                    "embed_util": emb.report.max_local_words
+                    / emb.report.local_memory,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("A-eps-sweep", result)
+
+    for row in result:
+        assert row["fjlt_rounds"] <= 8 and row["embed_rounds"] <= 8, row
+        assert row["fjlt_util"] <= 1.0 and row["embed_util"] <= 1.0, row
+    # Smaller eps => less memory per machine => at least as many machines.
+    f_machines = [r["fjlt_machines"] for r in result]
+    assert f_machines[0] >= f_machines[-1], f_machines

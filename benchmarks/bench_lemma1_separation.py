@@ -1,0 +1,82 @@
+"""L1-separation: Lemma 1's two bounds on one hybrid partitioning draw.
+
+Claims: (a) Pr[p, q separated] <= O(sqrt(d) ||p-q|| / w) — *independent
+of r*; (b) points sharing a part are within 2 sqrt(r) w.
+
+Series regenerated: separation frequency vs r (flat in r, linear in
+distance/w) and the worst observed same-part diameter vs the bound.
+"""
+
+import math
+
+import numpy as np
+from common import record
+
+from repro.partition.hybrid import (
+    hybrid_diameter_bound,
+    hybrid_partition,
+    hybrid_separation_bound,
+)
+
+D, W, TRIALS = 4, 32.0, 600
+
+
+def separation_frequency(gap, r, trials=TRIALS):
+    pts = np.vstack([np.zeros(D), np.full(D, gap / math.sqrt(D))])
+    cuts = 0
+    for s in range(trials):
+        part = hybrid_partition(pts, W, r, seed=s, on_uncovered="singleton")
+        cuts += int(part.labels[0] != part.labels[1])
+    return cuts / trials
+
+
+def max_same_part_diameter(r, seed=0, n=150):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 8 * W, size=(n, D))
+    part = hybrid_partition(pts, W, r, seed=seed, on_uncovered="singleton")
+    worst = 0.0
+    from scipy.spatial.distance import pdist
+
+    for group in part.groups():
+        if group.size > 1:
+            worst = max(worst, float(pdist(pts[group]).max()))
+    return worst
+
+
+def test_lemma1_separation_and_diameter(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for r in (1, 2, 4):
+            for gap in (1.0, 2.0, 4.0):
+                freq = separation_frequency(gap, r)
+                rows.append(
+                    {
+                        "r": r,
+                        "gap": gap,
+                        "sep_frequency": freq,
+                        "bound_sqrt_d_gap_over_w": hybrid_separation_bound(W, D, gap),
+                        "diam_observed": max_same_part_diameter(r) if gap == 1.0 else None,
+                        "diam_bound_2sqrt_r_w": hybrid_diameter_bound(W, r),
+                    }
+                )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("L1-separation", result)
+
+    for row in result:
+        assert row["sep_frequency"] <= row["bound_sqrt_d_gap_over_w"] + 0.08, row
+        if row["diam_observed"] is not None:
+            assert row["diam_observed"] <= row["diam_bound_2sqrt_r_w"] + 1e-9, row
+
+    # r-independence: at fixed gap, frequencies across r within noise.
+    for gap in (1.0, 2.0, 4.0):
+        freqs = [r["sep_frequency"] for r in result if r["gap"] == gap]
+        assert max(freqs) - min(freqs) <= 0.15, f"gap={gap}: {freqs}"
+
+    # Linearity in the distance: 4x gap => roughly 4x frequency (loose).
+    f1 = [r["sep_frequency"] for r in result if r["gap"] == 1.0 and r["r"] == 1][0]
+    f4 = [r["sep_frequency"] for r in result if r["gap"] == 4.0 and r["r"] == 1][0]
+    assert f4 >= 1.5 * f1 or f1 < 0.02

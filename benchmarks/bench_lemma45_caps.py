@@ -1,0 +1,62 @@
+"""L45-caps: Lemmas 4 and 5 — equatorial slab probabilities.
+
+Claim: for u uniform on the unit sphere (L4) or ball (L5),
+``Pr[|u_1| <= t] = O(sqrt(d) t)``.
+
+Series regenerated: for each (d, t) — Monte Carlo estimate, exact beta
+value, and the explicit ``sqrt(2(d+2)/pi) t`` bound; plus the scaling
+check that at ``t = c/sqrt(d)`` the probability is ~constant in d.
+"""
+
+import numpy as np
+from common import record
+
+from repro.geometry.caps import (
+    ball_slab_probability,
+    empirical_slab_probability,
+    sample_unit_ball,
+    sample_unit_sphere,
+    slab_probability_bound,
+    sphere_slab_probability,
+)
+
+SAMPLES = 60_000
+DIMS = [2, 4, 16, 64, 256]
+
+
+def test_lemma45_cap_probabilities(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for d in DIMS:
+            t = 0.25 / np.sqrt(d)
+            sphere = sample_unit_sphere(SAMPLES, d, seed=d)
+            ball = sample_unit_ball(SAMPLES, d, seed=1000 + d)
+            rows.append(
+                {
+                    "d": d,
+                    "t": t,
+                    "sphere_mc": empirical_slab_probability(sphere, t),
+                    "sphere_exact": sphere_slab_probability(d, t),
+                    "ball_mc": empirical_slab_probability(ball, t),
+                    "ball_exact": ball_slab_probability(d, t),
+                    "bound": slab_probability_bound(d, t),
+                    "sqrt_d_t": float(np.sqrt(d) * t),
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("L45-caps", result)
+
+    for row in result:
+        assert abs(row["sphere_mc"] - row["sphere_exact"]) < 0.01, row
+        assert abs(row["ball_mc"] - row["ball_exact"]) < 0.01, row
+        assert row["sphere_exact"] <= row["bound"] + 1e-12, row
+        assert row["ball_exact"] <= row["bound"] + 1e-12, row
+
+    # Shape: with t = c / sqrt(d), probability is ~constant across d —
+    # exactly the O(sqrt(d) t) statement.
+    probs = [r["sphere_exact"] for r in result]
+    assert max(probs) / max(min(probs), 1e-9) < 2.0

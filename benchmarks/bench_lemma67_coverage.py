@@ -1,0 +1,68 @@
+"""L67-coverage: Lemmas 6 and 7 — grids needed to cover space.
+
+Claims: one random grid of balls covers a point w.p.
+``q_k = vol(B_k)/4^k``; hence ``U = 2^{O(k log k)} log(1/δ)`` grids cover
+everything w.p. 1-δ (Lemma 6), and the hybrid hierarchy needs the
+union-bound budget of Lemma 7.
+
+Series regenerated: per bucket dimension k — the analytic q_k, the
+Lemma 6 budget at δ=1e-6, the empirical number of grids to cover a
+workload, and the empirical failure rate at the budget.
+"""
+
+import numpy as np
+from common import record
+
+from repro.geometry.coverage import (
+    coverage_failure_rate,
+    grids_for_failure_probability,
+    grids_for_hybrid,
+    grids_needed_to_cover,
+    single_grid_cover_probability,
+)
+
+KS = [1, 2, 3, 4]
+N_POINTS, DELTA_FAIL = 80, 1e-6
+
+
+def test_lemma67_grid_budgets(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for k in KS:
+            budget = grids_for_failure_probability(k, DELTA_FAIL)
+            pts = np.random.default_rng(k).uniform(0, 64, size=(N_POINTS, k))
+            empirical = [
+                grids_needed_to_cover(pts, w=2.0, seed=s, max_grids=4 * budget)
+                for s in range(3)
+            ]
+            fail_rate = coverage_failure_rate(
+                k, max(1, budget // 4), trials=2000, seed=k
+            )
+            rows.append(
+                {
+                    "k": k,
+                    "q_k": single_grid_cover_probability(k),
+                    "budget_lemma6": budget,
+                    "budget_lemma7_hierarchy": grids_for_hybrid(
+                        k, 4, 12, 1000, DELTA_FAIL
+                    ),
+                    "empirical_grids_max": max(empirical),
+                    "fail_rate_at_quarter_budget": fail_rate,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("L67-coverage", result)
+
+    for row in result:
+        # The workload is covered well within the budget.
+        assert row["empirical_grids_max"] <= row["budget_lemma6"], row
+        # Lemma 7's hierarchy budget exceeds the single-shot budget.
+        assert row["budget_lemma7_hierarchy"] >= row["budget_lemma6"]
+
+    budgets = [r["budget_lemma6"] for r in result]
+    growth = [b2 / b1 for b1, b2 in zip(budgets, budgets[1:])]
+    assert growth[-1] > growth[0], "budget growth must accelerate in k"

@@ -1,0 +1,66 @@
+"""A-scaling-n: distortion growth with n (hybrid vs grid, Δ = poly(n)).
+
+Theorem 1 predicts hybrid distortion ~ log^1.5 n and the grid baseline
+~ log^2 n when Δ grows polynomially with n.  At simulable scale both
+series grow slowly and their separation is inside constant noise (see
+EXPERIMENTS.md's discussion of the crossover); what this series must
+show is (a) sub-polynomial growth of distortion with n for both methods,
+(b) growth consistent with the polylog envelope.
+"""
+
+import math
+
+from common import record
+
+from repro.core.distortion import expected_distortion_report
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+
+SAMPLES = 5
+SIZES = [32, 64, 128, 256]
+
+
+def test_distortion_scaling_with_n(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for n in SIZES:
+            delta = 4 * n  # aspect ratio polynomial in n
+            pts = uniform_lattice(n, 4, delta, seed=n, unique=True)
+            hybrid = [
+                sequential_tree_embedding(pts, 2, seed=s) for s in range(SAMPLES)
+            ]
+            grid = [
+                sequential_tree_embedding(pts, method="grid", seed=s)
+                for s in range(SAMPLES)
+            ]
+            h = expected_distortion_report(hybrid, pts)
+            g = expected_distortion_report(grid, pts)
+            log_n = math.log2(n)
+            rows.append(
+                {
+                    "n": n,
+                    "delta": delta,
+                    "hybrid_mean": h.mean_expected_ratio,
+                    "hybrid_max": h.expected_distortion,
+                    "grid_mean": g.mean_expected_ratio,
+                    "grid_max": g.expected_distortion,
+                    "log15_n_logD": log_n**0.5 * math.log2(delta),
+                    "hybrid_over_envelope": h.expected_distortion
+                    / (log_n**0.5 * math.log2(delta)),
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("A-scaling-n", result)
+
+    # Sub-polynomial growth: quadrupling n should far less than quadruple
+    # the distortion.
+    first, last = result[0], result[-1]
+    growth = last["hybrid_max"] / first["hybrid_max"]
+    assert growth < (last["n"] / first["n"]) ** 0.5, f"growth {growth}"
+    # Envelope ratio stays bounded (no super-polylog growth).
+    ratios = [r["hybrid_over_envelope"] for r in result]
+    assert max(ratios) <= 4 * min(ratios), ratios

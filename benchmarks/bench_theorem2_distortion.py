@@ -1,0 +1,66 @@
+"""T2-distortion: Theorem 2's guarantees for the sequential algorithm.
+
+Claim: Algorithm 1 outputs a tree with (deterministic) domination and
+``E_T[dist_T] <= O(sqrt(d r) log Δ) ||p - q||``.
+
+Regenerated series: for each (d, r), measured expected distortion over
+sampled trees vs the theorem's bound — the *shape* to confirm is
+(a) domination_min >= 1 always, (b) distortion well under the bound,
+(c) distortion growing roughly like sqrt(r) at fixed d.
+"""
+
+import math
+
+from common import record
+
+from repro.core.distortion import expected_distortion_report
+from repro.core.params import theorem2_distortion_bound
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+
+N, DELTA, SAMPLES = 96, 256, 8
+CASES = [(4, 1), (4, 2), (4, 4), (8, 2), (8, 4), (8, 8), (16, 4), (16, 8)]
+
+
+def run_case(d, r, seed0=0):
+    pts = uniform_lattice(N, d, DELTA, seed=1000 + d, unique=True)
+    trees = [
+        sequential_tree_embedding(pts, r, seed=seed0 + s) for s in range(SAMPLES)
+    ]
+    rep = expected_distortion_report(trees, pts)
+    return pts, rep
+
+
+def test_theorem2_distortion_sweep(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for d, r in CASES:
+            _, rep = run_case(d, r)
+            bound = theorem2_distortion_bound(d, r, DELTA)
+            rows.append(
+                {
+                    "d": d,
+                    "r": r,
+                    "domination_min": rep.domination_min,
+                    "expected_distortion": rep.expected_distortion,
+                    "mean_ratio": rep.mean_expected_ratio,
+                    "bound_sqrt_dr_logD": bound,
+                    "bound_slack": bound / rep.expected_distortion,
+                    "sqrt_dr": math.sqrt(d * r),
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("T2-distortion", result)
+
+    for row in result:
+        assert row["domination_min"] >= 1.0, f"domination violated: {row}"
+        assert row["expected_distortion"] <= row["bound_sqrt_dr_logD"], (
+            f"distortion exceeds Theorem 2 bound: {row}"
+        )
+    # sqrt(r) trend at fixed d = 8.
+    d8 = sorted((r["r"], r["mean_ratio"]) for r in result if r["d"] == 8)
+    assert d8[0][1] < d8[-1][1], "distortion should grow with r at fixed d"

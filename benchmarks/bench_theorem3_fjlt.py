@@ -1,0 +1,78 @@
+"""T3-fjlt: Theorem 3 — the MPC Fast Johnson–Lindenstrauss Transform.
+
+Claims: φ preserves pairwise distances within (1 ± ξ); the MPC
+evaluation takes O(1) rounds with ``O((nd)^eps)`` local memory and total
+space ``O(nd + ξ^{-2} n log^3 n)`` — a log-factor below the dense
+transform's ``O(n d log n)``.
+
+Series regenerated: per (n, d) — distance-ratio quantiles, rounds, max
+local words, and the FJLT-vs-dense total-space ratio.
+"""
+
+import numpy as np
+from common import record
+from scipy.spatial.distance import pdist
+
+from repro.jl.dense import GaussianJL
+from repro.jl.fjlt import FJLT, target_dimension
+from repro.jl.mpc_dense import mpc_dense_jl
+from repro.jl.mpc_fjlt import mpc_fjlt
+
+XI = 0.3
+CASES = [(128, 256), (256, 512), (512, 1024)]
+
+
+def test_theorem3_fjlt(benchmark):
+    rows = []
+
+    def experiment():
+        rows.clear()
+        for n, d in CASES:
+            pts = np.random.default_rng(n + d).normal(size=(n, d)) * 10
+            out, cluster = mpc_fjlt(pts, xi=XI, seed=n)
+            ratios = pdist(out) / pdist(pts)
+            k = out.shape[1]
+            fjlt = FJLT(d, n, xi=XI, seed=n)
+            dense = GaussianJL(d, target_dimension(n, XI), seed=n)
+            _, dense_cluster = mpc_dense_jl(pts, k, seed=n)
+            measured_fjlt = cluster.report().peak_total_resident_words
+            measured_dense = dense_cluster.report().peak_total_resident_words
+            rows.append(
+                {
+                    "n": n,
+                    "d": d,
+                    "k": k,
+                    "rounds": cluster.report().rounds,
+                    "max_local_words": cluster.report().max_local_words,
+                    "local_budget": cluster.local_memory,
+                    "ratio_min": float(ratios.min()),
+                    "ratio_p05": float(np.quantile(ratios, 0.05)),
+                    "ratio_p95": float(np.quantile(ratios, 0.95)),
+                    "ratio_max": float(ratios.max()),
+                    "fjlt_space": fjlt.total_space_words(n),
+                    "dense_space": dense.total_space_words(n),
+                    "space_ratio": dense.total_space_words(n)
+                    / fjlt.total_space_words(n),
+                    "measured_fjlt_resident": measured_fjlt,
+                    "measured_dense_resident": measured_dense,
+                    "measured_space_ratio": measured_dense / measured_fjlt,
+                }
+            )
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record("T3-fjlt", result)
+
+    rounds = [r["rounds"] for r in result]
+    assert max(rounds) <= 6, "FJLT must run in O(1) rounds"
+    assert max(rounds) - min(rounds) <= 1
+    for row in result:
+        # Bulk of pairs inside (1 ± ξ); extremes within a looser envelope.
+        assert 1 - XI <= row["ratio_p05"], row
+        assert row["ratio_p95"] <= 1 + XI, row
+        assert row["ratio_min"] > 0.5 and row["ratio_max"] < 1.6, row
+        assert row["max_local_words"] <= row["local_budget"], row
+        assert row["space_ratio"] > 1.0, "FJLT should beat dense JL in space"
+        assert row["measured_space_ratio"] > 1.0, (
+            "FJLT should beat dense JL in *measured* resident words"
+        )

@@ -1,0 +1,56 @@
+"""Shared benchmark-harness utilities.
+
+Every benchmark prints the table/series it regenerates (the analogue of
+the paper's claims — see DESIGN.md's experiment index) and appends the
+rows to ``benchmarks/results/<experiment>.json`` so EXPERIMENTS.md can be
+refreshed from recorded data.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(experiment: str, rows: List[Dict], *, columns: Sequence[str] | None = None
+           ) -> None:
+    """Print an aligned table and persist rows as JSON."""
+    if not rows:
+        print(f"[{experiment}] no rows")
+        return
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in cols
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    print(f"\n[{experiment}]")
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in cols))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment}.json"
+    out.write_text(json.dumps(rows, indent=2, default=_jsonable))
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def _jsonable(v):
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        return str(v)

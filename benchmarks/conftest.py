@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import pathlib
+
+# Allow `from common import record` inside benchmark modules.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,48 @@
+"""Densest-ball detection: find the hot region in noisy data.
+
+Corollary 1(1): the hierarchy levels of a tree embedding double as a
+multi-resolution density index — the largest cluster at the level whose
+scale matches a target diameter D is a bicriteria-approximate densest
+ball, computed without any pairwise distance scan.
+
+Run:  python examples/densest_ball_outliers.py
+"""
+
+import numpy as np
+
+from repro.apps.densest_ball import exact_densest_ball, tree_densest_ball
+from repro.core.sequential import sequential_tree_embedding
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    d, delta = 3, 4096
+    # 250 background points plus one dense event region of 80 points.
+    noise = rng.uniform(1, delta, size=(250, d))
+    hotspot_center = np.array([1000.0, 3000.0, 2000.0])
+    hotspot = hotspot_center + rng.normal(0, 6.0, size=(80, d))
+    points = np.rint(np.clip(np.vstack([noise, hotspot]), 1, delta))
+    target_diameter = 50.0
+
+    # Exact baseline: O(n^2) scan over point-centered balls.
+    exact = exact_densest_ball(points, target_diameter, radius_factor=0.5)
+    print(f"exact scan      : {exact.count} points within diameter "
+          f"{target_diameter}")
+
+    # Tree-based: one embedding, then a bincount per level.
+    r = 2
+    tree = sequential_tree_embedding(points, r, seed=12)
+    result = tree_densest_ball(tree, target_diameter, r=r, points=points)
+    recovered = np.mean(result.members >= 250)  # fraction from the hotspot
+    print(f"tree  embedding : {result.count} points at level {result.level}, "
+          f"measured diameter {result.diameter_bound:.1f} "
+          f"(beta = {result.diameter_bound / target_diameter:.2f})")
+    print(f"hotspot purity  : {recovered:.0%} of the returned cluster is "
+          "from the planted region")
+
+    assert recovered > 0.9, "the dense region should dominate the answer"
+    print("\nhotspot located without any pairwise distance computation")
+
+
+if __name__ == "__main__":
+    main()

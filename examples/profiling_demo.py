@@ -1,0 +1,46 @@
+"""Where does the time go?  Stage timing of the full pipeline.
+
+The hpc-parallel workflow in one script: measure before judging.  Times
+the three stages of a Theorem 1 run (FJLT, hybrid partitioning, tree
+assembly/evaluation) and prints the breakdown.
+
+Run:  python examples/profiling_demo.py
+"""
+
+import numpy as np
+
+from repro.core.distortion import distortion_report
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.data import gaussian_clusters
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.util.profiling import StageTimer
+
+
+def main() -> None:
+    n, d = 512, 128
+    points = gaussian_clusters(n, d, delta=2048, clusters=6, seed=77)
+    timer = StageTimer()
+
+    with timer.stage("fjlt (dimension reduction)"):
+        embedded, _ = mpc_fjlt(points, xi=0.35, seed=78)
+
+    with timer.stage("hybrid partitioning + tree"):
+        result = mpc_tree_embedding(
+            embedded, seed=79, on_uncovered="singleton"
+        )
+
+    with timer.stage("quality evaluation (all pairs)"):
+        report = distortion_report(result.tree, points)
+
+    print(f"pipeline on n={n}, d={d} "
+          f"(reduced to {embedded.shape[1]} dims, r={result.r}):\n")
+    print(timer.summary())
+    print(f"\nembedding quality: domination_min={report.domination_min:.2f}, "
+          f"mean stretch={report.mean_expected_ratio:.1f}x")
+
+    heaviest = max(timer.items(), key=lambda kv: kv[1])[0]
+    print(f"\nheaviest stage: {heaviest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — Massively Parallel Tree Embeddings for High Dimensional Spaces.
+
+A production-quality reproduction of Ahanchi, Andoni, Hajiaghayi,
+Knittel & Zhong (SPAA 2023): constant-round MPC tree embeddings of
+high-dimensional Euclidean data via hybrid partitioning, with an MPC
+Fast Johnson–Lindenstrauss Transform, an enforcing MPC simulator, and
+the paper's applications (MST, EMD, densest ball).
+
+Quickstart::
+
+    import numpy as np
+    from repro import embed
+    from repro.data import gaussian_clusters
+
+    points = gaussian_clusters(256, 8, delta=1024, seed=0)
+    emb = embed(points, seed=0)
+    print(emb.distance(0, 1), np.linalg.norm(points[0] - points[1]))
+    print(emb.report().as_dict())
+"""
+
+from repro.core.embedding import TreeEmbedding, embed
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.core.pipeline import theorem1_pipeline
+from repro.core.sequential import sequential_tree_embedding
+from repro.jl.fjlt import FJLT
+from repro.mpc.cluster import Cluster
+from repro.tree.hst import HSTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "embed",
+    "TreeEmbedding",
+    "sequential_tree_embedding",
+    "mpc_tree_embedding",
+    "theorem1_pipeline",
+    "FJLT",
+    "Cluster",
+    "HSTree",
+    "__version__",
+]

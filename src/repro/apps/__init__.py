@@ -1,0 +1,63 @@
+"""Applications of the tree embedding (Corollary 1).
+
+Each module pairs the tree-based O(1)-round algorithm with an exact (or
+near-exact) sequential baseline so approximation ratios can be measured:
+
+* :mod:`~repro.apps.mst` — Euclidean minimum spanning tree;
+* :mod:`~repro.apps.emd` — Earth-Mover distance (geometric
+  transportation with unit demands);
+* :mod:`~repro.apps.densest_ball` — the bicriteria densest-ball problem
+  the paper introduces to MPC.
+"""
+
+from repro.apps.ann import TreeANN
+from repro.apps.clustering import (
+    clustering_agreement,
+    level_clustering,
+    tree_single_linkage,
+)
+from repro.apps.densest_ball import (
+    DensestBallResult,
+    exact_densest_ball,
+    tree_densest_ball,
+)
+from repro.apps.emd import (
+    exact_emd,
+    exact_emd_weighted,
+    tree_emd,
+    tree_emd_weighted,
+)
+from repro.apps.kmedian import k_median_cost, tree_k_median_cost
+from repro.apps.mpc_apps import mpc_densest_ball, mpc_tree_emd, mpc_tree_mst
+from repro.apps.mst import exact_emst, tree_mst
+from repro.apps.tree_dp import (
+    fold_tree,
+    gonzalez_k_center,
+    tree_facility_location,
+    tree_k_center,
+)
+
+__all__ = [
+    "TreeANN",
+    "exact_emst",
+    "tree_mst",
+    "mpc_tree_mst",
+    "exact_emd",
+    "exact_emd_weighted",
+    "tree_emd",
+    "tree_emd_weighted",
+    "mpc_tree_emd",
+    "exact_densest_ball",
+    "tree_densest_ball",
+    "mpc_densest_ball",
+    "DensestBallResult",
+    "fold_tree",
+    "tree_k_center",
+    "gonzalez_k_center",
+    "tree_facility_location",
+    "tree_k_median_cost",
+    "k_median_cost",
+    "tree_single_linkage",
+    "level_clustering",
+    "clustering_agreement",
+]

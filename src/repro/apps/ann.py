@@ -1,0 +1,123 @@
+"""Approximate nearest neighbors from tree-embedding ensembles.
+
+A classic consumption pattern for probabilistic tree embeddings (and the
+application area the FJLT was born in — Ailon–Chazelle's title is
+"Approximate nearest neighbors and the fast Johnson–Lindenstrauss
+transform"): each tree's hierarchy proposes, for a query point, the
+points sharing its deepest clusters; the union over an ensemble of
+independent trees is a small candidate set that contains a near-optimal
+neighbor with high probability; exact Euclidean evaluation of the
+candidates then picks the winner.
+
+:class:`TreeANN` packages that: build once over the data, query by
+point index (or leave-one-out style for all points).  Reported quality
+is (found distance / true NN distance); the candidate-set size is the
+knob trading accuracy for query work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.ensemble import TreeEnsemble, build_ensemble
+from repro.tree.hst import HSTree
+from repro.util.rng import SeedLike
+from repro.util.validation import check_points, check_positive, require
+
+
+def _candidates_from_tree(tree: HSTree, i: int, budget: int) -> List[int]:
+    """Up to ``budget`` companions of point i, deepest clusters first."""
+    labels = tree.label_matrix
+    out: List[int] = []
+    seen: Set[int] = {i}
+    for lvl in range(tree.num_levels, 0, -1):
+        row = labels[lvl]
+        mates = np.flatnonzero(row == row[i])
+        for m in mates:
+            m = int(m)
+            if m not in seen:
+                seen.add(m)
+                out.append(m)
+                if len(out) >= budget:
+                    return out
+    return out
+
+
+@dataclass
+class TreeANN:
+    """Approximate nearest-neighbor index over a point set."""
+
+    ensemble: TreeEnsemble
+    points: np.ndarray
+    candidates_per_tree: int = 8
+
+    @classmethod
+    def build(
+        cls,
+        points: np.ndarray,
+        *,
+        num_trees: int = 4,
+        r: Optional[int] = None,
+        candidates_per_tree: int = 8,
+        seed: SeedLike = None,
+        **embed_kwargs,
+    ) -> "TreeANN":
+        """Embed ``points`` with ``num_trees`` independent trees."""
+        pts = check_points(points, min_points=2)
+        check_positive("candidates_per_tree", candidates_per_tree)
+        ensemble = build_ensemble(
+            pts, num_trees, r=r, seed=seed, **embed_kwargs
+        )
+        return cls(ensemble, pts, candidates_per_tree)
+
+    @property
+    def n(self) -> int:
+        return self.ensemble.n
+
+    def candidates(self, i: int) -> np.ndarray:
+        """The union of per-tree companion sets for point ``i``."""
+        require(0 <= i < self.n, f"point index out of range: {i}")
+        merged: Set[int] = set()
+        for tree in self.ensemble.trees:
+            merged.update(
+                _candidates_from_tree(tree, i, self.candidates_per_tree)
+            )
+        merged.discard(i)
+        return np.asarray(sorted(merged), dtype=np.int64)
+
+    def query(self, i: int) -> Tuple[int, float]:
+        """Approximate nearest neighbor of point ``i``.
+
+        Returns ``(index, euclidean_distance)``.  Falls back to the
+        tree-metric nearest when no candidates surface (tiny inputs).
+        """
+        cand = self.candidates(i)
+        if cand.size == 0:
+            j, _ = self.ensemble.nearest(i)
+            cand = np.asarray([j], dtype=np.int64)
+        diffs = self.points[cand] - self.points[i]
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        best = int(np.argmin(dists))
+        return int(cand[best]), float(dists[best])
+
+    def quality(self, *, queries: Optional[np.ndarray] = None) -> float:
+        """Mean (found / true) NN distance ratio over query indices.
+
+        1.0 means every query found its exact nearest neighbor.
+        Quadratic in ``len(queries) * n`` — evaluation helper, not a
+        production path.
+        """
+        idx = np.arange(self.n) if queries is None else np.asarray(queries)
+        ratios = []
+        for i in idx:
+            i = int(i)
+            diffs = self.points - self.points[i]
+            true = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            true[i] = np.inf
+            true_nn = float(true.min())
+            _, found = self.query(i)
+            ratios.append(found / true_nn if true_nn > 0 else 1.0)
+        return float(np.mean(ratios))

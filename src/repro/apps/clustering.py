@@ -1,0 +1,111 @@
+"""Clustering on top of the tree embedding.
+
+Two complementary flat-clustering routes, both O(n · L)-ish once the
+embedding exists (no pairwise distance matrix):
+
+* :func:`tree_single_linkage` — cut the ``k-1`` heaviest edges of the
+  tree-derived spanning tree (the classic single-linkage equivalence,
+  with the approximate MST standing in for the exact one);
+* :func:`level_clustering` — take the hierarchy level whose cluster
+  count is closest to (without exceeding) ``k``; zero extra work, the
+  multi-resolution structure is already there.
+
+Both return integer labels ``0..k'-1`` with ``k' <= k``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.mst import tree_mst
+from repro.tree.hst import HSTree
+from repro.util.validation import check_points, check_positive, require
+
+
+def _components(n: int, edges: np.ndarray) -> np.ndarray:
+    """Union-find connected components (labels canonical 0..c-1)."""
+    parent = np.arange(n)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    for a, b in edges:
+        ra, rb = find(int(a)), find(int(b))
+        if ra != rb:
+            parent[ra] = rb
+    roots = np.fromiter((find(i) for i in range(n)), dtype=np.int64, count=n)
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def tree_single_linkage(
+    tree: HSTree, points: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-linkage-style k-clustering via the tree MST.
+
+    Builds the embedding's spanning tree, removes the ``k-1`` longest
+    (Euclidean) edges, and labels the resulting components.  Returns
+    ``(labels, cut_lengths)``.
+    """
+    pts = check_points(points)
+    check_positive("k", k)
+    require(pts.shape[0] == tree.n, "points/tree size mismatch")
+    n = pts.shape[0]
+    require(k <= n, f"cannot form {k} clusters from {n} points")
+
+    st = tree_mst(tree, pts)
+    if st.num_edges == 0 or k == 1:
+        return np.zeros(n, dtype=np.int64), np.empty(0)
+
+    lengths = np.linalg.norm(
+        pts[st.edges[:, 0]] - pts[st.edges[:, 1]], axis=1
+    )
+    cuts = min(k - 1, st.num_edges)
+    order = np.argsort(lengths)
+    keep = order[: st.num_edges - cuts]
+    labels = _components(n, st.edges[keep])
+    cut_lengths = np.sort(lengths[order[st.num_edges - cuts :]])[::-1]
+    return labels, cut_lengths
+
+
+def level_clustering(tree: HSTree, k: int) -> Tuple[np.ndarray, int]:
+    """Flat clustering from the deepest hierarchy level with <= k clusters.
+
+    Returns ``(labels, level)``.  Free given the embedding; clusters are
+    guaranteed to have tree-diameter at most ``2 * suffix(level)``.
+    """
+    check_positive("k", k)
+    counts = tree.clusters_per_level()
+    eligible = np.flatnonzero(counts <= k)
+    level = int(eligible.max())
+    row = tree.label_matrix[level]
+    _, labels = np.unique(row, return_inverse=True)
+    return labels.astype(np.int64), level
+
+
+def clustering_agreement(labels_a: np.ndarray, labels_b: np.ndarray,
+                         *, sample_pairs: Optional[int] = 20000,
+                         seed: int = 0) -> float:
+    """Pairwise co-clustering agreement (Rand-index style) of two labelings."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    require(a.shape == b.shape, "labelings must cover the same points")
+    n = a.shape[0]
+    if n < 2:
+        return 1.0
+    if sample_pairs is None or n * (n - 1) // 2 <= sample_pairs:
+        iu, ju = np.triu_indices(n, k=1)
+    else:
+        rng = np.random.default_rng(seed)
+        iu = rng.integers(0, n, size=sample_pairs)
+        ju = rng.integers(0, n, size=sample_pairs)
+        keep = iu != ju
+        iu, ju = iu[keep], ju[keep]
+    same_a = a[iu] == a[ju]
+    same_b = b[iu] == b[ju]
+    return float((same_a == same_b).mean())

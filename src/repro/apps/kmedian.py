@@ -1,0 +1,162 @@
+"""Exact k-median on the tree metric.
+
+k-median is *the* historical motivation for probabilistic tree
+embeddings: Bartal's and FRT's embeddings gave the first polylog
+approximations by solving the problem exactly on the tree.  This module
+implements that tree-side exact solver for our HSTs.
+
+Formulation: choose at most ``k`` facility points; each point connects
+to its nearest facility at its tree distance; minimize total connection
+cost.  The DP extends the facility-location recursion of
+:mod:`repro.apps.tree_dp` with a facility-count dimension:
+
+``A(v, D, j)`` — minimum connection cost of subtree ``v`` given that the
+nearest facility *outside* v is at distance ``D`` and exactly ``j``
+facilities are placed inside v.  At an internal node the children are
+folded left-to-right with a knapsack over facility counts, case-split on
+whether zero, one, or at least two children receive facilities (which
+determines whether a child with facilities sees external distance ``D``
+or ``min(D, Dv)``, ``Dv`` being the fixed cross-child distance of an
+HST node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.tree.hst import HSTree
+from repro.tree.metric import tree_distances_from_point
+from repro.util.validation import check_positive, require
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class KMedianResult:
+    """Outcome of the exact tree k-median DP."""
+
+    cost: float
+    k: int
+
+
+def tree_k_median_cost(tree: HSTree, k: int) -> KMedianResult:
+    """Minimum total connection cost using at most ``k`` facilities.
+
+    Exact under the tree metric.  ``O(nodes * L * k^2)`` time — intended
+    for the moderate k regime of the classic application.
+    """
+    check_positive("k", k)
+    require(k <= tree.n, f"k={k} exceeds the number of points {tree.n}")
+    nodes = tree.nodes
+    children = nodes.children()
+    suffix = tree.suffix_weights
+
+    dist_values = [2.0 * float(s) for s in suffix] + [_INF]
+    nd = len(dist_values)
+
+    def mixed_index(di: int, dv: float) -> int:
+        value = min(dist_values[di], dv)
+        for i, d in enumerate(dist_values):
+            if d == value:
+                return i
+        raise AssertionError("mixed distance missing from candidate set")
+
+    # tables[v][di][j] = A(v, D_di, j); j ranges 0..k.
+    tables: Dict[int, np.ndarray] = {}
+
+    order = [int(v) for v in np.argsort(-nodes.level, kind="stable")]
+    for v in order:
+        kids = children.get(v, [])
+        table = np.full((nd, k + 1), _INF)
+        if not kids:
+            count = int(nodes.members[v].size)
+            for di, D in enumerate(dist_values):
+                table[di, 0] = count * D if D < _INF else _INF
+                if k >= 1:
+                    table[di, 1:] = 0.0  # facility at this point
+            tables[v] = table
+            continue
+
+        lvl = int(nodes.level[v])
+        dv = 2.0 * float(suffix[lvl])
+        total = int(nodes.members[v].size)
+        for di, D in enumerate(dist_values):
+            mi = mixed_index(di, dv)
+
+            # Case NONE: no facility inside v.
+            table[di, 0] = total * D if D < _INF else _INF
+
+            # Case SINGLE: one child holds all j >= 1 facilities.
+            # Precompute sum of A(c, mixed, 0) over children.
+            base = sum(tables[c][mi, 0] for c in kids)
+            if base < _INF:
+                for c in kids:
+                    rest = base - tables[c][mi, 0]
+                    if rest >= _INF:
+                        continue
+                    for j in range(1, k + 1):
+                        cand = tables[c][di, j] + rest
+                        if cand < table[di, j]:
+                            table[di, j] = cand
+
+            # Case MULTI: >= 2 children hold facilities; every child sees
+            # the mixed distance. Knapsack over (facilities used, number
+            # of facility-children capped at 2).
+            # state[f][c2] = min cost so far; c2 in {0, 1, 2}.
+            state = np.full((k + 1, 3), _INF)
+            state[0, 0] = 0.0
+            for c in kids:
+                nxt = np.full((k + 1, 3), _INF)
+                child = tables[c][mi]
+                for f in range(k + 1):
+                    for c2 in range(3):
+                        cur = state[f, c2]
+                        if cur >= _INF:
+                            continue
+                        # child takes jc facilities.
+                        max_jc = k - f
+                        # jc = 0:
+                        cand = cur + child[0]
+                        if cand < nxt[f, c2]:
+                            nxt[f, c2] = cand
+                        for jc in range(1, max_jc + 1):
+                            nc2 = min(2, c2 + 1)
+                            cand = cur + child[jc]
+                            if cand < nxt[f + jc, nc2]:
+                                nxt[f + jc, nc2] = cand
+                state = nxt
+            for j in range(2, k + 1):
+                if state[j, 2] < table[di, j]:
+                    table[di, j] = state[j, 2]
+        tables[v] = table
+
+    inf_idx = nd - 1
+    best = float(np.min(tables[0][inf_idx, : k + 1]))
+    return KMedianResult(cost=best, k=k)
+
+
+def k_median_cost(tree: HSTree, facilities: Sequence[int]) -> float:
+    """Connection cost of a given facility set under the tree metric."""
+    facilities = list(facilities)
+    require(len(facilities) >= 1, "need at least one facility")
+    dists = np.stack(
+        [tree_distances_from_point(tree, f) for f in facilities]
+    )
+    return float(dists.min(axis=0).sum())
+
+
+def brute_force_k_median(tree: HSTree, k: int) -> float:
+    """Exact optimum by enumerating all facility subsets of size <= k.
+
+    Exponential — test/reference use only.
+    """
+    import itertools
+
+    best = _INF
+    for size in range(1, k + 1):
+        for subset in itertools.combinations(range(tree.n), size):
+            best = min(best, k_median_cost(tree, subset))
+    return best

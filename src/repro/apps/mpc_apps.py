@@ -1,0 +1,356 @@
+"""Corollary 1 as actual O(1)-round MPC algorithms.
+
+The sequential functions in :mod:`repro.apps.mst` / ``emd`` /
+``densest_ball`` post-process the tree in one process.  Corollary 1,
+however, claims O(1)-round *MPC* algorithms.  This module supplies them:
+each consumes a tree embedding in its distributed representation — every
+machine holds, for its shard of points, the points' label paths (the
+per-level cluster ids, i.e. exactly what Algorithm 2's machines output)
+— and finishes the computation with constant-round shuffles and
+reductions on the enforcing simulator:
+
+* :func:`mpc_tree_mst` — cluster representatives via a hash shuffle +
+  per-key min, then child-rep -> parent-rep edges.  The edge set equals
+  the sequential :func:`repro.apps.mst.tree_mst` (the parent's
+  representative is the min of its children's, so anchor edges
+  coincide), which the tests assert.
+* :func:`mpc_tree_emd` — per-(level, cluster) signed counts via one
+  shuffle, then ``Σ weight · |imbalance|`` via a tree reduction.
+* :func:`mpc_densest_ball` — per-cluster counts at the query level via
+  one shuffle, then an argmax reduction.
+
+All three run in a constant number of rounds independent of n; the
+returned :class:`repro.mpc.accounting.CostReport` proves it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
+from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.machine import Machine
+from repro.tree.hst import HSTree
+from repro.util.validation import check_points, check_positive, require
+
+
+def _embedding_cluster(
+    tree: HSTree,
+    *,
+    eps: float = 0.6,
+    memory_slack: float = 8.0,
+    points: Optional[np.ndarray] = None,
+) -> Cluster:
+    """Stand up a cluster holding the distributed tree representation.
+
+    Machine i receives the label-path columns (and optionally the
+    coordinates) of its shard of points — the state Algorithm 2's
+    machines end with, re-created here so the application algorithms can
+    be used standalone.
+    """
+    n = tree.n
+    levels = tree.num_levels
+    d = points.shape[1] if points is not None else 1
+    per_point = levels + d + 4
+    base_local = fully_scalable_local_memory(n, max(d, levels), eps, slack=memory_slack)
+    machines = machines_for(n * per_point, base_local)
+    shard_rows = -(-n // machines)
+    local = max(base_local, int(3.0 * shard_rows * per_point) + 4096)
+    cluster = Cluster(machines, local, strict=True)
+
+    from repro.mpc.primitives import shard_bounds
+
+    for mid, (lo, hi) in enumerate(shard_bounds(n, machines)):
+        cluster.load(mid, "paths", tree.label_matrix[1:, lo:hi].T.copy())
+        cluster.load(mid, "offset", lo)
+        if points is not None:
+            cluster.load(mid, "coords", np.asarray(points)[lo:hi].copy())
+    return cluster
+
+
+def _hash_dest(keys: np.ndarray, num_machines: int) -> np.ndarray:
+    """Deterministic machine assignment for shuffle keys."""
+    return (keys * np.int64(2654435761) % np.int64(2**31)) % num_machines
+
+
+@dataclass
+class MPCMSTResult:
+    edges: np.ndarray
+    cost: float
+    report: CostReport
+
+
+def mpc_tree_mst(
+    tree: HSTree,
+    points: np.ndarray,
+    *,
+    eps: float = 0.6,
+) -> MPCMSTResult:
+    """Corollary 1(2): extract the spanning tree in O(1) MPC rounds."""
+    pts = check_points(points)
+    require(pts.shape[0] == tree.n, "points/tree size mismatch")
+    cluster = _embedding_cluster(tree, eps=eps, points=pts)
+    m = cluster.num_machines
+    levels = tree.num_levels
+
+    # Round 1: local min-index per (level, cluster), shuffled by key.
+    def local_mins(machine: Machine, ctx: RoundContext) -> None:
+        paths = machine.get("paths")
+        if paths is None or paths.shape[0] == 0:
+            return
+        offset = machine.get("offset")
+        ids = np.arange(paths.shape[0], dtype=np.int64) + offset
+        for lvl in range(levels):
+            col = paths[:, lvl]
+            order = np.argsort(col, kind="stable")
+            col_sorted, ids_sorted = col[order], ids[order]
+            first = np.r_[0, np.flatnonzero(np.diff(col_sorted)) + 1]
+            clusters = col_sorted[first]
+            mins = np.minimum.reduceat(ids_sorted, first)
+            dests = _hash_dest(clusters, m)
+            for dest in np.unique(dests):
+                mask = dests == dest
+                ctx.send(
+                    int(dest),
+                    (lvl, clusters[mask], mins[mask]),
+                    tag="mst/min",
+                )
+
+    cluster.round(local_mins, label="mst-local-mins")
+
+    # Round 2: reduce to global representative per (level, cluster).
+    def reduce_mins(machine: Machine, ctx: RoundContext) -> None:
+        acc: Dict[Tuple[int, int], int] = {}
+        for msg in machine.take_inbox(tag="mst/min"):
+            lvl, clusters, mins = msg.payload
+            for c, lo in zip(clusters.tolist(), mins.tolist()):
+                key = (lvl, c)
+                if key not in acc or lo < acc[key]:
+                    acc[key] = lo
+        machine.put("mst/reps", acc)
+
+    cluster.round(reduce_mins, label="mst-reduce-mins")
+
+    # Rounds 3-4: each machine fetches the representatives it needs for
+    # its points' (level, cluster) pairs — request/response shuffle.
+    def request_reps(machine: Machine, ctx: RoundContext) -> None:
+        paths = machine.get("paths")
+        if paths is None or paths.shape[0] == 0:
+            return
+        wanted: Dict[int, set] = {}
+        for lvl in range(levels):
+            clusters = np.unique(paths[:, lvl])
+            dests = _hash_dest(clusters, m)
+            for c, dest in zip(clusters.tolist(), dests.tolist()):
+                wanted.setdefault(dest, set()).add((lvl, c))
+        for dest, keys in wanted.items():
+            ctx.send(dest, sorted(keys), tag="mst/req")
+
+    cluster.round(request_reps, label="mst-request")
+
+    def answer_reps(machine: Machine, ctx: RoundContext) -> None:
+        reps = machine.get("mst/reps", {})
+        for msg in machine.take_inbox(tag="mst/req"):
+            answer = {key: reps[key] for key in msg.payload if key in reps}
+            ctx.send(msg.src, answer, tag="mst/rep")
+
+    cluster.round(answer_reps, label="mst-answer")
+
+    # Round 5: emit edges child-rep -> parent-rep (dedup per cluster —
+    # only the machine owning the child's representative point emits).
+    def emit_edges(machine: Machine, ctx: RoundContext) -> None:
+        paths = machine.get("paths")
+        reps: Dict[Tuple[int, int], int] = {}
+        for msg in machine.take_inbox(tag="mst/rep"):
+            reps.update(msg.payload)
+        if paths is None or paths.shape[0] == 0:
+            machine.put("mst/edges", np.empty((0, 2), dtype=np.int64))
+            return
+        offset = machine.get("offset")
+        lo_id, hi_id = offset, offset + paths.shape[0]
+        edges: List[Tuple[int, int]] = []
+        for lvl in range(levels):
+            clusters = np.unique(paths[:, lvl])
+            for c in clusters.tolist():
+                child_rep = reps[(lvl, c)]
+                if not (lo_id <= child_rep < hi_id):
+                    continue  # another machine owns this cluster's rep
+                if lvl == 0:
+                    # Parent is the root cluster containing everything;
+                    # its representative is the global minimum index, 0.
+                    parent_rep = 0
+                else:
+                    row = np.flatnonzero(paths[:, lvl] == c)[0]
+                    parent = int(paths[row, lvl - 1])
+                    parent_rep = reps[(lvl - 1, parent)]
+                if parent_rep != child_rep:
+                    edges.append((parent_rep, child_rep))
+        machine.put("mst/edges", np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+    cluster.round(emit_edges, label="mst-edges")
+
+    shards = [machine.get("mst/edges") for machine in cluster]
+    edges = np.concatenate([s for s in shards if s is not None], axis=0)
+    diffs = pts[edges[:, 0]] - pts[edges[:, 1]]
+    cost = float(np.sqrt(np.einsum("ij,ij->i", diffs, diffs)).sum())
+    return MPCMSTResult(edges=edges, cost=cost, report=cluster.report())
+
+
+@dataclass
+class MPCEMDResult:
+    estimate: float
+    report: CostReport
+
+
+def mpc_tree_emd(
+    tree: HSTree,
+    num_sources: int,
+    *,
+    demands: Optional[np.ndarray] = None,
+    eps: float = 0.6,
+) -> MPCEMDResult:
+    """Corollary 1(3): tree-metric EMD in O(1) MPC rounds.
+
+    ``tree`` embeds the concatenation [sources; sinks]; points with
+    global index < ``num_sources`` carry +1 demand, the rest -1 — unless
+    an explicit balanced ``demands`` vector is supplied (the weighted
+    transportation generalization, matching
+    :func:`repro.apps.emd.tree_emd_weighted`).
+    """
+    if demands is None:
+        require(
+            0 < num_sources < tree.n, "need at least one source and one sink"
+        )
+    else:
+        demands = np.asarray(demands, dtype=np.float64)
+        require(demands.shape == (tree.n,), "one demand per embedded point")
+        require(
+            abs(float(demands.sum()))
+            <= 1e-6 * max(1.0, float(np.abs(demands).sum())),
+            "demands must balance (sum to zero)",
+        )
+    cluster = _embedding_cluster(tree, eps=eps)
+    m = cluster.num_machines
+    levels = tree.num_levels
+    weights = tree.level_weights
+
+    # Round 1: local signed counts per (level, cluster), shuffled.
+    def local_counts(machine: Machine, ctx: RoundContext) -> None:
+        paths = machine.get("paths")
+        if paths is None or paths.shape[0] == 0:
+            return
+        offset = machine.get("offset")
+        ids = np.arange(paths.shape[0], dtype=np.int64) + offset
+        if demands is None:
+            signs = np.where(ids < num_sources, 1.0, -1.0)
+        else:
+            signs = demands[ids]
+        for lvl in range(levels):
+            col = paths[:, lvl]
+            order = np.argsort(col, kind="stable")
+            col_sorted, signs_sorted = col[order], signs[order]
+            first = np.r_[0, np.flatnonzero(np.diff(col_sorted)) + 1]
+            clusters = col_sorted[first]
+            sums = np.add.reduceat(signs_sorted, first)
+            dests = _hash_dest(clusters, m)
+            for dest in np.unique(dests):
+                mask = dests == dest
+                ctx.send(int(dest), (lvl, clusters[mask], sums[mask]), tag="emd/cnt")
+
+    cluster.round(local_counts, label="emd-local-counts")
+
+    # Round 2: reduce imbalances and weigh them locally.
+    def reduce_counts(machine: Machine, ctx: RoundContext) -> None:
+        acc: Dict[Tuple[int, int], int] = {}
+        for msg in machine.take_inbox(tag="emd/cnt"):
+            lvl, clusters, sums = msg.payload
+            for c, s in zip(clusters.tolist(), sums.tolist()):
+                acc[(lvl, c)] = acc.get((lvl, c), 0) + s
+        partial = sum(
+            float(weights[lvl]) * abs(s) for (lvl, _c), s in acc.items()
+        )
+        machine.put("emd/partial", partial)
+
+    cluster.round(reduce_counts, label="emd-reduce")
+
+    # Rounds 3+: tree-reduce the partial sums.
+    from repro.mpc.aggregate import reduce_scalar
+
+    reduce_scalar(cluster, "emd/partial", np.sum, out_key="emd/total", fanin=8)
+    total = float(cluster.machine(0).get("emd/total"))
+    return MPCEMDResult(estimate=total, report=cluster.report())
+
+
+@dataclass
+class MPCDensestBallResult:
+    count: int
+    cluster_key: int
+    level: int
+    report: CostReport
+
+
+def mpc_densest_ball(
+    tree: HSTree,
+    target_diameter: float,
+    *,
+    r: int = 1,
+    scale_factor: float = 2.0,
+    eps: float = 0.6,
+) -> MPCDensestBallResult:
+    """Corollary 1(1): bicriteria densest ball in O(1) MPC rounds."""
+    check_positive("target_diameter", target_diameter)
+    check_positive("scale_factor", scale_factor)
+    scales = tree.level_weights / (2.0 * math.sqrt(r))
+    eligible = np.flatnonzero(scales >= scale_factor * target_diameter)
+    level = int(eligible.max()) + 1 if eligible.size else 0
+    if level == 0:
+        report = CostReport(num_machines=1, local_memory=1)
+        return MPCDensestBallResult(
+            count=tree.n, cluster_key=0, level=0, report=report
+        )
+
+    cluster = _embedding_cluster(tree, eps=eps)
+    m = cluster.num_machines
+
+    def local_counts(machine: Machine, ctx: RoundContext) -> None:
+        paths = machine.get("paths")
+        if paths is None or paths.shape[0] == 0:
+            return
+        col = paths[:, level - 1]
+        clusters, counts = np.unique(col, return_counts=True)
+        dests = _hash_dest(clusters, m)
+        for dest in np.unique(dests):
+            mask = dests == dest
+            ctx.send(int(dest), (clusters[mask], counts[mask]), tag="ball/cnt")
+
+    cluster.round(local_counts, label="ball-local-counts")
+
+    def reduce_counts(machine: Machine, ctx: RoundContext) -> None:
+        acc: Dict[int, int] = {}
+        for msg in machine.take_inbox(tag="ball/cnt"):
+            clusters, counts = msg.payload
+            for c, k in zip(clusters.tolist(), counts.tolist()):
+                acc[c] = acc.get(c, 0) + int(k)
+        if acc:
+            best = max(acc, key=acc.get)
+            machine.put("ball/best", (acc[best], best))
+
+    cluster.round(reduce_counts, label="ball-reduce")
+
+    from repro.mpc.primitives import tree_gather
+
+    tree_gather(
+        cluster,
+        "ball/best",
+        lambda parts: max(parts),
+        out_key="ball/winner",
+        fanin=8,
+    )
+    count, key = cluster.machine(0).get("ball/winner")
+    return MPCDensestBallResult(
+        count=int(count), cluster_key=int(key), level=level, report=cluster.report()
+    )

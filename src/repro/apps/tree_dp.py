@@ -1,0 +1,290 @@
+"""Dynamic programming on tree embeddings (the paper's Section 1.3.3).
+
+The paper points out that an HST embedding turns hard metric problems
+into tree problems: any problem solvable within factor ``f(α)`` on an
+α-distortion tree embedding inherits an ``f(O(log^1.5 n))``
+approximation on the original Euclidean data.  This module supplies the
+tree-side machinery:
+
+* :func:`fold_tree` — generic bottom-up evaluation over an HSTree;
+* :func:`tree_k_center` — **exact** k-center on the tree metric.  On an
+  HST every cluster at level ℓ has tree-radius ``suffix(ℓ)`` around any
+  of its leaves, so the optimal k-center solution is "the deepest level
+  with at most k clusters" — a one-scan algorithm;
+* :func:`tree_facility_location` — **exact** uncapacitated facility
+  location on the tree metric via the classic tree DP, exploiting the
+  HST property that the distance from any leaf of a cluster to anything
+  joining at ancestor level ``a`` depends only on ``a``.
+
+Euclidean baselines (:func:`gonzalez_k_center`, brute force in the
+tests) quantify the inherited approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.metrics import squared_distances_to
+from repro.tree.hst import HSTree
+from repro.util.validation import check_points, check_positive, require
+
+
+def fold_tree(
+    tree: HSTree,
+    leaf_value: Callable[[int, int], object],
+    combine: Callable[[int, List[object]], object],
+) -> object:
+    """Bottom-up fold over the HST's explicit nodes.
+
+    ``leaf_value(point_index, node_id)`` produces each leaf's value;
+    ``combine(node_id, child_values)`` merges children into their
+    parent.  Returns the root's value.
+    """
+    nodes = tree.nodes
+    children = nodes.children()
+    values: Dict[int, object] = {}
+    # Leaves first (deepest level), then upward.
+    order = np.argsort(-nodes.level, kind="stable")
+    for v in order:
+        v = int(v)
+        kids = children.get(v, [])
+        if not kids:
+            members = nodes.members[v]
+            require(
+                members.size >= 1, "leaf node without members — corrupt tree"
+            )
+            values[v] = leaf_value(int(members[0]), v)
+        else:
+            values[v] = combine(v, [values[c] for c in kids])
+    return values[0]
+
+
+@dataclass(frozen=True)
+class KCenterResult:
+    radius: float
+    centers: np.ndarray
+    level: int
+    assignment: np.ndarray
+
+
+def tree_k_center(tree: HSTree, k: int) -> KCenterResult:
+    """Exact k-center under the tree metric.
+
+    Returns the minimum tree-radius R and k (or fewer) center points so
+    every point is within R of a center.  On an HST this is the deepest
+    level with at most k clusters: centers are cluster representatives,
+    and the radius is ``suffix_weights[level]`` (a point and its rep
+    separate no earlier than level+1).
+    """
+    check_positive("k", k)
+    counts = tree.clusters_per_level()
+    eligible = np.flatnonzero(counts <= k)
+    level = int(eligible.max())  # counts[0] == 1 <= k, so always nonempty
+    row = tree.label_matrix[level]
+    suffix = tree.suffix_weights
+    radius = float(2.0 * suffix[level]) if level < tree.num_levels else 0.0
+
+    order = np.argsort(row, kind="stable")
+    boundaries = np.r_[0, np.flatnonzero(np.diff(row[order])) + 1]
+    centers = np.sort(order[boundaries])
+    # Assignment: cluster label -> index into the (sorted) center list.
+    relabel = {int(row[c]): i for i, c in enumerate(centers)}
+    assignment = np.fromiter(
+        (relabel[int(label)] for label in row), dtype=np.int64, count=tree.n
+    )
+    return KCenterResult(
+        radius=radius, centers=centers, level=level, assignment=assignment
+    )
+
+
+def gonzalez_k_center(points: np.ndarray, k: int, *, first: int = 0) -> Tuple[
+    np.ndarray, float
+]:
+    """Gonzalez's greedy 2-approximation for Euclidean k-center.
+
+    Returns (center indices, covering radius).  The exact optimum is
+    NP-hard; greedy is the standard baseline.
+    """
+    pts = check_points(points)
+    check_positive("k", k)
+    n = pts.shape[0]
+    centers = [first]
+    dist2 = squared_distances_to(pts, pts[first])
+    while len(centers) < min(k, n):
+        nxt = int(np.argmax(dist2))
+        centers.append(nxt)
+        dist2 = np.minimum(dist2, squared_distances_to(pts, pts[nxt]))
+    return np.asarray(centers, dtype=np.int64), float(np.sqrt(dist2.max()))
+
+
+@dataclass(frozen=True)
+class FacilityLocationResult:
+    cost: float
+    facilities: np.ndarray
+
+
+def tree_facility_location(tree: HSTree, facility_cost: float) -> FacilityLocationResult:
+    """Exact uncapacitated facility location under the tree metric.
+
+    Opening a facility at a point costs ``facility_cost``; each point
+    connects to its nearest open facility at its tree distance.  Exact
+    DP over the HST:
+
+    For a node ``v`` at level ``ℓ`` the distance from any leaf of ``v``
+    to a facility joining the path at ancestor level ``a < ℓ`` is
+    ``2 * suffix(a)`` — independent of the leaf.  So the DP state is the
+    distance ``D`` of the nearest facility *outside* the subtree, drawn
+    from the O(L) possible values, with:
+
+    * ``A(v, D)`` — min cost of subtree v (opening + connections);
+    * ``B(v, D)`` — same, forced to open >= 1 facility inside v.
+
+    Combination at an internal node uses the cross distance
+    ``Dv = 2 * suffix(ℓ)`` between leaves of different children: with
+    one committed child it alone sees ``D``, the others ``min(D, Dv)``;
+    with >= 2 committed everyone sees ``min(D, Dv)``.
+    """
+    check_positive("facility_cost", facility_cost)
+    nodes = tree.nodes
+    children = nodes.children()
+    suffix = tree.suffix_weights
+    INF = float("inf")
+
+    # Candidate external distances: 2*suffix[a] for a = 0..L, plus INF.
+    dist_values = [2.0 * float(s) for s in suffix] + [INF]
+
+    # Memo tables: values[v] maps D-index -> (A, B, choice metadata).
+    A: Dict[int, List[float]] = {}
+    B: Dict[int, List[float]] = {}
+    # For reconstruction: per (v, D-index), the decision taken.
+    decisionA: Dict[int, List[object]] = {}
+    decisionB: Dict[int, List[object]] = {}
+
+    order = [int(v) for v in np.argsort(-nodes.level, kind="stable")]
+    for v in order:
+        kids = children.get(v, [])
+        nd = len(dist_values)
+        if not kids:
+            count = int(nodes.members[v].size)
+            a_row, b_row, da_row, db_row = [], [], [], []
+            for D in dist_values:
+                open_cost = facility_cost  # facility at this leaf, dist 0
+                connect = count * D if D < INF else INF
+                if open_cost <= connect:
+                    a_row.append(open_cost)
+                    da_row.append("open")
+                else:
+                    a_row.append(connect)
+                    da_row.append("connect")
+                b_row.append(open_cost)
+                db_row.append("open")
+            A[v], B[v] = a_row, b_row
+            decisionA[v], decisionB[v] = da_row, db_row
+            continue
+
+        lvl = int(nodes.level[v])
+        Dv = 2.0 * float(suffix[lvl])
+        a_row, b_row, da_row, db_row = [], [], [], []
+        for di, D in enumerate(dist_values):
+            Dmix = min(D, Dv)
+            mix_idx = _dist_index(dist_values, Dmix)
+            # No facility anywhere in v: every leaf pays D.
+            total_leaves = int(nodes.members[v].size)
+            none_cost = total_leaves * D if D < INF else INF
+
+            # Exactly one committed child i.
+            sum_a_mix = sum(A[c][mix_idx] for c in kids)
+            best_single, best_single_i = INF, None
+            for c in kids:
+                cost = B[c][di] + (sum_a_mix - A[c][mix_idx])
+                if cost < best_single:
+                    best_single, best_single_i = cost, c
+
+            # >= 2 committed children: everyone sees Dmix; commit the two
+            # children with the smallest B - A penalty.
+            penalties = sorted(
+                (B[c][mix_idx] - A[c][mix_idx], c) for c in kids
+            )
+            if len(kids) >= 2:
+                multi = sum_a_mix + penalties[0][0] + penalties[1][0]
+                multi_pair = (penalties[0][1], penalties[1][1])
+            else:
+                multi, multi_pair = INF, None
+
+            with_fac = min(best_single, multi)
+            b_row.append(with_fac)
+            db_row.append(
+                ("single", best_single_i, mix_idx, di)
+                if best_single <= multi
+                else ("multi", multi_pair, mix_idx)
+            )
+            if none_cost <= with_fac:
+                a_row.append(none_cost)
+                da_row.append("none")
+            else:
+                a_row.append(with_fac)
+                da_row.append(db_row[-1])
+        A[v], B[v] = a_row, b_row
+        decisionA[v], decisionB[v] = da_row, db_row
+
+    inf_idx = len(dist_values) - 1
+    total = A[0][inf_idx]
+
+    # Reconstruct the open-facility set.
+    facilities: List[int] = []
+
+    def walk(v: int, di: int, table: str) -> None:
+        dec = (decisionA if table == "A" else decisionB)[v][di]
+        kids = children.get(v, [])
+        if dec == "connect" or dec == "none":
+            return
+        if dec == "open":
+            facilities.append(int(nodes.members[v][0]))
+            return
+        kind = dec[0]
+        if kind == "single":
+            _, committed, mix_idx, d_idx = dec
+            for c in kids:
+                if c == committed:
+                    walk(c, d_idx, "B")
+                else:
+                    walk(c, mix_idx, "A")
+        else:
+            _, pair, mix_idx = dec
+            for c in kids:
+                if c in pair:
+                    walk(c, mix_idx, "B")
+                else:
+                    walk(c, mix_idx, "A")
+
+    walk(0, inf_idx, "A")
+    return FacilityLocationResult(
+        cost=float(total), facilities=np.asarray(sorted(facilities), dtype=np.int64)
+    )
+
+
+def _dist_index(dist_values: Sequence[float], value: float) -> int:
+    """Index of ``value`` in the candidate distance list.
+
+    Every ``min(D, Dv)`` is itself a candidate: both arguments come from
+    the suffix-distance set.
+    """
+    for i, d in enumerate(dist_values):
+        if d == value:
+            return i
+    raise AssertionError("mixed distance not in candidate set")
+
+
+def facility_location_cost(
+    tree: HSTree, facilities: Sequence[int], facility_cost: float
+) -> float:
+    """Objective value of a given facility set under the tree metric."""
+    facilities = list(facilities)
+    require(len(facilities) >= 1, "need at least one facility")
+    from repro.tree.metric import tree_distances_from_point
+
+    dists = np.stack([tree_distances_from_point(tree, f) for f in facilities])
+    return float(len(facilities) * facility_cost + dists.min(axis=0).sum())

@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate --kind clusters --n 256 --d 8 --delta 1024 \
+        --seed 0 --out points.npy
+    python -m repro embed points.npy --backend sequential --r 2 --seed 1 \
+        --out tree.npz
+    python -m repro report tree.npz points.npy
+    python -m repro figure1 --out-dir figures/
+
+``embed`` stores the tree as an ``.npz`` of (label_matrix,
+level_weights); ``report`` recomputes domination/distortion from the
+stored tree against the point file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Massively parallel tree embeddings for high dimensional "
+            "spaces (SPAA 2023 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic point set (.npy)")
+    gen.add_argument("--kind", default="clusters",
+                     choices=["uniform", "clusters", "corners", "line", "circle"])
+    gen.add_argument("--n", type=int, default=256)
+    gen.add_argument("--d", type=int, default=8)
+    gen.add_argument("--delta", type=int, default=1024)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+
+    emb = sub.add_parser("embed", help="embed a point set into a tree (.npz)")
+    emb.add_argument("points", help="input .npy point file")
+    emb.add_argument("--backend", default="sequential",
+                     choices=["sequential", "mpc", "pipeline"])
+    emb.add_argument("--method", default="hybrid",
+                     choices=["hybrid", "ball", "grid"])
+    emb.add_argument("--r", type=int, default=None)
+    emb.add_argument("--seed", type=int, default=0)
+    emb.add_argument("--xi", type=float, default=0.3,
+                     help="JL distortion (pipeline backend)")
+    emb.add_argument("--out", required=True)
+
+    rep = sub.add_parser("report", help="distortion report for a stored tree")
+    rep.add_argument("tree", help="input .npz tree file")
+    rep.add_argument("points", help="the point file the tree embeds")
+
+    fig = sub.add_parser("figure1", help="render Figure 1 SVG panels")
+    fig.add_argument("--out-dir", default="figure1-output")
+    fig.add_argument("--n", type=int, default=180)
+    fig.add_argument("--w", type=float, default=4.0)
+    fig.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data import synthetic
+
+    makers = {
+        "uniform": lambda: synthetic.uniform_lattice(
+            args.n, args.d, args.delta, seed=args.seed, unique=True
+        ),
+        "clusters": lambda: synthetic.gaussian_clusters(
+            args.n, args.d, args.delta, seed=args.seed
+        ),
+        "corners": lambda: synthetic.hypercube_corners(
+            args.n, args.d, args.delta, seed=args.seed
+        ),
+        "line": lambda: synthetic.line_points(
+            args.n, args.d, args.delta, seed=args.seed
+        ),
+        "circle": lambda: synthetic.circle_points(
+            args.n, args.d, args.delta, seed=args.seed
+        ),
+    }
+    points = makers[args.kind]()
+    np.save(args.out, points)
+    print(f"wrote {points.shape[0]} x {points.shape[1]} points to {args.out}")
+    return 0
+
+
+def cmd_embed(args: argparse.Namespace) -> int:
+    from repro.core.embedding import embed
+
+    points = np.load(args.points)
+    kwargs = {}
+    if args.backend == "pipeline":
+        kwargs["xi"] = args.xi
+    if args.backend == "sequential":
+        kwargs["method"] = args.method
+    emb = embed(points, backend=args.backend, r=args.r, seed=args.seed, **kwargs)
+    np.savez(
+        args.out,
+        label_matrix=emb.tree.label_matrix,
+        level_weights=emb.tree.level_weights,
+    )
+    print(
+        f"embedded {emb.n} points: {emb.tree.num_levels} levels, "
+        f"backend={emb.backend}"
+    )
+    if emb.costs:
+        for stage, cost in emb.costs.items():
+            print(f"  costs[{stage}]: {cost}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.distortion import distortion_report
+    from repro.tree.hst import HSTree
+
+    data = np.load(args.tree)
+    points = np.load(args.points)
+    tree = HSTree(data["label_matrix"], data["level_weights"], points=points)
+    rep = distortion_report(tree, points)
+    for key, value in rep.as_dict().items():
+        print(f"{key:24s} {value:.6g}" if isinstance(value, float)
+              else f"{key:24s} {value}")
+    if rep.domination_min < 1.0:
+        print("WARNING: domination violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.viz.partitions import render_figure1
+
+    written = render_figure1(args.out_dir, n=args.n, w=args.w, seed=args.seed)
+    for name, path in written.items():
+        print(f"wrote {path}")
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "embed": cmd_embed,
+    "report": cmd_report,
+    "figure1": cmd_figure1,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The paper's main algorithms.
+
+* :mod:`~repro.core.params` — parameter selection rules (bucket count
+  ``r = Θ(log log n)``, grid budget U from Lemma 7, JL target dimension);
+* :mod:`~repro.core.sequential` — Algorithm 1, the sequential hybrid
+  partitioning tree embedding (Theorem 2);
+* :mod:`~repro.core.mpc_embedding` — Algorithm 2, the O(1)-round MPC
+  implementation;
+* :mod:`~repro.core.pipeline` — Theorem 1 end-to-end: MPC FJLT followed
+  by MPC hybrid partitioning;
+* :mod:`~repro.core.embedding` — the high-level ``embed()`` entry point
+  and the :class:`TreeEmbedding` result object;
+* :mod:`~repro.core.distortion` — empirical domination / distortion
+  measurement across embedding samples.
+"""
+
+from repro.core.distortion import DistortionReport, distortion_report, expected_distortion_report
+from repro.core.embedding import TreeEmbedding, embed
+from repro.core.mpc_embedding import MPCEmbeddingResult, mpc_tree_embedding
+from repro.core.params import (
+    default_num_buckets,
+    grid_budget,
+    theorem1_distortion_bound,
+    theorem2_distortion_bound,
+)
+from repro.core.pipeline import PipelineResult, theorem1_pipeline
+from repro.core.sequential import sequential_tree_embedding
+
+__all__ = [
+    "embed",
+    "TreeEmbedding",
+    "sequential_tree_embedding",
+    "mpc_tree_embedding",
+    "MPCEmbeddingResult",
+    "theorem1_pipeline",
+    "PipelineResult",
+    "distortion_report",
+    "expected_distortion_report",
+    "DistortionReport",
+    "default_num_buckets",
+    "grid_budget",
+    "theorem2_distortion_bound",
+    "theorem1_distortion_bound",
+]

@@ -1,0 +1,118 @@
+"""Empirical calibration of the constants hidden in the paper's bounds.
+
+Asymptotic statements fix shapes, not constants.  For a reproduction it
+is useful to know the constants this *implementation* realizes — both to
+sanity-check that one constant explains all parameter settings (if the
+fitted "constant" drifted with d or r, the claimed shape would be wrong)
+and to give users a predictive model:
+
+* :func:`calibrate_theorem2` — fit ``c`` in
+  ``E[distortion] ≈ c · sqrt(d r) · log2(Δ)`` over a (d, r) sweep;
+* :func:`calibrate_lemma1` — fit ``c`` in
+  ``Pr[separated] ≈ c · sqrt(d) · dist / w`` over distance/scale sweeps.
+
+Both report the per-case fitted constants and their dispersion; a small
+relative spread is the empirical signature that the functional form is
+right.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distortion import expected_distortion_report
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.partition.hybrid import hybrid_partition
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted constant plus the evidence behind it."""
+
+    constant: float
+    spread: float  # std / mean of per-case constants
+    per_case: Tuple[Tuple[Tuple, float], ...]  # ((params...), fitted c)
+
+    def predict(self, scale_term: float) -> float:
+        """Model prediction ``constant * scale_term``."""
+        return self.constant * scale_term
+
+
+def calibrate_theorem2(
+    *,
+    n: int = 64,
+    delta: int = 256,
+    cases: Sequence[Tuple[int, int]] = ((4, 2), (8, 2), (8, 4), (16, 4)),
+    samples: int = 6,
+    seed: SeedLike = 0,
+) -> CalibrationResult:
+    """Fit the Theorem 2 distortion constant over a (d, r) sweep.
+
+    Uses the *mean* expected stretch (stabler than the max) as the
+    response; the fitted form is ``c · sqrt(d r) · log2(Δ)``.
+    """
+    require(samples >= 1, "need at least one sample per case")
+    rng = as_generator(seed)
+    constants: List[Tuple[Tuple, float]] = []
+    for d, r in cases:
+        pts = uniform_lattice(n, d, delta, seed=rng, unique=True)
+        trees = [
+            sequential_tree_embedding(pts, r, seed=rng) for _ in range(samples)
+        ]
+        rep = expected_distortion_report(trees, pts)
+        scale_term = math.sqrt(d * r) * math.log2(delta)
+        constants.append(((d, r), rep.mean_expected_ratio / scale_term))
+
+    values = np.array([c for _, c in constants])
+    return CalibrationResult(
+        constant=float(values.mean()),
+        spread=float(values.std() / values.mean()),
+        per_case=tuple(constants),
+    )
+
+
+def calibrate_lemma1(
+    *,
+    d: int = 4,
+    w: float = 32.0,
+    gaps: Sequence[float] = (1.0, 2.0, 4.0),
+    r_values: Sequence[int] = (1, 2),
+    trials: int = 400,
+    seed: SeedLike = 0,
+) -> CalibrationResult:
+    """Fit the Lemma 1 separation constant over distance and r sweeps.
+
+    The fitted form is ``c · sqrt(d) · gap / w``; Lemma 1's r-freeness
+    means the per-case constants must agree across ``r_values`` too.
+    """
+    require(trials >= 10, "need a meaningful number of trials")
+    rng = as_generator(seed)
+    constants: List[Tuple[Tuple, float]] = []
+    for r in r_values:
+        for gap in gaps:
+            pts = np.vstack(
+                [np.zeros(d), np.full(d, gap / math.sqrt(d))]
+            )
+            cuts = 0
+            for _ in range(trials):
+                part = hybrid_partition(
+                    pts, w, r, seed=rng, on_uncovered="singleton"
+                )
+                cuts += int(part.labels[0] != part.labels[1])
+            freq = cuts / trials
+            scale_term = math.sqrt(d) * gap / w
+            constants.append(((r, gap), freq / scale_term))
+
+    values = np.array([c for _, c in constants])
+    return CalibrationResult(
+        constant=float(values.mean()),
+        spread=float(values.std() / max(values.mean(), 1e-12)),
+        per_case=tuple(constants),
+    )

@@ -1,0 +1,157 @@
+"""Empirical domination and distortion measurement.
+
+Theorem 2's guarantee is about the *expectation over trees*:
+``E_T[dist_T(p,q)] <= α ||p-q||`` with domination
+``dist_T(p,q) >= ||p-q||`` surely.  The empirical analogue over ``S``
+sampled trees:
+
+* domination ratio: ``min over pairs and trees of dist_T / ||.||``
+  (must be >= 1);
+* expected distortion: ``max over pairs of mean_T dist_T / ||.||``
+  (compared against the ``O(sqrt(d r) log Δ)`` bound);
+* per-tree worst distortion (the larger quantity a single sample gives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.geometry.metrics import pairwise_distances_condensed
+from repro.tree.hst import HSTree
+from repro.tree.metric import pairwise_tree_distances
+from repro.util.validation import check_points, require
+
+
+@dataclass(frozen=True)
+class DistortionReport:
+    """Summary statistics of one or more tree embeddings of a point set."""
+
+    num_trees: int
+    num_pairs: int
+    domination_min: float
+    expected_distortion: float
+    mean_expected_ratio: float
+    median_expected_ratio: float
+    p90_expected_ratio: float
+    worst_single_tree_distortion: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "trees": self.num_trees,
+            "pairs": self.num_pairs,
+            "domination_min": self.domination_min,
+            "expected_distortion": self.expected_distortion,
+            "mean_ratio": self.mean_expected_ratio,
+            "median_ratio": self.median_expected_ratio,
+            "p90_ratio": self.p90_expected_ratio,
+            "worst_single_tree": self.worst_single_tree_distortion,
+        }
+
+
+def _ratio_stats(trees: Sequence[HSTree], euclid: np.ndarray) -> DistortionReport:
+    positive = euclid > 0
+    require(bool(positive.any()), "all points coincide; distortion undefined")
+    denom = euclid[positive]
+
+    sum_ratios = np.zeros(denom.shape[0], dtype=np.float64)
+    domination_min = np.inf
+    worst_single = 0.0
+    for tree in trees:
+        td = pairwise_tree_distances(tree)[positive]
+        ratios = td / denom
+        domination_min = min(domination_min, float(ratios.min()))
+        worst_single = max(worst_single, float(ratios.max()))
+        sum_ratios += ratios
+    mean_ratios = sum_ratios / len(trees)
+
+    return DistortionReport(
+        num_trees=len(trees),
+        num_pairs=int(denom.shape[0]),
+        domination_min=float(domination_min),
+        expected_distortion=float(mean_ratios.max()),
+        mean_expected_ratio=float(mean_ratios.mean()),
+        median_expected_ratio=float(np.median(mean_ratios)),
+        p90_expected_ratio=float(np.quantile(mean_ratios, 0.9)),
+        worst_single_tree_distortion=worst_single,
+    )
+
+
+def distortion_report(tree: HSTree, points: np.ndarray) -> DistortionReport:
+    """Distortion of a single embedding sample."""
+    pts = check_points(points, min_points=2)
+    return _ratio_stats([tree], pairwise_distances_condensed(pts))
+
+
+def expected_distortion_report(
+    trees: Sequence[HSTree], points: np.ndarray
+) -> DistortionReport:
+    """Distortion of the *expected* tree metric over several samples.
+
+    This is the quantity Theorem 2 bounds; single-sample distortion is
+    generally a log-factor larger.
+    """
+    require(len(trees) >= 1, "need at least one tree")
+    pts = check_points(points, min_points=2)
+    return _ratio_stats(list(trees), pairwise_distances_condensed(pts))
+
+
+def distortion_by_distance_decile(
+    trees: Sequence[HSTree], points: np.ndarray, *, bins: int = 10
+) -> Dict[str, np.ndarray]:
+    """Mean expected stretch per true-distance decile.
+
+    Tree embeddings characteristically stretch *short* distances more
+    than long ones (a close pair separated at a high level pays the full
+    top scale).  This profile quantifies that shape: returns, per
+    distance bin (equal-count bins by true distance), the mean and max
+    of the expected ratio plus the bin's distance range.
+    """
+    require(len(trees) >= 1, "need at least one tree")
+    require(bins >= 1, "need at least one bin")
+    pts = check_points(points, min_points=2)
+    euclid = pairwise_distances_condensed(pts)
+    positive = euclid > 0
+    denom = euclid[positive]
+
+    mean_ratio = np.zeros(denom.shape[0])
+    for tree in trees:
+        mean_ratio += pairwise_tree_distances(tree)[positive] / denom
+    mean_ratio /= len(trees)
+
+    order = np.argsort(denom)
+    edges = np.linspace(0, order.shape[0], bins + 1).astype(int)
+    out = {
+        "bin_lo": np.empty(bins),
+        "bin_hi": np.empty(bins),
+        "mean_ratio": np.empty(bins),
+        "max_ratio": np.empty(bins),
+        "pairs": np.empty(bins, dtype=np.int64),
+    }
+    for b in range(bins):
+        idx = order[edges[b] : edges[b + 1]]
+        if idx.size == 0:
+            out["bin_lo"][b] = out["bin_hi"][b] = np.nan
+            out["mean_ratio"][b] = out["max_ratio"][b] = np.nan
+            out["pairs"][b] = 0
+            continue
+        out["bin_lo"][b] = denom[idx].min()
+        out["bin_hi"][b] = denom[idx].max()
+        out["mean_ratio"][b] = mean_ratio[idx].mean()
+        out["max_ratio"][b] = mean_ratio[idx].max()
+        out["pairs"][b] = idx.size
+    return out
+
+
+def sample_trees(
+    builder: Callable[[int], HSTree], num_samples: int, *, base_seed: int = 0
+) -> List[HSTree]:
+    """Draw ``num_samples`` embeddings via ``builder(seed)``.
+
+    Convenience for benchmarks: ``builder`` is typically a lambda closing
+    over points/parameters and forwarding the seed.
+    """
+    require(num_samples >= 1, "need at least one sample")
+    return [builder(base_seed + s) for s in range(num_samples)]

@@ -1,0 +1,162 @@
+"""The high-level public API: ``embed()`` and :class:`TreeEmbedding`.
+
+Most users want::
+
+    from repro import embed
+    emb = embed(points, seed=0)            # sequential hybrid embedding
+    emb.distance(3, 7)                     # tree distance between points
+    emb.pairwise()                         # condensed distance vector
+    emb.report()                           # domination / distortion stats
+
+    emb = embed(points, backend="mpc")     # Algorithm 2 on the simulator
+    emb = embed(points, backend="pipeline")  # Theorem 1: FJLT + hybrid
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.distortion import DistortionReport, distortion_report
+from repro.tree.hst import HSTree
+from repro.tree.metric import (
+    pairwise_tree_distances,
+    tree_distance,
+    tree_distances_from_point,
+)
+from repro.util.rng import SeedLike
+from repro.util.validation import check_points, require
+
+
+@dataclass
+class TreeEmbedding:
+    """A tree embedding of a point set, with its provenance.
+
+    Attributes
+    ----------
+    tree:
+        The underlying :class:`~repro.tree.hst.HSTree`.
+    points:
+        The embedded points (the metric the tree approximates).
+    backend, params:
+        How the tree was produced (for experiment bookkeeping).
+    costs:
+        MPC cost dictionaries when produced by a simulated-cluster
+        backend (empty for the sequential algorithm).
+    """
+
+    tree: HSTree
+    points: np.ndarray
+    backend: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    costs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    def distance(self, i: int, j: int) -> float:
+        """Tree-metric distance between points ``i`` and ``j``."""
+        return tree_distance(self.tree, i, j)
+
+    def pairwise(self) -> np.ndarray:
+        """All pairwise tree distances (condensed ``pdist`` order)."""
+        return pairwise_tree_distances(self.tree)
+
+    def distances_from(self, i: int) -> np.ndarray:
+        """Tree distances from point ``i`` to all points."""
+        return tree_distances_from_point(self.tree, i)
+
+    def report(self) -> DistortionReport:
+        """Domination / distortion statistics against the source points."""
+        return distortion_report(self.tree, self.points)
+
+    def to_networkx(self):
+        """The tree as a weighted networkx graph."""
+        return self.tree.to_networkx()
+
+
+def embed(
+    points: np.ndarray,
+    *,
+    backend: str = "sequential",
+    method: str = "hybrid",
+    r: Optional[int] = None,
+    seed: SeedLike = None,
+    **kwargs: Any,
+) -> TreeEmbedding:
+    """Embed a Euclidean point set into a tree metric.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array, ideally integer coordinates in ``[Δ]^d``.
+    backend:
+        * ``"sequential"`` — Algorithm 1 (Theorem 2); fastest, runs in
+          this process.
+        * ``"mpc"`` — Algorithm 2 on the MPC simulator with resource
+          enforcement (Theorem 1 without the JL step).
+        * ``"pipeline"`` — Theorem 1: MPC FJLT then MPC hybrid
+          partitioning; use for high-dimensional data.
+    method:
+        Partitioning family for the sequential backend: ``"hybrid"``
+        (default), ``"ball"``, or ``"grid"`` (the Arora baseline).
+    r:
+        Bucket count (default ``Θ(log log n)``).
+    kwargs:
+        Forwarded to the backend (``num_grids``, ``on_uncovered``,
+        ``delta_fail``, ``xi``, ``eps``, ...).
+
+    Returns a :class:`TreeEmbedding`.
+    """
+    pts = check_points(points)
+    require(
+        backend in ("sequential", "mpc", "pipeline"),
+        f"unknown backend {backend!r}; expected sequential | mpc | pipeline",
+    )
+
+    if backend == "sequential":
+        from repro.core.sequential import sequential_tree_embedding
+
+        tree = sequential_tree_embedding(pts, r, method=method, seed=seed, **kwargs)
+        return TreeEmbedding(
+            tree=tree,
+            points=pts,
+            backend=backend,
+            params={"method": method, "r": r, **kwargs},
+        )
+
+    if backend == "mpc":
+        from repro.core.mpc_embedding import mpc_tree_embedding
+
+        result = mpc_tree_embedding(pts, r, seed=seed, **kwargs)
+        return TreeEmbedding(
+            tree=result.tree,
+            points=pts,
+            backend=backend,
+            params={"r": result.r, "num_grids": result.num_grids, **kwargs},
+            costs={"embed": result.report.as_dict()},
+        )
+
+    from repro.core.pipeline import theorem1_pipeline
+
+    result = theorem1_pipeline(pts, r=r, seed=seed, **kwargs)
+    return TreeEmbedding(
+        tree=result.tree,
+        points=pts,
+        backend=backend,
+        params={
+            "r": result.r,
+            "xi": result.xi,
+            "jl_min_ratio": result.jl_min_ratio,
+            "jl_max_ratio": result.jl_max_ratio,
+            **kwargs,
+        },
+        costs={
+            "fjlt": result.fjlt_report.as_dict(),
+            "embed": result.embed_report.as_dict(),
+            "total_rounds": result.total_rounds,
+        },
+    )

@@ -1,0 +1,123 @@
+"""Tree ensembles: the expectation guarantee as a data structure.
+
+Theorem 2 bounds the *expected* tree distance over the random embedding,
+so a single sampled tree only enjoys the bound on average.  The standard
+way to consume such a guarantee (going back to Bartal's applications) is
+to sample ``S`` independent trees and combine them:
+
+* the **average** distance over trees concentrates around its
+  expectation, so ``ensemble.distance`` enjoys (up to sampling error)
+  the Theorem 2 distortion while still dominating the true metric
+  (every term dominates, hence so does the mean);
+* the **minimum** over trees is a sharper upper-bound estimate for any
+  single pair (still dominating), useful for nearest-neighbor style
+  queries where one good tree suffices.
+
+:class:`TreeEnsemble` wraps a list of HSTrees over the same points with
+vectorized mean/min distance queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tree.hst import HSTree
+from repro.tree.metric import pairwise_tree_distances, tree_distances_from_point
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_points, require
+
+
+@dataclass
+class TreeEnsemble:
+    """``S`` independent tree embeddings of one point set."""
+
+    trees: List[HSTree]
+    points: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        require(len(self.trees) >= 1, "ensemble needs at least one tree")
+        n = self.trees[0].n
+        require(
+            all(t.n == n for t in self.trees),
+            "all trees must embed the same number of points",
+        )
+
+    @property
+    def n(self) -> int:
+        return self.trees[0].n
+
+    @property
+    def size(self) -> int:
+        return len(self.trees)
+
+    # -- distances -----------------------------------------------------
+
+    def distance(self, i: int, j: int, *, mode: str = "mean") -> float:
+        """Ensemble distance between two points (``mean`` or ``min``)."""
+        from repro.tree.metric import tree_distance
+
+        values = np.array([tree_distance(t, i, j) for t in self.trees])
+        return float(self._combine(values[None, :], mode)[0])
+
+    def pairwise(self, *, mode: str = "mean") -> np.ndarray:
+        """All pairwise ensemble distances (condensed order)."""
+        stacked = np.stack([pairwise_tree_distances(t) for t in self.trees])
+        return self._combine(stacked.T, mode)
+
+    def distances_from(self, i: int, *, mode: str = "mean") -> np.ndarray:
+        """Ensemble distances from point ``i`` to everyone."""
+        stacked = np.stack(
+            [tree_distances_from_point(t, i) for t in self.trees]
+        )
+        return self._combine(stacked.T, mode)
+
+    def nearest(self, i: int, *, mode: str = "min") -> Tuple[int, float]:
+        """Ensemble nearest neighbor (default: best over trees)."""
+        dists = self.distances_from(i, mode=mode)
+        dists[i] = np.inf
+        j = int(np.argmin(dists))
+        return j, float(dists[j])
+
+    @staticmethod
+    def _combine(values: np.ndarray, mode: str) -> np.ndarray:
+        require(mode in ("mean", "min", "max"), f"unknown mode {mode!r}")
+        if mode == "mean":
+            return values.mean(axis=1)
+        if mode == "min":
+            return values.min(axis=1)
+        return values.max(axis=1)
+
+    # -- quality -----------------------------------------------------------
+
+    def report(self):
+        """Expected-distortion report (requires stored points)."""
+        require(self.points is not None, "ensemble has no stored points")
+        from repro.core.distortion import expected_distortion_report
+
+        return expected_distortion_report(self.trees, self.points)
+
+
+def build_ensemble(
+    points: np.ndarray,
+    num_trees: int,
+    *,
+    r: Optional[int] = None,
+    method: str = "hybrid",
+    seed: SeedLike = None,
+    **embed_kwargs,
+) -> TreeEnsemble:
+    """Sample ``num_trees`` independent embeddings of ``points``."""
+    pts = check_points(points)
+    require(num_trees >= 1, "num_trees must be >= 1")
+    from repro.core.sequential import sequential_tree_embedding
+
+    rng = as_generator(seed)
+    tree_rngs = spawn_many(rng, num_trees)
+    trees = [
+        sequential_tree_embedding(pts, r, method=method, seed=t_rng, **embed_kwargs)
+        for t_rng in tree_rngs
+    ]
+    return TreeEnsemble(trees, points=pts)

@@ -1,0 +1,82 @@
+"""Parameter selection rules from the paper.
+
+Central place for the constants that instantiate the asymptotic
+statements: bucket counts, grid budgets, level counts, and the distortion
+bounds the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.coverage import grids_for_hybrid
+from repro.util.validation import check_positive, require
+
+
+def default_num_buckets(
+    n: int, d: int, *, eps: float = 0.5, max_bucket_dim: int = 4
+) -> int:
+    """The paper's choice ``r = (2/eps) * log log n`` (Section 4), clipped.
+
+    Two practical adjustments to the asymptotic rule:
+
+    * clipped to ``[1, d]`` (with JL preprocessing ``d = O(log n)``, so
+      the clip only matters for tiny inputs);
+    * raised so that the bucket dimension ``k = d / r`` never exceeds
+      ``max_bucket_dim`` — Lemma 7's grid budget is
+      ``2^{O(k log k)}``, so k beyond ~5 is computationally infeasible at
+      any n this library targets.  Asymptotically
+      ``k = (eps/2) log n / log log n`` only dips below a constant for
+      astronomically large n; this cap is how the theory's "n large
+      enough" manifests at benchmark scale.
+    """
+    check_positive("n", n)
+    check_positive("d", d)
+    require(0 < eps < 1, f"eps must lie in (0,1), got {eps}")
+    require(max_bucket_dim >= 1, "max_bucket_dim must be >= 1")
+    loglog = math.log(max(math.log(max(n, 3)), math.e))
+    r = int(math.ceil((2.0 / eps) * loglog))
+    r = max(r, -(-d // max_bucket_dim))
+    return max(1, min(d, r))
+
+
+def grid_budget(
+    d: int, r: int, *, n: int, num_levels: int, delta_fail: float = 1e-6
+) -> int:
+    """Lemma 7's U for the whole hierarchy (all points, buckets, levels)."""
+    k = max(1, -(-d // r))
+    return grids_for_hybrid(k, r, num_levels, n, delta_fail)
+
+
+def num_levels_for(delta: float, *, r: int = 1) -> int:
+    """Level count ``O(log Δ + log r)`` of the halving schedule."""
+    require(delta >= 1, f"aspect ratio must be >= 1, got {delta}")
+    return int(math.ceil(math.log2(max(delta, 2)))) + int(
+        math.ceil(math.log2(max(r, 2)))
+    ) + 2
+
+
+def theorem2_distortion_bound(d: int, r: int, delta: float, *, c: float = 8.0) -> float:
+    """Theorem 2's expected distortion ``O(sqrt(d r) log Δ)`` with constant c."""
+    check_positive("d", d)
+    check_positive("r", r)
+    return c * math.sqrt(d * r) * max(1.0, math.log2(max(delta, 2)))
+
+
+def theorem1_distortion_bound(n: int, delta: float, *, c: float = 8.0) -> float:
+    """Theorem 1: ``O(sqrt(log n) * log Δ * sqrt(log log n))``."""
+    check_positive("n", n)
+    log_n = math.log2(max(n, 4))
+    loglog_n = math.log2(max(math.log2(max(n, 4)), 2.0))
+    return c * math.sqrt(log_n) * max(1.0, math.log2(max(delta, 2))) * math.sqrt(loglog_n)
+
+
+def grid_partition_distortion_bound(d: int, delta: float, *, c: float = 8.0) -> float:
+    """Arora's grid baseline: ``O(d^0.5 * sqrt(d) ... )`` — effectively
+    ``O(d log Δ)`` expected distortion (``log² n`` after JL).
+
+    Per level, separation probability is ``O(sqrt(d) D / w)`` and cell
+    diameter is ``w sqrt(d)``, giving ``O(d)`` per level and ``O(d logΔ)``
+    over the hierarchy.
+    """
+    return c * d * max(1.0, math.log2(max(delta, 2)))

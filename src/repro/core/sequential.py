@@ -1,0 +1,129 @@
+"""Algorithm 1: the sequential hybrid-partitioning tree embedding.
+
+Builds the hierarchy top-down: starting at scale ``w_1`` with
+``2 sqrt(r) w_1 >= diameter(P)`` and halving per level, draw one global
+``r``-hybrid partitioning per level and take cumulative refinements
+(equivalent to recursing into each part, because the partitions are
+induced by globally shared grids — the same equivalence Algorithm 2's
+path construction uses).  Edge weights are the per-part diameter bound
+``2 sqrt(r) w`` (for grid mode, ``sqrt(d) w``), which makes domination a
+*deterministic* guarantee (Lemma 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.aspect import pairwise_extremes
+from repro.partition.base import FlatPartition, refine
+from repro.partition.grid_partition import grid_partition
+from repro.partition.hybrid import hybrid_partition
+from repro.tree.build import build_hst, level_schedule
+from repro.tree.hst import HSTree
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_points, require
+
+
+def sequential_tree_embedding(
+    points: np.ndarray,
+    r: Optional[int] = None,
+    *,
+    method: str = "hybrid",
+    num_grids: Optional[int] = None,
+    cell_factor: float = 4.0,
+    on_uncovered: str = "singleton",
+    delta_fail: float = 1e-6,
+    min_separation: Optional[float] = None,
+    max_levels: int = 64,
+    seed: SeedLike = None,
+) -> HSTree:
+    """Embed ``points`` into a tree metric (Theorem 2).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array; the paper assumes integer coordinates in
+        ``[Δ]^d`` but any finite reals work (``min_separation`` then
+        controls the recursion depth).
+    r:
+        Number of dimension buckets, ``1 <= r <= d``.  ``r=1`` is pure
+        ball partitioning; ``r=d`` is (up to ball/cell ratio) grid
+        partitioning.  Default: ``r = Θ(log log n)``, the paper's MPC
+        choice.
+    method:
+        ``"hybrid"`` (Definition 3, the default), ``"ball"`` (forces
+        ``r=1``), or ``"grid"`` (Arora's baseline — ``r`` ignored).
+    num_grids:
+        Grid budget U per bucket per level (default: Lemma 7).
+    on_uncovered:
+        ``"singleton"`` (sequential fallback of Section 3, default here)
+        or ``"error"`` (Algorithm 1's "halt and report failure").
+    min_separation:
+        Distance below which points may share a leaf-adjacent cluster;
+        default: the actual minimum pairwise distance (1 for lattice
+        data).
+    seed:
+        Randomness; one embedding per seed — average several for the
+        expected-distortion guarantee.
+
+    Returns the :class:`~repro.tree.hst.HSTree`; wrap with
+    :func:`repro.core.embedding.embed` for the friendlier result object.
+    """
+    pts = check_points(points, min_points=1)
+    n, d = pts.shape
+    require(method in ("hybrid", "ball", "grid"), f"unknown method {method!r}")
+
+    if method == "ball":
+        r = 1
+    elif method == "grid":
+        r = d
+    elif r is None:
+        from repro.core.params import default_num_buckets
+
+        r = default_num_buckets(n, d)
+    require(1 <= r <= d, f"r must lie in [1, {d}], got {r}")
+
+    if n == 1 or (pts == pts[0]).all():
+        # Degenerate tree: root with one leaf holding all (identical)
+        # points — every tree distance is 0, matching the metric.
+        label_matrix = np.zeros((2, n), dtype=np.int64)
+        return HSTree(label_matrix, np.array([1.0]), points=pts)
+
+    dmin, dmax = pairwise_extremes(pts)
+    sep = min_separation if min_separation is not None else dmin
+    require(sep > 0, "min_separation must be positive")
+
+    scales, _ = level_schedule(dmax, min_separation=sep, r=r)
+    scales = scales[:max_levels]
+    rng = as_generator(seed)
+    level_rngs = spawn_many(rng, len(scales))
+
+    chain: List[FlatPartition] = []
+    weights: List[float] = []
+    current = FlatPartition.trivial(n)
+    weight_factor = math.sqrt(d) if method == "grid" else 2.0 * math.sqrt(r)
+
+    for w, level_rng in zip(scales, level_rngs):
+        if method == "grid":
+            flat = grid_partition(pts, w, seed=level_rng)
+        else:
+            flat = hybrid_partition(
+                pts,
+                w,
+                r,
+                num_grids=num_grids,
+                cell_factor=cell_factor,
+                on_uncovered=on_uncovered,
+                delta_fail=delta_fail / max(1, len(scales)),
+                seed=level_rng,
+            )
+        current = refine(current, flat, scale=w)
+        chain.append(current)
+        weights.append(weight_factor * w)
+        if current.is_singletons():
+            break
+
+    return build_hst(chain, weights, points=pts, already_refined=True)

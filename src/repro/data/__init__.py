@@ -1,0 +1,36 @@
+"""Synthetic workload generators.
+
+The paper proves worst-case bounds for *any* point set ``P ⊆ [Δ]^d``, so
+reproduction experiments use controllable synthetic data: uniform lattice
+points, Gaussian cluster mixtures, hypercube corners, and adversarial
+shapes (lines, circles) that stress tree embeddings.  The generators
+always return integer-valued coordinates inside ``[1, Δ]^d`` (the paper's
+WLOG normalization) as float64 arrays.
+"""
+
+from repro.data.aspect import aspect_ratio, normalize_to_lattice
+from repro.data.emd_instances import (
+    matched_pair_instance,
+    shifted_cloud_instance,
+    two_cluster_instance,
+)
+from repro.data.synthetic import (
+    circle_points,
+    gaussian_clusters,
+    hypercube_corners,
+    line_points,
+    uniform_lattice,
+)
+
+__all__ = [
+    "uniform_lattice",
+    "gaussian_clusters",
+    "hypercube_corners",
+    "line_points",
+    "circle_points",
+    "aspect_ratio",
+    "normalize_to_lattice",
+    "matched_pair_instance",
+    "shifted_cloud_instance",
+    "two_cluster_instance",
+]

@@ -1,0 +1,82 @@
+"""Generators mimicking learned-representation workloads.
+
+The paper motivates tree embeddings with "massive high-dimensional
+data"; in practice that usually means learned vector representations,
+whose hallmark is low intrinsic dimension inside a high ambient
+dimension with heavy-tailed cluster sizes.  These generators produce
+that structure synthetically:
+
+* :func:`low_rank_cloud` — points on a random r-dimensional subspace
+  plus small ambient noise (the classic spectral decay shape);
+* :func:`topic_model_cloud` — convex mixtures of a few "topic"
+  directions with Zipfian topic popularity — heavy-tailed cluster
+  sizes, the regime where densest-ball/k-median structure is
+  interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_positive, require
+
+
+def low_rank_cloud(
+    n: int,
+    d: int,
+    delta: int,
+    *,
+    intrinsic_dim: int = 4,
+    noise: float = 0.005,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Points near a random ``intrinsic_dim``-dimensional subspace.
+
+    Coordinates land on the integer lattice ``[1, Δ]^d``.  After JL (or
+    directly), the pairwise structure is governed by the low-dimensional
+    factor — the friendliest realistic case for tree embeddings.
+    """
+    check_positive("n", n)
+    require(1 <= intrinsic_dim <= d, "intrinsic_dim must lie in [1, d]")
+    rng = as_generator(seed)
+    basis = np.linalg.qr(rng.normal(size=(d, intrinsic_dim)))[0]
+    factors = rng.normal(size=(n, intrinsic_dim))
+    pts = factors @ basis.T
+    pts += rng.normal(0, noise * np.abs(pts).max(), size=pts.shape)
+    lo, hi = pts.min(), pts.max()
+    scaled = 1 + (pts - lo) / max(hi - lo, 1e-12) * (delta - 1)
+    return np.rint(scaled).astype(np.float64)
+
+
+def topic_model_cloud(
+    n: int,
+    d: int,
+    delta: int,
+    *,
+    topics: int = 8,
+    zipf_s: float = 1.5,
+    spread: float = 0.02,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Zipf-weighted topic mixture: heavy-tailed cluster sizes.
+
+    Returns ``(points, topic_labels)``.  Topic ``t`` is sampled with
+    probability ∝ ``1 / (t+1)^zipf_s`` — a few huge clusters and a long
+    tail of small ones.
+    """
+    check_positive("n", n)
+    check_positive("topics", topics)
+    require(zipf_s > 0, "zipf_s must be positive")
+    rng = as_generator(seed)
+    r_centers, r_labels, r_noise = spawn_many(rng, 3)
+
+    weights = 1.0 / np.arange(1, topics + 1) ** zipf_s
+    weights /= weights.sum()
+    labels = r_labels.choice(topics, size=n, p=weights)
+    centers = r_centers.uniform(0.15 * delta, 0.85 * delta, size=(topics, d))
+    pts = centers[labels] + r_noise.normal(0, spread * delta, size=(n, d))
+    pts = np.clip(np.rint(pts), 1, delta)
+    return pts.astype(np.float64), labels.astype(np.int64)

@@ -1,0 +1,140 @@
+"""Synthetic point-set generators on the integer lattice ``[1, Δ]^d``.
+
+All generators:
+
+* take ``seed`` (anything :func:`repro.util.rng.as_generator` accepts),
+* return a float64 array of shape ``(n, d)`` whose entries are integers
+  in ``[1, Δ]``,
+* deduplicate only when asked (``unique=True``) — the paper assumes
+  distinct points when talking about aspect ratio, but algorithms must
+  tolerate duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive, require
+
+
+def _clip_lattice(points: np.ndarray, delta: int) -> np.ndarray:
+    """Round to integers and clip into ``[1, delta]``."""
+    return np.clip(np.rint(points), 1, delta).astype(np.float64)
+
+
+def _maybe_unique(points: np.ndarray, unique: bool, rng: np.random.Generator,
+                  delta: int) -> np.ndarray:
+    """Optionally resample collisions until all rows are distinct."""
+    if not unique:
+        return points
+    n, d = points.shape
+    require(
+        delta**d >= n,
+        f"cannot place {n} distinct points in a lattice of {delta}^{d} cells",
+    )
+    for _ in range(64):
+        _, first = np.unique(points, axis=0, return_index=True)
+        if len(first) == n:
+            return points
+        dup_mask = np.ones(n, dtype=bool)
+        dup_mask[first] = False
+        points[dup_mask] = rng.integers(1, delta + 1, size=(dup_mask.sum(), d))
+    raise RuntimeError("failed to deduplicate points after 64 resampling passes")
+
+
+def uniform_lattice(
+    n: int, d: int, delta: int, *, seed: SeedLike = None, unique: bool = False
+) -> np.ndarray:
+    """``n`` points uniform over the lattice ``[1, Δ]^d``."""
+    check_positive("n", n)
+    check_positive("d", d)
+    check_positive("delta", delta)
+    rng = as_generator(seed)
+    pts = rng.integers(1, delta + 1, size=(n, d)).astype(np.float64)
+    return _maybe_unique(pts, unique, rng, delta)
+
+
+def gaussian_clusters(
+    n: int,
+    d: int,
+    delta: int,
+    *,
+    clusters: int = 4,
+    spread: float = 0.02,
+    seed: SeedLike = None,
+    unique: bool = False,
+) -> np.ndarray:
+    """Mixture of ``clusters`` spherical Gaussians with std ``spread * Δ``.
+
+    The canonical "realistic" workload: most pairwise distances are
+    either intra-cluster (small) or inter-cluster (large), which is where
+    tree embeddings shine and where MST/densest-ball experiments have
+    interesting structure.
+    """
+    check_positive("n", n)
+    check_positive("clusters", clusters)
+    require(0 < spread < 1, f"spread must lie in (0, 1), got {spread}")
+    rng = as_generator(seed)
+    centers = rng.uniform(0.2 * delta, 0.8 * delta, size=(clusters, d))
+    labels = rng.integers(0, clusters, size=n)
+    pts = centers[labels] + rng.normal(0.0, spread * delta, size=(n, d))
+    return _maybe_unique(_clip_lattice(pts, delta), unique, rng, delta)
+
+
+def hypercube_corners(
+    n: int, d: int, delta: int, *, jitter: float = 0.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Points at (a sample of) the corners ``{1, Δ}^d``, optionally jittered.
+
+    Maximizes spread in every dimension; a stress test for bucketed ball
+    partitioning because every bucket sees widely separated projections.
+    """
+    check_positive("n", n)
+    rng = as_generator(seed)
+    corners = rng.integers(0, 2, size=(n, d)).astype(np.float64)
+    pts = 1.0 + corners * (delta - 1)
+    if jitter > 0:
+        pts = pts + rng.normal(0.0, jitter * delta, size=(n, d))
+    return _clip_lattice(pts, delta)
+
+
+def line_points(
+    n: int, d: int, delta: int, *, seed: SeedLike = None, noise: float = 0.0
+) -> np.ndarray:
+    """Evenly spaced points along a random direction through the box.
+
+    Low intrinsic dimension embedded in high ambient dimension — the
+    regime where JL preprocessing leaves structure fully intact.
+    """
+    check_positive("n", n)
+    rng = as_generator(seed)
+    direction = rng.normal(size=d)
+    direction /= np.linalg.norm(direction)
+    t = np.linspace(-0.5, 0.5, n)[:, None]
+    center = np.full(d, (delta + 1) / 2.0)
+    pts = center + t * direction * (delta - 1) / np.sqrt(d)
+    if noise > 0:
+        pts = pts + rng.normal(0.0, noise * delta, size=(n, d))
+    return _clip_lattice(pts, delta)
+
+
+def circle_points(
+    n: int, d: int, delta: int, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Points on a random 2-plane circle inside the box.
+
+    The classic hard instance for *deterministic* tree embedding
+    (Rabinovich–Raz); probabilistic embeddings must handle it gracefully,
+    which the distortion benchmarks verify.
+    """
+    check_positive("n", n)
+    require(d >= 2, "circle_points needs d >= 2")
+    rng = as_generator(seed)
+    basis = np.linalg.qr(rng.normal(size=(d, 2)))[0]  # orthonormal 2-plane
+    theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    plane = np.stack([np.cos(theta), np.sin(theta)], axis=1)
+    center = np.full(d, (delta + 1) / 2.0)
+    radius = 0.4 * (delta - 1)
+    pts = center + radius * plane @ basis.T
+    return _clip_lattice(pts, delta)

@@ -1,0 +1,41 @@
+"""Geometric primitives backing the partitioning analysis.
+
+* :mod:`~repro.geometry.metrics` — vectorized distance and diameter
+  computations used everywhere;
+* :mod:`~repro.geometry.caps` — the sphere/ball slab probabilities of
+  Lemmas 4 and 5 (both closed-form and Monte Carlo);
+* :mod:`~repro.geometry.coverage` — the grid-of-balls coverage counts of
+  Lemmas 6 and 7;
+* :mod:`~repro.geometry.boxes` — bounding-box helpers.
+"""
+
+from repro.geometry.boxes import BoundingBox
+from repro.geometry.caps import (
+    ball_slab_probability,
+    sample_unit_ball,
+    sample_unit_sphere,
+    slab_probability_bound,
+    sphere_slab_probability,
+)
+from repro.geometry.coverage import coverage_failure_rate, grids_needed_to_cover
+from repro.geometry.metrics import (
+    diameter,
+    pairwise_distances,
+    pairwise_distances_condensed,
+    squared_distances_to,
+)
+
+__all__ = [
+    "BoundingBox",
+    "pairwise_distances",
+    "pairwise_distances_condensed",
+    "squared_distances_to",
+    "diameter",
+    "sphere_slab_probability",
+    "ball_slab_probability",
+    "slab_probability_bound",
+    "sample_unit_sphere",
+    "sample_unit_ball",
+    "grids_needed_to_cover",
+    "coverage_failure_rate",
+]

@@ -1,0 +1,63 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_points
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box ``[lo_i, hi_i]`` per dimension."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError("lo and hi must be 1-D arrays of equal length")
+        if np.any(hi < lo):
+            raise ValueError("box has hi < lo in some dimension")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "BoundingBox":
+        pts = check_points(points)
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @classmethod
+    def lattice(cls, d: int, delta: float) -> "BoundingBox":
+        """The paper's canonical box ``[1, Δ]^d``."""
+        return cls(np.ones(d), np.full(d, float(delta)))
+
+    @property
+    def dims(self) -> int:
+        return self.lo.shape[0]
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def width(self) -> float:
+        """Maximum side length (the Δ driving the level schedule)."""
+        return float(self.widths.max())
+
+    @property
+    def diagonal(self) -> float:
+        return float(np.linalg.norm(self.widths))
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows inside the (closed) box."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.all((pts >= self.lo) & (pts <= self.hi), axis=1)
+
+    def project(self, dims: np.ndarray) -> "BoundingBox":
+        """Restrict the box to a subset of dimensions (bucketing)."""
+        return BoundingBox(self.lo[dims], self.hi[dims])

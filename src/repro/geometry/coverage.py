@@ -1,0 +1,140 @@
+"""Grid-of-balls coverage counts (Lemmas 6 and 7).
+
+Ball partitioning lays balls of radius ``w`` at the vertices of a grid of
+cell length ``4w`` and redraws random shifts until every point is
+covered.  A fixed point is covered by one random shift with probability
+
+    q_k = vol(B_k(w)) / (4 w)^k = vol(B_k(1)) / 4^k,
+
+which shrinks like ``2^{-Theta(k log k)}`` in the bucket dimension ``k``
+— the quantitative reason the paper must keep buckets small
+(``k = d/r = O(log n / log log n)``) and why Lemma 7 sets
+
+    U = 2^{O((d/r) log(d/r))} * log(r * logΔ / δ).
+
+This module provides the exact per-grid probability, the induced formula
+for the number of grids U, and empirical measurement of both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_points, check_positive, require
+
+
+def unit_ball_volume(k: int) -> float:
+    """Volume of the unit Euclidean ball in R^k."""
+    require(k >= 1, f"dimension must be >= 1, got {k}")
+    return math.pi ** (k / 2.0) / math.gamma(k / 2.0 + 1.0)
+
+
+def single_grid_cover_probability(k: int) -> float:
+    """Probability one random shifted grid of balls covers a fixed point.
+
+    Independent of the radius ``w`` (the ball and the cell scale
+    together): ``vol(B_k(1)) / 4^k``.
+    """
+    return unit_ball_volume(k) / (4.0**k)
+
+
+def grids_for_failure_probability(k: int, delta_fail: float) -> int:
+    """Number of i.i.d. grids so a fixed point stays uncovered w.p. <= δ.
+
+    ``(1 - q_k)^U <= δ`` gives ``U >= log(1/δ) / -log(1 - q_k)``; this is
+    the exact form of Lemma 6's ``2^{O(k log k)} log(1/δ)``.
+    """
+    require(0 < delta_fail < 1, f"delta_fail must lie in (0,1), got {delta_fail}")
+    q = single_grid_cover_probability(k)
+    return max(1, int(math.ceil(math.log(1.0 / delta_fail) / -math.log1p(-q))))
+
+
+def grids_for_hybrid(
+    k: int, r: int, num_levels: int, n: int, delta_fail: float
+) -> int:
+    """Lemma 7's U: cover every point, bucket, and level simultaneously.
+
+    Union bound over ``n`` points x ``r`` buckets x ``num_levels`` levels:
+    per-event failure budget ``δ / (n r L)``.
+    """
+    check_positive("r", r)
+    check_positive("num_levels", num_levels)
+    check_positive("n", n)
+    events = max(1, n * r * num_levels)
+    return grids_for_failure_probability(k, delta_fail / events)
+
+
+def grids_needed_to_cover(
+    points: np.ndarray,
+    w: float,
+    *,
+    seed: SeedLike = None,
+    max_grids: Optional[int] = None,
+) -> int:
+    """Empirically draw random shifted ball grids until all points covered.
+
+    Returns the number of grids used; raises ``RuntimeError`` if
+    ``max_grids`` is exhausted first.  This is the Monte Carlo measurement
+    benchmarked against :func:`grids_for_failure_probability`.
+    """
+    pts = check_points(points)
+    check_positive("w", w)
+    rng = as_generator(seed)
+    k = pts.shape[1]
+    cell = 4.0 * w
+    uncovered = np.ones(pts.shape[0], dtype=bool)
+    count = 0
+    limit = max_grids if max_grids is not None else 64 * grids_for_failure_probability(
+        k, 1e-3 / max(1, pts.shape[0])
+    )
+    while uncovered.any():
+        if count >= limit:
+            raise RuntimeError(
+                f"failed to cover {int(uncovered.sum())} points after {count} grids"
+            )
+        shift = rng.uniform(0.0, cell, size=k)
+        rel = pts[uncovered] - shift
+        nearest = np.rint(rel / cell) * cell
+        dist2 = np.einsum("ij,ij->i", rel - nearest, rel - nearest)
+        newly = dist2 <= w * w
+        idx = np.flatnonzero(uncovered)
+        uncovered[idx[newly]] = False
+        count += 1
+    return count
+
+
+def coverage_failure_rate(
+    k: int,
+    num_grids: int,
+    *,
+    trials: int = 1000,
+    seed: SeedLike = None,
+) -> float:
+    """Monte Carlo estimate of ``(1 - q_k)^U``: one fixed point per trial.
+
+    Each trial draws its *own* independent sequence of ``num_grids``
+    shifts (sharing shifts across trials would correlate them and blow up
+    the estimator's variance).  By shift-invariance the probed point can
+    sit at the origin.
+    """
+    check_positive("num_grids", num_grids)
+    rng = as_generator(seed)
+    w = 1.0
+    cell = 4.0 * w
+    covered = np.zeros(trials, dtype=bool)
+    for _ in range(num_grids):
+        live = ~covered
+        if not live.any():
+            break
+        shifts = rng.uniform(0.0, cell, size=(int(live.sum()), k))
+        # Point at the origin: relative position is -shift.
+        rel = -shifts
+        nearest = np.rint(rel / cell) * cell
+        dist2 = np.einsum("ij,ij->i", rel - nearest, rel - nearest)
+        idx = np.flatnonzero(live)
+        covered[idx[dist2 <= w * w]] = True
+    return float(1.0 - covered.mean())

@@ -1,0 +1,27 @@
+"""Johnson–Lindenstrauss transforms, sequential and massively parallel.
+
+* :mod:`~repro.jl.hadamard` — the fast Walsh–Hadamard transform ``H``
+  (the (Z/2)^t discrete Fourier transform the FJLT rotates with);
+* :mod:`~repro.jl.dense` — the classic dense Gaussian JL baseline whose
+  extra ``log n`` total-space factor Section 5 of the paper shaves off;
+* :mod:`~repro.jl.fjlt` — Ailon–Chazelle's ``φ(x) = k^{-1/2} P H D x``;
+* :mod:`~repro.jl.mpc_fjlt` — Theorem 3's O(1)-round MPC evaluation,
+  including the blocked-butterfly distributed Hadamard used when single
+  points exceed local memory.
+"""
+
+from repro.jl.dense import GaussianJL
+from repro.jl.fjlt import FJLT, target_dimension
+from repro.jl.hadamard import fwht, hadamard_matrix, next_power_of_two
+from repro.jl.mpc_fjlt import mpc_blocked_fwht, mpc_fjlt
+
+__all__ = [
+    "FJLT",
+    "GaussianJL",
+    "target_dimension",
+    "fwht",
+    "hadamard_matrix",
+    "next_power_of_two",
+    "mpc_fjlt",
+    "mpc_blocked_fwht",
+]

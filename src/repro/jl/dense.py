@@ -1,0 +1,54 @@
+"""Classic dense Gaussian Johnson–Lindenstrauss baseline.
+
+``φ(x) = k^{-1/2} R x`` with ``R`` a dense ``k x d`` i.i.d. standard
+Gaussian matrix.  Applying it to ``n`` points is a general matrix
+multiplication, which in MPC costs ``O(n d k) = O(n d log n)`` total
+space to do in constant rounds — the factor Section 5 of the paper
+removes with the FJLT.  We keep the dense transform as (a) the
+correctness baseline for FJLT's distance preservation and (b) the
+comparison arm of the total-space benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_points, check_positive
+
+
+class GaussianJL:
+    """Dense Gaussian JL transform ``R^d -> R^k``.
+
+    Parameters
+    ----------
+    d, k:
+        Input and output dimensions.
+    seed:
+        Randomness for the projection matrix.
+    """
+
+    def __init__(self, d: int, k: int, *, seed: SeedLike = None):
+        check_positive("d", d)
+        check_positive("k", k)
+        self.d = d
+        self.k = k
+        rng = as_generator(seed)
+        self._matrix = rng.normal(size=(k, d)) / np.sqrt(k)
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        """Project an ``(n, d)`` point set to ``(n, k)``."""
+        pts = check_points(points, dims=self.d)
+        return pts @ self._matrix.T
+
+    def total_space_words(self, n: int) -> int:
+        """MPC total-space cost of the dense transform: O(n d k).
+
+        Constant-round dense matrix multiplication replicates one operand
+        across the partitioning of the other, so the intermediate volume
+        is the full n*d*k products (before reduction).
+        """
+        return n * self.d * self.k
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GaussianJL(d={self.d}, k={self.k})"

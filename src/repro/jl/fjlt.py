@@ -1,0 +1,138 @@
+"""Ailon–Chazelle's Fast Johnson–Lindenstrauss Transform (sequential).
+
+``φ(x) = k^{-1/2} · P · H · D · x`` with
+
+* ``D`` — random ±1 diagonal (d x d),
+* ``H`` — normalized Walsh–Hadamard (the FWHT; d padded to a power of
+  two — zero padding preserves distances),
+* ``P`` — sparse k x d matrix whose entries are 0 with probability
+  ``1 - q`` and ``N(0, 1/q)`` otherwise, with sparsity
+  ``q = min(Θ(log² n / d), 1)``.
+
+Normalization: ``H D`` is orthogonal, so ``‖HDx‖ = ‖x‖``; each row of
+``P`` satisfies ``E[(P_i · y)²] = ‖y‖²``, hence dividing by ``√k`` makes
+``E‖φ(x)‖² = ‖x‖²`` exactly, and concentration gives the ``(1 ± ξ)``
+guarantee of Theorem 3 for ``k = Θ(ξ^{-2} log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.jl.hadamard import fwht, next_power_of_two, pad_to_power_of_two
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_points, check_positive, require
+
+
+def target_dimension(n: int, xi: float, *, c: float = 2.0) -> int:
+    """Embedding dimension ``k = ceil(c ξ^{-2} ln n)`` of Theorem 3.
+
+    ``c = 2`` keeps the failure probability across all ``n²`` pairs small
+    in practice for the sizes our benchmarks use; the theorem's constant
+    is unspecified, so benchmarks verify the (1±ξ) *shape*, not c.
+    """
+    check_positive("n", n)
+    require(0 < xi < 0.5, f"xi must lie in (0, 0.5) per Theorem 3, got {xi}")
+    return max(1, int(math.ceil(c * math.log(max(n, 2)) / (xi * xi))))
+
+
+def sparsity_parameter(n: int, d_padded: int, *, c: float = 1.0) -> float:
+    """FJLT sparsity ``q = min(c log² n / d, 1)`` (paper, Section 5)."""
+    check_positive("n", n)
+    check_positive("d_padded", d_padded)
+    q = c * (math.log(max(n, 2)) ** 2) / d_padded
+    return float(min(1.0, max(q, 1e-12)))
+
+
+class FJLT:
+    """The FJLT ``φ : R^d -> R^k`` as a reusable transform object.
+
+    One instance fixes the random ``D`` and ``P``; calling it on any
+    point set applies the same map, so distances between points embedded
+    by the same instance are comparable (as the tree-embedding pipeline
+    requires).
+
+    Parameters
+    ----------
+    d:
+        Input dimensionality.
+    n:
+        Number of points the guarantee must cover (sets ``k`` and ``q``).
+    xi:
+        Distortion parameter in ``(0, 0.5)``.
+    k:
+        Override the output dimension (default :func:`target_dimension`).
+    q:
+        Override the sparsity (default :func:`sparsity_parameter`).
+    """
+
+    def __init__(
+        self,
+        d: int,
+        n: int,
+        *,
+        xi: float = 0.4,
+        k: Optional[int] = None,
+        q: Optional[float] = None,
+        seed: SeedLike = None,
+    ):
+        check_positive("d", d)
+        check_positive("n", n)
+        self.d = d
+        self.n = n
+        self.xi = xi
+        self.d_padded = next_power_of_two(d)
+        self.k = k if k is not None else target_dimension(n, xi)
+        self.q = q if q is not None else sparsity_parameter(n, self.d_padded)
+        require(0 < self.q <= 1, f"q must lie in (0, 1], got {self.q}")
+        check_positive("k", self.k)
+
+        rng = as_generator(seed)
+        r_signs, r_sparse = spawn_many(rng, 2)
+        self.signs = r_signs.choice(np.array([-1.0, 1.0]), size=self.d_padded)
+        self.projection = self._sample_projection(r_sparse)
+
+    def _sample_projection(self, rng: np.random.Generator) -> sparse.csr_matrix:
+        """Sample the sparse Gaussian ``P`` (k x d_padded, CSR)."""
+        nnz_mask_counts = rng.binomial(self.d_padded, self.q, size=self.k)
+        rows = np.repeat(np.arange(self.k), nnz_mask_counts)
+        cols = np.concatenate(
+            [
+                rng.choice(self.d_padded, size=c, replace=False)
+                for c in nnz_mask_counts
+            ]
+        ) if nnz_mask_counts.sum() else np.empty(0, dtype=np.int64)
+        values = rng.normal(0.0, 1.0 / math.sqrt(self.q), size=rows.shape[0])
+        return sparse.csr_matrix(
+            (values, (rows, cols)), shape=(self.k, self.d_padded)
+        )
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzeros in ``P`` (Theorem 3's |P| ~ Binom(dk, q))."""
+        return int(self.projection.nnz)
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        """Apply ``φ`` to an ``(n, d)`` point set, returning ``(n, k)``."""
+        pts = check_points(points, dims=self.d)
+        padded = pad_to_power_of_two(pts) if self.d_padded != self.d else pts
+        mixed = fwht(padded * self.signs, axis=1)  # D then H, orthogonal
+        return (self.projection @ mixed.T).T / math.sqrt(self.k)
+
+    def total_space_words(self, n: int) -> int:
+        """MPC total-space cost: ``O(n d + ξ^{-2} n log³ n)`` (Theorem 3).
+
+        ``n d`` to hold the input plus ``|P| ≈ q d k = Θ(ξ^{-2} log³ n)``
+        products per point for the sparse multiply.
+        """
+        return n * self.d + n * max(1, self.nnz)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FJLT(d={self.d}, k={self.k}, q={self.q:.4g}, "
+            f"d_padded={self.d_padded}, nnz={self.nnz})"
+        )

@@ -1,0 +1,91 @@
+"""Fast Walsh–Hadamard transform (FWHT).
+
+The FJLT's mixing matrix ``H`` is the normalized Walsh–Hadamard matrix
+``H_{ij} = d^{-1/2} (-1)^{<i-1, j-1>}`` — the discrete Fourier transform
+over ``(Z/2Z)^t`` for ``d = 2^t``.  We implement the ``O(d log d)``
+butterfly, fully vectorized across a batch axis so a whole point set is
+transformed with ``log d`` numpy passes and no Python loop over points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_power_of_two
+
+
+def next_power_of_two(d: int) -> int:
+    """Smallest power of two >= d (the FJLT's zero-padding width)."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    return 1 << (d - 1).bit_length()
+
+
+def fwht(x: np.ndarray, *, axis: int = -1, normalize: bool = True) -> np.ndarray:
+    """Walsh–Hadamard transform along ``axis``.
+
+    Parameters
+    ----------
+    x:
+        Real array whose length along ``axis`` is a power of two.
+    normalize:
+        When True (default) scales by ``d^{-1/2}`` so the transform is
+        orthonormal (``fwht(fwht(x)) == x`` and norms are preserved) —
+        the convention the FJLT analysis uses.
+
+    Returns a new array; the input is never modified.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x = np.moveaxis(x, axis, -1)
+    d = x.shape[-1]
+    check_power_of_two("transform length", d)
+    batch = x.shape[:-1]
+    out = x.reshape(-1, d).copy()
+
+    h = 1
+    while h < d:
+        # View as (batch, d/2h, 2, h): butterfly pairs are [..., 0, :] and
+        # [..., 1, :], combined with one vectorized add/sub per stage.
+        view = out.reshape(-1, d // (2 * h), 2, h)
+        a = view[:, :, 0, :].copy()
+        b = view[:, :, 1, :]
+        view[:, :, 0, :] = a + b
+        view[:, :, 1, :] = a - b
+        h *= 2
+
+    out = out.reshape(*batch, d)
+    if normalize:
+        out /= np.sqrt(d)
+    return np.moveaxis(out, -1, axis)
+
+
+def hadamard_matrix(d: int, *, normalize: bool = True) -> np.ndarray:
+    """Materialize the (normalized) d x d Walsh–Hadamard matrix.
+
+    Only used by tests and tiny examples — the whole point of the FJLT is
+    never to build this densely.
+    """
+    check_power_of_two("d", d)
+    h = np.array([[1.0]])
+    while h.shape[0] < d:
+        h = np.block([[h, h], [h, -h]])
+    if normalize:
+        h = h / np.sqrt(d)
+    return h
+
+
+def pad_to_power_of_two(points: np.ndarray) -> np.ndarray:
+    """Zero-pad the feature axis of an ``(n, d)`` array to a power of two.
+
+    Padding with zeros leaves Euclidean norms and distances unchanged, so
+    the JL guarantee is unaffected.  Returns the input itself when ``d``
+    is already a power of two.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n, d = pts.shape
+    d2 = next_power_of_two(d)
+    if d2 == d:
+        return pts
+    padded = np.zeros((n, d2), dtype=np.float64)
+    padded[:, :d] = pts
+    return padded

@@ -1,0 +1,52 @@
+"""A faithful simulator for the Massively Parallel Computation (MPC) model.
+
+The paper's Theorems 1 and 3 are statements about *resources* in the MPC
+model: number of synchronous rounds, words of local memory per machine,
+and total space.  This subpackage implements that model as an executable
+substrate:
+
+* :class:`~repro.mpc.cluster.Cluster` — a set of
+  :class:`~repro.mpc.machine.Machine` objects advancing in synchronous
+  rounds.  Per round, each machine runs an arbitrary local computation and
+  emits messages; the cluster enforces the model's constraint that no
+  machine sends or receives more words than its local memory, and counts
+  every round.
+* :mod:`~repro.mpc.primitives` — scatter / gather / broadcast /
+  all-to-all building blocks with the standard fan-in/fan-out trick that
+  keeps round counts at ``O(1/eps)``.
+* :mod:`~repro.mpc.sort` — a constant-round sample sort (the TeraSort
+  idiom the MPC literature assumes as folklore).
+* :mod:`~repro.mpc.aggregate` — constant-round tree reductions and
+  prefix sums.
+* :mod:`~repro.mpc.accounting` — cost reports consumed by the
+  benchmark harnesses to check the paper's round/space bounds.
+
+Machines execute sequentially inside one Python process; the *semantics*
+(what information is where after how many rounds, under which memory
+budget) are exactly those of the model, which is what the paper's bounds
+quantify.
+"""
+
+from repro.mpc.accounting import CostReport, fully_scalable_local_memory
+from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.errors import (
+    CommunicationOverflow,
+    LocalMemoryExceeded,
+    MPCError,
+    RoundLimitExceeded,
+)
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+
+__all__ = [
+    "Cluster",
+    "RoundContext",
+    "Machine",
+    "Message",
+    "CostReport",
+    "fully_scalable_local_memory",
+    "MPCError",
+    "LocalMemoryExceeded",
+    "CommunicationOverflow",
+    "RoundLimitExceeded",
+]

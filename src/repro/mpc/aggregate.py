@@ -1,0 +1,107 @@
+"""Constant-round reductions and prefix sums on the MPC simulator.
+
+All helpers here cost ``O(log_f m)`` rounds for fan-in ``f`` — a constant
+once ``f`` is polynomial in local memory, matching how the paper charges
+its aggregation steps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.machine import Machine
+from repro.mpc.primitives import broadcast, tree_gather
+
+
+def reduce_scalar(
+    cluster: Cluster,
+    key: str,
+    op: Callable[[np.ndarray], float],
+    *,
+    out_key: str,
+    root: int = 0,
+    fanin: int = 8,
+) -> int:
+    """Reduce one scalar per machine to the root.
+
+    ``op`` folds a 1-D array of partial values into one value (``np.sum``,
+    ``np.max``, ...).  Machines missing ``key`` contribute nothing.
+    Returns rounds used.
+    """
+
+    def combine(parts: List[float]) -> float:
+        return float(op(np.asarray(parts, dtype=np.float64)))
+
+    return tree_gather(cluster, key, combine, out_key=out_key, root=root, fanin=fanin)
+
+
+def allreduce_scalar(
+    cluster: Cluster,
+    key: str,
+    op: Callable[[np.ndarray], float],
+    *,
+    out_key: str,
+    fanin: int = 8,
+) -> int:
+    """Reduce then broadcast: every machine ends with the folded value."""
+    rounds = reduce_scalar(cluster, key, op, out_key=out_key, root=0, fanin=fanin)
+    rounds += broadcast(cluster, cluster.machine(0).get(out_key), out_key, root=0)
+    return rounds
+
+
+def global_prefix_offsets(
+    cluster: Cluster,
+    count_key: str,
+    *,
+    out_key: str,
+    fanin: int = 8,
+) -> int:
+    """Exclusive prefix sum of per-machine counts.
+
+    Each machine holds an integer under ``count_key`` (e.g. the size of
+    its shard of some intermediate).  Afterwards each machine holds, under
+    ``out_key``, the number of items on all lower-id machines — the
+    standard tool for assigning globally unique contiguous ids in O(1)
+    rounds.
+    """
+
+    def combine(parts: List) -> list:
+        merged: List = []
+        for p in parts:
+            merged.extend(p if isinstance(p, list) else [p])
+        return merged
+
+    # Gather (machine_id, count) pairs to the root.
+    for m in cluster:
+        if count_key in m:
+            m.put(count_key + "/pair", [(m.machine_id, int(m.get(count_key)))])
+    rounds = tree_gather(
+        cluster,
+        count_key + "/pair",
+        combine,
+        out_key=count_key + "/all",
+        root=0,
+        fanin=fanin,
+    )
+
+    pairs = cluster.machine(0).get(count_key + "/all")
+    counts = dict(pairs)
+    offsets = {}
+    running = 0
+    for mid in range(cluster.num_machines):
+        offsets[mid] = running
+        running += counts.get(mid, 0)
+
+    # Broadcast the offset table (m entries; fine for m << local memory —
+    # for huge m this would itself be sharded, which we do not need here).
+    rounds += broadcast(cluster, offsets, count_key + "/offsets", root=0)
+
+    def assign(machine: Machine, ctx: RoundContext) -> None:
+        table = machine.get(count_key + "/offsets")
+        machine.put(out_key, table[machine.machine_id])
+
+    cluster.round(assign, label="prefix-assign")
+    return rounds + 1

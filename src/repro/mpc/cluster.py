@@ -1,0 +1,239 @@
+"""The MPC cluster simulator.
+
+A :class:`Cluster` owns ``m`` machines and advances them through
+synchronous rounds.  One round is:
+
+1. every machine runs an arbitrary local computation (a Python callable,
+   typically vectorized numpy on its shard);
+2. the machine emits messages through :meth:`RoundContext.send`;
+3. the cluster checks, per machine, that the words sent and the words
+   received both fit in local memory — the defining constraint of MPC;
+4. messages are delivered into the recipients' inboxes and the round
+   counter increments.
+
+Machines run sequentially inside the simulator, but information flow is
+restricted exactly as in the model: a machine can only act on its own
+storage plus messages *delivered in earlier rounds*.  (The step function
+receives only the `Machine` and a `RoundContext`; nothing else is in
+scope unless the caller broadcast it — in which case it was charged.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.mpc.accounting import CostReport, RoundRecord
+from repro.mpc.errors import (
+    CommunicationOverflow,
+    InvalidAddress,
+    LocalMemoryExceeded,
+    RoundLimitExceeded,
+)
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+
+StepFn = Callable[[Machine, "RoundContext"], None]
+
+
+class RoundContext:
+    """Per-machine view of one round: the only legal way to communicate."""
+
+    __slots__ = ("_cluster", "_machine", "_outbox", "round_index")
+
+    def __init__(self, cluster: "Cluster", machine: Machine, round_index: int):
+        self._cluster = cluster
+        self._machine = machine
+        self._outbox: List[Message] = []
+        self.round_index = round_index
+
+    @property
+    def num_machines(self) -> int:
+        return self._cluster.num_machines
+
+    @property
+    def machine_id(self) -> int:
+        return self._machine.machine_id
+
+    def send(self, dest: int, payload: Any, tag: str = "msg") -> None:
+        """Queue a message for delivery at the end of this round."""
+        if not 0 <= dest < self._cluster.num_machines:
+            raise InvalidAddress(dest, self._cluster.num_machines)
+        self._outbox.append(Message(self._machine.machine_id, dest, tag, payload))
+
+    def send_many(self, dests: Iterable[int], payload: Any, tag: str = "msg") -> None:
+        """Send one payload to several machines (charged per copy)."""
+        for dest in dests:
+            self.send(dest, payload, tag)
+
+
+class Cluster:
+    """A simulated MPC cluster with resource enforcement.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of machines ``m``.
+    local_memory:
+        Per-machine budget in words.  Bounds both resident storage and the
+        per-round send/receive volume of every machine.
+    strict:
+        When True (default) any violation raises; when False violations
+        are recorded in the report but execution continues — useful for
+        measuring *how far* a non-conforming algorithm overshoots.
+    round_limit:
+        Optional hard cap on rounds (guards against accidentally
+        logarithmic loops in what should be O(1)-round code).
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        local_memory: int,
+        *,
+        strict: bool = True,
+        round_limit: Optional[int] = None,
+    ):
+        if num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {num_machines}")
+        if local_memory < 1:
+            raise ValueError(f"local_memory must be >= 1, got {local_memory}")
+        self.num_machines = num_machines
+        self.local_memory = local_memory
+        self.strict = strict
+        self.round_limit = round_limit
+        self.machines: List[Machine] = [Machine(i) for i in range(num_machines)]
+        self._report = CostReport(num_machines=num_machines, local_memory=local_memory)
+        self.violations: List[str] = []
+
+    # -- access ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self.machines)
+
+    def __len__(self) -> int:
+        return self.num_machines
+
+    def machine(self, machine_id: int) -> Machine:
+        return self.machines[machine_id]
+
+    # -- the round engine -------------------------------------------------
+
+    def round(
+        self,
+        step: StepFn,
+        *,
+        label: str = "round",
+        participants: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Execute one synchronous round on all (or selected) machines.
+
+        ``participants`` restricts which machines run the step function;
+        non-participants still receive messages.  Restricting participants
+        does not change the round count — the round happens cluster-wide.
+        """
+        index = self._report.rounds
+        if self.round_limit is not None and index >= self.round_limit:
+            raise RoundLimitExceeded(index + 1, self.round_limit)
+
+        ids = range(self.num_machines) if participants is None else participants
+        all_messages: List[Message] = []
+        sent_words = [0] * self.num_machines
+
+        for mid in ids:
+            machine = self.machines[mid]
+            ctx = RoundContext(self, machine, index)
+            step(machine, ctx)
+            for msg in ctx._outbox:
+                sent_words[mid] += msg.size_words
+            all_messages.extend(ctx._outbox)
+
+        recv_words = [0] * self.num_machines
+        for msg in all_messages:
+            recv_words[msg.dest] += msg.size_words
+
+        for mid in range(self.num_machines):
+            if sent_words[mid] > self.local_memory:
+                self._violate(
+                    CommunicationOverflow(mid, "send", sent_words[mid], self.local_memory)
+                )
+            if recv_words[mid] > self.local_memory:
+                self._violate(
+                    CommunicationOverflow(
+                        mid, "receive", recv_words[mid], self.local_memory
+                    )
+                )
+
+        for msg in all_messages:
+            self.machines[msg.dest].inbox.append(msg)
+
+        # Post-delivery resident-storage check.
+        total_resident = 0
+        for machine in self.machines:
+            resident = machine.storage_words() + machine.inbox_words()
+            total_resident += resident
+            self._report.max_local_words = max(self._report.max_local_words, resident)
+            if resident > self.local_memory:
+                self._violate(
+                    LocalMemoryExceeded(
+                        machine.machine_id, resident, self.local_memory, label
+                    )
+                )
+        self._report.peak_total_resident_words = max(
+            self._report.peak_total_resident_words, total_resident
+        )
+
+        comm = sum(m.size_words for m in all_messages)
+        self._report.rounds += 1
+        self._report.messages += len(all_messages)
+        self._report.comm_words += comm
+        self._report.max_round_comm_words = max(self._report.max_round_comm_words, comm)
+        self._report.round_log.append(
+            RoundRecord(
+                index=index,
+                label=label,
+                messages=len(all_messages),
+                comm_words=comm,
+                max_sent=max(sent_words) if sent_words else 0,
+                max_received=max(recv_words) if recv_words else 0,
+            )
+        )
+
+    def _violate(self, exc: Exception) -> None:
+        if self.strict:
+            raise exc
+        self.violations.append(str(exc))
+
+    # -- free (round-zero) input loading ----------------------------------
+
+    def load(self, machine_id: int, key: str, value: Any) -> None:
+        """Place input data on a machine without consuming a round.
+
+        In MPC the input starts distributed across machines; ``load``
+        models that initial placement.  The resident-memory constraint
+        still applies.
+        """
+        machine = self.machines[machine_id]
+        machine.put(key, value)
+        resident = machine.storage_words() + machine.inbox_words()
+        self._report.max_local_words = max(self._report.max_local_words, resident)
+        if resident > self.local_memory:
+            self._violate(
+                LocalMemoryExceeded(machine_id, resident, self.local_memory, "load")
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> CostReport:
+        """Snapshot of resource usage so far."""
+        return self._report
+
+    @property
+    def rounds(self) -> int:
+        return self._report.rounds
+
+    def reset_accounting(self) -> None:
+        """Zero the counters while keeping machine state (for phased costs)."""
+        self._report = CostReport(
+            num_machines=self.num_machines, local_memory=self.local_memory
+        )
+        self.violations.clear()

@@ -1,0 +1,139 @@
+"""Distributed deduplication and dense-id assignment.
+
+``assign_dense_ids`` gives every distinct key row, distributed across
+machines, a globally unique dense id in ``[0, #distinct)`` using O(1)
+rounds: hash-shuffle the distinct rows to bucket machines, dedup and
+rank locally, lay the ranks out globally with a prefix-offset pass, then
+answer each requesting machine.
+
+This is the standard tool for materializing globally consistent cluster
+labels from Algorithm 2's path keys.  Note the paper's Algorithm 2
+deliberately does *not* do this — its output is the union of per-machine
+path sets, the tree left implicit — because canonicalizing every level
+would multiply rounds by the level count.  The primitive is provided
+(and tested) for consumers that need explicit labels for one level or
+one key space.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+from repro.mpc.aggregate import global_prefix_offsets
+from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.machine import Machine
+
+
+def _row_dest(rows: np.ndarray, num_machines: int) -> np.ndarray:
+    """Deterministic bucket machine per key row (CRC of the row bytes)."""
+    return np.fromiter(
+        (zlib.crc32(row.tobytes()) % num_machines for row in rows),
+        dtype=np.int64,
+        count=rows.shape[0],
+    )
+
+
+def assign_dense_ids(cluster: Cluster, in_key: str, out_key: str) -> int:
+    """Assign dense global ids to distributed key rows.
+
+    Each machine holds an ``(m_i, width)`` int64 array under ``in_key``
+    (``None`` / empty allowed).  Afterwards each machine holds, under
+    ``out_key``, an ``(m_i,)`` int64 array of ids such that two rows
+    (anywhere in the cluster) share an id iff they are equal, ids are
+    dense in ``[0, total_distinct)``.  Returns ``total_distinct``.
+
+    Round cost: 2 shuffle rounds + the O(1) prefix-offset pass + 2
+    response rounds — constant, independent of data size.
+    """
+    m = cluster.num_machines
+
+    # Round 1: ship each distinct local row to its bucket machine.
+    def send_distinct(machine: Machine, ctx: RoundContext) -> None:
+        keys = machine.get(in_key)
+        if keys is None or len(keys) == 0:
+            return
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+        distinct = np.unique(keys, axis=0)
+        dests = _row_dest(distinct, m)
+        for dest in np.unique(dests):
+            ctx.send(int(dest), distinct[dests == dest], tag="dedup/rows")
+
+    cluster.round(send_distinct, label="dedup-send")
+
+    # Round 2 (local): dedup + rank; remember who asked for which rows.
+    def dedup_local(machine: Machine, ctx: RoundContext) -> None:
+        msgs = machine.take_inbox(tag="dedup/rows")
+        requesters: Dict[int, np.ndarray] = {msg.src: msg.payload for msg in msgs}
+        if msgs:
+            all_rows = np.unique(np.concatenate([m_.payload for m_ in msgs]), axis=0)
+        else:
+            all_rows = np.empty((0, 1), dtype=np.int64)
+        machine.put("dedup/owned", all_rows)
+        machine.put("dedup/requesters", requesters)
+        machine.put("dedup/count", int(all_rows.shape[0]))
+
+    cluster.round(dedup_local, label="dedup-rank")
+
+    # O(1)-round exclusive prefix over per-machine distinct counts.
+    global_prefix_offsets(cluster, "dedup/count", out_key="dedup/offset")
+
+    # Round: answer each requester with (rows, ids).
+    def answer(machine: Machine, ctx: RoundContext) -> None:
+        rows = machine.get("dedup/owned")
+        offset = machine.get("dedup/offset", 0)
+        requesters = machine.pop("dedup/requesters", {}) or {}
+        if rows is None or rows.shape[0] == 0:
+            return
+        # Rank via lexicographic order == np.unique order (rows sorted).
+        for src, asked in requesters.items():
+            idx = _lex_search(rows, asked)
+            ctx.send(src, (asked, offset + idx), tag="dedup/ids")
+
+    cluster.round(answer, label="dedup-answer")
+
+    # Round: map local rows through the received (row -> id) tables.
+    def apply_ids(machine: Machine, ctx: RoundContext) -> None:
+        keys = machine.get(in_key)
+        if keys is None or len(keys) == 0:
+            machine.put(out_key, np.empty(0, dtype=np.int64))
+            return
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+        table_rows = []
+        table_ids = []
+        for msg in machine.take_inbox(tag="dedup/ids"):
+            rows, ids = msg.payload
+            table_rows.append(rows)
+            table_ids.append(ids)
+        rows = np.concatenate(table_rows, axis=0)
+        ids = np.concatenate(table_ids, axis=0)
+        idx = _lex_search(rows, keys)
+        machine.put(out_key, ids[idx])
+
+    cluster.round(apply_ids, label="dedup-apply")
+
+    total = sum(int(mach.get("dedup/count", 0) or 0) for mach in cluster)
+    return total
+
+
+def _lex_search(table: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Position of each query row in ``table`` (rows distinct, any order).
+
+    Ordering-agnostic: concatenates table and queries, factorizes rows
+    with ``np.unique(return_inverse)``, and maps unique ids back to
+    table positions — no assumptions about how numpy orders rows.
+    """
+    table = np.atleast_2d(np.asarray(table))
+    queries = np.atleast_2d(np.asarray(queries))
+    if table.shape[0] == 0:
+        raise ValueError("cannot search empty row table")
+    combined = np.concatenate([table, queries], axis=0)
+    uniq, inverse = np.unique(combined, axis=0, return_inverse=True)
+    position = np.full(uniq.shape[0], -1, dtype=np.int64)
+    position[inverse[: table.shape[0]]] = np.arange(table.shape[0])
+    out = position[inverse[table.shape[0] :]]
+    if (out < 0).any():
+        raise KeyError("query row missing from table — shuffle routing bug")
+    return out

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the MPC simulator.
+
+Every violation of the model's resource constraints surfaces as a typed
+exception so tests and benchmarks can assert that an algorithm stays
+within its declared budget (strict mode) or merely record the overshoot
+(lenient mode).
+"""
+
+from __future__ import annotations
+
+
+class MPCError(RuntimeError):
+    """Base class for all MPC-model violations and failures."""
+
+
+class LocalMemoryExceeded(MPCError):
+    """A machine's resident storage grew beyond its local memory budget."""
+
+    def __init__(self, machine_id: int, used: int, budget: int, context: str = ""):
+        self.machine_id = machine_id
+        self.used = used
+        self.budget = budget
+        suffix = f" during {context}" if context else ""
+        super().__init__(
+            f"machine {machine_id} holds {used} words, exceeding its local "
+            f"memory budget of {budget} words{suffix}"
+        )
+
+
+class CommunicationOverflow(MPCError):
+    """A machine sent or received more words in one round than its memory."""
+
+    def __init__(self, machine_id: int, direction: str, volume: int, budget: int):
+        self.machine_id = machine_id
+        self.direction = direction
+        self.volume = volume
+        self.budget = budget
+        super().__init__(
+            f"machine {machine_id} attempted to {direction} {volume} words in a "
+            f"single round, exceeding its local memory budget of {budget} words"
+        )
+
+
+class RoundLimitExceeded(MPCError):
+    """The computation used more rounds than the configured limit."""
+
+    def __init__(self, rounds: int, limit: int):
+        self.rounds = rounds
+        self.limit = limit
+        super().__init__(f"computation used {rounds} rounds, exceeding limit {limit}")
+
+
+class InvalidAddress(MPCError):
+    """A message was addressed to a machine id outside the cluster."""
+
+    def __init__(self, dest: int, num_machines: int):
+        self.dest = dest
+        self.num_machines = num_machines
+        super().__init__(
+            f"message addressed to machine {dest}, but cluster has machines "
+            f"0..{num_machines - 1}"
+        )

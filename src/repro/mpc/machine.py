@@ -1,0 +1,80 @@
+"""A single simulated MPC machine: local key-value storage plus an inbox."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.mpc.message import Message
+from repro.util.sizing import words
+
+
+class Machine:
+    """One machine in a simulated MPC cluster.
+
+    Storage is a flat ``str -> object`` mapping.  The machine itself is
+    passive: all orchestration (round structure, message delivery,
+    constraint checks) lives in :class:`repro.mpc.cluster.Cluster`.
+    """
+
+    __slots__ = ("machine_id", "_store", "inbox")
+
+    def __init__(self, machine_id: int):
+        self.machine_id = machine_id
+        self._store: Dict[str, Any] = {}
+        self.inbox: List[Message] = []
+
+    # -- storage ------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (overwrites)."""
+        self._store[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a stored value, or ``default`` when absent."""
+        return self._store.get(key, default)
+
+    def pop(self, key: str, default: Any = None) -> Any:
+        """Remove and return a stored value."""
+        return self._store.pop(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._store.keys())
+
+    def clear(self) -> None:
+        """Drop all stored values (not the inbox)."""
+        self._store.clear()
+
+    # -- accounting ----------------------------------------------------
+
+    def storage_words(self) -> int:
+        """Words of resident storage (keys are charged too)."""
+        return sum(words(k) + words(v) for k, v in self._store.items())
+
+    def inbox_words(self) -> int:
+        """Words currently sitting in the inbox awaiting processing."""
+        return sum(m.size_words for m in self.inbox)
+
+    # -- inbox helpers --------------------------------------------------
+
+    def take_inbox(self, tag: str | None = None) -> List[Message]:
+        """Remove and return inbox messages (optionally only one tag).
+
+        Messages are returned ordered by source machine id, which gives
+        deterministic reassembly of sharded data.
+        """
+        if tag is None:
+            taken, self.inbox = self.inbox, []
+        else:
+            taken = [m for m in self.inbox if m.tag == tag]
+            self.inbox = [m for m in self.inbox if m.tag != tag]
+        taken.sort(key=lambda m: (m.src, m.tag))
+        return taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(id={self.machine_id}, keys={sorted(self._store)}, "
+            f"inbox={len(self.inbox)})"
+        )

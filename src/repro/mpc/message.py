@@ -1,0 +1,37 @@
+"""Messages exchanged between simulated MPC machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.sizing import words
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    Attributes
+    ----------
+    src, dest:
+        Machine ids.  ``src`` is recorded so receivers can reassemble
+        ordered data (e.g. shards of a sorted run) without an extra
+        addressing round.
+    tag:
+        Small label distinguishing logical channels within a round
+        (charged to the word budget like any payload component).
+    payload:
+        Arbitrary payload; its size in words is computed once on
+        construction and cached.
+    """
+
+    src: int
+    dest: int
+    tag: str
+    payload: Any
+    size_words: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        # One word of header (src/dest/tag bookkeeping) + the payload.
+        object.__setattr__(self, "size_words", 1 + words(self.tag) + words(self.payload))

@@ -1,0 +1,231 @@
+"""Constant-round MPC communication primitives.
+
+These are the folklore building blocks the paper's Algorithms 2 and 3
+assume: distributing input, broadcasting small values, tree
+gather/scatter with bounded fan-in, and keyed shuffles.  Each primitive
+documents its round cost; all are ``O(1)`` rounds for fixed ``eps``
+because fan-in/fan-out is chosen proportional to local memory.
+
+Two of the helpers (:func:`collect_rows`, :func:`peek`) exist for tests
+and result extraction only.  They are "god view" observations of the
+simulator state and deliberately consume **no** rounds; nothing inside an
+MPC algorithm may depend on them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.machine import Machine
+from repro.util.sizing import words
+
+
+def shard_bounds(n: int, num_machines: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``num_machines`` contiguous, balanced shards.
+
+    The first ``n % m`` shards get one extra row; empty shards are legal
+    (machines may idle).
+    """
+    base, extra = divmod(n, num_machines)
+    bounds = []
+    start = 0
+    for i in range(num_machines):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def scatter_rows(cluster: Cluster, data: np.ndarray, key: str) -> List[Tuple[int, int]]:
+    """Place row-shards of ``data`` on the machines (round-free input load).
+
+    Models MPC's premise that input arrives distributed.  Each machine
+    ``i`` also stores ``key + '/offset'`` — the global index of its first
+    row — so later stages can emit globally-indexed results.
+
+    Returns the shard bounds used.
+    """
+    arr = np.asarray(data)
+    bounds = shard_bounds(arr.shape[0], cluster.num_machines)
+    for mid, (lo, hi) in enumerate(bounds):
+        cluster.load(mid, key, arr[lo:hi].copy())
+        cluster.load(mid, key + "/offset", lo)
+    return bounds
+
+
+def collect_rows(cluster: Cluster, key: str) -> np.ndarray:
+    """God-view: concatenate every machine's shard (no rounds charged).
+
+    For extracting final output / test verification only.
+    """
+    shards = [m.get(key) for m in cluster if m.get(key) is not None]
+    if not shards:
+        raise KeyError(f"no machine holds key {key!r}")
+    return np.concatenate([np.atleast_1d(s) for s in shards], axis=0)
+
+
+def peek(cluster: Cluster, machine_id: int, key: str) -> Any:
+    """God-view read of one machine's storage (no rounds charged)."""
+    return cluster.machine(machine_id).get(key)
+
+
+def default_fanout(cluster: Cluster, payload_words: int) -> int:
+    """Largest fan-out so one machine's sends fit its memory budget."""
+    per_copy = max(1, payload_words + 2)  # header + tag
+    return max(2, cluster.local_memory // per_copy)
+
+
+def broadcast(
+    cluster: Cluster,
+    value: Any,
+    key: str,
+    *,
+    root: int = 0,
+    fanout: Optional[int] = None,
+) -> int:
+    """Tree-broadcast ``value`` from ``root`` to every machine.
+
+    Uses ``ceil(log_f m)`` rounds with fan-out ``f`` bounded by local
+    memory; for fully scalable parameters this is the paper's
+    ``O(1/eps)`` rounds.  Returns the number of rounds used.
+    """
+    cluster.load(root, key, value)
+    if cluster.num_machines == 1:
+        return 0
+    f = fanout if fanout is not None else default_fanout(cluster, words(value))
+    f = max(2, f)
+    rounds = 0
+    covered = 1  # machines currently holding the value: ids [0, covered)
+    # Relabel so holders are a prefix: holder j forwards to ids
+    # covered + j*(f-1) .. covered + (j+1)*(f-1) - 1 each round.
+    # Machine ids are used directly; root must be 0 for the prefix trick,
+    # otherwise we swap roles via an id mapping.
+    ids = list(range(cluster.num_machines))
+    if root != 0:
+        ids[0], ids[root] = ids[root], ids[0]
+
+    while covered < cluster.num_machines:
+        holders = ids[:covered]
+        targets = ids[covered : min(cluster.num_machines, covered * f)]
+        assignments = {}
+        for j, t in enumerate(targets):
+            assignments.setdefault(holders[j % len(holders)], []).append(t)
+
+        def step(machine: Machine, ctx: RoundContext) -> None:
+            for t in assignments.get(machine.machine_id, []):
+                ctx.send(t, machine.get(key), tag=key)
+
+        cluster.round(step, label=f"broadcast:{key}")
+
+        def absorb(machine: Machine, ctx: RoundContext) -> None:
+            for msg in machine.take_inbox(tag=key):
+                machine.put(key, msg.payload)
+
+        cluster.round(absorb, label=f"broadcast-absorb:{key}")
+        rounds += 2
+        covered = min(cluster.num_machines, covered * f)
+    return rounds
+
+
+def tree_gather(
+    cluster: Cluster,
+    key: str,
+    combine: Callable[[List[Any]], Any],
+    *,
+    out_key: str,
+    root: int = 0,
+    fanin: int = 8,
+) -> int:
+    """Gather per-machine values to ``root``, combining with bounded fan-in.
+
+    ``combine`` must be associative-ish in the sense the caller needs
+    (e.g. list concatenation, sum, max).  Uses ``ceil(log_f m)`` rounds.
+    Returns rounds used; the combined value lands at ``root`` under
+    ``out_key``.
+    """
+    if fanin < 2:
+        raise ValueError("fanin must be >= 2")
+    work_key = out_key + "/partial"
+    for m in cluster:
+        if key in m:
+            m.put(work_key, m.get(key))
+
+    active = [m.machine_id for m in cluster if work_key in m]
+    rounds = 0
+    while len(active) > 1:
+        groups = [active[i : i + fanin] for i in range(0, len(active), fanin)]
+        heads = {g[0]: g for g in groups}
+        members = {mid: g[0] for g in groups for mid in g[1:]}
+
+        def send_step(machine: Machine, ctx: RoundContext) -> None:
+            head = members.get(machine.machine_id)
+            if head is not None:
+                ctx.send(head, machine.pop(work_key), tag=out_key)
+
+        cluster.round(send_step, label=f"gather:{key}")
+
+        def combine_step(machine: Machine, ctx: RoundContext) -> None:
+            if machine.machine_id in heads:
+                parts = [machine.get(work_key)]
+                parts.extend(msg.payload for msg in machine.take_inbox(tag=out_key))
+                machine.put(work_key, combine(parts))
+
+        cluster.round(combine_step, label=f"gather-combine:{key}")
+        rounds += 2
+        active = sorted(heads)
+
+    final = active[0] if active else root
+    if final != root:
+        def move(machine: Machine, ctx: RoundContext) -> None:
+            if machine.machine_id == final:
+                ctx.send(root, machine.pop(work_key), tag=out_key)
+
+        cluster.round(move, label=f"gather-move:{key}")
+
+        def land(machine: Machine, ctx: RoundContext) -> None:
+            for msg in machine.take_inbox(tag=out_key):
+                machine.put(out_key, msg.payload)
+
+        cluster.round(land, label=f"gather-land:{key}")
+        rounds += 2
+    else:
+        holder = cluster.machine(final)
+        holder.put(out_key, holder.pop(work_key))
+    return rounds
+
+
+def exchange(
+    cluster: Cluster,
+    plan: Callable[[Machine], Sequence[Tuple[int, Any]]],
+    tag: str,
+    *,
+    label: str = "exchange",
+) -> None:
+    """One all-to-all round: each machine emits (dest, payload) pairs.
+
+    The receive side is left in inboxes; callers typically follow with a
+    local absorb round or fold absorption into their next step.
+    """
+
+    def step(machine: Machine, ctx: RoundContext) -> None:
+        for dest, payload in plan(machine):
+            ctx.send(dest, payload, tag=tag)
+
+    cluster.round(step, label=label)
+
+
+def absorb_concat(cluster: Cluster, tag: str, out_key: str, *, axis: int = 0) -> None:
+    """Local round: concatenate inbox arrays (by source order) into storage."""
+
+    def step(machine: Machine, ctx: RoundContext) -> None:
+        msgs = machine.take_inbox(tag=tag)
+        if msgs:
+            machine.put(out_key, np.concatenate([m.payload for m in msgs], axis=axis))
+        else:
+            machine.put(out_key, None)
+
+    cluster.round(step, label=f"absorb:{tag}")

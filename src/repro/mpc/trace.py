@@ -1,0 +1,59 @@
+"""Human-readable summaries of MPC cost reports.
+
+``explain_report`` renders a :class:`~repro.mpc.accounting.CostReport`
+as an aligned text table (round-by-round label, message count, volume,
+hot senders/receivers), the tool we reach for when a computation blows
+its budget and the exception alone doesn't say which phase did it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mpc.accounting import CostReport
+
+
+def explain_report(report: CostReport, *, max_rounds: int = 50) -> str:
+    """Multi-line description of a computation's resource usage."""
+    lines: List[str] = []
+    lines.append(
+        f"MPC computation: {report.num_machines} machines x "
+        f"{report.local_memory} words local memory "
+        f"(total space {report.total_space})"
+    )
+    lines.append(
+        f"  rounds={report.rounds}  messages={report.messages}  "
+        f"comm={report.comm_words} words  "
+        f"peak-local={report.max_local_words} "
+        f"({_pct(report.max_local_words, report.local_memory)})"
+    )
+    if report.peak_total_resident_words:
+        lines.append(
+            f"  peak-total-resident={report.peak_total_resident_words} words"
+        )
+    if report.round_log:
+        lines.append("  per-round:")
+        header = f"    {'#':>3} {'label':28} {'msgs':>6} {'words':>9} {'max-sent':>9} {'max-recv':>9}"
+        lines.append(header)
+        shown = report.round_log[:max_rounds]
+        for rec in shown:
+            lines.append(
+                f"    {rec.index:>3} {rec.label[:28]:28} {rec.messages:>6} "
+                f"{rec.comm_words:>9} {rec.max_sent:>9} {rec.max_received:>9}"
+            )
+        hidden = len(report.round_log) - len(shown)
+        if hidden > 0:
+            lines.append(f"    ... {hidden} more rounds")
+    return "\n".join(lines)
+
+
+def heaviest_rounds(report: CostReport, *, top: int = 3) -> List[str]:
+    """Labels of the rounds with the largest communication volume."""
+    ranked = sorted(report.round_log, key=lambda r: -r.comm_words)
+    return [r.label for r in ranked[:top]]
+
+
+def _pct(value: int, budget: int) -> str:
+    if budget <= 0:
+        return "n/a"
+    return f"{100.0 * value / budget:.0f}%"

@@ -1,0 +1,43 @@
+"""Probabilistic space partitioning methods.
+
+Three flat partitioners over point sets in R^d, all drawing their
+randomness from shifted grids:
+
+* :mod:`~repro.partition.grid_partition` — Arora's random shifted grid
+  (Definition 1): points grouped by the hypercube cell containing them;
+* :mod:`~repro.partition.ball_partition` — Charikar et al.'s grid of
+  balls (Definition 2): balls of radius ``w`` at the vertices of a grid
+  of cell ``4w``, redrawn until every point is covered;
+* :mod:`~repro.partition.hybrid` — the paper's contribution
+  (Definition 3): dimensions bucketed into ``r`` groups, one ball
+  partitioning per bucket, intersected.
+
+Shared infrastructure lives in :mod:`~repro.partition.base` (the
+:class:`FlatPartition` value type and refinement) and
+:mod:`~repro.partition.grids` (shifted-grid geometry, BuildGrids).
+"""
+
+from repro.partition.ball_partition import BallAssignment, ball_partition
+from repro.partition.base import CoverageFailure, FlatPartition, refine
+from repro.partition.grid_partition import grid_partition
+from repro.partition.grids import ShiftedGrid, build_grid_shifts
+from repro.partition.hybrid import bucket_slices, hybrid_partition, project_bucket
+from repro.partition.paper_api import BallPart, BuildGrids, GridSet, HybridPartitioning
+
+__all__ = [
+    "FlatPartition",
+    "CoverageFailure",
+    "refine",
+    "ShiftedGrid",
+    "build_grid_shifts",
+    "grid_partition",
+    "ball_partition",
+    "BallAssignment",
+    "hybrid_partition",
+    "BuildGrids",
+    "BallPart",
+    "GridSet",
+    "HybridPartitioning",
+    "bucket_slices",
+    "project_bucket",
+]

@@ -1,0 +1,189 @@
+"""Ball partitioning (Definition 2, the BallPart subroutine).
+
+A sequence of randomly shifted grids ``G_1, G_2, ...`` of cell length
+``l = 4w`` carries a ball of radius ``w`` at every grid vertex.  Each
+point joins the first ball (in grid order) that contains it.  Because one
+grid's balls cover only a ``vol(B_k)/4^k`` fraction of space, the
+sequence must be long (Lemma 6) — the quantity the hybrid method keeps
+manageable by running ball partitioning only on low-dimensional buckets.
+
+The implementation is batched: candidate grids are processed in chunks,
+each chunk tested against only the still-uncovered points with one
+broadcasted numpy computation, so the expected work is
+``O(n * k / q_k)`` with tiny constants rather than a Python loop per
+grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.coverage import grids_for_failure_probability
+from repro.partition.base import CoverageFailure, FlatPartition, canonicalize_labels
+from repro.partition.grids import build_grid_shifts
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_points, check_positive, require
+
+#: Cap on the elements of one (uncovered x grids x dims) batch tensor.
+_BATCH_ELEMENT_BUDGET = 16_000_000
+
+
+@dataclass(frozen=True)
+class BallAssignment:
+    """Raw outcome of ball assignment, before label factorization.
+
+    Attributes
+    ----------
+    grid_index:
+        ``(n,)`` index of the grid whose ball captured each point
+        (``-1`` = uncovered after all grids).
+    cell_index:
+        ``(n, k)`` integer coordinates of the capturing ball's vertex in
+        its grid (rows for uncovered points are zero).
+    grids_used:
+        How many grids were examined before full coverage (== the number
+        of grids generated if coverage never completed).
+    """
+
+    grid_index: np.ndarray
+    cell_index: np.ndarray
+    grids_used: int
+
+    @property
+    def uncovered(self) -> np.ndarray:
+        """Boolean mask of points no ball captured."""
+        return self.grid_index < 0
+
+
+def assign_balls(
+    points: np.ndarray,
+    w: float,
+    shifts: np.ndarray,
+    *,
+    cell_factor: float = 4.0,
+) -> BallAssignment:
+    """Assign each point to its first capturing ball.
+
+    ``shifts`` is the ``(U, k)`` output of
+    :func:`repro.partition.grids.build_grid_shifts` with cell width
+    ``cell_factor * w``.  Points and shifts must agree on ``k``.
+    """
+    pts = check_points(points)
+    check_positive("w", w)
+    require(cell_factor >= 2.0, "cell_factor < 2 lets balls overlap (Definition 2)")
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    n, k = pts.shape
+    require(shifts.shape[1] == k, "shift dimensionality does not match points")
+
+    cell = cell_factor * w
+    w2 = w * w
+    num_grids = shifts.shape[0]
+
+    grid_index = np.full(n, -1, dtype=np.int64)
+    cell_index = np.zeros((n, k), dtype=np.int64)
+    uncovered_ids = np.arange(n)
+    grids_used = 0
+
+    offset = 0
+    while offset < num_grids and uncovered_ids.size:
+        m = uncovered_ids.size
+        chunk = max(1, min(num_grids - offset, _BATCH_ELEMENT_BUDGET // max(1, m * k)))
+        batch = shifts[offset : offset + chunk]  # (G, k)
+        rel = pts[uncovered_ids, None, :] - batch[None, :, :]  # (m, G, k)
+        idx = np.rint(rel / cell)
+        diff = rel - idx * cell
+        dist2 = np.einsum("mgk,mgk->mg", diff, diff)
+        hit = dist2 <= w2
+        any_hit = hit.any(axis=1)
+        if any_hit.any():
+            first = np.argmax(hit, axis=1)
+            captured = uncovered_ids[any_hit]
+            grid_index[captured] = offset + first[any_hit]
+            cell_index[captured] = idx[any_hit, first[any_hit]].astype(np.int64)
+            uncovered_ids = uncovered_ids[~any_hit]
+        offset += chunk
+        grids_used = offset
+        if not uncovered_ids.size:
+            break
+
+    return BallAssignment(grid_index, cell_index, grids_used)
+
+
+def default_grid_budget(
+    k: int, n: int, *, delta_fail: float = 1e-9, events: int = 1
+) -> int:
+    """Lemma 6/7 grid budget for covering ``n`` points (x ``events``)."""
+    return grids_for_failure_probability(k, delta_fail / max(1, n * events))
+
+
+def ball_partition(
+    points: np.ndarray,
+    w: float,
+    *,
+    num_grids: Optional[int] = None,
+    cell_factor: float = 4.0,
+    on_uncovered: str = "error",
+    delta_fail: float = 1e-9,
+    seed: SeedLike = None,
+) -> FlatPartition:
+    """One ball partitioning with scale ``w`` (Definition 2).
+
+    Parameters
+    ----------
+    num_grids:
+        Grid budget U; default from Lemma 6 with failure budget
+        ``delta_fail``.
+    on_uncovered:
+        ``"error"`` — raise :class:`CoverageFailure` (the MPC algorithm's
+        "report failure"); ``"singleton"`` — give each uncovered point
+        its own part (the sequential Section 3 fallback).
+    """
+    pts = check_points(points)
+    n, k = pts.shape
+    rng = as_generator(seed)
+    budget = num_grids if num_grids is not None else default_grid_budget(
+        k, n, delta_fail=delta_fail
+    )
+    shifts = build_grid_shifts(k, cell_factor * w, budget, seed=rng)
+    assignment = assign_balls(pts, w, shifts, cell_factor=cell_factor)
+
+    uncovered = assignment.uncovered
+    if uncovered.any():
+        if on_uncovered == "error":
+            raise CoverageFailure(int(uncovered.sum()), assignment.grids_used)
+        if on_uncovered != "singleton":
+            raise ValueError(
+                f"on_uncovered must be 'error' or 'singleton', got {on_uncovered!r}"
+            )
+
+    return FlatPartition(labels_from_assignment(assignment), scale=w)
+
+
+def labels_from_assignment(assignment: BallAssignment) -> np.ndarray:
+    """Factorize (grid, vertex) keys into dense part labels.
+
+    Uncovered points (grid_index == -1) each get a unique key — their own
+    singleton part — by keying on their (negative) point index.
+    """
+    n, k = assignment.cell_index.shape
+    keys = np.empty((n, k + 1), dtype=np.int64)
+    keys[:, 0] = assignment.grid_index
+    keys[:, 1:] = assignment.cell_index
+    uncovered = assignment.uncovered
+    if uncovered.any():
+        # Unique negative key per uncovered point; cannot collide with
+        # covered keys because those have grid_index >= 0.
+        keys[uncovered, 0] = -1
+        keys[uncovered, 1] = -(np.flatnonzero(uncovered) + 1)
+        if k > 1:
+            keys[uncovered, 2:] = 0
+    _, labels = np.unique(keys, axis=0, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def ball_diameter_bound(w: float) -> float:
+    """Worst-case diameter of one ball part: ``2 w``."""
+    return 2.0 * w

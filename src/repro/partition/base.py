@@ -1,0 +1,134 @@
+"""Partition value types shared by all partitioning methods.
+
+A *flat partition* assigns every point an integer part label; the
+hierarchical embeddings are built by repeatedly refining flat partitions
+drawn at geometrically decreasing scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+class CoverageFailure(RuntimeError):
+    """Ball partitioning exhausted its grid budget with points uncovered.
+
+    Matches the paper's "halt and report failure" semantics in
+    Algorithms 1 and 2; Lemma 7's choice of U makes this a
+    ``1/poly(n)``-probability event.
+    """
+
+    def __init__(self, uncovered: int, grids_used: int):
+        self.uncovered = uncovered
+        self.grids_used = grids_used
+        super().__init__(
+            f"{uncovered} points remained uncovered after {grids_used} grids"
+        )
+
+
+def canonicalize_labels(raw: np.ndarray) -> np.ndarray:
+    """Relabel arbitrary integer labels to 0..k-1 in first-seen order."""
+    _, canonical = np.unique(raw, return_inverse=True)
+    return canonical.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class FlatPartition:
+    """One partition of ``n`` points into parts ``0 .. num_parts-1``.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int64 array; ``labels[i]`` is the part containing point i.
+    scale:
+        The scale parameter ``w`` the partition was drawn at (0 for
+        synthetic/trivial partitions).
+    """
+
+    labels: np.ndarray
+    scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+        if labels.size and labels.min() < 0:
+            raise ValueError("labels must be non-negative")
+        if labels.size and labels.max() >= len(np.unique(labels)):
+            # Compact label gaps so num_parts == number of used labels.
+            labels = canonicalize_labels(labels)
+        object.__setattr__(self, "labels", labels)
+
+    @classmethod
+    def trivial(cls, n: int, scale: float = 0.0) -> "FlatPartition":
+        """Everything in one part (the root of every hierarchy)."""
+        return cls(np.zeros(n, dtype=np.int64), scale)
+
+    @classmethod
+    def singletons(cls, n: int, scale: float = 0.0) -> "FlatPartition":
+        """Every point its own part (the leaves)."""
+        return cls(np.arange(n, dtype=np.int64), scale)
+
+    @property
+    def n(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_parts(self) -> int:
+        if self.labels.size == 0:
+            return 0
+        return int(self.labels.max()) + 1
+
+    def is_singletons(self) -> bool:
+        """True when every part has exactly one point."""
+        return self.num_parts == self.n
+
+    def sizes(self) -> np.ndarray:
+        """Part sizes, indexed by part label."""
+        return np.bincount(self.labels, minlength=self.num_parts)
+
+    def groups(self) -> List[np.ndarray]:
+        """Index arrays per part (vectorized grouping, no Python filter)."""
+        order = np.argsort(self.labels, kind="stable")
+        sorted_labels = self.labels[order]
+        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+        return np.split(order, boundaries)
+
+    def same_part(self, i: int, j: int) -> bool:
+        return bool(self.labels[i] == self.labels[j])
+
+    def separated_mask(self, pairs_i: np.ndarray, pairs_j: np.ndarray) -> np.ndarray:
+        """Boolean mask over pairs: True where the pair is split apart."""
+        return self.labels[pairs_i] != self.labels[pairs_j]
+
+
+def refine(coarse: FlatPartition, fine: FlatPartition, *, scale: float | None = None
+           ) -> FlatPartition:
+    """Common refinement: same part iff same part in *both* inputs.
+
+    This is exactly the paper's bucket-joining rule ("p and q are in the
+    same partition if and only if they are in the same partition for all
+    buckets") and also how consecutive hierarchy levels compose.
+    """
+    if coarse.n != fine.n:
+        raise ValueError(
+            f"partitions cover different point counts: {coarse.n} vs {fine.n}"
+        )
+    # Pair (coarse, fine) labels and factorize. Packing into one int64 is
+    # safe because num_parts <= n <= 2**31 for any realistic input.
+    packed = coarse.labels * np.int64(max(fine.num_parts, 1)) + fine.labels
+    labels = canonicalize_labels(packed)
+    return FlatPartition(labels, fine.scale if scale is None else scale)
+
+
+def refine_all(partitions: List[FlatPartition]) -> FlatPartition:
+    """Common refinement of several partitions (hybrid bucket join)."""
+    if not partitions:
+        raise ValueError("need at least one partition to refine")
+    result = partitions[0]
+    for part in partitions[1:]:
+        result = refine(result, part, scale=partitions[0].scale)
+    return result

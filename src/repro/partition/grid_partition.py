@@ -1,0 +1,53 @@
+"""Arora's random shifted grid partitioning (Definition 1).
+
+One draw: shift a grid of cell width ``w`` uniformly; each non-empty cell
+is a part.  Cluster diameter is at most ``w * sqrt(d)`` (the cell
+diagonal) and the probability a pair at distance ``D`` is split is at
+most ``d * D / w`` by a union bound over dimensions — the source of the
+extra ``sqrt(d)`` (→ ``log n`` after JL) distortion factor relative to
+ball partitioning that the paper's hybrid method removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import FlatPartition, canonicalize_labels
+from repro.partition.grids import ShiftedGrid
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_points, check_positive
+
+
+def grid_labels(points: np.ndarray, grid: ShiftedGrid) -> np.ndarray:
+    """Factorized part labels: one part per non-empty grid cell."""
+    cells = grid.cell_indices(points)
+    _, labels = np.unique(cells, axis=0, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def grid_partition(
+    points: np.ndarray, w: float, *, seed: SeedLike = None
+) -> FlatPartition:
+    """One random shifted grid partitioning with scale ``w``."""
+    pts = check_points(points)
+    check_positive("w", w)
+    rng = as_generator(seed)
+    grid = ShiftedGrid.sample(pts.shape[1], w, seed=rng)
+    return FlatPartition(canonicalize_labels(grid_labels(pts, grid)), scale=w)
+
+
+def grid_diameter_bound(w: float, d: int) -> float:
+    """Worst-case diameter of one grid cell: ``w * sqrt(d)``."""
+    return w * float(np.sqrt(d))
+
+
+def grid_separation_bound(w: float, d: int, distance: float) -> float:
+    """Union-bound separation probability: ``min(1, d * distance / w)``.
+
+    Per dimension, a pair with coordinate gap ``g_i`` straddles a cell
+    boundary with probability ``min(1, g_i / w)``; summing and bounding
+    ``sum g_i <= sqrt(d) * distance`` gives ``sqrt(d) * distance / w``
+    per the l1/l2 inequality — we report the cruder ``d*D/w`` form only
+    when callers ask for the per-dimension union bound explicitly.
+    """
+    return min(1.0, float(np.sqrt(d)) * distance / w)

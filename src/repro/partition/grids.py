@@ -1,0 +1,83 @@
+"""Randomly shifted grid geometry (the BuildGrids subroutine).
+
+Both grid and ball partitioning draw their randomness from uniform grid
+shifts.  A :class:`ShiftedGrid` is a cell width plus a shift vector; it
+answers, vectorized over points, which cell contains each point and how
+far each point is from its nearest grid vertex (= nearest ball center in
+ball partitioning, where balls sit at the vertices of the shifted grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ShiftedGrid:
+    """A grid of cell width ``cell`` translated by ``shift``.
+
+    ``shift`` is a ``(k,)`` vector drawn uniformly from ``[0, cell]^k``
+    (Definition 1).  Grid *vertices* are at ``shift + cell * Z^k``; grid
+    *cells* are the half-open hypercubes between consecutive vertices.
+    """
+
+    cell: float
+    shift: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_positive("cell", self.cell)
+        shift = np.asarray(self.shift, dtype=np.float64)
+        if shift.ndim != 1:
+            raise ValueError(f"shift must be a 1-D vector, got shape {shift.shape}")
+        object.__setattr__(self, "shift", shift)
+
+    @property
+    def dims(self) -> int:
+        return int(self.shift.shape[0])
+
+    @classmethod
+    def sample(cls, k: int, cell: float, *, seed: SeedLike = None) -> "ShiftedGrid":
+        """Draw a uniformly shifted grid of cell width ``cell`` in R^k."""
+        check_positive("cell", cell)
+        rng = as_generator(seed)
+        return cls(cell, rng.uniform(0.0, cell, size=k))
+
+    def cell_indices(self, points: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates of each point: floor((p - shift)/cell)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.floor((pts - self.shift) / self.cell).astype(np.int64)
+
+    def nearest_vertex(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Nearest grid vertex per point.
+
+        Returns ``(vertex_index, distance)`` — the integer coordinates of
+        the nearest vertex (``rint((p - shift)/cell)``) and the Euclidean
+        distance to it.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        rel = (pts - self.shift) / self.cell
+        idx = np.rint(rel).astype(np.int64)
+        diff = (rel - idx) * self.cell
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return idx, dist
+
+
+def build_grid_shifts(
+    k: int, cell: float, count: int, *, seed: SeedLike = None
+) -> np.ndarray:
+    """The BuildGrids subroutine: ``count`` i.i.d. uniform shifts.
+
+    Returns a ``(count, k)`` array of shifts in ``[0, cell]^k``; each row
+    defines one :class:`ShiftedGrid` of the ball-partitioning sequence
+    ``G_1, G_2, ...`` of Definition 2.
+    """
+    check_positive("cell", cell)
+    check_positive("count", count)
+    rng = as_generator(seed)
+    return rng.uniform(0.0, cell, size=(count, k))

@@ -1,0 +1,192 @@
+"""Hybrid partitioning (Definition 3) — the paper's core contribution.
+
+Dimensions ``[d]`` are grouped into ``r`` contiguous buckets of ``d/r``
+dimensions each (zero-padding when ``r`` does not divide ``d``, per the
+paper's footnote 3 — zero coordinates change no distances).  Each bucket
+runs an independent ball partitioning at scale ``w`` on the projected
+points; two points share a hybrid part iff they share a ball in *every*
+bucket.
+
+The two extremes:
+
+* ``r = 1`` — a single bucket: plain ball partitioning;
+* ``r = d`` with ``cell_factor = 2`` (ball radius = half the cell) —
+  per-dimension intervals tile the line, and intersecting them recovers
+  exactly Arora's random shifted grid with cell ``2w``.
+
+Diameter: each bucket's projection of a part fits in one radius-``w``
+ball (diameter ``2w``), so a part's diameter is at most
+``sqrt(r * (2w)^2) = 2 sqrt(r) w`` — Lemma 1's second half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.coverage import grids_for_failure_probability
+from repro.partition.ball_partition import (
+    BallAssignment,
+    assign_balls,
+    labels_from_assignment,
+)
+from repro.partition.base import (
+    CoverageFailure,
+    FlatPartition,
+    canonicalize_labels,
+    refine_all,
+)
+from repro.partition.grids import build_grid_shifts
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_points, check_positive, require
+
+
+def bucket_slices(d: int, r: int) -> List[Tuple[int, int]]:
+    """Contiguous bucket index ranges over a (possibly padded) dimension.
+
+    Returns ``r`` half-open ranges of equal width ``ceil(d/r)`` covering
+    ``[0, r*ceil(d/r))``; callers zero-pad points to that width.
+    """
+    check_positive("d", d)
+    require(1 <= r <= d, f"r must lie in [1, d] = [1, {d}], got {r}")
+    width = -(-d // r)  # ceil
+    return [(j * width, (j + 1) * width) for j in range(r)]
+
+
+def pad_for_buckets(points: np.ndarray, r: int) -> np.ndarray:
+    """Zero-pad the feature axis so ``r`` divides the dimension.
+
+    Zero padding preserves all Euclidean distances (footnote 3).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n, d = pts.shape
+    width = -(-d // r)
+    padded_d = width * r
+    if padded_d == d:
+        return pts
+    out = np.zeros((n, padded_d), dtype=np.float64)
+    out[:, :d] = pts
+    return out
+
+
+def project_bucket(points: np.ndarray, r: int, j: int) -> np.ndarray:
+    """The paper's ``P^(j)``: points restricted to bucket ``j``'s dims."""
+    padded = pad_for_buckets(points, r)
+    k = padded.shape[1] // r
+    require(0 <= j < r, f"bucket index must lie in [0, {r}), got {j}")
+    return padded[:, j * k : (j + 1) * k]
+
+
+@dataclass(frozen=True)
+class HybridAssignment:
+    """Per-bucket ball assignments of one hybrid partitioning draw."""
+
+    buckets: List[BallAssignment]
+    scale: float
+    r: int
+
+    @property
+    def uncovered(self) -> np.ndarray:
+        """Points uncovered in at least one bucket."""
+        mask = np.zeros_like(self.buckets[0].uncovered)
+        for b in self.buckets:
+            mask |= b.uncovered
+        return mask
+
+
+def hybrid_assign(
+    points: np.ndarray,
+    w: float,
+    r: int,
+    *,
+    num_grids: Optional[int] = None,
+    cell_factor: float = 4.0,
+    delta_fail: float = 1e-9,
+    num_levels_hint: int = 1,
+    seed: SeedLike = None,
+) -> HybridAssignment:
+    """Run the per-bucket ball assignments of one hybrid draw."""
+    pts = check_points(points)
+    check_positive("w", w)
+    n, d = pts.shape
+    require(1 <= r <= d, f"r must lie in [1, {d}], got {r}")
+    rng = as_generator(seed)
+
+    padded = pad_for_buckets(pts, r)
+    k = padded.shape[1] // r
+    budget = num_grids if num_grids is not None else grids_for_failure_probability(
+        k, delta_fail / max(1, n * r * num_levels_hint)
+    )
+
+    bucket_rngs = spawn_many(rng, r)
+    assignments: List[BallAssignment] = []
+    for j, (lo, hi) in enumerate([(j * k, (j + 1) * k) for j in range(r)]):
+        shifts = build_grid_shifts(k, cell_factor * w, budget, seed=bucket_rngs[j])
+        assignments.append(
+            assign_balls(padded[:, lo:hi], w, shifts, cell_factor=cell_factor)
+        )
+    return HybridAssignment(assignments, w, r)
+
+
+def hybrid_partition(
+    points: np.ndarray,
+    w: float,
+    r: int,
+    *,
+    num_grids: Optional[int] = None,
+    cell_factor: float = 4.0,
+    on_uncovered: str = "error",
+    delta_fail: float = 1e-9,
+    seed: SeedLike = None,
+) -> FlatPartition:
+    """One ``r``-hybrid partitioning with scale ``w`` (Definition 3).
+
+    Semantics of ``on_uncovered`` match
+    :func:`repro.partition.ball_partition.ball_partition`: a point missed
+    by any bucket's balls either triggers :class:`CoverageFailure`
+    (``"error"``) or becomes its own part (``"singleton"``).
+    """
+    assignment = hybrid_assign(
+        points,
+        w,
+        r,
+        num_grids=num_grids,
+        cell_factor=cell_factor,
+        delta_fail=delta_fail,
+        seed=seed,
+    )
+    uncovered = assignment.uncovered
+    if uncovered.any() and on_uncovered == "error":
+        raise CoverageFailure(
+            int(uncovered.sum()), max(b.grids_used for b in assignment.buckets)
+        )
+    if uncovered.any() and on_uncovered != "singleton":
+        raise ValueError(
+            f"on_uncovered must be 'error' or 'singleton', got {on_uncovered!r}"
+        )
+
+    parts = [
+        FlatPartition(labels_from_assignment(b), scale=w) for b in assignment.buckets
+    ]
+    joined = refine_all(parts)
+
+    if uncovered.any():
+        # Force uncovered points into singleton parts (they may have
+        # been covered in some buckets but not all).
+        labels = joined.labels.copy()
+        labels[uncovered] = joined.num_parts + np.arange(int(uncovered.sum()))
+        joined = FlatPartition(canonicalize_labels(labels), scale=w)
+    return joined
+
+
+def hybrid_diameter_bound(w: float, r: int) -> float:
+    """Lemma 1: parts of an r-hybrid partition have diameter <= 2 sqrt(r) w."""
+    return 2.0 * float(np.sqrt(r)) * w
+
+
+def hybrid_separation_bound(w: float, d: int, distance: float, *, c: float = 4.0
+                            ) -> float:
+    """Lemma 1: Pr[p, q split] <= O(sqrt(d) * distance / w), r-free."""
+    return min(1.0, c * float(np.sqrt(d)) * distance / w)

@@ -1,0 +1,143 @@
+"""Thin adapters matching the paper's pseudocode signatures.
+
+Algorithm 1 and Algorithm 2 reference two subroutines by name:
+
+* ``BuildGrids(P^(j), r, U)`` — generate the U randomly shifted grids a
+  bucket's ball partitioning will use;
+* ``BallPart(P^(j), G)`` — run the ball partitioning of bucket data
+  against a prepared grid sequence, producing the bucket's hierarchy
+  (here: the per-point (grid, vertex) assignment at one scale; the
+  hierarchy is the assignments across the scale schedule).
+
+The library's native API (:mod:`repro.partition.grids`,
+:mod:`repro.partition.ball_partition`) is more explicit about scales and
+cell factors; these wrappers exist so readers can line the code up with
+the pseudocode symbol for symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.partition.ball_partition import (
+    BallAssignment,
+    assign_balls,
+    labels_from_assignment,
+)
+from repro.partition.base import CoverageFailure, FlatPartition
+from repro.partition.grids import build_grid_shifts
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_points, check_positive, require
+
+
+@dataclass(frozen=True)
+class GridSet:
+    """The ``G`` object of the pseudocode: U shifted grids at one scale.
+
+    ``shifts[u]`` is grid ``G_u``'s translation; balls of radius
+    ``w = cell / 4`` sit at each grid's vertices.
+    """
+
+    shifts: np.ndarray  # (U, k)
+    cell: float
+
+    @property
+    def num_grids(self) -> int:
+        return int(self.shifts.shape[0])
+
+    @property
+    def radius(self) -> float:
+        return self.cell / 4.0
+
+
+def BuildGrids(
+    bucket_points: np.ndarray,
+    r: int,
+    U: int,
+    *,
+    w: Optional[float] = None,
+    seed: SeedLike = None,
+) -> GridSet:
+    """The paper's ``BuildGrids`` subroutine for one bucket.
+
+    ``bucket_points`` is ``P^(j)`` (the projection onto one bucket's
+    dimensions); ``r`` is recorded only for signature fidelity (the
+    grids of one bucket do not depend on it); ``U`` is the grid budget
+    of Lemma 7.  ``w`` defaults to half the bucket's coordinate spread
+    (the top-of-hierarchy scale).
+    """
+    pts = check_points(bucket_points)
+    check_positive("U", U)
+    require(r >= 1, "r must be >= 1")
+    if w is None:
+        spread = float((pts.max(axis=0) - pts.min(axis=0)).max())
+        w = max(spread / 2.0, 1.0)
+    cell = 4.0 * w
+    shifts = build_grid_shifts(pts.shape[1], cell, U, seed=seed)
+    return GridSet(shifts=shifts, cell=cell)
+
+
+def BallPart(
+    bucket_points: np.ndarray,
+    grids: GridSet,
+    *,
+    on_uncovered: str = "error",
+) -> FlatPartition:
+    """The paper's ``BallPart`` subroutine: one bucket, one scale.
+
+    Assigns every point of ``P^(j)`` to the first covering ball of the
+    prepared grid sequence and returns the induced flat partition.
+    ``on_uncovered='error'`` reproduces Algorithm 1/2's "halt and report
+    failure".
+    """
+    pts = check_points(bucket_points)
+    assignment: BallAssignment = assign_balls(
+        pts, grids.radius, grids.shifts, cell_factor=4.0
+    )
+    uncovered = assignment.uncovered
+    if uncovered.any():
+        if on_uncovered == "error":
+            raise CoverageFailure(int(uncovered.sum()), grids.num_grids)
+        require(
+            on_uncovered == "singleton",
+            f"on_uncovered must be 'error' or 'singleton', got {on_uncovered!r}",
+        )
+    return FlatPartition(labels_from_assignment(assignment), scale=grids.radius)
+
+
+def HybridPartitioning(
+    points: np.ndarray,
+    r: int,
+    U: int,
+    *,
+    w: Optional[float] = None,
+    seed: SeedLike = None,
+    on_uncovered: str = "error",
+) -> FlatPartition:
+    """One full hybrid step exactly as Algorithm 1's loop body does it:
+
+    bucket the dimensions, ``BuildGrids`` + ``BallPart`` per bucket,
+    then join by intersection.
+    """
+    from repro.partition.base import refine_all
+    from repro.partition.hybrid import pad_for_buckets
+
+    pts = check_points(points)
+    require(1 <= r <= pts.shape[1], "r must lie in [1, d]")
+    padded = pad_for_buckets(pts, r)
+    k = padded.shape[1] // r
+    rng = as_generator(seed)
+    bucket_rngs = spawn_many(rng, r)
+    if w is None:
+        spread = float((pts.max(axis=0) - pts.min(axis=0)).max())
+        w = max(spread / 2.0, 1.0)
+
+    parts: List[FlatPartition] = []
+    for j in range(r):
+        bucket = padded[:, j * k : (j + 1) * k]
+        grids = BuildGrids(bucket, r, U, w=w, seed=bucket_rngs[j])
+        parts.append(BallPart(bucket, grids, on_uncovered=on_uncovered))
+    return refine_all(parts)

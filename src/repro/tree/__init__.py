@@ -1,0 +1,52 @@
+"""Hierarchically well-separated trees (HSTs) and their tree metric.
+
+A hierarchy of flat partitions (root → singletons, each level refining
+the previous) is stored compactly as a label matrix plus per-level edge
+weights (:class:`~repro.tree.hst.HSTree`).  Because every edge between
+levels ``i-1`` and ``i`` carries the same weight, the tree distance
+between two points depends only on the first level separating them —
+:mod:`~repro.tree.metric` exploits this for fully vectorized pairwise
+distance computation.  :mod:`~repro.tree.build` turns partition lists
+into trees, and :mod:`~repro.tree.validate` checks structural invariants
+(refinement, weights, domination).
+"""
+
+from repro.tree.build import build_hst, geometric_weights
+from repro.tree.export import from_linkage, to_linkage, to_newick
+from repro.tree.hst import HSTree
+from repro.tree.metric import (
+    cophenetic_correlation,
+    pairwise_tree_distances,
+    separation_levels,
+    tree_distance,
+    tree_distances_from_point,
+)
+from repro.tree.queries import closest_pair, range_query, tree_nearest
+from repro.tree.stats import HierarchyStats, hierarchy_stats
+from repro.tree.validate import (
+    check_domination,
+    check_refinement_chain,
+    validate_hst,
+)
+
+__all__ = [
+    "HSTree",
+    "build_hst",
+    "geometric_weights",
+    "tree_distance",
+    "pairwise_tree_distances",
+    "tree_distances_from_point",
+    "separation_levels",
+    "cophenetic_correlation",
+    "tree_nearest",
+    "range_query",
+    "closest_pair",
+    "hierarchy_stats",
+    "HierarchyStats",
+    "to_newick",
+    "to_linkage",
+    "from_linkage",
+    "validate_hst",
+    "check_refinement_chain",
+    "check_domination",
+]

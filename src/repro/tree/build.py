@@ -1,0 +1,125 @@
+"""Constructing HSTrees from hierarchies of flat partitions."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.partition.base import FlatPartition, refine
+from repro.tree.hst import HSTree
+from repro.util.validation import require
+
+
+def geometric_weights(
+    top_weight: float, num_levels: int, *, ratio: float = 0.5
+) -> np.ndarray:
+    """Level weights ``top_weight * ratio^(i)`` for i = 0..L-1.
+
+    The paper's schedule: scale (and hence edge weight ``∝ sqrt(r) w``)
+    halves per level.
+    """
+    require(top_weight > 0, "top_weight must be positive")
+    require(0 < ratio < 1, "ratio must lie in (0, 1)")
+    return top_weight * ratio ** np.arange(num_levels, dtype=np.float64)
+
+
+def cumulative_refinements(partitions: Sequence[FlatPartition]) -> List[FlatPartition]:
+    """Turn independent per-level draws into a refinement chain.
+
+    Level ``i``'s clusters become the intersection of draws ``1..i`` —
+    exactly the recursive "partition each part" semantics of Algorithm 1,
+    expressed with globally drawn partitions (as Algorithm 2 does).
+    """
+    if not partitions:
+        raise ValueError("need at least one partition level")
+    chain: List[FlatPartition] = []
+    current = FlatPartition.trivial(partitions[0].n)
+    for part in partitions:
+        current = refine(current, part, scale=part.scale)
+        chain.append(current)
+    return chain
+
+
+def build_hst(
+    level_partitions: Sequence[FlatPartition],
+    level_weights: Sequence[float],
+    *,
+    points: Optional[np.ndarray] = None,
+    already_refined: bool = False,
+    force_singleton_leaves: bool = True,
+) -> HSTree:
+    """Assemble an HSTree from per-level partitions.
+
+    Parameters
+    ----------
+    level_partitions:
+        One flat partition per level, coarse to fine.  Unless
+        ``already_refined`` they are treated as independent draws and
+        composed with :func:`cumulative_refinements`.
+    level_weights:
+        One positive edge weight per level (weight of edges from level-i
+        nodes up to their parents).
+    points:
+        Optional original coordinates, stored for downstream consumers.
+    force_singleton_leaves:
+        Append a singleton level (with weight continuing the geometric
+        schedule) if the final level still has multi-point clusters —
+        guaranteeing every point is a leaf, as the embedding requires.
+    """
+    parts = list(level_partitions)
+    weights = [float(w) for w in level_weights]
+    require(len(parts) == len(weights), "need exactly one weight per level")
+    require(len(parts) >= 1, "need at least one level")
+
+    chain = parts if already_refined else cumulative_refinements(parts)
+    n = chain[0].n
+
+    if force_singleton_leaves and not chain[-1].is_singletons():
+        tail_weight = weights[-1] / 2.0 if weights else 1.0
+        if points is not None:
+            # Group exactly coincident points into one leaf: duplicates
+            # are at Euclidean distance 0 and must stay at tree distance
+            # 0.  Coordinate grouping refines the chain (identical points
+            # always received identical partition labels), enforced by
+            # the explicit refine below.
+            _, coord_labels = np.unique(np.asarray(points), axis=0, return_inverse=True)
+            leaf = refine(chain[-1], FlatPartition(coord_labels.astype(np.int64)))
+        else:
+            leaf = FlatPartition.singletons(n, scale=0.0)
+        if leaf.labels.shape[0] and not np.array_equal(leaf.labels, chain[-1].labels):
+            chain = chain + [leaf]
+            weights = weights + [tail_weight]
+
+    label_matrix = np.vstack(
+        [np.zeros(n, dtype=np.int64)] + [p.labels for p in chain]
+    )
+    return HSTree(label_matrix, np.asarray(weights), points=points)
+
+
+def level_schedule(
+    diameter: float, *, min_separation: float = 1.0, r: int = 1,
+    extra_levels: int = 2
+) -> tuple:
+    """Scale schedule ``w_1 > w_2 > ...`` for a hierarchy.
+
+    Starts at ``w_1 = 2^ceil(log2(diameter)) / 2`` (so the whole point
+    set fits within one top-scale part: ``2 sqrt(r) w_1 >= diameter``)
+    and halves until parts are guaranteed smaller than the minimum
+    pairwise separation (``2 sqrt(r) w < min_separation``), plus
+    ``extra_levels`` of slack.  Returns ``(scales, num_levels)``.
+
+    For integer lattice inputs ``min_separation = 1`` (the paper's
+    setting), giving ``L = O(log Δ + log r)`` levels.
+    """
+    require(diameter > 0, "diameter must be positive")
+    require(min_separation > 0, "min_separation must be positive")
+    w1 = 2.0 ** math.ceil(math.log2(diameter)) / 2.0
+    w1 = max(w1, min_separation / 2.0)
+    scales = [w1]
+    while 2.0 * scales[-1] * math.sqrt(r) >= min_separation and len(scales) < 128:
+        scales.append(scales[-1] / 2.0)
+    for _ in range(extra_levels):
+        scales.append(scales[-1] / 2.0)
+    return np.asarray(scales, dtype=np.float64), len(scales)

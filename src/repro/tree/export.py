@@ -1,0 +1,133 @@
+"""Interoperability exports for HSTrees.
+
+* :func:`to_newick` — the Newick format used by phylogenetics and
+  hierarchy tooling (branch lengths = edge weights, leaf names = point
+  indices or user labels);
+* :func:`to_linkage` — a SciPy ``linkage``-style matrix so scipy's
+  dendrogram / cluster-cutting utilities work on the embedding;
+* :func:`from_linkage` — build an HSTree-compatible label matrix from a
+  SciPy linkage (for comparing agglomerative hierarchies against ours).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.tree.hst import HSTree
+from repro.util.validation import require
+
+
+def to_newick(tree: HSTree, *, labels: Optional[Sequence[str]] = None) -> str:
+    """Serialize the HST as a Newick string with branch lengths.
+
+    Leaves are named ``p<i>`` (or ``labels[i]``).  Multi-member leaves
+    (duplicate points sharing a leaf node) expand to zero-length
+    branches so every point appears exactly once.
+    """
+    if labels is not None:
+        require(len(labels) == tree.n, "need one label per point")
+        names = list(labels)
+    else:
+        names = [f"p{i}" for i in range(tree.n)]
+
+    nodes = tree.nodes
+    children = nodes.children()
+
+    def render(v: int) -> str:
+        kids = children.get(v, [])
+        if not kids:
+            members = nodes.members[v]
+            if members.size == 1:
+                return names[int(members[0])]
+            inner = ",".join(f"{names[int(p)]}:0" for p in members)
+            return f"({inner})"
+        inner = ",".join(
+            f"{render(c)}:{nodes.weight[c]:g}" for c in kids
+        )
+        return f"({inner})"
+
+    return render(0) + ";"
+
+
+def to_linkage(tree: HSTree) -> np.ndarray:
+    """SciPy-style linkage matrix of the HST's merge structure.
+
+    Row ``[a, b, dist, size]`` merges clusters a and b at height
+    ``dist`` (the tree distance between their members).  Internal nodes
+    with more than two children become chains of binary merges at the
+    same height, which is how SciPy represents ties.
+    """
+    nodes = tree.nodes
+    children = nodes.children()
+    n = tree.n
+
+    # Map leaves to scipy ids 0..n-1 (multi-member leaves: merge the
+    # members at height 0 first).
+    rows: List[List[float]] = []
+    next_id = n
+    scipy_id = {}
+
+    def merge(a: int, b: int, height: float, size: int) -> int:
+        nonlocal next_id
+        rows.append([float(a), float(b), float(height), float(size)])
+        out = next_id
+        next_id += 1
+        return out
+
+    order = np.argsort(-nodes.level, kind="stable")
+    for v in order:
+        v = int(v)
+        kids = children.get(v, [])
+        if not kids:
+            members = nodes.members[v]
+            current = int(members[0])
+            size = 1
+            for p in members[1:]:
+                current = merge(current, int(p), 0.0, size + 1)
+                size += 1
+            scipy_id[v] = current
+        else:
+            height = 2.0 * float(
+                tree.suffix_weights[int(nodes.level[v])]
+            )
+            current = scipy_id[kids[0]]
+            size = int(nodes.members[kids[0]].size)
+            for c in kids[1:]:
+                size += int(nodes.members[c].size)
+                current = merge(current, scipy_id[c], height, size)
+            scipy_id[v] = current
+
+    return np.asarray(rows, dtype=np.float64).reshape(-1, 4)
+
+
+def from_linkage(linkage: np.ndarray, n: int) -> np.ndarray:
+    """Label matrix (levels x n) of a SciPy linkage's merge sequence.
+
+    Level 0 is the trivial root; each subsequent level undoes one merge
+    (coarse to fine).  Lets agglomerative baselines be compared with
+    HSTree tooling.  Heights are not preserved — callers supply weights.
+    """
+    linkage = np.asarray(linkage, dtype=np.float64)
+    require(linkage.shape[1] == 4, "linkage must be (m, 4)")
+    member_lists = {i: [i] for i in range(n)}
+    next_id = n
+    snapshots = []
+    for a, b, _h, _s in linkage:
+        member_lists[next_id] = member_lists.pop(int(a)) + member_lists.pop(int(b))
+        next_id += 1
+        snapshot = np.empty(n, dtype=np.int64)
+        for label, (cid, members) in enumerate(sorted(member_lists.items())):
+            snapshot[members] = label
+        snapshots.append(snapshot)
+    # snapshots go fine -> coarse as merges proceed; we want root first.
+    rows = [np.zeros(n, dtype=np.int64)] + snapshots[::-1] + [
+        np.arange(n, dtype=np.int64)
+    ]
+    # Deduplicate consecutive identical rows (the last merge == root).
+    dedup = [rows[0]]
+    for row in rows[1:]:
+        if not np.array_equal(row, dedup[-1]):
+            dedup.append(row)
+    return np.vstack(dedup)

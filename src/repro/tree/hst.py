@@ -1,0 +1,204 @@
+"""The HSTree container.
+
+An HST over ``n`` points with ``L`` partitioning levels is stored as:
+
+* ``label_matrix`` — ``(L+1, n)`` int64; row 0 is all zeros (the root
+  cluster), row ``i`` gives each point's cluster id at level ``i``, and
+  row ``L`` is a singleton labeling (every point its own leaf cluster);
+* ``level_weights`` — ``(L,)`` float; ``level_weights[i-1]`` is the
+  weight of every edge between a level-``i`` node and its level-``i-1``
+  parent.
+
+This "same weight per level" structure is exactly what the paper's
+construction produces (edge weight ``∝ sqrt(r) * w`` at scale ``w``), and
+it makes the tree metric a function of the *separation level* alone:
+
+    dist_T(p, q) = 2 * sum(level_weights[s-1:])   where
+    s = min{ i : label_matrix[i, p] != label_matrix[i, q] }
+
+(and 0 when the points share even the leaf label, i.e. are duplicates
+merged into one leaf).
+
+Explicit node-level structure (parents, children, per-node members) is
+materialized lazily for consumers that walk the tree (MST extraction,
+EMD flows, networkx export).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class HSTree:
+    """A hierarchically well-separated tree over ``n`` points."""
+
+    label_matrix: np.ndarray
+    level_weights: np.ndarray
+    points: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.label_matrix, dtype=np.int64)
+        weights = np.asarray(self.level_weights, dtype=np.float64)
+        require(labels.ndim == 2, "label_matrix must be (L+1, n)")
+        require(weights.ndim == 1, "level_weights must be 1-D")
+        require(
+            labels.shape[0] == weights.shape[0] + 1,
+            f"need exactly one weight per level: got {labels.shape[0]} label rows "
+            f"and {weights.shape[0]} weights",
+        )
+        require(bool((weights > 0).all()), "level weights must be positive")
+        require(bool((labels[0] == 0).all()), "level 0 must be the trivial root")
+        object.__setattr__(self, "label_matrix", labels)
+        object.__setattr__(self, "level_weights", weights)
+
+    # -- basic shape ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of embedded points."""
+        return int(self.label_matrix.shape[1])
+
+    @property
+    def num_levels(self) -> int:
+        """Number of partitioning levels L (root row excluded)."""
+        return int(self.label_matrix.shape[0] - 1)
+
+    @cached_property
+    def suffix_weights(self) -> np.ndarray:
+        """``suffix_weights[i] = sum(level_weights[i:])`` with trailing 0.
+
+        ``dist_T = 2 * suffix_weights[s-1]`` for separation level ``s``.
+        """
+        return np.concatenate(
+            [np.cumsum(self.level_weights[::-1])[::-1], [0.0]]
+        )
+
+    def clusters_per_level(self) -> np.ndarray:
+        """Number of distinct clusters at each level (root included)."""
+        return np.array(
+            [len(np.unique(row)) for row in self.label_matrix], dtype=np.int64
+        )
+
+    # -- node materialization ---------------------------------------------
+
+    @cached_property
+    def nodes(self) -> "TreeNodes":
+        """Explicit node arrays (lazily built, cached)."""
+        return TreeNodes.from_label_matrix(self.label_matrix, self.level_weights)
+
+    def to_networkx(self):
+        """Export as a weighted ``networkx.Graph`` (nodes = tree nodes).
+
+        Leaf nodes carry a ``point`` attribute with the point index.
+        """
+        import networkx as nx
+
+        nodes = self.nodes
+        g = nx.Graph()
+        for node in range(nodes.count):
+            g.add_node(node, level=int(nodes.level[node]))
+        for node in range(1, nodes.count):
+            g.add_edge(node, int(nodes.parent[node]), weight=float(nodes.weight[node]))
+        for point, leaf in enumerate(nodes.leaf_of_point):
+            g.nodes[int(leaf)]["point"] = point
+        return g
+
+    def total_edge_weight(self) -> float:
+        """Sum of all edge weights (the tree's cost as a spanning object)."""
+        nodes = self.nodes
+        return float(nodes.weight[1:].sum())
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialize to ``.npz`` (label matrix, weights, optional points)."""
+        arrays = {
+            "label_matrix": self.label_matrix,
+            "level_weights": self.level_weights,
+        }
+        if self.points is not None:
+            arrays["points"] = np.asarray(self.points)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "HSTree":
+        """Load a tree written by :meth:`save`."""
+        data = np.load(path)
+        points = data["points"] if "points" in data.files else None
+        return cls(data["label_matrix"], data["level_weights"], points=points)
+
+
+@dataclass(frozen=True)
+class TreeNodes:
+    """Flattened node arrays for one HSTree.
+
+    Node 0 is the root.  Nodes are numbered level by level; ``parent[v]``
+    is the node id of v's parent (root's parent is -1), ``weight[v]`` the
+    weight of the edge to the parent (0 for the root), ``level[v]`` the
+    partition level the node lives at, and ``leaf_of_point[p]`` the node
+    id of point p's leaf.
+    """
+
+    parent: np.ndarray
+    weight: np.ndarray
+    level: np.ndarray
+    leaf_of_point: np.ndarray
+    members: List[np.ndarray] = field(repr=False)
+
+    @property
+    def count(self) -> int:
+        return int(self.parent.shape[0])
+
+    def children(self) -> Dict[int, List[int]]:
+        """Adjacency map parent -> children (computed on demand)."""
+        out: Dict[int, List[int]] = {}
+        for v in range(1, self.count):
+            out.setdefault(int(self.parent[v]), []).append(v)
+        return out
+
+    @classmethod
+    def from_label_matrix(
+        cls, label_matrix: np.ndarray, level_weights: np.ndarray
+    ) -> "TreeNodes":
+        num_rows, n = label_matrix.shape
+        parents: List[int] = [-1]
+        weights: List[float] = [0.0]
+        levels: List[int] = [0]
+        members: List[np.ndarray] = [np.arange(n)]
+
+        # node id of each cluster at the previous level, per point.
+        prev_node_of_point = np.zeros(n, dtype=np.int64)
+
+        for lvl in range(1, num_rows):
+            row = label_matrix[lvl]
+            # A node is a (parent cluster, this-level label) pair: two
+            # points with equal level labels but different parents must
+            # become different nodes (labels are only unique per draw).
+            packed = prev_node_of_point * np.int64(row.max() + 1) + row
+            uniques, node_idx = np.unique(packed, return_inverse=True)
+            base = len(parents)
+            node_of_point = base + node_idx
+            order = np.argsort(node_idx, kind="stable")
+            boundaries = np.flatnonzero(np.diff(node_idx[order])) + 1
+            groups = np.split(order, boundaries)
+            for g in groups:
+                parents.append(int(prev_node_of_point[g[0]]))
+                weights.append(float(level_weights[lvl - 1]))
+                levels.append(lvl)
+                members.append(g)
+            prev_node_of_point = node_of_point
+
+        return cls(
+            parent=np.asarray(parents, dtype=np.int64),
+            weight=np.asarray(weights, dtype=np.float64),
+            level=np.asarray(levels, dtype=np.int64),
+            leaf_of_point=prev_node_of_point.copy(),
+            members=members,
+        )

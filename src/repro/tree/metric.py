@@ -1,0 +1,114 @@
+"""Tree-metric computations on HSTrees.
+
+Everything here exploits the level structure: the distance between two
+points is determined by the first level whose clusters separate them, so
+pairwise distances over ``m`` pairs cost ``O(L * m)`` vectorized numpy
+operations and no tree walking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tree.hst import HSTree
+from repro.util.validation import require
+
+
+def separation_levels(
+    tree: HSTree, pairs_i: np.ndarray, pairs_j: np.ndarray
+) -> np.ndarray:
+    """First level (1-based) at which each pair's clusters differ.
+
+    Returns ``L + 1`` for pairs that are never separated (duplicate
+    points sharing a leaf).
+    """
+    pairs_i = np.asarray(pairs_i, dtype=np.int64)
+    pairs_j = np.asarray(pairs_j, dtype=np.int64)
+    labels = tree.label_matrix
+    num_levels = tree.num_levels
+    sep = np.full(pairs_i.shape, num_levels + 1, dtype=np.int64)
+    undecided = np.ones(pairs_i.shape, dtype=bool)
+    for lvl in range(1, num_levels + 1):
+        if not undecided.any():
+            break
+        row = labels[lvl]
+        differs = undecided & (row[pairs_i] != row[pairs_j])
+        sep[differs] = lvl
+        undecided &= ~differs
+    return sep
+
+
+def distances_for_separation(tree: HSTree, sep: np.ndarray) -> np.ndarray:
+    """Map separation levels to tree distances: ``2 * suffix_weights``."""
+    suffix = tree.suffix_weights
+    sep = np.asarray(sep, dtype=np.int64)
+    # sep == L+1 -> suffix index L -> 0 (shared leaf / duplicates).
+    return 2.0 * suffix[np.clip(sep - 1, 0, suffix.shape[0] - 1)]
+
+
+def tree_distance(tree: HSTree, i: int, j: int) -> float:
+    """Tree-metric distance between points ``i`` and ``j``."""
+    if i == j:
+        return 0.0
+    sep = separation_levels(tree, np.array([i]), np.array([j]))
+    return float(distances_for_separation(tree, sep)[0])
+
+
+def pairwise_tree_distances(
+    tree: HSTree, *, pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+) -> np.ndarray:
+    """Tree distances for all (or the given) point pairs.
+
+    Without ``pairs``, returns the condensed upper-triangle vector in
+    scipy ``pdist`` order — directly comparable with
+    :func:`repro.geometry.metrics.pairwise_distances_condensed`.
+    """
+    if pairs is None:
+        n = tree.n
+        iu, ju = np.triu_indices(n, k=1)
+    else:
+        iu, ju = pairs
+    sep = separation_levels(tree, iu, ju)
+    return distances_for_separation(tree, sep)
+
+
+def tree_distances_from_point(tree: HSTree, i: int) -> np.ndarray:
+    """Distances from point ``i`` to every point (vector of length n)."""
+    n = tree.n
+    others = np.arange(n)
+    sep = separation_levels(tree, np.full(n, i, dtype=np.int64), others)
+    dists = distances_for_separation(tree, sep)
+    dists[i] = 0.0
+    return dists
+
+
+def cophenetic_correlation(tree: HSTree, points: np.ndarray) -> float:
+    """Pearson correlation between tree and Euclidean pairwise distances.
+
+    The standard scalar score for how faithfully a hierarchy represents
+    a metric (1.0 = perfect monotone agreement in the linear sense).
+    Distortion bounds the worst pair; this summarizes the bulk.
+    """
+    from repro.geometry.metrics import pairwise_distances_condensed
+
+    pts = np.asarray(points, dtype=np.float64)
+    require(pts.shape[0] == tree.n, "points/tree size mismatch")
+    require(tree.n >= 3, "need at least 3 points for a correlation")
+    euclid = pairwise_distances_condensed(pts)
+    treed = pairwise_tree_distances(tree)
+    if euclid.std() == 0 or treed.std() == 0:
+        return 0.0
+    return float(np.corrcoef(euclid, treed)[0, 1])
+
+
+def subtree_counts_at_level(tree: HSTree, level: int) -> np.ndarray:
+    """Cluster sizes at a level, aligned with that level's labels.
+
+    ``counts[c]`` is the number of points whose level-``level`` cluster
+    label is ``c`` — the densest-ball primitive (Corollary 1(1)).
+    """
+    require(0 <= level <= tree.num_levels, f"level out of range: {level}")
+    row = tree.label_matrix[level]
+    return np.bincount(row, minlength=int(row.max()) + 1)

@@ -1,0 +1,103 @@
+"""Query primitives on tree embeddings.
+
+The compactness of an HST makes several queries cheap that are expensive
+in the original metric; these are the operations downstream users
+(clustering, dedup, outlier detection) typically run on the embedding:
+
+* :func:`tree_nearest` — approximate nearest neighbor (exact in the
+  tree metric): the closest co-clustered point at the deepest shared
+  level;
+* :func:`range_query` — all points within a tree-metric radius;
+* :func:`closest_pair` — the globally closest pair under the tree
+  metric, found in O(n L) time via deepest non-singleton clusters.
+
+Tree-metric answers relate to Euclidean answers through the embedding
+guarantees: distances never shrink (domination), so a tree range query
+with radius R is a *superset-free* filter — every reported point is
+within R in the tree, hence candidates for Euclidean radius R only need
+checking among them... and by the distortion bound the true nearest
+neighbor is within an O(distortion) factor of the tree answer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tree.hst import HSTree
+from repro.tree.metric import tree_distances_from_point
+from repro.util.validation import require
+
+
+def tree_nearest(tree: HSTree, i: int) -> Tuple[int, float]:
+    """Nearest neighbor of point ``i`` under the tree metric.
+
+    Exact in the tree metric (ties broken by lowest index); an
+    O(distortion)-approximate Euclidean nearest neighbor by the
+    embedding guarantee.  Returns ``(index, tree_distance)``.
+    """
+    require(0 <= i < tree.n, f"point index out of range: {i}")
+    require(tree.n >= 2, "need at least two points")
+    dists = tree_distances_from_point(tree, i)
+    dists[i] = np.inf
+    j = int(np.argmin(dists))
+    return j, float(dists[j])
+
+
+def range_query(tree: HSTree, i: int, radius: float) -> np.ndarray:
+    """All points within tree-metric ``radius`` of point ``i``.
+
+    Because the tree dominates the Euclidean metric, the result is a
+    *subset* of the Euclidean ball of the same radius — a sound
+    candidate filter with no false Euclidean positives.
+    """
+    require(radius >= 0, f"radius must be >= 0, got {radius}")
+    dists = tree_distances_from_point(tree, i)
+    hits = np.flatnonzero(dists <= radius)
+    return hits[hits != i]
+
+
+def closest_pair(tree: HSTree) -> Tuple[int, int, float]:
+    """The closest pair of distinct points under the tree metric.
+
+    The pair separated deepest in the hierarchy: find the deepest level
+    with a non-singleton cluster and take two of its members.  O(n L)
+    rather than O(n^2).
+    """
+    require(tree.n >= 2, "need at least two points")
+    labels = tree.label_matrix
+    suffix = tree.suffix_weights
+    for lvl in range(tree.num_levels, 0, -1):
+        row = labels[lvl]
+        counts = np.bincount(row)
+        fat = np.flatnonzero(counts > 1)
+        if fat.size:
+            members = np.flatnonzero(row == fat[0])[:2]
+            if lvl == tree.num_levels:
+                dist = 0.0  # duplicates sharing a leaf
+            else:
+                dist = float(2.0 * suffix[lvl])
+            return int(members[0]), int(members[1]), dist
+    # All levels singleton above the root: pair split at level 1.
+    return 0, 1, float(2.0 * suffix[0])
+
+
+def nearest_via_levels(tree: HSTree, i: int) -> Optional[int]:
+    """A co-clustered companion at the deepest level sharing a cluster.
+
+    Cheaper than :func:`tree_nearest` (no distance vector): walks label
+    rows from the bottom and returns the first companion found, which is
+    *a* tree-nearest neighbor (all points first co-clustered at the same
+    level are equidistant from ``i``).  Returns None when ``i`` never
+    shares a cluster below the root — then every other point is
+    tree-nearest.
+    """
+    require(0 <= i < tree.n, f"point index out of range: {i}")
+    labels = tree.label_matrix
+    for lvl in range(tree.num_levels, 0, -1):
+        row = labels[lvl]
+        mates = np.flatnonzero(row == row[i])
+        if mates.size > 1:
+            return int(mates[mates != i][0])
+    return None

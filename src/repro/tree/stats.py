@@ -1,0 +1,98 @@
+"""Structural diagnostics of tree embeddings.
+
+``hierarchy_stats`` summarizes what an embedding's hierarchy looks like
+— cluster counts, sizes, branching, and effective depth per level —
+the numbers one inspects when a distortion result is surprising (e.g.
+"did the top level shatter the data immediately?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.tree.hst import HSTree
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Per-level summary of one hierarchy level."""
+
+    level: int
+    scale_weight: float
+    clusters: int
+    largest: int
+    mean_size: float
+    singletons: int
+    split_from_parent: int  # how many parent clusters were split here
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Whole-hierarchy summary."""
+
+    levels: List[LevelStats]
+    num_points: int
+    depth: int
+    first_singleton_level: int
+    mean_branching: float
+
+    def as_rows(self) -> List[Dict]:
+        """Table-friendly rows (benchmarks / debugging output)."""
+        return [
+            {
+                "level": s.level,
+                "weight": s.scale_weight,
+                "clusters": s.clusters,
+                "largest": s.largest,
+                "mean_size": s.mean_size,
+                "singletons": s.singletons,
+                "splits": s.split_from_parent,
+            }
+            for s in self.levels
+        ]
+
+
+def hierarchy_stats(tree: HSTree) -> HierarchyStats:
+    """Compute per-level structure statistics for an HSTree."""
+    n = tree.n
+    levels: List[LevelStats] = []
+    first_singleton = tree.num_levels
+    prev_counts = 1
+    total_branch, branch_events = 0, 0
+
+    for lvl in range(1, tree.num_levels + 1):
+        row = tree.label_matrix[lvl]
+        sizes = np.bincount(row)
+        sizes = sizes[sizes > 0]
+        clusters = int(sizes.shape[0])
+        singletons = int((sizes == 1).sum())
+        split = clusters - prev_counts
+        if clusters > prev_counts:
+            total_branch += clusters
+            branch_events += prev_counts
+        if clusters == n and first_singleton == tree.num_levels:
+            first_singleton = lvl
+        levels.append(
+            LevelStats(
+                level=lvl,
+                scale_weight=float(tree.level_weights[lvl - 1]),
+                clusters=clusters,
+                largest=int(sizes.max()),
+                mean_size=float(sizes.mean()),
+                singletons=singletons,
+                split_from_parent=max(0, split),
+            )
+        )
+        prev_counts = clusters
+
+    mean_branching = (total_branch / branch_events) if branch_events else 1.0
+    return HierarchyStats(
+        levels=levels,
+        num_points=n,
+        depth=tree.num_levels,
+        first_singleton_level=first_singleton,
+        mean_branching=float(mean_branching),
+    )

@@ -1,0 +1,126 @@
+"""Structural and metric invariants of HSTrees.
+
+These checks back the property-based tests and double as debugging
+tools: every embedding the library produces must pass
+:func:`validate_hst` and (given the source points)
+:func:`check_domination` — Theorem 2's first guarantee, which holds
+*deterministically*, not just in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.metrics import pairwise_distances_condensed
+from repro.tree.hst import HSTree
+from repro.tree.metric import pairwise_tree_distances
+
+
+class TreeInvariantError(AssertionError):
+    """An HSTree violated a structural or metric invariant."""
+
+
+def check_refinement_chain(label_matrix: np.ndarray) -> None:
+    """Each level must refine the previous (clusters only split, never merge).
+
+    Equivalent statement: at every level, points sharing a label must
+    have shared a label at the previous level.
+    """
+    labels = np.asarray(label_matrix)
+    for lvl in range(1, labels.shape[0]):
+        fine, coarse = labels[lvl], labels[lvl - 1]
+        # For each fine cluster, all members must agree on their coarse
+        # label: group-wise min == max.
+        order = np.argsort(fine, kind="stable")
+        f_sorted = fine[order]
+        c_sorted = coarse[order]
+        boundaries = np.flatnonzero(np.diff(f_sorted)) + 1
+        for grp in np.split(c_sorted, boundaries):
+            if grp.size and grp.min() != grp.max():
+                raise TreeInvariantError(
+                    f"level {lvl} merges clusters that level {lvl - 1} separated"
+                )
+
+
+def check_singleton_leaves(tree: HSTree) -> None:
+    """The last level must isolate every distinct point.
+
+    Exactly coincident points may (and should) share a leaf; when the
+    tree carries its source coordinates we count distinct rows, otherwise
+    we require index singletons.
+    """
+    last = tree.label_matrix[-1]
+    if tree.points is not None:
+        distinct = len(np.unique(np.asarray(tree.points), axis=0))
+        if len(np.unique(last)) != distinct:
+            raise TreeInvariantError(
+                "final level does not isolate distinct coordinates"
+            )
+        # And no leaf may mix different coordinates.
+        order = np.argsort(last, kind="stable")
+        pts_sorted = np.asarray(tree.points)[order]
+        boundaries = np.flatnonzero(np.diff(last[order])) + 1
+        for grp in np.split(pts_sorted, boundaries):
+            if grp.shape[0] > 1 and not (grp == grp[0]).all():
+                raise TreeInvariantError("a leaf mixes distinct coordinates")
+    elif len(np.unique(last)) != tree.n:
+        raise TreeInvariantError("final level is not a singleton partition")
+
+
+def check_metric_axioms(tree: HSTree, *, sample_pairs: int = 512,
+                        seed: int = 0) -> None:
+    """Spot-check symmetry and the (ultrametric-strength) triangle inequality.
+
+    HST metrics are ultrametrics up to the factor-2 path structure:
+    ``d(x,z) <= max(d(x,y), d(y,z))`` holds because the separation level
+    of (x,z) is at least the min of the other two separation levels.
+    """
+    n = tree.n
+    if n < 3:
+        return
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, size=(sample_pairs, 3))
+    ij = pairwise_tree_distances(tree, pairs=(idx[:, 0], idx[:, 1]))
+    jk = pairwise_tree_distances(tree, pairs=(idx[:, 1], idx[:, 2]))
+    ik = pairwise_tree_distances(tree, pairs=(idx[:, 0], idx[:, 2]))
+    degenerate = (idx[:, 0] == idx[:, 2])
+    lhs = ik[~degenerate]
+    rhs = np.maximum(ij, jk)[~degenerate]
+    if not np.all(lhs <= rhs + 1e-9):
+        raise TreeInvariantError("tree metric violates the ultrametric inequality")
+
+
+def check_domination(
+    tree: HSTree,
+    points: np.ndarray,
+    *,
+    tolerance: float = 1e-9,
+) -> float:
+    """Theorem 2 part 1: ``dist_T(p, q) >= ||p - q||`` for all pairs.
+
+    Returns the minimum ratio ``dist_T / ||p-q||`` over distinct pairs
+    (>= 1 when domination holds).  Raises on violation.
+    """
+    euclid = pairwise_distances_condensed(points)
+    treed = pairwise_tree_distances(tree)
+    positive = euclid > 0
+    if not positive.any():
+        return float("inf")
+    ratios = treed[positive] / euclid[positive]
+    worst = float(ratios.min())
+    if worst < 1.0 - tolerance:
+        raise TreeInvariantError(
+            f"domination violated: min dist_T/||p-q|| = {worst:.6f} < 1"
+        )
+    return worst
+
+
+def validate_hst(tree: HSTree, points: Optional[np.ndarray] = None) -> None:
+    """Run the full invariant suite (domination only when points given)."""
+    check_refinement_chain(tree.label_matrix)
+    check_singleton_leaves(tree)
+    check_metric_axioms(tree)
+    if points is not None:
+        check_domination(tree, points)

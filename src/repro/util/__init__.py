@@ -1,0 +1,26 @@
+"""Shared utilities: randomness management, size accounting, validation.
+
+These helpers are deliberately tiny and dependency-free so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.rng import as_generator, spawn, spawn_many
+from repro.util.sizing import words, words_of_array
+from repro.util.validation import (
+    check_points,
+    check_positive,
+    check_power_of_two,
+    require,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "spawn_many",
+    "words",
+    "words_of_array",
+    "check_points",
+    "check_positive",
+    "check_power_of_two",
+    "require",
+]

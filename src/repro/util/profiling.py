@@ -1,0 +1,65 @@
+"""Lightweight timing helpers (per the hpc-parallel workflow guides:
+no optimization without measurement).
+
+``StageTimer`` collects named wall-clock stages; ``time_block`` is a
+one-off context manager.  Used by benchmarks and the profiling example;
+library code never self-times.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@contextmanager
+def time_block() -> Iterator[List[float]]:
+    """``with time_block() as t: ...`` then ``t[0]`` is elapsed seconds."""
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named stage durations (re-entrant per stage)."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.stages:
+                self._order.append(name)
+                self.stages[name] = 0.0
+            self.stages[name] += elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def items(self) -> List[Tuple[str, float]]:
+        """Stages in first-seen order."""
+        return [(name, self.stages[name]) for name in self._order]
+
+    def summary(self) -> str:
+        """Aligned text table of stage timings."""
+        if not self.stages:
+            return "no stages recorded"
+        width = max(len(n) for n in self._order)
+        lines = [
+            f"{name:<{width}}  {secs:8.3f}s  {100 * secs / max(self.total, 1e-12):5.1f}%"
+            for name, secs in self.items()
+        ]
+        lines.append(f"{'total':<{width}}  {self.total:8.3f}s")
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Randomness plumbing.
+
+Every public entry point in :mod:`repro` accepts either a seed (``int``),
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh OS
+entropy).  Internally we always work with ``Generator`` objects and derive
+independent child streams with :func:`spawn` so that
+
+* results are reproducible given a seed,
+* parallel components (e.g. simulated MPC machines, per-bucket ball
+  partitionings) receive *statistically independent* streams, and
+* adding a new consumer of randomness never perturbs existing ones
+  (streams are derived by explicit spawning, not by sharing one stream).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (OS entropy), an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive one independent child generator from ``rng``."""
+    return spawn_many(rng, 1)[0]
+
+
+def spawn_many(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Uses the bit generator's ``spawn`` support (PCG64 seed sequences), so
+    children are independent of each other *and* of the parent's future
+    output.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    seed_seq = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+    if seed_seq is None:  # pragma: no cover - numpy always sets one
+        seed_seq = np.random.SeedSequence()
+    return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, n: int, k: int
+) -> np.ndarray:
+    """Sample ``k`` distinct indices from ``range(n)`` (sorted).
+
+    Thin convenience wrapper used by sample sort and workload generators.
+    """
+    if k > n:
+        raise ValueError(f"cannot choose {k} distinct items from {n}")
+    return np.sort(rng.choice(n, size=k, replace=False))
+
+
+def iter_spawn(rng: np.random.Generator) -> Iterable[np.random.Generator]:
+    """Infinite iterator of independent child generators."""
+    while True:
+        yield spawn(rng)
+
+
+def derive_seed(rng: np.random.Generator, bits: int = 63) -> int:
+    """Draw a fresh integer seed (useful for logging / reruns)."""
+    return int(rng.integers(0, 2**bits, dtype=np.uint64))
+
+
+def maybe_seeded(seed: SeedLike, default_seed: Optional[int] = None) -> np.random.Generator:
+    """Like :func:`as_generator` but with a fallback default seed.
+
+    Benchmarks use this so that un-seeded runs are still deterministic.
+    """
+    if seed is None and default_seed is not None:
+        return np.random.default_rng(default_seed)
+    return as_generator(seed)

@@ -1,0 +1,63 @@
+"""Word-count accounting for the MPC simulator.
+
+The MPC model measures memory in *words*: one machine word holds a point
+coordinate, an integer id, or a float.  Theorems 1 and 3 of the paper
+bound local memory per machine at ``O((nd)^eps)`` words and total space at
+near-linear in ``n*d`` words, so our simulator needs a consistent way to
+charge arbitrary Python payloads against those budgets.
+
+The rules implemented by :func:`words`:
+
+* numpy arrays: one word per element (regardless of dtype width — the
+  model is unit-cost);
+* numpy / python scalars, bools, None: 1 word;
+* strings and bytes: 1 word per 8 characters/bytes, minimum 1 (ids and
+  small labels are a word; we do not let long strings smuggle data);
+* tuples/lists/sets/frozensets: sum of elements plus 1 word of structure;
+* dicts: 1 + sum over keys and values;
+* dataclass-like objects exposing ``mpc_words() -> int`` are delegated to.
+
+Anything else raises ``TypeError`` so that un-accounted payloads cannot
+silently sneak through the communication layer.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+import numpy as np
+
+
+def words_of_array(arr: np.ndarray) -> int:
+    """Word charge for a numpy array: one word per element."""
+    return max(1, int(arr.size))
+
+
+def words(obj: Any) -> int:
+    """Return the number of machine words charged for ``obj``.
+
+    See the module docstring for the cost model.  This is intentionally
+    strict: unknown types are an error, not a guess.
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, np.ndarray):
+        return words_of_array(obj)
+    if isinstance(obj, (bool, np.bool_)):
+        return 1
+    if isinstance(obj, numbers.Number):
+        return 1
+    if isinstance(obj, (str, bytes)):
+        return max(1, (len(obj) + 7) // 8)
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return 1 + sum(words(item) for item in obj)
+    if isinstance(obj, dict):
+        return 1 + sum(words(k) + words(v) for k, v in obj.items())
+    sizer = getattr(obj, "mpc_words", None)
+    if callable(sizer):
+        return int(sizer())
+    raise TypeError(
+        f"cannot account MPC words for object of type {type(obj).__name__}; "
+        "add an mpc_words() method or use arrays/tuples/dicts"
+    )

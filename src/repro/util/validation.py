@@ -1,0 +1,71 @@
+"""Argument validation helpers shared across the library.
+
+All validators raise ``ValueError``/``TypeError`` with actionable
+messages.  Hot loops never call these; they guard public entry points
+only, per the "validate at the boundary, trust inside" idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Validate that a numeric parameter is (strictly) positive."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Validate that ``value`` is a positive power of two."""
+    if value < 1 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_points(
+    points: Any,
+    *,
+    name: str = "points",
+    min_points: int = 1,
+    dims: Optional[int] = None,
+) -> np.ndarray:
+    """Validate and canonicalize a point set.
+
+    Accepts anything ``np.asarray`` can turn into a 2-D float array of
+    shape ``(n, d)`` with finite entries.  Returns a float64 C-contiguous
+    array (a view when the input already qualifies).
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D (n, d) array, got shape {arr.shape}")
+    n, d = arr.shape
+    if n < min_points:
+        raise ValueError(f"{name} needs at least {min_points} points, got {n}")
+    if d < 1:
+        raise ValueError(f"{name} must have at least one dimension")
+    if dims is not None and d != dims:
+        raise ValueError(f"{name} must have {dims} dimensions, got {d}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite coordinates")
+    return np.ascontiguousarray(arr)
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, names: Tuple[str, str]) -> None:
+    """Validate that two arrays share a shape (e.g. paired EMD inputs)."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{names[0]} and {names[1]} must have identical shapes, "
+            f"got {a.shape} vs {b.shape}"
+        )

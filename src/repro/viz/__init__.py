@@ -1,0 +1,23 @@
+"""Visualization: dependency-free SVG rendering of the partitioning methods.
+
+Reproduces the paper's Figure 1 (one level/sample of grid, ball, and
+hybrid partitioning) as standalone SVG files — see
+:func:`repro.viz.partitions.render_figure1` and
+``examples/figure1_render.py``.
+"""
+
+from repro.viz.partitions import (
+    draw_ball_partition,
+    draw_grid_partition,
+    draw_hybrid_partition,
+    render_figure1,
+)
+from repro.viz.svg import SVGCanvas
+
+__all__ = [
+    "SVGCanvas",
+    "draw_grid_partition",
+    "draw_ball_partition",
+    "draw_hybrid_partition",
+    "render_figure1",
+]

@@ -1,0 +1,186 @@
+"""SVG renderings of one level of each partitioning method (Figure 1).
+
+All three functions take a 2-D point set, draw the partition geometry
+(cell lines, balls, or per-axis bands), and color each point by its
+part.  ``render_figure1`` produces the three panels side by side as the
+paper's figure does.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.partition.ball_partition import assign_balls, labels_from_assignment
+from repro.partition.grid_partition import grid_labels
+from repro.partition.grids import ShiftedGrid, build_grid_shifts
+from repro.partition.hybrid import hybrid_assign
+from repro.util.rng import SeedLike, as_generator, spawn_many
+from repro.util.validation import check_points
+from repro.viz.svg import SVGCanvas, label_color
+
+
+def _bounds(points: np.ndarray, pad: float) -> tuple:
+    lo = points.min(axis=0) - pad
+    hi = points.max(axis=0) + pad
+    return float(lo[0]), float(lo[1]), float(hi[0]), float(hi[1])
+
+
+def draw_grid_partition(
+    points: np.ndarray, w: float, *, seed: SeedLike = None, pixels: int = 480
+) -> str:
+    """Figure 1a: random shifted grid with cell width ``w``."""
+    pts = check_points(points, dims=2)
+    rng = as_generator(seed)
+    grid = ShiftedGrid.sample(2, w, seed=rng)
+    labels = grid_labels(pts, grid)
+
+    canvas = SVGCanvas(_bounds(pts, w), pixels=pixels,
+                       title=f"Grid partitioning, w={w:g}")
+    x0, y0, x1, y1 = canvas.x0, canvas.y0, canvas.x1, canvas.y1
+    # Cell boundary lines.
+    k = int(np.floor((x0 - grid.shift[0]) / w))
+    x = grid.shift[0] + k * w
+    while x <= x1:
+        canvas.line(x, y0, x, y1, stroke="#bbb")
+        x += w
+    k = int(np.floor((y0 - grid.shift[1]) / w))
+    y = grid.shift[1] + k * w
+    while y <= y1:
+        canvas.line(x0, y, x1, y, stroke="#bbb")
+        y += w
+    for p, lbl in zip(pts, labels):
+        canvas.dot(p[0], p[1], fill=label_color(int(lbl)))
+    return canvas.to_string()
+
+
+def draw_ball_partition(
+    points: np.ndarray,
+    w: float,
+    *,
+    num_grids: int = 3,
+    cell_factor: float = 4.0,
+    seed: SeedLike = None,
+    pixels: int = 480,
+) -> str:
+    """Figure 1b: balls of radius ``w`` at vertices of grids of cell 4w.
+
+    Draws the first ``num_grids`` grids' balls (successively fainter)
+    and colors covered points by their capturing ball; uncovered points
+    are gray crosses of the figure's "not yet covered" areas.
+    """
+    pts = check_points(points, dims=2)
+    rng = as_generator(seed)
+    cell = cell_factor * w
+    shifts = build_grid_shifts(2, cell, num_grids, seed=rng)
+    assignment = assign_balls(pts, w, shifts, cell_factor=cell_factor)
+    labels = labels_from_assignment(assignment)
+
+    canvas = SVGCanvas(_bounds(pts, cell), pixels=pixels,
+                       title=f"Ball partitioning, w={w:g}, cell={cell:g}")
+    x0, y0, x1, y1 = canvas.x0, canvas.y0, canvas.x1, canvas.y1
+    for g, shift in enumerate(shifts):
+        opacity = max(0.15, 0.6 - 0.2 * g)
+        kx0 = int(np.floor((x0 - shift[0]) / cell))
+        kx1 = int(np.ceil((x1 - shift[0]) / cell))
+        ky0 = int(np.floor((y0 - shift[1]) / cell))
+        ky1 = int(np.ceil((y1 - shift[1]) / cell))
+        for i in range(kx0, kx1 + 1):
+            for j in range(ky0, ky1 + 1):
+                canvas.circle(
+                    shift[0] + i * cell,
+                    shift[1] + j * cell,
+                    w,
+                    stroke="#4466aa",
+                    opacity=opacity,
+                )
+    uncovered = assignment.uncovered
+    for p, lbl, miss in zip(pts, labels, uncovered):
+        color = "#999999" if miss else label_color(int(lbl))
+        canvas.dot(p[0], p[1], fill=color)
+    return canvas.to_string()
+
+
+def draw_hybrid_partition(
+    points: np.ndarray,
+    w: float,
+    *,
+    num_grids: int = 8,
+    cell_factor: float = 4.0,
+    seed: SeedLike = None,
+    pixels: int = 480,
+) -> str:
+    """Figure 1c analogue in 2-D: r=2 buckets, one per axis.
+
+    Each axis runs a 1-D ball partitioning (intervals of length 2w in
+    cells of 4w); the intersection partitions the plane into rectangles
+    — the 2-D shadow of the paper's cylinders.  Interval bands are drawn
+    along each axis; points are colored by their joint part.
+    """
+    pts = check_points(points, dims=2)
+    assignment = hybrid_assign(
+        pts, w, 2, num_grids=num_grids, cell_factor=cell_factor, seed=seed
+    )
+    parts = [labels_from_assignment(b) for b in assignment.buckets]
+    joint = parts[0] * (parts[1].max() + 1) + parts[1]
+    uncovered = assignment.uncovered
+
+    cell = cell_factor * w
+    canvas = SVGCanvas(_bounds(pts, cell), pixels=pixels,
+                       title=f"Hybrid partitioning, r=2, w={w:g}")
+    x0, y0, x1, y1 = canvas.x0, canvas.y0, canvas.x1, canvas.y1
+    # Interval band edges per axis from the first few grids.
+    rng = as_generator(seed)
+    bucket_rngs = spawn_many(rng, 2)
+    for axis in range(2):
+        shifts = build_grid_shifts(1, cell, min(num_grids, 3),
+                                   seed=bucket_rngs[axis])
+        lo, hi = (x0, x1) if axis == 0 else (y0, y1)
+        for g, shift in enumerate(shifts):
+            dash = "4,3" if g else ""
+            k0 = int(np.floor((lo - shift[0]) / cell))
+            k1 = int(np.ceil((hi - shift[0]) / cell))
+            for i in range(k0, k1 + 1):
+                center = shift[0] + i * cell
+                for edge in (center - w, center + w):
+                    if axis == 0:
+                        canvas.line(edge, y0, edge, y1,
+                                    stroke="#aa7744", dash=dash)
+                    else:
+                        canvas.line(x0, edge, x1, edge,
+                                    stroke="#44aa77", dash=dash)
+    for p, lbl, miss in zip(pts, joint, uncovered):
+        color = "#999999" if miss else label_color(int(lbl))
+        canvas.dot(p[0], p[1], fill=color)
+    return canvas.to_string()
+
+
+def render_figure1(
+    out_dir,
+    *,
+    n: int = 160,
+    box: float = 40.0,
+    w: float = 4.0,
+    seed: SeedLike = 0,
+) -> Dict[str, pathlib.Path]:
+    """Write the three Figure 1 panels as SVG files into ``out_dir``.
+
+    Returns the mapping panel-name -> written path.
+    """
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    rng = as_generator(seed)
+    pts = rng.uniform(0, box, size=(n, 2))
+    panels = {
+        "figure1a_grid": draw_grid_partition(pts, w, seed=rng),
+        "figure1b_ball": draw_ball_partition(pts, w, seed=rng),
+        "figure1c_hybrid": draw_hybrid_partition(pts, w, seed=rng),
+    }
+    written = {}
+    for name, svg in panels.items():
+        path = out / f"{name}.svg"
+        path.write_text(svg, encoding="utf-8")
+        written[name] = path
+    return written

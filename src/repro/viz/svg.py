@@ -1,0 +1,123 @@
+"""A tiny SVG writer (no external plotting dependency).
+
+Only the primitives the partition illustrations need: rectangles,
+circles, lines, and text, collected into a well-formed SVG document.
+Coordinates are in data units; the canvas maps the data bounding box to
+pixels with y flipped (SVG y grows downward).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Tuple
+
+from repro.util.validation import require
+
+
+class SVGCanvas:
+    """Accumulates shapes and serializes them to an SVG document."""
+
+    def __init__(
+        self,
+        data_bounds: Tuple[float, float, float, float],
+        *,
+        pixels: int = 480,
+        margin: int = 12,
+        title: Optional[str] = None,
+    ):
+        x0, y0, x1, y1 = data_bounds
+        require(x1 > x0 and y1 > y0, "data bounds must have positive extent")
+        self.x0, self.y0, self.x1, self.y1 = x0, y0, x1, y1
+        self.pixels = pixels
+        self.margin = margin
+        self.title = title
+        self._elements: List[str] = []
+        span = max(x1 - x0, y1 - y0)
+        self._scale = (pixels - 2 * margin) / span
+
+    # -- coordinate mapping ------------------------------------------------
+
+    def _px(self, x: float, y: float) -> Tuple[float, float]:
+        return (
+            self.margin + (x - self.x0) * self._scale,
+            self.pixels - self.margin - (y - self.y0) * self._scale,
+        )
+
+    def _len(self, value: float) -> float:
+        return value * self._scale
+
+    # -- shapes ---------------------------------------------------------------
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *,
+             stroke: str = "#888", width: float = 1.0, dash: str = "") -> None:
+        a, b = self._px(x1, y1)
+        c, d = self._px(x2, y2)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{a:.2f}" y1="{b:.2f}" x2="{c:.2f}" y2="{d:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, *, fill: str = "none",
+               stroke: str = "#333", width: float = 1.0,
+               opacity: float = 1.0) -> None:
+        a, b = self._px(cx, cy)
+        self._elements.append(
+            f'<circle cx="{a:.2f}" cy="{b:.2f}" r="{self._len(r):.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{width}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def dot(self, cx: float, cy: float, *, fill: str = "#000",
+            radius_px: float = 3.0) -> None:
+        a, b = self._px(cx, cy)
+        self._elements.append(
+            f'<circle cx="{a:.2f}" cy="{b:.2f}" r="{radius_px:.2f}" '
+            f'fill="{fill}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, *,
+             fill: str = "none", stroke: str = "#333", width: float = 1.0,
+             opacity: float = 1.0) -> None:
+        a, b = self._px(x, y + h)  # top-left in pixel space
+        self._elements.append(
+            f'<rect x="{a:.2f}" y="{b:.2f}" width="{self._len(w):.2f}" '
+            f'height="{self._len(h):.2f}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{width}" opacity="{opacity:.3f}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, *, size: int = 12,
+             fill: str = "#222") -> None:
+        a, b = self._px(x, y)
+        self._elements.append(
+            f'<text x="{a:.2f}" y="{b:.2f}" font-size="{size}" '
+            f'fill="{fill}" font-family="sans-serif">'
+            f"{html.escape(content)}</text>"
+        )
+
+    # -- output -----------------------------------------------------------
+
+    def to_string(self) -> str:
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.pixels}" height="{self.pixels}" '
+            f'viewBox="0 0 {self.pixels} {self.pixels}">'
+        )
+        title = (
+            f"<title>{html.escape(self.title)}</title>" if self.title else ""
+        )
+        background = (
+            f'<rect x="0" y="0" width="{self.pixels}" height="{self.pixels}" '
+            f'fill="white"/>'
+        )
+        return header + title + background + "".join(self._elements) + "</svg>"
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_string())
+
+
+def label_color(label: int) -> str:
+    """Deterministic, well-spread categorical color for a part label."""
+    hue = (label * 137.508) % 360.0  # golden-angle spacing
+    return f"hsl({hue:.1f}, 65%, 45%)"

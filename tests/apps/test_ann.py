@@ -1,0 +1,76 @@
+"""Tests for approximate nearest neighbors via tree ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ann import TreeANN
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+
+
+@pytest.fixture(scope="module")
+def index():
+    pts = gaussian_clusters(150, 5, 2048, clusters=5, spread=0.01, seed=60)
+    return TreeANN.build(pts, num_trees=4, r=2, seed=61), pts
+
+
+class TestCandidates:
+    def test_never_contains_self(self, index):
+        ann, _ = index
+        for i in (0, 50, 149):
+            assert i not in ann.candidates(i)
+
+    def test_bounded_by_budget(self, index):
+        ann, _ = index
+        cap = ann.candidates_per_tree * ann.ensemble.size
+        for i in (0, 75):
+            assert ann.candidates(i).size <= cap
+
+    def test_out_of_range(self, index):
+        ann, _ = index
+        with pytest.raises(ValueError):
+            ann.candidates(999)
+
+
+class TestQuery:
+    def test_returns_valid_neighbor(self, index):
+        ann, pts = index
+        j, dist = ann.query(10)
+        assert j != 10
+        assert dist == pytest.approx(float(np.linalg.norm(pts[10] - pts[j])))
+
+    def test_quality_on_clustered_data(self, index):
+        ann, _ = index
+        q = ann.quality(queries=np.arange(0, 150, 5))
+        # Within tight clusters the deepest co-clustered point is almost
+        # always the true NN.
+        assert q <= 1.5
+
+    def test_more_trees_do_not_hurt(self):
+        pts = gaussian_clusters(100, 4, 1024, clusters=4, spread=0.01, seed=62)
+        q1 = TreeANN.build(pts, num_trees=1, r=2, seed=63).quality(
+            queries=np.arange(0, 100, 4)
+        )
+        q4 = TreeANN.build(pts, num_trees=4, r=2, seed=63).quality(
+            queries=np.arange(0, 100, 4)
+        )
+        assert q4 <= q1 + 0.1
+
+    def test_uniform_data_still_reasonable(self):
+        pts = uniform_lattice(80, 3, 512, seed=64, unique=True)
+        ann = TreeANN.build(pts, num_trees=4, r=1, seed=65,
+                            candidates_per_tree=12)
+        q = ann.quality(queries=np.arange(0, 80, 4))
+        assert q <= 4.0  # bounded stretch even without cluster structure
+
+    def test_two_points(self):
+        pts = np.array([[1.0, 1.0], [10.0, 10.0]])
+        ann = TreeANN.build(pts, num_trees=2, r=1, seed=66)
+        j, _ = ann.query(0)
+        assert j == 1
+
+
+class TestBuildValidation:
+    def test_bad_budget(self):
+        pts = uniform_lattice(10, 2, 64, seed=67, unique=True)
+        with pytest.raises(ValueError):
+            TreeANN.build(pts, candidates_per_tree=0)

@@ -1,0 +1,135 @@
+"""Tests for embedding-based clustering."""
+
+import numpy as np
+import pytest
+
+from repro.apps.clustering import (
+    clustering_agreement,
+    level_clustering,
+    tree_single_linkage,
+)
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+
+
+def well_separated(seed, n=120):
+    """Four tight clusters at hypercube-corner centers (far apart)."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [
+            [500, 500, 500, 500],
+            [3500, 500, 500, 500],
+            [500, 3500, 3500, 500],
+            [3500, 3500, 3500, 3500],
+        ],
+        dtype=float,
+    )
+    truth = rng.integers(0, 4, n)
+    pts = np.rint(np.clip(centers[truth] + rng.normal(0, 30, (n, 4)), 1, 4096))
+    return pts, truth.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def planted():
+    pts, truth = well_separated(0)
+    tree = sequential_tree_embedding(pts, 2, seed=81)
+    return pts, tree, truth
+
+
+class TestSingleLinkage:
+    def test_recovers_planted_clusters(self, planted):
+        pts, tree, truth = planted
+        labels, cuts = tree_single_linkage(tree, pts, 4)
+        assert clustering_agreement(labels, truth) > 0.95
+
+    def test_recovery_robust_across_seeds(self):
+        # The approximate MST occasionally has a long intra-cluster
+        # edge; average recovery must still be high.
+        scores = []
+        for seed in range(4):
+            pts, truth = well_separated(seed)
+            tree = sequential_tree_embedding(pts, 2, seed=200 + seed)
+            labels, _ = tree_single_linkage(tree, pts, 4)
+            scores.append(clustering_agreement(labels, truth))
+        assert np.mean(scores) > 0.9
+
+    def test_label_count(self, planted):
+        pts, tree, _ = planted
+        labels, _ = tree_single_linkage(tree, pts, 6)
+        assert len(np.unique(labels)) == 6
+
+    def test_k_one_everything_together(self, planted):
+        pts, tree, _ = planted
+        labels, cuts = tree_single_linkage(tree, pts, 1)
+        assert len(np.unique(labels)) == 1
+        assert cuts.size == 0
+
+    def test_cut_lengths_sorted_desc(self, planted):
+        pts, tree, _ = planted
+        _, cuts = tree_single_linkage(tree, pts, 5)
+        assert (np.diff(cuts) <= 1e-12).all()
+
+    def test_validation(self, planted):
+        pts, tree, _ = planted
+        with pytest.raises(ValueError):
+            tree_single_linkage(tree, pts, 0)
+        with pytest.raises(ValueError):
+            tree_single_linkage(tree, pts[:5], 2)
+
+
+class TestLevelClustering:
+    def test_respects_k(self, planted):
+        _, tree, _ = planted
+        for k in (1, 3, 10, 50):
+            labels, level = level_clustering(tree, k)
+            assert len(np.unique(labels)) <= k
+            assert 0 <= level <= tree.num_levels
+
+    def test_deeper_levels_for_larger_k(self, planted):
+        _, tree, _ = planted
+        _, lvl_small = level_clustering(tree, 2)
+        _, lvl_big = level_clustering(tree, 64)
+        assert lvl_big >= lvl_small
+
+    def test_matches_label_matrix(self, planted):
+        _, tree, _ = planted
+        labels, level = level_clustering(tree, 8)
+        row = tree.label_matrix[level]
+        for i in range(0, tree.n, 11):
+            np.testing.assert_array_equal(labels == labels[i], row == row[i])
+
+
+class TestAgreement:
+    def test_identical_is_one(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert clustering_agreement(a, a) == 1.0
+
+    def test_permuted_labels_still_one(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 3, 3])
+        assert clustering_agreement(a, b) == 1.0
+
+    def test_disagreement_detected(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([0, 1, 2, 3])
+        assert clustering_agreement(a, b) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            clustering_agreement(np.zeros(3), np.zeros(4))
+
+    def test_sampled_mode(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=500)
+        full = clustering_agreement(a, a, sample_pairs=None)
+        sampled = clustering_agreement(a, a, sample_pairs=1000)
+        assert full == sampled == 1.0
+
+
+class TestOnUniformData:
+    def test_no_planted_structure_still_valid_partition(self):
+        pts = uniform_lattice(60, 3, 256, seed=82, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=83)
+        labels, _ = tree_single_linkage(tree, pts, 5)
+        assert labels.shape == (60,)
+        assert len(np.unique(labels)) == 5

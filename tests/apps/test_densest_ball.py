@@ -1,0 +1,92 @@
+"""Tests for densest ball via tree embedding (Corollary 1(1))."""
+
+import numpy as np
+import pytest
+
+from repro.apps.densest_ball import exact_densest_ball, tree_densest_ball
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+
+
+def planted_instance(seed=0):
+    """60 noise points plus a tight cluster of 40 points."""
+    rng = np.random.default_rng(seed)
+    noise = rng.uniform(1, 1024, size=(60, 3))
+    center = np.array([500.0, 500.0, 500.0])
+    cluster = center + rng.uniform(-4, 4, size=(40, 3))
+    return np.rint(np.vstack([noise, cluster]))
+
+
+class TestExactDensestBall:
+    def test_finds_planted_cluster(self):
+        pts = planted_instance()
+        res = exact_densest_ball(pts, target_diameter=20.0)
+        assert res.count >= 40
+
+    def test_radius_factor(self):
+        pts = planted_instance()
+        tight = exact_densest_ball(pts, 20.0, radius_factor=0.5)
+        loose = exact_densest_ball(pts, 20.0, radius_factor=1.0)
+        assert loose.count >= tight.count
+
+    def test_members_consistent(self):
+        pts = planted_instance()
+        res = exact_densest_ball(pts, 20.0)
+        assert len(res.members) == res.count
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_densest_ball(planted_instance(), -1.0)
+
+
+class TestTreeDensestBall:
+    def test_finds_most_of_planted_cluster(self):
+        pts = planted_instance(1)
+        counts = []
+        for s in range(5):
+            tree = sequential_tree_embedding(pts, 2, seed=s)
+            res = tree_densest_ball(tree, target_diameter=20.0, r=2, points=pts)
+            counts.append(res.count)
+        exact = exact_densest_ball(pts, 20.0, radius_factor=0.5).count
+        # alpha guarantee: close to OPT on average (generous floor).
+        assert np.mean(counts) >= 0.5 * exact
+
+    def test_beta_bicriteria_bound(self):
+        pts = planted_instance(2)
+        r = 2
+        tree = sequential_tree_embedding(pts, r, seed=3)
+        res = tree_densest_ball(tree, target_diameter=20.0, r=r, points=pts)
+        n = pts.shape[0]
+        beta = res.diameter_bound / 20.0
+        assert beta <= 8 * np.log2(n) ** 1.5
+
+    def test_level_selection_monotone(self):
+        pts = uniform_lattice(50, 3, 512, seed=4, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=5)
+        small = tree_densest_ball(tree, target_diameter=2.0, r=1)
+        large = tree_densest_ball(tree, target_diameter=200.0, r=1)
+        # Larger targets pick shallower levels with more points.
+        assert large.level <= small.level
+        assert large.count >= small.count
+
+    def test_scale_factor_controls_tradeoff(self):
+        pts = planted_instance(3)
+        tree = sequential_tree_embedding(pts, 2, seed=6)
+        greedy = tree_densest_ball(tree, 20.0, r=2, scale_factor=0.5)
+        safe = tree_densest_ball(tree, 20.0, r=2, scale_factor=8.0)
+        assert safe.count >= greedy.count  # shallower level keeps more
+
+    def test_huge_target_returns_everything(self):
+        pts = uniform_lattice(30, 2, 64, seed=7, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=8)
+        res = tree_densest_ball(tree, target_diameter=10_000.0, r=1)
+        assert res.count == 30
+        assert res.level == 0
+
+    def test_validation(self):
+        pts = planted_instance(4)
+        tree = sequential_tree_embedding(pts, 1, seed=9)
+        with pytest.raises(ValueError):
+            tree_densest_ball(tree, -5.0, r=1)
+        with pytest.raises(ValueError):
+            tree_densest_ball(tree, 5.0, r=1, scale_factor=-1.0)

@@ -1,0 +1,103 @@
+"""Tests for EMD via tree embedding (Corollary 1(3))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.emd import (
+    exact_emd,
+    matching_lower_bound,
+    tree_emd,
+    tree_emd_from_tree,
+)
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.emd_instances import shifted_cloud_instance
+
+
+class TestExactEMD:
+    def test_identical_sets_zero(self):
+        a = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert exact_emd(a, a) == pytest.approx(0.0)
+
+    def test_known_matching(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[10.0, 1.0], [0.0, 1.0]])
+        # Optimal pairs (0 -> b1), (1 -> b0): cost 2, not 2*sqrt(101).
+        assert exact_emd(a, b) == pytest.approx(2.0)
+
+    def test_translation_instance(self):
+        a, b = shifted_cloud_instance(30, 2, 100, shift_fraction=0.2, seed=0)
+        shift = b[0, 0] - a[0, 0]
+        assert exact_emd(a, b) == pytest.approx(30 * shift)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_emd(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestTreeEMD:
+    def test_dominates_exact(self):
+        a, b = shifted_cloud_instance(24, 3, 128, seed=1)
+        estimate, _ = tree_emd(a, b, r=2, seed=2)
+        assert estimate >= exact_emd(a, b) - 1e-9
+
+    def test_approximation_reasonable(self):
+        a, b = shifted_cloud_instance(32, 3, 128, seed=3)
+        exact = exact_emd(a, b)
+        estimates = [tree_emd(a, b, r=2, seed=s)[0] for s in range(5)]
+        n = 2 * 32
+        assert np.mean(estimates) / exact <= 8 * math.log2(n) ** 1.5
+
+    def test_zero_when_sets_identical(self):
+        a = np.array([[1.0, 1.0], [5.0, 5.0], [9.0, 1.0]])
+        estimate, _ = tree_emd(a, a.copy(), r=1, seed=4, min_separation=1.0)
+        assert estimate == pytest.approx(0.0)
+
+    def test_reusable_tree(self):
+        a, b = shifted_cloud_instance(16, 2, 64, seed=5)
+        est1, tree = tree_emd(a, b, r=1, seed=6)
+        est2, _ = tree_emd(a, b, tree=tree)
+        assert est1 == pytest.approx(est2)
+
+    def test_tree_size_checked(self):
+        a, b = shifted_cloud_instance(16, 2, 64, seed=7)
+        tree = sequential_tree_embedding(a, 1, seed=8)  # wrong: only A
+        with pytest.raises(ValueError, match="does not match"):
+            tree_emd(a, b, tree=tree)
+
+    def test_flow_formula_hand_checked(self):
+        # Tree: root -> {A0, B0} and {A1, B1}; perfectly balanced at
+        # level 1 so only leaf-level edges carry flow.
+        from repro.tree.hst import HSTree
+
+        labels = np.array(
+            [
+                [0, 0, 0, 0],
+                [0, 1, 0, 1],  # A0 with B0, A1 with B1
+                [0, 1, 2, 3],
+            ]
+        )
+        tree = HSTree(labels, np.array([4.0, 1.0]))
+        # Points 0..1 sources, 2..3 sinks (order: A0 A1 B0 B1).
+        cost = tree_emd_from_tree(tree, 2)
+        # Level 1: clusters {A0,B0} and {A1,B1} balanced -> 0.
+        # Level 2: each singleton has imbalance 1 -> 4 * 1.0 = 4.
+        assert cost == pytest.approx(4.0)
+
+    def test_source_count_validated(self):
+        from repro.tree.hst import HSTree
+
+        labels = np.array([[0, 0], [0, 1]])
+        tree = HSTree(labels, np.array([1.0]))
+        with pytest.raises(ValueError):
+            tree_emd_from_tree(tree, 2)
+
+
+class TestLowerBound:
+    def test_sandwich(self):
+        a, b = shifted_cloud_instance(20, 2, 100, seed=9)
+        lower = matching_lower_bound(a, b)
+        exact = exact_emd(a, b)
+        estimate, _ = tree_emd(a, b, r=1, seed=10)
+        assert lower <= exact + 1e-9 <= estimate + 1e-6

@@ -1,0 +1,97 @@
+"""Tests for weighted (general-demand) EMD."""
+
+import numpy as np
+import pytest
+
+from repro.apps.emd import (
+    exact_emd,
+    exact_emd_weighted,
+    tree_emd_from_tree,
+    tree_emd_weighted,
+)
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.emd_instances import shifted_cloud_instance
+from repro.tree.hst import HSTree
+from repro.util.rng import as_generator
+
+
+def embed_pair(a, b, seed=0):
+    combined = np.vstack([a, b])
+    return sequential_tree_embedding(combined, 1, seed=seed, min_separation=1.0)
+
+
+class TestExactWeighted:
+    def test_reduces_to_unit_demand_matching(self):
+        a, b = shifted_cloud_instance(8, 2, 64, seed=1)
+        lp = exact_emd_weighted(a, np.ones(8), b, np.ones(8))
+        hungarian = exact_emd(a, b)
+        assert lp == pytest.approx(hungarian, rel=1e-6)
+
+    def test_hand_case_split_mass(self):
+        # One source of mass 2 splits to two sinks of mass 1.
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 0.0], [0.0, 4.0]])
+        cost = exact_emd_weighted(a, np.array([2.0]), b, np.ones(2))
+        assert cost == pytest.approx(3.0 + 4.0)
+
+    def test_zero_when_identical(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        cost = exact_emd_weighted(a, np.array([1.0, 2.0]), a, np.array([1.0, 2.0]))
+        assert cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_unbalanced_rejected(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        with pytest.raises(ValueError, match="supply"):
+            exact_emd_weighted(a, np.array([2.0]), b, np.array([1.0]))
+
+    def test_negative_mass_rejected(self):
+        a = np.array([[0.0, 0.0]])
+        with pytest.raises(ValueError, match=">= 0"):
+            exact_emd_weighted(a, np.array([-1.0]), a, np.array([-1.0]))
+
+
+class TestTreeWeighted:
+    def test_reduces_to_unit_demand(self):
+        a, b = shifted_cloud_instance(12, 2, 64, seed=2)
+        tree = embed_pair(a, b, seed=3)
+        demands = np.r_[np.ones(12), -np.ones(12)]
+        assert tree_emd_weighted(tree, demands) == pytest.approx(
+            tree_emd_from_tree(tree, 12)
+        )
+
+    def test_dominates_exact_weighted(self):
+        rng = as_generator(4)
+        a = rng.integers(1, 64, size=(6, 2)).astype(float)
+        b = rng.integers(1, 64, size=(9, 2)).astype(float)
+        mass_a = rng.uniform(0.5, 2.0, size=6)
+        mass_a *= 9.0 / mass_a.sum()
+        mass_b = np.ones(9)
+        exact = exact_emd_weighted(a, mass_a, b, mass_b)
+        tree = embed_pair(a, b, seed=5)
+        demands = np.r_[mass_a, -mass_b]
+        assert tree_emd_weighted(tree, demands) >= exact - 1e-6
+
+    def test_scaling_linearity(self):
+        a, b = shifted_cloud_instance(10, 2, 64, seed=6)
+        tree = embed_pair(a, b, seed=7)
+        demands = np.r_[np.ones(10), -np.ones(10)]
+        base = tree_emd_weighted(tree, demands)
+        assert tree_emd_weighted(tree, 3.0 * demands) == pytest.approx(3 * base)
+
+    def test_zero_demands(self):
+        a, b = shifted_cloud_instance(5, 2, 64, seed=8)
+        tree = embed_pair(a, b, seed=9)
+        assert tree_emd_weighted(tree, np.zeros(10)) == 0.0
+
+    def test_unbalanced_rejected(self):
+        labels = np.array([[0, 0], [0, 1]])
+        tree = HSTree(labels, np.array([1.0]))
+        with pytest.raises(ValueError, match="balance"):
+            tree_emd_weighted(tree, np.array([1.0, 1.0]))
+
+    def test_wrong_length_rejected(self):
+        labels = np.array([[0, 0], [0, 1]])
+        tree = HSTree(labels, np.array([1.0]))
+        with pytest.raises(ValueError, match="one demand"):
+            tree_emd_weighted(tree, np.array([1.0]))

@@ -1,0 +1,73 @@
+"""Tests for exact k-median on the tree metric."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmedian import (
+    brute_force_k_median,
+    k_median_cost,
+    tree_k_median_cost,
+)
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+from repro.tree.hst import HSTree
+
+
+@pytest.fixture(scope="module")
+def small_tree():
+    pts = uniform_lattice(8, 2, 64, seed=50, unique=True)
+    return sequential_tree_embedding(pts, 1, seed=51)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_brute_force(self, small_tree, k):
+        dp = tree_k_median_cost(small_tree, k)
+        assert dp.cost == pytest.approx(brute_force_k_median(small_tree, k))
+
+    def test_hand_computed_two_blocks(self):
+        # Two tight pairs far apart; k=2 puts one facility per pair.
+        labels = np.array([[0, 0, 0, 0], [0, 0, 1, 1], [0, 1, 2, 3]])
+        tree = HSTree(labels, np.array([16.0, 1.0]))
+        # Within a pair: distance 2; across: 2*(16+1)=34.
+        assert tree_k_median_cost(tree, 2).cost == pytest.approx(2.0 + 2.0)
+        # k=1: one pair served at 2, other pair 2 x 34.
+        assert tree_k_median_cost(tree, 1).cost == pytest.approx(2.0 + 2 * 34.0)
+
+
+class TestStructure:
+    def test_monotone_in_k(self, small_tree):
+        costs = [tree_k_median_cost(small_tree, k).cost for k in range(1, 6)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_k_equals_n_gives_zero(self, small_tree):
+        assert tree_k_median_cost(small_tree, small_tree.n).cost == 0.0
+
+    def test_dominated_by_any_explicit_solution(self, small_tree):
+        dp = tree_k_median_cost(small_tree, 2)
+        for subset in ([0, 5], [1, 2], [3, 7]):
+            assert dp.cost <= k_median_cost(small_tree, subset) + 1e-9
+
+    def test_validation(self, small_tree):
+        with pytest.raises(ValueError):
+            tree_k_median_cost(small_tree, 0)
+        with pytest.raises(ValueError):
+            tree_k_median_cost(small_tree, small_tree.n + 1)
+
+
+class TestRealisticInstance:
+    def test_clustered_data_elbow(self):
+        # Cost should drop sharply until k reaches the number of planted
+        # clusters, then flatten.
+        pts = gaussian_clusters(60, 3, 2048, clusters=3, spread=0.01, seed=52)
+        tree = sequential_tree_embedding(pts, 2, seed=53)
+        costs = [tree_k_median_cost(tree, k).cost for k in (1, 2, 3, 4, 5)]
+        drop_to_3 = costs[0] - costs[2]
+        drop_after_3 = costs[2] - costs[4]
+        assert drop_to_3 > 3 * max(drop_after_3, 1e-9)
+
+    def test_duplicates_handled(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [50.0, 50.0], [50.0, 50.0]])
+        tree = sequential_tree_embedding(pts, 1, seed=54, min_separation=1.0)
+        assert tree_k_median_cost(tree, 2).cost == pytest.approx(0.0)
+        assert tree_k_median_cost(tree, 1).cost > 0.0

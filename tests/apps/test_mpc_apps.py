@@ -1,0 +1,149 @@
+"""Tests for the O(1)-round MPC application algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.apps.densest_ball import tree_densest_ball
+from repro.apps.emd import exact_emd, tree_emd_from_tree
+from repro.apps.mpc_apps import mpc_densest_ball, mpc_tree_emd, mpc_tree_mst
+from repro.apps.mst import exact_emst, spanning_tree_is_valid, tree_mst
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.emd_instances import shifted_cloud_instance
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    pts = gaussian_clusters(72, 4, 256, clusters=3, seed=61)
+    tree = sequential_tree_embedding(pts, 2, seed=62)
+    return pts, tree
+
+
+class TestMpcMST:
+    def test_valid_spanning_tree(self, embedded):
+        pts, tree = embedded
+        res = mpc_tree_mst(tree, pts)
+        from repro.apps.mst import SpanningTree
+
+        assert spanning_tree_is_valid(SpanningTree(res.edges, res.cost), pts.shape[0])
+
+    def test_matches_sequential_tree_mst(self, embedded):
+        pts, tree = embedded
+        mpc_res = mpc_tree_mst(tree, pts)
+        seq_res = tree_mst(tree, pts)
+        assert mpc_res.cost == pytest.approx(seq_res.cost)
+        # Same edge set (as unordered pairs).
+        mpc_set = {frozenset(e) for e in mpc_res.edges.tolist()}
+        seq_set = {frozenset(e) for e in seq_res.edges.tolist()}
+        assert mpc_set == seq_set
+
+    def test_dominates_exact(self, embedded):
+        pts, tree = embedded
+        assert mpc_tree_mst(tree, pts).cost >= exact_emst(pts).cost - 1e-9
+
+    def test_constant_rounds(self):
+        rounds = []
+        for n in (48, 96, 192):
+            pts = uniform_lattice(n, 4, 256, seed=n, unique=True)
+            tree = sequential_tree_embedding(pts, 2, seed=63)
+            rounds.append(mpc_tree_mst(tree, pts).report.rounds)
+        assert len(set(rounds)) == 1, rounds
+
+    def test_memory_within_budget(self, embedded):
+        pts, tree = embedded
+        rep = mpc_tree_mst(tree, pts).report
+        assert rep.max_local_words <= rep.local_memory
+
+    def test_size_mismatch(self, embedded):
+        pts, tree = embedded
+        with pytest.raises(ValueError, match="mismatch"):
+            mpc_tree_mst(tree, pts[:5])
+
+
+class TestMpcEMD:
+    @pytest.fixture(scope="class")
+    def emd_instance(self):
+        a, b = shifted_cloud_instance(30, 3, 128, seed=64)
+        combined = np.vstack([a, b])
+        tree = sequential_tree_embedding(combined, 2, seed=65)
+        return a, b, tree
+
+    def test_matches_sequential_formula(self, emd_instance):
+        a, b, tree = emd_instance
+        mpc_res = mpc_tree_emd(tree, a.shape[0])
+        seq_val = tree_emd_from_tree(tree, a.shape[0])
+        assert mpc_res.estimate == pytest.approx(seq_val)
+
+    def test_dominates_exact(self, emd_instance):
+        a, b, tree = emd_instance
+        assert mpc_tree_emd(tree, a.shape[0]).estimate >= exact_emd(a, b) - 1e-9
+
+    def test_constant_rounds(self):
+        rounds = []
+        for n in (16, 32, 64):
+            a, b = shifted_cloud_instance(n, 3, 128, seed=n)
+            tree = sequential_tree_embedding(np.vstack([a, b]), 2, seed=66)
+            rounds.append(mpc_tree_emd(tree, n).report.rounds)
+        assert max(rounds) - min(rounds) <= 2, rounds
+
+    def test_source_count_validated(self, emd_instance):
+        _, _, tree = emd_instance
+        with pytest.raises(ValueError):
+            mpc_tree_emd(tree, tree.n)
+
+
+class TestMpcDensestBall:
+    def test_matches_sequential_count(self):
+        rng = np.random.default_rng(67)
+        noise = rng.uniform(1, 1024, size=(50, 3))
+        cluster = np.array([500.0, 500, 500]) + rng.uniform(-4, 4, size=(30, 3))
+        pts = np.rint(np.vstack([noise, cluster]))
+        tree = sequential_tree_embedding(pts, 2, seed=68)
+        mpc_res = mpc_densest_ball(tree, 20.0, r=2)
+        seq_res = tree_densest_ball(tree, 20.0, r=2)
+        assert mpc_res.count == seq_res.count
+        assert mpc_res.level == seq_res.level
+
+    def test_huge_target_short_circuits(self):
+        pts = uniform_lattice(24, 2, 64, seed=69, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=70)
+        res = mpc_densest_ball(tree, 1e9, r=1)
+        assert res.count == 24
+        assert res.report.rounds == 0
+
+    def test_constant_rounds(self):
+        rounds = []
+        for n in (40, 80, 160):
+            pts = uniform_lattice(n, 3, 512, seed=n, unique=True)
+            tree = sequential_tree_embedding(pts, 1, seed=71)
+            rounds.append(mpc_densest_ball(tree, 8.0, r=1).report.rounds)
+        assert max(rounds) - min(rounds) <= 2, rounds
+
+    def test_validation(self):
+        pts = uniform_lattice(16, 2, 64, seed=72, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=73)
+        with pytest.raises(ValueError):
+            mpc_densest_ball(tree, -1.0)
+
+
+class TestMpcWeightedEMD:
+    def test_matches_sequential_weighted(self):
+        from repro.apps.emd import tree_emd_weighted
+        from repro.util.rng import as_generator
+
+        rng = as_generator(75)
+        a = rng.integers(1, 128, size=(12, 3)).astype(float)
+        b = rng.integers(1, 128, size=(12, 3)).astype(float)
+        combined = np.vstack([a, b])
+        tree = sequential_tree_embedding(combined, 2, seed=76)
+        demands = np.r_[rng.uniform(0.5, 2.0, 12), np.zeros(12)]
+        demands[12:] = -demands[:12][::-1]  # balance exactly
+        mpc_res = mpc_tree_emd(tree, 12, demands=demands)
+        seq_val = tree_emd_weighted(tree, demands)
+        assert mpc_res.estimate == pytest.approx(seq_val)
+
+    def test_unbalanced_rejected(self):
+        pts = uniform_lattice(10, 2, 64, seed=77, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=78)
+        with pytest.raises(ValueError, match="balance"):
+            mpc_tree_emd(tree, 5, demands=np.ones(10))

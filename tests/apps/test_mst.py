@@ -1,0 +1,84 @@
+"""Tests for MST via tree embedding (Corollary 1(2))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.mst import exact_emst, spanning_tree_is_valid, tree_mst
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+
+
+class TestExactEMST:
+    def test_collinear_points(self):
+        pts = np.array([[0.0], [1.0], [3.0], [6.0]])
+        st = exact_emst(pts)
+        assert st.cost == pytest.approx(6.0)
+        assert spanning_tree_is_valid(st, 4)
+
+    def test_square(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        assert exact_emst(pts).cost == pytest.approx(3.0)
+
+    def test_matches_scipy_mst(self):
+        from scipy.sparse.csgraph import minimum_spanning_tree
+        from scipy.spatial.distance import pdist, squareform
+
+        pts = np.random.default_rng(0).uniform(size=(40, 3))
+        expected = minimum_spanning_tree(squareform(pdist(pts))).sum()
+        assert exact_emst(pts).cost == pytest.approx(float(expected), rel=1e-9)
+
+    def test_single_point(self):
+        st = exact_emst(np.array([[1.0, 2.0]]))
+        assert st.cost == 0.0
+        assert st.num_edges == 0
+
+
+class TestTreeMST:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        pts = gaussian_clusters(64, 4, 256, clusters=4, seed=3)
+        tree = sequential_tree_embedding(pts, 2, seed=4)
+        return pts, tree
+
+    def test_valid_spanning_tree(self, instance):
+        pts, tree = instance
+        st = tree_mst(tree, pts)
+        assert spanning_tree_is_valid(st, pts.shape[0])
+
+    def test_cost_dominates_exact(self, instance):
+        pts, tree = instance
+        approx = tree_mst(tree, pts).cost
+        exact = exact_emst(pts).cost
+        assert approx >= exact - 1e-9
+
+    def test_approximation_within_theorem_bound(self):
+        pts = uniform_lattice(64, 4, 256, seed=5, unique=True)
+        exact = exact_emst(pts).cost
+        ratios = []
+        for s in range(5):
+            tree = sequential_tree_embedding(pts, 2, seed=100 + s)
+            ratios.append(tree_mst(tree, pts).cost / exact)
+        n = pts.shape[0]
+        # O(log^1.5 n) with a generous constant.
+        assert np.mean(ratios) <= 8 * math.log2(n) ** 1.5
+
+    def test_mismatched_sizes(self, instance):
+        pts, tree = instance
+        with pytest.raises(ValueError, match="mismatch"):
+            tree_mst(tree, pts[:10])
+
+
+class TestValidator:
+    def test_detects_cycle(self):
+        from repro.apps.mst import SpanningTree
+
+        st = SpanningTree(np.array([[0, 1], [1, 2], [2, 0]]), 3.0)
+        assert not spanning_tree_is_valid(st, 4)
+
+    def test_detects_wrong_count(self):
+        from repro.apps.mst import SpanningTree
+
+        st = SpanningTree(np.array([[0, 1]]), 1.0)
+        assert not spanning_tree_is_valid(st, 4)

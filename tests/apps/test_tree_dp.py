@@ -1,0 +1,161 @@
+"""Tests for dynamic programs on tree embeddings."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.tree_dp import (
+    facility_location_cost,
+    fold_tree,
+    gonzalez_k_center,
+    tree_facility_location,
+    tree_k_center,
+)
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+from repro.tree.metric import pairwise_tree_distances, tree_distance
+
+
+class TestFoldTree:
+    def test_count_leaves(self, small_lattice):
+        tree = sequential_tree_embedding(small_lattice, 2, seed=0)
+        total = fold_tree(tree, lambda p, v: 1, lambda v, kids: sum(kids))
+        assert total == small_lattice.shape[0]
+
+    def test_collect_points(self, small_lattice):
+        tree = sequential_tree_embedding(small_lattice, 2, seed=1)
+        pts = fold_tree(
+            tree, lambda p, v: {p}, lambda v, kids: set().union(*kids)
+        )
+        assert pts == set(range(small_lattice.shape[0]))
+
+    def test_max_depth(self, small_lattice):
+        tree = sequential_tree_embedding(small_lattice, 2, seed=2)
+        depth = fold_tree(tree, lambda p, v: 0, lambda v, kids: 1 + max(kids))
+        assert 1 <= depth <= tree.num_levels
+
+
+class TestTreeKCenter:
+    @pytest.fixture(scope="class")
+    def embedded(self):
+        pts = gaussian_clusters(60, 4, 512, clusters=4, seed=5)
+        return pts, sequential_tree_embedding(pts, 2, seed=6)
+
+    def test_radius_covers_under_tree_metric(self, embedded):
+        pts, tree = embedded
+        for k in (1, 3, 8):
+            res = tree_k_center(tree, k)
+            assert len(res.centers) <= k
+            for p in range(tree.n):
+                center = int(res.centers[np.searchsorted(res.centers,
+                             res.centers[res.assignment[p]])])
+                assert tree_distance(tree, p, int(res.centers[res.assignment[p]])) \
+                    <= res.radius + 1e-9
+
+    def test_radius_optimal_on_tree(self, embedded):
+        # Exactness: with k clusters at the chosen level, one level
+        # deeper has > k clusters, and any k centers must leave some
+        # point at distance >= 2*suffix(level+1) -- i.e. our radius is
+        # within one level of the information-theoretic bound.
+        pts, tree = embedded
+        res = tree_k_center(tree, 3)
+        counts = tree.clusters_per_level()
+        if res.level + 1 <= tree.num_levels:
+            assert counts[res.level + 1] > 3
+
+    def test_monotone_in_k(self, embedded):
+        pts, tree = embedded
+        radii = [tree_k_center(tree, k).radius for k in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(radii, radii[1:]))
+
+    def test_k_equals_n_gives_zero(self, embedded):
+        pts, tree = embedded
+        res = tree_k_center(tree, tree.n)
+        assert res.radius == 0.0
+
+    def test_euclidean_ratio_within_distortion(self, embedded):
+        pts, tree = embedded
+        k = 4
+        res = tree_k_center(tree, k)
+        # Euclidean covering radius of the tree solution.
+        from scipy.spatial.distance import cdist
+
+        eu = cdist(pts, pts[res.centers]).min(axis=1).max()
+        _, greedy_radius = gonzalez_k_center(pts, k)
+        # Gonzalez is a 2-approx, so OPT >= greedy/2; the tree solution
+        # must be within the embedding distortion of OPT.
+        assert eu <= 40 * greedy_radius
+
+    def test_validation(self, embedded):
+        _, tree = embedded
+        with pytest.raises(ValueError):
+            tree_k_center(tree, 0)
+
+
+class TestGonzalez:
+    def test_covers(self):
+        pts = uniform_lattice(40, 3, 128, seed=7, unique=True)
+        centers, radius = gonzalez_k_center(pts, 5)
+        from scipy.spatial.distance import cdist
+
+        assert cdist(pts, pts[centers]).min(axis=1).max() <= radius + 1e-9
+
+    def test_k_one(self):
+        pts = uniform_lattice(20, 2, 64, seed=8, unique=True)
+        centers, radius = gonzalez_k_center(pts, 1)
+        assert len(centers) == 1
+
+
+def brute_force_facility_location(tree, facility_cost):
+    """Exact optimum by trying every nonempty facility subset."""
+    n = tree.n
+    best = float("inf")
+    for size in range(1, n + 1):
+        for subset in itertools.combinations(range(n), size):
+            cost = facility_location_cost(tree, subset, facility_cost)
+            best = min(best, cost)
+    return best
+
+
+class TestTreeFacilityLocation:
+    @pytest.fixture(scope="class")
+    def small_tree(self):
+        pts = uniform_lattice(7, 2, 64, seed=9, unique=True)
+        return sequential_tree_embedding(pts, 1, seed=10)
+
+    @pytest.mark.parametrize("f", [0.5, 5.0, 50.0, 5000.0])
+    def test_matches_brute_force(self, small_tree, f):
+        res = tree_facility_location(small_tree, f)
+        expected = brute_force_facility_location(small_tree, f)
+        assert res.cost == pytest.approx(expected)
+
+    @pytest.mark.parametrize("f", [1.0, 20.0, 500.0])
+    def test_reported_facilities_achieve_cost(self, small_tree, f):
+        res = tree_facility_location(small_tree, f)
+        achieved = facility_location_cost(small_tree, res.facilities, f)
+        assert achieved == pytest.approx(res.cost)
+
+    def test_tiny_cost_opens_everywhere(self, small_tree):
+        res = tree_facility_location(small_tree, 1e-6)
+        assert len(res.facilities) == small_tree.n
+
+    def test_huge_cost_opens_once(self, small_tree):
+        res = tree_facility_location(small_tree, 1e9)
+        assert len(res.facilities) == 1
+
+    def test_cost_monotone_in_facility_price(self, small_tree):
+        costs = [tree_facility_location(small_tree, f).cost
+                 for f in (0.1, 1.0, 10.0, 100.0)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_larger_instance_consistency(self):
+        pts = gaussian_clusters(40, 3, 256, clusters=3, seed=11)
+        tree = sequential_tree_embedding(pts, 2, seed=12)
+        res = tree_facility_location(tree, 100.0)
+        achieved = facility_location_cost(tree, res.facilities, 100.0)
+        assert achieved == pytest.approx(res.cost)
+
+    def test_validation(self, small_tree):
+        with pytest.raises(ValueError):
+            tree_facility_location(small_tree, 0.0)

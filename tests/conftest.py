@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+
+
+@pytest.fixture(scope="session")
+def small_lattice():
+    """64 uniform lattice points in 4 dims, Δ=128 — the workhorse input."""
+    return uniform_lattice(64, 4, 128, seed=7, unique=True)
+
+
+@pytest.fixture(scope="session")
+def clustered_points():
+    """96 clustered points in 6 dims, Δ=256."""
+    return gaussian_clusters(96, 6, 256, clusters=3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_points():
+    """A deterministic 5-point set in 2D for hand-checkable cases."""
+    return np.array(
+        [[1.0, 1.0], [2.0, 1.0], [10.0, 10.0], [10.0, 12.0], [30.0, 1.0]]
+    )

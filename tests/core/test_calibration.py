@@ -1,0 +1,54 @@
+"""Tests for empirical constant calibration."""
+
+import pytest
+
+from repro.core.calibration import calibrate_lemma1, calibrate_theorem2
+
+
+class TestTheorem2Calibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate_theorem2(
+            n=48, delta=128, cases=((4, 2), (8, 2), (8, 4)), samples=4, seed=1
+        )
+
+    def test_constant_positive_and_modest(self, result):
+        # The implementation's constant should be O(1) — between the
+        # trivial lower bound and the harness's c=8 envelope.
+        assert 0.1 < result.constant < 8.0
+
+    def test_one_constant_explains_all_cases(self, result):
+        # Small relative spread = the sqrt(d r) log Δ form is right.
+        assert result.spread < 0.5
+
+    def test_per_case_recorded(self, result):
+        assert len(result.per_case) == 3
+        for (d, r), c in result.per_case:
+            assert c > 0
+
+    def test_predict(self, result):
+        assert result.predict(10.0) == pytest.approx(10 * result.constant)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_theorem2(samples=0)
+
+
+class TestLemma1Calibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate_lemma1(
+            d=4, w=32.0, gaps=(2.0, 4.0), r_values=(1, 2), trials=150, seed=2
+        )
+
+    def test_constant_order_one(self, result):
+        assert 0.1 < result.constant < 4.0
+
+    def test_r_free_and_linear(self, result):
+        # Lemma 1's two claims at once: per-case constants agree across
+        # both r and the distance sweep.
+        assert result.spread < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_lemma1(trials=1)

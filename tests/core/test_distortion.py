@@ -1,0 +1,113 @@
+"""Tests for the distortion evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import (
+    distortion_report,
+    expected_distortion_report,
+    sample_trees,
+)
+from repro.tree.hst import HSTree
+
+
+def tree_with_weights(w1, w2):
+    labels = np.array([[0, 0, 0, 0], [0, 0, 1, 1], [0, 1, 2, 3]])
+    return HSTree(labels, np.array([w1, w2]))
+
+
+POINTS = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+
+
+class TestSingleTree:
+    def test_domination_min_exact(self):
+        tree = tree_with_weights(8.0, 4.0)
+        rep = distortion_report(tree, POINTS)
+        # Pair (0,1): tree 8, true 1 -> 8. Pair (2,3): 8. Pair (0,2):
+        # 2*(8+4)=24 vs 10 -> 2.4; (0,3): 24/11; (1,2): 24/9; (1,3): 24/10.
+        assert rep.domination_min == pytest.approx(24 / 11)
+        assert rep.expected_distortion == pytest.approx(8.0)
+
+    def test_pair_count(self):
+        rep = distortion_report(tree_with_weights(8, 4), POINTS)
+        assert rep.num_pairs == 6
+
+    def test_as_dict(self):
+        d = distortion_report(tree_with_weights(8, 4), POINTS).as_dict()
+        assert {"domination_min", "expected_distortion", "trees"} <= set(d)
+
+
+class TestExpectation:
+    def test_mean_over_trees(self):
+        t1 = tree_with_weights(8.0, 4.0)
+        t2 = tree_with_weights(16.0, 8.0)
+        rep = expected_distortion_report([t1, t2], POINTS)
+        # Pair (0,1): mean(8, 16) = 12.
+        assert rep.expected_distortion == pytest.approx(12.0)
+        assert rep.num_trees == 2
+
+    def test_expected_at_most_worst_single(self):
+        t1 = tree_with_weights(8.0, 4.0)
+        t2 = tree_with_weights(12.0, 6.0)
+        rep = expected_distortion_report([t1, t2], POINTS)
+        assert rep.expected_distortion <= rep.worst_single_tree_distortion
+
+    def test_empty_trees_rejected(self):
+        with pytest.raises(ValueError):
+            expected_distortion_report([], POINTS)
+
+    def test_coincident_points_rejected(self):
+        with pytest.raises(ValueError, match="coincide"):
+            distortion_report(tree_with_weights(8, 4), np.zeros((4, 2)))
+
+
+class TestSampleTrees:
+    def test_builder_called_with_distinct_seeds(self):
+        seen = []
+
+        def builder(seed):
+            seen.append(seed)
+            return tree_with_weights(8, 4)
+
+        trees = sample_trees(builder, 3, base_seed=100)
+        assert len(trees) == 3
+        assert seen == [100, 101, 102]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_trees(lambda s: None, 0)
+
+
+class TestDecileProfile:
+    def test_profile_shape_and_counts(self):
+        from repro.core.distortion import distortion_by_distance_decile
+        from repro.core.sequential import sequential_tree_embedding
+        from repro.data.synthetic import uniform_lattice
+
+        pts = uniform_lattice(48, 4, 128, seed=20, unique=True)
+        trees = [sequential_tree_embedding(pts, 2, seed=s) for s in range(4)]
+        profile = distortion_by_distance_decile(trees, pts, bins=5)
+        assert profile["mean_ratio"].shape == (5,)
+        assert profile["pairs"].sum() == 48 * 47 // 2
+        # Domination holds bin-wise.
+        assert (profile["mean_ratio"] >= 1.0).all()
+        # Bins ordered by distance.
+        assert (np.diff(profile["bin_lo"]) >= 0).all()
+
+    def test_short_distances_stretched_most(self):
+        from repro.core.distortion import distortion_by_distance_decile
+        from repro.core.sequential import sequential_tree_embedding
+        from repro.data.synthetic import uniform_lattice
+
+        pts = uniform_lattice(64, 4, 256, seed=21, unique=True)
+        trees = [sequential_tree_embedding(pts, 2, seed=s) for s in range(6)]
+        profile = distortion_by_distance_decile(trees, pts, bins=4)
+        # Characteristic HST shape: the shortest-distance bin has the
+        # largest mean stretch.
+        assert profile["mean_ratio"][0] >= profile["mean_ratio"][-1]
+
+    def test_validation(self):
+        from repro.core.distortion import distortion_by_distance_decile
+
+        with pytest.raises(ValueError):
+            distortion_by_distance_decile([], POINTS)

@@ -1,0 +1,66 @@
+"""Tests for the public embed() API and TreeEmbedding."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import TreeEmbedding, embed
+
+
+class TestEmbedDispatch:
+    def test_sequential_default(self, small_lattice):
+        emb = embed(small_lattice, seed=0)
+        assert isinstance(emb, TreeEmbedding)
+        assert emb.backend == "sequential"
+        assert emb.n == small_lattice.shape[0]
+
+    def test_mpc_backend(self, small_lattice):
+        emb = embed(small_lattice, backend="mpc", r=2, seed=1)
+        assert emb.backend == "mpc"
+        assert emb.costs["embed"]["rounds"] >= 1
+
+    def test_pipeline_backend(self):
+        from repro.data.synthetic import gaussian_clusters
+
+        pts = gaussian_clusters(48, 24, 128, seed=2)
+        emb = embed(pts, backend="pipeline", xi=0.3, seed=3)
+        assert emb.backend == "pipeline"
+        assert "fjlt" in emb.costs
+        assert emb.costs["total_rounds"] >= 2
+
+    def test_unknown_backend(self, small_lattice):
+        with pytest.raises(ValueError, match="unknown backend"):
+            embed(small_lattice, backend="quantum")
+
+    def test_method_forwarded(self, small_lattice):
+        emb = embed(small_lattice, method="grid", seed=4)
+        assert emb.params["method"] == "grid"
+
+
+class TestTreeEmbeddingQueries:
+    @pytest.fixture(scope="class")
+    def emb(self, small_lattice):
+        return embed(small_lattice, r=2, seed=5)
+
+    def test_distance_symmetric_dominating(self, emb, small_lattice):
+        d01 = emb.distance(0, 1)
+        assert d01 == emb.distance(1, 0)
+        assert d01 >= np.linalg.norm(small_lattice[0] - small_lattice[1]) - 1e-9
+
+    def test_pairwise_shape(self, emb):
+        n = emb.n
+        assert emb.pairwise().shape == (n * (n - 1) // 2,)
+
+    def test_distances_from(self, emb):
+        d = emb.distances_from(3)
+        assert d[3] == 0.0
+        assert d.shape == (emb.n,)
+
+    def test_report(self, emb):
+        rep = emb.report()
+        assert rep.domination_min >= 1.0
+
+    def test_networkx_export(self, emb):
+        import networkx as nx
+
+        g = emb.to_networkx()
+        assert nx.is_tree(g)

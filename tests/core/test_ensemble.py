@@ -1,0 +1,108 @@
+"""Tests for tree ensembles."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist
+
+from repro.core.ensemble import TreeEnsemble, build_ensemble
+from repro.data.synthetic import uniform_lattice
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    pts = uniform_lattice(40, 4, 256, seed=70, unique=True)
+    return build_ensemble(pts, 6, r=2, seed=71), pts
+
+
+class TestConstruction:
+    def test_size(self, ensemble):
+        ens, _ = ensemble
+        assert ens.size == 6
+        assert ens.n == 40
+
+    def test_trees_independent(self, ensemble):
+        ens, _ = ensemble
+        d0 = ens.trees[0].label_matrix
+        assert any(
+            t.label_matrix.shape != d0.shape
+            or not np.array_equal(t.label_matrix, d0)
+            for t in ens.trees[1:]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeEnsemble([])
+        with pytest.raises(ValueError):
+            build_ensemble(np.ones((3, 2)), 0)
+
+
+class TestDistances:
+    def test_mean_dominates(self, ensemble):
+        ens, pts = ensemble
+        euclid = pdist(pts)
+        mean_d = ens.pairwise(mode="mean")
+        assert (mean_d >= euclid - 1e-9).all()
+
+    def test_min_dominates_too(self, ensemble):
+        ens, pts = ensemble
+        euclid = pdist(pts)
+        min_d = ens.pairwise(mode="min")
+        assert (min_d >= euclid - 1e-9).all()
+
+    def test_min_leq_mean_leq_max(self, ensemble):
+        ens, _ = ensemble
+        mn = ens.pairwise(mode="min")
+        mean = ens.pairwise(mode="mean")
+        mx = ens.pairwise(mode="max")
+        assert (mn <= mean + 1e-9).all()
+        assert (mean <= mx + 1e-9).all()
+
+    def test_mean_tighter_than_worst_tree(self, ensemble):
+        # The expectation effect: the mean's worst-pair stretch is lower
+        # than the worst single tree's worst-pair stretch.
+        ens, pts = ensemble
+        euclid = pdist(pts)
+        mean_worst = (ens.pairwise(mode="mean") / euclid).max()
+        from repro.tree.metric import pairwise_tree_distances
+
+        single_worsts = [
+            (pairwise_tree_distances(t) / euclid).max() for t in ens.trees
+        ]
+        assert mean_worst <= max(single_worsts) + 1e-9
+
+    def test_distance_scalar_matches_pairwise(self, ensemble):
+        ens, _ = ensemble
+        condensed = ens.pairwise(mode="mean")
+        # pair (0, 1) is the first condensed entry.
+        assert ens.distance(0, 1, mode="mean") == pytest.approx(condensed[0])
+
+    def test_distances_from(self, ensemble):
+        ens, _ = ensemble
+        d = ens.distances_from(3, mode="mean")
+        assert d[3] == 0.0
+        assert d.shape == (40,)
+
+    def test_nearest(self, ensemble):
+        ens, _ = ensemble
+        j, dist = ens.nearest(0)
+        assert j != 0
+        assert dist > 0
+
+    def test_unknown_mode(self, ensemble):
+        ens, _ = ensemble
+        with pytest.raises(ValueError, match="unknown mode"):
+            ens.pairwise(mode="median")
+
+
+class TestReport:
+    def test_report_uses_all_trees(self, ensemble):
+        ens, _ = ensemble
+        rep = ens.report()
+        assert rep.num_trees == 6
+        assert rep.domination_min >= 1.0
+
+    def test_report_requires_points(self, ensemble):
+        ens, _ = ensemble
+        naked = TreeEnsemble(ens.trees)
+        with pytest.raises(ValueError, match="no stored points"):
+            naked.report()

@@ -1,0 +1,155 @@
+"""Tests for Algorithm 2 (MPC tree embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import distortion_report
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.mpc.cluster import Cluster
+from repro.partition.base import CoverageFailure
+from repro.tree.validate import validate_hst
+
+
+@pytest.fixture(scope="module")
+def lattice_points():
+    return uniform_lattice(80, 4, 128, seed=13, unique=True)
+
+
+class TestCorrectness:
+    def test_valid_dominating_tree(self, lattice_points):
+        res = mpc_tree_embedding(lattice_points, 2, seed=0)
+        validate_hst(res.tree, lattice_points)
+        rep = distortion_report(res.tree, lattice_points)
+        assert rep.domination_min >= 1.0
+
+    def test_singleton_fallback(self, lattice_points):
+        res = mpc_tree_embedding(
+            lattice_points, 2, num_grids=2, on_uncovered="singleton", seed=1
+        )
+        assert res.tree.n == 80
+
+    def test_failure_semantics(self, lattice_points):
+        with pytest.raises(CoverageFailure):
+            mpc_tree_embedding(
+                lattice_points, 1, num_grids=1, on_uncovered="error", seed=2
+            )
+
+    def test_weight_scale(self, lattice_points):
+        res1 = mpc_tree_embedding(lattice_points, 2, seed=3)
+        res2 = mpc_tree_embedding(lattice_points, 2, seed=3, weight_scale=2.0)
+        np.testing.assert_allclose(
+            res2.tree.level_weights, 2.0 * res1.tree.level_weights
+        )
+        np.testing.assert_array_equal(
+            res2.tree.label_matrix, res1.tree.label_matrix
+        )
+
+    def test_deterministic(self, lattice_points):
+        r1 = mpc_tree_embedding(lattice_points, 2, seed=4)
+        r2 = mpc_tree_embedding(lattice_points, 2, seed=4)
+        np.testing.assert_array_equal(r1.tree.label_matrix, r2.tree.label_matrix)
+
+    def test_matches_sequential_distortion_regime(self, lattice_points):
+        # MPC and sequential implement the same algorithm; their
+        # distortion stats should be on the same order.
+        from repro.core.sequential import sequential_tree_embedding
+
+        seq = distortion_report(
+            sequential_tree_embedding(lattice_points, 2, seed=5), lattice_points
+        )
+        mpc = distortion_report(
+            mpc_tree_embedding(lattice_points, 2, seed=5).tree, lattice_points
+        )
+        assert 0.2 < mpc.mean_expected_ratio / seq.mean_expected_ratio < 5.0
+
+
+class TestResources:
+    def test_constant_rounds(self):
+        rounds = []
+        for n in (64, 128, 256):
+            pts = uniform_lattice(n, 4, 128, seed=n, unique=True)
+            res = mpc_tree_embedding(pts, 2, seed=6)
+            rounds.append(res.rounds)
+        # Round count must not grow with n.
+        assert rounds[0] >= rounds[-1] or len(set(rounds)) == 1
+
+    def test_memory_budget_respected(self, lattice_points):
+        res = mpc_tree_embedding(lattice_points, 2, seed=7)
+        assert res.report.max_local_words <= res.cluster.local_memory
+
+    def test_explicit_cluster_used(self, lattice_points):
+        cluster = Cluster(4, 3_000_000)
+        res = mpc_tree_embedding(lattice_points, 2, cluster=cluster, seed=8)
+        assert res.cluster is cluster
+        assert cluster.rounds > 0
+
+    def test_too_small_cluster_raises(self, lattice_points):
+        from repro.mpc.errors import MPCError
+
+        cluster = Cluster(2, 2000)
+        with pytest.raises(MPCError):
+            mpc_tree_embedding(lattice_points, 2, cluster=cluster, seed=9)
+
+
+class TestGridMethod:
+    def test_grid_baseline_valid(self, lattice_points):
+        from repro.tree.validate import validate_hst
+
+        res = mpc_tree_embedding(lattice_points, method="grid", seed=20)
+        validate_hst(res.tree, lattice_points)
+        assert res.r == lattice_points.shape[1]
+        assert res.num_grids == 1
+
+    def test_grid_never_fails_coverage(self, lattice_points):
+        # Cell = 2w tiles space: on_uncovered="error" must never trigger.
+        res = mpc_tree_embedding(
+            lattice_points, method="grid", on_uncovered="error", seed=21
+        )
+        assert res.tree.n == lattice_points.shape[0]
+
+    def test_grid_matches_sequential_grid_regime(self, lattice_points):
+        from repro.core.sequential import sequential_tree_embedding
+
+        seq = distortion_report(
+            sequential_tree_embedding(lattice_points, method="grid", seed=22),
+            lattice_points,
+        )
+        mpc = distortion_report(
+            mpc_tree_embedding(lattice_points, method="grid", seed=22).tree,
+            lattice_points,
+        )
+        assert 0.2 < mpc.mean_expected_ratio / seq.mean_expected_ratio < 5.0
+
+    def test_unknown_method(self, lattice_points):
+        with pytest.raises(ValueError, match="unknown method"):
+            mpc_tree_embedding(lattice_points, method="fancy")
+
+
+class TestAssemblyModes:
+    def test_mpc_assembly_matches_god_structure(self, lattice_points):
+        god = mpc_tree_embedding(lattice_points, 2, seed=30, assembly="god")
+        mpc = mpc_tree_embedding(lattice_points, 2, seed=30, assembly="mpc")
+        g, m = god.tree.label_matrix, mpc.tree.label_matrix
+        assert g.shape == m.shape
+        for lvl in range(g.shape[0]):
+            for i in range(0, g.shape[1], 7):
+                np.testing.assert_array_equal(
+                    g[lvl] == g[lvl][i], m[lvl] == m[lvl][i]
+                )
+        np.testing.assert_allclose(
+            god.tree.level_weights, mpc.tree.level_weights
+        )
+
+    def test_mpc_assembly_costs_per_level_rounds(self, lattice_points):
+        god = mpc_tree_embedding(lattice_points, 2, seed=31, assembly="god")
+        mpc = mpc_tree_embedding(lattice_points, 2, seed=31, assembly="mpc")
+        # The in-model assembly pays O(1) rounds per level — strictly
+        # more rounds, which is exactly why the paper leaves the tree
+        # implicit.
+        assert mpc.rounds > god.rounds
+        assert mpc.rounds <= god.rounds + 16 * (god.tree.num_levels + 2)
+
+    def test_unknown_assembly(self, lattice_points):
+        with pytest.raises(ValueError, match="assembly"):
+            mpc_tree_embedding(lattice_points, 2, seed=32, assembly="magic")

@@ -1,0 +1,67 @@
+"""Tests for parameter selection rules."""
+
+import pytest
+
+from repro.core.params import (
+    default_num_buckets,
+    grid_budget,
+    grid_partition_distortion_bound,
+    num_levels_for,
+    theorem1_distortion_bound,
+    theorem2_distortion_bound,
+)
+
+
+class TestDefaultBuckets:
+    def test_within_bounds(self):
+        for n in (10, 1000, 10**6):
+            for d in (2, 16, 64):
+                r = default_num_buckets(n, d)
+                assert 1 <= r <= d
+
+    def test_bucket_dim_capped(self):
+        r = default_num_buckets(100, 64, max_bucket_dim=4)
+        assert -(-64 // r) <= 4
+
+    def test_grows_with_loglog_n(self):
+        assert default_num_buckets(10**9, 64) >= default_num_buckets(100, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_num_buckets(10, 4, eps=1.5)
+
+
+class TestGridBudget:
+    def test_smaller_bucket_dim_cheaper(self):
+        # More buckets => smaller k => drastically fewer grids.
+        u_r2 = grid_budget(8, 2, n=100, num_levels=10)
+        u_r4 = grid_budget(8, 4, n=100, num_levels=10)
+        assert u_r4 < u_r2
+
+    def test_grows_with_levels(self):
+        assert grid_budget(4, 2, n=100, num_levels=100) > grid_budget(
+            4, 2, n=100, num_levels=2
+        )
+
+
+class TestLevels:
+    def test_log_delta(self):
+        assert num_levels_for(2**10) - num_levels_for(2**5) == 5
+
+
+class TestBounds:
+    def test_theorem2_sqrt_dr(self):
+        b1 = theorem2_distortion_bound(4, 1, 2**10)
+        b2 = theorem2_distortion_bound(16, 4, 2**10)
+        assert b2 == pytest.approx(4 * b1)
+
+    def test_theorem1_beats_grid_for_large_n(self):
+        n, delta = 2**20, 2**20
+        d = 20  # post-JL dimension ~ log n
+        assert theorem1_distortion_bound(n, delta) < grid_partition_distortion_bound(
+            d, delta
+        )
+
+    def test_bounds_positive(self):
+        assert theorem1_distortion_bound(100, 100) > 0
+        assert theorem2_distortion_bound(4, 2, 100) > 0

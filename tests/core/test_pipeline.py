@@ -1,0 +1,62 @@
+"""Tests for the Theorem 1 end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import distortion_report
+from repro.core.pipeline import theorem1_pipeline
+from repro.data.synthetic import gaussian_clusters
+from repro.tree.validate import validate_hst
+
+
+@pytest.fixture(scope="module")
+def high_dim_points():
+    return gaussian_clusters(72, 48, 256, clusters=3, seed=21)
+
+
+class TestPipeline:
+    def test_produces_valid_tree(self, high_dim_points):
+        res = theorem1_pipeline(high_dim_points, xi=0.3, seed=0)
+        validate_hst(res.tree)
+
+    def test_jl_ratio_within_xi_regime(self, high_dim_points):
+        res = theorem1_pipeline(high_dim_points, xi=0.3, seed=1)
+        # Loose envelope: concentration plus unspecified constants.
+        assert 0.5 < res.jl_min_ratio <= res.jl_max_ratio < 1.7
+
+    def test_domination_when_certified(self, high_dim_points):
+        res = theorem1_pipeline(high_dim_points, xi=0.3, seed=2)
+        rep = distortion_report(res.tree, high_dim_points)
+        if res.domination_certified:
+            assert rep.domination_min >= 1.0 - 1e-9
+
+    def test_total_rounds_constant(self):
+        rounds = []
+        for n in (48, 96):
+            pts = gaussian_clusters(n, 32, 128, seed=n)
+            res = theorem1_pipeline(pts, xi=0.3, seed=3)
+            rounds.append(res.total_rounds)
+        assert max(rounds) <= 12  # O(1): a fixed constant for all n
+
+    def test_embedded_dimension_clipped(self):
+        pts = gaussian_clusters(40, 8, 64, seed=5)
+        res = theorem1_pipeline(pts, xi=0.3, seed=4)
+        assert res.embedded.shape[1] <= 8
+
+    def test_k_override(self, high_dim_points):
+        res = theorem1_pipeline(high_dim_points, xi=0.3, k=16, seed=5)
+        assert res.embedded.shape[1] == 16
+
+    def test_combined_report_adds_rounds(self, high_dim_points):
+        res = theorem1_pipeline(high_dim_points, xi=0.3, seed=6)
+        assert res.combined_report.rounds == res.total_rounds
+
+    def test_xi_validation(self, high_dim_points):
+        with pytest.raises(ValueError, match="xi"):
+            theorem1_pipeline(high_dim_points, xi=0.7)
+
+    def test_deterministic(self, high_dim_points):
+        r1 = theorem1_pipeline(high_dim_points, xi=0.3, seed=7)
+        r2 = theorem1_pipeline(high_dim_points, xi=0.3, seed=7)
+        np.testing.assert_array_equal(r1.tree.label_matrix, r2.tree.label_matrix)
+        np.testing.assert_array_equal(r1.embedded, r2.embedded)

@@ -1,0 +1,89 @@
+"""Tests for Algorithm 1 (sequential tree embedding, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import distortion_report
+from repro.core.params import theorem2_distortion_bound
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.partition.base import CoverageFailure
+from repro.tree.validate import validate_hst
+
+
+class TestStructure:
+    @pytest.mark.parametrize("method", ["hybrid", "ball", "grid"])
+    def test_valid_tree(self, small_lattice, method):
+        tree = sequential_tree_embedding(small_lattice, 2, method=method, seed=0)
+        validate_hst(tree, small_lattice)
+
+    def test_domination_always(self, small_lattice):
+        # Theorem 2(1) is deterministic: check several seeds.
+        for seed in range(5):
+            tree = sequential_tree_embedding(small_lattice, 2, seed=seed)
+            rep = distortion_report(tree, small_lattice)
+            assert rep.domination_min >= 1.0
+
+    def test_single_point(self):
+        tree = sequential_tree_embedding(np.array([[3.0, 4.0]]), seed=0)
+        assert tree.n == 1
+
+    def test_two_points(self):
+        pts = np.array([[1.0, 1.0], [9.0, 9.0]])
+        tree = sequential_tree_embedding(pts, 1, seed=0)
+        validate_hst(tree, pts)
+
+    def test_duplicate_points_tolerated(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        tree = sequential_tree_embedding(pts, 1, seed=0, min_separation=1.0)
+        assert tree.n == 3
+
+    def test_default_r(self, small_lattice):
+        tree = sequential_tree_embedding(small_lattice, seed=0)
+        validate_hst(tree, small_lattice)
+
+    def test_deterministic(self, small_lattice):
+        t1 = sequential_tree_embedding(small_lattice, 2, seed=5)
+        t2 = sequential_tree_embedding(small_lattice, 2, seed=5)
+        np.testing.assert_array_equal(t1.label_matrix, t2.label_matrix)
+
+    def test_method_validation(self, small_lattice):
+        with pytest.raises(ValueError, match="unknown method"):
+            sequential_tree_embedding(small_lattice, method="fancy")
+
+    def test_error_on_uncovered_propagates(self, small_lattice):
+        with pytest.raises(CoverageFailure):
+            sequential_tree_embedding(
+                small_lattice, 1, num_grids=1, on_uncovered="error", seed=0
+            )
+
+
+class TestDistortion:
+    def test_expected_distortion_within_theorem2_bound(self):
+        pts = uniform_lattice(48, 4, 64, seed=3, unique=True)
+        trees = [sequential_tree_embedding(pts, 2, seed=s) for s in range(12)]
+        from repro.core.distortion import expected_distortion_report
+
+        rep = expected_distortion_report(trees, pts)
+        assert rep.domination_min >= 1.0
+        bound = theorem2_distortion_bound(4, 2, 64 * 2)
+        assert rep.expected_distortion <= bound
+
+    def test_distortion_grows_with_r(self):
+        # The paper's central trade-off (Theorem 2 / ablation A-r-sweep):
+        # at fixed d, expected stretch grows like sqrt(r) — fewer, fatter
+        # buckets (closer to pure ball partitioning) embed better.
+        pts = uniform_lattice(40, 8, 64, seed=4, unique=True)
+        from repro.core.distortion import expected_distortion_report
+
+        low_r = [sequential_tree_embedding(pts, 2, seed=s) for s in range(8)]
+        high_r = [sequential_tree_embedding(pts, 8, seed=s) for s in range(8)]
+        low_rep = expected_distortion_report(low_r, pts)
+        high_rep = expected_distortion_report(high_r, pts)
+        assert low_rep.mean_expected_ratio < high_rep.mean_expected_ratio
+
+    def test_levels_bounded_by_log_delta(self):
+        pts = uniform_lattice(32, 3, 256, seed=5, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=0)
+        # L = O(log Δ + log r): generous factor 3 headroom.
+        assert tree.num_levels <= 3 * (np.log2(256) + 2)

@@ -1,0 +1,76 @@
+"""Tests for aspect-ratio utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.aspect import (
+    aspect_ratio,
+    lattice_delta_for,
+    normalize_to_lattice,
+    pairwise_extremes,
+)
+
+
+class TestPairwiseExtremes:
+    def test_exact_small(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        dmin, dmax = pairwise_extremes(pts)
+        assert dmin == pytest.approx(1.0)
+        assert dmax == pytest.approx(5.0)
+
+    def test_duplicates_ignored_for_min(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [2.0, 0.0]])
+        dmin, _ = pairwise_extremes(pts)
+        assert dmin == pytest.approx(2.0)
+
+    def test_all_coincident_raises(self):
+        with pytest.raises(ValueError, match="coincide"):
+            pairwise_extremes(np.zeros((3, 2)))
+
+    def test_large_input_path(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(size=(3000, 2))
+        dmin, dmax = pairwise_extremes(pts, exact_limit=100)
+        assert 0 < dmin < dmax
+        # The diagonal estimate upper-bounds the true max.
+        assert dmax >= np.linalg.norm(pts.max(0) - pts.min(0)) - 1e-9
+
+
+class TestAspectRatio:
+    def test_two_points(self):
+        assert aspect_ratio(np.array([[0.0], [5.0]])) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        pts = np.random.default_rng(1).uniform(size=(30, 3))
+        assert aspect_ratio(pts) == pytest.approx(aspect_ratio(pts * 100), rel=1e-9)
+
+
+class TestNormalize:
+    def test_output_in_lattice(self):
+        pts = np.random.default_rng(2).normal(size=(40, 3)) * 50
+        out = normalize_to_lattice(pts, 256)
+        assert out.min() >= 1
+        assert out.max() <= 256
+        np.testing.assert_array_equal(out, np.rint(out))
+
+    def test_degenerate_all_equal(self):
+        out = normalize_to_lattice(np.ones((5, 2)), 100)
+        np.testing.assert_array_equal(out, np.ones((5, 2)))
+
+    def test_preserves_order_1d(self):
+        pts = np.array([[0.0], [1.0], [10.0]])
+        out = normalize_to_lattice(pts, 100)
+        assert out[0, 0] < out[1, 0] < out[2, 0]
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            normalize_to_lattice(np.ones((2, 2)), 0)
+
+
+class TestDeltaFor:
+    def test_suggested_delta_preserves_distinctness(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(size=(30, 2)) * 10
+        delta = lattice_delta_for(pts)
+        out = normalize_to_lattice(pts, delta)
+        assert len(np.unique(out, axis=0)) == 30

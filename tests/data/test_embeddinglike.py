@@ -1,0 +1,60 @@
+"""Tests for representation-like workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.embeddinglike import low_rank_cloud, topic_model_cloud
+
+
+class TestLowRankCloud:
+    def test_shape_and_lattice(self):
+        pts = low_rank_cloud(80, 32, 1024, intrinsic_dim=3, seed=0)
+        assert pts.shape == (80, 32)
+        assert pts.min() >= 1 and pts.max() <= 1024
+        np.testing.assert_array_equal(pts, np.rint(pts))
+
+    def test_spectrum_concentrated(self):
+        pts = low_rank_cloud(200, 64, 100000, intrinsic_dim=3,
+                             noise=0.001, seed=1)
+        centered = pts - pts.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        # Top-3 singular values dominate the rest.
+        assert s[:3].sum() > 10 * s[3:].sum()
+
+    def test_intrinsic_dim_validation(self):
+        with pytest.raises(ValueError):
+            low_rank_cloud(10, 4, 64, intrinsic_dim=9)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            low_rank_cloud(20, 8, 128, seed=2), low_rank_cloud(20, 8, 128, seed=2)
+        )
+
+
+class TestTopicModelCloud:
+    def test_shape_and_labels(self):
+        pts, labels = topic_model_cloud(150, 6, 2048, topics=5, seed=3)
+        assert pts.shape == (150, 6)
+        assert labels.shape == (150,)
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_heavy_tail(self):
+        _, labels = topic_model_cloud(2000, 4, 1024, topics=10,
+                                      zipf_s=1.5, seed=4)
+        counts = np.bincount(labels, minlength=10)
+        # The most popular topic is much bigger than the median topic.
+        assert counts.max() > 4 * np.median(counts[counts > 0])
+
+    def test_clusters_are_tight(self):
+        pts, labels = topic_model_cloud(300, 4, 8192, topics=4,
+                                        spread=0.01, seed=5)
+        for t in range(4):
+            members = pts[labels == t]
+            if members.shape[0] < 2:
+                continue
+            intra = np.linalg.norm(members - members.mean(axis=0), axis=1)
+            assert intra.mean() < 0.05 * 8192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topic_model_cloud(10, 2, 64, zipf_s=0.0)

@@ -1,0 +1,57 @@
+"""Tests for EMD instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.emd_instances import (
+    matched_pair_instance,
+    shifted_cloud_instance,
+    two_cluster_instance,
+)
+
+INSTANCES = [matched_pair_instance, shifted_cloud_instance, two_cluster_instance]
+
+
+class TestCommon:
+    @pytest.mark.parametrize("gen", INSTANCES)
+    def test_shapes_match(self, gen):
+        a, b = gen(32, 3, 128, seed=0)
+        assert a.shape == b.shape == (32, 3)
+
+    @pytest.mark.parametrize("gen", INSTANCES)
+    def test_lattice_range(self, gen):
+        a, b = gen(40, 2, 64, seed=1)
+        for arr in (a, b):
+            assert arr.min() >= 1.0
+            assert arr.max() <= 64.0
+
+    @pytest.mark.parametrize("gen", INSTANCES)
+    def test_reproducible(self, gen):
+        a1, b1 = gen(16, 2, 64, seed=5)
+        a2, b2 = gen(16, 2, 64, seed=5)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+
+class TestShiftedCloud:
+    def test_known_optimal_cost(self):
+        n, delta, frac = 50, 200, 0.25
+        a, b = shifted_cloud_instance(n, 2, delta, shift_fraction=frac, seed=2)
+        shift = int(np.ceil(frac * delta))
+        np.testing.assert_array_equal(b[:, 0] - a[:, 0], shift)
+        np.testing.assert_array_equal(b[:, 1:], a[:, 1:])
+
+
+class TestTwoCluster:
+    def test_clusters_are_far(self):
+        a, b = two_cluster_instance(30, 3, 1000, seed=3)
+        gap = np.linalg.norm(a.mean(axis=0) - b.mean(axis=0))
+        a_spread = np.linalg.norm(a - a.mean(axis=0), axis=1).max()
+        assert gap > 3 * a_spread
+
+
+class TestMatchedPair:
+    def test_noise_scale(self):
+        a, b = matched_pair_instance(100, 2, 1000, noise=0.01, seed=4)
+        per_point = np.linalg.norm(a - b, axis=1)
+        assert per_point.mean() < 0.05 * 1000

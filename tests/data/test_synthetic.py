@@ -1,0 +1,99 @@
+"""Tests for synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    circle_points,
+    gaussian_clusters,
+    hypercube_corners,
+    line_points,
+    uniform_lattice,
+)
+
+GENERATORS = [
+    lambda n, d, delta, seed: uniform_lattice(n, d, delta, seed=seed),
+    lambda n, d, delta, seed: gaussian_clusters(n, d, delta, seed=seed),
+    lambda n, d, delta, seed: hypercube_corners(n, d, delta, seed=seed),
+    lambda n, d, delta, seed: line_points(n, d, delta, seed=seed),
+    lambda n, d, delta, seed: circle_points(n, d, delta, seed=seed),
+]
+
+
+class TestCommonContracts:
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_shape_and_dtype(self, gen):
+        pts = gen(50, 3, 64, 0)
+        assert pts.shape == (50, 3)
+        assert pts.dtype == np.float64
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_in_lattice_range(self, gen):
+        pts = gen(80, 4, 32, 1)
+        assert pts.min() >= 1.0
+        assert pts.max() <= 32.0
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_integer_coordinates(self, gen):
+        pts = gen(40, 2, 100, 2)
+        np.testing.assert_array_equal(pts, np.rint(pts))
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_reproducible(self, gen):
+        np.testing.assert_array_equal(gen(30, 3, 50, 9), gen(30, 3, 50, 9))
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_seed_sensitivity(self, gen):
+        assert not np.array_equal(gen(30, 3, 50, 1), gen(30, 3, 50, 2))
+
+
+class TestUniformLattice:
+    def test_unique_flag(self):
+        pts = uniform_lattice(100, 2, 1000, seed=0, unique=True)
+        assert len(np.unique(pts, axis=0)) == 100
+
+    def test_unique_impossible_raises(self):
+        with pytest.raises(ValueError, match="distinct"):
+            uniform_lattice(10, 1, 3, seed=0, unique=True)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            uniform_lattice(0, 2, 10)
+
+
+class TestGaussianClusters:
+    def test_clusters_form_groups(self):
+        pts = gaussian_clusters(200, 2, 10000, clusters=2, spread=0.005, seed=3)
+        # With two tight clusters, the pairwise distance distribution is
+        # bimodal: many pairs much closer than the cluster separation.
+        from scipy.spatial.distance import pdist
+
+        dists = pdist(pts)
+        assert dists.min() < 0.05 * dists.max()
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError, match="spread"):
+            gaussian_clusters(10, 2, 100, spread=2.0)
+
+
+class TestShapes:
+    def test_hypercube_values_near_corners(self):
+        pts = hypercube_corners(50, 3, 100, seed=0)
+        assert set(np.unique(pts)) <= {1.0, 100.0}
+
+    def test_line_is_collinear(self):
+        pts = line_points(20, 5, 10000, seed=0)
+        centered = pts - pts.mean(axis=0)
+        # Rank-1 up to lattice rounding: second singular value tiny.
+        s = np.linalg.svd(centered, compute_uv=False)
+        assert s[1] < 0.05 * s[0]
+
+    def test_circle_needs_2d(self):
+        with pytest.raises(ValueError, match="d >= 2"):
+            circle_points(10, 1, 100)
+
+    def test_circle_radius_consistent(self):
+        pts = circle_points(64, 2, 10001, seed=0)
+        center = pts.mean(axis=0)
+        radii = np.linalg.norm(pts - center, axis=1)
+        assert radii.std() < 0.05 * radii.mean()

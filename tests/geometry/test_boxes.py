@@ -1,0 +1,46 @@
+"""Tests for bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.boxes import BoundingBox
+
+
+class TestConstruction:
+    def test_of_points(self):
+        pts = np.array([[1.0, 5.0], [3.0, 2.0]])
+        box = BoundingBox.of_points(pts)
+        np.testing.assert_array_equal(box.lo, [1.0, 2.0])
+        np.testing.assert_array_equal(box.hi, [3.0, 5.0])
+
+    def test_lattice(self):
+        box = BoundingBox.lattice(3, 64)
+        np.testing.assert_array_equal(box.lo, [1, 1, 1])
+        np.testing.assert_array_equal(box.hi, [64, 64, 64])
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError, match="hi < lo"):
+            BoundingBox(np.array([2.0]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestGeometry:
+    def test_width_and_diagonal(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert box.width == 4.0
+        assert box.diagonal == pytest.approx(5.0)
+
+    def test_contains(self):
+        box = BoundingBox.lattice(2, 10)
+        mask = box.contains(np.array([[5.0, 5.0], [0.0, 5.0], [10.0, 10.0]]))
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_project(self):
+        box = BoundingBox(np.array([0.0, 1.0, 2.0]), np.array([10.0, 11.0, 12.0]))
+        sub = box.project(np.array([0, 2]))
+        np.testing.assert_array_equal(sub.lo, [0.0, 2.0])
+        np.testing.assert_array_equal(sub.hi, [10.0, 12.0])
+        assert sub.dims == 2

@@ -1,0 +1,90 @@
+"""Tests for Lemma 4/5 slab probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.caps import (
+    ball_slab_probability,
+    empirical_slab_probability,
+    sample_unit_ball,
+    sample_unit_sphere,
+    slab_probability_bound,
+    sphere_slab_probability,
+)
+
+
+class TestSamplers:
+    def test_sphere_unit_norm(self):
+        pts = sample_unit_sphere(500, 6, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+
+    def test_ball_inside(self):
+        pts = sample_unit_ball(500, 6, seed=1)
+        assert (np.linalg.norm(pts, axis=1) <= 1.0 + 1e-12).all()
+
+    def test_ball_radius_distribution(self):
+        # E[R] for uniform ball in R^d is d/(d+1).
+        d = 4
+        pts = sample_unit_ball(20000, d, seed=2)
+        mean_r = np.linalg.norm(pts, axis=1).mean()
+        assert mean_r == pytest.approx(d / (d + 1), abs=0.01)
+
+    def test_sphere_isotropic(self):
+        pts = sample_unit_sphere(20000, 3, seed=3)
+        assert np.abs(pts.mean(axis=0)).max() < 0.02
+
+
+class TestExactFormulas:
+    @pytest.mark.parametrize("d", [2, 3, 8, 32])
+    def test_sphere_matches_monte_carlo(self, d):
+        t = 0.5 / np.sqrt(d)
+        samples = sample_unit_sphere(80000, d, seed=d)
+        emp = empirical_slab_probability(samples, t)
+        assert sphere_slab_probability(d, t) == pytest.approx(emp, abs=0.01)
+
+    @pytest.mark.parametrize("d", [2, 3, 8, 32])
+    def test_ball_matches_monte_carlo(self, d):
+        t = 0.5 / np.sqrt(d)
+        samples = sample_unit_ball(80000, d, seed=100 + d)
+        emp = empirical_slab_probability(samples, t)
+        assert ball_slab_probability(d, t) == pytest.approx(emp, abs=0.01)
+
+    def test_edge_cases(self):
+        assert sphere_slab_probability(5, 0.0) == 0.0
+        assert sphere_slab_probability(5, 1.0) == 1.0
+        assert ball_slab_probability(5, 2.0) == 1.0
+        assert sphere_slab_probability(1, 0.5) == 0.0
+
+    def test_monotone_in_t(self):
+        probs = [sphere_slab_probability(10, t) for t in np.linspace(0, 1, 20)]
+        assert (np.diff(probs) >= -1e-12).all()
+
+
+class TestLemmaBound:
+    @pytest.mark.parametrize("d", [1, 2, 4, 16, 64, 256])
+    @pytest.mark.parametrize("t", [0.001, 0.01, 0.1, 0.5])
+    def test_bound_dominates_sphere(self, d, t):
+        assert slab_probability_bound(d, t) >= sphere_slab_probability(d, t) - 1e-12
+
+    @pytest.mark.parametrize("d", [1, 2, 4, 16, 64, 256])
+    @pytest.mark.parametrize("t", [0.001, 0.01, 0.1, 0.5])
+    def test_bound_dominates_ball(self, d, t):
+        assert slab_probability_bound(d, t) >= ball_slab_probability(d, t) - 1e-12
+
+    def test_bound_shape_sqrt_d_t(self):
+        # For small t, the bound is exactly proportional to sqrt(d+2)*t.
+        b1 = slab_probability_bound(14, 0.001)
+        b2 = slab_probability_bound(14, 0.002)
+        assert b2 == pytest.approx(2 * b1)
+        b_d = slab_probability_bound(2, 0.001)
+        b_4d = slab_probability_bound(14, 0.001)
+        assert b_4d == pytest.approx(2 * b_d)
+
+    def test_bound_capped_at_one(self):
+        assert slab_probability_bound(100, 10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sphere_slab_probability(0, 0.1)
+        with pytest.raises(ValueError):
+            ball_slab_probability(3, -0.1)

@@ -1,0 +1,100 @@
+"""Tests for Lemma 6/7 coverage counts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.coverage import (
+    coverage_failure_rate,
+    grids_for_failure_probability,
+    grids_for_hybrid,
+    grids_needed_to_cover,
+    single_grid_cover_probability,
+    unit_ball_volume,
+)
+
+
+class TestVolume:
+    def test_known_volumes(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unit_ball_volume(0)
+
+
+class TestSingleGridProbability:
+    def test_1d(self):
+        # Interval of length 2w inside a cell of 4w: probability 1/2.
+        assert single_grid_cover_probability(1) == pytest.approx(0.5)
+
+    def test_decreasing_in_k(self):
+        probs = [single_grid_cover_probability(k) for k in range(1, 10)]
+        assert (np.diff(probs) < 0).all()
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_monte_carlo(self, k):
+        rng = np.random.default_rng(k)
+        pts = rng.uniform(0, 4, size=(40000, k))
+        shift = np.zeros(k)
+        rel = pts - shift
+        nearest = np.rint(rel / 4.0) * 4.0
+        covered = np.einsum("ij,ij->i", rel - nearest, rel - nearest) <= 1.0
+        assert covered.mean() == pytest.approx(single_grid_cover_probability(k), abs=0.01)
+
+
+class TestGridBudgets:
+    def test_log_dependence_on_delta(self):
+        u1 = grids_for_failure_probability(2, 1e-3)
+        u2 = grids_for_failure_probability(2, 1e-6)
+        assert u2 == pytest.approx(2 * u1, rel=0.05)
+
+    def test_exponential_dependence_on_k(self):
+        u2 = grids_for_failure_probability(2, 1e-6)
+        u4 = grids_for_failure_probability(4, 1e-6)
+        assert u4 > 5 * u2
+
+    def test_hybrid_union_bound(self):
+        base = grids_for_failure_probability(2, 1e-6 / (100 * 4 * 10))
+        assert grids_for_hybrid(2, 4, 10, 100, 1e-6) == base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grids_for_failure_probability(2, 1.5)
+
+
+class TestEmpiricalCoverage:
+    def test_covers_points(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, size=(200, 2))
+        used = grids_needed_to_cover(pts, w=5.0, seed=1)
+        assert used >= 1
+
+    def test_count_scales_with_prediction(self):
+        # Covering n points empirically should take ~ln(n)/q grids,
+        # comfortably below the budget for failure prob 1e-3/n.
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 50, size=(100, 2))
+        budget = grids_for_failure_probability(2, 1e-3 / 100)
+        counts = [grids_needed_to_cover(pts, w=1.0, seed=s) for s in range(5)]
+        assert max(counts) <= budget
+
+    def test_max_grids_exhaustion(self):
+        pts = np.random.default_rng(3).uniform(0, 50, size=(50, 3))
+        with pytest.raises(RuntimeError, match="failed to cover"):
+            grids_needed_to_cover(pts, w=1.0, seed=0, max_grids=1)
+
+    def test_failure_rate_decays_with_grids(self):
+        high = coverage_failure_rate(2, 5, trials=4000, seed=0)
+        low = coverage_failure_rate(2, 50, trials=4000, seed=0)
+        assert low <= high
+
+    def test_failure_rate_matches_theory(self):
+        q = single_grid_cover_probability(2)
+        u = 10
+        expected = (1 - q) ** u
+        measured = coverage_failure_rate(2, u, trials=20000, seed=1)
+        assert measured == pytest.approx(expected, abs=0.02)

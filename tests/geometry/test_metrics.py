@@ -1,0 +1,61 @@
+"""Tests for vectorized distance computations."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist, squareform
+
+from repro.geometry.metrics import (
+    condensed_index,
+    cross_distances,
+    diameter,
+    pairwise_distances,
+    pairwise_distances_condensed,
+    squared_distances_to,
+)
+
+
+class TestPairwise:
+    def test_matches_scipy(self, tiny_points):
+        np.testing.assert_allclose(
+            pairwise_distances(tiny_points), squareform(pdist(tiny_points))
+        )
+
+    def test_condensed_matches(self, tiny_points):
+        np.testing.assert_allclose(
+            pairwise_distances_condensed(tiny_points), pdist(tiny_points)
+        )
+
+    def test_cross_distances(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [0.0, 1.0]])
+        np.testing.assert_allclose(cross_distances(a, b), [[5.0, 1.0]])
+
+
+class TestSquaredDistances:
+    def test_against_direct(self, tiny_points):
+        center = np.array([1.0, 2.0])
+        expected = ((tiny_points - center) ** 2).sum(axis=1)
+        np.testing.assert_allclose(squared_distances_to(tiny_points, center), expected)
+
+
+class TestDiameter:
+    def test_known(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        assert diameter(pts) == pytest.approx(np.sqrt(5))
+
+    def test_single_point_zero(self):
+        assert diameter(np.array([[1.0, 2.0]])) == 0.0
+
+
+class TestCondensedIndex:
+    def test_roundtrip_with_scipy_layout(self):
+        n = 7
+        pts = np.random.default_rng(0).uniform(size=(n, 2))
+        dm = pdist(pts)
+        i, j = np.triu_indices(n, k=1)
+        idx = condensed_index(n, i, j)
+        np.testing.assert_allclose(dm[idx], squareform(dm)[i, j])
+
+    def test_requires_i_less_than_j(self):
+        with pytest.raises(ValueError, match="i < j"):
+            condensed_index(5, np.array([2]), np.array([2]))

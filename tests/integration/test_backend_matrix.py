@@ -1,0 +1,72 @@
+"""Exhaustive backend x method x option matrix on one dataset.
+
+Every supported configuration of the public embed() API must produce a
+valid dominating tree; this is the catch-all regression net for
+configuration interactions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import embed
+from repro.data.synthetic import gaussian_clusters
+from repro.tree.validate import validate_hst
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_clusters(56, 6, 256, clusters=3, seed=100)
+
+
+SEQUENTIAL_CONFIGS = [
+    {"method": "hybrid", "r": 2},
+    {"method": "hybrid", "r": 3},
+    {"method": "hybrid", "r": None},
+    {"method": "ball"},
+    {"method": "grid"},
+    {"method": "hybrid", "r": 2, "on_uncovered": "singleton", "num_grids": 8},
+    {"method": "hybrid", "r": 2, "cell_factor": 3.0},
+]
+
+
+@pytest.mark.parametrize("config", SEQUENTIAL_CONFIGS)
+def test_sequential_matrix(data, config):
+    emb = embed(data, backend="sequential", seed=7, **config)
+    validate_hst(emb.tree, data)
+    assert emb.report().domination_min >= 1.0
+
+
+MPC_CONFIGS = [
+    {"r": 2},
+    {"r": 2, "method": "grid"},
+    {"r": 2, "on_uncovered": "singleton"},
+    {"r": 2, "eps": 0.5},
+    {"r": 2, "weight_scale": 1.5},
+    {"r": 2, "assembly": "mpc"},
+]
+
+
+@pytest.mark.parametrize("config", MPC_CONFIGS)
+def test_mpc_matrix(data, config):
+    emb = embed(data, backend="mpc", seed=8, **config)
+    validate_hst(emb.tree, data)
+    assert emb.report().domination_min >= 1.0
+    assert emb.costs["embed"]["rounds"] >= 1
+
+
+PIPELINE_CONFIGS = [
+    {"xi": 0.3},
+    {"xi": 0.45},
+    {"xi": 0.3, "k": 12},
+    {"xi": 0.3, "r": 3},
+    {"xi": 0.3, "on_uncovered": "singleton"},
+]
+
+
+@pytest.mark.parametrize("config", PIPELINE_CONFIGS)
+def test_pipeline_matrix(data, config):
+    emb = embed(data, backend="pipeline", seed=9, **config)
+    validate_hst(emb.tree)
+    # Pipeline domination holds relative to the original points whenever
+    # the JL event certified; always holds against the embedded points.
+    assert emb.costs["total_rounds"] >= 2

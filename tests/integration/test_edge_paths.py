@@ -1,0 +1,123 @@
+"""Edge-path coverage: branches the mainline tests don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.primitives import peek, scatter_rows, tree_gather
+from repro.mpc.sort import sort_by_key
+
+
+class TestTreeGatherRootMove:
+    def test_result_moved_to_requested_root(self):
+        # With fanin 2 over 5 machines the final combiner is machine 0;
+        # request root 3 to exercise the move rounds.
+        c = Cluster(5, 2048)
+        for i, m in enumerate(c):
+            m.put("x", float(i))
+        tree_gather(c, "x", lambda parts: sum(parts), out_key="t",
+                    root=3, fanin=2)
+        assert peek(c, 3, "t") == 10.0
+
+    def test_no_holders_is_noop(self):
+        c = Cluster(3, 512)
+        rounds = tree_gather(c, "missing", lambda parts: parts, out_key="t")
+        assert rounds == 0
+
+
+class TestSortEdges:
+    def test_more_machines_than_keys(self):
+        c = Cluster(8, 4096)
+        scatter_rows(c, np.array([2.0, 1.0]), "k")
+        sort_by_key(c, "k", seed=0)
+        from repro.mpc.primitives import collect_rows
+
+        np.testing.assert_array_equal(collect_rows(c, "k"), [1.0, 2.0])
+
+    def test_values_none_on_empty_machines(self):
+        c = Cluster(4, 4096)
+        scatter_rows(c, np.array([3.0, 1.0, 2.0]), "k")
+        scatter_rows(c, np.arange(6.0).reshape(3, 2), "v")
+        sort_by_key(c, "k", value_key="v", seed=1)
+        from repro.mpc.primitives import collect_rows
+
+        np.testing.assert_array_equal(collect_rows(c, "k"), [1.0, 2.0, 3.0])
+
+
+class TestCLIPipelineBackend:
+    def test_embed_pipeline(self, tmp_path):
+        from repro.cli import main
+
+        pts_file = tmp_path / "p.npy"
+        tree_file = tmp_path / "t.npz"
+        np.save(pts_file, np.random.default_rng(0).normal(
+            size=(40, 24)) * 50 + 200)
+        rc = main(["embed", str(pts_file), "--backend", "pipeline",
+                   "--xi", "0.35", "--seed", "2", "--out", str(tree_file)])
+        assert rc == 0
+        data = np.load(tree_file)
+        assert data["label_matrix"].shape[1] == 40
+
+
+class TestFJLTEdges:
+    def test_extremely_sparse_projection_still_works(self):
+        from repro.jl.fjlt import FJLT
+
+        # Force a minuscule q: rows of P may be empty, the transform
+        # must still run and produce finite output.
+        t = FJLT(64, 10, k=8, q=1e-3, seed=3)
+        out = t(np.random.default_rng(4).normal(size=(5, 64)))
+        assert np.isfinite(out).all()
+
+    def test_single_point_single_dim(self):
+        from repro.jl.fjlt import FJLT
+
+        t = FJLT(1, 1, k=1, seed=5)
+        out = t(np.array([[3.0]]))
+        assert out.shape == (1, 1)
+
+
+class TestAspectSubsamplePath:
+    def test_large_n_estimates(self):
+        from repro.data.aspect import pairwise_extremes
+
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(size=(5000, 3))
+        dmin, dmax = pairwise_extremes(pts, exact_limit=500)
+        assert 0 < dmin < dmax
+
+
+class TestVizOptions:
+    def test_ball_panel_many_grids(self):
+        from repro.viz.partitions import draw_ball_partition
+
+        pts = np.random.default_rng(7).uniform(0, 20, size=(30, 2))
+        svg = draw_ball_partition(pts, 2.0, num_grids=5, seed=8)
+        assert svg.count("<circle") > 30
+
+    def test_grid_panel_custom_pixels(self):
+        from repro.viz.partitions import draw_grid_partition
+
+        pts = np.random.default_rng(9).uniform(0, 20, size=(10, 2))
+        svg = draw_grid_partition(pts, 4.0, seed=10, pixels=200)
+        assert 'width="200"' in svg
+
+
+class TestEmbedKwargsErrors:
+    def test_bad_kwarg_surfaces(self, small_lattice):
+        from repro.core.embedding import embed
+
+        with pytest.raises(TypeError):
+            embed(small_lattice, backend="sequential", bogus_option=1)
+
+
+class TestClusterParticipantsWithMessages:
+    def test_nonparticipants_still_receive(self):
+        c = Cluster(3, 1024)
+
+        def send(m, ctx):
+            ctx.send(2, "hi", tag="t")
+
+        c.round(send, participants=[0])
+        msgs = c.machine(2).take_inbox(tag="t")
+        assert len(msgs) == 1

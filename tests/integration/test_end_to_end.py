@@ -1,0 +1,92 @@
+"""Cross-module integration tests: full workflows on realistic data."""
+
+import numpy as np
+import pytest
+
+from repro import embed
+from repro.apps.densest_ball import exact_densest_ball, tree_densest_ball
+from repro.apps.emd import exact_emd, tree_emd
+from repro.apps.mst import exact_emst, spanning_tree_is_valid, tree_mst
+from repro.data.emd_instances import matched_pair_instance
+from repro.data.synthetic import gaussian_clusters, line_points
+from repro.tree.validate import validate_hst
+
+
+class TestEmbedThenApplications:
+    """One embedding reused by all three Corollary 1 applications."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        pts = gaussian_clusters(72, 6, 512, clusters=3, seed=31)
+        emb = embed(pts, r=2, seed=32)
+        return pts, emb
+
+    def test_embedding_valid(self, setup):
+        pts, emb = setup
+        validate_hst(emb.tree, pts)
+
+    def test_mst_pipeline(self, setup):
+        pts, emb = setup
+        st = tree_mst(emb.tree, pts)
+        assert spanning_tree_is_valid(st, pts.shape[0])
+        assert st.cost >= exact_emst(pts).cost - 1e-9
+
+    def test_densest_ball_pipeline(self, setup):
+        pts, emb = setup
+        res = tree_densest_ball(emb.tree, 40.0, r=2, points=pts)
+        exact = exact_densest_ball(pts, 40.0)
+        assert 1 <= res.count <= pts.shape[0]
+        assert exact.count >= 1
+
+
+class TestBackendAgreement:
+    """Sequential and MPC backends implement the same algorithm."""
+
+    def test_same_seed_statistics(self):
+        pts = gaussian_clusters(64, 4, 256, seed=33)
+        seq = embed(pts, r=2, seed=34, backend="sequential")
+        mpc = embed(pts, r=2, seed=34, backend="mpc",
+                    on_uncovered="singleton")
+        seq_rep, mpc_rep = seq.report(), mpc.report()
+        assert seq_rep.domination_min >= 1.0
+        assert mpc_rep.domination_min >= 1.0
+        # Same algorithm, different randomness plumbing: same regime.
+        assert 0.2 < mpc_rep.mean_expected_ratio / seq_rep.mean_expected_ratio < 5.0
+
+
+class TestHighDimensionalFlow:
+    def test_pipeline_on_line_data(self):
+        # Low intrinsic dimension in high ambient dimension: JL + tree
+        # embedding must preserve the linear structure's distances.
+        pts = line_points(56, 96, 4096, seed=35)
+        emb = embed(pts, backend="pipeline", xi=0.3, seed=36)
+        rep = emb.report()
+        assert rep.mean_expected_ratio < 500
+        if emb.params["jl_min_ratio"] >= 1 - 0.3:
+            assert rep.domination_min >= 1.0 - 1e-9
+
+    def test_emd_full_stack(self):
+        a, b = matched_pair_instance(28, 5, 256, noise=0.02, seed=37)
+        exact = exact_emd(a, b)
+        estimate, tree = tree_emd(a, b, r=2, seed=38)
+        assert estimate >= exact - 1e-9
+        validate_hst(tree)
+
+
+class TestRobustness:
+    def test_tiny_inputs(self):
+        for n in (1, 2, 3):
+            pts = np.arange(n * 2, dtype=float).reshape(n, 2) * 10 + 1
+            emb = embed(pts, seed=39)
+            assert emb.n == n
+
+    def test_one_dimensional_data(self):
+        pts = np.arange(1, 33, dtype=float).reshape(-1, 1)
+        emb = embed(pts, r=1, seed=40)
+        assert emb.report().domination_min >= 1.0
+
+    def test_widely_scaled_data(self):
+        pts = np.array([[1.0, 1.0], [2.0, 1.0], [10_000.0, 1.0], [10_001.0, 1.0]])
+        emb = embed(pts, r=1, seed=41)
+        rep = emb.report()
+        assert rep.domination_min >= 1.0

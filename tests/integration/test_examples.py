@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public deliverable; they embed their own
+assertions (cluster recovery, domination, ordering preservation), so
+running them is a meaningful end-to-end check, not just an import test.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parents[2] / "examples"
+
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    # Figure output lands in a temp dir rather than the repo.
+    monkeypatch.chdir(tmp_path)
+    sys_path = list(sys.path)
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    finally:
+        sys.path[:] = sys_path
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 7

@@ -1,0 +1,152 @@
+"""Failure-injection tests: resource violations, coverage failures,
+and degraded configurations must fail loudly and informatively."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.mpc.cluster import Cluster
+from repro.mpc.errors import (
+    CommunicationOverflow,
+    LocalMemoryExceeded,
+    MPCError,
+    RoundLimitExceeded,
+)
+from repro.partition.base import CoverageFailure
+
+
+class TestMemoryPressure:
+    """Deliberately undersized clusters must raise, not corrupt."""
+
+    def test_fjlt_with_tiny_cluster(self):
+        pts = np.random.default_rng(0).normal(size=(64, 32))
+        cluster = Cluster(4, 200, strict=True)
+        with pytest.raises(MPCError):
+            mpc_fjlt(pts, xi=0.4, seed=1, cluster=cluster)
+
+    def test_embedding_with_tiny_cluster(self):
+        pts = uniform_lattice(64, 4, 128, seed=2, unique=True)
+        cluster = Cluster(4, 500, strict=True)
+        with pytest.raises(MPCError):
+            mpc_tree_embedding(pts, 2, cluster=cluster, seed=3)
+
+    def test_lenient_mode_records_and_continues(self):
+        pts = uniform_lattice(48, 4, 128, seed=4, unique=True)
+        cluster = Cluster(4, 2000, strict=False)
+        result = mpc_tree_embedding(pts, 2, cluster=cluster, seed=5)
+        # The computation completed AND the violations were logged.
+        assert result.tree.n == 48
+        assert len(cluster.violations) > 0
+        assert any("exceeding" in v for v in cluster.violations)
+
+    def test_violation_messages_identify_machine(self):
+        cluster = Cluster(3, 16, strict=False)
+        cluster.load(1, "big", np.zeros(100))
+        assert "machine 1" in cluster.violations[0]
+
+
+class TestRoundLimits:
+    def test_runaway_loop_caught(self):
+        cluster = Cluster(2, 1024, round_limit=5)
+        with pytest.raises(RoundLimitExceeded) as exc:
+            for _ in range(10):
+                cluster.round(lambda m, ctx: None)
+        assert exc.value.limit == 5
+
+    def test_limit_allows_exact_count(self):
+        cluster = Cluster(2, 1024, round_limit=3)
+        for _ in range(3):
+            cluster.round(lambda m, ctx: None)
+        assert cluster.rounds == 3
+
+
+class TestCommunicationPressure:
+    def test_fan_in_hotspot_detected(self):
+        # All machines flooding one target is the classic MPC bug.
+        cluster = Cluster(8, 64, strict=True)
+
+        def flood(machine, ctx):
+            if machine.machine_id != 0:
+                ctx.send(0, np.zeros(20))
+
+        with pytest.raises(CommunicationOverflow) as exc:
+            cluster.round(flood)
+        assert exc.value.direction == "receive"
+        assert exc.value.machine_id == 0
+
+    def test_oversend_detected_before_delivery(self):
+        cluster = Cluster(2, 32, strict=True)
+        with pytest.raises(CommunicationOverflow) as exc:
+            cluster.round(
+                lambda m, ctx: ctx.send(1, np.zeros(100))
+                if m.machine_id == 0
+                else None
+            )
+        assert exc.value.direction == "send"
+
+
+class TestCoverageDegradation:
+    def test_starved_grid_budget_fails_informatively(self):
+        pts = uniform_lattice(40, 4, 128, seed=6, unique=True)
+        with pytest.raises(CoverageFailure) as exc:
+            sequential_tree_embedding(
+                pts, 1, num_grids=1, on_uncovered="error", seed=7
+            )
+        assert exc.value.uncovered > 0
+        assert exc.value.grids_used == 1
+
+    def test_singleton_fallback_still_dominates(self):
+        # Even with a starved budget, the fallback tree must keep the
+        # hard guarantee (domination) intact.
+        pts = uniform_lattice(40, 4, 128, seed=8, unique=True)
+        tree = sequential_tree_embedding(
+            pts, 2, num_grids=2, on_uncovered="singleton", seed=9
+        )
+        from repro.core.distortion import distortion_report
+
+        assert distortion_report(tree, pts).domination_min >= 1.0
+
+    def test_starved_budget_degrades_distortion_not_correctness(self):
+        pts = uniform_lattice(48, 4, 128, seed=10, unique=True)
+        from repro.core.distortion import distortion_report
+
+        starved = distortion_report(
+            sequential_tree_embedding(
+                pts, 2, num_grids=1, on_uncovered="singleton", seed=11
+            ),
+            pts,
+        )
+        healthy = distortion_report(
+            sequential_tree_embedding(pts, 2, seed=11), pts
+        )
+        assert starved.domination_min >= 1.0
+        # Early singletons inflate stretch: starving should not *help*.
+        assert starved.mean_expected_ratio >= 0.5 * healthy.mean_expected_ratio
+
+
+class TestAdversarialData:
+    def test_identical_points(self):
+        pts = np.ones((10, 3))
+        tree = sequential_tree_embedding(pts, 1, seed=12, min_separation=1.0)
+        assert tree.n == 10
+        from repro.tree.metric import tree_distance
+
+        assert tree_distance(tree, 0, 9) == 0.0
+
+    def test_two_far_clusters_of_duplicates(self):
+        pts = np.vstack([np.ones((5, 2)), np.full((5, 2), 1000.0)])
+        tree = sequential_tree_embedding(pts, 1, seed=13, min_separation=1.0)
+        from repro.tree.metric import tree_distance
+
+        assert tree_distance(tree, 0, 4) == 0.0
+        assert tree_distance(tree, 0, 5) >= np.linalg.norm(pts[0] - pts[5])
+
+    def test_extreme_aspect_ratio(self):
+        pts = np.array([[1.0, 1.0], [2.0, 1.0], [2.0**20, 1.0]])
+        tree = sequential_tree_embedding(pts, 1, seed=14)
+        from repro.core.distortion import distortion_report
+
+        assert distortion_report(tree, pts).domination_min >= 1.0

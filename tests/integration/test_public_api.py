@@ -1,0 +1,66 @@
+"""Consistency checks on the public API surface.
+
+Guards against the docs and the package drifting apart: everything a
+subpackage exports must import, appear in docs/API.md, and carry a
+docstring.
+"""
+
+import importlib
+import pathlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.mpc",
+    "repro.partition",
+    "repro.tree",
+    "repro.jl",
+    "repro.apps",
+    "repro.geometry",
+    "repro.data",
+    "repro.viz",
+]
+
+API_DOC = (pathlib.Path(__file__).parents[2] / "docs" / "API.md").read_text()
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+class TestExports:
+    def test_all_exports_resolve(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name}"
+
+    def test_exports_documented(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        undocumented = [
+            name
+            for name in getattr(pkg, "__all__", [])
+            if name not in API_DOC and name != "__version__"
+        ]
+        assert not undocumented, (
+            f"{pkg_name} exports missing from docs/API.md: {undocumented}"
+        )
+
+    def test_exports_have_docstrings(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        missing = []
+        for name in getattr(pkg, "__all__", []):
+            obj = getattr(pkg, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"{pkg_name} exports without docstrings: {missing}"
+
+
+class TestPackageMetadata:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_module_docstrings(self):
+        for pkg_name in PACKAGES:
+            pkg = importlib.import_module(pkg_name)
+            assert (pkg.__doc__ or "").strip(), f"{pkg_name} has no docstring"

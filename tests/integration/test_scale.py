@@ -1,0 +1,76 @@
+"""Moderate-scale end-to-end runs (the largest inputs in the suite).
+
+These verify the implementation holds up beyond toy sizes: vectorized
+paths stay fast, resource accounting stays within budget, and the hard
+guarantees survive at n in the thousands.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import distortion_report
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.tree.metric import tree_distances_from_point
+
+
+class TestSequentialScale:
+    def test_n_2048_embedding_fast_and_dominating(self):
+        pts = uniform_lattice(2048, 4, 4096, seed=90, unique=True)
+        start = time.perf_counter()
+        tree = sequential_tree_embedding(pts, 2, seed=91)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 60, f"embedding took {elapsed:.1f}s"
+        rep = distortion_report(tree, pts)
+        assert rep.domination_min >= 1.0
+        assert rep.num_pairs == 2048 * 2047 // 2
+
+    def test_point_queries_scale(self):
+        pts = gaussian_clusters(1500, 6, 2048, clusters=6, seed=92)
+        tree = sequential_tree_embedding(pts, 2, seed=93)
+        start = time.perf_counter()
+        for i in range(0, 1500, 100):
+            tree_distances_from_point(tree, i)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5, f"15 single-source queries took {elapsed:.1f}s"
+
+
+class TestFJLTScale:
+    def test_high_dimensional_reduction(self):
+        pts = np.random.default_rng(94).normal(size=(1024, 2048))
+        start = time.perf_counter()
+        out, cluster = mpc_fjlt(pts, xi=0.4, seed=95)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 60, f"FJLT took {elapsed:.1f}s"
+        assert out.shape[0] == 1024
+        assert out.shape[1] < 2048
+        rep = cluster.report()
+        assert rep.max_local_words <= cluster.local_memory
+        # Spot-check distance preservation on a sample of pairs.
+        rng = np.random.default_rng(96)
+        i = rng.integers(0, 1024, size=500)
+        j = rng.integers(0, 1024, size=500)
+        keep = i != j
+        before = np.linalg.norm(pts[i[keep]] - pts[j[keep]], axis=1)
+        after = np.linalg.norm(out[i[keep]] - out[j[keep]], axis=1)
+        ratios = after / before
+        assert 0.5 < ratios.min() <= ratios.max() < 1.6
+
+
+class TestDuplicateHeavyScale:
+    def test_many_duplicates(self):
+        # 1000 points but only 50 distinct locations.
+        rng = np.random.default_rng(97)
+        distinct = uniform_lattice(50, 3, 512, seed=98, unique=True)
+        pts = distinct[rng.integers(0, 50, size=1000)]
+        tree = sequential_tree_embedding(pts, 1, seed=99, min_separation=1.0)
+        assert tree.n == 1000
+        # Duplicates sit at tree distance zero.
+        from repro.tree.metric import tree_distance
+
+        same = np.flatnonzero((pts == pts[0]).all(axis=1))
+        if same.size > 1:
+            assert tree_distance(tree, int(same[0]), int(same[1])) == 0.0

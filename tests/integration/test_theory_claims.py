@@ -1,0 +1,113 @@
+"""Direct empirical checks of the paper's quantitative claims.
+
+Each test mirrors one experiment of the benchmark harness, at reduced
+scale so the suite stays fast.  The benchmarks in ``benchmarks/`` run the
+same measurements at full scale and record them in EXPERIMENTS.md.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import expected_distortion_report
+from repro.core.params import theorem2_distortion_bound
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.geometry.caps import (
+    ball_slab_probability,
+    slab_probability_bound,
+    sphere_slab_probability,
+)
+from repro.geometry.coverage import (
+    grids_for_failure_probability,
+    grids_needed_to_cover,
+)
+from repro.partition.hybrid import hybrid_partition, hybrid_separation_bound
+
+
+class TestTheorem2:
+    """Domination + O(sqrt(d r) log Δ) expected distortion."""
+
+    def test_both_guarantees(self):
+        d, r, delta = 4, 2, 64
+        pts = uniform_lattice(40, d, delta, seed=51, unique=True)
+        trees = [sequential_tree_embedding(pts, r, seed=s) for s in range(10)]
+        rep = expected_distortion_report(trees, pts)
+        assert rep.domination_min >= 1.0
+        assert rep.expected_distortion <= theorem2_distortion_bound(d, r, delta * 2)
+
+
+class TestLemma1:
+    """Cut probability O(sqrt(d) D / w) independent of r; diameter sqrt(r) w."""
+
+    def test_cut_probability_linear_in_distance(self):
+        d, w = 4, 32.0
+        trials = 300
+        freqs = []
+        for gap in (1.0, 2.0, 4.0):
+            pts = np.vstack([np.zeros(d), np.full(d, gap / math.sqrt(d))])
+            cuts = sum(
+                int(
+                    hybrid_partition(
+                        pts, w, 2, seed=s, on_uncovered="singleton"
+                    ).labels[0]
+                    != hybrid_partition(
+                        pts, w, 2, seed=s, on_uncovered="singleton"
+                    ).labels[1]
+                )
+                for s in range(trials)
+            )
+            freqs.append(cuts / trials)
+        # Doubling the distance should roughly double the cut rate, and
+        # each rate must respect the bound.
+        for gap, f in zip((1.0, 2.0, 4.0), freqs):
+            assert f <= hybrid_separation_bound(w, d, gap) + 0.1
+        assert freqs[0] <= freqs[2] + 0.05  # monotone up to noise
+
+
+class TestLemmas45:
+    """Slab probability O(sqrt(d) t) on sphere and ball."""
+
+    @pytest.mark.parametrize("d", [4, 16, 64])
+    def test_scaling_with_dimension(self, d):
+        t = 0.1 / math.sqrt(d)
+        for prob_fn in (sphere_slab_probability, ball_slab_probability):
+            p = prob_fn(d, t)
+            assert p <= slab_probability_bound(d, t)
+            # Not vacuous: the exact value is a constant fraction of the bound.
+            assert p >= 0.2 * slab_probability_bound(d, t)
+
+
+class TestLemmas67:
+    """Grid counts to cover: 2^{O(k log k)} log(1/δ)."""
+
+    def test_empirical_within_budget(self):
+        for k in (1, 2, 3):
+            pts = np.random.default_rng(k).uniform(0, 64, size=(60, k))
+            budget = grids_for_failure_probability(k, 1e-4 / 60)
+            used = max(
+                grids_needed_to_cover(pts, w=2.0, seed=s, max_grids=4 * budget)
+                for s in range(3)
+            )
+            assert used <= budget
+
+    def test_budget_super_exponential_in_k(self):
+        budgets = [grids_for_failure_probability(k, 1e-6) for k in (1, 2, 4, 6)]
+        growth = [b2 / b1 for b1, b2 in zip(budgets, budgets[1:])]
+        assert growth[-1] > growth[0]  # accelerating, like 2^{k log k}
+
+
+class TestTheorem3Shape:
+    """FJLT total space beats dense JL by ~ log n for d >> log^2 n."""
+
+    def test_space_separation(self):
+        from repro.jl.dense import GaussianJL
+        from repro.jl.fjlt import FJLT, target_dimension
+
+        n, d = 4096, 8192
+        k = target_dimension(n, 0.4)
+        fast = FJLT(d, n, xi=0.4, seed=0)
+        dense = GaussianJL(d, k, seed=0)
+        ratio = dense.total_space_words(n) / fast.total_space_words(n)
+        assert ratio > 2.0  # the log-factor gap at this scale

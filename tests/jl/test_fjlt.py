@@ -1,0 +1,121 @@
+"""Tests for the sequential FJLT (and the dense JL baseline)."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist
+
+from repro.jl.dense import GaussianJL
+from repro.jl.fjlt import FJLT, sparsity_parameter, target_dimension
+
+
+class TestTargetDimension:
+    def test_grows_log_n(self):
+        k1 = target_dimension(100, 0.3)
+        k2 = target_dimension(100**2, 0.3)
+        assert k2 == pytest.approx(2 * k1, rel=0.05)
+
+    def test_xi_inverse_square(self):
+        k1 = target_dimension(1000, 0.4)
+        k2 = target_dimension(1000, 0.2)
+        assert k2 == pytest.approx(4 * k1, rel=0.05)
+
+    def test_xi_range_enforced(self):
+        with pytest.raises(ValueError, match="0, 0.5"):
+            target_dimension(100, 0.7)
+
+
+class TestSparsity:
+    def test_caps_at_one(self):
+        assert sparsity_parameter(10, 2) == 1.0
+
+    def test_log_squared_over_d(self):
+        q = sparsity_parameter(1000, 100000)
+        assert q == pytest.approx(np.log(1000) ** 2 / 100000, rel=1e-6)
+
+
+class TestFJLT:
+    def test_output_shape(self):
+        t = FJLT(50, 100, k=20, seed=0)
+        out = t(np.random.default_rng(0).normal(size=(100, 50)))
+        assert out.shape == (100, 20)
+
+    def test_norm_preserved_in_expectation(self):
+        d, n = 64, 1
+        x = np.random.default_rng(1).normal(size=(1, d))
+        norms = []
+        for s in range(300):
+            t = FJLT(d, 1000, k=16, seed=s)
+            norms.append(np.linalg.norm(t(x)) ** 2)
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.1)
+
+    def test_pairwise_distance_preservation(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(60, 512))
+        t = FJLT(512, 60, xi=0.3, seed=3)
+        before = pdist(pts)
+        after = pdist(t(pts))
+        ratios = after / before
+        # Theorem 3's (1 ± xi) event, with slack for the unspecified constant.
+        assert ratios.min() > 1 - 0.45
+        assert ratios.max() < 1 + 0.45
+
+    def test_same_instance_is_a_fixed_map(self):
+        t = FJLT(32, 50, seed=4)
+        x = np.random.default_rng(5).normal(size=(5, 32))
+        np.testing.assert_array_equal(t(x), t(x))
+
+    def test_linear(self):
+        t = FJLT(32, 50, seed=6)
+        x = np.random.default_rng(7).normal(size=(1, 32))
+        y = np.random.default_rng(8).normal(size=(1, 32))
+        np.testing.assert_allclose(t(x + y), t(x) + t(y), atol=1e-9)
+
+    def test_non_power_of_two_d(self):
+        t = FJLT(33, 50, k=10, seed=9)
+        assert t.d_padded == 64
+        out = t(np.random.default_rng(10).normal(size=(7, 33)))
+        assert out.shape == (7, 10)
+
+    def test_nnz_concentration(self):
+        # |P| ~ Binom(d k, q): mean q*d*k.
+        t = FJLT(256, 1000, k=40, q=0.1, seed=11)
+        expected = 0.1 * 256 * 40
+        assert t.nnz == pytest.approx(expected, rel=0.2)
+
+    def test_dense_q_one(self):
+        t = FJLT(16, 10, k=8, q=1.0, seed=12)
+        assert t.nnz == 16 * 8
+
+    def test_total_space_formula(self):
+        t = FJLT(128, 500, seed=13)
+        assert t.total_space_words(500) == 500 * 128 + 500 * t.nnz
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            FJLT(16, 10, q=1.5, seed=0)
+
+    def test_wrong_dims_rejected(self):
+        t = FJLT(16, 10, seed=0)
+        with pytest.raises(ValueError, match="16 dimensions"):
+            t(np.zeros((3, 8)))
+
+
+class TestGaussianJL:
+    def test_shape(self):
+        t = GaussianJL(30, 10, seed=0)
+        assert t(np.zeros((5, 30))).shape == (5, 10)
+
+    def test_distance_preservation(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(50, 200))
+        t = GaussianJL(200, 64, seed=2)
+        ratios = pdist(t(pts)) / pdist(pts)
+        assert ratios.min() > 0.5
+        assert ratios.max() < 1.5
+
+    def test_total_space_larger_than_fjlt(self):
+        n, d = 2000, 4096
+        dense = GaussianJL(d, target_dimension(n, 0.4), seed=0)
+        fast = FJLT(d, n, xi=0.4, seed=0)
+        # Section 5: the FJLT shaves a ~log n factor for large d.
+        assert fast.total_space_words(n) < dense.total_space_words(n)

@@ -1,0 +1,107 @@
+"""Tests for the fast Walsh–Hadamard transform."""
+
+import numpy as np
+import pytest
+
+from repro.jl.hadamard import (
+    fwht,
+    hadamard_matrix,
+    next_power_of_two,
+    pad_to_power_of_two,
+)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "d, expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1000, 1024)]
+    )
+    def test_values(self, d, expected):
+        assert next_power_of_two(d) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestHadamardMatrix:
+    def test_h2(self):
+        h = hadamard_matrix(2, normalize=False)
+        np.testing.assert_array_equal(h, [[1, 1], [1, -1]])
+
+    def test_orthonormal(self):
+        h = hadamard_matrix(16)
+        np.testing.assert_allclose(h @ h.T, np.eye(16), atol=1e-12)
+
+    def test_entries_via_bitwise_inner_product(self):
+        d = 8
+        h = hadamard_matrix(d, normalize=False)
+        for i in range(d):
+            for j in range(d):
+                parity = bin(i & j).count("1") % 2
+                assert h[i, j] == (-1) ** parity
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            hadamard_matrix(6)
+
+
+class TestFWHT:
+    @pytest.mark.parametrize("d", [1, 2, 8, 64, 256])
+    def test_matches_dense_matrix(self, d):
+        rng = np.random.default_rng(d)
+        x = rng.normal(size=(5, d))
+        dense = x @ hadamard_matrix(d).T
+        np.testing.assert_allclose(fwht(x, axis=1), dense, atol=1e-10)
+
+    def test_involution(self):
+        x = np.random.default_rng(0).normal(size=(3, 32))
+        np.testing.assert_allclose(fwht(fwht(x, axis=1), axis=1), x, atol=1e-12)
+
+    def test_norm_preserving(self):
+        x = np.random.default_rng(1).normal(size=(10, 128))
+        np.testing.assert_allclose(
+            np.linalg.norm(fwht(x, axis=1), axis=1),
+            np.linalg.norm(x, axis=1),
+            rtol=1e-12,
+        )
+
+    def test_unnormalized_scaling(self):
+        x = np.ones(4)
+        out = fwht(x, normalize=False)
+        np.testing.assert_array_equal(out, [4.0, 0.0, 0.0, 0.0])
+
+    def test_axis_zero(self):
+        x = np.random.default_rng(2).normal(size=(16, 3))
+        np.testing.assert_allclose(
+            fwht(x, axis=0), fwht(x.T, axis=1).T, atol=1e-12
+        )
+
+    def test_input_not_modified(self):
+        x = np.random.default_rng(3).normal(size=(2, 8))
+        copy = x.copy()
+        fwht(x, axis=1)
+        np.testing.assert_array_equal(x, copy)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            fwht(np.zeros(6))
+
+    def test_1d_input(self):
+        x = np.random.default_rng(4).normal(size=16)
+        out = fwht(x)
+        assert out.shape == (16,)
+        np.testing.assert_allclose(np.linalg.norm(out), np.linalg.norm(x))
+
+
+class TestPadding:
+    def test_preserves_distances(self):
+        pts = np.random.default_rng(5).normal(size=(6, 5))
+        padded = pad_to_power_of_two(pts)
+        assert padded.shape == (6, 8)
+        from scipy.spatial.distance import pdist
+
+        np.testing.assert_allclose(pdist(pts), pdist(padded), rtol=1e-12)
+
+    def test_identity_when_already_pow2(self):
+        pts = np.zeros((3, 16))
+        assert pad_to_power_of_two(pts) is pts

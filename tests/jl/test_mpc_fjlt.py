@@ -1,0 +1,102 @@
+"""Tests for the MPC FJLT (Theorem 3) and the blocked distributed FWHT."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist
+
+from repro.jl.hadamard import fwht
+from repro.jl.mpc_fjlt import mpc_blocked_fwht, mpc_fjlt
+from repro.mpc.cluster import Cluster
+
+
+class TestMpcFJLT:
+    def test_output_shape_and_rounds(self):
+        pts = np.random.default_rng(0).normal(size=(40, 32))
+        out, cluster = mpc_fjlt(pts, xi=0.4, seed=1)
+        assert out.shape[0] == 40
+        # Broadcast (O(1)) + one compute round; constant regardless of n.
+        assert cluster.report().rounds <= 6
+
+    def test_rounds_constant_in_n(self):
+        # Once the cluster is genuinely distributed (>1 machine), the
+        # round count must not grow with n.
+        rounds = []
+        for n in (256, 512, 1024):
+            pts = np.random.default_rng(n).normal(size=(n, 16))
+            _, cluster = mpc_fjlt(pts, xi=0.4, seed=2)
+            assert cluster.num_machines > 1
+            rounds.append(cluster.report().rounds)
+        assert len(set(rounds)) == 1
+
+    def test_distance_preservation(self):
+        pts = np.random.default_rng(3).normal(size=(50, 256))
+        out, _ = mpc_fjlt(pts, xi=0.3, seed=4)
+        ratios = pdist(out) / pdist(pts)
+        assert ratios.min() > 0.5
+        assert ratios.max() < 1.5
+
+    def test_matches_sequential_fjlt_semantics(self):
+        # All machines derive the SAME transform from the shared seed:
+        # applying the pipeline twice with one seed gives identical output.
+        pts = np.random.default_rng(5).normal(size=(30, 64))
+        out1, _ = mpc_fjlt(pts, xi=0.4, seed=6)
+        out2, _ = mpc_fjlt(pts, xi=0.4, seed=6)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_memory_budget_respected(self):
+        pts = np.random.default_rng(7).normal(size=(64, 32))
+        _, cluster = mpc_fjlt(pts, xi=0.4, seed=8)
+        assert cluster.report().max_local_words <= cluster.local_memory
+
+    def test_explicit_cluster(self):
+        pts = np.random.default_rng(9).normal(size=(20, 16))
+        cluster = Cluster(4, 100_000)
+        out, used = mpc_fjlt(pts, xi=0.4, k=8, seed=10, cluster=cluster)
+        assert used is cluster
+        assert out.shape == (20, 8)
+
+
+class TestBlockedFWHT:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    def test_matches_local_fwht(self, m):
+        rng = np.random.default_rng(m)
+        vec = rng.normal(size=(3, 32))
+        out, _ = mpc_blocked_fwht(vec, m)
+        np.testing.assert_allclose(out, fwht(vec, axis=1), atol=1e-10)
+
+    def test_single_vector(self):
+        vec = np.random.default_rng(0).normal(size=64)
+        out, _ = mpc_blocked_fwht(vec, 4)
+        np.testing.assert_allclose(out[0], fwht(vec), atol=1e-10)
+
+    @pytest.mark.parametrize("radix", [1, 2, 3])
+    def test_radix_variants_agree(self, radix):
+        vec = np.random.default_rng(1).normal(size=(2, 64))
+        out, _ = mpc_blocked_fwht(vec, 8, radix_bits=radix)
+        np.testing.assert_allclose(out, fwht(vec, axis=1), atol=1e-10)
+
+    def test_round_count_blocked_schedule(self):
+        vec = np.random.default_rng(2).normal(size=(1, 256))
+        # 16 machines -> 4 cross bits; radix 2 -> 2 exchange+combine pairs.
+        _, report = mpc_blocked_fwht(vec, 16, radix_bits=2)
+        # 1 local round + 2 * (exchange + combine).
+        assert report.rounds == 1 + 2 * 2
+
+    def test_bigger_radix_fewer_rounds(self):
+        vec = np.random.default_rng(3).normal(size=(1, 256))
+        _, r1 = mpc_blocked_fwht(vec, 16, radix_bits=1)
+        _, r4 = mpc_blocked_fwht(vec, 16, radix_bits=4)
+        assert r4.rounds < r1.rounds
+
+    def test_unnormalized(self):
+        vec = np.ones((1, 8))
+        out, _ = mpc_blocked_fwht(vec, 2, normalize=False)
+        np.testing.assert_allclose(out[0], fwht(vec[0], normalize=False), atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mpc_blocked_fwht(np.zeros((1, 12)), 2)  # d not a power of two
+        with pytest.raises(ValueError):
+            mpc_blocked_fwht(np.zeros((1, 16)), 3)  # m not a power of two
+        with pytest.raises(ValueError):
+            mpc_blocked_fwht(np.zeros((1, 4)), 8)  # m > d

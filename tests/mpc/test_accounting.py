@@ -1,0 +1,66 @@
+"""Tests for cost reports and budget helpers."""
+
+import pytest
+
+from repro.mpc.accounting import (
+    CostReport,
+    fully_scalable_local_memory,
+    machines_for,
+)
+
+
+class TestLocalMemory:
+    def test_scaling(self):
+        assert fully_scalable_local_memory(2**20, 1, 0.5, floor=1) == 1024
+
+    def test_floor(self):
+        assert fully_scalable_local_memory(4, 1, 0.5) == 64
+
+    def test_slack(self):
+        base = fully_scalable_local_memory(10**6, 10, 0.5, slack=1.0, floor=1)
+        doubled = fully_scalable_local_memory(10**6, 10, 0.5, slack=2.0, floor=1)
+        assert doubled == pytest.approx(2 * base, abs=2)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5, 2.0])
+    def test_eps_range(self, eps):
+        with pytest.raises(ValueError):
+            fully_scalable_local_memory(10, 10, eps)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            fully_scalable_local_memory(0, 10, 0.5)
+
+
+class TestMachinesFor:
+    def test_covers_data(self):
+        m = machines_for(1000, 100, slack=2.0)
+        assert m * 100 >= 2 * 1000
+
+    def test_at_least_one(self):
+        assert machines_for(1, 1000) == 1
+
+    def test_bad_memory(self):
+        with pytest.raises(ValueError):
+            machines_for(10, 0)
+
+
+class TestCostReport:
+    def test_total_space(self):
+        rep = CostReport(num_machines=3, local_memory=50)
+        assert rep.total_space == 150
+
+    def test_as_dict_keys(self):
+        rep = CostReport(num_machines=1, local_memory=10)
+        d = rep.as_dict()
+        assert {"machines", "rounds", "comm_words", "total_space"} <= set(d)
+
+    def test_merged_rounds_add_peaks_max(self):
+        a = CostReport(num_machines=2, local_memory=10)
+        a.rounds, a.max_local_words, a.comm_words = 3, 7, 100
+        b = CostReport(num_machines=4, local_memory=5)
+        b.rounds, b.max_local_words, b.comm_words = 2, 9, 50
+        m = a.merged_with(b)
+        assert m.rounds == 5
+        assert m.max_local_words == 9
+        assert m.comm_words == 150
+        assert m.num_machines == 4

@@ -1,0 +1,69 @@
+"""Tests for tree reductions and prefix sums."""
+
+import numpy as np
+
+from repro.mpc.aggregate import allreduce_scalar, global_prefix_offsets, reduce_scalar
+from repro.mpc.cluster import Cluster
+from repro.mpc.primitives import peek
+
+
+class TestReduceScalar:
+    def test_sum(self):
+        c = Cluster(6, 512)
+        for i, m in enumerate(c):
+            m.put("v", float(i + 1))
+        reduce_scalar(c, "v", np.sum, out_key="total", fanin=2)
+        assert peek(c, 0, "total") == 21.0
+
+    def test_max(self):
+        c = Cluster(4, 512)
+        for i, m in enumerate(c):
+            m.put("v", float(i * i))
+        reduce_scalar(c, "v", np.max, out_key="mx", fanin=3)
+        assert peek(c, 0, "mx") == 9.0
+
+    def test_missing_machines_skipped(self):
+        c = Cluster(4, 512)
+        c.machine(1).put("v", 5.0)
+        c.machine(3).put("v", 7.0)
+        reduce_scalar(c, "v", np.sum, out_key="t")
+        assert peek(c, 0, "t") == 12.0
+
+
+class TestAllReduce:
+    def test_everyone_gets_result(self):
+        c = Cluster(5, 512)
+        for i, m in enumerate(c):
+            m.put("v", float(i))
+        allreduce_scalar(c, "v", np.sum, out_key="s")
+        assert all(m.get("s") == 10.0 for m in c)
+
+
+class TestPrefixOffsets:
+    def test_exclusive_prefix(self):
+        c = Cluster(4, 1024)
+        counts = [3, 5, 2, 7]
+        for m, cnt in zip(c, counts):
+            m.put("cnt", cnt)
+        global_prefix_offsets(c, "cnt", out_key="off")
+        offsets = [m.get("off") for m in c]
+        assert offsets == [0, 3, 8, 10]
+
+    def test_zero_counts(self):
+        c = Cluster(3, 1024)
+        for m, cnt in zip(c, [0, 4, 0]):
+            m.put("cnt", cnt)
+        global_prefix_offsets(c, "cnt", out_key="off")
+        assert [m.get("off") for m in c] == [0, 0, 4]
+
+    def test_constant_rounds(self):
+        c8 = Cluster(8, 4096)
+        for m in c8:
+            m.put("cnt", 1)
+        r8 = global_prefix_offsets(c8, "cnt", out_key="off", fanin=16)
+
+        c2 = Cluster(2, 4096)
+        for m in c2:
+            m.put("cnt", 1)
+        r2 = global_prefix_offsets(c2, "cnt", out_key="off", fanin=16)
+        assert r8 == r2

@@ -1,0 +1,157 @@
+"""Tests for the MPC cluster simulator: rounds, delivery, enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.errors import (
+    CommunicationOverflow,
+    InvalidAddress,
+    LocalMemoryExceeded,
+    RoundLimitExceeded,
+)
+
+
+def make_cluster(m=4, mem=256, **kw):
+    return Cluster(m, mem, **kw)
+
+
+class TestConstruction:
+    def test_machine_count(self):
+        assert len(make_cluster(5)) == 5
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            Cluster(0, 10)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            Cluster(2, 0)
+
+
+class TestRounds:
+    def test_round_counter_increments(self):
+        c = make_cluster()
+        c.round(lambda m, ctx: None)
+        c.round(lambda m, ctx: None)
+        assert c.rounds == 2
+
+    def test_message_delivery_next_round(self):
+        c = make_cluster(2)
+
+        def send(m, ctx):
+            if m.machine_id == 0:
+                ctx.send(1, np.arange(3.0), tag="data")
+
+        c.round(send)
+        msgs = c.machine(1).take_inbox(tag="data")
+        assert len(msgs) == 1
+        np.testing.assert_array_equal(msgs[0].payload, np.arange(3.0))
+
+    def test_messages_ordered_by_source(self):
+        c = make_cluster(4)
+
+        def send(m, ctx):
+            if m.machine_id != 3:
+                ctx.send(3, m.machine_id, tag="id")
+
+        c.round(send)
+        msgs = c.machine(3).take_inbox(tag="id")
+        assert [m.payload for m in msgs] == [0, 1, 2]
+
+    def test_participants_restriction(self):
+        c = make_cluster(3)
+        ran = []
+
+        def step(m, ctx):
+            ran.append(m.machine_id)
+
+        c.round(step, participants=[1])
+        assert ran == [1]
+        assert c.rounds == 1
+
+    def test_round_limit(self):
+        c = make_cluster(round_limit=1)
+        c.round(lambda m, ctx: None)
+        with pytest.raises(RoundLimitExceeded):
+            c.round(lambda m, ctx: None)
+
+    def test_invalid_address(self):
+        c = make_cluster(2)
+        with pytest.raises(InvalidAddress):
+            c.round(lambda m, ctx: ctx.send(7, 1))
+
+    def test_send_many(self):
+        c = make_cluster(3)
+
+        def send(m, ctx):
+            if m.machine_id == 0:
+                ctx.send_many([1, 2], "hello", tag="h")
+
+        c.round(send)
+        assert len(c.machine(1).take_inbox("h")) == 1
+        assert len(c.machine(2).take_inbox("h")) == 1
+
+
+class TestEnforcement:
+    def test_send_overflow_strict(self):
+        c = make_cluster(2, mem=16)
+        with pytest.raises(CommunicationOverflow, match="send"):
+            c.round(lambda m, ctx: ctx.send(1, np.zeros(100)) if m.machine_id == 0 else None)
+
+    def test_receive_overflow_strict(self):
+        c = make_cluster(4, mem=32)
+
+        def flood(m, ctx):
+            if m.machine_id != 0:
+                ctx.send(0, np.zeros(20))
+
+        with pytest.raises(CommunicationOverflow, match="receive"):
+            c.round(flood)
+
+    def test_resident_memory_enforced_on_load(self):
+        c = make_cluster(2, mem=8)
+        with pytest.raises(LocalMemoryExceeded):
+            c.load(0, "big", np.zeros(100))
+
+    def test_resident_memory_enforced_after_round(self):
+        c = make_cluster(2, mem=16)
+        with pytest.raises(LocalMemoryExceeded):
+            c.round(lambda m, ctx: m.put("big", np.zeros(100)))
+
+    def test_lenient_mode_records_violations(self):
+        c = make_cluster(2, mem=8, strict=False)
+        c.load(0, "big", np.zeros(100))
+        assert len(c.violations) == 1
+        assert "exceeding" in c.violations[0]
+
+
+class TestAccounting:
+    def test_comm_words_counted(self):
+        c = make_cluster(2)
+        c.round(lambda m, ctx: ctx.send(1, np.zeros(5)) if m.machine_id == 0 else None)
+        rep = c.report()
+        assert rep.messages == 1
+        assert rep.comm_words >= 5
+
+    def test_max_local_words_tracks_peak(self):
+        c = make_cluster(2, mem=128)
+        c.load(0, "x", np.zeros(50))
+        assert c.report().max_local_words >= 50
+
+    def test_round_log_labels(self):
+        c = make_cluster(2)
+        c.round(lambda m, ctx: None, label="phase-a")
+        assert c.report().round_log[0].label == "phase-a"
+
+    def test_reset_accounting_keeps_state(self):
+        c = make_cluster(2)
+        c.load(0, "x", 1)
+        c.round(lambda m, ctx: None)
+        c.reset_accounting()
+        assert c.rounds == 0
+        assert c.machine(0).get("x") == 1
+
+    def test_total_space(self):
+        c = make_cluster(4, mem=100)
+        assert c.report().total_space == 400

@@ -1,0 +1,106 @@
+"""Tests for distributed dense-id assignment."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.dedup import _lex_search, assign_dense_ids
+from repro.mpc.primitives import scatter_rows
+
+
+def run_dedup(keys, m=4, mem=16384):
+    cluster = Cluster(m, mem)
+    scatter_rows(cluster, keys, "keys")
+    total = assign_dense_ids(cluster, "keys", "ids")
+    ids = np.concatenate(
+        [mach.get("ids") for mach in cluster if mach.get("ids") is not None]
+    )
+    return total, ids
+
+
+class TestAssignDenseIds:
+    def test_equal_rows_equal_ids(self):
+        keys = np.array([[1, 2], [3, 4], [1, 2], [5, 6], [3, 4]], dtype=np.int64)
+        total, ids = run_dedup(keys, m=3)
+        assert total == 3
+        assert ids[0] == ids[2]
+        assert ids[1] == ids[4]
+        assert len({ids[0], ids[1], ids[3]}) == 3
+
+    def test_ids_dense(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 5, size=(60, 3)).astype(np.int64)
+        total, ids = run_dedup(keys, m=4)
+        assert set(np.unique(ids)) == set(range(total))
+
+    def test_matches_numpy_unique_grouping(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 4, size=(50, 2)).astype(np.int64)
+        total, ids = run_dedup(keys, m=5)
+        _, expected = np.unique(keys, axis=0, return_inverse=True)
+        # Same grouping (ids may be permuted).
+        for i in range(50):
+            np.testing.assert_array_equal(ids == ids[i], expected == expected[i])
+        assert total == expected.max() + 1
+
+    def test_all_identical(self):
+        keys = np.ones((20, 2), dtype=np.int64)
+        total, ids = run_dedup(keys, m=3)
+        assert total == 1
+        assert (ids == ids[0]).all()
+
+    def test_all_distinct(self):
+        keys = np.arange(40, dtype=np.int64).reshape(20, 2)
+        total, ids = run_dedup(keys, m=4)
+        assert total == 20
+        assert len(np.unique(ids)) == 20
+
+    def test_single_machine(self):
+        keys = np.array([[1], [1], [2]], dtype=np.int64)
+        total, ids = run_dedup(keys, m=1)
+        assert total == 2
+
+    def test_constant_rounds(self):
+        rounds = []
+        for n in (40, 160):
+            keys = np.random.default_rng(n).integers(0, 9, size=(n, 2)).astype(np.int64)
+            c = Cluster(4, 16384)
+            scatter_rows(c, keys, "keys")
+            assign_dense_ids(c, "keys", "ids")
+            rounds.append(c.rounds)
+        assert rounds[0] == rounds[1]
+
+
+class TestLexSearch:
+    def test_finds_rows(self):
+        table = np.array([[0, 1], [1, 0], [2, 5]], dtype=np.int64)
+        queries = np.array([[2, 5], [0, 1]], dtype=np.int64)
+        np.testing.assert_array_equal(_lex_search(table, queries), [2, 0])
+
+    def test_missing_raises(self):
+        table = np.array([[0, 1]], dtype=np.int64)
+        with pytest.raises(KeyError):
+            _lex_search(table, np.array([[9, 9]], dtype=np.int64))
+
+    def test_empty_table(self):
+        with pytest.raises(ValueError):
+            _lex_search(np.empty((0, 2), dtype=np.int64), np.array([[1, 2]]))
+
+
+class TestLargeValues:
+    def test_values_beyond_one_byte(self):
+        # Exercises the void-byte ordering consistency: numeric lexsort
+        # and byte order disagree for values >= 256.
+        keys = np.array(
+            [[1, 300], [256, 2], [1, 300], [70000, 5], [256, 2]], dtype=np.int64
+        )
+        total, ids = run_dedup(keys, m=3)
+        assert total == 3
+        assert ids[0] == ids[2]
+        assert ids[1] == ids[4]
+
+    def test_negative_values(self):
+        keys = np.array([[-5, 3], [4, -1], [-5, 3]], dtype=np.int64)
+        total, ids = run_dedup(keys, m=2)
+        assert total == 2
+        assert ids[0] == ids[2]

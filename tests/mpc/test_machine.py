@@ -1,0 +1,84 @@
+"""Tests for the Machine storage/inbox abstraction."""
+
+import numpy as np
+
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+
+
+class TestStorage:
+    def test_put_get(self):
+        m = Machine(0)
+        m.put("k", 5)
+        assert m.get("k") == 5
+
+    def test_get_default(self):
+        assert Machine(0).get("missing", 42) == 42
+
+    def test_pop(self):
+        m = Machine(0)
+        m.put("k", 1)
+        assert m.pop("k") == 1
+        assert "k" not in m
+
+    def test_contains(self):
+        m = Machine(0)
+        m.put("k", None)
+        assert "k" in m
+
+    def test_clear_preserves_inbox(self):
+        m = Machine(0)
+        m.put("k", 1)
+        m.inbox.append(Message(1, 0, "t", 3))
+        m.clear()
+        assert "k" not in m
+        assert len(m.inbox) == 1
+
+
+class TestAccounting:
+    def test_storage_words_counts_keys_and_values(self):
+        m = Machine(0)
+        m.put("key", np.zeros(10))
+        assert m.storage_words() == 1 + 10
+
+    def test_inbox_words(self):
+        m = Machine(0)
+        m.inbox.append(Message(1, 0, "t", np.zeros(4)))
+        assert m.inbox_words() == m.inbox[0].size_words
+
+
+class TestInbox:
+    def test_take_all_clears(self):
+        m = Machine(0)
+        m.inbox = [Message(1, 0, "a", 1), Message(2, 0, "b", 2)]
+        taken = m.take_inbox()
+        assert len(taken) == 2
+        assert m.inbox == []
+
+    def test_take_by_tag_leaves_others(self):
+        m = Machine(0)
+        m.inbox = [Message(1, 0, "a", 1), Message(2, 0, "b", 2)]
+        taken = m.take_inbox(tag="a")
+        assert [t.tag for t in taken] == ["a"]
+        assert [t.tag for t in m.inbox] == ["b"]
+
+    def test_take_sorted_by_source(self):
+        m = Machine(0)
+        m.inbox = [Message(3, 0, "a", "z"), Message(1, 0, "a", "x")]
+        taken = m.take_inbox()
+        assert [t.src for t in taken] == [1, 3]
+
+
+class TestMessage:
+    def test_size_includes_header_and_payload(self):
+        msg = Message(0, 1, "tag", np.zeros(7))
+        assert msg.size_words == 1 + 1 + 7
+
+    def test_frozen(self):
+        msg = Message(0, 1, "t", 1)
+        try:
+            msg.payload = 2
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,137 @@
+"""Tests for scatter/broadcast/gather/exchange primitives."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.primitives import (
+    absorb_concat,
+    broadcast,
+    collect_rows,
+    exchange,
+    peek,
+    scatter_rows,
+    shard_bounds,
+    tree_gather,
+)
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert shard_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread_first(self):
+        bounds = shard_bounds(10, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_more_machines_than_rows(self):
+        bounds = shard_bounds(2, 5)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [1, 1, 0, 0, 0]
+        assert bounds[-1] == (2, 2)
+
+
+class TestScatterCollect:
+    def test_roundtrip(self):
+        c = Cluster(3, 256)
+        data = np.arange(20.0).reshape(10, 2)
+        scatter_rows(c, data, "pts")
+        out = collect_rows(c, "pts")
+        np.testing.assert_array_equal(out, data)
+
+    def test_offsets_recorded(self):
+        c = Cluster(3, 256)
+        scatter_rows(c, np.zeros((10, 2)), "pts")
+        offsets = [peek(c, i, "pts/offset") for i in range(3)]
+        assert offsets == [0, 4, 7]
+
+    def test_scatter_consumes_no_rounds(self):
+        c = Cluster(3, 256)
+        scatter_rows(c, np.zeros((6, 2)), "pts")
+        assert c.rounds == 0
+
+    def test_collect_missing_key_raises(self):
+        c = Cluster(2, 64)
+        with pytest.raises(KeyError):
+            collect_rows(c, "nope")
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("m", [1, 2, 5, 16])
+    def test_all_machines_receive(self, m):
+        c = Cluster(m, 512)
+        broadcast(c, np.array([1.0, 2.0]), "val")
+        for machine in c:
+            np.testing.assert_array_equal(machine.get("val"), [1.0, 2.0])
+
+    def test_nonzero_root(self):
+        c = Cluster(4, 512)
+        broadcast(c, "hello", "val", root=2)
+        assert all(machine.get("val") == "hello" for machine in c)
+
+    def test_rounds_constant_in_m_for_large_fanout(self):
+        # With fan-out >= m, two rounds (send + absorb) always suffice.
+        small = Cluster(4, 4096)
+        large = Cluster(64, 4096)
+        r_small = broadcast(small, 1.0, "v", fanout=64)
+        r_large = broadcast(large, 1.0, "v", fanout=64)
+        assert r_small == r_large == 2
+
+    def test_respects_memory_budget(self):
+        # Fan-out is derived so one round's sends fit the budget.
+        c = Cluster(8, 64)
+        broadcast(c, np.zeros(10), "v")
+        assert all(m.get("v") is not None for m in c)
+
+
+class TestTreeGather:
+    def test_sum_combine(self):
+        c = Cluster(5, 512)
+        for i, m in enumerate(c):
+            m.put("x", float(i))
+        tree_gather(c, "x", lambda parts: sum(parts), out_key="total", fanin=2)
+        assert peek(c, 0, "total") == 10.0
+
+    def test_concat_combine(self):
+        c = Cluster(3, 512)
+        for i, m in enumerate(c):
+            m.put("x", [i])
+        tree_gather(
+            c, "x", lambda parts: sorted(sum(parts, [])), out_key="all", fanin=2
+        )
+        assert peek(c, 0, "all") == [0, 1, 2]
+
+    def test_single_machine(self):
+        c = Cluster(1, 64)
+        c.machine(0).put("x", 3)
+        tree_gather(c, "x", lambda parts: sum(parts), out_key="t")
+        assert peek(c, 0, "t") == 3
+
+    def test_fanin_validation(self):
+        c = Cluster(2, 64)
+        with pytest.raises(ValueError, match="fanin"):
+            tree_gather(c, "x", sum, out_key="t", fanin=1)
+
+
+class TestExchangeAbsorb:
+    def test_all_to_all_then_concat(self):
+        c = Cluster(3, 512)
+        for m in c:
+            m.put("mine", np.full(2, float(m.machine_id)))
+
+        exchange(
+            c,
+            lambda m: [(d, m.get("mine")) for d in range(3)],
+            tag="xfer",
+        )
+        absorb_concat(c, "xfer", "gathered")
+        for m in c:
+            np.testing.assert_array_equal(
+                m.get("gathered"), [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+            )
+
+    def test_absorb_without_messages_stores_none(self):
+        c = Cluster(2, 64)
+        absorb_concat(c, "never-sent", "out")
+        assert peek(c, 0, "out") is None

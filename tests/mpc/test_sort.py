@@ -1,0 +1,71 @@
+"""Tests for the constant-round sample sort."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.primitives import collect_rows, scatter_rows
+from repro.mpc.sort import sort_by_key
+
+
+def run_sort(keys, m=4, mem=4096, values=None, **kw):
+    c = Cluster(m, mem)
+    scatter_rows(c, keys, "keys")
+    if values is not None:
+        scatter_rows(c, values, "vals")
+        rounds = sort_by_key(c, "keys", value_key="vals", seed=0, **kw)
+    else:
+        rounds = sort_by_key(c, "keys", seed=0, **kw)
+    return c, rounds
+
+
+class TestSortCorrectness:
+    def test_sorted_globally(self):
+        keys = np.random.default_rng(0).uniform(size=100)
+        c, _ = run_sort(keys)
+        out = collect_rows(c, "keys")
+        np.testing.assert_array_equal(out, np.sort(keys))
+
+    def test_values_follow_keys(self):
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(size=60)
+        vals = np.arange(60.0).reshape(60, 1)
+        c, _ = run_sort(keys, values=vals)
+        out_keys = collect_rows(c, "keys")
+        out_vals = collect_rows(c, "vals").ravel()
+        order = np.argsort(keys, kind="stable")
+        np.testing.assert_array_equal(out_keys, keys[order])
+        np.testing.assert_array_equal(out_vals, vals.ravel()[order])
+
+    def test_duplicate_keys(self):
+        keys = np.repeat([3.0, 1.0, 2.0], 10)
+        c, _ = run_sort(keys)
+        np.testing.assert_array_equal(collect_rows(c, "keys"), np.sort(keys))
+
+    def test_single_machine(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        c, _ = run_sort(keys, m=1)
+        np.testing.assert_array_equal(collect_rows(c, "keys"), [1.0, 2.0, 3.0])
+
+    def test_deterministic_given_seed(self):
+        keys = np.random.default_rng(2).uniform(size=50)
+        c1, _ = run_sort(keys)
+        c2, _ = run_sort(keys)
+        np.testing.assert_array_equal(collect_rows(c1, "keys"), collect_rows(c2, "keys"))
+
+
+class TestSortCost:
+    def test_rounds_constant_in_n(self):
+        small_keys = np.random.default_rng(0).uniform(size=40)
+        big_keys = np.random.default_rng(0).uniform(size=400)
+        _, r_small = run_sort(small_keys, mem=8192)
+        _, r_big = run_sort(big_keys, mem=8192)
+        assert r_small == r_big
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_balanced_within_factor(self, m):
+        keys = np.random.default_rng(3).uniform(size=400)
+        c, _ = run_sort(keys, m=m, sample_per_machine=32)
+        sizes = [len(mach.get("keys")) for mach in c]
+        assert sum(sizes) == 400
+        assert max(sizes) <= 4 * (400 // m)

@@ -1,0 +1,57 @@
+"""Tests for cost-report explanation utilities."""
+
+import numpy as np
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.trace import explain_report, heaviest_rounds
+
+
+def busy_cluster():
+    c = Cluster(4, 4096)
+    c.round(lambda m, ctx: ctx.send((m.machine_id + 1) % 4, np.zeros(10)),
+            label="ring-pass")
+    c.round(lambda m, ctx: ctx.send(0, np.zeros(50))
+            if m.machine_id else None, label="gather-big")
+    c.round(lambda m, ctx: None, label="quiet")
+    return c
+
+
+class TestExplainReport:
+    def test_contains_headline_numbers(self):
+        c = busy_cluster()
+        text = explain_report(c.report())
+        assert "4 machines" in text
+        assert "rounds=3" in text
+        assert "ring-pass" in text
+        assert "gather-big" in text
+
+    def test_round_truncation(self):
+        c = Cluster(2, 1024)
+        for i in range(10):
+            c.round(lambda m, ctx: None, label=f"r{i}")
+        text = explain_report(c.report(), max_rounds=4)
+        assert "6 more rounds" in text
+
+    def test_total_resident_line_when_tracked(self):
+        c = Cluster(2, 1024)
+        c.machine(0).put("x", np.zeros(100))
+        c.round(lambda m, ctx: None)
+        text = explain_report(c.report())
+        assert "peak-total-resident" in text
+
+    def test_empty_report(self):
+        c = Cluster(1, 16)
+        text = explain_report(c.report())
+        assert "rounds=0" in text
+
+
+class TestHeaviestRounds:
+    def test_orders_by_volume(self):
+        c = busy_cluster()
+        top = heaviest_rounds(c.report(), top=2)
+        assert top[0] == "gather-big"
+        assert top[1] == "ring-pass"
+
+    def test_top_bound(self):
+        c = busy_cluster()
+        assert len(heaviest_rounds(c.report(), top=99)) == 3

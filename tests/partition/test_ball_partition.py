@@ -1,0 +1,135 @@
+"""Tests for ball partitioning (Definition 2)."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist, squareform
+
+from repro.partition.ball_partition import (
+    BallAssignment,
+    assign_balls,
+    ball_diameter_bound,
+    ball_partition,
+    default_grid_budget,
+    labels_from_assignment,
+)
+from repro.partition.base import CoverageFailure
+from repro.partition.grids import build_grid_shifts
+
+
+class TestAssignBalls:
+    def test_assigns_first_covering_grid(self):
+        # Point at origin; grid 0 shifted so its vertex misses, grid 1 hits.
+        pts = np.array([[0.0, 0.0]])
+        w = 1.0
+        shifts = np.array([[2.0, 2.0], [0.1, 0.1]])  # cell = 4
+        a = assign_balls(pts, w, shifts)
+        assert a.grid_index[0] == 1
+        assert not a.uncovered.any()
+
+    def test_grid_order_priority(self):
+        # Both grids cover the point: the first must win.
+        pts = np.array([[0.0, 0.0]])
+        shifts = np.array([[0.2, 0.0], [0.0, 0.2]])
+        a = assign_balls(pts, 1.0, shifts)
+        assert a.grid_index[0] == 0
+
+    def test_uncovered_marked(self):
+        pts = np.array([[2.0, 2.0]])  # cell corner-distance sqrt(8) > 1
+        shifts = np.zeros((1, 2))
+        a = assign_balls(pts, 1.0, shifts)
+        assert a.uncovered.all()
+
+    def test_cell_index_correct(self):
+        pts = np.array([[4.0, 8.0]])
+        shifts = np.zeros((1, 2))
+        a = assign_balls(pts, 1.0, shifts)  # cell 4: vertex (1, 2)
+        np.testing.assert_array_equal(a.cell_index[0], [1, 2])
+
+    def test_batching_consistency(self, monkeypatch):
+        # Force tiny batches and verify identical output.
+        import importlib
+
+        bp = importlib.import_module("repro.partition.ball_partition")
+
+        pts = np.random.default_rng(0).uniform(0, 40, size=(100, 2))
+        shifts = build_grid_shifts(2, 4.0, 60, seed=1)
+        full = assign_balls(pts, 1.0, shifts)
+        monkeypatch.setattr(bp, "_BATCH_ELEMENT_BUDGET", 64)
+        tiny = assign_balls(pts, 1.0, shifts)
+        np.testing.assert_array_equal(full.grid_index, tiny.grid_index)
+        np.testing.assert_array_equal(full.cell_index, tiny.cell_index)
+
+    def test_cell_factor_validation(self):
+        with pytest.raises(ValueError, match="cell_factor"):
+            assign_balls(np.zeros((1, 2)), 1.0, np.zeros((1, 2)), cell_factor=1.5)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            assign_balls(np.zeros((1, 3)), 1.0, np.zeros((1, 2)))
+
+
+class TestBallPartition:
+    def test_all_points_partitioned(self):
+        pts = np.random.default_rng(1).uniform(0, 50, size=(80, 2))
+        part = ball_partition(pts, 2.0, seed=2)
+        assert part.n == 80
+
+    def test_diameter_bound(self):
+        pts = np.random.default_rng(2).uniform(0, 50, size=(150, 2))
+        w = 3.0
+        part = ball_partition(pts, w, seed=3)
+        dmat = squareform(pdist(pts))
+        for group in part.groups():
+            if group.size > 1:
+                assert dmat[np.ix_(group, group)].max() <= ball_diameter_bound(w) + 1e-9
+
+    def test_coverage_failure_raised(self):
+        pts = np.random.default_rng(3).uniform(0, 50, size=(40, 3))
+        with pytest.raises(CoverageFailure):
+            ball_partition(pts, 1.0, num_grids=1, seed=4, on_uncovered="error")
+
+    def test_singleton_fallback(self):
+        pts = np.random.default_rng(4).uniform(0, 50, size=(40, 3))
+        part = ball_partition(pts, 1.0, num_grids=1, seed=5, on_uncovered="singleton")
+        assert part.n == 40  # everyone assigned something
+
+    def test_invalid_on_uncovered(self):
+        pts = np.random.default_rng(5).uniform(0, 50, size=(10, 3))
+        with pytest.raises((ValueError, CoverageFailure)):
+            ball_partition(pts, 0.5, num_grids=1, seed=6, on_uncovered="bogus")
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(6).uniform(0, 20, size=(30, 2))
+        p1 = ball_partition(pts, 2.0, seed=7)
+        p2 = ball_partition(pts, 2.0, seed=7)
+        np.testing.assert_array_equal(p1.labels, p2.labels)
+
+
+class TestLabels:
+    def test_uncovered_points_get_unique_parts(self):
+        a = BallAssignment(
+            grid_index=np.array([-1, 0, -1]),
+            cell_index=np.zeros((3, 2), dtype=np.int64),
+            grids_used=1,
+        )
+        labels = labels_from_assignment(a)
+        assert labels[0] != labels[2]
+        assert labels[0] != labels[1]
+
+    def test_same_ball_same_label(self):
+        a = BallAssignment(
+            grid_index=np.array([2, 2, 1]),
+            cell_index=np.array([[0, 1], [0, 1], [0, 1]], dtype=np.int64),
+            grids_used=3,
+        )
+        labels = labels_from_assignment(a)
+        assert labels[0] == labels[1]
+        assert labels[0] != labels[2]
+
+
+class TestBudget:
+    def test_budget_grows_with_n(self):
+        assert default_grid_budget(2, 10_000) > default_grid_budget(2, 10)
+
+    def test_budget_grows_fast_with_k(self):
+        assert default_grid_budget(4, 100) > 10 * default_grid_budget(2, 100)

@@ -1,0 +1,132 @@
+"""Tests for FlatPartition and refinement."""
+
+import numpy as np
+import pytest
+
+from repro.partition.base import (
+    CoverageFailure,
+    FlatPartition,
+    canonicalize_labels,
+    refine,
+    refine_all,
+)
+
+
+class TestFlatPartition:
+    def test_trivial(self):
+        p = FlatPartition.trivial(5)
+        assert p.num_parts == 1
+        assert p.n == 5
+        assert not p.is_singletons()
+
+    def test_singletons(self):
+        p = FlatPartition.singletons(4)
+        assert p.num_parts == 4
+        assert p.is_singletons()
+
+    def test_sizes(self):
+        p = FlatPartition(np.array([0, 1, 0, 2, 1]))
+        np.testing.assert_array_equal(p.sizes(), [2, 2, 1])
+
+    def test_groups(self):
+        p = FlatPartition(np.array([1, 0, 1, 2]))
+        groups = p.groups()
+        as_sets = [set(g.tolist()) for g in groups]
+        assert as_sets == [{1}, {0, 2}, {3}]
+
+    def test_same_part(self):
+        p = FlatPartition(np.array([0, 0, 1]))
+        assert p.same_part(0, 1)
+        assert not p.same_part(0, 2)
+
+    def test_separated_mask(self):
+        p = FlatPartition(np.array([0, 0, 1, 1]))
+        mask = p.separated_mask(np.array([0, 0, 2]), np.array([1, 2, 3]))
+        np.testing.assert_array_equal(mask, [False, True, False])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FlatPartition(np.array([0, -1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            FlatPartition(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestCanonicalize:
+    def test_first_seen_order_compact(self):
+        labels = canonicalize_labels(np.array([7, 7, 3, 9, 3]))
+        assert labels.max() == 2
+        assert len(np.unique(labels)) == 3
+        # Grouping preserved.
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[4]
+
+
+class TestRefine:
+    def test_intersection_semantics(self):
+        a = FlatPartition(np.array([0, 0, 1, 1]))
+        b = FlatPartition(np.array([0, 1, 0, 1]))
+        joined = refine(a, b)
+        assert joined.num_parts == 4  # all pairs distinguished
+
+    def test_refining_with_trivial_is_identity_shape(self):
+        a = FlatPartition(np.array([0, 1, 1, 2]))
+        t = FlatPartition.trivial(4)
+        joined = refine(t, a)
+        np.testing.assert_array_equal(
+            joined.labels == joined.labels[1], a.labels == a.labels[1]
+        )
+        assert joined.num_parts == a.num_parts
+
+    def test_commutative_up_to_relabeling(self):
+        rng = np.random.default_rng(0)
+        a = FlatPartition(rng.integers(0, 4, size=30))
+        b = FlatPartition(rng.integers(0, 3, size=30))
+        ab, ba = refine(a, b), refine(b, a)
+        # Same grouping structure.
+        for i in range(30):
+            np.testing.assert_array_equal(
+                ab.labels == ab.labels[i], ba.labels == ba.labels[i]
+            )
+
+    def test_result_refines_both(self):
+        rng = np.random.default_rng(1)
+        a = FlatPartition(rng.integers(0, 5, size=50))
+        b = FlatPartition(rng.integers(0, 5, size=50))
+        j = refine(a, b)
+        for part in (a, b):
+            # Same joined part => same original part.
+            for lbl in range(j.num_parts):
+                members = np.flatnonzero(j.labels == lbl)
+                assert len(np.unique(part.labels[members])) == 1
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError, match="different point counts"):
+            refine(FlatPartition.trivial(3), FlatPartition.trivial(4))
+
+    def test_scale_propagation(self):
+        a = FlatPartition(np.array([0, 1]), scale=8.0)
+        b = FlatPartition(np.array([0, 0]), scale=4.0)
+        assert refine(a, b).scale == 4.0
+        assert refine(a, b, scale=2.0).scale == 2.0
+
+    def test_refine_all(self):
+        parts = [
+            FlatPartition(np.array([0, 0, 1, 1])),
+            FlatPartition(np.array([0, 1, 1, 1])),
+            FlatPartition(np.array([0, 0, 0, 1])),
+        ]
+        j = refine_all(parts)
+        assert j.num_parts == 4
+
+    def test_refine_all_empty(self):
+        with pytest.raises(ValueError):
+            refine_all([])
+
+
+class TestCoverageFailure:
+    def test_message(self):
+        exc = CoverageFailure(3, 100)
+        assert "3 points" in str(exc)
+        assert exc.grids_used == 100

@@ -1,0 +1,69 @@
+"""Tests for Arora's random shifted grid partitioning."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist, squareform
+
+from repro.partition.grid_partition import (
+    grid_diameter_bound,
+    grid_partition,
+    grid_separation_bound,
+)
+
+
+class TestGridPartition:
+    def test_labels_cover_all_points(self):
+        pts = np.random.default_rng(0).uniform(0, 100, size=(50, 3))
+        part = grid_partition(pts, 10.0, seed=1)
+        assert part.n == 50
+        assert part.labels.min() >= 0
+
+    def test_diameter_bound_holds(self):
+        pts = np.random.default_rng(1).uniform(0, 100, size=(200, 2))
+        w = 7.0
+        part = grid_partition(pts, w, seed=2)
+        dmat = squareform(pdist(pts))
+        for group in part.groups():
+            if group.size > 1:
+                assert dmat[np.ix_(group, group)].max() <= grid_diameter_bound(w, 2) + 1e-9
+
+    def test_huge_cell_single_part(self):
+        pts = np.random.default_rng(2).uniform(0, 1, size=(30, 2))
+        part = grid_partition(pts, 1000.0, seed=3)
+        assert part.num_parts == 1
+
+    def test_tiny_cell_singletons(self):
+        pts = np.arange(20, dtype=float).reshape(-1, 1) * 10
+        part = grid_partition(pts, 0.5, seed=4)
+        assert part.is_singletons()
+
+    def test_separation_frequency_bounded(self):
+        # Empirical Pr[separated] for a pair at distance D under scale w
+        # must respect the sqrt(d) * D / w bound.
+        d, w, gap = 3, 10.0, 1.0
+        p = np.zeros(d)
+        q = np.full(d, gap / np.sqrt(d))
+        pts = np.vstack([p, q])
+        trials = 2000
+        seps = sum(
+            grid_partition(pts, w, seed=s).labels[0]
+            != grid_partition(pts, w, seed=s).labels[1]
+            for s in range(trials)
+        )
+        assert seps / trials <= grid_separation_bound(w, d, gap) + 0.05
+
+    def test_scale_recorded(self):
+        pts = np.zeros((3, 2))
+        assert grid_partition(pts, 5.0, seed=0).scale == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_partition(np.zeros((2, 2)), -1.0)
+
+
+class TestBounds:
+    def test_diameter_bound_formula(self):
+        assert grid_diameter_bound(2.0, 9) == pytest.approx(6.0)
+
+    def test_separation_capped(self):
+        assert grid_separation_bound(1.0, 4, 100.0) == 1.0

@@ -1,0 +1,66 @@
+"""Tests for shifted-grid geometry and BuildGrids."""
+
+import numpy as np
+import pytest
+
+from repro.partition.grids import ShiftedGrid, build_grid_shifts
+
+
+class TestShiftedGrid:
+    def test_cell_indices_unshifted(self):
+        g = ShiftedGrid(1.0, np.zeros(2))
+        pts = np.array([[0.5, 0.5], [1.5, 0.2], [-0.3, 0.0]])
+        np.testing.assert_array_equal(
+            g.cell_indices(pts), [[0, 0], [1, 0], [-1, 0]]
+        )
+
+    def test_cell_indices_shifted(self):
+        g = ShiftedGrid(2.0, np.array([0.5]))
+        np.testing.assert_array_equal(
+            g.cell_indices(np.array([[0.4], [0.6], [2.6]])), [[-1], [0], [1]]
+        )
+
+    def test_nearest_vertex(self):
+        g = ShiftedGrid(4.0, np.zeros(2))
+        idx, dist = g.nearest_vertex(np.array([[1.0, 0.0], [3.0, 4.0]]))
+        np.testing.assert_array_equal(idx, [[0, 0], [1, 1]])
+        np.testing.assert_allclose(dist, [1.0, 1.0])
+
+    def test_sample_shift_in_range(self):
+        g = ShiftedGrid.sample(5, 3.0, seed=0)
+        assert g.dims == 5
+        assert (g.shift >= 0).all() and (g.shift <= 3.0).all()
+
+    def test_invalid_cell(self):
+        with pytest.raises(ValueError):
+            ShiftedGrid(0.0, np.zeros(2))
+
+    def test_invalid_shift_shape(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ShiftedGrid(1.0, np.zeros((2, 2)))
+
+
+class TestBuildGridShifts:
+    def test_shape(self):
+        shifts = build_grid_shifts(3, 2.0, 10, seed=0)
+        assert shifts.shape == (10, 3)
+
+    def test_range(self):
+        shifts = build_grid_shifts(2, 5.0, 100, seed=1)
+        assert shifts.min() >= 0.0
+        assert shifts.max() <= 5.0
+
+    def test_uniformity(self):
+        shifts = build_grid_shifts(1, 1.0, 20000, seed=2)
+        assert shifts.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            build_grid_shifts(2, 1.0, 5, seed=3), build_grid_shifts(2, 1.0, 5, seed=3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_grid_shifts(2, -1.0, 5)
+        with pytest.raises(ValueError):
+            build_grid_shifts(2, 1.0, 0)

@@ -1,0 +1,151 @@
+"""Tests for hybrid partitioning (Definition 3) — the paper's Lemma 1."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist, squareform
+
+from repro.partition.base import CoverageFailure
+from repro.partition.hybrid import (
+    bucket_slices,
+    hybrid_assign,
+    hybrid_diameter_bound,
+    hybrid_partition,
+    hybrid_separation_bound,
+    pad_for_buckets,
+    project_bucket,
+)
+
+
+class TestBucketing:
+    def test_even_split(self):
+        assert bucket_slices(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_padded(self):
+        # d=5, r=2 -> width ceil(5/2)=3, covers [0,6).
+        assert bucket_slices(5, 2) == [(0, 3), (3, 6)]
+
+    def test_r_bounds(self):
+        with pytest.raises(ValueError):
+            bucket_slices(4, 5)
+        with pytest.raises(ValueError):
+            bucket_slices(4, 0)
+
+    def test_pad_preserves_distances(self):
+        pts = np.random.default_rng(0).uniform(size=(10, 5))
+        padded = pad_for_buckets(pts, 2)
+        assert padded.shape == (10, 6)
+        np.testing.assert_allclose(pdist(pts), pdist(padded))
+
+    def test_pad_identity_when_divisible(self):
+        pts = np.zeros((3, 6))
+        assert pad_for_buckets(pts, 3) is pts
+
+    def test_project_bucket_shapes(self):
+        pts = np.random.default_rng(1).uniform(size=(10, 6))
+        for j in range(3):
+            assert project_bucket(pts, 3, j).shape == (10, 2)
+
+    def test_project_bucket_contents(self):
+        pts = np.arange(12.0).reshape(2, 6)
+        np.testing.assert_array_equal(project_bucket(pts, 3, 1), [[2, 3], [8, 9]])
+
+    def test_project_bucket_index_range(self):
+        with pytest.raises(ValueError):
+            project_bucket(np.zeros((2, 4)), 2, 2)
+
+
+class TestHybridPartition:
+    def test_runs_and_covers(self):
+        pts = np.random.default_rng(2).uniform(0, 100, size=(60, 4))
+        part = hybrid_partition(pts, 5.0, 2, seed=3)
+        assert part.n == 60
+
+    def test_diameter_bound_lemma1(self):
+        pts = np.random.default_rng(3).uniform(0, 60, size=(200, 4))
+        w, r = 4.0, 2
+        part = hybrid_partition(pts, w, r, seed=4)
+        dmat = squareform(pdist(pts))
+        bound = hybrid_diameter_bound(w, r)
+        for group in part.groups():
+            if group.size > 1:
+                assert dmat[np.ix_(group, group)].max() <= bound + 1e-9
+
+    def test_r1_equals_ball_partition_structure(self):
+        # With r=1 the hybrid partition IS a ball partition (same code
+        # path): diameters bounded by 2w.
+        pts = np.random.default_rng(4).uniform(0, 40, size=(100, 2))
+        w = 3.0
+        part = hybrid_partition(pts, w, 1, seed=5)
+        dmat = squareform(pdist(pts))
+        for group in part.groups():
+            if group.size > 1:
+                assert dmat[np.ix_(group, group)].max() <= 2 * w + 1e-9
+
+    def test_rd_with_half_cell_is_grid(self):
+        # r=d with cell_factor=2 tiles each axis completely: every point
+        # covered by the FIRST grid, parts are axis-aligned boxes of
+        # width 2w — exactly a random shifted grid.
+        pts = np.random.default_rng(5).uniform(0, 50, size=(120, 3))
+        w = 2.0
+        part = hybrid_partition(pts, w, 3, cell_factor=2.0, num_grids=1, seed=6)
+        assert part.n == 120
+        # Coverage must be total with one grid (no singleton fallback used).
+        assignment = hybrid_assign(pts, w, 3, cell_factor=2.0, num_grids=1, seed=6)
+        assert not assignment.uncovered.any()
+        # Parts have L_inf diameter <= 2w per dimension.
+        for group in part.groups():
+            if group.size > 1:
+                spread = pts[group].max(axis=0) - pts[group].min(axis=0)
+                assert (spread <= 2 * w + 1e-9).all()
+
+    def test_separation_probability_r_independent(self):
+        # Lemma 1: the cut probability bound does not depend on r.
+        d, w, gap = 4, 16.0, 2.0
+        p = np.zeros(d)
+        q = np.full(d, gap / np.sqrt(d))
+        pts = np.vstack([p, q])
+        trials = 400
+        freqs = {}
+        for r in (1, 2, 4):
+            cuts = 0
+            for s in range(trials):
+                part = hybrid_partition(
+                    pts, w, r, seed=1000 * r + s, on_uncovered="singleton"
+                )
+                cuts += int(part.labels[0] != part.labels[1])
+            freqs[r] = cuts / trials
+        bound = hybrid_separation_bound(w, d, gap)
+        for r, f in freqs.items():
+            assert f <= bound + 0.1, f"r={r}: separation {f} exceeds bound {bound}"
+
+    def test_coverage_failure(self):
+        pts = np.random.default_rng(6).uniform(0, 50, size=(50, 4))
+        with pytest.raises(CoverageFailure):
+            hybrid_partition(pts, 1.0, 1, num_grids=1, seed=7, on_uncovered="error")
+
+    def test_singleton_fallback_isolates(self):
+        pts = np.random.default_rng(7).uniform(0, 50, size=(50, 4))
+        part = hybrid_partition(pts, 1.0, 2, num_grids=1, seed=8,
+                                on_uncovered="singleton")
+        assignment = hybrid_assign(pts, 1.0, 2, num_grids=1, seed=8)
+        uncovered = np.flatnonzero(assignment.uncovered)
+        for u in uncovered:
+            assert (part.labels == part.labels[u]).sum() == 1
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(8).uniform(0, 30, size=(40, 4))
+        p1 = hybrid_partition(pts, 4.0, 2, seed=9)
+        p2 = hybrid_partition(pts, 4.0, 2, seed=9)
+        np.testing.assert_array_equal(p1.labels, p2.labels)
+
+    def test_r_validation(self):
+        with pytest.raises(ValueError):
+            hybrid_partition(np.zeros((3, 2)), 1.0, 5)
+
+
+class TestBounds:
+    def test_diameter_formula(self):
+        assert hybrid_diameter_bound(3.0, 4) == pytest.approx(12.0)
+
+    def test_separation_formula_caps(self):
+        assert hybrid_separation_bound(1.0, 4, 100.0) == 1.0

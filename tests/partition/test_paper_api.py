@@ -1,0 +1,87 @@
+"""Tests for the pseudocode-named adapters (BuildGrids / BallPart)."""
+
+import numpy as np
+import pytest
+
+from repro.partition.base import CoverageFailure
+from repro.partition.paper_api import BallPart, BuildGrids, GridSet, HybridPartitioning
+
+
+@pytest.fixture
+def bucket_points():
+    return np.random.default_rng(0).uniform(0, 50, size=(60, 2))
+
+
+class TestBuildGrids:
+    def test_shapes(self, bucket_points):
+        grids = BuildGrids(bucket_points, r=2, U=20, seed=1)
+        assert grids.shifts.shape == (20, 2)
+        assert grids.num_grids == 20
+
+    def test_radius_quarter_cell(self, bucket_points):
+        grids = BuildGrids(bucket_points, r=1, U=5, w=3.0, seed=2)
+        assert grids.cell == pytest.approx(12.0)
+        assert grids.radius == pytest.approx(3.0)
+
+    def test_default_scale_covers_spread(self, bucket_points):
+        grids = BuildGrids(bucket_points, r=1, U=5, seed=3)
+        spread = (bucket_points.max(0) - bucket_points.min(0)).max()
+        assert grids.radius >= spread / 2 - 1e-9
+
+    def test_validation(self, bucket_points):
+        with pytest.raises(ValueError):
+            BuildGrids(bucket_points, r=1, U=0)
+
+
+class TestBallPart:
+    def test_partitions_all_points(self, bucket_points):
+        grids = BuildGrids(bucket_points, r=1, U=100, w=4.0, seed=4)
+        part = BallPart(bucket_points, grids, on_uncovered="singleton")
+        assert part.n == 60
+
+    def test_failure_semantics(self, bucket_points):
+        starved = GridSet(
+            shifts=BuildGrids(bucket_points, r=1, U=1, w=1.0, seed=5).shifts,
+            cell=4.0,
+        )
+        with pytest.raises(CoverageFailure):
+            BallPart(bucket_points, starved, on_uncovered="error")
+
+    def test_matches_native_ball_partition(self, bucket_points):
+        # Same shifts => identical grouping as the native API.
+        from repro.partition.ball_partition import assign_balls, labels_from_assignment
+
+        grids = BuildGrids(bucket_points, r=1, U=60, w=4.0, seed=6)
+        part = BallPart(bucket_points, grids, on_uncovered="singleton")
+        native = labels_from_assignment(
+            assign_balls(bucket_points, grids.radius, grids.shifts)
+        )
+        for i in range(60):
+            np.testing.assert_array_equal(
+                part.labels == part.labels[i], native == native[i]
+            )
+
+
+class TestHybridPartitioning:
+    def test_runs_and_joins(self):
+        pts = np.random.default_rng(7).uniform(0, 80, size=(80, 4))
+        part = HybridPartitioning(pts, r=2, U=200, w=8.0, seed=8,
+                                  on_uncovered="singleton")
+        assert part.n == 80
+        assert part.num_parts >= 1
+
+    def test_diameter_bound(self):
+        from scipy.spatial.distance import pdist, squareform
+
+        pts = np.random.default_rng(9).uniform(0, 60, size=(100, 4))
+        w, r = 6.0, 2
+        part = HybridPartitioning(pts, r=r, U=400, w=w, seed=10,
+                                  on_uncovered="singleton")
+        dmat = squareform(pdist(pts))
+        for group in part.groups():
+            if group.size > 1:
+                assert dmat[np.ix_(group, group)].max() <= 2 * np.sqrt(r) * w + 1e-9
+
+    def test_r_validation(self):
+        with pytest.raises(ValueError):
+            HybridPartitioning(np.zeros((4, 2)), r=5, U=10)

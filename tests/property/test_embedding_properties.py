@@ -1,0 +1,79 @@
+"""Property-based tests on full embeddings and applications."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.emd import matching_lower_bound, tree_emd_from_tree
+from repro.apps.mst import exact_emst, spanning_tree_is_valid, tree_mst
+from repro.apps.tree_dp import facility_location_cost, tree_facility_location
+from repro.core.distortion import distortion_report
+from repro.core.sequential import sequential_tree_embedding
+from repro.tree.validate import validate_hst
+
+
+def lattice_cloud(max_n=20, max_d=3, delta=32):
+    return st.integers(3, max_n).flatmap(
+        lambda n: st.integers(1, max_d).flatmap(
+            lambda d: arrays(
+                np.float64,
+                (n, d),
+                elements=st.integers(1, delta).map(float),
+            )
+        )
+    )
+
+
+class TestEmbeddingProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(lattice_cloud(), st.integers(0, 10_000))
+    def test_every_embedding_is_valid_and_dominating(self, pts, seed):
+        tree = sequential_tree_embedding(
+            pts, 1, seed=seed, min_separation=1.0, on_uncovered="singleton"
+        )
+        validate_hst(tree, pts)
+        if len(np.unique(pts, axis=0)) > 1:
+            assert distortion_report(tree, pts).domination_min >= 1.0 - 1e-9
+
+    @settings(deadline=None, max_examples=15)
+    @given(lattice_cloud(), st.integers(0, 10_000))
+    def test_tree_mst_always_spans_and_dominates(self, pts, seed):
+        if len(np.unique(pts, axis=0)) < pts.shape[0]:
+            return  # spanning via cluster reps needs distinct points
+        tree = sequential_tree_embedding(pts, 1, seed=seed, min_separation=1.0)
+        st_tree = tree_mst(tree, pts)
+        assert spanning_tree_is_valid(st_tree, pts.shape[0])
+        assert st_tree.cost >= exact_emst(pts).cost - 1e-9
+
+    @settings(deadline=None, max_examples=15)
+    @given(lattice_cloud(max_n=16), st.integers(0, 10_000))
+    def test_tree_emd_dominates_lower_bound(self, pts, seed):
+        n = pts.shape[0]
+        if n < 4:
+            return
+        half = n // 2
+        combined = np.vstack([pts[:half], pts[half : 2 * half]])
+        tree = sequential_tree_embedding(
+            combined, 1, seed=seed, min_separation=1.0
+        )
+        estimate = tree_emd_from_tree(tree, half)
+        lower = matching_lower_bound(pts[:half], pts[half : 2 * half])
+        assert estimate >= lower - 1e-6
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        lattice_cloud(max_n=12),
+        st.floats(0.5, 100.0),
+        st.integers(0, 10_000),
+    )
+    def test_facility_location_cost_consistency(self, pts, f, seed):
+        tree = sequential_tree_embedding(pts, 1, seed=seed, min_separation=1.0)
+        res = tree_facility_location(tree, f)
+        achieved = facility_location_cost(tree, res.facilities, f)
+        assert achieved <= res.cost + 1e-6
+        # DP optimum never beats the single-facility and all-facility
+        # reference solutions it includes.
+        single = facility_location_cost(tree, [0], f)
+        everyone = facility_location_cost(tree, range(tree.n), f)
+        assert res.cost <= min(single, everyone) + 1e-6

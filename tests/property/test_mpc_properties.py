@@ -1,0 +1,86 @@
+"""Property-based tests for the MPC simulator primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.dedup import assign_dense_ids
+from repro.mpc.primitives import broadcast, collect_rows, scatter_rows, shard_bounds
+from repro.mpc.sort import sort_by_key
+
+
+class TestShardBoundsProperties:
+    @given(st.integers(0, 500), st.integers(1, 32))
+    def test_partition_covers_exactly(self, n, m):
+        bounds = shard_bounds(n, m)
+        assert len(bounds) == m
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c
+            assert b >= a and d >= c
+
+    @given(st.integers(1, 500), st.integers(1, 32))
+    def test_balance_within_one(self, n, m):
+        sizes = [hi - lo for lo, hi in shard_bounds(n, m)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestScatterCollectProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 60), st.integers(1, 4)),
+               elements=st.floats(-100, 100, allow_nan=False)),
+        st.integers(1, 8),
+    )
+    def test_roundtrip(self, data, m):
+        cluster = Cluster(m, 4096)
+        scatter_rows(cluster, data, "x")
+        np.testing.assert_array_equal(collect_rows(cluster, "x"), data)
+
+
+class TestBroadcastProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(1, 24), st.integers(2, 10))
+    def test_everyone_receives(self, m, fanout):
+        cluster = Cluster(m, 4096)
+        broadcast(cluster, ("payload", 42), "v", fanout=fanout)
+        assert all(mach.get("v") == ("payload", 42) for mach in cluster)
+
+
+class TestSortProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        arrays(np.float64, st.integers(1, 120),
+               elements=st.floats(-1000, 1000, allow_nan=False)),
+        st.integers(1, 6),
+        st.integers(0, 10_000),
+    )
+    def test_always_sorted_and_complete(self, keys, m, seed):
+        cluster = Cluster(m, 65536)
+        scatter_rows(cluster, keys, "k")
+        sort_by_key(cluster, "k", seed=seed)
+        out = collect_rows(cluster, "k")
+        np.testing.assert_array_equal(out, np.sort(keys))
+
+
+class TestDedupProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        arrays(np.int64, st.tuples(st.integers(1, 60), st.integers(1, 3)),
+               elements=st.integers(-1000, 1000)),
+        st.integers(1, 6),
+    )
+    def test_grouping_matches_numpy(self, keys, m):
+        cluster = Cluster(m, 65536)
+        scatter_rows(cluster, keys, "k")
+        total = assign_dense_ids(cluster, "k", "ids")
+        ids = np.concatenate(
+            [mach.get("ids") for mach in cluster if mach.get("ids") is not None]
+        )
+        _, expected = np.unique(keys, axis=0, return_inverse=True)
+        assert total == expected.max() + 1
+        for i in range(keys.shape[0]):
+            np.testing.assert_array_equal(ids == ids[i], expected == expected[i])

@@ -1,0 +1,121 @@
+"""Property-based tests on the partitioning methods themselves."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.partition.ball_partition import assign_balls, labels_from_assignment
+from repro.partition.base import refine, refine_all, FlatPartition
+from repro.partition.grids import build_grid_shifts
+from repro.partition.hybrid import hybrid_assign, hybrid_diameter_bound
+
+
+def cloud(max_n=30, max_k=3, box=32.0):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.integers(1, max_k).flatmap(
+            lambda k: arrays(
+                np.float64,
+                (n, k),
+                elements=st.floats(0, box, allow_nan=False, width=32),
+            )
+        )
+    )
+
+
+class TestBallAssignmentProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(cloud(), st.integers(0, 10_000))
+    def test_first_capture_is_minimal(self, pts, seed):
+        """The assigned grid index is the FIRST grid whose ball covers."""
+        w = 2.0
+        shifts = build_grid_shifts(pts.shape[1], 4 * w, 12, seed=seed)
+        assignment = assign_balls(pts, w, shifts)
+        cell = 4 * w
+        for i in range(pts.shape[0]):
+            g = assignment.grid_index[i]
+            upto = shifts.shape[0] if g < 0 else g
+            # No earlier grid may cover point i.
+            for u in range(upto):
+                rel = pts[i] - shifts[u]
+                nearest = np.rint(rel / cell) * cell
+                assert np.sum((rel - nearest) ** 2) > w * w
+            if g >= 0:
+                rel = pts[i] - shifts[g]
+                nearest = np.rint(rel / cell) * cell
+                assert np.sum((rel - nearest) ** 2) <= w * w + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(cloud(), st.integers(0, 10_000))
+    def test_labels_consistent_with_assignment(self, pts, seed):
+        w = 2.0
+        shifts = build_grid_shifts(pts.shape[1], 4 * w, 8, seed=seed)
+        assignment = assign_balls(pts, w, shifts)
+        labels = labels_from_assignment(assignment)
+        n = pts.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                same_ball = (
+                    assignment.grid_index[i] == assignment.grid_index[j]
+                    and assignment.grid_index[i] >= 0
+                    and (assignment.cell_index[i] == assignment.cell_index[j]).all()
+                )
+                assert (labels[i] == labels[j]) == same_ball
+
+
+class TestHybridProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(cloud(max_k=4), st.integers(1, 4), st.integers(0, 10_000))
+    def test_joint_partition_refines_every_bucket(self, pts, r, seed):
+        r = min(r, pts.shape[1])
+        assignment = hybrid_assign(pts, 4.0, r, num_grids=6, seed=seed)
+        parts = [
+            FlatPartition(labels_from_assignment(b)) for b in assignment.buckets
+        ]
+        joint = refine_all(parts)
+        # Joint same-part implies same part in every bucket.
+        for part in parts:
+            for lbl in range(joint.num_parts):
+                members = np.flatnonzero(joint.labels == lbl)
+                assert len(np.unique(part.labels[members])) == 1
+
+    @settings(deadline=None, max_examples=25)
+    @given(cloud(max_k=4), st.integers(1, 4), st.integers(0, 10_000))
+    def test_covered_parts_respect_diameter_bound(self, pts, r, seed):
+        from repro.partition.hybrid import hybrid_partition
+
+        r = min(r, pts.shape[1])
+        w = 4.0
+        part = hybrid_partition(
+            pts, w, r, num_grids=6, seed=seed, on_uncovered="singleton"
+        )
+        assignment = hybrid_assign(pts, w, r, num_grids=6, seed=seed)
+        covered = ~assignment.uncovered
+        bound = hybrid_diameter_bound(w, r)
+        for lbl in range(part.num_parts):
+            members = np.flatnonzero((part.labels == lbl) & covered)
+            if members.size > 1:
+                from scipy.spatial.distance import pdist
+
+                assert pdist(pts[members]).max() <= bound + 1e-9
+
+
+class TestRefineLattice:
+    @given(
+        arrays(np.int64, 25, elements=st.integers(0, 4)),
+        arrays(np.int64, 25, elements=st.integers(0, 4)),
+        arrays(np.int64, 25, elements=st.integers(0, 4)),
+    )
+    def test_refine_associative(self, a, b, c):
+        pa, pb, pc = FlatPartition(a), FlatPartition(b), FlatPartition(c)
+        left = refine(refine(pa, pb), pc)
+        right = refine(pa, refine(pb, pc))
+        for i in range(25):
+            np.testing.assert_array_equal(
+                left.labels == left.labels[i], right.labels == right.labels[i]
+            )
+
+    @given(arrays(np.int64, 20, elements=st.integers(0, 3)))
+    def test_refine_idempotent_num_parts(self, a):
+        p = FlatPartition(a)
+        assert refine(p, p).num_parts == p.num_parts

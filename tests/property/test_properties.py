@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These exercise the library's hard guarantees on arbitrary inputs:
+partition well-formedness, refinement algebra, FWHT orthogonality, tree
+metric axioms, and domination.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.jl.hadamard import fwht
+from repro.partition.base import FlatPartition, refine
+from repro.partition.grid_partition import grid_partition
+from repro.tree.build import build_hst, geometric_weights
+from repro.tree.metric import pairwise_tree_distances
+from repro.tree.validate import check_refinement_chain
+from repro.util.sizing import words
+
+# -- strategies ----------------------------------------------------------
+
+labels_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.integers(min_value=0, max_value=5),
+)
+
+
+def point_sets(max_n=24, max_d=4, lo=0.0, hi=64.0):
+    return st.integers(min_value=2, max_value=max_n).flatmap(
+        lambda n: st.integers(min_value=1, max_value=max_d).flatmap(
+            lambda d: arrays(
+                np.float64,
+                (n, d),
+                elements=st.floats(lo, hi, allow_nan=False, width=32),
+            )
+        )
+    )
+
+
+# -- partition algebra ---------------------------------------------------
+
+
+class TestPartitionAlgebra:
+    @given(labels_arrays)
+    def test_refine_with_self_is_identity_structure(self, labels):
+        p = FlatPartition(labels)
+        j = refine(p, p)
+        assert j.num_parts == p.num_parts
+        for i in range(p.n):
+            np.testing.assert_array_equal(
+                j.labels == j.labels[i], p.labels == p.labels[i]
+            )
+
+    @given(labels_arrays, st.integers(min_value=0, max_value=5))
+    def test_refine_with_trivial_preserves(self, labels, _):
+        p = FlatPartition(labels)
+        t = FlatPartition.trivial(p.n)
+        assert refine(p, t).num_parts == p.num_parts
+
+    @given(labels_arrays)
+    def test_refine_with_singletons_gives_singletons(self, labels):
+        p = FlatPartition(labels)
+        s = FlatPartition.singletons(p.n)
+        assert refine(p, s).is_singletons()
+
+    @given(labels_arrays)
+    def test_groups_partition_everything(self, labels):
+        p = FlatPartition(labels)
+        groups = p.groups()
+        combined = np.sort(np.concatenate(groups))
+        np.testing.assert_array_equal(combined, np.arange(p.n))
+        assert sum(g.size for g in groups) == p.n
+
+
+# -- FWHT ------------------------------------------------------------------
+
+
+class TestFWHTProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.sampled_from([(1, 2), (3, 8), (2, 16), (1, 64)]),
+            elements=st.floats(-100, 100, allow_nan=False, width=32),
+        )
+    )
+    def test_involution_and_isometry(self, x):
+        out = fwht(x, axis=1)
+        np.testing.assert_allclose(fwht(out, axis=1), x, atol=1e-8)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(x, axis=1), atol=1e-8
+        )
+
+    @given(
+        arrays(np.float64, (2, 16), elements=st.floats(-10, 10, allow_nan=False)),
+        st.floats(-3, 3, allow_nan=False),
+    )
+    def test_linearity(self, x, c):
+        np.testing.assert_allclose(fwht(c * x), c * fwht(x), atol=1e-8)
+
+
+# -- tree metric -----------------------------------------------------------
+
+
+class TestTreeMetricProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(point_sets(), st.integers(min_value=0, max_value=10_000))
+    def test_grid_hierarchy_is_dominating_ultrametric_chain(self, pts, seed):
+        # Build a grid-partition hierarchy on arbitrary float points and
+        # check structural invariants hold for ANY input.
+        pts = pts + np.random.default_rng(seed).uniform(0, 1e-6, size=pts.shape)
+        n, d = pts.shape
+        scales = [64.0, 32.0, 16.0, 8.0, 4.0, 2.0, 1.0, 0.5]
+        parts = [grid_partition(pts, w, seed=seed + i) for i, w in enumerate(scales)]
+        weights = geometric_weights(64.0 * np.sqrt(d), len(scales))
+        tree = build_hst(parts, weights, points=pts)
+        check_refinement_chain(tree.label_matrix)
+
+        dists = pairwise_tree_distances(tree)
+        assert (dists >= 0).all()
+        # Ultrametric triple condition on a few random triples.
+        if n >= 3:
+            rng = np.random.default_rng(seed)
+            for _ in range(10):
+                i, j, k = rng.choice(n, size=3, replace=False)
+
+                def dist(a, b):
+                    from repro.tree.metric import tree_distance
+
+                    return tree_distance(tree, int(a), int(b))
+
+                assert dist(i, k) <= max(dist(i, j), dist(j, k)) + 1e-9
+
+
+# -- sizing -----------------------------------------------------------------
+
+
+class TestSizingProperties:
+    @given(st.lists(st.integers(-1000, 1000), max_size=20))
+    def test_list_words_exceed_element_count(self, xs):
+        assert words(xs) == 1 + len(xs)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(0, 8), st.integers(1, 8)),
+               elements=st.floats(-1, 1, allow_nan=False))
+    )
+    def test_array_words_equal_size(self, arr):
+        assert words(arr) == max(1, arr.size)

@@ -1,0 +1,103 @@
+"""Tests for HST construction from partition hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.partition.base import FlatPartition
+from repro.tree.build import (
+    build_hst,
+    cumulative_refinements,
+    geometric_weights,
+    level_schedule,
+)
+from repro.tree.validate import check_refinement_chain
+
+
+class TestGeometricWeights:
+    def test_halving(self):
+        np.testing.assert_allclose(geometric_weights(8.0, 3), [8.0, 4.0, 2.0])
+
+    def test_custom_ratio(self):
+        np.testing.assert_allclose(geometric_weights(9.0, 2, ratio=1 / 3), [9.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_weights(-1.0, 3)
+        with pytest.raises(ValueError):
+            geometric_weights(1.0, 3, ratio=1.5)
+
+
+class TestCumulativeRefinements:
+    def test_chain_is_refining(self):
+        rng = np.random.default_rng(0)
+        draws = [FlatPartition(rng.integers(0, 3, size=40)) for _ in range(4)]
+        chain = cumulative_refinements(draws)
+        labels = np.vstack([np.zeros(40, dtype=np.int64)] + [c.labels for c in chain])
+        check_refinement_chain(labels)
+
+    def test_parts_monotone(self):
+        rng = np.random.default_rng(1)
+        draws = [FlatPartition(rng.integers(0, 4, size=50)) for _ in range(5)]
+        chain = cumulative_refinements(draws)
+        counts = [c.num_parts for c in chain]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_refinements([])
+
+
+class TestBuildHst:
+    def test_forces_singleton_leaves(self):
+        parts = [FlatPartition(np.array([0, 0, 1, 1]))]
+        tree = build_hst(parts, [4.0])
+        assert tree.num_levels == 2
+        assert len(np.unique(tree.label_matrix[-1])) == 4
+        # Appended level continues the halving schedule.
+        assert tree.level_weights[-1] == pytest.approx(2.0)
+
+    def test_no_append_when_singletons(self):
+        parts = [FlatPartition(np.array([0, 1, 2]))]
+        tree = build_hst(parts, [4.0])
+        assert tree.num_levels == 1
+
+    def test_weight_count_validation(self):
+        with pytest.raises(ValueError, match="one weight per level"):
+            build_hst([FlatPartition.trivial(3)], [1.0, 2.0])
+
+    def test_points_stored(self):
+        pts = np.zeros((3, 2))
+        tree = build_hst([FlatPartition.singletons(3)], [1.0], points=pts)
+        assert tree.points is pts
+
+    def test_independent_draws_composed(self):
+        rng = np.random.default_rng(2)
+        draws = [FlatPartition(rng.integers(0, 2, size=20), scale=2.0**-i)
+                 for i in range(6)]
+        tree = build_hst(draws, geometric_weights(8.0, 6))
+        check_refinement_chain(tree.label_matrix)
+
+
+class TestLevelSchedule:
+    def test_top_scale_covers_diameter(self):
+        scales, _ = level_schedule(100.0, min_separation=1.0, r=4)
+        # 2 sqrt(r) w1 >= diameter.
+        assert 2 * np.sqrt(4) * scales[0] >= 100.0
+
+    def test_bottom_scale_below_separation(self):
+        r = 4
+        scales, _ = level_schedule(100.0, min_separation=1.0, r=r)
+        assert 2 * scales[-1] * np.sqrt(r) < 1.0
+
+    def test_halving(self):
+        scales, _ = level_schedule(64.0)
+        np.testing.assert_allclose(scales[:-1] / scales[1:], 2.0)
+
+    def test_level_count_logarithmic(self):
+        s1, _ = level_schedule(2.0**10)
+        s2, _ = level_schedule(2.0**20)
+        assert len(s2) - len(s1) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            level_schedule(0.0)

@@ -1,0 +1,102 @@
+"""Tests for Newick / SciPy-linkage exports."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.tree.export import from_linkage, to_linkage, to_newick
+from repro.tree.hst import HSTree
+from repro.tree.validate import check_refinement_chain
+
+
+def simple_tree():
+    labels = np.array([[0, 0, 0, 0], [0, 0, 1, 1], [0, 1, 2, 3]])
+    return HSTree(labels, np.array([4.0, 2.0]))
+
+
+class TestNewick:
+    def test_structure(self):
+        nwk = to_newick(simple_tree())
+        assert nwk.endswith(";")
+        assert nwk.count("(") == nwk.count(")")
+        for name in ("p0", "p1", "p2", "p3"):
+            assert name in nwk
+
+    def test_branch_lengths_present(self):
+        nwk = to_newick(simple_tree())
+        assert ":4" in nwk and ":2" in nwk
+
+    def test_custom_labels(self):
+        nwk = to_newick(simple_tree(), labels=["a", "b", "c", "d"])
+        assert "a:" in nwk or "a," in nwk or "(a" in nwk
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValueError):
+            to_newick(simple_tree(), labels=["only", "three", "names"])
+
+    def test_duplicates_expand(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [9.0, 9.0]])
+        tree = sequential_tree_embedding(pts, 1, seed=0, min_separation=1.0)
+        nwk = to_newick(tree)
+        assert "p0" in nwk and "p1" in nwk and "p2" in nwk
+
+    def test_real_embedding_parses_by_paren_balance(self):
+        pts = uniform_lattice(24, 3, 64, seed=1, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=2)
+        nwk = to_newick(tree)
+        assert nwk.count("(") == nwk.count(")")
+        assert all(f"p{i}" in nwk for i in range(24))
+
+
+class TestLinkage:
+    def test_shape_and_sizes(self):
+        link = to_linkage(simple_tree())
+        assert link.shape == (3, 4)  # n - 1 merges
+        assert link[-1, 3] == 4  # final merge holds all points
+
+    def test_scipy_accepts_it(self):
+        from scipy.cluster.hierarchy import fcluster
+
+        pts = uniform_lattice(20, 3, 64, seed=3, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=4)
+        link = to_linkage(tree)
+        flat = fcluster(link, t=3, criterion="maxclust")
+        assert flat.shape == (20,)
+        assert 1 <= len(np.unique(flat)) <= 3
+
+    def test_heights_monotone(self):
+        from scipy.cluster.hierarchy import is_valid_linkage
+
+        pts = uniform_lattice(16, 2, 64, seed=5, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=6)
+        link = to_linkage(tree)
+        assert is_valid_linkage(link)
+
+    def test_cutting_recovers_level_clusters(self):
+        from scipy.cluster.hierarchy import fcluster
+
+        tree = simple_tree()
+        link = to_linkage(tree)
+        flat = fcluster(link, t=2, criterion="maxclust")
+        # The 2-cluster cut must match level 1 of the tree.
+        level1 = tree.label_matrix[1]
+        for i in range(4):
+            for j in range(4):
+                assert (flat[i] == flat[j]) == (level1[i] == level1[j])
+
+
+class TestFromLinkage:
+    def test_roundtrip_refinement_chain(self):
+        from scipy.cluster.hierarchy import linkage as scipy_linkage
+
+        pts = uniform_lattice(15, 2, 64, seed=7, unique=True)
+        link = scipy_linkage(pts, method="single")
+        labels = from_linkage(link, 15)
+        check_refinement_chain(labels)
+        assert (labels[0] == 0).all()
+        assert len(np.unique(labels[-1])) == 15
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            from_linkage(np.zeros((3, 3)), 4)

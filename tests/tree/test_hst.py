@@ -1,0 +1,145 @@
+"""Tests for the HSTree container and node materialization."""
+
+import numpy as np
+import pytest
+
+from repro.tree.hst import HSTree, TreeNodes
+
+
+def simple_tree():
+    """Root -> {0,1} and {2,3} -> singletons; weights 4 then 2."""
+    labels = np.array(
+        [
+            [0, 0, 0, 0],
+            [0, 0, 1, 1],
+            [0, 1, 2, 3],
+        ]
+    )
+    return HSTree(labels, np.array([4.0, 2.0]))
+
+
+class TestConstruction:
+    def test_shapes(self):
+        t = simple_tree()
+        assert t.n == 4
+        assert t.num_levels == 2
+
+    def test_suffix_weights(self):
+        t = simple_tree()
+        np.testing.assert_allclose(t.suffix_weights, [6.0, 2.0, 0.0])
+
+    def test_clusters_per_level(self):
+        np.testing.assert_array_equal(simple_tree().clusters_per_level(), [1, 2, 4])
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError, match="one weight per level"):
+            HSTree(np.zeros((3, 2), dtype=np.int64), np.array([1.0]))
+
+    def test_nontrivial_root_rejected(self):
+        labels = np.array([[0, 1], [0, 1]])
+        with pytest.raises(ValueError, match="trivial root"):
+            HSTree(labels, np.array([1.0]))
+
+    def test_nonpositive_weight_rejected(self):
+        labels = np.array([[0, 0], [0, 1]])
+        with pytest.raises(ValueError, match="positive"):
+            HSTree(labels, np.array([0.0]))
+
+
+class TestNodes:
+    def test_node_count(self):
+        nodes = simple_tree().nodes
+        assert nodes.count == 1 + 2 + 4
+
+    def test_parents_and_weights(self):
+        nodes = simple_tree().nodes
+        assert nodes.parent[0] == -1
+        # Level-1 nodes hang off the root with weight 4.
+        level1 = np.flatnonzero(nodes.level == 1)
+        assert all(nodes.parent[v] == 0 for v in level1)
+        assert all(nodes.weight[v] == 4.0 for v in level1)
+        # Level-2 nodes have weight 2 and level-1 parents.
+        level2 = np.flatnonzero(nodes.level == 2)
+        assert all(nodes.weight[v] == 2.0 for v in level2)
+        assert all(nodes.parent[v] in level1 for v in level2)
+
+    def test_leaf_of_point(self):
+        nodes = simple_tree().nodes
+        leaves = nodes.leaf_of_point
+        assert len(np.unique(leaves)) == 4
+        for p, leaf in enumerate(leaves):
+            assert nodes.members[leaf].tolist() == [p]
+
+    def test_members_partition_points(self):
+        nodes = simple_tree().nodes
+        level1 = np.flatnonzero(nodes.level == 1)
+        covered = np.sort(np.concatenate([nodes.members[v] for v in level1]))
+        np.testing.assert_array_equal(covered, np.arange(4))
+
+    def test_children_map(self):
+        nodes = simple_tree().nodes
+        kids = nodes.children()
+        assert len(kids[0]) == 2
+        total_leaves = sum(len(kids.get(v, [])) for v in kids[0])
+        assert total_leaves == 4
+
+    def test_label_reuse_across_parents_disambiguated(self):
+        # Same level-2 label "0" appears under both level-1 clusters; the
+        # node construction must split them into distinct nodes.
+        labels = np.array(
+            [
+                [0, 0, 0, 0],
+                [0, 0, 1, 1],
+                [0, 1, 0, 1],  # labels reused across parents
+            ]
+        )
+        nodes = TreeNodes.from_label_matrix(labels, np.array([4.0, 2.0]))
+        assert nodes.count == 1 + 2 + 4
+
+
+class TestExports:
+    def test_networkx_roundtrip(self):
+        g = simple_tree().to_networkx()
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 6
+        import networkx as nx
+
+        assert nx.is_tree(g)
+        points = sorted(
+            data["point"] for _, data in g.nodes(data=True) if "point" in data
+        )
+        assert points == [0, 1, 2, 3]
+
+    def test_total_edge_weight(self):
+        assert simple_tree().total_edge_weight() == pytest.approx(2 * 4.0 + 4 * 2.0)
+
+
+class TestPersistence:
+    def test_roundtrip_without_points(self, tmp_path):
+        tree = simple_tree()
+        path = tmp_path / "tree.npz"
+        tree.save(path)
+        loaded = HSTree.load(path)
+        np.testing.assert_array_equal(loaded.label_matrix, tree.label_matrix)
+        np.testing.assert_array_equal(loaded.level_weights, tree.level_weights)
+        assert loaded.points is None
+
+    def test_roundtrip_with_points(self, tmp_path):
+        pts = np.arange(8.0).reshape(4, 2)
+        tree = HSTree(simple_tree().label_matrix, simple_tree().level_weights,
+                      points=pts)
+        path = tmp_path / "tree.npz"
+        tree.save(path)
+        loaded = HSTree.load(path)
+        np.testing.assert_array_equal(loaded.points, pts)
+
+    def test_loaded_tree_queries_identically(self, tmp_path):
+        from repro.tree.metric import pairwise_tree_distances
+
+        tree = simple_tree()
+        path = tmp_path / "tree.npz"
+        tree.save(path)
+        loaded = HSTree.load(path)
+        np.testing.assert_allclose(
+            pairwise_tree_distances(loaded), pairwise_tree_distances(tree)
+        )

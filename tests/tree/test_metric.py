@@ -1,0 +1,129 @@
+"""Tests for tree-metric computations."""
+
+import numpy as np
+import pytest
+
+from repro.tree.hst import HSTree
+from repro.tree.metric import (
+    distances_for_separation,
+    pairwise_tree_distances,
+    separation_levels,
+    subtree_counts_at_level,
+    tree_distance,
+    tree_distances_from_point,
+)
+
+
+def simple_tree():
+    labels = np.array(
+        [
+            [0, 0, 0, 0],
+            [0, 0, 1, 1],
+            [0, 1, 2, 3],
+        ]
+    )
+    return HSTree(labels, np.array([4.0, 2.0]))
+
+
+class TestSeparationLevels:
+    def test_values(self):
+        t = simple_tree()
+        sep = separation_levels(t, np.array([0, 0, 2]), np.array([1, 2, 3]))
+        np.testing.assert_array_equal(sep, [2, 1, 2])
+
+    def test_same_point_never_separates(self):
+        t = simple_tree()
+        sep = separation_levels(t, np.array([1]), np.array([1]))
+        assert sep[0] == t.num_levels + 1
+
+
+class TestDistances:
+    def test_hand_computed(self):
+        t = simple_tree()
+        # 0 and 1 split at level 2: d = 2 * 2 = 4.
+        assert tree_distance(t, 0, 1) == pytest.approx(4.0)
+        # 0 and 2 split at level 1: d = 2 * (4 + 2) = 12.
+        assert tree_distance(t, 0, 2) == pytest.approx(12.0)
+
+    def test_symmetric(self):
+        t = simple_tree()
+        assert tree_distance(t, 0, 3) == tree_distance(t, 3, 0)
+
+    def test_self_distance_zero(self):
+        assert tree_distance(simple_tree(), 2, 2) == 0.0
+
+    def test_distances_for_separation_mapping(self):
+        t = simple_tree()
+        np.testing.assert_allclose(
+            distances_for_separation(t, np.array([1, 2, 3])), [12.0, 4.0, 0.0]
+        )
+
+    def test_pairwise_matches_tree_walk(self):
+        t = simple_tree()
+        condensed = pairwise_tree_distances(t)
+        iu, ju = np.triu_indices(4, k=1)
+        for idx, (i, j) in enumerate(zip(iu, ju)):
+            assert condensed[idx] == pytest.approx(tree_distance(t, int(i), int(j)))
+
+    def test_pairwise_against_networkx_shortest_paths(self):
+        import networkx as nx
+
+        t = simple_tree()
+        g = t.to_networkx()
+        leaf = {data["point"]: node for node, data in g.nodes(data=True)
+                if "point" in data}
+        condensed = pairwise_tree_distances(t)
+        iu, ju = np.triu_indices(4, k=1)
+        for idx, (i, j) in enumerate(zip(iu, ju)):
+            nx_dist = nx.shortest_path_length(
+                g, leaf[int(i)], leaf[int(j)], weight="weight"
+            )
+            assert condensed[idx] == pytest.approx(nx_dist)
+
+    def test_distances_from_point(self):
+        t = simple_tree()
+        d0 = tree_distances_from_point(t, 0)
+        np.testing.assert_allclose(d0, [0.0, 4.0, 12.0, 12.0])
+
+    def test_explicit_pairs(self):
+        t = simple_tree()
+        out = pairwise_tree_distances(t, pairs=(np.array([0]), np.array([3])))
+        assert out[0] == pytest.approx(12.0)
+
+
+class TestSubtreeCounts:
+    def test_counts(self):
+        t = simple_tree()
+        np.testing.assert_array_equal(subtree_counts_at_level(t, 1), [2, 2])
+        np.testing.assert_array_equal(subtree_counts_at_level(t, 0), [4])
+
+    def test_level_range(self):
+        with pytest.raises(ValueError):
+            subtree_counts_at_level(simple_tree(), 9)
+
+
+class TestCopheneticCorrelation:
+    def test_real_embedding_positive_correlation(self):
+        from repro.core.sequential import sequential_tree_embedding
+        from repro.data.synthetic import gaussian_clusters
+        from repro.tree.metric import cophenetic_correlation
+
+        pts = gaussian_clusters(80, 4, 2048, clusters=4, spread=0.01, seed=44)
+        tree = sequential_tree_embedding(pts, 2, seed=45)
+        corr = cophenetic_correlation(tree, pts)
+        # Clustered data: the hierarchy mirrors the two-scale structure.
+        assert corr > 0.6
+
+    def test_constant_distances_zero(self):
+        t = simple_tree()
+        # Points all identical -> zero variance on the Euclidean side.
+        pts = np.ones((4, 2))
+        from repro.tree.metric import cophenetic_correlation
+
+        assert cophenetic_correlation(t, pts) == 0.0
+
+    def test_size_mismatch(self):
+        from repro.tree.metric import cophenetic_correlation
+
+        with pytest.raises(ValueError, match="mismatch"):
+            cophenetic_correlation(simple_tree(), np.ones((7, 2)))

@@ -1,0 +1,118 @@
+"""Tests for tree-embedding query primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import gaussian_clusters, uniform_lattice
+from repro.tree.hst import HSTree
+from repro.tree.metric import tree_distance, tree_distances_from_point
+from repro.tree.queries import (
+    closest_pair,
+    nearest_via_levels,
+    range_query,
+    tree_nearest,
+)
+
+
+def simple_tree():
+    labels = np.array([[0, 0, 0, 0], [0, 0, 1, 1], [0, 1, 2, 3]])
+    return HSTree(labels, np.array([4.0, 2.0]))
+
+
+class TestTreeNearest:
+    def test_hand_case(self):
+        t = simple_tree()
+        j, dist = tree_nearest(t, 0)
+        assert j == 1
+        assert dist == pytest.approx(4.0)
+
+    def test_matches_brute_force(self):
+        pts = gaussian_clusters(40, 3, 256, seed=30)
+        tree = sequential_tree_embedding(pts, 2, seed=31)
+        for i in (0, 7, 39):
+            j, dist = tree_nearest(tree, i)
+            dists = tree_distances_from_point(tree, i)
+            dists[i] = np.inf
+            assert dist == pytest.approx(float(dists.min()))
+
+    def test_nearest_is_distortion_approximate(self):
+        pts = uniform_lattice(50, 3, 512, seed=32, unique=True)
+        tree = sequential_tree_embedding(pts, 2, seed=33)
+        from scipy.spatial.distance import cdist
+
+        dmat = cdist(pts, pts)
+        np.fill_diagonal(dmat, np.inf)
+        for i in (0, 25):
+            j, _ = tree_nearest(tree, i)
+            true_nn = dmat[i].min()
+            # Tree nearest is within the embedding's stretch of true NN.
+            assert dmat[i, j] <= 200 * true_nn
+
+    def test_validation(self):
+        t = simple_tree()
+        with pytest.raises(ValueError):
+            tree_nearest(t, 9)
+
+
+class TestRangeQuery:
+    def test_hand_case(self):
+        t = simple_tree()
+        np.testing.assert_array_equal(range_query(t, 0, 4.0), [1])
+        assert set(range_query(t, 0, 12.0)) == {1, 2, 3}
+        assert range_query(t, 0, 1.0).size == 0
+
+    def test_subset_of_euclidean_ball(self):
+        pts = uniform_lattice(40, 3, 128, seed=34, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=35)
+        radius = 60.0
+        hits = range_query(tree, 5, radius)
+        true = np.linalg.norm(pts[hits] - pts[5], axis=1)
+        assert (true <= radius + 1e-9).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            range_query(simple_tree(), 0, -1.0)
+
+
+class TestClosestPair:
+    def test_hand_case(self):
+        i, j, dist = closest_pair(simple_tree())
+        assert dist == pytest.approx(4.0)
+        assert {i, j} in ({0, 1}, {2, 3})
+
+    def test_duplicates_give_zero(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [50.0, 50.0]])
+        tree = sequential_tree_embedding(pts, 1, seed=36, min_separation=1.0)
+        i, j, dist = closest_pair(tree)
+        assert dist == 0.0
+        assert {i, j} == {0, 1}
+
+    def test_matches_min_over_pairs(self):
+        pts = uniform_lattice(30, 3, 128, seed=37, unique=True)
+        tree = sequential_tree_embedding(pts, 2, seed=38)
+        i, j, dist = closest_pair(tree)
+        from repro.tree.metric import pairwise_tree_distances
+
+        assert dist == pytest.approx(float(pairwise_tree_distances(tree).min()))
+        assert dist == pytest.approx(tree_distance(tree, i, j))
+
+
+class TestNearestViaLevels:
+    def test_companion_is_tree_nearest(self):
+        pts = gaussian_clusters(36, 3, 256, seed=39)
+        tree = sequential_tree_embedding(pts, 2, seed=40)
+        for i in (0, 18, 35):
+            mate = nearest_via_levels(tree, i)
+            if mate is None:
+                continue
+            _, best = tree_nearest(tree, i)
+            assert tree_distance(tree, i, mate) == pytest.approx(best)
+
+    def test_isolated_point_returns_none(self):
+        t = simple_tree()
+        # Every point shares level-1 clusters, so never None here;
+        # construct an immediately-singleton tree instead.
+        labels = np.array([[0, 0], [0, 1]])
+        lonely = HSTree(labels, np.array([2.0]))
+        assert nearest_via_levels(lonely, 0) is None

@@ -1,0 +1,64 @@
+"""Tests for hierarchy diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import sequential_tree_embedding
+from repro.data.synthetic import uniform_lattice
+from repro.tree.hst import HSTree
+from repro.tree.stats import hierarchy_stats
+
+
+def simple_tree():
+    labels = np.array([[0, 0, 0, 0], [0, 0, 1, 1], [0, 1, 2, 3]])
+    return HSTree(labels, np.array([4.0, 2.0]))
+
+
+class TestHierarchyStats:
+    def test_hand_case(self):
+        stats = hierarchy_stats(simple_tree())
+        assert stats.num_points == 4
+        assert stats.depth == 2
+        assert stats.first_singleton_level == 2
+        l1, l2 = stats.levels
+        assert (l1.clusters, l1.largest, l1.singletons) == (2, 2, 0)
+        assert (l2.clusters, l2.largest, l2.singletons) == (4, 1, 4)
+
+    def test_cluster_counts_monotone(self):
+        pts = uniform_lattice(60, 3, 256, seed=1, unique=True)
+        tree = sequential_tree_embedding(pts, 2, seed=2)
+        stats = hierarchy_stats(tree)
+        counts = [s.clusters for s in stats.levels]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_weights_decreasing(self):
+        pts = uniform_lattice(40, 3, 128, seed=3, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=4)
+        stats = hierarchy_stats(tree)
+        weights = [s.scale_weight for s in stats.levels]
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_sizes_account_for_all_points(self):
+        pts = uniform_lattice(50, 3, 128, seed=5, unique=True)
+        tree = sequential_tree_embedding(pts, 2, seed=6)
+        for s in hierarchy_stats(tree).levels:
+            assert s.mean_size * s.clusters == pytest.approx(50)
+
+    def test_first_singleton_level_consistent(self):
+        pts = uniform_lattice(30, 3, 128, seed=7, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=8)
+        stats = hierarchy_stats(tree)
+        lvl = stats.first_singleton_level
+        assert stats.levels[lvl - 1].clusters == 30
+        if lvl > 1:
+            assert stats.levels[lvl - 2].clusters < 30
+
+    def test_mean_branching_at_least_one(self):
+        pts = uniform_lattice(40, 2, 128, seed=9, unique=True)
+        tree = sequential_tree_embedding(pts, 1, seed=10)
+        assert hierarchy_stats(tree).mean_branching >= 1.0
+
+    def test_as_rows(self):
+        rows = hierarchy_stats(simple_tree()).as_rows()
+        assert len(rows) == 2
+        assert {"level", "clusters", "largest", "splits"} <= set(rows[0])

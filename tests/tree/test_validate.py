@@ -1,0 +1,74 @@
+"""Tests for HST invariant checking."""
+
+import numpy as np
+import pytest
+
+from repro.tree.hst import HSTree
+from repro.tree.validate import (
+    TreeInvariantError,
+    check_domination,
+    check_metric_axioms,
+    check_refinement_chain,
+    check_singleton_leaves,
+    validate_hst,
+)
+
+
+def good_tree():
+    labels = np.array([[0, 0, 0, 0], [0, 0, 1, 1], [0, 1, 2, 3]])
+    return HSTree(labels, np.array([8.0, 4.0]))
+
+
+class TestRefinementChain:
+    def test_accepts_valid(self):
+        check_refinement_chain(good_tree().label_matrix)
+
+    def test_rejects_merge(self):
+        bad = np.array([[0, 0, 0], [0, 1, 1], [0, 0, 1]])  # level 2 merges 0 and 1
+        with pytest.raises(TreeInvariantError, match="merges"):
+            check_refinement_chain(bad)
+
+
+class TestSingletonLeaves:
+    def test_accepts(self):
+        check_singleton_leaves(good_tree())
+
+    def test_rejects(self):
+        labels = np.array([[0, 0, 0], [0, 0, 1]])
+        tree = HSTree(labels, np.array([1.0]))
+        with pytest.raises(TreeInvariantError, match="singleton"):
+            check_singleton_leaves(tree)
+
+
+class TestMetricAxioms:
+    def test_valid_tree_passes(self):
+        check_metric_axioms(good_tree())
+
+    def test_small_trees_skip(self):
+        labels = np.array([[0, 0], [0, 1]])
+        check_metric_axioms(HSTree(labels, np.array([1.0])))
+
+
+class TestDomination:
+    def test_holds_for_generous_weights(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0], [6.0, 0.0]])
+        ratio = check_domination(good_tree(), pts)
+        assert ratio >= 1.0
+
+    def test_violation_detected(self):
+        pts = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 1.0], [0.0, 2.0]])
+        tree = good_tree()  # max tree distance is 24 < 100
+        with pytest.raises(TreeInvariantError, match="domination"):
+            check_domination(tree, pts)
+
+    def test_duplicate_points_ignored(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0], [1.0, 0.0]])
+        check_domination(good_tree(), pts)
+
+
+class TestValidateAll:
+    def test_full_suite_on_real_embedding(self, small_lattice):
+        from repro.core.sequential import sequential_tree_embedding
+
+        tree = sequential_tree_embedding(small_lattice, 2, seed=0)
+        validate_hst(tree, small_lattice)

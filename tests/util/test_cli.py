@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["uniform", "clusters", "line"])
+    def test_writes_points(self, tmp_path, kind):
+        out = tmp_path / "pts.npy"
+        rc = main(
+            [
+                "generate", "--kind", kind, "--n", "32", "--d", "3",
+                "--delta", "128", "--seed", "1", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        pts = np.load(out)
+        assert pts.shape == (32, 3)
+
+
+class TestEmbedReport:
+    def test_full_cycle(self, tmp_path, capsys):
+        pts_file = tmp_path / "pts.npy"
+        tree_file = tmp_path / "tree.npz"
+        main(["generate", "--kind", "uniform", "--n", "40", "--d", "3",
+              "--delta", "64", "--seed", "2", "--out", str(pts_file)])
+        rc = main(["embed", str(pts_file), "--r", "1", "--seed", "3",
+                   "--out", str(tree_file)])
+        assert rc == 0
+        rc = main(["report", str(tree_file), str(pts_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "domination_min" in out
+
+    def test_mpc_backend(self, tmp_path):
+        pts_file = tmp_path / "pts.npy"
+        tree_file = tmp_path / "tree.npz"
+        main(["generate", "--kind", "uniform", "--n", "32", "--d", "3",
+              "--delta", "64", "--seed", "4", "--out", str(pts_file)])
+        rc = main(["embed", str(pts_file), "--backend", "mpc", "--r", "1",
+                   "--seed", "5", "--out", str(tree_file)])
+        assert rc == 0
+        data = np.load(tree_file)
+        assert data["label_matrix"].shape[1] == 32
+
+    def test_report_detects_violation(self, tmp_path, capsys):
+        pts_file = tmp_path / "pts.npy"
+        tree_file = tmp_path / "bad.npz"
+        pts = np.array([[1.0, 1.0], [1000.0, 1.0], [1.0, 2.0]])
+        np.save(pts_file, pts)
+        # Fabricate a tree with weights far too small to dominate.
+        labels = np.array([[0, 0, 0], [0, 1, 2]])
+        np.savez(tree_file, label_matrix=labels,
+                 level_weights=np.array([0.001]))
+        rc = main(["report", str(tree_file), str(pts_file)])
+        assert rc == 1
+
+
+class TestFigure1:
+    def test_renders(self, tmp_path):
+        rc = main(["figure1", "--out-dir", str(tmp_path / "figs"),
+                   "--n", "30", "--seed", "6"])
+        assert rc == 0
+        assert (tmp_path / "figs" / "figure1a_grid.svg").exists()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

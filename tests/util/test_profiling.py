@@ -1,0 +1,60 @@
+"""Tests for the timing helpers."""
+
+import time
+
+from repro.util.profiling import StageTimer, time_block
+
+
+class TestTimeBlock:
+    def test_measures_elapsed(self):
+        with time_block() as t:
+            time.sleep(0.01)
+        assert t[0] >= 0.01
+
+    def test_zero_when_instant(self):
+        with time_block() as t:
+            pass
+        assert 0 <= t[0] < 0.5
+
+
+class TestStageTimer:
+    def test_accumulates_stages(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            time.sleep(0.005)
+        with timer.stage("b"):
+            time.sleep(0.005)
+        with timer.stage("a"):
+            time.sleep(0.005)
+        assert set(timer.stages) == {"a", "b"}
+        assert timer.stages["a"] > timer.stages["b"]
+        assert timer.total >= 0.015
+
+    def test_items_in_first_seen_order(self):
+        timer = StageTimer()
+        with timer.stage("z"):
+            pass
+        with timer.stage("a"):
+            pass
+        assert [name for name, _ in timer.items()] == ["z", "a"]
+
+    def test_summary_format(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            time.sleep(0.002)
+        text = timer.summary()
+        assert "work" in text
+        assert "total" in text
+        assert "%" in text
+
+    def test_empty_summary(self):
+        assert StageTimer().summary() == "no stages recorded"
+
+    def test_exception_still_recorded(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "risky" in timer.stages

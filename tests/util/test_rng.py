@@ -1,0 +1,96 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    as_generator,
+    choice_without_replacement,
+    derive_seed,
+    iter_spawn,
+    maybe_seeded,
+    spawn,
+    spawn_many,
+)
+
+
+class TestAsGenerator:
+    def test_from_int_is_reproducible(self):
+        a = as_generator(42).normal(size=5)
+        b = as_generator(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).normal(size=5)
+        b = as_generator(2).normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        rng = as_generator(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_of_parent_draws(self):
+        rng1 = as_generator(3)
+        rng2 = as_generator(3)
+        kids1 = spawn_many(rng1, 3)
+        kids2 = spawn_many(rng2, 3)
+        for a, b in zip(kids1, kids2):
+            np.testing.assert_array_equal(a.normal(size=4), b.normal(size=4))
+
+    def test_children_mutually_distinct(self):
+        kids = spawn_many(as_generator(0), 4)
+        draws = [k.normal(size=8) for k in kids]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_single_spawn(self):
+        child = spawn(as_generator(9))
+        assert isinstance(child, np.random.Generator)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_many(as_generator(0), -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_many(as_generator(0), 0) == []
+
+    def test_iter_spawn_yields_generators(self):
+        it = iter_spawn(as_generator(1))
+        first, second = next(it), next(it)
+        assert not np.array_equal(first.normal(size=4), second.normal(size=4))
+
+
+class TestHelpers:
+    def test_choice_without_replacement_sorted_distinct(self):
+        idx = choice_without_replacement(as_generator(0), 20, 10)
+        assert len(np.unique(idx)) == 10
+        assert (np.diff(idx) > 0).all()
+
+    def test_choice_too_many_raises(self):
+        with pytest.raises(ValueError, match="distinct"):
+            choice_without_replacement(as_generator(0), 3, 5)
+
+    def test_derive_seed_range(self):
+        s = derive_seed(as_generator(0))
+        assert 0 <= s < 2**63
+
+    def test_maybe_seeded_default(self):
+        a = maybe_seeded(None, default_seed=5).normal(size=3)
+        b = maybe_seeded(None, default_seed=5).normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_maybe_seeded_explicit_wins(self):
+        a = maybe_seeded(1, default_seed=5).normal(size=3)
+        b = maybe_seeded(1, default_seed=99).normal(size=3)
+        np.testing.assert_array_equal(a, b)

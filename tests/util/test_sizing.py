@@ -1,0 +1,68 @@
+"""Tests for the MPC word-accounting rules."""
+
+import numpy as np
+import pytest
+
+from repro.util.sizing import words, words_of_array
+
+
+class TestArrays:
+    def test_one_word_per_element(self):
+        assert words(np.zeros((3, 4))) == 12
+
+    def test_dtype_irrelevant(self):
+        assert words(np.zeros(10, dtype=np.int8)) == words(np.zeros(10, dtype=np.float64))
+
+    def test_empty_array_charges_one(self):
+        assert words_of_array(np.empty(0)) == 1
+
+    def test_scalar_array(self):
+        assert words(np.float64(3.5)) == 1
+
+
+class TestScalars:
+    @pytest.mark.parametrize("obj", [0, 3.14, True, None, np.int64(7), complex(1, 2)])
+    def test_one_word(self, obj):
+        assert words(obj) == 1
+
+
+class TestStrings:
+    def test_short_string_one_word(self):
+        assert words("tag") == 1
+
+    def test_long_string_scales(self):
+        assert words("x" * 80) == 10
+
+    def test_bytes(self):
+        assert words(b"12345678") == 1
+        assert words(b"123456789") == 2
+
+
+class TestContainers:
+    def test_tuple_structure_overhead(self):
+        assert words((1, 2, 3)) == 4
+
+    def test_nested(self):
+        assert words([np.zeros(5), (1, 2)]) == 1 + 5 + 3
+
+    def test_dict(self):
+        assert words({"k": np.zeros(4)}) == 1 + 1 + 4
+
+    def test_set(self):
+        assert words({1, 2}) == 3
+
+
+class TestCustomAndUnknown:
+    def test_mpc_words_protocol(self):
+        class Sized:
+            def mpc_words(self):
+                return 17
+
+        assert words(Sized()) == 17
+
+    def test_unknown_type_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot account"):
+            words(Opaque())

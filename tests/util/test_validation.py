@@ -1,0 +1,92 @@
+"""Tests for boundary validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_points,
+    check_positive,
+    check_power_of_two,
+    check_same_shape,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="custom message"):
+            require(False, "custom message")
+
+
+class TestCheckPositive:
+    def test_strict_accepts_positive(self):
+        check_positive("x", 0.1)
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_nonstrict_accepts_zero(self):
+        check_positive("x", 0, strict=False)
+
+    def test_nonstrict_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("v", [1, 2, 4, 1024])
+    def test_accepts(self, v):
+        check_power_of_two("v", v)
+
+    @pytest.mark.parametrize("v", [0, 3, 6, -4])
+    def test_rejects(self, v):
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two("v", v)
+
+
+class TestCheckPoints:
+    def test_canonicalizes_lists(self):
+        pts = check_points([[1, 2], [3, 4]])
+        assert pts.dtype == np.float64
+        assert pts.flags["C_CONTIGUOUS"]
+        assert pts.shape == (2, 2)
+
+    def test_promotes_1d_to_single_point(self):
+        assert check_points([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_points([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_points([[np.inf, 1.0]])
+
+    def test_min_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            check_points([[1.0, 2.0]], min_points=2)
+
+    def test_dims_enforced(self):
+        with pytest.raises(ValueError, match="must have 3 dimensions"):
+            check_points([[1.0, 2.0]], dims=3)
+
+    def test_view_when_possible(self):
+        arr = np.zeros((4, 3), dtype=np.float64)
+        assert check_points(arr) is arr
+
+
+class TestSameShape:
+    def test_accepts_equal(self):
+        check_same_shape(np.zeros((2, 3)), np.zeros((2, 3)), ("a", "b"))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            check_same_shape(np.zeros((2, 3)), np.zeros((3, 2)), ("a", "b"))

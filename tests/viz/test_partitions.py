@@ -1,0 +1,85 @@
+"""Tests for the Figure 1 partition renderings."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.partitions import (
+    draw_ball_partition,
+    draw_grid_partition,
+    draw_hybrid_partition,
+    render_figure1,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).uniform(0, 30, size=(60, 2))
+
+
+def shapes(svg: str, tag: str):
+    root = ET.fromstring(svg)
+    return [c for c in root if c.tag.split("}")[-1] == tag]
+
+
+class TestGridPanel:
+    def test_well_formed(self, points):
+        ET.fromstring(draw_grid_partition(points, 5.0, seed=1))
+
+    def test_one_dot_per_point(self, points):
+        svg = draw_grid_partition(points, 5.0, seed=1)
+        dots = [c for c in shapes(svg, "circle")]
+        assert len(dots) == points.shape[0]
+
+    def test_grid_lines_present(self, points):
+        svg = draw_grid_partition(points, 5.0, seed=1)
+        assert len(shapes(svg, "line")) >= 8
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            draw_grid_partition(np.zeros((4, 3)), 1.0)
+
+
+class TestBallPanel:
+    def test_well_formed(self, points):
+        ET.fromstring(draw_ball_partition(points, 3.0, seed=2))
+
+    def test_balls_and_points(self, points):
+        svg = draw_ball_partition(points, 3.0, num_grids=2, seed=2)
+        circles = shapes(svg, "circle")
+        # More circles than points: balls + dots.
+        assert len(circles) > points.shape[0]
+
+    def test_uncovered_points_gray(self, points):
+        svg = draw_ball_partition(points, 3.0, num_grids=1, seed=2)
+        assert "#999999" in svg  # one grid never covers everything
+
+
+class TestHybridPanel:
+    def test_well_formed(self, points):
+        ET.fromstring(draw_hybrid_partition(points, 3.0, seed=3))
+
+    def test_band_lines_both_axes(self, points):
+        svg = draw_hybrid_partition(points, 3.0, seed=3)
+        assert "#aa7744" in svg  # x-axis bands
+        assert "#44aa77" in svg  # y-axis bands
+
+
+class TestRenderFigure1:
+    def test_writes_three_panels(self, tmp_path):
+        written = render_figure1(tmp_path, n=40, seed=4)
+        assert set(written) == {
+            "figure1a_grid",
+            "figure1b_ball",
+            "figure1c_hybrid",
+        }
+        for path in written.values():
+            assert path.exists()
+            ET.fromstring(path.read_text())
+
+    def test_deterministic(self, tmp_path):
+        a = render_figure1(tmp_path / "a", n=30, seed=5)
+        b = render_figure1(tmp_path / "b", n=30, seed=5)
+        for name in a:
+            assert a[name].read_text() == b[name].read_text()

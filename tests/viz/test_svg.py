@@ -1,0 +1,67 @@
+"""Tests for the SVG writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import SVGCanvas, label_color
+
+
+def parse(svg: str):
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_well_formed_empty(self):
+        canvas = SVGCanvas((0, 0, 10, 10))
+        root = parse(canvas.to_string())
+        assert root.tag.endswith("svg")
+
+    def test_title(self):
+        canvas = SVGCanvas((0, 0, 1, 1), title="hello <world>")
+        svg = canvas.to_string()
+        assert "<title>hello &lt;world&gt;</title>" in svg
+        parse(svg)
+
+    def test_shapes_appear(self):
+        canvas = SVGCanvas((0, 0, 10, 10))
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2)
+        canvas.dot(1, 1)
+        canvas.rect(2, 2, 3, 3)
+        canvas.text(0, 9, "label")
+        root = parse(canvas.to_string())
+        tags = [child.tag.split("}")[-1] for child in root]
+        assert tags.count("line") == 1
+        assert tags.count("circle") == 2  # circle + dot
+        assert tags.count("rect") == 2  # background + rect
+        assert tags.count("text") == 1
+
+    def test_y_axis_flipped(self):
+        canvas = SVGCanvas((0, 0, 10, 10), pixels=100, margin=0)
+        canvas.dot(0, 0)
+        canvas.dot(0, 10)
+        root = parse(canvas.to_string())
+        dots = [c for c in root if c.tag.endswith("circle")]
+        y_low = float(dots[0].get("cy"))
+        y_high = float(dots[1].get("cy"))
+        assert y_low > y_high  # data y=0 renders near the bottom
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas((0, 0, 1, 1))
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        parse(path.read_text())
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            SVGCanvas((1, 0, 0, 1))
+
+
+class TestColors:
+    def test_deterministic(self):
+        assert label_color(5) == label_color(5)
+
+    def test_distinct_for_nearby_labels(self):
+        colors = {label_color(i) for i in range(30)}
+        assert len(colors) == 30
