@@ -1,4 +1,4 @@
-.PHONY: install test bench examples figure1 all clean
+.PHONY: install test bench bench-smoke examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -8,6 +8,12 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+# Fast perf gate (n <= 256, well under a minute): fails when a batch
+# kernel's calibrated wall-clock regressed >25% against the committed
+# smoke baseline in benchmarks/baselines/.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; \

@@ -1,8 +1,12 @@
 """Where does the time go?  Stage timing of the full pipeline.
 
 The hpc-parallel workflow in one script: measure before judging.  Times
-the three stages of a Theorem 1 run (FJLT, hybrid partitioning, tree
-assembly/evaluation) and prints the breakdown.
+the stages of a Theorem 1 run (FJLT, one batched hybrid draw, hybrid
+partitioning, tree assembly/evaluation) and prints the breakdown.
+
+For controlled batch-vs-scalar speedup numbers with fixed seeds and MPC
+accounting, use the unified harness instead:
+``PYTHONPATH=src python benchmarks/harness.py`` (see docs/PERFORMANCE.md).
 
 Run:  python examples/profiling_demo.py
 """
@@ -13,6 +17,7 @@ from repro.core.distortion import distortion_report
 from repro.core.mpc_embedding import mpc_tree_embedding
 from repro.data import gaussian_clusters
 from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.partition import hybrid_assign_batch
 from repro.util.profiling import StageTimer
 
 
@@ -24,6 +29,11 @@ def main() -> None:
     with timer.stage("fjlt (dimension reduction)"):
         embedded, _ = mpc_fjlt(points, xi=0.35, seed=78)
 
+    with timer.stage("one batched hybrid draw"):
+        # r = 26 keeps each bucket ~4-dimensional so the default grid
+        # budget actually covers the points (Definition 3's whole point).
+        labels = hybrid_assign_batch(embedded, 2048.0, 26, seed=80)
+
     with timer.stage("hybrid partitioning + tree"):
         result = mpc_tree_embedding(
             embedded, seed=79, on_uncovered="singleton"
@@ -33,7 +43,8 @@ def main() -> None:
         report = distortion_report(result.tree, points)
 
     print(f"pipeline on n={n}, d={d} "
-          f"(reduced to {embedded.shape[1]} dims, r={result.r}):\n")
+          f"(reduced to {embedded.shape[1]} dims, r={result.r}; "
+          f"single hybrid draw at w=2048: {labels.max() + 1} parts):\n")
     print(timer.summary())
     print(f"\nembedding quality: domination_min={report.domination_min:.2f}, "
           f"mean stretch={report.mean_expected_ratio:.1f}x")

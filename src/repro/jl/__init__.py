@@ -12,7 +12,7 @@
 
 from repro.jl.dense import GaussianJL
 from repro.jl.fjlt import FJLT, target_dimension
-from repro.jl.hadamard import fwht, hadamard_matrix, next_power_of_two
+from repro.jl.hadamard import fwht, fwht_inplace, hadamard_matrix, next_power_of_two
 from repro.jl.mpc_fjlt import mpc_blocked_fwht, mpc_fjlt
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "GaussianJL",
     "target_dimension",
     "fwht",
+    "fwht_inplace",
     "hadamard_matrix",
     "next_power_of_two",
     "mpc_fjlt",

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 from scipy import sparse
 
-from repro.jl.hadamard import fwht, next_power_of_two, pad_to_power_of_two
+from repro.jl.hadamard import fwht_inplace, next_power_of_two
 from repro.util.rng import SeedLike, as_generator, spawn_many
 from repro.util.validation import check_points, check_positive, require
 
@@ -46,6 +46,12 @@ def sparsity_parameter(n: int, d_padded: int, *, c: float = 1.0) -> float:
     check_positive("d_padded", d_padded)
     q = c * (math.log(max(n, 2)) ** 2) / d_padded
     return float(min(1.0, max(q, 1e-12)))
+
+
+#: FIFO cache of regenerated transform plans, keyed by the full
+#: (d, n, xi, k, q, seed) tuple — see :meth:`FJLT.cached`.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_LIMIT = 64
 
 
 class FJLT:
@@ -117,11 +123,47 @@ class FJLT:
         return int(self.projection.nnz)
 
     def __call__(self, points: np.ndarray) -> np.ndarray:
-        """Apply ``φ`` to an ``(n, d)`` point set, returning ``(n, k)``."""
+        """Apply ``φ`` to an ``(n, d)`` point set, returning ``(n, k)``.
+
+        The batch path: one scratch allocation fuses the zero-padding
+        with the ``D`` sign flip, the Hadamard mix runs through the
+        blocked in-place FWHT kernel, and the sparse ``P`` multiply hits
+        the whole matrix at once.
+        """
         pts = check_points(points, dims=self.d)
-        padded = pad_to_power_of_two(pts) if self.d_padded != self.d else pts
-        mixed = fwht(padded * self.signs, axis=1)  # D then H, orthogonal
+        mixed = np.zeros((pts.shape[0], self.d_padded), dtype=np.float64)
+        np.multiply(pts, self.signs[: self.d], out=mixed[:, : self.d])  # D
+        fwht_inplace(mixed)  # H (orthonormal)
         return (self.projection @ mixed.T).T / math.sqrt(self.k)
+
+    @classmethod
+    def cached(
+        cls,
+        d: int,
+        n: int,
+        *,
+        xi: float = 0.4,
+        k: Optional[int] = None,
+        q: Optional[float] = None,
+        seed: int = 0,
+    ) -> "FJLT":
+        """Memoized constructor for seed-derived transform plans.
+
+        The MPC evaluation (Algorithm 3) broadcasts an O(1)-word seed and
+        has every machine regenerate the *same* ``D`` and ``P`` locally;
+        in the simulator those machines share one process, so the
+        regeneration is memoized on the full parameter tuple.  ``seed``
+        must be hashable (the integer :func:`repro.util.rng.derive_seed`
+        produces) — unhashable seeds should use the plain constructor.
+        """
+        key = (d, n, xi, k, q, seed)
+        plan = _PLAN_CACHE.get(key)
+        if plan is None:
+            plan = cls(d, n, xi=xi, k=k, q=q, seed=seed)
+            if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+                _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            _PLAN_CACHE[key] = plan
+        return plan
 
     def total_space_words(self, n: int) -> int:
         """MPC total-space cost: ``O(n d + ξ^{-2} n log³ n)`` (Theorem 3).

@@ -21,6 +21,61 @@ def next_power_of_two(d: int) -> int:
     return 1 << (d - 1).bit_length()
 
 
+#: Target working-set size (in float64 elements) of one FWHT row block.
+#: 2^18 elements = 2 MiB — sized to keep a block resident in L2/L3 while
+#: the log(d) butterfly passes sweep over it.
+_FWHT_BLOCK_ELEMENTS = 1 << 18
+
+
+def _fwht_rows_inplace(block: np.ndarray) -> None:
+    """Un-normalized butterfly over the rows of a C-contiguous 2-D array.
+
+    Allocation-free: each stage rewrites the two butterfly halves with
+    three in-place passes (``a += b; b *= -2; b += a`` maps ``(a, b)`` to
+    ``(a + b, a - b)``) instead of materializing a temporary copy.
+    """
+    m, d = block.shape
+    h = 1
+    while h < d:
+        view = block.reshape(m, d // (2 * h), 2, h)
+        a = view[:, :, 0, :]
+        b = view[:, :, 1, :]
+        a += b
+        b *= -2.0
+        b += a
+        h *= 2
+
+
+def fwht_inplace(
+    matrix: np.ndarray, *, normalize: bool = True, block_rows: int | None = None
+) -> np.ndarray:
+    """Blocked in-place Walsh–Hadamard transform of an ``(n, d)`` matrix.
+
+    The hot path of the batched FJLT: rows are transformed in blocks of
+    ``block_rows`` (default sized so one block's working set stays
+    cache-resident) and no temporaries are allocated, so transforming a
+    large point set costs exactly ``log2(d)`` passes over memory.
+
+    ``matrix`` must be a C-contiguous float64 array whose last dimension
+    is a power of two; it is modified in place and also returned (for
+    chaining).  Use :func:`fwht` for the general copying/axis-flexible
+    form.
+    """
+    if not isinstance(matrix, np.ndarray) or matrix.ndim != 2:
+        raise ValueError("fwht_inplace needs a 2-D numpy array")
+    if matrix.dtype != np.float64 or not matrix.flags.c_contiguous:
+        raise ValueError("fwht_inplace needs a C-contiguous float64 array")
+    n, d = matrix.shape
+    check_power_of_two("transform length", d)
+    if block_rows is None:
+        block_rows = max(1, _FWHT_BLOCK_ELEMENTS // d)
+    for start in range(0, n, block_rows):
+        _fwht_rows_inplace(matrix[start : start + block_rows])
+    if normalize:
+        matrix *= 1.0 / np.sqrt(d)
+    return matrix
+
+
 def fwht(x: np.ndarray, *, axis: int = -1, normalize: bool = True) -> np.ndarray:
     """Walsh–Hadamard transform along ``axis``.
 
@@ -33,29 +88,18 @@ def fwht(x: np.ndarray, *, axis: int = -1, normalize: bool = True) -> np.ndarray
         orthonormal (``fwht(fwht(x)) == x`` and norms are preserved) —
         the convention the FJLT analysis uses.
 
-    Returns a new array; the input is never modified.
+    Returns a new array; the input is never modified.  Internally one
+    copy is made and handed to the blocked in-place kernel
+    (:func:`fwht_inplace`).
     """
     x = np.asarray(x, dtype=np.float64)
     x = np.moveaxis(x, axis, -1)
     d = x.shape[-1]
     check_power_of_two("transform length", d)
     batch = x.shape[:-1]
-    out = x.reshape(-1, d).copy()
-
-    h = 1
-    while h < d:
-        # View as (batch, d/2h, 2, h): butterfly pairs are [..., 0, :] and
-        # [..., 1, :], combined with one vectorized add/sub per stage.
-        view = out.reshape(-1, d // (2 * h), 2, h)
-        a = view[:, :, 0, :].copy()
-        b = view[:, :, 1, :]
-        view[:, :, 0, :] = a + b
-        view[:, :, 1, :] = a - b
-        h *= 2
-
+    out = x.reshape(-1, d).astype(np.float64, order="C", copy=True)
+    fwht_inplace(out, normalize=normalize)
     out = out.reshape(*batch, d)
-    if normalize:
-        out /= np.sqrt(d)
     return np.moveaxis(out, -1, axis)
 
 

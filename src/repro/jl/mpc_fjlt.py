@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.jl.fjlt import FJLT
+from repro.jl.hadamard import fwht_inplace
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.machine import Machine
@@ -67,7 +68,7 @@ def mpc_fjlt(
         # A machine must hold its in+out shard rows, the regenerated
         # transform (signs + sparse P), and the padded working copy; grow
         # the budget when the fully scalable target is below that floor.
-        template = FJLT(d, n, xi=xi, k=k, q=q, seed=transform_seed)
+        template = FJLT.cached(d, n, xi=xi, k=k, q=q, seed=transform_seed)
         transform_words = 2 * template.d_padded + 3 * template.nnz + 64
         row_words = d + 2 * template.d_padded + template.k
         machines = machines_for(n * d, max(local, transform_words + row_words))
@@ -85,7 +86,10 @@ def mpc_fjlt(
         if shard is None or shard.shape[0] == 0:
             machine.put("fjlt/out", np.empty((0, 1)))
             return
-        transform = FJLT(
+        # Every machine regenerates the identical seed-derived transform;
+        # the plan cache makes that one construction instead of one per
+        # machine (the simulator's machines share a process).
+        transform = FJLT.cached(
             params["d"],
             params["n"],
             xi=params["xi"],
@@ -159,18 +163,12 @@ def mpc_blocked_fwht(
     for j in range(num_machines):
         cluster.load(j, "fwht/block", vec[:, j * block : (j + 1) * block].copy())
 
-    # Local stages: un-normalized FWHT of each block (h = 1 .. B/2).
+    # Local stages: un-normalized FWHT of each block (h = 1 .. B/2),
+    # through the same allocation-free butterfly the sequential batch
+    # kernel uses.
     def local_step(machine: Machine, ctx: RoundContext) -> None:
-        data = machine.get("fwht/block")
-        h = 1
-        out = data.copy()
-        while h < block:
-            view = out.reshape(batch, block // (2 * h), 2, h)
-            a = view[:, :, 0, :].copy()
-            b = view[:, :, 1, :]
-            view[:, :, 0, :] = a + b
-            view[:, :, 1, :] = a - b
-            h *= 2
+        out = np.ascontiguousarray(machine.get("fwht/block"), dtype=np.float64)
+        fwht_inplace(out, normalize=False)
         machine.put("fwht/block", out)
 
     cluster.round(local_step, label="fwht-local")

@@ -17,23 +17,46 @@ Shared infrastructure lives in :mod:`~repro.partition.base` (the
 :mod:`~repro.partition.grids` (shifted-grid geometry, BuildGrids).
 """
 
-from repro.partition.ball_partition import BallAssignment, ball_partition
-from repro.partition.base import CoverageFailure, FlatPartition, refine
+from repro.partition.ball_partition import (
+    BallAssignment,
+    assign_balls,
+    ball_partition,
+)
+from repro.partition.ball_partition import assign_batch as ball_assign_batch
+from repro.partition.base import (
+    CoverageFailure,
+    FlatPartition,
+    factorize_rows,
+    refine,
+)
 from repro.partition.grid_partition import grid_partition
+from repro.partition.grid_partition import assign_batch as grid_assign_batch
 from repro.partition.grids import ShiftedGrid, build_grid_shifts
-from repro.partition.hybrid import bucket_slices, hybrid_partition, project_bucket
+from repro.partition.hybrid import (
+    bucket_slices,
+    hybrid_partition,
+    hybrid_shifts,
+    project_bucket,
+)
+from repro.partition.hybrid import assign_batch as hybrid_assign_batch
 from repro.partition.paper_api import BallPart, BuildGrids, GridSet, HybridPartitioning
 
 __all__ = [
     "FlatPartition",
     "CoverageFailure",
     "refine",
+    "factorize_rows",
     "ShiftedGrid",
     "build_grid_shifts",
     "grid_partition",
+    "grid_assign_batch",
     "ball_partition",
+    "assign_balls",
+    "ball_assign_batch",
     "BallAssignment",
     "hybrid_partition",
+    "hybrid_shifts",
+    "hybrid_assign_batch",
     "BuildGrids",
     "BallPart",
     "GridSet",

@@ -22,7 +22,12 @@ from typing import Optional
 import numpy as np
 
 from repro.geometry.coverage import grids_for_failure_probability
-from repro.partition.base import CoverageFailure, FlatPartition, canonicalize_labels
+from repro.partition.base import (
+    CoverageFailure,
+    FlatPartition,
+    canonicalize_labels,
+    factorize_rows,
+)
 from repro.partition.grids import build_grid_shifts
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_points, check_positive, require
@@ -112,6 +117,76 @@ def assign_balls(
     return BallAssignment(grid_index, cell_index, grids_used)
 
 
+def assign_scalar(
+    points: np.ndarray,
+    w: float,
+    shifts: np.ndarray,
+    *,
+    cell_factor: float = 4.0,
+) -> BallAssignment:
+    """Reference per-point ball assignment (pure Python loops).
+
+    Semantically identical to :func:`assign_balls`; kept as the oracle
+    the batch-kernel property tests and the benchmark harness compare
+    against.  Never use it on large inputs — it exists to make "the
+    scalar path" an executable definition, not a fast one.
+    """
+    pts = check_points(points)
+    check_positive("w", w)
+    require(cell_factor >= 2.0, "cell_factor < 2 lets balls overlap (Definition 2)")
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    n, k = pts.shape
+    require(shifts.shape[1] == k, "shift dimensionality does not match points")
+
+    cell = cell_factor * w
+    w2 = w * w
+    grid_index = np.full(n, -1, dtype=np.int64)
+    cell_index = np.zeros((n, k), dtype=np.int64)
+    pts_rows = pts.tolist()
+    shift_rows = shifts.tolist()
+    for i in range(n):
+        p = pts_rows[i]
+        for g, s in enumerate(shift_rows):
+            # Coordinate-at-a-time: round to the nearest grid vertex and
+            # accumulate the squared distance to it.  Python's round()
+            # matches np.rint (both round halves to even).
+            dist2 = 0.0
+            idx = [0] * k
+            for j in range(k):
+                rel = p[j] - s[j]
+                q = round(rel / cell)
+                diff = rel - q * cell
+                dist2 += diff * diff
+                idx[j] = q
+            if dist2 <= w2:
+                grid_index[i] = g
+                cell_index[i] = idx
+                break
+    grids_used = int(shifts.shape[0])
+    if (grid_index >= 0).all() and n:
+        grids_used = int(grid_index.max()) + 1
+    return BallAssignment(grid_index, cell_index, grids_used)
+
+
+def assign_batch(
+    points: np.ndarray,
+    w: float,
+    shifts: np.ndarray,
+    *,
+    cell_factor: float = 4.0,
+) -> np.ndarray:
+    """Batch ball partitioning: dense part labels for all points at once.
+
+    One call to the chunked broadcast kernel (:func:`assign_balls`)
+    followed by one mixed-radix factorization of the (grid, vertex) keys
+    — no per-point work anywhere.  Uncovered points become singleton
+    parts, exactly as :func:`labels_from_assignment` defines.
+    """
+    return labels_from_assignment(
+        assign_balls(points, w, shifts, cell_factor=cell_factor)
+    )
+
+
 def default_grid_budget(
     k: int, n: int, *, delta_fail: float = 1e-9, events: int = 1
 ) -> int:
@@ -180,8 +255,7 @@ def labels_from_assignment(assignment: BallAssignment) -> np.ndarray:
         keys[uncovered, 1] = -(np.flatnonzero(uncovered) + 1)
         if k > 1:
             keys[uncovered, 2:] = 0
-    _, labels = np.unique(keys, axis=0, return_inverse=True)
-    return labels.astype(np.int64)
+    return factorize_rows(keys)
 
 
 def ball_diameter_bound(w: float) -> float:

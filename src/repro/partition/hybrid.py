@@ -32,11 +32,12 @@ from repro.partition.ball_partition import (
     assign_balls,
     labels_from_assignment,
 )
+from repro.partition.ball_partition import assign_scalar as _ball_assign_scalar
 from repro.partition.base import (
     CoverageFailure,
     FlatPartition,
     canonicalize_labels,
-    refine_all,
+    factorize_rows,
 )
 from repro.partition.grids import build_grid_shifts
 from repro.util.rng import SeedLike, as_generator, spawn_many
@@ -96,6 +97,39 @@ class HybridAssignment:
         return mask
 
 
+def hybrid_shifts(
+    n: int,
+    d: int,
+    w: float,
+    r: int,
+    *,
+    num_grids: Optional[int] = None,
+    cell_factor: float = 4.0,
+    delta_fail: float = 1e-9,
+    num_levels_hint: int = 1,
+    seed: SeedLike = None,
+) -> List[np.ndarray]:
+    """The per-bucket grid-shift sequences of one hybrid draw.
+
+    Returns ``r`` arrays of shape ``(U, k)`` with ``k = ceil(d/r)`` and
+    ``U`` the Lemma 6/7 budget for ``n`` points (unless ``num_grids``
+    overrides it).  Factored out of :func:`hybrid_assign` so the batch
+    and scalar assignment paths can share one draw of randomness.
+    """
+    check_positive("w", w)
+    require(1 <= r <= d, f"r must lie in [1, {d}], got {r}")
+    rng = as_generator(seed)
+    k = -(-d // r)
+    budget = num_grids if num_grids is not None else grids_for_failure_probability(
+        k, delta_fail / max(1, n * r * num_levels_hint)
+    )
+    bucket_rngs = spawn_many(rng, r)
+    return [
+        build_grid_shifts(k, cell_factor * w, budget, seed=bucket_rngs[j])
+        for j in range(r)
+    ]
+
+
 def hybrid_assign(
     points: np.ndarray,
     w: float,
@@ -106,28 +140,124 @@ def hybrid_assign(
     delta_fail: float = 1e-9,
     num_levels_hint: int = 1,
     seed: SeedLike = None,
+    shifts: Optional[List[np.ndarray]] = None,
 ) -> HybridAssignment:
-    """Run the per-bucket ball assignments of one hybrid draw."""
+    """Run the per-bucket ball assignments of one hybrid draw.
+
+    ``shifts`` (one ``(U, k)`` array per bucket, e.g. from
+    :func:`hybrid_shifts`) overrides the internally drawn grids.
+    """
     pts = check_points(points)
     check_positive("w", w)
     n, d = pts.shape
     require(1 <= r <= d, f"r must lie in [1, {d}], got {r}")
-    rng = as_generator(seed)
+
+    if shifts is None:
+        shifts = hybrid_shifts(
+            n,
+            d,
+            w,
+            r,
+            num_grids=num_grids,
+            cell_factor=cell_factor,
+            delta_fail=delta_fail,
+            num_levels_hint=num_levels_hint,
+            seed=seed,
+        )
+    require(len(shifts) == r, f"need one shift array per bucket, got {len(shifts)}")
 
     padded = pad_for_buckets(pts, r)
     k = padded.shape[1] // r
-    budget = num_grids if num_grids is not None else grids_for_failure_probability(
-        k, delta_fail / max(1, n * r * num_levels_hint)
-    )
-
-    bucket_rngs = spawn_many(rng, r)
     assignments: List[BallAssignment] = []
-    for j, (lo, hi) in enumerate([(j * k, (j + 1) * k) for j in range(r)]):
-        shifts = build_grid_shifts(k, cell_factor * w, budget, seed=bucket_rngs[j])
+    for j in range(r):
         assignments.append(
-            assign_balls(padded[:, lo:hi], w, shifts, cell_factor=cell_factor)
+            assign_balls(
+                padded[:, j * k : (j + 1) * k],
+                w,
+                shifts[j],
+                cell_factor=cell_factor,
+            )
         )
     return HybridAssignment(assignments, w, r)
+
+
+def _combine_bucket_labels(assignment: HybridAssignment) -> np.ndarray:
+    """Join per-bucket assignments into hybrid part labels in one pass.
+
+    Equivalent to per-bucket :func:`labels_from_assignment` followed by
+    :func:`repro.partition.base.refine_all` (both rank lexicographically)
+    but with a single factorization over the stacked bucket label
+    columns instead of ``r`` incremental ones.
+    """
+    per_bucket = np.column_stack(
+        [labels_from_assignment(b) for b in assignment.buckets]
+    )
+    return factorize_rows(per_bucket)
+
+
+def assign_batch(
+    points: np.ndarray,
+    w: float,
+    r: int,
+    *,
+    shifts: Optional[List[np.ndarray]] = None,
+    num_grids: Optional[int] = None,
+    cell_factor: float = 4.0,
+    delta_fail: float = 1e-9,
+    num_levels_hint: int = 1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Batch hybrid partitioning: dense part labels for all points at once.
+
+    Each bucket's ball assignment runs over the full ``(n, k)`` slice in
+    one chunked broadcast; the bucket join is a single lexicographic
+    factorization.  Points uncovered in some bucket come back as
+    singleton parts (they already have unique per-bucket keys) — callers
+    wanting Algorithm 1/2's "halt and report failure" semantics should
+    use :func:`hybrid_partition` with ``on_uncovered='error'``.
+    """
+    assignment = hybrid_assign(
+        points,
+        w,
+        r,
+        num_grids=num_grids,
+        cell_factor=cell_factor,
+        delta_fail=delta_fail,
+        num_levels_hint=num_levels_hint,
+        seed=seed,
+        shifts=shifts,
+    )
+    return _combine_bucket_labels(assignment)
+
+
+def assign_scalar(
+    points: np.ndarray,
+    w: float,
+    r: int,
+    *,
+    shifts: List[np.ndarray],
+    cell_factor: float = 4.0,
+) -> np.ndarray:
+    """Reference per-point hybrid assignment (pure Python loops).
+
+    Loops over points, buckets, and grids with scalar geometry; the
+    oracle for :func:`assign_batch`'s property tests and the benchmark
+    harness's scalar arm.  Requires explicit ``shifts`` (from
+    :func:`hybrid_shifts`) so both paths share one randomness draw.
+    """
+    pts = check_points(points)
+    n, d = pts.shape
+    require(1 <= r <= d, f"r must lie in [1, {d}], got {r}")
+    require(len(shifts) == r, f"need one shift array per bucket, got {len(shifts)}")
+    padded = pad_for_buckets(pts, r)
+    k = padded.shape[1] // r
+    buckets = [
+        _ball_assign_scalar(
+            padded[:, j * k : (j + 1) * k], w, shifts[j], cell_factor=cell_factor
+        )
+        for j in range(r)
+    ]
+    return _combine_bucket_labels(HybridAssignment(buckets, w, r))
 
 
 def hybrid_partition(
@@ -167,10 +297,7 @@ def hybrid_partition(
             f"on_uncovered must be 'error' or 'singleton', got {on_uncovered!r}"
         )
 
-    parts = [
-        FlatPartition(labels_from_assignment(b), scale=w) for b in assignment.buckets
-    ]
-    joined = refine_all(parts)
+    joined = FlatPartition(_combine_bucket_labels(assignment), scale=w)
 
     if uncovered.any():
         # Force uncovered points into singleton parts (they may have

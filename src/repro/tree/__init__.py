@@ -11,7 +11,12 @@ into trees, and :mod:`~repro.tree.validate` checks structural invariants
 (refinement, weights, domination).
 """
 
-from repro.tree.build import build_hst, geometric_weights
+from repro.tree.build import (
+    build_hst,
+    cumulative_refinements,
+    geometric_weights,
+    refinement_chain_batch,
+)
 from repro.tree.export import from_linkage, to_linkage, to_newick
 from repro.tree.hst import HSTree
 from repro.tree.metric import (
@@ -32,6 +37,8 @@ from repro.tree.validate import (
 __all__ = [
     "HSTree",
     "build_hst",
+    "cumulative_refinements",
+    "refinement_chain_batch",
     "geometric_weights",
     "tree_distance",
     "pairwise_tree_distances",

@@ -25,12 +25,69 @@ def geometric_weights(
     return top_weight * ratio ** np.arange(num_levels, dtype=np.float64)
 
 
+def refinement_chain_batch(label_rows: np.ndarray) -> List[np.ndarray]:
+    """All cumulative refinements of stacked per-level labels at once.
+
+    ``label_rows`` is ``(L, n)`` int64 — one independent partition draw
+    per row, coarse to fine.  Returns ``L`` dense label arrays where
+    entry ``i`` is the common refinement of rows ``0..i`` (points share a
+    part iff they agree on every row so far).
+
+    One lexicographic sort of the columns replaces the per-level
+    ``refine``/``np.unique`` cascade: after sorting, level ``i``'s parts
+    are the maximal runs over which no row ``<= i`` changes, so each
+    level costs a single boolean OR + cumsum pass.  Label numbering is
+    identical to the iterative :func:`repro.partition.base.refine` chain
+    (both rank lexicographically).
+    """
+    rows = np.ascontiguousarray(np.atleast_2d(np.asarray(label_rows, dtype=np.int64)))
+    num_levels, n = rows.shape
+    require(num_levels >= 1, "need at least one partition level")
+    if n == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(num_levels)]
+
+    order = np.lexsort(rows[::-1])  # primary key = row 0
+    sorted_rows = rows[:, order]
+    changed = np.zeros(n - 1, dtype=bool) if n > 1 else np.empty(0, dtype=bool)
+    ranks = np.empty(n, dtype=np.int64)
+    out: List[np.ndarray] = []
+    for row in sorted_rows:
+        if n > 1:
+            changed |= row[1:] != row[:-1]
+        ranks[0] = 0
+        np.cumsum(changed, out=ranks[1:])
+        labels = np.empty(n, dtype=np.int64)
+        labels[order] = ranks
+        out.append(labels)
+    return out
+
+
 def cumulative_refinements(partitions: Sequence[FlatPartition]) -> List[FlatPartition]:
     """Turn independent per-level draws into a refinement chain.
 
     Level ``i``'s clusters become the intersection of draws ``1..i`` —
     exactly the recursive "partition each part" semantics of Algorithm 1,
     expressed with globally drawn partitions (as Algorithm 2 does).
+    Computed level-wise in one pass via :func:`refinement_chain_batch`.
+    """
+    if not partitions:
+        raise ValueError("need at least one partition level")
+    stacked = np.vstack([p.labels for p in partitions])
+    chain_labels = refinement_chain_batch(stacked)
+    return [
+        FlatPartition(labels, scale=part.scale)
+        for labels, part in zip(chain_labels, partitions)
+    ]
+
+
+def cumulative_refinements_perlevel(
+    partitions: Sequence[FlatPartition],
+) -> List[FlatPartition]:
+    """Reference level-by-level refinement chain (the pre-batch path).
+
+    One :func:`repro.partition.base.refine` (pack + sort) per level —
+    still vectorized within a level; the bit-equivalence oracle for
+    :func:`cumulative_refinements`.  Output is identical.
     """
     if not partitions:
         raise ValueError("need at least one partition level")
@@ -39,6 +96,34 @@ def cumulative_refinements(partitions: Sequence[FlatPartition]) -> List[FlatPart
     for part in partitions:
         current = refine(current, part, scale=part.scale)
         chain.append(current)
+    return chain
+
+
+def cumulative_refinements_scalar(
+    partitions: Sequence[FlatPartition],
+) -> List[FlatPartition]:
+    """Reference per-point refinement chain (pure Python loops).
+
+    The genuinely scalar path the benchmark harness's scalar arm runs:
+    for each level, every point's ``(previous part, new label)`` pair is
+    formed one point at a time and pairs are ranked by sorting the
+    distinct keys — exactly :func:`repro.partition.base.refine`'s
+    lexicographic numbering, so output is identical to
+    :func:`cumulative_refinements`.
+    """
+    if not partitions:
+        raise ValueError("need at least one partition level")
+    n = partitions[0].n
+    chain: List[FlatPartition] = []
+    prev = [0] * n
+    for part in partitions:
+        row = part.labels
+        pairs = [(prev[i], int(row[i])) for i in range(n)]
+        rank = {key: lab for lab, key in enumerate(sorted(set(pairs)))}
+        prev = [rank[p] for p in pairs]
+        chain.append(
+            FlatPartition(np.asarray(prev, dtype=np.int64), scale=part.scale)
+        )
     return chain
 
 

@@ -167,6 +167,98 @@ class TreeNodes:
     def from_label_matrix(
         cls, label_matrix: np.ndarray, level_weights: np.ndarray
     ) -> "TreeNodes":
+        """Materialize every level's nodes with one lexicographic sort.
+
+        Columns are sorted once by their full label path (row 1 primary);
+        a level-``l`` node is then a maximal run over which no row
+        ``<= l`` changes, so each level reduces to a boolean OR + cumsum
+        over the shared sorted order — no per-node Python loop and no
+        per-level re-sorting of keys.  Node numbering (level-major, then
+        path-lexicographic) matches the historical per-level
+        ``np.unique`` construction bit for bit
+        (:meth:`from_label_matrix_perlevel`) and the per-node recursive
+        reference (:meth:`from_label_matrix_scalar`).
+        """
+        labels = np.ascontiguousarray(np.asarray(label_matrix, dtype=np.int64))
+        num_rows, n = labels.shape
+        if n == 0 or num_rows == 1:
+            return cls(
+                parent=np.array([-1], dtype=np.int64),
+                weight=np.array([0.0]),
+                level=np.array([0], dtype=np.int64),
+                leaf_of_point=np.zeros(n, dtype=np.int64),
+                members=[np.arange(n)],
+            )
+
+        order = np.lexsort(labels[::-1])  # primary key = row 0 (all zeros)
+        sorted_rows = labels[:, order]
+
+        parent_chunks: List[np.ndarray] = [np.array([-1], dtype=np.int64)]
+        weight_chunks: List[np.ndarray] = [np.array([0.0])]
+        level_chunks: List[np.ndarray] = [np.array([0], dtype=np.int64)]
+        members: List[np.ndarray] = [np.arange(n)]
+
+        changed = np.zeros(n - 1, dtype=bool) if n > 1 else np.empty(0, dtype=bool)
+        ranks = np.empty(n, dtype=np.int64)
+        # node id at the previous level, in sorted column positions.
+        prev_ids_sorted = np.zeros(n, dtype=np.int64)
+        base = 1
+        for lvl in range(1, num_rows):
+            row = sorted_rows[lvl]
+            if n > 1:
+                changed |= row[1:] != row[:-1]
+            ranks[0] = 0
+            np.cumsum(changed, out=ranks[1:])
+            count = int(ranks[-1]) + 1
+            ids_sorted = base + ranks
+
+            # One entry per node: runs are contiguous in sorted order, so
+            # each node's first position carries its parent.
+            starts = (
+                np.concatenate([[0], np.flatnonzero(changed) + 1])
+                if n > 1
+                else np.array([0], dtype=np.int64)
+            )
+            parent_chunks.append(prev_ids_sorted[starts])
+            weight_chunks.append(np.full(count, float(level_weights[lvl - 1])))
+            level_chunks.append(np.full(count, lvl, dtype=np.int64))
+
+            # Members in ascending point order: re-rank the sorted
+            # columns by (run id, original index) — packed into one
+            # unique int64 key so a single argsort replaces a two-key
+            # lexsort — and slice at run boundaries (direct slicing;
+            # np.split's per-call overhead dominates at tens of
+            # thousands of nodes).
+            within = np.argsort(ranks * np.int64(n) + order)
+            ordered_points = order[within]
+            bounds = starts.tolist() + [n]
+            members.extend(
+                ordered_points[a:b] for a, b in zip(bounds[:-1], bounds[1:])
+            )
+
+            prev_ids_sorted = ids_sorted
+            base += count
+
+        leaf_of_point = np.empty(n, dtype=np.int64)
+        leaf_of_point[order] = prev_ids_sorted
+        return cls(
+            parent=np.concatenate(parent_chunks),
+            weight=np.concatenate(weight_chunks),
+            level=np.concatenate(level_chunks),
+            leaf_of_point=leaf_of_point,
+            members=members,
+        )
+
+    @classmethod
+    def from_label_matrix_perlevel(
+        cls, label_matrix: np.ndarray, level_weights: np.ndarray
+    ) -> "TreeNodes":
+        """Reference per-level construction (the pre-batch path).
+
+        Factorizes each level against its parent ids with ``np.unique``
+        and appends nodes in a Python loop; kept as the bit-equivalence
+        oracle for :meth:`from_label_matrix`.
+        """
         num_rows, n = label_matrix.shape
         parents: List[int] = [-1]
         weights: List[float] = [0.0]
@@ -200,5 +292,57 @@ class TreeNodes:
             weight=np.asarray(weights, dtype=np.float64),
             level=np.asarray(levels, dtype=np.int64),
             leaf_of_point=prev_node_of_point.copy(),
+            members=members,
+        )
+
+    @classmethod
+    def from_label_matrix_scalar(
+        cls, label_matrix: np.ndarray, level_weights: np.ndarray
+    ) -> "TreeNodes":
+        """Reference per-node recursive construction (pure Python).
+
+        Each node partitions its own members by the next level's label,
+        one point at a time — the "per-node recursion" the single-sort
+        batch path (:meth:`from_label_matrix`) replaces, and the scalar
+        arm the benchmark harness times against it.  Children are
+        emitted parent-by-parent in node-id order and label-sorted
+        within a parent, which is exactly the level-major
+        path-lexicographic numbering of the other constructors, so
+        output is bit-identical.
+        """
+        labels = np.asarray(label_matrix, dtype=np.int64)
+        num_rows, n = labels.shape
+        parents: List[int] = [-1]
+        weights: List[float] = [0.0]
+        levels: List[int] = [0]
+        members: List[np.ndarray] = [np.arange(n)]
+
+        frontier: List[Tuple[int, List[int]]] = [(0, list(range(n)))]
+        for lvl in range(1, num_rows):
+            row = labels[lvl]
+            next_frontier: List[Tuple[int, List[int]]] = []
+            for node_id, node_members in frontier:
+                by_label: Dict[int, List[int]] = {}
+                for p in node_members:
+                    by_label.setdefault(int(row[p]), []).append(p)
+                for lab in sorted(by_label):
+                    child_members = by_label[lab]
+                    child_id = len(parents)
+                    parents.append(node_id)
+                    weights.append(float(level_weights[lvl - 1]))
+                    levels.append(lvl)
+                    members.append(np.asarray(child_members, dtype=np.int64))
+                    next_frontier.append((child_id, child_members))
+            frontier = next_frontier
+
+        leaf_of_point = np.empty(n, dtype=np.int64)
+        for node_id, node_members in frontier:
+            for p in node_members:
+                leaf_of_point[p] = node_id
+        return cls(
+            parent=np.asarray(parents, dtype=np.int64),
+            weight=np.asarray(weights, dtype=np.float64),
+            level=np.asarray(levels, dtype=np.int64),
+            leaf_of_point=leaf_of_point,
             members=members,
         )

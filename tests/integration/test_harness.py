@@ -1,0 +1,58 @@
+"""The unified benchmark harness runs end to end and emits valid entries."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+HARNESS = REPO_ROOT / "benchmarks" / "harness.py"
+
+
+def run_harness(tmp_path, *args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, str(HARNESS), "--out-dir", str(tmp_path), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=300,
+    )
+
+
+def test_smoke_run_emits_schema(tmp_path):
+    proc = run_harness(tmp_path, "--smoke", "--suite", "tree")
+    assert proc.returncode == 0, proc.stderr
+    entry = json.loads((tmp_path / "BENCH_tree.json").read_text())
+    assert entry["experiment"] == "tree"
+    assert entry["schema_version"] == 1
+    wc = entry["wall_clock"]
+    assert wc["batch_seconds"] > 0 and wc["scalar_seconds"] > 0
+    assert wc["speedup"] == pytest.approx(
+        wc["scalar_seconds"] / wc["batch_seconds"]
+    )
+    acc = entry["mpc_accounting"]
+    for key in ("rounds", "max_local_words", "total_space"):
+        assert acc[key] > 0
+    assert entry["machine"]["calibration_seconds"] > 0
+    assert entry["calibrated_batch"] > 0
+    # no committed baseline is required for plain runs
+    assert entry["baseline_comparison"]["status"] in ("ok", "no-baseline",
+                                                      "regression")
+
+
+def test_check_regression_against_committed_baseline(tmp_path):
+    """--smoke --check-regression exercises the bench-smoke make target."""
+    baseline = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_fjlt_smoke.json"
+    if not baseline.exists():
+        pytest.skip("no committed smoke baseline")
+    proc = run_harness(
+        tmp_path, "--smoke", "--suite", "fjlt", "--check-regression",
+        "--tolerance", "10.0",
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

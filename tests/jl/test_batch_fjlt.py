@@ -1,0 +1,110 @@
+"""Batched FJLT / in-place FWHT: equivalence and distortion properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jl.dense import GaussianJL
+from repro.jl.fjlt import FJLT, _PLAN_CACHE
+from repro.jl.hadamard import fwht, fwht_inplace, hadamard_matrix
+
+
+class TestFwhtInplace:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 4), st.integers(1, 40), st.integers(0, 10_000))
+    def test_matches_dense_hadamard(self, log_d, n, seed):
+        d = 1 << log_d
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, d))
+        h = hadamard_matrix(d)
+        out = x.copy()
+        fwht_inplace(out)
+        np.testing.assert_allclose(out, x @ h.T, atol=1e-9)
+
+    def test_matches_fwht_and_modifies_in_place(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(7, 32))
+        expected = fwht(x)
+        buf = x.copy()
+        returned = fwht_inplace(buf)
+        assert returned is buf
+        np.testing.assert_allclose(buf, expected, atol=1e-12)
+
+    def test_blocking_is_invisible(self):
+        """Any block_rows split gives the same answer as one block."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(23, 64))
+        whole = fwht_inplace(x.copy())
+        for block_rows in (1, 2, 5, 23, 100):
+            np.testing.assert_array_equal(
+                fwht_inplace(x.copy(), block_rows=block_rows), whole
+            )
+
+    def test_unnormalized_involution(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 16))
+        twice = fwht_inplace(
+            fwht_inplace(x.copy(), normalize=False), normalize=False
+        )
+        np.testing.assert_allclose(twice, 16.0 * x, atol=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fwht_inplace(np.zeros((2, 3)))  # not a power of two
+        with pytest.raises(ValueError):
+            fwht_inplace(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            fwht_inplace(np.zeros((2, 2, 4)))
+
+
+class TestBatchedFJLT:
+    def test_batch_equals_per_row(self):
+        """One (n, d) call == n single-row calls (the pre-batch shape)."""
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(40, 24)) * 5
+        transform = FJLT(24, 4096, xi=0.3, seed=7)
+        batch = transform(pts)
+        rows = np.vstack([transform(pts[i : i + 1]) for i in range(40)])
+        np.testing.assert_allclose(batch, rows, rtol=1e-12, atol=1e-12)
+
+    def test_distortion_comparable_to_dense_jl(self):
+        """Batched FJLT preserves pairwise distances like GaussianJL.
+
+        Both transforms target the same output dimension; their median
+        pairwise-distance distortions must land in the same ballpark
+        (within a factor of two) and both within 35% of isometry.
+        """
+        rng = np.random.default_rng(4)
+        n, d = 128, 64
+        pts = rng.normal(size=(n, d)) * 10
+        fjlt = FJLT(d, n, xi=0.25, seed=11)
+        dense = GaussianJL(d, fjlt.k, seed=12)
+
+        def median_distortion(mapped):
+            before = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+            after = np.linalg.norm(mapped[:, None] - mapped[None, :], axis=-1)
+            iu = np.triu_indices(n, 1)
+            ratio = after[iu] / before[iu]
+            return float(np.median(np.abs(ratio - 1.0)))
+
+        err_fjlt = median_distortion(fjlt(pts))
+        err_dense = median_distortion(dense(pts))
+        assert err_fjlt < 0.35
+        assert err_dense < 0.35
+        assert err_fjlt < 2 * err_dense + 0.05
+
+    def test_cached_returns_same_plan(self):
+        a = FJLT.cached(16, 256, xi=0.3, seed=42)
+        b = FJLT.cached(16, 256, xi=0.3, seed=42)
+        assert a is b
+        c = FJLT.cached(16, 256, xi=0.3, seed=43)
+        assert c is not a
+        assert len(_PLAN_CACHE) <= 64
+
+    def test_cached_matches_uncached(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(10, 16))
+        cached = FJLT.cached(16, 256, xi=0.3, seed=99)
+        fresh = FJLT(16, 256, xi=0.3, seed=99)
+        np.testing.assert_array_equal(cached(pts), fresh(pts))

@@ -1,0 +1,125 @@
+"""Batch kernels vs scalar references: exact equivalence properties.
+
+Every vectorized hot path ships a pure-Python per-point reference
+(`assign_scalar`); these tests assert the two produce *identical* labels
+on shared randomness — the contract the benchmark harness's speedup
+numbers rest on.
+"""
+
+import importlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro.partition.hybrid as hy
+from repro.partition.base import factorize_rows
+from repro.partition.grids import ShiftedGrid, build_grid_shifts
+
+# The package re-exports functions named like their home submodules
+# (``ball_partition``, ``grid_partition``), shadowing the module
+# attribute — import the modules explicitly.
+bp = importlib.import_module("repro.partition.ball_partition")
+gp = importlib.import_module("repro.partition.grid_partition")
+
+
+def cloud(max_n=40, max_k=4, box=64.0):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.integers(1, max_k).flatmap(
+            lambda k: arrays(
+                np.float64,
+                (n, k),
+                elements=st.floats(-box, box, allow_nan=False, width=32),
+            )
+        )
+    )
+
+
+class TestFactorizeRows:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.integers(1, 50),
+        st.integers(1, 8),
+        st.sampled_from([3, 1_000, 2**40]),
+        st.integers(0, 10_000),
+    )
+    def test_matches_np_unique(self, n, width, hi, seed):
+        """factorize_rows == np.unique(axis=0) inverse on any key range.
+
+        ``hi`` sweeps narrow spans (single packed column), medium spans,
+        and huge spans (per-column span products overflow int64, forcing
+        the grouped-lexsort path).
+        """
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(-hi, hi, size=(n, width))
+        expected = np.unique(keys, axis=0, return_inverse=True)[1].ravel()
+        assert np.array_equal(factorize_rows(keys), expected)
+
+    def test_wide_keys(self):
+        """64 columns (a full-dimensional grid cell key) stay exact."""
+        rng = np.random.default_rng(3)
+        keys = rng.integers(-8, 8, size=(200, 64))
+        expected = np.unique(keys, axis=0, return_inverse=True)[1].ravel()
+        assert np.array_equal(factorize_rows(keys), expected)
+
+    def test_empty_and_single_column(self):
+        assert factorize_rows(np.empty((0, 3), dtype=np.int64)).size == 0
+        labels = factorize_rows(np.array([[5], [2], [5]]))
+        assert np.array_equal(labels, [1, 0, 1])
+
+
+class TestGridEquivalence:
+    @settings(deadline=None, max_examples=40)
+    @given(cloud(), st.integers(0, 10_000))
+    def test_batch_matches_scalar(self, pts, seed):
+        grid = ShiftedGrid.sample(pts.shape[1], 4.0, seed=seed)
+        assert np.array_equal(
+            gp.assign_batch(pts, grid), gp.assign_scalar(pts, grid)
+        )
+
+
+class TestBallEquivalence:
+    @settings(deadline=None, max_examples=40)
+    @given(cloud(), st.integers(0, 10_000))
+    def test_batch_matches_scalar(self, pts, seed):
+        w = 2.0
+        shifts = build_grid_shifts(pts.shape[1], 4 * w, 10, seed=seed)
+        batch = bp.assign_balls(pts, w, shifts)
+        scalar = bp.assign_scalar(pts, w, shifts)
+        assert np.array_equal(batch.grid_index, scalar.grid_index)
+        assert np.array_equal(batch.cell_index, scalar.cell_index)
+        assert np.array_equal(
+            bp.assign_batch(pts, w, shifts),
+            bp.labels_from_assignment(scalar),
+        )
+
+
+class TestHybridEquivalence:
+    @settings(deadline=None, max_examples=25)
+    @given(cloud(max_n=25), st.sampled_from(["1", "2", "d"]), st.integers(0, 10_000))
+    def test_batch_matches_scalar_for_r_extremes(self, pts, r_kind, seed):
+        """assign_batch == assign_scalar for r in {1, 2, d} on one draw."""
+        d = pts.shape[1]
+        r = {"1": 1, "2": min(2, d), "d": d}[r_kind]
+        w = 3.0
+        shifts = hy.hybrid_shifts(pts.shape[0], d, w, r, num_grids=8, seed=seed)
+        assert np.array_equal(
+            hy.assign_batch(pts, w, r, shifts=shifts),
+            hy.assign_scalar(pts, w, r, shifts=shifts),
+        )
+
+    def test_batch_matches_legacy_partition(self):
+        """assign_batch agrees with hybrid_partition on the same seed."""
+        rng = np.random.default_rng(9)
+        pts = rng.normal(size=(80, 6)) * 20
+        labels = hy.assign_batch(pts, 4.0, 2, num_grids=32, seed=123)
+        part = hy.hybrid_partition(
+            pts, 4.0, 2, num_grids=32, seed=123, on_uncovered="singleton"
+        )
+        # Same partition up to relabeling (hybrid_partition renumbers
+        # uncovered singletons).
+        a, b = labels, part.labels
+        assert a.shape == b.shape
+        pairs = set(zip(a.tolist(), b.tolist()))
+        assert len(pairs) == len(set(a.tolist())) == len(set(b.tolist()))

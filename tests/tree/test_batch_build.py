@@ -1,0 +1,99 @@
+"""Single-sort HST construction vs per-level and per-node references."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.base import FlatPartition
+from repro.tree.build import (
+    cumulative_refinements,
+    cumulative_refinements_perlevel,
+    cumulative_refinements_scalar,
+    geometric_weights,
+    refinement_chain_batch,
+)
+from repro.tree.hst import TreeNodes
+
+
+def random_levels(rng, n, num_levels):
+    return [
+        FlatPartition(rng.integers(0, max(1, min(n, 3 << i)), size=n))
+        for i in range(num_levels)
+    ]
+
+
+class TestRefinementChain:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(1, 60), st.integers(1, 6), st.integers(0, 10_000))
+    def test_all_three_paths_agree(self, n, num_levels, seed):
+        rng = np.random.default_rng(seed)
+        rows = random_levels(rng, n, num_levels)
+        batch = cumulative_refinements(rows)
+        perlevel = cumulative_refinements_perlevel(rows)
+        scalar = cumulative_refinements_scalar(rows)
+        for a, b, c in zip(batch, perlevel, scalar):
+            assert np.array_equal(a.labels, b.labels)
+            assert np.array_equal(a.labels, c.labels)
+            assert a.scale == b.scale == c.scale
+
+    def test_batch_chain_refines(self):
+        rng = np.random.default_rng(1)
+        rows = random_levels(rng, 50, 5)
+        chain = cumulative_refinements(rows)
+        for coarse, fine in zip(chain, chain[1:]):
+            # every fine part maps into exactly one coarse part
+            assert len(set(zip(fine.labels.tolist(), coarse.labels.tolist()))) \
+                == fine.num_parts
+
+    def test_empty_and_trivial(self):
+        out = refinement_chain_batch(np.zeros((3, 0), dtype=np.int64))
+        assert len(out) == 3 and all(a.size == 0 for a in out)
+        out = refinement_chain_batch(np.zeros((2, 5), dtype=np.int64))
+        assert all(np.array_equal(a, np.zeros(5, dtype=np.int64)) for a in out)
+
+
+class TestTreeNodesBatch:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(1, 50), st.integers(1, 5), st.integers(0, 10_000))
+    def test_all_three_constructors_agree(self, n, num_levels, seed):
+        rng = np.random.default_rng(seed)
+        rows = random_levels(rng, n, num_levels)
+        chain = cumulative_refinements(rows)
+        matrix = np.vstack(
+            [np.zeros(n, dtype=np.int64)] + [p.labels for p in chain]
+        )
+        weights = geometric_weights(16.0, num_levels)
+        batch = TreeNodes.from_label_matrix(matrix, weights)
+        perlevel = TreeNodes.from_label_matrix_perlevel(matrix, weights)
+        scalar = TreeNodes.from_label_matrix_scalar(matrix, weights)
+        for other in (perlevel, scalar):
+            assert np.array_equal(batch.parent, other.parent)
+            assert np.array_equal(batch.level, other.level)
+            assert np.allclose(batch.weight, other.weight)
+            assert np.array_equal(batch.leaf_of_point, other.leaf_of_point)
+            assert len(batch.members) == len(other.members)
+            for u, v in zip(batch.members, other.members):
+                assert np.array_equal(u, v)
+
+    def test_members_sorted_and_partition_each_level(self):
+        rng = np.random.default_rng(2)
+        rows = random_levels(rng, 40, 4)
+        chain = cumulative_refinements(rows)
+        matrix = np.vstack(
+            [np.zeros(40, dtype=np.int64)] + [p.labels for p in chain]
+        )
+        nodes = TreeNodes.from_label_matrix(matrix, geometric_weights(8.0, 4))
+        for m in nodes.members:
+            assert np.array_equal(m, np.sort(m))
+        for lvl in range(matrix.shape[0]):
+            level_members = [
+                m for m, l in zip(nodes.members, nodes.level) if l == lvl
+            ]
+            assert sorted(np.concatenate(level_members).tolist()) == list(range(40))
+
+    def test_root_only_matrix(self):
+        nodes = TreeNodes.from_label_matrix(
+            np.zeros((1, 6), dtype=np.int64), np.empty(0)
+        )
+        assert nodes.count == 1
+        assert np.array_equal(nodes.leaf_of_point, np.zeros(6, dtype=np.int64))
