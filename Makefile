@@ -11,9 +11,12 @@ bench:
 
 # Fast perf gate (n <= 256, well under a minute): fails when a batch
 # kernel's calibrated wall-clock regressed >25% against the committed
-# smoke baseline in benchmarks/baselines/.
+# smoke baseline in benchmarks/baselines/.  The MPC arm is timed under
+# every executor in EXECUTOR (comma list); accounting must be identical
+# across them or the harness fails.
+EXECUTOR ?= serial,thread,process
 bench-smoke:
-	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(EXECUTOR)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; \

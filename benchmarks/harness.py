@@ -10,7 +10,17 @@ suite it
   property tests);
 * collects the **MPC accounting** numbers the paper's theorems bound —
   rounds, max machine load, total space — from a resource-enforced
-  simulator run of the same code path (`repro.mpc.accounting`);
+  simulator run of the same code path (`repro.mpc.accounting`), timing
+  that run under each requested **round executor** (``--executor``,
+  default ``serial,process``) and asserting the accounting is
+  bit-identical across executors before recording the per-executor
+  wall-clock (the ``executor_wall_clock`` block, with ``host_cpus`` so
+  single-core CI numbers are read in context);
+* cross-checks the scalar arm's linear extrapolation by measuring it at
+  ``--scalar-cap`` **and** half that size; when the two estimates of the
+  full-size time diverge by more than 10% the entry carries a warning
+  (the ``scalar_linearity`` block) instead of silently reporting a
+  speedup built on a bad extrapolation;
 * normalizes wall-clock by a fixed calibration workload so numbers from
   different machines are comparable, compares against the committed
   baseline under ``benchmarks/baselines/``, and writes
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -43,6 +54,14 @@ import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
+
+DEFAULT_EXECUTORS = "serial,process"
+
+#: Two-cap scalar extrapolation estimates diverging more than this are
+#: flagged in the JSON entry (the O(n) assumption did not hold at the
+#: measured sizes — constant overheads still dominate, or caching kicked
+#: in between the two sizes).
+SCALAR_LINEARITY_TOLERANCE = 0.10
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BASELINE_DIR = pathlib.Path(__file__).resolve().parent / "baselines"
@@ -91,12 +110,84 @@ def calibration_seconds() -> float:
     return _time(lambda: a @ a @ a, repeats=5)
 
 
+def measure_executors(run_mpc: Callable[[str], "object"],
+                      executors: List[str]) -> Dict:
+    """Time one MPC arm under each executor; assert identical accounting.
+
+    ``run_mpc(executor_name)`` must run the arm on a fresh cluster and
+    return its :class:`~repro.mpc.accounting.CostReport`.  Raises
+    ``AssertionError`` when any executor's accounting diverges from the
+    first one's — the executor-independence contract, enforced at
+    benchmark time too.  Returns the ``executor_wall_clock`` block plus
+    the (shared) accounting dict.
+    """
+    seconds: Dict[str, float] = {}
+    reports: Dict[str, Dict] = {}
+    for name in executors:
+        t0 = time.perf_counter()
+        report = run_mpc(name)
+        seconds[name] = time.perf_counter() - t0
+        reports[name] = report.as_dict()
+    base_name = executors[0]
+    for name, rep in reports.items():
+        assert rep == reports[base_name], (
+            f"MPC accounting diverged between executors "
+            f"{base_name!r} and {name!r} — executor-independence violated"
+        )
+    block = {"host_cpus": os.cpu_count(), "seconds": seconds}
+    if "serial" in seconds and "process" in seconds and seconds["process"] > 0:
+        block["process_speedup_vs_serial"] = (
+            seconds["serial"] / seconds["process"]
+        )
+    return {"executor_wall_clock": block,
+            "mpc_accounting": reports[base_name]}
+
+
+def scalar_estimate(measure: Callable[[int], float], n: int,
+                    scalar_cap: int) -> Dict:
+    """Extrapolate a scalar arm to ``n`` points from two capped runs.
+
+    ``measure(m)`` returns the wall-clock of the scalar arm on its first
+    ``m`` points.  The arm is measured at ``scalar_cap`` and at half
+    that; both runs are linearly extrapolated to ``n`` and compared.
+    Returns ``{"seconds": <estimate>, "linearity": {...}}`` where the
+    linearity block carries a ``warning`` key when the two estimates
+    diverge by more than :data:`SCALAR_LINEARITY_TOLERANCE`.
+    """
+    cap = min(n, scalar_cap)
+    estimate = measure(cap) * (n / cap)
+    half = cap // 2
+    if half < 1 or half == cap:
+        return {"seconds": estimate,
+                "linearity": {"checked": False, "scalar_cap": cap}}
+    half_estimate = measure(half) * (n / half)
+    divergence = abs(half_estimate - estimate) / max(estimate, 1e-12)
+    linearity = {
+        "checked": True,
+        "scalar_cap": cap,
+        "half_cap": half,
+        "estimate_from_cap_seconds": estimate,
+        "estimate_from_half_cap_seconds": half_estimate,
+        "divergence": divergence,
+        "tolerance": SCALAR_LINEARITY_TOLERANCE,
+    }
+    if divergence > SCALAR_LINEARITY_TOLERANCE:
+        linearity["warning"] = (
+            f"scalar extrapolations from n={cap} and n={half} disagree by "
+            f"{divergence:.1%} (> {SCALAR_LINEARITY_TOLERANCE:.0%}); the "
+            "reported scalar seconds and speedup may be unreliable — "
+            "re-run with a larger --scalar-cap"
+        )
+    return {"seconds": estimate, "linearity": linearity}
+
+
 # ---------------------------------------------------------------------------
 # suites
 # ---------------------------------------------------------------------------
 
 
-def suite_partition(n: int, d: int, *, scalar_cap: int) -> Dict:
+def suite_partition(n: int, d: int, *, scalar_cap: int,
+                    executors: List[str]) -> Dict:
     """Hybrid / ball / grid: batch kernels vs per-point references."""
     import repro.partition.hybrid as hy
     from repro.core.mpc_embedding import mpc_tree_embedding
@@ -125,9 +216,14 @@ def suite_partition(n: int, d: int, *, scalar_cap: int) -> Dict:
 
     shifts = hy.hybrid_shifts(n, d, w, r, num_grids=num_grids, seed=SEED + 1)
     batch_s = _time(lambda: hy.assign_batch(points, w, r, shifts=shifts))
-    scalar_s = _time(
-        lambda: hy.assign_scalar(sub, w, r, shifts=shifts), repeats=1
-    ) * scale
+    hybrid_scalar = scalar_estimate(
+        lambda m: _time(
+            lambda: hy.assign_scalar(points[:m], w, r, shifts=shifts), repeats=1
+        ),
+        n,
+        scalar_cap,
+    )
+    scalar_s = hybrid_scalar["seconds"]
 
     grid = ShiftedGrid.sample(d, w, seed=SEED + 2)
     grid_batch_s = _time(lambda: grid_assign_batch(points, grid))
@@ -140,11 +236,16 @@ def suite_partition(n: int, d: int, *, scalar_cap: int) -> Dict:
     ) * scale
 
     # MPC accounting of the same code path on the enforced simulator
-    # (size-capped: the metrics are counted words/rounds, not seconds).
+    # (size-capped: the metrics are counted words/rounds, not seconds),
+    # timed under every requested executor.
     n_mpc = min(n, 256)
-    acc = mpc_tree_embedding(
-        points[:n_mpc, : min(d, 8)], seed=SEED + 4, on_uncovered="singleton"
-    ).report
+    mpc = measure_executors(
+        lambda ex: mpc_tree_embedding(
+            points[:n_mpc, : min(d, 8)], seed=SEED + 4,
+            on_uncovered="singleton", executor=ex,
+        ).report,
+        executors,
+    )
 
     return {
         "config": {"n": n, "d": d, "w": w, "r": r, "num_grids": num_grids,
@@ -160,13 +261,15 @@ def suite_partition(n: int, d: int, *, scalar_cap: int) -> Dict:
             "grid_scalar_seconds": grid_scalar_s,
             "grid_speedup": grid_scalar_s / grid_batch_s,
         },
-        "mpc_accounting": acc.as_dict(),
+        "scalar_linearity": hybrid_scalar["linearity"],
+        **mpc,
         "primary_batch_seconds": batch_s,
         "primary_speedup": scalar_s / batch_s,
     }
 
 
-def suite_fjlt(n: int, d: int, *, scalar_cap: int) -> Dict:
+def suite_fjlt(n: int, d: int, *, scalar_cap: int,
+               executors: List[str]) -> Dict:
     """Batched FJLT vs row-at-a-time application."""
     from repro.jl.fjlt import FJLT
     from repro.jl.mpc_fjlt import mpc_fjlt
@@ -178,20 +281,28 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int) -> Dict:
     batch_s = _time(lambda: transform(points))
 
     n_scalar = min(n, scalar_cap)
-    scale = n / n_scalar
 
-    def scalar_arm():
+    def scalar_arm(m: int):
         # The pre-batch shape: one transform call per point.
-        out = np.empty((n_scalar, transform.k))
-        for i in range(n_scalar):
+        out = np.empty((m, transform.k))
+        for i in range(m):
             out[i] = transform(points[i : i + 1])[0]
         return out
 
-    scalar_s = _time(scalar_arm, repeats=1) * scale
+    scalar = scalar_estimate(
+        lambda m: _time(lambda: scalar_arm(m), repeats=1), n, scalar_cap
+    )
+    scalar_s = scalar["seconds"]
 
     n_mpc = min(n, 512)
-    _, cluster = mpc_fjlt(points[:n_mpc], xi=0.3, seed=SEED + 2)
-    acc = cluster.report()
+
+    def run_mpc(executor):
+        _, cluster = mpc_fjlt(
+            points[:n_mpc], xi=0.3, seed=SEED + 2, executor=executor
+        )
+        return cluster.report()
+
+    mpc = measure_executors(run_mpc, executors)
 
     return {
         "config": {"n": n, "d": d, "k": transform.k, "q": transform.q,
@@ -201,13 +312,15 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int) -> Dict:
             "scalar_seconds": scalar_s,
             "speedup": scalar_s / batch_s,
         },
-        "mpc_accounting": acc.as_dict(),
+        "scalar_linearity": scalar["linearity"],
+        **mpc,
         "primary_batch_seconds": batch_s,
         "primary_speedup": scalar_s / batch_s,
     }
 
 
-def suite_tree(n: int, d: int, *, scalar_cap: int) -> Dict:
+def suite_tree(n: int, d: int, *, scalar_cap: int,
+               executors: List[str]) -> Dict:
     """Level-wise HST construction vs per-level/per-node references."""
     from repro.core.mpc_embedding import mpc_tree_embedding
     from repro.partition.base import FlatPartition
@@ -239,23 +352,30 @@ def suite_tree(n: int, d: int, *, scalar_cap: int) -> Dict:
     batch_s = _time(batch_arm)
 
     n_scalar = min(n, scalar_cap)
-    sub_rows = [FlatPartition(p.labels[:n_scalar]) for p in rows]
-    scale = n / n_scalar
 
-    def scalar_arm():
+    def scalar_arm(m: int):
+        sub_rows = [FlatPartition(p.labels[:m]) for p in rows]
         chain = cumulative_refinements_scalar(sub_rows)
         matrix = np.vstack(
-            [np.zeros(n_scalar, dtype=np.int64)] + [p.labels for p in chain]
+            [np.zeros(m, dtype=np.int64)] + [p.labels for p in chain]
         )
         return TreeNodes.from_label_matrix_scalar(matrix, weights)
 
-    scalar_s = _time(scalar_arm, repeats=1) * scale
+    scalar = scalar_estimate(
+        lambda m: _time(lambda: scalar_arm(m), repeats=1), n, scalar_cap
+    )
+    scalar_s = scalar["seconds"]
 
     n_mpc = min(n, 256)
     from repro.data.synthetic import gaussian_clusters
 
     pts = gaussian_clusters(n_mpc, min(d, 8), delta=512, clusters=4, seed=SEED)
-    acc = mpc_tree_embedding(pts, seed=SEED + 3, on_uncovered="singleton").report
+    mpc = measure_executors(
+        lambda ex: mpc_tree_embedding(
+            pts, seed=SEED + 3, on_uncovered="singleton", executor=ex
+        ).report,
+        executors,
+    )
 
     return {
         "config": {"n": n, "d": d, "num_levels": num_levels,
@@ -265,7 +385,8 @@ def suite_tree(n: int, d: int, *, scalar_cap: int) -> Dict:
             "scalar_seconds": scalar_s,
             "speedup": scalar_s / batch_s,
         },
-        "mpc_accounting": acc.as_dict(),
+        "scalar_linearity": scalar["linearity"],
+        **mpc,
         "primary_batch_seconds": batch_s,
         "primary_speedup": scalar_s / batch_s,
     }
@@ -328,8 +449,9 @@ def compare_to_baseline(entry: Dict, baseline: Optional[Dict],
 
 
 def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
-              calibration: float, tolerance: float, smoke: bool) -> Dict:
-    result = SUITES[suite](n, d, scalar_cap=scalar_cap)
+              calibration: float, tolerance: float, smoke: bool,
+              executors: List[str]) -> Dict:
+    result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors)
     entry = {
         "experiment": suite,
         "schema_version": 1,
@@ -371,6 +493,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--d", type=int, default=64)
     parser.add_argument("--scalar-cap", type=int, default=2_000,
                         help="max points the per-point scalar arms loop over")
+    parser.add_argument("--executor", default=DEFAULT_EXECUTORS,
+                        help="comma-separated round executors to time the MPC "
+                             "arm under (subset of serial,thread,process); "
+                             "accounting is asserted identical across them")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny inputs (n<=256) for CI; implies scalar-cap 256")
     parser.add_argument("--out-dir", type=pathlib.Path, default=None,
@@ -397,6 +523,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.out_dir = REPO_ROOT / ".bench_smoke" if args.smoke else REPO_ROOT
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
+    from repro.mpc.executor import EXECUTORS
+
+    executors = [e.strip() for e in args.executor.split(",") if e.strip()]
+    unknown = [e for e in executors if e not in EXECUTORS]
+    if not executors or unknown:
+        parser.error(
+            f"--executor must be a comma list from {sorted(EXECUTORS)}, "
+            f"got {args.executor!r}"
+        )
+
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     calibration = calibration_seconds()
     failures: List[str] = []
@@ -410,6 +546,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             calibration=calibration,
             tolerance=args.tolerance,
             smoke=args.smoke,
+            executors=executors,
         )
         if (args.check_regression
                 and entry["baseline_comparison"]["status"] == "regression"):
@@ -424,6 +561,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 calibration=calibration_seconds(),
                 tolerance=args.tolerance,
                 smoke=args.smoke,
+                executors=executors,
             )
         entry["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
 
@@ -441,6 +579,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"-> {out.name} (baseline: {comparison['status']})")
         for key, value in wc.items():
             print(f"    {key:28s} {value:.6g}")
+        for name, secs in entry["executor_wall_clock"]["seconds"].items():
+            print(f"    mpc[{name}]{'':<{max(0, 23 - len(name))}} {secs:.6g}")
+        linearity = entry.get("scalar_linearity", {})
+        if linearity.get("warning"):
+            print(f"    WARNING: {linearity['warning']}")
 
         if args.check_regression and comparison["status"] == "regression":
             failures.append(

@@ -20,19 +20,24 @@ reductions on the enforcing simulator:
   one shuffle, then an argmax reduction.
 
 All three run in a constant number of rounds independent of n; the
-returned :class:`repro.mpc.accounting.CostReport` proves it.
+returned :class:`repro.mpc.accounting.CostReport` proves it.  Every
+round step is a module-level callable with its parameters bound through
+:func:`functools.partial`, so the algorithms run unchanged under the
+serial, thread, and process round executors.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.tree.hst import HSTree
 from repro.util.validation import check_points, check_positive, require
@@ -44,6 +49,7 @@ def _embedding_cluster(
     eps: float = 0.6,
     memory_slack: float = 8.0,
     points: Optional[np.ndarray] = None,
+    executor: ExecutorLike = None,
 ) -> Cluster:
     """Stand up a cluster holding the distributed tree representation.
 
@@ -60,7 +66,7 @@ def _embedding_cluster(
     machines = machines_for(n * per_point, base_local)
     shard_rows = -(-n // machines)
     local = max(base_local, int(3.0 * shard_rows * per_point) + 4096)
-    cluster = Cluster(machines, local, strict=True)
+    cluster = Cluster(machines, local, strict=True, executor=executor)
 
     from repro.mpc.primitives import shard_bounds
 
@@ -84,114 +90,127 @@ class MPCMSTResult:
     report: CostReport
 
 
+def _mst_local_mins_step(
+    machine: Machine, ctx: RoundContext, *, levels: int
+) -> None:
+    """Round 1: local min-index per (level, cluster), shuffled by key."""
+    paths = machine.get("paths")
+    if paths is None or paths.shape[0] == 0:
+        return
+    offset = machine.get("offset")
+    ids = np.arange(paths.shape[0], dtype=np.int64) + offset
+    for lvl in range(levels):
+        col = paths[:, lvl]
+        order = np.argsort(col, kind="stable")
+        col_sorted, ids_sorted = col[order], ids[order]
+        first = np.r_[0, np.flatnonzero(np.diff(col_sorted)) + 1]
+        clusters = col_sorted[first]
+        mins = np.minimum.reduceat(ids_sorted, first)
+        dests = _hash_dest(clusters, ctx.num_machines)
+        for dest in np.unique(dests):
+            mask = dests == dest
+            ctx.send(
+                int(dest),
+                (lvl, clusters[mask], mins[mask]),
+                tag="mst/min",
+            )
+
+
+def _mst_reduce_mins_step(machine: Machine, ctx: RoundContext) -> None:
+    """Round 2: reduce to global representative per (level, cluster)."""
+    acc: Dict[Tuple[int, int], int] = {}
+    for msg in machine.take_inbox(tag="mst/min"):
+        lvl, clusters, mins = msg.payload
+        for c, lo in zip(clusters.tolist(), mins.tolist()):
+            key = (lvl, c)
+            if key not in acc or lo < acc[key]:
+                acc[key] = lo
+    machine.put("mst/reps", acc)
+
+
+def _mst_request_reps_step(
+    machine: Machine, ctx: RoundContext, *, levels: int
+) -> None:
+    """Round 3: request the representatives this machine's points need."""
+    paths = machine.get("paths")
+    if paths is None or paths.shape[0] == 0:
+        return
+    wanted: Dict[int, set] = {}
+    for lvl in range(levels):
+        clusters = np.unique(paths[:, lvl])
+        dests = _hash_dest(clusters, ctx.num_machines)
+        for c, dest in zip(clusters.tolist(), dests.tolist()):
+            wanted.setdefault(dest, set()).add((lvl, c))
+    for dest, keys in wanted.items():
+        ctx.send(dest, sorted(keys), tag="mst/req")
+
+
+def _mst_answer_reps_step(machine: Machine, ctx: RoundContext) -> None:
+    """Round 4: answer representative requests from the local table."""
+    reps = machine.get("mst/reps", {})
+    for msg in machine.take_inbox(tag="mst/req"):
+        answer = {key: reps[key] for key in msg.payload if key in reps}
+        ctx.send(msg.src, answer, tag="mst/rep")
+
+
+def _mst_emit_edges_step(
+    machine: Machine, ctx: RoundContext, *, levels: int
+) -> None:
+    """Round 5: emit edges child-rep -> parent-rep (dedup per cluster —
+    only the machine owning the child's representative point emits)."""
+    paths = machine.get("paths")
+    reps: Dict[Tuple[int, int], int] = {}
+    for msg in machine.take_inbox(tag="mst/rep"):
+        reps.update(msg.payload)
+    if paths is None or paths.shape[0] == 0:
+        machine.put("mst/edges", np.empty((0, 2), dtype=np.int64))
+        return
+    offset = machine.get("offset")
+    lo_id, hi_id = offset, offset + paths.shape[0]
+    edges: List[Tuple[int, int]] = []
+    for lvl in range(levels):
+        clusters = np.unique(paths[:, lvl])
+        for c in clusters.tolist():
+            child_rep = reps[(lvl, c)]
+            if not (lo_id <= child_rep < hi_id):
+                continue  # another machine owns this cluster's rep
+            if lvl == 0:
+                # Parent is the root cluster containing everything;
+                # its representative is the global minimum index, 0.
+                parent_rep = 0
+            else:
+                row = np.flatnonzero(paths[:, lvl] == c)[0]
+                parent = int(paths[row, lvl - 1])
+                parent_rep = reps[(lvl - 1, parent)]
+            if parent_rep != child_rep:
+                edges.append((parent_rep, child_rep))
+    machine.put("mst/edges", np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
 def mpc_tree_mst(
     tree: HSTree,
     points: np.ndarray,
     *,
     eps: float = 0.6,
+    executor: ExecutorLike = None,
 ) -> MPCMSTResult:
     """Corollary 1(2): extract the spanning tree in O(1) MPC rounds."""
     pts = check_points(points)
     require(pts.shape[0] == tree.n, "points/tree size mismatch")
-    cluster = _embedding_cluster(tree, eps=eps, points=pts)
-    m = cluster.num_machines
+    cluster = _embedding_cluster(tree, eps=eps, points=pts, executor=executor)
     levels = tree.num_levels
 
-    # Round 1: local min-index per (level, cluster), shuffled by key.
-    def local_mins(machine: Machine, ctx: RoundContext) -> None:
-        paths = machine.get("paths")
-        if paths is None or paths.shape[0] == 0:
-            return
-        offset = machine.get("offset")
-        ids = np.arange(paths.shape[0], dtype=np.int64) + offset
-        for lvl in range(levels):
-            col = paths[:, lvl]
-            order = np.argsort(col, kind="stable")
-            col_sorted, ids_sorted = col[order], ids[order]
-            first = np.r_[0, np.flatnonzero(np.diff(col_sorted)) + 1]
-            clusters = col_sorted[first]
-            mins = np.minimum.reduceat(ids_sorted, first)
-            dests = _hash_dest(clusters, m)
-            for dest in np.unique(dests):
-                mask = dests == dest
-                ctx.send(
-                    int(dest),
-                    (lvl, clusters[mask], mins[mask]),
-                    tag="mst/min",
-                )
-
-    cluster.round(local_mins, label="mst-local-mins")
-
-    # Round 2: reduce to global representative per (level, cluster).
-    def reduce_mins(machine: Machine, ctx: RoundContext) -> None:
-        acc: Dict[Tuple[int, int], int] = {}
-        for msg in machine.take_inbox(tag="mst/min"):
-            lvl, clusters, mins = msg.payload
-            for c, lo in zip(clusters.tolist(), mins.tolist()):
-                key = (lvl, c)
-                if key not in acc or lo < acc[key]:
-                    acc[key] = lo
-        machine.put("mst/reps", acc)
-
-    cluster.round(reduce_mins, label="mst-reduce-mins")
-
-    # Rounds 3-4: each machine fetches the representatives it needs for
-    # its points' (level, cluster) pairs — request/response shuffle.
-    def request_reps(machine: Machine, ctx: RoundContext) -> None:
-        paths = machine.get("paths")
-        if paths is None or paths.shape[0] == 0:
-            return
-        wanted: Dict[int, set] = {}
-        for lvl in range(levels):
-            clusters = np.unique(paths[:, lvl])
-            dests = _hash_dest(clusters, m)
-            for c, dest in zip(clusters.tolist(), dests.tolist()):
-                wanted.setdefault(dest, set()).add((lvl, c))
-        for dest, keys in wanted.items():
-            ctx.send(dest, sorted(keys), tag="mst/req")
-
-    cluster.round(request_reps, label="mst-request")
-
-    def answer_reps(machine: Machine, ctx: RoundContext) -> None:
-        reps = machine.get("mst/reps", {})
-        for msg in machine.take_inbox(tag="mst/req"):
-            answer = {key: reps[key] for key in msg.payload if key in reps}
-            ctx.send(msg.src, answer, tag="mst/rep")
-
-    cluster.round(answer_reps, label="mst-answer")
-
-    # Round 5: emit edges child-rep -> parent-rep (dedup per cluster —
-    # only the machine owning the child's representative point emits).
-    def emit_edges(machine: Machine, ctx: RoundContext) -> None:
-        paths = machine.get("paths")
-        reps: Dict[Tuple[int, int], int] = {}
-        for msg in machine.take_inbox(tag="mst/rep"):
-            reps.update(msg.payload)
-        if paths is None or paths.shape[0] == 0:
-            machine.put("mst/edges", np.empty((0, 2), dtype=np.int64))
-            return
-        offset = machine.get("offset")
-        lo_id, hi_id = offset, offset + paths.shape[0]
-        edges: List[Tuple[int, int]] = []
-        for lvl in range(levels):
-            clusters = np.unique(paths[:, lvl])
-            for c in clusters.tolist():
-                child_rep = reps[(lvl, c)]
-                if not (lo_id <= child_rep < hi_id):
-                    continue  # another machine owns this cluster's rep
-                if lvl == 0:
-                    # Parent is the root cluster containing everything;
-                    # its representative is the global minimum index, 0.
-                    parent_rep = 0
-                else:
-                    row = np.flatnonzero(paths[:, lvl] == c)[0]
-                    parent = int(paths[row, lvl - 1])
-                    parent_rep = reps[(lvl - 1, parent)]
-                if parent_rep != child_rep:
-                    edges.append((parent_rep, child_rep))
-        machine.put("mst/edges", np.asarray(edges, dtype=np.int64).reshape(-1, 2))
-
-    cluster.round(emit_edges, label="mst-edges")
+    cluster.round(
+        partial(_mst_local_mins_step, levels=levels), label="mst-local-mins"
+    )
+    cluster.round(_mst_reduce_mins_step, label="mst-reduce-mins")
+    cluster.round(
+        partial(_mst_request_reps_step, levels=levels), label="mst-request"
+    )
+    cluster.round(_mst_answer_reps_step, label="mst-answer")
+    cluster.round(
+        partial(_mst_emit_edges_step, levels=levels), label="mst-edges"
+    )
 
     shards = [machine.get("mst/edges") for machine in cluster]
     edges = np.concatenate([s for s in shards if s is not None], axis=0)
@@ -206,12 +225,59 @@ class MPCEMDResult:
     report: CostReport
 
 
+def _emd_local_counts_step(
+    machine: Machine,
+    ctx: RoundContext,
+    *,
+    levels: int,
+    num_sources: int,
+    demands: Optional[np.ndarray],
+) -> None:
+    """Round 1: local signed counts per (level, cluster), shuffled."""
+    paths = machine.get("paths")
+    if paths is None or paths.shape[0] == 0:
+        return
+    offset = machine.get("offset")
+    ids = np.arange(paths.shape[0], dtype=np.int64) + offset
+    if demands is None:
+        signs = np.where(ids < num_sources, 1.0, -1.0)
+    else:
+        signs = demands[ids]
+    for lvl in range(levels):
+        col = paths[:, lvl]
+        order = np.argsort(col, kind="stable")
+        col_sorted, signs_sorted = col[order], signs[order]
+        first = np.r_[0, np.flatnonzero(np.diff(col_sorted)) + 1]
+        clusters = col_sorted[first]
+        sums = np.add.reduceat(signs_sorted, first)
+        dests = _hash_dest(clusters, ctx.num_machines)
+        for dest in np.unique(dests):
+            mask = dests == dest
+            ctx.send(int(dest), (lvl, clusters[mask], sums[mask]), tag="emd/cnt")
+
+
+def _emd_reduce_counts_step(
+    machine: Machine, ctx: RoundContext, *, weights: np.ndarray
+) -> None:
+    """Round 2: reduce imbalances and weigh them locally."""
+    acc: Dict[Tuple[int, int], int] = {}
+    for msg in machine.take_inbox(tag="emd/cnt"):
+        lvl, clusters, sums = msg.payload
+        for c, s in zip(clusters.tolist(), sums.tolist()):
+            acc[(lvl, c)] = acc.get((lvl, c), 0) + s
+    partial_sum = sum(
+        float(weights[lvl]) * abs(s) for (lvl, _c), s in acc.items()
+    )
+    machine.put("emd/partial", partial_sum)
+
+
 def mpc_tree_emd(
     tree: HSTree,
     num_sources: int,
     *,
     demands: Optional[np.ndarray] = None,
     eps: float = 0.6,
+    executor: ExecutorLike = None,
 ) -> MPCEMDResult:
     """Corollary 1(3): tree-metric EMD in O(1) MPC rounds.
 
@@ -233,49 +299,22 @@ def mpc_tree_emd(
             <= 1e-6 * max(1.0, float(np.abs(demands).sum())),
             "demands must balance (sum to zero)",
         )
-    cluster = _embedding_cluster(tree, eps=eps)
-    m = cluster.num_machines
+    cluster = _embedding_cluster(tree, eps=eps, executor=executor)
     levels = tree.num_levels
     weights = tree.level_weights
 
-    # Round 1: local signed counts per (level, cluster), shuffled.
-    def local_counts(machine: Machine, ctx: RoundContext) -> None:
-        paths = machine.get("paths")
-        if paths is None or paths.shape[0] == 0:
-            return
-        offset = machine.get("offset")
-        ids = np.arange(paths.shape[0], dtype=np.int64) + offset
-        if demands is None:
-            signs = np.where(ids < num_sources, 1.0, -1.0)
-        else:
-            signs = demands[ids]
-        for lvl in range(levels):
-            col = paths[:, lvl]
-            order = np.argsort(col, kind="stable")
-            col_sorted, signs_sorted = col[order], signs[order]
-            first = np.r_[0, np.flatnonzero(np.diff(col_sorted)) + 1]
-            clusters = col_sorted[first]
-            sums = np.add.reduceat(signs_sorted, first)
-            dests = _hash_dest(clusters, m)
-            for dest in np.unique(dests):
-                mask = dests == dest
-                ctx.send(int(dest), (lvl, clusters[mask], sums[mask]), tag="emd/cnt")
-
-    cluster.round(local_counts, label="emd-local-counts")
-
-    # Round 2: reduce imbalances and weigh them locally.
-    def reduce_counts(machine: Machine, ctx: RoundContext) -> None:
-        acc: Dict[Tuple[int, int], int] = {}
-        for msg in machine.take_inbox(tag="emd/cnt"):
-            lvl, clusters, sums = msg.payload
-            for c, s in zip(clusters.tolist(), sums.tolist()):
-                acc[(lvl, c)] = acc.get((lvl, c), 0) + s
-        partial = sum(
-            float(weights[lvl]) * abs(s) for (lvl, _c), s in acc.items()
-        )
-        machine.put("emd/partial", partial)
-
-    cluster.round(reduce_counts, label="emd-reduce")
+    cluster.round(
+        partial(
+            _emd_local_counts_step,
+            levels=levels,
+            num_sources=num_sources,
+            demands=demands,
+        ),
+        label="emd-local-counts",
+    )
+    cluster.round(
+        partial(_emd_reduce_counts_step, weights=weights), label="emd-reduce"
+    )
 
     # Rounds 3+: tree-reduce the partial sums.
     from repro.mpc.aggregate import reduce_scalar
@@ -293,6 +332,38 @@ class MPCDensestBallResult:
     report: CostReport
 
 
+def _ball_local_counts_step(
+    machine: Machine, ctx: RoundContext, *, level: int
+) -> None:
+    """Round 1: per-cluster counts at the query level, shuffled."""
+    paths = machine.get("paths")
+    if paths is None or paths.shape[0] == 0:
+        return
+    col = paths[:, level - 1]
+    clusters, counts = np.unique(col, return_counts=True)
+    dests = _hash_dest(clusters, ctx.num_machines)
+    for dest in np.unique(dests):
+        mask = dests == dest
+        ctx.send(int(dest), (clusters[mask], counts[mask]), tag="ball/cnt")
+
+
+def _ball_reduce_counts_step(machine: Machine, ctx: RoundContext) -> None:
+    """Round 2: merge counts and keep the local (count, key) champion."""
+    acc: Dict[int, int] = {}
+    for msg in machine.take_inbox(tag="ball/cnt"):
+        clusters, counts = msg.payload
+        for c, k in zip(clusters.tolist(), counts.tolist()):
+            acc[c] = acc.get(c, 0) + int(k)
+    if acc:
+        best = max(acc, key=acc.get)
+        machine.put("ball/best", (acc[best], best))
+
+
+def _max_pair(parts: List[Tuple[int, int]]) -> Tuple[int, int]:
+    """Combine for the densest-ball argmax reduction (max by count)."""
+    return max(parts)
+
+
 def mpc_densest_ball(
     tree: HSTree,
     target_diameter: float,
@@ -300,6 +371,7 @@ def mpc_densest_ball(
     r: int = 1,
     scale_factor: float = 2.0,
     eps: float = 0.6,
+    executor: ExecutorLike = None,
 ) -> MPCDensestBallResult:
     """Corollary 1(1): bicriteria densest ball in O(1) MPC rounds."""
     check_positive("target_diameter", target_diameter)
@@ -313,40 +385,19 @@ def mpc_densest_ball(
             count=tree.n, cluster_key=0, level=0, report=report
         )
 
-    cluster = _embedding_cluster(tree, eps=eps)
-    m = cluster.num_machines
+    cluster = _embedding_cluster(tree, eps=eps, executor=executor)
 
-    def local_counts(machine: Machine, ctx: RoundContext) -> None:
-        paths = machine.get("paths")
-        if paths is None or paths.shape[0] == 0:
-            return
-        col = paths[:, level - 1]
-        clusters, counts = np.unique(col, return_counts=True)
-        dests = _hash_dest(clusters, m)
-        for dest in np.unique(dests):
-            mask = dests == dest
-            ctx.send(int(dest), (clusters[mask], counts[mask]), tag="ball/cnt")
-
-    cluster.round(local_counts, label="ball-local-counts")
-
-    def reduce_counts(machine: Machine, ctx: RoundContext) -> None:
-        acc: Dict[int, int] = {}
-        for msg in machine.take_inbox(tag="ball/cnt"):
-            clusters, counts = msg.payload
-            for c, k in zip(clusters.tolist(), counts.tolist()):
-                acc[c] = acc.get(c, 0) + int(k)
-        if acc:
-            best = max(acc, key=acc.get)
-            machine.put("ball/best", (acc[best], best))
-
-    cluster.round(reduce_counts, label="ball-reduce")
+    cluster.round(
+        partial(_ball_local_counts_step, level=level), label="ball-local-counts"
+    )
+    cluster.round(_ball_reduce_counts_step, label="ball-reduce")
 
     from repro.mpc.primitives import tree_gather
 
     tree_gather(
         cluster,
         "ball/best",
-        lambda parts: max(parts),
+        _max_pair,
         out_key="ball/winner",
         fanin=8,
     )

@@ -32,6 +32,7 @@ import numpy as np
 from repro.data.aspect import pairwise_extremes
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
 from repro.partition.ball_partition import assign_balls
@@ -42,6 +43,47 @@ from repro.tree.build import build_hst, level_schedule
 from repro.tree.hst import HSTree
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_points, require
+
+
+def _ballpart_step(machine: Machine, ctx: RoundContext) -> None:
+    """Step 3 of Algorithm 2: BallPart for every local point and level.
+
+    All inputs (grids, scales, the point shard) live in machine storage,
+    so the step is a module-level callable and runs unchanged under any
+    round executor.
+    """
+    params = machine.get("embed/grids")
+    shard = machine.get("embed/in")
+    offset = machine.get("embed/in/offset", 0)
+    if shard is None or shard.shape[0] == 0:
+        machine.put("embed/paths", None)
+        return
+    m_rows = shard.shape[0]
+    g = params["shifts"]
+    num_levels_, r_, _, k_ = g.shape
+    # Path keys: for each level, r buckets x (grid id, vertex coords).
+    keys = np.empty((num_levels_, m_rows, r_ * (k_ + 1)), dtype=np.int64)
+    uncovered_any = np.zeros(m_rows, dtype=bool)
+    for lvl in range(num_levels_):
+        w = float(params["scales"][lvl])
+        for j in range(r_):
+            block = shard[:, j * k_ : (j + 1) * k_]
+            assignment = assign_balls(
+                block, w, g[lvl, j], cell_factor=params["cell_factor"]
+            )
+            col = j * (k_ + 1)
+            keys[lvl, :, col] = assignment.grid_index
+            keys[lvl, :, col + 1 : col + 1 + k_] = assignment.cell_index
+            miss = assignment.uncovered
+            if miss.any():
+                uncovered_any |= miss
+                # Globally unique negative key (paper: failure; here
+                # recorded so the driver can honor on_uncovered).
+                keys[lvl, miss, col] = -1
+                keys[lvl, miss, col + 1] = -(offset + np.flatnonzero(miss) + 1)
+    machine.put("embed/paths", keys)
+    machine.put("embed/uncovered", int(uncovered_any.sum()))
+    machine.pop("embed/in")
 
 
 def _assemble_labels_in_model(cluster: Cluster, n: int, num_levels: int):
@@ -112,13 +154,17 @@ def mpc_tree_embedding(
     weight_scale: float = 1.0,
     assembly: str = "god",
     seed: SeedLike = None,
+    executor: ExecutorLike = None,
 ) -> MPCEmbeddingResult:
     """Run Algorithm 2 on a simulated MPC cluster.
 
     Parameters mirror
     :func:`repro.core.sequential.sequential_tree_embedding`; additionally
     ``eps``/``memory_slack`` size an automatic cluster (when ``cluster``
-    is None), ``on_uncovered="error"`` reproduces the paper's
+    is None) and ``executor`` selects how its simulated machines are
+    scheduled (results are executor-independent; a caller-provided
+    cluster keeps its own executor), ``on_uncovered="error"`` reproduces
+    the paper's
     fail-and-report semantics (Lemma 7's U makes failure improbable), and
     ``weight_scale`` uniformly scales edge weights (the Theorem 1
     pipeline uses it to re-establish domination after the (1±ξ) JL step).
@@ -199,7 +245,7 @@ def mpc_tree_embedding(
             + 4096
         )
         local = max(base_local, per_machine)
-        cluster = Cluster(machines, local, strict=True)
+        cluster = Cluster(machines, local, strict=True, executor=executor)
 
     scatter_rows(cluster, padded, "embed/in")
     broadcast(
@@ -216,41 +262,7 @@ def mpc_tree_embedding(
         root=0,
     )
 
-    def ballpart_step(machine: Machine, ctx: RoundContext) -> None:
-        params = machine.get("embed/grids")
-        shard = machine.get("embed/in")
-        offset = machine.get("embed/in/offset", 0)
-        if shard is None or shard.shape[0] == 0:
-            machine.put("embed/paths", None)
-            return
-        m_rows = shard.shape[0]
-        g = params["shifts"]
-        num_levels_, r_, _, k_ = g.shape
-        # Path keys: for each level, r buckets x (grid id, vertex coords).
-        keys = np.empty((num_levels_, m_rows, r_ * (k_ + 1)), dtype=np.int64)
-        uncovered_any = np.zeros(m_rows, dtype=bool)
-        for lvl in range(num_levels_):
-            w = float(params["scales"][lvl])
-            for j in range(r_):
-                block = shard[:, j * k_ : (j + 1) * k_]
-                assignment = assign_balls(
-                    block, w, g[lvl, j], cell_factor=params["cell_factor"]
-                )
-                col = j * (k_ + 1)
-                keys[lvl, :, col] = assignment.grid_index
-                keys[lvl, :, col + 1 : col + 1 + k_] = assignment.cell_index
-                miss = assignment.uncovered
-                if miss.any():
-                    uncovered_any |= miss
-                    # Globally unique negative key (paper: failure; here
-                    # recorded so the driver can honor on_uncovered).
-                    keys[lvl, miss, col] = -1
-                    keys[lvl, miss, col + 1] = -(offset + np.flatnonzero(miss) + 1)
-        machine.put("embed/paths", keys)
-        machine.put("embed/uncovered", int(uncovered_any.sum()))
-        machine.pop("embed/in")
-
-    cluster.round(ballpart_step, label="ballpart")
+    cluster.round(_ballpart_step, label="ballpart")
 
     # God-view assembly of the output tree from the T_i pieces.
     total_uncovered = sum(

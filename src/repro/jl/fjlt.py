@@ -52,6 +52,26 @@ def sparsity_parameter(n: int, d_padded: int, *, c: float = 1.0) -> float:
 #: (d, n, xi, k, q, seed) tuple — see :meth:`FJLT.cached`.
 _PLAN_CACHE: dict = {}
 _PLAN_CACHE_LIMIT = 64
+_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def plan_cache_stats() -> dict:
+    """Hit/miss counters of the :meth:`FJLT.cached` plan cache.
+
+    The MPC FJLT's per-machine regeneration should cost one construction
+    per (seed, shape) in the whole simulation — tests assert this via
+    these counters.  Counters are per process: worker processes of the
+    process round executor each keep their own (one construction per
+    worker, amortized over its machine batch).
+    """
+    return dict(_PLAN_CACHE_STATS)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and zero the hit/miss counters."""
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_STATS["hits"] = 0
+    _PLAN_CACHE_STATS["misses"] = 0
 
 
 class FJLT:
@@ -159,10 +179,13 @@ class FJLT:
         key = (d, n, xi, k, q, seed)
         plan = _PLAN_CACHE.get(key)
         if plan is None:
+            _PLAN_CACHE_STATS["misses"] += 1
             plan = cls(d, n, xi=xi, k=k, q=q, seed=seed)
             if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
                 _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
             _PLAN_CACHE[key] = plan
+        else:
+            _PLAN_CACHE_STATS["hits"] += 1
         return plan
 
     def total_space_words(self, n: int) -> int:

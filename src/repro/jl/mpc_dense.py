@@ -23,10 +23,24 @@ import numpy as np
 from repro.jl.dense import GaussianJL
 from repro.mpc.accounting import fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
 from repro.util.rng import SeedLike, as_generator, derive_seed
 from repro.util.validation import check_points, require
+
+
+def _dense_jl_apply_step(machine: Machine, ctx: RoundContext) -> None:
+    params = machine.get("djl/params")
+    shard = machine.get("djl/in")
+    if shard is None or shard.shape[0] == 0:
+        machine.put("djl/out", np.empty((0, params["k"])))
+        return
+    transform = GaussianJL(params["d"], params["k"], seed=params["seed"])
+    # The dense matrix is resident local state — the model charges it.
+    machine.put("djl/matrix", transform._matrix)
+    machine.put("djl/out", transform(shard))
+    machine.pop("djl/in")
 
 
 def mpc_dense_jl(
@@ -37,6 +51,7 @@ def mpc_dense_jl(
     cluster: Optional[Cluster] = None,
     eps: float = 0.6,
     memory_slack: float = 8.0,
+    executor: ExecutorLike = None,
 ) -> Tuple[np.ndarray, Cluster]:
     """Apply a dense Gaussian JL projection on the MPC simulator.
 
@@ -55,26 +70,14 @@ def mpc_dense_jl(
         machines = machines_for(n * d, max(local, k * d + d + k + 64))
         shard_rows = -(-n // machines)
         local = max(local, 2 * k * d + shard_rows * (d + k) + 512)
-        cluster = Cluster(machines, local, strict=True)
+        cluster = Cluster(machines, local, strict=True, executor=executor)
 
     scatter_rows(cluster, pts, "djl/in")
     broadcast(
         cluster, {"seed": transform_seed, "d": d, "k": k}, "djl/params", root=0
     )
 
-    def apply_step(machine: Machine, ctx: RoundContext) -> None:
-        params = machine.get("djl/params")
-        shard = machine.get("djl/in")
-        if shard is None or shard.shape[0] == 0:
-            machine.put("djl/out", np.empty((0, params["k"])))
-            return
-        transform = GaussianJL(params["d"], params["k"], seed=params["seed"])
-        # The dense matrix is resident local state — the model charges it.
-        machine.put("djl/matrix", transform._matrix)
-        machine.put("djl/out", transform(shard))
-        machine.pop("djl/in")
-
-    cluster.round(apply_step, label="dense-jl-apply")
+    cluster.round(_dense_jl_apply_step, label="dense-jl-apply")
 
     shards = [
         m.get("djl/out")

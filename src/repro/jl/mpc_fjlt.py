@@ -23,6 +23,7 @@ Two entry points:
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Optional, Tuple
 
 import numpy as np
@@ -31,10 +32,37 @@ from repro.jl.fjlt import FJLT
 from repro.jl.hadamard import fwht_inplace
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, collect_rows, scatter_rows
 from repro.util.rng import SeedLike, as_generator, derive_seed
 from repro.util.validation import check_points, check_power_of_two, require
+
+
+def _fjlt_apply_step(machine: Machine, ctx: RoundContext) -> None:
+    """Apply the seed-derived transform to this machine's shard.
+
+    Every machine regenerates the identical transform from the broadcast
+    seed; :meth:`FJLT.cached` memoizes the derivation per process, so
+    machines sharing one process (all of them under the serial/thread
+    executors, a worker's batch under the process executor) construct
+    ``D``/``P`` once and reuse the plan.
+    """
+    params = machine.get("fjlt/params")
+    shard = machine.get("fjlt/in")
+    if shard is None or shard.shape[0] == 0:
+        machine.put("fjlt/out", np.empty((0, 1)))
+        return
+    transform = FJLT.cached(
+        params["d"],
+        params["n"],
+        xi=params["xi"],
+        k=params["k"],
+        q=params["q"],
+        seed=params["seed"],
+    )
+    machine.put("fjlt/out", transform(shard))
+    machine.pop("fjlt/in")
 
 
 def mpc_fjlt(
@@ -47,6 +75,7 @@ def mpc_fjlt(
     cluster: Optional[Cluster] = None,
     eps: float = 0.6,
     memory_slack: float = 8.0,
+    executor: ExecutorLike = None,
 ) -> Tuple[np.ndarray, Cluster]:
     """Run Algorithm 3 on a (possibly caller-provided) cluster.
 
@@ -56,7 +85,9 @@ def mpc_fjlt(
 
     When ``cluster`` is None one is sized automatically: local memory
     ``memory_slack * (n d)^eps`` words and enough machines to hold the
-    input (the fully scalable regime).
+    input (the fully scalable regime); ``executor`` selects how the
+    simulated machines are scheduled (results are identical for every
+    choice).  A caller-provided cluster keeps its own executor.
     """
     pts = check_points(points, min_points=1)
     n, d = pts.shape
@@ -74,33 +105,13 @@ def mpc_fjlt(
         machines = machines_for(n * d, max(local, transform_words + row_words))
         shard_rows = -(-n // machines)
         local = max(local, transform_words + shard_rows * row_words + 512)
-        cluster = Cluster(machines, local, strict=True)
+        cluster = Cluster(machines, local, strict=True, executor=executor)
 
     scatter_rows(cluster, pts, "fjlt/in")
     broadcast(cluster, {"seed": transform_seed, "n": n, "d": d,
                         "xi": xi, "k": k, "q": q}, "fjlt/params", root=0)
 
-    def apply_step(machine: Machine, ctx: RoundContext) -> None:
-        params = machine.get("fjlt/params")
-        shard = machine.get("fjlt/in")
-        if shard is None or shard.shape[0] == 0:
-            machine.put("fjlt/out", np.empty((0, 1)))
-            return
-        # Every machine regenerates the identical seed-derived transform;
-        # the plan cache makes that one construction instead of one per
-        # machine (the simulator's machines share a process).
-        transform = FJLT.cached(
-            params["d"],
-            params["n"],
-            xi=params["xi"],
-            k=params["k"],
-            q=params["q"],
-            seed=params["seed"],
-        )
-        machine.put("fjlt/out", transform(shard))
-        machine.pop("fjlt/in")
-
-    cluster.round(apply_step, label="fjlt-apply")
+    cluster.round(_fjlt_apply_step, label="fjlt-apply")
 
     out_shards = [
         m.get("fjlt/out")
@@ -126,6 +137,37 @@ def _group_hadamard_signs(g: int) -> np.ndarray:
     return np.where(pop % 2 == 0, 1.0, -1.0)
 
 
+def _fwht_local_step(machine: Machine, ctx: RoundContext) -> None:
+    out = np.ascontiguousarray(machine.get("fwht/block"), dtype=np.float64)
+    fwht_inplace(out, normalize=False)
+    machine.put("fwht/block", out)
+
+
+def _fwht_exchange_step(
+    machine: Machine, ctx: RoundContext, *, mask: int, bit: int, g: int
+) -> None:
+    j = machine.machine_id
+    base = j & ~mask
+    for c in range(1 << g):
+        peer = base | (c << bit)
+        if peer != j:
+            ctx.send(peer, machine.get("fwht/block"), tag="fwht/x")
+
+
+def _fwht_combine_step(
+    machine: Machine, ctx: RoundContext, *, mask: int, bit: int, signs: np.ndarray
+) -> None:
+    j = machine.machine_id
+    mine = (j & mask) >> bit
+    blocks = {mine: machine.get("fwht/block")}
+    for msg in machine.take_inbox(tag="fwht/x"):
+        blocks[(msg.src & mask) >> bit] = msg.payload
+    acc = np.zeros_like(blocks[mine])
+    for c, payload in blocks.items():
+        acc += signs[mine, c] * payload
+    machine.put("fwht/block", acc)
+
+
 def mpc_blocked_fwht(
     vectors: np.ndarray,
     num_machines: int,
@@ -133,6 +175,7 @@ def mpc_blocked_fwht(
     radix_bits: int = 2,
     local_memory: Optional[int] = None,
     normalize: bool = True,
+    executor: ExecutorLike = None,
 ) -> Tuple[np.ndarray, CostReport]:
     """Distributed FWHT over coordinate-sharded vectors.
 
@@ -159,19 +202,14 @@ def mpc_blocked_fwht(
         # Group members hold 2^g blocks of the whole batch simultaneously.
         local_memory = 8 * (1 << radix_bits) * block * batch + 256
 
-    cluster = Cluster(num_machines, local_memory, strict=True)
+    cluster = Cluster(num_machines, local_memory, strict=True, executor=executor)
     for j in range(num_machines):
         cluster.load(j, "fwht/block", vec[:, j * block : (j + 1) * block].copy())
 
     # Local stages: un-normalized FWHT of each block (h = 1 .. B/2),
     # through the same allocation-free butterfly the sequential batch
     # kernel uses.
-    def local_step(machine: Machine, ctx: RoundContext) -> None:
-        out = np.ascontiguousarray(machine.get("fwht/block"), dtype=np.float64)
-        fwht_inplace(out, normalize=False)
-        machine.put("fwht/block", out)
-
-    cluster.round(local_step, label="fwht-local")
+    cluster.round(_fwht_local_step, label="fwht-local")
 
     # Cross stages, radix_bits at a time over block-index bits low→high.
     bit = 0
@@ -180,30 +218,14 @@ def mpc_blocked_fwht(
         signs = _group_hadamard_signs(g)
         group_mask = ((1 << g) - 1) << bit
 
-        def exchange_step(machine: Machine, ctx: RoundContext,
-                          _mask=group_mask, _bit=bit, _g=g) -> None:
-            j = machine.machine_id
-            base = j & ~_mask
-            for c in range(1 << _g):
-                peer = base | (c << _bit)
-                if peer != j:
-                    ctx.send(peer, machine.get("fwht/block"), tag="fwht/x")
-
-        cluster.round(exchange_step, label=f"fwht-exchange@{bit}")
-
-        def combine_step(machine: Machine, ctx: RoundContext,
-                         _mask=group_mask, _bit=bit, _g=g, _signs=signs) -> None:
-            j = machine.machine_id
-            mine = (j & _mask) >> _bit
-            blocks = {mine: machine.get("fwht/block")}
-            for msg in machine.take_inbox(tag="fwht/x"):
-                blocks[(msg.src & _mask) >> _bit] = msg.payload
-            acc = np.zeros_like(blocks[mine])
-            for c, payload in blocks.items():
-                acc += _signs[mine, c] * payload
-            machine.put("fwht/block", acc)
-
-        cluster.round(combine_step, label=f"fwht-combine@{bit}")
+        cluster.round(
+            partial(_fwht_exchange_step, mask=group_mask, bit=bit, g=g),
+            label=f"fwht-exchange@{bit}",
+        )
+        cluster.round(
+            partial(_fwht_combine_step, mask=group_mask, bit=bit, signs=signs),
+            label=f"fwht-combine@{bit}",
+        )
         bit += g
 
     result = np.concatenate(

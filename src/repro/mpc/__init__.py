@@ -21,19 +21,36 @@ substrate:
 * :mod:`~repro.mpc.accounting` — cost reports consumed by the
   benchmark harnesses to check the paper's round/space bounds.
 
-Machines execute sequentially inside one Python process; the *semantics*
-(what information is where after how many rounds, under which memory
-budget) are exactly those of the model, which is what the paper's bounds
-quantify.
+* :mod:`~repro.mpc.executor` — pluggable round executors: machine
+  steps run serially (default), on a thread pool, or on a process pool
+  (``Cluster(..., executor="process")``), with bit-identical results and
+  accounting across all three.
+
+The *semantics* (what information is where after how many rounds, under
+which memory budget) are exactly those of the model regardless of
+executor, which is what the paper's bounds quantify; the executor choice
+only determines whether wall-clock reflects the model's machine
+parallelism.
 """
 
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.errors import (
     CommunicationOverflow,
+    ExecutorStepError,
     LocalMemoryExceeded,
     MPCError,
     RoundLimitExceeded,
+    StorageIsolationViolation,
+)
+from repro.mpc.executor import (
+    EXECUTORS,
+    ProcessExecutor,
+    RoundExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    shutdown_executors,
 )
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
@@ -49,4 +66,13 @@ __all__ = [
     "LocalMemoryExceeded",
     "CommunicationOverflow",
     "RoundLimitExceeded",
+    "StorageIsolationViolation",
+    "ExecutorStepError",
+    "RoundExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTORS",
+    "get_executor",
+    "shutdown_executors",
 ]

@@ -3,10 +3,15 @@
 All helpers here cost ``O(log_f m)`` rounds for fan-in ``f`` — a constant
 once ``f`` is polynomial in local memory, matching how the paper charges
 its aggregation steps.
+
+Combine functions handed to :func:`repro.mpc.primitives.tree_gather` are
+module-level (partial-bound) so every reduction runs unchanged under the
+process round executor.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List
 
 import numpy as np
@@ -14,6 +19,10 @@ import numpy as np
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, tree_gather
+
+
+def _fold_scalars(parts: List[float], *, op: Callable[[np.ndarray], float]) -> float:
+    return float(op(np.asarray(parts, dtype=np.float64)))
 
 
 def reduce_scalar(
@@ -31,11 +40,14 @@ def reduce_scalar(
     ``np.max``, ...).  Machines missing ``key`` contribute nothing.
     Returns rounds used.
     """
-
-    def combine(parts: List[float]) -> float:
-        return float(op(np.asarray(parts, dtype=np.float64)))
-
-    return tree_gather(cluster, key, combine, out_key=out_key, root=root, fanin=fanin)
+    return tree_gather(
+        cluster,
+        key,
+        partial(_fold_scalars, op=op),
+        out_key=out_key,
+        root=root,
+        fanin=fanin,
+    )
 
 
 def allreduce_scalar(
@@ -50,6 +62,20 @@ def allreduce_scalar(
     rounds = reduce_scalar(cluster, key, op, out_key=out_key, root=0, fanin=fanin)
     rounds += broadcast(cluster, cluster.machine(0).get(out_key), out_key, root=0)
     return rounds
+
+
+def _merge_pair_lists(parts: List) -> list:
+    merged: List = []
+    for p in parts:
+        merged.extend(p if isinstance(p, list) else [p])
+    return merged
+
+
+def _prefix_assign_step(
+    machine: Machine, ctx: RoundContext, *, count_key: str, out_key: str
+) -> None:
+    table = machine.get(count_key + "/offsets")
+    machine.put(out_key, table[machine.machine_id])
 
 
 def global_prefix_offsets(
@@ -67,13 +93,6 @@ def global_prefix_offsets(
     standard tool for assigning globally unique contiguous ids in O(1)
     rounds.
     """
-
-    def combine(parts: List) -> list:
-        merged: List = []
-        for p in parts:
-            merged.extend(p if isinstance(p, list) else [p])
-        return merged
-
     # Gather (machine_id, count) pairs to the root.
     for m in cluster:
         if count_key in m:
@@ -81,7 +100,7 @@ def global_prefix_offsets(
     rounds = tree_gather(
         cluster,
         count_key + "/pair",
-        combine,
+        _merge_pair_lists,
         out_key=count_key + "/all",
         root=0,
         fanin=fanin,
@@ -99,9 +118,8 @@ def global_prefix_offsets(
     # for huge m this would itself be sharded, which we do not need here).
     rounds += broadcast(cluster, offsets, count_key + "/offsets", root=0)
 
-    def assign(machine: Machine, ctx: RoundContext) -> None:
-        table = machine.get(count_key + "/offsets")
-        machine.put(out_key, table[machine.machine_id])
-
-    cluster.round(assign, label="prefix-assign")
+    cluster.round(
+        partial(_prefix_assign_step, count_key=count_key, out_key=out_key),
+        label="prefix-assign",
+    )
     return rounds + 1

@@ -11,59 +11,40 @@ synchronous rounds.  One round is:
 4. messages are delivered into the recipients' inboxes and the round
    counter increments.
 
-Machines run sequentially inside the simulator, but information flow is
-restricted exactly as in the model: a machine can only act on its own
-storage plus messages *delivered in earlier rounds*.  (The step function
-receives only the `Machine` and a `RoundContext`; nothing else is in
-scope unless the caller broadcast it — in which case it was charged.)
+*How* the machine steps are scheduled onto hardware is delegated to a
+pluggable :class:`~repro.mpc.executor.RoundExecutor` — serially in one
+thread (default), on a thread pool, or on a process pool
+(``executor="serial" | "thread" | "process"``).  Information flow is
+restricted exactly as in the model regardless of executor: a machine can
+only act on its own storage plus messages *delivered in earlier rounds*.
+(The step function receives only the `Machine` and a `RoundContext`;
+nothing else is in scope unless the caller broadcast it — in which case
+it was charged.)  All executors produce bit-identical results and cost
+accounting; see :mod:`repro.mpc.executor` for the determinism contract
+and the picklability requirement process execution puts on steps.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.mpc.accounting import CostReport, RoundRecord
 from repro.mpc.errors import (
     CommunicationOverflow,
-    InvalidAddress,
     LocalMemoryExceeded,
     RoundLimitExceeded,
+    StorageIsolationViolation,
+)
+from repro.mpc.executor import (
+    ExecutorLike,
+    RoundContext,
+    StepFn,
+    get_executor,
 )
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 
-StepFn = Callable[[Machine, "RoundContext"], None]
-
-
-class RoundContext:
-    """Per-machine view of one round: the only legal way to communicate."""
-
-    __slots__ = ("_cluster", "_machine", "_outbox", "round_index")
-
-    def __init__(self, cluster: "Cluster", machine: Machine, round_index: int):
-        self._cluster = cluster
-        self._machine = machine
-        self._outbox: List[Message] = []
-        self.round_index = round_index
-
-    @property
-    def num_machines(self) -> int:
-        return self._cluster.num_machines
-
-    @property
-    def machine_id(self) -> int:
-        return self._machine.machine_id
-
-    def send(self, dest: int, payload: Any, tag: str = "msg") -> None:
-        """Queue a message for delivery at the end of this round."""
-        if not 0 <= dest < self._cluster.num_machines:
-            raise InvalidAddress(dest, self._cluster.num_machines)
-        self._outbox.append(Message(self._machine.machine_id, dest, tag, payload))
-
-    def send_many(self, dests: Iterable[int], payload: Any, tag: str = "msg") -> None:
-        """Send one payload to several machines (charged per copy)."""
-        for dest in dests:
-            self.send(dest, payload, tag)
+__all__ = ["Cluster", "RoundContext", "StepFn"]
 
 
 class Cluster:
@@ -83,6 +64,11 @@ class Cluster:
     round_limit:
         Optional hard cap on rounds (guards against accidentally
         logarithmic loops in what should be O(1)-round code).
+    executor:
+        How machine steps are scheduled: ``"serial"`` (default),
+        ``"thread"``, ``"process"``, or a
+        :class:`~repro.mpc.executor.RoundExecutor` instance.  The choice
+        affects wall-clock only — results and accounting are identical.
     """
 
     def __init__(
@@ -92,6 +78,7 @@ class Cluster:
         *,
         strict: bool = True,
         round_limit: Optional[int] = None,
+        executor: ExecutorLike = None,
     ):
         if num_machines < 1:
             raise ValueError(f"num_machines must be >= 1, got {num_machines}")
@@ -101,6 +88,7 @@ class Cluster:
         self.local_memory = local_memory
         self.strict = strict
         self.round_limit = round_limit
+        self.executor = get_executor(executor)
         self.machines: List[Machine] = [Machine(i) for i in range(num_machines)]
         self._report = CostReport(num_machines=num_machines, local_memory=local_memory)
         self.violations: List[str] = []
@@ -115,6 +103,10 @@ class Cluster:
 
     def machine(self, machine_id: int) -> Machine:
         return self.machines[machine_id]
+
+    @property
+    def executor_name(self) -> str:
+        return self.executor.name
 
     # -- the round engine -------------------------------------------------
 
@@ -135,17 +127,48 @@ class Cluster:
         if self.round_limit is not None and index >= self.round_limit:
             raise RoundLimitExceeded(index + 1, self.round_limit)
 
-        ids = range(self.num_machines) if participants is None else participants
+        ids = (
+            list(range(self.num_machines))
+            if participants is None
+            else list(participants)
+        )
+
+        # Storage-isolation guard: a step must only mutate the machine it
+        # is handed.  Mutating a spectator through a captured reference is
+        # a silent model violation in serial execution and *lost work*
+        # under the process executor; snapshot spectators' resident words
+        # so the divergence is caught either way.
+        snapshot = None
+        if participants is not None:
+            running = set(ids)
+            snapshot = {
+                m.machine_id: m.storage_words()
+                for m in self.machines
+                if m.machine_id not in running
+            }
+
+        results = self.executor.run_round(
+            self.machines, ids, step, index, self.num_machines
+        )
+
         all_messages: List[Message] = []
         sent_words = [0] * self.num_machines
+        for res in results:
+            if res.store is not None:
+                machine = self.machines[res.machine_id]
+                machine._store = res.store
+                machine.inbox = res.inbox if res.inbox is not None else []
+            for msg in res.outbox:
+                sent_words[res.machine_id] += msg.size_words
+            all_messages.extend(res.outbox)
 
-        for mid in ids:
-            machine = self.machines[mid]
-            ctx = RoundContext(self, machine, index)
-            step(machine, ctx)
-            for msg in ctx._outbox:
-                sent_words[mid] += msg.size_words
-            all_messages.extend(ctx._outbox)
+        if snapshot:
+            for mid, before in snapshot.items():
+                after = self.machines[mid].storage_words()
+                if after != before:
+                    self._violate(
+                        StorageIsolationViolation(mid, before, after, label)
+                    )
 
         recv_words = [0] * self.num_machines
         for msg in all_messages:

@@ -18,6 +18,7 @@ one key space.
 from __future__ import annotations
 
 import zlib
+from functools import partial
 from typing import Dict
 
 import numpy as np
@@ -36,6 +37,61 @@ def _row_dest(rows: np.ndarray, num_machines: int) -> np.ndarray:
     )
 
 
+def _send_distinct_step(machine: Machine, ctx: RoundContext, *, in_key: str) -> None:
+    keys = machine.get(in_key)
+    if keys is None or len(keys) == 0:
+        return
+    keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+    distinct = np.unique(keys, axis=0)
+    dests = _row_dest(distinct, ctx.num_machines)
+    for dest in np.unique(dests):
+        ctx.send(int(dest), distinct[dests == dest], tag="dedup/rows")
+
+
+def _dedup_local_step(machine: Machine, ctx: RoundContext) -> None:
+    msgs = machine.take_inbox(tag="dedup/rows")
+    requesters: Dict[int, np.ndarray] = {msg.src: msg.payload for msg in msgs}
+    if msgs:
+        all_rows = np.unique(np.concatenate([m_.payload for m_ in msgs]), axis=0)
+    else:
+        all_rows = np.empty((0, 1), dtype=np.int64)
+    machine.put("dedup/owned", all_rows)
+    machine.put("dedup/requesters", requesters)
+    machine.put("dedup/count", int(all_rows.shape[0]))
+
+
+def _answer_step(machine: Machine, ctx: RoundContext) -> None:
+    rows = machine.get("dedup/owned")
+    offset = machine.get("dedup/offset", 0)
+    requesters = machine.pop("dedup/requesters", {}) or {}
+    if rows is None or rows.shape[0] == 0:
+        return
+    # Rank via lexicographic order == np.unique order (rows sorted).
+    for src, asked in requesters.items():
+        idx = _lex_search(rows, asked)
+        ctx.send(src, (asked, offset + idx), tag="dedup/ids")
+
+
+def _apply_ids_step(
+    machine: Machine, ctx: RoundContext, *, in_key: str, out_key: str
+) -> None:
+    keys = machine.get(in_key)
+    if keys is None or len(keys) == 0:
+        machine.put(out_key, np.empty(0, dtype=np.int64))
+        return
+    keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+    table_rows = []
+    table_ids = []
+    for msg in machine.take_inbox(tag="dedup/ids"):
+        rows, ids = msg.payload
+        table_rows.append(rows)
+        table_ids.append(ids)
+    rows = np.concatenate(table_rows, axis=0)
+    ids = np.concatenate(table_ids, axis=0)
+    idx = _lex_search(rows, keys)
+    machine.put(out_key, ids[idx])
+
+
 def assign_dense_ids(cluster: Cluster, in_key: str, out_key: str) -> int:
     """Assign dense global ids to distributed key rows.
 
@@ -48,71 +104,22 @@ def assign_dense_ids(cluster: Cluster, in_key: str, out_key: str) -> int:
     Round cost: 2 shuffle rounds + the O(1) prefix-offset pass + 2
     response rounds — constant, independent of data size.
     """
-    m = cluster.num_machines
-
     # Round 1: ship each distinct local row to its bucket machine.
-    def send_distinct(machine: Machine, ctx: RoundContext) -> None:
-        keys = machine.get(in_key)
-        if keys is None or len(keys) == 0:
-            return
-        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
-        distinct = np.unique(keys, axis=0)
-        dests = _row_dest(distinct, m)
-        for dest in np.unique(dests):
-            ctx.send(int(dest), distinct[dests == dest], tag="dedup/rows")
-
-    cluster.round(send_distinct, label="dedup-send")
+    cluster.round(partial(_send_distinct_step, in_key=in_key), label="dedup-send")
 
     # Round 2 (local): dedup + rank; remember who asked for which rows.
-    def dedup_local(machine: Machine, ctx: RoundContext) -> None:
-        msgs = machine.take_inbox(tag="dedup/rows")
-        requesters: Dict[int, np.ndarray] = {msg.src: msg.payload for msg in msgs}
-        if msgs:
-            all_rows = np.unique(np.concatenate([m_.payload for m_ in msgs]), axis=0)
-        else:
-            all_rows = np.empty((0, 1), dtype=np.int64)
-        machine.put("dedup/owned", all_rows)
-        machine.put("dedup/requesters", requesters)
-        machine.put("dedup/count", int(all_rows.shape[0]))
-
-    cluster.round(dedup_local, label="dedup-rank")
+    cluster.round(_dedup_local_step, label="dedup-rank")
 
     # O(1)-round exclusive prefix over per-machine distinct counts.
     global_prefix_offsets(cluster, "dedup/count", out_key="dedup/offset")
 
     # Round: answer each requester with (rows, ids).
-    def answer(machine: Machine, ctx: RoundContext) -> None:
-        rows = machine.get("dedup/owned")
-        offset = machine.get("dedup/offset", 0)
-        requesters = machine.pop("dedup/requesters", {}) or {}
-        if rows is None or rows.shape[0] == 0:
-            return
-        # Rank via lexicographic order == np.unique order (rows sorted).
-        for src, asked in requesters.items():
-            idx = _lex_search(rows, asked)
-            ctx.send(src, (asked, offset + idx), tag="dedup/ids")
-
-    cluster.round(answer, label="dedup-answer")
+    cluster.round(_answer_step, label="dedup-answer")
 
     # Round: map local rows through the received (row -> id) tables.
-    def apply_ids(machine: Machine, ctx: RoundContext) -> None:
-        keys = machine.get(in_key)
-        if keys is None or len(keys) == 0:
-            machine.put(out_key, np.empty(0, dtype=np.int64))
-            return
-        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
-        table_rows = []
-        table_ids = []
-        for msg in machine.take_inbox(tag="dedup/ids"):
-            rows, ids = msg.payload
-            table_rows.append(rows)
-            table_ids.append(ids)
-        rows = np.concatenate(table_rows, axis=0)
-        ids = np.concatenate(table_ids, axis=0)
-        idx = _lex_search(rows, keys)
-        machine.put(out_key, ids[idx])
-
-    cluster.round(apply_ids, label="dedup-apply")
+    cluster.round(
+        partial(_apply_ids_step, in_key=in_key, out_key=out_key), label="dedup-apply"
+    )
 
     total = sum(int(mach.get("dedup/count", 0) or 0) for mach in cluster)
     return total

@@ -50,6 +50,39 @@ class RoundLimitExceeded(MPCError):
         super().__init__(f"computation used {rounds} rounds, exceeding limit {limit}")
 
 
+class StorageIsolationViolation(MPCError):
+    """A step function mutated a machine that was not participating.
+
+    Step functions may only touch the machine they are handed; reaching
+    into another machine's storage (via a closure over the cluster, say)
+    silently breaks the model *and* is executor-dependent — a worker
+    process would mutate a throwaway copy.  The cluster snapshots
+    non-participants' resident words around restricted rounds and raises
+    this when they changed.
+    """
+
+    def __init__(self, machine_id: int, before: int, after: int, context: str = ""):
+        self.machine_id = machine_id
+        self.before = before
+        self.after = after
+        suffix = f" during {context}" if context else ""
+        super().__init__(
+            f"non-participant machine {machine_id} changed from {before} to "
+            f"{after} resident words{suffix}: step functions must only mutate "
+            f"the machine they receive (storage isolation violation)"
+        )
+
+
+class ExecutorStepError(MPCError):
+    """A step function is incompatible with the selected round executor.
+
+    Raised by :class:`repro.mpc.executor.ProcessExecutor` when a step
+    (or a payload it references) cannot be pickled to a worker process.
+    Step functions must be module-level callables with arguments bound
+    via :func:`functools.partial`.
+    """
+
+
 class InvalidAddress(MPCError):
     """A message was addressed to a machine id outside the cluster."""
 

@@ -1,0 +1,356 @@
+"""Pluggable round executors: how one synchronous round actually runs.
+
+The MPC model specifies *what* a round is (every machine computes
+locally, then messages are exchanged subject to the memory budget); it
+deliberately does not specify *how* the machines' local computations are
+scheduled onto hardware.  This module makes that choice pluggable:
+
+* :class:`SerialExecutor` — machines run one after another in the
+  calling thread.  The original simulator semantics, zero overhead.
+* :class:`ThreadExecutor` — machines run on a shared thread pool.
+  Numpy kernels release the GIL, so compute-heavy steps overlap.
+* :class:`ProcessExecutor` — machine batches run on a shared
+  ``concurrent.futures`` process pool.  Machine state is shipped to the
+  worker, the step runs there, and the mutated state plus the outbox
+  come back.  This is the executor whose wall-clock reflects the
+  machine-parallelism the model promises (on multi-core hosts).
+
+All three produce **bit-identical results and cost accounting**: a step
+function only ever sees its own :class:`~repro.mpc.machine.Machine` and
+a :class:`RoundContext`, outboxes are collected per machine and
+assembled in machine-id order, and any randomness is derived from
+per-machine seeds (:func:`repro.util.rng.machine_rng`) rather than
+shared generator state.  The executor choice changes scheduling, never
+semantics — tests assert this.
+
+Requirements on step functions
+------------------------------
+
+:class:`SerialExecutor` and :class:`ThreadExecutor` accept any callable.
+:class:`ProcessExecutor` additionally requires the step to be
+*picklable*: a module-level function, or a :func:`functools.partial` of
+one with picklable bound arguments.  Closures and lambdas raise
+:class:`ExecutorStepError` with a pointer to this rule.  Every step
+function shipped in :mod:`repro` follows it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.mpc.errors import ExecutorStepError, InvalidAddress
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+
+StepFn = Callable[[Machine, "RoundContext"], None]
+
+
+class RoundContext:
+    """Per-machine view of one round: the only legal way to communicate.
+
+    Deliberately holds no reference to the cluster (only the machine
+    count), so a context — and therefore a whole machine step — can be
+    executed in a worker process and shipped back.
+    """
+
+    __slots__ = ("num_machines", "_machine", "_outbox", "round_index")
+
+    def __init__(self, num_machines: int, machine: Machine, round_index: int):
+        self.num_machines = num_machines
+        self._machine = machine
+        self._outbox: List[Message] = []
+        self.round_index = round_index
+
+    @property
+    def machine_id(self) -> int:
+        return self._machine.machine_id
+
+    def send(self, dest: int, payload: Any, tag: str = "msg") -> None:
+        """Queue a message for delivery at the end of this round."""
+        if not 0 <= dest < self.num_machines:
+            raise InvalidAddress(dest, self.num_machines)
+        self._outbox.append(Message(self._machine.machine_id, dest, tag, payload))
+
+    def send_many(self, dests: Iterable[int], payload: Any, tag: str = "msg") -> None:
+        """Send one payload to several machines (charged per copy)."""
+        for dest in dests:
+            self.send(dest, payload, tag)
+
+
+@dataclass
+class MachineRoundResult:
+    """One machine's contribution to a round, as seen by the cluster.
+
+    ``store``/``inbox`` are ``None`` when the step ran in-process and
+    mutated the machine directly (serial/thread executors); the process
+    executor ships the post-step state back and the cluster installs it.
+    """
+
+    machine_id: int
+    outbox: List[Message] = field(default_factory=list)
+    store: Optional[Dict[str, Any]] = None
+    inbox: Optional[List[Message]] = None
+
+
+def _execute_inplace(
+    machine: Machine, step: StepFn, round_index: int, num_machines: int
+) -> MachineRoundResult:
+    """Run one machine's step in the current process, mutating in place."""
+    ctx = RoundContext(num_machines, machine, round_index)
+    step(machine, ctx)
+    return MachineRoundResult(machine_id=machine.machine_id, outbox=ctx._outbox)
+
+
+def _process_batch_worker(
+    machines: List[Machine], step: StepFn, round_index: int, num_machines: int
+):
+    """Worker-side round execution for a batch of machines.
+
+    Receives pickled machine copies, runs the step on each, and returns
+    ``(machine_id, store, inbox, outbox)`` tuples — the parent installs
+    the state, so mutation in the worker is equivalent to mutation in
+    place.
+    """
+    out = []
+    for machine in machines:
+        ctx = RoundContext(num_machines, machine, round_index)
+        step(machine, ctx)
+        out.append((machine.machine_id, machine._store, machine.inbox, ctx._outbox))
+    return out
+
+
+class RoundExecutor:
+    """Strategy interface for running the machine steps of one round.
+
+    ``run_round`` must return one :class:`MachineRoundResult` per id in
+    ``ids``, **in the same order** — the cluster assembles outboxes in
+    that order, which is what makes delivery (and therefore the entire
+    computation) independent of scheduling.
+    """
+
+    name: str = "abstract"
+
+    def run_round(
+        self,
+        machines: Sequence[Machine],
+        ids: Sequence[int],
+        step: StepFn,
+        round_index: int,
+        num_machines: int,
+    ) -> List[MachineRoundResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (shared pools are left running)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(RoundExecutor):
+    """Machines run sequentially in the calling thread (seed semantics)."""
+
+    name = "serial"
+
+    def run_round(self, machines, ids, step, round_index, num_machines):
+        return [
+            _execute_inplace(machines[mid], step, round_index, num_machines)
+            for mid in ids
+        ]
+
+
+# Shared pools: executor instances are cheap views onto process-wide
+# pools, so every Cluster(executor="process") in a test run reuses the
+# same workers instead of forking its own.
+_THREAD_POOL: Optional[ThreadPoolExecutor] = None
+_PROCESS_POOL: Optional[ProcessPoolExecutor] = None
+_PROCESS_POOL_WORKERS: int = 0
+
+
+def default_process_workers() -> int:
+    """Worker count for the shared process pool.
+
+    At least 2 so the parallel path is exercised even on single-core CI
+    hosts; capped at 8 — the simulator's rounds rarely have enough
+    per-machine compute to feed more.
+    """
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+def _shared_thread_pool() -> ThreadPoolExecutor:
+    global _THREAD_POOL
+    if _THREAD_POOL is None:
+        workers = max(4, min(16, 4 * (os.cpu_count() or 1)))
+        _THREAD_POOL = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="mpc-round"
+        )
+    return _THREAD_POOL
+
+
+def _shared_process_pool(workers: int) -> ProcessPoolExecutor:
+    global _PROCESS_POOL, _PROCESS_POOL_WORKERS
+    if _PROCESS_POOL is None or _PROCESS_POOL_WORKERS < workers:
+        if _PROCESS_POOL is not None:
+            _PROCESS_POOL.shutdown(wait=True)
+        _PROCESS_POOL = ProcessPoolExecutor(max_workers=workers)
+        _PROCESS_POOL_WORKERS = workers
+    return _PROCESS_POOL
+
+
+def shutdown_executors() -> None:
+    """Shut down the shared thread and process pools (idempotent)."""
+    global _THREAD_POOL, _PROCESS_POOL, _PROCESS_POOL_WORKERS
+    if _THREAD_POOL is not None:
+        _THREAD_POOL.shutdown(wait=True)
+        _THREAD_POOL = None
+    if _PROCESS_POOL is not None:
+        _PROCESS_POOL.shutdown(wait=True)
+        _PROCESS_POOL = None
+        _PROCESS_POOL_WORKERS = 0
+
+
+atexit.register(shutdown_executors)
+
+
+class ThreadExecutor(RoundExecutor):
+    """Machines run concurrently on a shared thread pool.
+
+    Steps mutate their machines in place exactly as in serial execution;
+    the barrier at the end of ``run_round`` plus id-ordered result
+    assembly keeps everything deterministic.  Wall-clock gains come from
+    numpy kernels releasing the GIL during a step's heavy compute.
+    """
+
+    name = "thread"
+
+    def run_round(self, machines, ids, step, round_index, num_machines):
+        ids = list(ids)
+        if len(ids) <= 1:
+            return [
+                _execute_inplace(machines[mid], step, round_index, num_machines)
+                for mid in ids
+            ]
+        pool = _shared_thread_pool()
+        futures = [
+            pool.submit(
+                _execute_inplace, machines[mid], step, round_index, num_machines
+            )
+            for mid in ids
+        ]
+        return [f.result() for f in futures]
+
+
+class ProcessExecutor(RoundExecutor):
+    """Machine batches run on a shared ``ProcessPoolExecutor``.
+
+    Each round, the participating machines are split into
+    ``max_workers`` contiguous chunks; a chunk's machines are pickled to
+    a worker, stepped there, and their post-step state plus outboxes are
+    shipped back and installed by the cluster.  Results are assembled in
+    machine-id order, so delivery, accounting, and all downstream state
+    are bit-identical to serial execution.
+
+    Step functions must be picklable — module-level callables, with
+    per-call data bound via :func:`functools.partial` (never closures
+    over cluster state).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers or default_process_workers()
+
+    def _chunks(self, ids: List[int]) -> List[List[int]]:
+        per = -(-len(ids) // self.max_workers)
+        return [ids[i : i + per] for i in range(0, len(ids), per)]
+
+    def run_round(self, machines, ids, step, round_index, num_machines):
+        ids = list(ids)
+        if len(ids) <= 1:
+            # A one-machine round (broadcast roots, coordinators) costs
+            # more to ship than to run; in-place execution is identical.
+            return [
+                _execute_inplace(machines[mid], step, round_index, num_machines)
+                for mid in ids
+            ]
+        pool = _shared_process_pool(self.max_workers)
+        futures = [
+            pool.submit(
+                _process_batch_worker,
+                [machines[mid] for mid in chunk],
+                step,
+                round_index,
+                num_machines,
+            )
+            for chunk in self._chunks(ids)
+        ]
+        results: List[MachineRoundResult] = []
+        for future in futures:
+            try:
+                batch = future.result()
+            except Exception as exc:
+                if _is_pickling_error(exc):
+                    raise ExecutorStepError(
+                        "step function (or its payloads) could not be pickled "
+                        "for the process executor; use a module-level callable "
+                        "with functools.partial-bound arguments instead of a "
+                        f"closure/lambda (original error: {exc!r})"
+                    ) from exc
+                raise
+            for machine_id, store, inbox, outbox in batch:
+                results.append(
+                    MachineRoundResult(
+                        machine_id=machine_id,
+                        outbox=outbox,
+                        store=store,
+                        inbox=inbox,
+                    )
+                )
+        order = {mid: i for i, mid in enumerate(ids)}
+        results.sort(key=lambda res: order[res.machine_id])
+        return results
+
+
+def _is_pickling_error(exc: BaseException) -> bool:
+    """Heuristic: did a future fail because something wasn't picklable?"""
+    import pickle
+
+    if isinstance(exc, (pickle.PicklingError, TypeError, AttributeError)):
+        text = str(exc)
+        return "pickle" in text or "Can't get local object" in text or "lambda" in text
+    return False
+
+
+#: Registry used by :func:`get_executor` (and the benchmark harness's
+#: ``--executor`` axis / the ``EXECUTOR`` make variable).
+EXECUTORS: Dict[str, Callable[[], RoundExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+ExecutorLike = Union[None, str, RoundExecutor]
+
+
+def get_executor(spec: ExecutorLike) -> RoundExecutor:
+    """Coerce ``spec`` into a :class:`RoundExecutor`.
+
+    ``None`` means serial (the seed semantics); strings are looked up in
+    :data:`EXECUTORS`; instances pass through unchanged.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, RoundExecutor):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return EXECUTORS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown executor {spec!r}; expected one of {sorted(EXECUTORS)}"
+            ) from None
+    raise TypeError(f"executor must be None, str, or RoundExecutor, got {type(spec)}")

@@ -47,6 +47,19 @@ class Machine:
         """Drop all stored values (not the inbox)."""
         self._store.clear()
 
+    # -- pickling -------------------------------------------------------
+
+    # Machines are shipped to worker processes by the process round
+    # executor (``__slots__`` classes need explicit state methods).  The
+    # whole state is (id, storage, inbox); word sizes are properties of
+    # the stored values and survive the round trip unchanged.
+
+    def __getstate__(self):
+        return (self.machine_id, self._store, self.inbox)
+
+    def __setstate__(self, state) -> None:
+        self.machine_id, self._store, self.inbox = state
+
     # -- accounting ----------------------------------------------------
 
     def storage_words(self) -> int:

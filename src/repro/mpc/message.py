@@ -35,3 +35,19 @@ class Message:
     def __post_init__(self) -> None:
         # One word of header (src/dest/tag bookkeeping) + the payload.
         object.__setattr__(self, "size_words", 1 + words(self.tag) + words(self.payload))
+
+    # Explicit pickling: messages cross process boundaries under the
+    # process round executor.  The cached word size travels with the
+    # message rather than being recomputed on unpickle, so accounting is
+    # charged exactly once, at construction time, on the sending side.
+
+    def __getstate__(self):
+        return (self.src, self.dest, self.tag, self.payload, self.size_words)
+
+    def __setstate__(self, state) -> None:
+        src, dest, tag, payload, size_words = state
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dest", dest)
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "size_words", size_words)

@@ -10,12 +10,17 @@ Two of the helpers (:func:`collect_rows`, :func:`peek`) exist for tests
 and result extraction only.  They are "god view" observations of the
 simulator state and deliberately consume **no** rounds; nothing inside an
 MPC algorithm may depend on them.
+
+Step functions are module-level callables with per-round data bound via
+:func:`functools.partial`, so every primitive runs unchanged under all
+round executors (the process executor pickles steps to workers — see
+:mod:`repro.mpc.executor`).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -79,6 +84,21 @@ def default_fanout(cluster: Cluster, payload_words: int) -> int:
     return max(2, cluster.local_memory // per_copy)
 
 
+# -- broadcast ----------------------------------------------------------
+
+
+def _broadcast_send_step(
+    machine: Machine, ctx: RoundContext, *, assignments: Dict[int, List[int]], key: str
+) -> None:
+    for t in assignments.get(machine.machine_id, ()):
+        ctx.send(t, machine.get(key), tag=key)
+
+
+def _broadcast_absorb_step(machine: Machine, ctx: RoundContext, *, key: str) -> None:
+    for msg in machine.take_inbox(tag=key):
+        machine.put(key, msg.payload)
+
+
 def broadcast(
     cluster: Cluster,
     value: Any,
@@ -111,24 +131,64 @@ def broadcast(
     while covered < cluster.num_machines:
         holders = ids[:covered]
         targets = ids[covered : min(cluster.num_machines, covered * f)]
-        assignments = {}
+        assignments: Dict[int, List[int]] = {}
         for j, t in enumerate(targets):
             assignments.setdefault(holders[j % len(holders)], []).append(t)
 
-        def step(machine: Machine, ctx: RoundContext) -> None:
-            for t in assignments.get(machine.machine_id, []):
-                ctx.send(t, machine.get(key), tag=key)
-
-        cluster.round(step, label=f"broadcast:{key}")
-
-        def absorb(machine: Machine, ctx: RoundContext) -> None:
-            for msg in machine.take_inbox(tag=key):
-                machine.put(key, msg.payload)
-
-        cluster.round(absorb, label=f"broadcast-absorb:{key}")
+        cluster.round(
+            partial(_broadcast_send_step, assignments=assignments, key=key),
+            label=f"broadcast:{key}",
+        )
+        cluster.round(
+            partial(_broadcast_absorb_step, key=key),
+            label=f"broadcast-absorb:{key}",
+        )
         rounds += 2
         covered = min(cluster.num_machines, covered * f)
     return rounds
+
+
+# -- tree gather --------------------------------------------------------
+
+
+def _gather_send_step(
+    machine: Machine,
+    ctx: RoundContext,
+    *,
+    members: Dict[int, int],
+    work_key: str,
+    out_key: str,
+) -> None:
+    head = members.get(machine.machine_id)
+    if head is not None:
+        ctx.send(head, machine.pop(work_key), tag=out_key)
+
+
+def _gather_combine_step(
+    machine: Machine,
+    ctx: RoundContext,
+    *,
+    heads: Sequence[int],
+    work_key: str,
+    out_key: str,
+    combine: Callable[[List[Any]], Any],
+) -> None:
+    if machine.machine_id in heads:
+        parts = [machine.get(work_key)]
+        parts.extend(msg.payload for msg in machine.take_inbox(tag=out_key))
+        machine.put(work_key, combine(parts))
+
+
+def _gather_move_step(
+    machine: Machine, ctx: RoundContext, *, final: int, root: int, work_key: str, out_key: str
+) -> None:
+    if machine.machine_id == final:
+        ctx.send(root, machine.pop(work_key), tag=out_key)
+
+
+def _gather_land_step(machine: Machine, ctx: RoundContext, *, out_key: str) -> None:
+    for msg in machine.take_inbox(tag=out_key):
+        machine.put(out_key, msg.payload)
 
 
 def tree_gather(
@@ -143,9 +203,10 @@ def tree_gather(
     """Gather per-machine values to ``root``, combining with bounded fan-in.
 
     ``combine`` must be associative-ish in the sense the caller needs
-    (e.g. list concatenation, sum, max).  Uses ``ceil(log_f m)`` rounds.
-    Returns rounds used; the combined value lands at ``root`` under
-    ``out_key``.
+    (e.g. list concatenation, sum, max) — and picklable (module-level
+    function or partial) when the cluster runs on the process executor.
+    Uses ``ceil(log_f m)`` rounds.  Returns rounds used; the combined
+    value lands at ``root`` under ``out_key``.
     """
     if fanin < 2:
         raise ValueError("fanin must be >= 2")
@@ -161,41 +222,53 @@ def tree_gather(
         heads = {g[0]: g for g in groups}
         members = {mid: g[0] for g in groups for mid in g[1:]}
 
-        def send_step(machine: Machine, ctx: RoundContext) -> None:
-            head = members.get(machine.machine_id)
-            if head is not None:
-                ctx.send(head, machine.pop(work_key), tag=out_key)
-
-        cluster.round(send_step, label=f"gather:{key}")
-
-        def combine_step(machine: Machine, ctx: RoundContext) -> None:
-            if machine.machine_id in heads:
-                parts = [machine.get(work_key)]
-                parts.extend(msg.payload for msg in machine.take_inbox(tag=out_key))
-                machine.put(work_key, combine(parts))
-
-        cluster.round(combine_step, label=f"gather-combine:{key}")
+        cluster.round(
+            partial(_gather_send_step, members=members, work_key=work_key, out_key=out_key),
+            label=f"gather:{key}",
+        )
+        cluster.round(
+            partial(
+                _gather_combine_step,
+                heads=heads,
+                work_key=work_key,
+                out_key=out_key,
+                combine=combine,
+            ),
+            label=f"gather-combine:{key}",
+        )
         rounds += 2
         active = sorted(heads)
 
     final = active[0] if active else root
     if final != root:
-        def move(machine: Machine, ctx: RoundContext) -> None:
-            if machine.machine_id == final:
-                ctx.send(root, machine.pop(work_key), tag=out_key)
-
-        cluster.round(move, label=f"gather-move:{key}")
-
-        def land(machine: Machine, ctx: RoundContext) -> None:
-            for msg in machine.take_inbox(tag=out_key):
-                machine.put(out_key, msg.payload)
-
-        cluster.round(land, label=f"gather-land:{key}")
+        cluster.round(
+            partial(
+                _gather_move_step, final=final, root=root, work_key=work_key, out_key=out_key
+            ),
+            label=f"gather-move:{key}",
+        )
+        cluster.round(
+            partial(_gather_land_step, out_key=out_key), label=f"gather-land:{key}"
+        )
         rounds += 2
     else:
         holder = cluster.machine(final)
         holder.put(out_key, holder.pop(work_key))
     return rounds
+
+
+# -- keyed all-to-all ---------------------------------------------------
+
+
+def _exchange_step(
+    machine: Machine,
+    ctx: RoundContext,
+    *,
+    plan: Callable[[Machine], Sequence[Tuple[int, Any]]],
+    tag: str,
+) -> None:
+    for dest, payload in plan(machine):
+        ctx.send(dest, payload, tag=tag)
 
 
 def exchange(
@@ -208,24 +281,25 @@ def exchange(
     """One all-to-all round: each machine emits (dest, payload) pairs.
 
     The receive side is left in inboxes; callers typically follow with a
-    local absorb round or fold absorption into their next step.
+    local absorb round or fold absorption into their next step.  ``plan``
+    must be picklable under the process executor.
     """
+    cluster.round(partial(_exchange_step, plan=plan, tag=tag), label=label)
 
-    def step(machine: Machine, ctx: RoundContext) -> None:
-        for dest, payload in plan(machine):
-            ctx.send(dest, payload, tag=tag)
 
-    cluster.round(step, label=label)
+def _absorb_concat_step(
+    machine: Machine, ctx: RoundContext, *, tag: str, out_key: str, axis: int
+) -> None:
+    msgs = machine.take_inbox(tag=tag)
+    if msgs:
+        machine.put(out_key, np.concatenate([m.payload for m in msgs], axis=axis))
+    else:
+        machine.put(out_key, None)
 
 
 def absorb_concat(cluster: Cluster, tag: str, out_key: str, *, axis: int = 0) -> None:
     """Local round: concatenate inbox arrays (by source order) into storage."""
-
-    def step(machine: Machine, ctx: RoundContext) -> None:
-        msgs = machine.take_inbox(tag=tag)
-        if msgs:
-            machine.put(out_key, np.concatenate([m.payload for m in msgs], axis=axis))
-        else:
-            machine.put(out_key, None)
-
-    cluster.round(step, label=f"absorb:{tag}")
+    cluster.round(
+        partial(_absorb_concat_step, tag=tag, out_key=out_key, axis=axis),
+        label=f"absorb:{tag}",
+    )

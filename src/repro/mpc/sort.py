@@ -15,10 +15,15 @@ classic recipe:
 With per-machine sample size ``Theta(log(total))`` the bins are balanced
 within a constant factor with high probability, so local memory stays
 within the budget.
+
+Sampling randomness is derived per machine from one integer base seed
+(:func:`repro.util.rng.machine_rng`), so the sorted output and the cost
+accounting are identical under every round executor.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 import numpy as np
@@ -26,7 +31,82 @@ import numpy as np
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast
-from repro.util.rng import as_generator, spawn_many
+from repro.util.rng import as_generator, derive_seed, machine_rng
+
+
+def _sample_step(
+    machine: Machine,
+    ctx: RoundContext,
+    *,
+    key_key: str,
+    sample_per_machine: int,
+    base_seed: int,
+) -> None:
+    keys = machine.get(key_key)
+    if keys is None or len(keys) == 0:
+        return
+    k = min(sample_per_machine, len(keys))
+    rng = machine_rng(base_seed, machine.machine_id)
+    idx = rng.choice(len(keys), size=k, replace=False)
+    ctx.send(0, np.asarray(keys)[idx], tag="sort/sample")
+
+
+def _pick_splitters_step(machine: Machine, ctx: RoundContext) -> None:
+    if machine.machine_id != 0:
+        return
+    m = ctx.num_machines
+    msgs = machine.take_inbox(tag="sort/sample")
+    if msgs:
+        sample = np.sort(np.concatenate([msg.payload for msg in msgs]))
+    else:
+        sample = np.array([0.0])
+    # m - 1 splitters at evenly spaced quantiles of the sample.
+    qs = np.linspace(0, 1, m + 1)[1:-1]
+    machine.put("sort/splitters", np.quantile(sample, qs) if m > 1 else np.array([]))
+
+
+def _shuffle_step(
+    machine: Machine, ctx: RoundContext, *, key_key: str, value_key: Optional[str]
+) -> None:
+    m = ctx.num_machines
+    keys = machine.get(key_key)
+    splitters = machine.get("sort/splitters")
+    if keys is None or len(keys) == 0:
+        return
+    keys = np.asarray(keys)
+    bins = np.searchsorted(splitters, keys, side="right") if m > 1 else np.zeros(
+        len(keys), dtype=int
+    )
+    values = machine.get(value_key) if value_key is not None else None
+    for b in np.unique(bins):
+        mask = bins == b
+        payload = (
+            (keys[mask], values[mask]) if values is not None else (keys[mask], None)
+        )
+        ctx.send(int(b), payload, tag="sort/shuffle")
+    machine.pop(key_key)
+    if value_key is not None:
+        machine.pop(value_key)
+
+
+def _local_sort_step(
+    machine: Machine, ctx: RoundContext, *, key_key: str, value_key: Optional[str]
+) -> None:
+    msgs = machine.take_inbox(tag="sort/shuffle")
+    if not msgs:
+        machine.put(key_key, np.empty(0))
+        if value_key is not None:
+            machine.put(value_key, None)
+        return
+    keys = np.concatenate([msg.payload[0] for msg in msgs])
+    order = np.argsort(keys, kind="stable")
+    machine.put(key_key, keys[order])
+    if value_key is not None:
+        vals = [msg.payload[1] for msg in msgs if msg.payload[1] is not None]
+        if vals:
+            machine.put(value_key, np.concatenate(vals, axis=0)[order])
+        else:
+            machine.put(value_key, None)
 
 
 def sort_by_key(
@@ -46,80 +126,36 @@ def sort_by_key(
 
     Returns the number of rounds used (constant in ``n``).
     """
-    m = cluster.num_machines
     rng = as_generator(seed)
-    machine_rngs = spawn_many(rng, m)
+    base_seed = derive_seed(rng)
 
     # Round 1: sample keys to the coordinator.
-    def sample_step(machine: Machine, ctx: RoundContext) -> None:
-        keys = machine.get(key_key)
-        if keys is None or len(keys) == 0:
-            return
-        k = min(sample_per_machine, len(keys))
-        idx = machine_rngs[machine.machine_id].choice(len(keys), size=k, replace=False)
-        ctx.send(0, np.asarray(keys)[idx], tag="sort/sample")
-
-    cluster.round(sample_step, label="sort-sample")
+    cluster.round(
+        partial(
+            _sample_step,
+            key_key=key_key,
+            sample_per_machine=sample_per_machine,
+            base_seed=base_seed,
+        ),
+        label="sort-sample",
+    )
 
     # Coordinator picks splitters locally, then broadcast.
-    def pick_step(machine: Machine, ctx: RoundContext) -> None:
-        if machine.machine_id != 0:
-            return
-        msgs = machine.take_inbox(tag="sort/sample")
-        if msgs:
-            sample = np.sort(np.concatenate([msg.payload for msg in msgs]))
-        else:
-            sample = np.array([0.0])
-        # m - 1 splitters at evenly spaced quantiles of the sample.
-        qs = np.linspace(0, 1, m + 1)[1:-1]
-        machine.put("sort/splitters", np.quantile(sample, qs) if m > 1 else np.array([]))
-
-    cluster.round(pick_step, label="sort-splitters")
+    cluster.round(_pick_splitters_step, label="sort-splitters")
     rounds = 2
     rounds += broadcast(
         cluster, cluster.machine(0).get("sort/splitters"), "sort/splitters", root=0
     )
 
     # All-to-all: bin records by splitter and ship.
-    def shuffle_step(machine: Machine, ctx: RoundContext) -> None:
-        keys = machine.get(key_key)
-        splitters = machine.get("sort/splitters")
-        if keys is None or len(keys) == 0:
-            return
-        keys = np.asarray(keys)
-        bins = np.searchsorted(splitters, keys, side="right") if m > 1 else np.zeros(
-            len(keys), dtype=int
-        )
-        values = machine.get(value_key) if value_key is not None else None
-        for b in np.unique(bins):
-            mask = bins == b
-            payload = (
-                (keys[mask], values[mask]) if values is not None else (keys[mask], None)
-            )
-            ctx.send(int(b), payload, tag="sort/shuffle")
-        machine.pop(key_key)
-        if value_key is not None:
-            machine.pop(value_key)
-
-    cluster.round(shuffle_step, label="sort-shuffle")
+    cluster.round(
+        partial(_shuffle_step, key_key=key_key, value_key=value_key),
+        label="sort-shuffle",
+    )
 
     # Local sort of received bins.
-    def local_sort_step(machine: Machine, ctx: RoundContext) -> None:
-        msgs = machine.take_inbox(tag="sort/shuffle")
-        if not msgs:
-            machine.put(key_key, np.empty(0))
-            if value_key is not None:
-                machine.put(value_key, None)
-            return
-        keys = np.concatenate([msg.payload[0] for msg in msgs])
-        order = np.argsort(keys, kind="stable")
-        machine.put(key_key, keys[order])
-        if value_key is not None:
-            vals = [msg.payload[1] for msg in msgs if msg.payload[1] is not None]
-            if vals:
-                machine.put(value_key, np.concatenate(vals, axis=0)[order])
-            else:
-                machine.put(value_key, None)
-
-    cluster.round(local_sort_step, label="sort-local")
+    cluster.round(
+        partial(_local_sort_step, key_key=key_key, value_key=value_key),
+        label="sort-local",
+    )
     return rounds + 2

@@ -80,6 +80,21 @@ def derive_seed(rng: np.random.Generator, bits: int = 63) -> int:
     return int(rng.integers(0, 2**bits, dtype=np.uint64))
 
 
+def machine_rng(base_seed: int, machine_id: int) -> np.random.Generator:
+    """Independent per-machine generator from a broadcastable base seed.
+
+    Simulated MPC machines must draw executor-independent randomness:
+    sharing one generator object would make the draws depend on which
+    machine runs first (and would not survive a trip through a worker
+    process).  Instead the driver derives one integer ``base_seed``
+    (:func:`derive_seed`) and each machine deterministically expands it
+    with its id — the same construction ``spawn_many`` uses, so streams
+    are statistically independent across machines.
+    """
+    seq = np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(machine_id),))
+    return np.random.default_rng(seq)
+
+
 def maybe_seeded(seed: SeedLike, default_seed: Optional[int] = None) -> np.random.Generator:
     """Like :func:`as_generator` but with a fallback default seed.
 

@@ -7,6 +7,32 @@ import pytest
 
 from repro.data.synthetic import gaussian_clusters, uniform_lattice
 
+#: Round executors the ``executor_matrix`` marker parametrizes over —
+#: every marked test runs once per entry and must produce identical
+#: results (the executor-independence contract of repro.mpc.executor).
+EXECUTOR_MATRIX = ["serial", "thread", "process"]
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "executor_matrix: run the test under each MPC round executor "
+        "(serial, thread, process) via the mpc_executor fixture",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "mpc_executor" in metafunc.fixturenames and metafunc.definition.get_closest_marker(
+        "executor_matrix"
+    ):
+        metafunc.parametrize("mpc_executor", EXECUTOR_MATRIX, indirect=True)
+
+
+@pytest.fixture
+def mpc_executor(request):
+    """Executor name for the current test (``serial`` when unmarked)."""
+    return getattr(request, "param", "serial")
+
 
 @pytest.fixture(scope="session")
 def small_lattice():

@@ -1,29 +1,46 @@
-"""Tests for tree reductions and prefix sums."""
+"""Tests for tree reductions and prefix sums (under every executor)."""
 
 import numpy as np
+import pytest
 
 from repro.mpc.aggregate import allreduce_scalar, global_prefix_offsets, reduce_scalar
 from repro.mpc.cluster import Cluster
 from repro.mpc.primitives import peek
 
+pytestmark = pytest.mark.executor_matrix
+
+_EXECUTOR = "serial"
+
+
+@pytest.fixture(autouse=True)
+def _select_executor(mpc_executor):
+    global _EXECUTOR
+    _EXECUTOR = mpc_executor
+    yield
+    _EXECUTOR = "serial"
+
+
+def mk_cluster(m, mem):
+    return Cluster(m, mem, executor=_EXECUTOR)
+
 
 class TestReduceScalar:
     def test_sum(self):
-        c = Cluster(6, 512)
+        c = mk_cluster(6, 512)
         for i, m in enumerate(c):
             m.put("v", float(i + 1))
         reduce_scalar(c, "v", np.sum, out_key="total", fanin=2)
         assert peek(c, 0, "total") == 21.0
 
     def test_max(self):
-        c = Cluster(4, 512)
+        c = mk_cluster(4, 512)
         for i, m in enumerate(c):
             m.put("v", float(i * i))
         reduce_scalar(c, "v", np.max, out_key="mx", fanin=3)
         assert peek(c, 0, "mx") == 9.0
 
     def test_missing_machines_skipped(self):
-        c = Cluster(4, 512)
+        c = mk_cluster(4, 512)
         c.machine(1).put("v", 5.0)
         c.machine(3).put("v", 7.0)
         reduce_scalar(c, "v", np.sum, out_key="t")
@@ -32,7 +49,7 @@ class TestReduceScalar:
 
 class TestAllReduce:
     def test_everyone_gets_result(self):
-        c = Cluster(5, 512)
+        c = mk_cluster(5, 512)
         for i, m in enumerate(c):
             m.put("v", float(i))
         allreduce_scalar(c, "v", np.sum, out_key="s")
@@ -41,7 +58,7 @@ class TestAllReduce:
 
 class TestPrefixOffsets:
     def test_exclusive_prefix(self):
-        c = Cluster(4, 1024)
+        c = mk_cluster(4, 1024)
         counts = [3, 5, 2, 7]
         for m, cnt in zip(c, counts):
             m.put("cnt", cnt)
@@ -50,19 +67,19 @@ class TestPrefixOffsets:
         assert offsets == [0, 3, 8, 10]
 
     def test_zero_counts(self):
-        c = Cluster(3, 1024)
+        c = mk_cluster(3, 1024)
         for m, cnt in zip(c, [0, 4, 0]):
             m.put("cnt", cnt)
         global_prefix_offsets(c, "cnt", out_key="off")
         assert [m.get("off") for m in c] == [0, 0, 4]
 
     def test_constant_rounds(self):
-        c8 = Cluster(8, 4096)
+        c8 = mk_cluster(8, 4096)
         for m in c8:
             m.put("cnt", 1)
         r8 = global_prefix_offsets(c8, "cnt", out_key="off", fanin=16)
 
-        c2 = Cluster(2, 4096)
+        c2 = mk_cluster(2, 4096)
         for m in c2:
             m.put("cnt", 1)
         r2 = global_prefix_offsets(c2, "cnt", out_key="off", fanin=16)

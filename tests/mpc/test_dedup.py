@@ -1,4 +1,4 @@
-"""Tests for distributed dense-id assignment."""
+"""Tests for distributed dense-id assignment (under every executor)."""
 
 import numpy as np
 import pytest
@@ -7,9 +7,21 @@ from repro.mpc.cluster import Cluster
 from repro.mpc.dedup import _lex_search, assign_dense_ids
 from repro.mpc.primitives import scatter_rows
 
+pytestmark = pytest.mark.executor_matrix
+
+_EXECUTOR = "serial"
+
+
+@pytest.fixture(autouse=True)
+def _select_executor(mpc_executor):
+    global _EXECUTOR
+    _EXECUTOR = mpc_executor
+    yield
+    _EXECUTOR = "serial"
+
 
 def run_dedup(keys, m=4, mem=16384):
-    cluster = Cluster(m, mem)
+    cluster = Cluster(m, mem, executor=_EXECUTOR)
     scatter_rows(cluster, keys, "keys")
     total = assign_dense_ids(cluster, "keys", "ids")
     ids = np.concatenate(
@@ -64,7 +76,7 @@ class TestAssignDenseIds:
         rounds = []
         for n in (40, 160):
             keys = np.random.default_rng(n).integers(0, 9, size=(n, 2)).astype(np.int64)
-            c = Cluster(4, 16384)
+            c = Cluster(4, 16384, executor=_EXECUTOR)
             scatter_rows(c, keys, "keys")
             assign_dense_ids(c, "keys", "ids")
             rounds.append(c.rounds)

@@ -1,0 +1,203 @@
+"""The executor-independence contract, isolation guard, and pickling.
+
+The central claim of :mod:`repro.mpc.executor` is that the executor
+choice changes scheduling, never semantics: results *and* the full cost
+accounting must be bit-identical under serial, thread, and process
+execution.  These tests run real algorithms under all three and compare
+everything.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.jl.fjlt import clear_plan_cache, plan_cache_stats
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.mpc import (
+    EXECUTORS,
+    Cluster,
+    ExecutorStepError,
+    ProcessExecutor,
+    SerialExecutor,
+    StorageIsolationViolation,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.mpc.dedup import assign_dense_ids
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+from repro.mpc.primitives import collect_rows, scatter_rows
+from repro.mpc.sort import sort_by_key
+
+EXECUTOR_NAMES = ["serial", "thread", "process"]
+
+
+class TestGetExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_names_resolve(self, name):
+        executor = get_executor(name)
+        assert executor.name == name
+        assert isinstance(executor, EXECUTORS[name])
+
+    def test_instance_passes_through(self):
+        inst = ProcessExecutor(max_workers=2)
+        assert get_executor(inst) is inst
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("gpu")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            get_executor(42)
+
+
+def _run_sort(executor):
+    keys = np.random.default_rng(7).uniform(size=120)
+    c = Cluster(5, 8192, executor=executor)
+    scatter_rows(c, keys, "keys")
+    sort_by_key(c, "keys", seed=3)
+    return collect_rows(c, "keys"), c.report()
+
+
+def _run_dedup(executor):
+    keys = np.random.default_rng(9).integers(0, 6, size=(80, 3)).astype(np.int64)
+    c = Cluster(4, 32768, executor=executor)
+    scatter_rows(c, keys, "keys")
+    total = assign_dense_ids(c, "keys", "ids")
+    ids = np.concatenate([m.get("ids") for m in c if m.get("ids") is not None])
+    return total, ids, c.report()
+
+
+class TestBitIdenticalAccounting:
+    """CostReport equality is dataclass equality — every counter and the
+    full per-round log must match across executors."""
+
+    def test_sort_reports_identical(self):
+        baseline_keys, baseline_report = _run_sort("serial")
+        for name in EXECUTOR_NAMES[1:]:
+            keys, report = _run_sort(name)
+            np.testing.assert_array_equal(keys, baseline_keys)
+            assert report == baseline_report, f"{name} report diverged"
+
+    def test_dedup_reports_identical(self):
+        base_total, base_ids, base_report = _run_dedup("serial")
+        for name in EXECUTOR_NAMES[1:]:
+            total, ids, report = _run_dedup(name)
+            assert total == base_total
+            np.testing.assert_array_equal(ids, base_ids)
+            assert report == base_report, f"{name} report diverged"
+
+
+class TestIdenticalOutputs:
+    def test_mpc_fjlt_output_executor_independent(self):
+        pts = np.random.default_rng(4).normal(size=(48, 16))
+        base, base_cluster = mpc_fjlt(pts, seed=11, executor="serial")
+        for name in EXECUTOR_NAMES[1:]:
+            out, cluster = mpc_fjlt(pts, seed=11, executor=name)
+            np.testing.assert_array_equal(out, base)
+            assert cluster.report() == base_cluster.report()
+
+    def test_tree_embedding_executor_independent(self, small_lattice):
+        base = mpc_tree_embedding(small_lattice, seed=5, executor="serial")
+        for name in EXECUTOR_NAMES[1:]:
+            result = mpc_tree_embedding(small_lattice, seed=5, executor=name)
+            np.testing.assert_array_equal(
+                result.tree.label_matrix, base.tree.label_matrix
+            )
+            assert result.report == base.report
+
+
+def _touch_spectator_step(machine, ctx, *, spectators):
+    # Deliberately violates the model: mutates a machine it was not
+    # handed, through a captured reference.
+    spectators[1].put("sneak", np.zeros(8))
+
+
+def _overflow_send_step(machine, ctx):
+    ctx.send((machine.machine_id + 1) % ctx.num_machines, np.zeros(4096), tag="big")
+
+
+class TestStorageIsolationGuard:
+    def test_strict_raises(self):
+        c = Cluster(3, 4096)
+        from functools import partial
+
+        step = partial(_touch_spectator_step, spectators=c.machines)
+        with pytest.raises(StorageIsolationViolation, match="machine 1"):
+            c.round(step, participants=[0], label="sneaky")
+
+    def test_non_strict_records_and_continues(self):
+        c = Cluster(3, 4096, strict=False)
+        from functools import partial
+
+        step = partial(_touch_spectator_step, spectators=c.machines)
+        c.round(step, participants=[0], label="sneaky")
+        assert c.rounds == 1
+        assert any("isolation" in v.lower() for v in c.violations)
+
+    def test_full_participation_not_snapshotted(self):
+        # Without a participants restriction every machine legitimately
+        # mutates itself; the guard must not fire.
+        c = Cluster(3, 4096)
+        c.round(lambda m, ctx: m.put("x", 1.0), label="ok")
+        assert c.violations == []
+
+
+class TestNonStrictMode:
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_overflow_recorded_under_every_executor(self, name):
+        c = Cluster(3, 256, strict=False, executor=name)
+        c.round(_overflow_send_step, label="flood")
+        assert c.rounds == 1
+        assert any("exceeding" in v for v in c.violations)
+        # Execution continued: messages were still delivered.
+        assert all(len(m.inbox) == 1 for m in c)
+
+
+class TestPickling:
+    def test_message_roundtrip_preserves_size(self):
+        msg = Message(0, 2, "data", np.arange(10.0))
+        clone = pickle.loads(pickle.dumps(msg))
+        assert (clone.src, clone.dest, clone.tag) == (0, 2, "data")
+        np.testing.assert_array_equal(clone.payload, msg.payload)
+        assert clone.size_words == msg.size_words
+
+    def test_machine_roundtrip(self):
+        m = Machine(3)
+        m.put("a", np.ones(5))
+        m.inbox.append(Message(0, 3, "t", [1, 2, 3]))
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.machine_id == 3
+        np.testing.assert_array_equal(clone.get("a"), np.ones(5))
+        assert clone.storage_words() == m.storage_words()
+        assert clone.inbox_words() == m.inbox_words()
+
+    def test_lambda_step_raises_executor_step_error(self):
+        c = Cluster(4, 1024, executor="process")
+        with pytest.raises(ExecutorStepError, match="module-level"):
+            c.round(lambda m, ctx: None, label="bad")
+
+
+class TestPlanCache:
+    def test_fjlt_plan_constructed_once_per_process(self):
+        clear_plan_cache()
+        pts = np.random.default_rng(2).normal(size=(40, 8))
+        _, cluster = mpc_fjlt(pts, seed=21)
+        stats = plan_cache_stats()
+        # One construction (the sizing template), then every machine's
+        # regeneration from the broadcast seed hits the cache.
+        assert stats["misses"] == 1
+        assert stats["hits"] >= cluster.num_machines
+
+
+class TestExecutorRepr:
+    def test_thread_executor_name(self):
+        assert ThreadExecutor().name == "thread"
+        assert SerialExecutor().name == "serial"
+        assert ProcessExecutor().name == "process"

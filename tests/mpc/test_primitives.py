@@ -1,4 +1,8 @@
-"""Tests for scatter/broadcast/gather/exchange primitives."""
+"""Tests for scatter/broadcast/gather/exchange primitives (all executors).
+
+Combine functions and exchange plans are module-level so the marked
+tests also pass under the process executor, which pickles them.
+"""
 
 import numpy as np
 import pytest
@@ -14,6 +18,34 @@ from repro.mpc.primitives import (
     shard_bounds,
     tree_gather,
 )
+
+pytestmark = pytest.mark.executor_matrix
+
+_EXECUTOR = "serial"
+
+
+@pytest.fixture(autouse=True)
+def _select_executor(mpc_executor):
+    global _EXECUTOR
+    _EXECUTOR = mpc_executor
+    yield
+    _EXECUTOR = "serial"
+
+
+def mk_cluster(m, mem):
+    return Cluster(m, mem, executor=_EXECUTOR)
+
+
+def _sum_parts(parts):
+    return sum(parts)
+
+
+def _sorted_concat(parts):
+    return sorted(sum(parts, []))
+
+
+def _full_exchange_plan(machine):
+    return [(d, machine.get("mine")) for d in range(3)]
 
 
 class TestShardBounds:
@@ -34,25 +66,25 @@ class TestShardBounds:
 
 class TestScatterCollect:
     def test_roundtrip(self):
-        c = Cluster(3, 256)
+        c = mk_cluster(3, 256)
         data = np.arange(20.0).reshape(10, 2)
         scatter_rows(c, data, "pts")
         out = collect_rows(c, "pts")
         np.testing.assert_array_equal(out, data)
 
     def test_offsets_recorded(self):
-        c = Cluster(3, 256)
+        c = mk_cluster(3, 256)
         scatter_rows(c, np.zeros((10, 2)), "pts")
         offsets = [peek(c, i, "pts/offset") for i in range(3)]
         assert offsets == [0, 4, 7]
 
     def test_scatter_consumes_no_rounds(self):
-        c = Cluster(3, 256)
+        c = mk_cluster(3, 256)
         scatter_rows(c, np.zeros((6, 2)), "pts")
         assert c.rounds == 0
 
     def test_collect_missing_key_raises(self):
-        c = Cluster(2, 64)
+        c = mk_cluster(2, 64)
         with pytest.raises(KeyError):
             collect_rows(c, "nope")
 
@@ -60,71 +92,65 @@ class TestScatterCollect:
 class TestBroadcast:
     @pytest.mark.parametrize("m", [1, 2, 5, 16])
     def test_all_machines_receive(self, m):
-        c = Cluster(m, 512)
+        c = mk_cluster(m, 512)
         broadcast(c, np.array([1.0, 2.0]), "val")
         for machine in c:
             np.testing.assert_array_equal(machine.get("val"), [1.0, 2.0])
 
     def test_nonzero_root(self):
-        c = Cluster(4, 512)
+        c = mk_cluster(4, 512)
         broadcast(c, "hello", "val", root=2)
         assert all(machine.get("val") == "hello" for machine in c)
 
     def test_rounds_constant_in_m_for_large_fanout(self):
         # With fan-out >= m, two rounds (send + absorb) always suffice.
-        small = Cluster(4, 4096)
-        large = Cluster(64, 4096)
+        small = mk_cluster(4, 4096)
+        large = mk_cluster(64, 4096)
         r_small = broadcast(small, 1.0, "v", fanout=64)
         r_large = broadcast(large, 1.0, "v", fanout=64)
         assert r_small == r_large == 2
 
     def test_respects_memory_budget(self):
         # Fan-out is derived so one round's sends fit the budget.
-        c = Cluster(8, 64)
+        c = mk_cluster(8, 64)
         broadcast(c, np.zeros(10), "v")
         assert all(m.get("v") is not None for m in c)
 
 
 class TestTreeGather:
     def test_sum_combine(self):
-        c = Cluster(5, 512)
+        c = mk_cluster(5, 512)
         for i, m in enumerate(c):
             m.put("x", float(i))
-        tree_gather(c, "x", lambda parts: sum(parts), out_key="total", fanin=2)
+        tree_gather(c, "x", _sum_parts, out_key="total", fanin=2)
         assert peek(c, 0, "total") == 10.0
 
     def test_concat_combine(self):
-        c = Cluster(3, 512)
+        c = mk_cluster(3, 512)
         for i, m in enumerate(c):
             m.put("x", [i])
-        tree_gather(
-            c, "x", lambda parts: sorted(sum(parts, [])), out_key="all", fanin=2
-        )
+        tree_gather(c, "x", _sorted_concat, out_key="all", fanin=2)
         assert peek(c, 0, "all") == [0, 1, 2]
 
     def test_single_machine(self):
-        c = Cluster(1, 64)
+        c = mk_cluster(1, 64)
         c.machine(0).put("x", 3)
-        tree_gather(c, "x", lambda parts: sum(parts), out_key="t")
+        tree_gather(c, "x", _sum_parts, out_key="t")
         assert peek(c, 0, "t") == 3
 
     def test_fanin_validation(self):
-        c = Cluster(2, 64)
+        c = mk_cluster(2, 64)
         with pytest.raises(ValueError, match="fanin"):
             tree_gather(c, "x", sum, out_key="t", fanin=1)
 
 
 class TestExchangeAbsorb:
     def test_all_to_all_then_concat(self):
-        c = Cluster(3, 512)
+        c = mk_cluster(3, 512)
         for m in c:
             m.put("mine", np.full(2, float(m.machine_id)))
 
-        exchange(
-            c,
-            lambda m: [(d, m.get("mine")) for d in range(3)],
-            tag="xfer",
-        )
+        exchange(c, _full_exchange_plan, tag="xfer")
         absorb_concat(c, "xfer", "gathered")
         for m in c:
             np.testing.assert_array_equal(
@@ -132,6 +158,6 @@ class TestExchangeAbsorb:
             )
 
     def test_absorb_without_messages_stores_none(self):
-        c = Cluster(2, 64)
+        c = mk_cluster(2, 64)
         absorb_concat(c, "never-sent", "out")
         assert peek(c, 0, "out") is None

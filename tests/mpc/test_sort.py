@@ -1,4 +1,4 @@
-"""Tests for the constant-round sample sort."""
+"""Tests for the constant-round sample sort (under every executor)."""
 
 import numpy as np
 import pytest
@@ -7,9 +7,21 @@ from repro.mpc.cluster import Cluster
 from repro.mpc.primitives import collect_rows, scatter_rows
 from repro.mpc.sort import sort_by_key
 
+pytestmark = pytest.mark.executor_matrix
+
+_EXECUTOR = "serial"
+
+
+@pytest.fixture(autouse=True)
+def _select_executor(mpc_executor):
+    global _EXECUTOR
+    _EXECUTOR = mpc_executor
+    yield
+    _EXECUTOR = "serial"
+
 
 def run_sort(keys, m=4, mem=4096, values=None, **kw):
-    c = Cluster(m, mem)
+    c = Cluster(m, mem, executor=_EXECUTOR)
     scatter_rows(c, keys, "keys")
     if values is not None:
         scatter_rows(c, values, "vals")
