@@ -1,10 +1,32 @@
-.PHONY: install test bench bench-smoke examples figure1 all clean
+.PHONY: install test lint bench bench-smoke examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
 
 test:
 	python -m pytest tests/
+
+# Static gates, in order: mpclint (the repo's own AST invariant checker,
+# tools/mpclint — rule catalogue in docs/LINTING.md), then ruff and mypy
+# when installed.  ruff/mypy are optional dev tools; environments without
+# them skip those stages with a notice instead of failing, so `make lint`
+# is runnable everywhere while CI (which installs both) gets all three.
+lint:
+	PYTHONPATH=src python -m repro.lint src/repro --root .
+	@if python -m ruff --version >/dev/null 2>&1; then \
+		echo "== ruff"; python -m ruff check .; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		echo "== ruff"; ruff check .; \
+	else \
+		echo "== ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if python -m mypy --version >/dev/null 2>&1; then \
+		echo "== mypy"; python -m mypy -p repro.mpc -p repro.util; \
+	elif command -v mypy >/dev/null 2>&1; then \
+		echo "== mypy"; mypy -p repro.mpc -p repro.util; \
+	else \
+		echo "== mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
@@ -25,7 +47,7 @@ examples:
 figure1:
 	python -m repro figure1 --out-dir examples/output
 
-all: test bench
+all: lint test bench
 
 clean:
 	rm -rf build src/repro.egg-info .pytest_cache .benchmarks

@@ -9,7 +9,6 @@ Series regenerated: for fixed data (d = 8), sweep r — measured mean
 stretch, measured grids actually used, and the Lemma 7 storage budget.
 """
 
-import numpy as np
 from common import record
 
 from repro.core.distortion import expected_distortion_report

@@ -8,7 +8,6 @@ solutions under the true Euclidean metric against natural baselines
 re-evaluation for the others).
 """
 
-import numpy as np
 from common import record
 from scipy.spatial.distance import cdist
 

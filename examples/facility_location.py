@@ -9,7 +9,6 @@ the true Euclidean metric.
 Run:  python examples/facility_location.py
 """
 
-import numpy as np
 from scipy.spatial.distance import cdist
 
 from repro.apps.tree_dp import tree_facility_location

@@ -7,7 +7,6 @@ and prints the per-round trace of one of them.
 Run:  python examples/mpc_applications_demo.py
 """
 
-import numpy as np
 
 from repro.apps.mpc_apps import mpc_densest_ball, mpc_tree_emd, mpc_tree_mst
 from repro.apps.mst import exact_emst

@@ -11,7 +11,6 @@ accounting, use the unified harness instead:
 Run:  python examples/profiling_demo.py
 """
 
-import numpy as np
 
 from repro.core.distortion import distortion_report
 from repro.core.mpc_embedding import mpc_tree_embedding

@@ -19,7 +19,6 @@ high-probability event actually held.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

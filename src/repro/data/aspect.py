@@ -63,7 +63,7 @@ def normalize_to_lattice(points: np.ndarray, delta: int) -> np.ndarray:
     lo = pts.min(axis=0)
     span = pts.max(axis=0) - lo
     width = float(span.max())
-    if width == 0.0:
+    if width <= 0.0:
         return np.ones_like(pts)
     scaled = 1 + (pts - lo) / width * (delta - 1)
     return np.rint(scaled).astype(np.float64)

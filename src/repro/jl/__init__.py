@@ -13,6 +13,7 @@
 from repro.jl.dense import GaussianJL
 from repro.jl.fjlt import FJLT, target_dimension
 from repro.jl.hadamard import fwht, fwht_inplace, hadamard_matrix, next_power_of_two
+from repro.jl.mpc_dense import mpc_dense_jl
 from repro.jl.mpc_fjlt import mpc_blocked_fwht, mpc_fjlt
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "fwht_inplace",
     "hadamard_matrix",
     "next_power_of_two",
+    "mpc_dense_jl",
     "mpc_fjlt",
     "mpc_blocked_fwht",
 ]

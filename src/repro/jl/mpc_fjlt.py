@@ -34,7 +34,7 @@ from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machin
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
-from repro.mpc.primitives import broadcast, collect_rows, scatter_rows
+from repro.mpc.primitives import broadcast, scatter_rows
 from repro.util.rng import SeedLike, as_generator, derive_seed
 from repro.util.validation import check_points, check_power_of_two, require
 

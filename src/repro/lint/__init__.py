@@ -1,0 +1,55 @@
+"""``repro.lint`` — the repo's static invariant checker (mpclint).
+
+The analyzer itself lives in ``tools/mpclint`` (it is repo tooling, not
+part of the shipped library, and must never import ``repro`` to lint
+it).  This shim locates the checkout's ``tools/`` directory relative to
+this file, puts it on ``sys.path``, and re-exports the public surface so
+``python -m repro.lint`` and ``from repro.lint import run_paths`` work
+anywhere the package does.  See ``docs/LINTING.md`` for the rule
+catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def _bootstrap():
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        candidate = ancestor / "tools" / "mpclint" / "__init__.py"
+        if candidate.exists():
+            tools_dir = str(candidate.parents[1])
+            if tools_dir not in sys.path:
+                sys.path.insert(0, tools_dir)
+            import mpclint
+
+            return mpclint
+    raise ModuleNotFoundError(
+        "repro.lint needs the repository checkout: tools/mpclint was not "
+        "found above " + str(here)
+    )
+
+
+_mpclint = _bootstrap()
+
+Project = _mpclint.Project
+Rule = _mpclint.Rule
+Severity = _mpclint.Severity
+Violation = _mpclint.Violation
+all_rules = _mpclint.all_rules
+register = _mpclint.register
+run_paths = _mpclint.run_paths
+lint_version = _mpclint.__version__
+
+__all__ = [
+    "Project",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "register",
+    "run_paths",
+    "lint_version",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — run mpclint from anywhere in the checkout."""
+
+import sys
+
+import repro.lint  # noqa: F401  (bootstraps tools/ onto sys.path)
+from mpclint.cli import main
+
+sys.exit(main())

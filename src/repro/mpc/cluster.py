@@ -79,7 +79,7 @@ class Cluster:
         strict: bool = True,
         round_limit: Optional[int] = None,
         executor: ExecutorLike = None,
-    ):
+    ) -> None:
         if num_machines < 1:
             raise ValueError(f"num_machines must be >= 1, got {num_machines}")
         if local_memory < 1:

@@ -16,7 +16,7 @@ class MPCError(RuntimeError):
 class LocalMemoryExceeded(MPCError):
     """A machine's resident storage grew beyond its local memory budget."""
 
-    def __init__(self, machine_id: int, used: int, budget: int, context: str = ""):
+    def __init__(self, machine_id: int, used: int, budget: int, context: str = "") -> None:
         self.machine_id = machine_id
         self.used = used
         self.budget = budget
@@ -30,7 +30,7 @@ class LocalMemoryExceeded(MPCError):
 class CommunicationOverflow(MPCError):
     """A machine sent or received more words in one round than its memory."""
 
-    def __init__(self, machine_id: int, direction: str, volume: int, budget: int):
+    def __init__(self, machine_id: int, direction: str, volume: int, budget: int) -> None:
         self.machine_id = machine_id
         self.direction = direction
         self.volume = volume
@@ -44,7 +44,7 @@ class CommunicationOverflow(MPCError):
 class RoundLimitExceeded(MPCError):
     """The computation used more rounds than the configured limit."""
 
-    def __init__(self, rounds: int, limit: int):
+    def __init__(self, rounds: int, limit: int) -> None:
         self.rounds = rounds
         self.limit = limit
         super().__init__(f"computation used {rounds} rounds, exceeding limit {limit}")
@@ -61,7 +61,7 @@ class StorageIsolationViolation(MPCError):
     this when they changed.
     """
 
-    def __init__(self, machine_id: int, before: int, after: int, context: str = ""):
+    def __init__(self, machine_id: int, before: int, after: int, context: str = "") -> None:
         self.machine_id = machine_id
         self.before = before
         self.after = after
@@ -86,7 +86,7 @@ class ExecutorStepError(MPCError):
 class InvalidAddress(MPCError):
     """A message was addressed to a machine id outside the cluster."""
 
-    def __init__(self, dest: int, num_machines: int):
+    def __init__(self, dest: int, num_machines: int) -> None:
         self.dest = dest
         self.num_machines = num_machines
         super().__init__(

@@ -38,9 +38,9 @@ from __future__ import annotations
 
 import atexit
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.mpc.errors import ExecutorStepError, InvalidAddress
 from repro.mpc.machine import Machine
@@ -59,7 +59,7 @@ class RoundContext:
 
     __slots__ = ("num_machines", "_machine", "_outbox", "round_index")
 
-    def __init__(self, num_machines: int, machine: Machine, round_index: int):
+    def __init__(self, num_machines: int, machine: Machine, round_index: int) -> None:
         self.num_machines = num_machines
         self._machine = machine
         self._outbox: List[Message] = []
@@ -107,7 +107,7 @@ def _execute_inplace(
 
 def _process_batch_worker(
     machines: List[Machine], step: StepFn, round_index: int, num_machines: int
-):
+) -> List[Tuple[int, Dict[str, Any], List[Message], List[Message]]]:
     """Worker-side round execution for a batch of machines.
 
     Receives pickled machine copies, runs the step on each, and returns
@@ -156,7 +156,14 @@ class SerialExecutor(RoundExecutor):
 
     name = "serial"
 
-    def run_round(self, machines, ids, step, round_index, num_machines):
+    def run_round(
+        self,
+        machines: Sequence[Machine],
+        ids: Sequence[int],
+        step: StepFn,
+        round_index: int,
+        num_machines: int,
+    ) -> List[MachineRoundResult]:
         return [
             _execute_inplace(machines[mid], step, round_index, num_machines)
             for mid in ids
@@ -227,7 +234,14 @@ class ThreadExecutor(RoundExecutor):
 
     name = "thread"
 
-    def run_round(self, machines, ids, step, round_index, num_machines):
+    def run_round(
+        self,
+        machines: Sequence[Machine],
+        ids: Sequence[int],
+        step: StepFn,
+        round_index: int,
+        num_machines: int,
+    ) -> List[MachineRoundResult]:
         ids = list(ids)
         if len(ids) <= 1:
             return [
@@ -261,14 +275,21 @@ class ProcessExecutor(RoundExecutor):
 
     name = "process"
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None) -> None:
         self.max_workers = max_workers or default_process_workers()
 
     def _chunks(self, ids: List[int]) -> List[List[int]]:
         per = -(-len(ids) // self.max_workers)
         return [ids[i : i + per] for i in range(0, len(ids), per)]
 
-    def run_round(self, machines, ids, step, round_index, num_machines):
+    def run_round(
+        self,
+        machines: Sequence[Machine],
+        ids: Sequence[int],
+        step: StepFn,
+        round_index: int,
+        num_machines: int,
+    ) -> List[MachineRoundResult]:
         ids = list(ids)
         if len(ids) <= 1:
             # A one-machine round (broadcast roots, coordinators) costs

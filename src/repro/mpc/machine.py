@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.mpc.message import Message
 from repro.util.sizing import words
@@ -18,7 +18,7 @@ class Machine:
 
     __slots__ = ("machine_id", "_store", "inbox")
 
-    def __init__(self, machine_id: int):
+    def __init__(self, machine_id: int) -> None:
         self.machine_id = machine_id
         self._store: Dict[str, Any] = {}
         self.inbox: List[Message] = []
@@ -54,10 +54,10 @@ class Machine:
     # whole state is (id, storage, inbox); word sizes are properties of
     # the stored values and survive the round trip unchanged.
 
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple[int, Dict[str, Any], List[Message]]:
         return (self.machine_id, self._store, self.inbox)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Tuple[int, Dict[str, Any], List[Message]]) -> None:
         self.machine_id, self._store, self.inbox = state
 
     # -- accounting ----------------------------------------------------

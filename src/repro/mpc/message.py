@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Tuple
 
 from repro.util.sizing import words
 
@@ -41,10 +41,10 @@ class Message:
     # message rather than being recomputed on unpickle, so accounting is
     # charged exactly once, at construction time, on the sending side.
 
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple[int, int, str, Any, int]:
         return (self.src, self.dest, self.tag, self.payload, self.size_words)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Tuple[int, int, str, Any, int]) -> None:
         src, dest, tag, payload, size_words = state
         object.__setattr__(self, "src", src)
         object.__setattr__(self, "dest", dest)

@@ -31,7 +31,7 @@ import numpy as np
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast
-from repro.util.rng import as_generator, derive_seed, machine_rng
+from repro.util.rng import SeedLike, as_generator, derive_seed, machine_rng
 
 
 def _sample_step(
@@ -115,7 +115,7 @@ def sort_by_key(
     *,
     value_key: Optional[str] = None,
     sample_per_machine: int = 8,
-    seed=None,
+    seed: SeedLike = None,
 ) -> int:
     """Globally sort records distributed across the cluster.
 

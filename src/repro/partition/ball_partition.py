@@ -25,7 +25,6 @@ from repro.geometry.coverage import grids_for_failure_probability
 from repro.partition.base import (
     CoverageFailure,
     FlatPartition,
-    canonicalize_labels,
     factorize_rows,
 )
 from repro.partition.grids import build_grid_shifts

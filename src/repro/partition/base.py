@@ -7,7 +7,7 @@ drawn at geometrically decreasing scales.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np

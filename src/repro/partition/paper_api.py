@@ -18,7 +18,7 @@ the pseudocode symbol for symbol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

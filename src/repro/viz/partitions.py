@@ -9,7 +9,7 @@ paper's figure does.
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from repro.apps.clustering import (
     tree_single_linkage,
 )
 from repro.core.sequential import sequential_tree_embedding
-from repro.data.synthetic import gaussian_clusters, uniform_lattice
+from repro.data.synthetic import uniform_lattice
 
 
 def well_separated(seed, n=120):

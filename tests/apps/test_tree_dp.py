@@ -14,7 +14,7 @@ from repro.apps.tree_dp import (
 )
 from repro.core.sequential import sequential_tree_embedding
 from repro.data.synthetic import gaussian_clusters, uniform_lattice
-from repro.tree.metric import pairwise_tree_distances, tree_distance
+from repro.tree.metric import tree_distance
 
 
 class TestFoldTree:

@@ -13,14 +13,9 @@ from repro.data.synthetic import gaussian_clusters, uniform_lattice
 EXECUTOR_MATRIX = ["serial", "thread", "process"]
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "executor_matrix: run the test under each MPC round executor "
-        "(serial, thread, process) via the mpc_executor fixture",
-    )
-
-
+# The executor_matrix marker itself is registered in pyproject.toml
+# ([tool.pytest.ini_options] markers) so `--strict-markers` has one
+# source of truth; this hook only implements its parametrization.
 def pytest_generate_tests(metafunc):
     if "mpc_executor" in metafunc.fixturenames and metafunc.definition.get_closest_marker(
         "executor_matrix"

@@ -5,7 +5,6 @@ valid dominating tree; this is the catch-all regression net for
 configuration interactions.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.embedding import embed

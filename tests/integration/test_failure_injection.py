@@ -11,7 +11,6 @@ from repro.jl.mpc_fjlt import mpc_fjlt
 from repro.mpc.cluster import Cluster
 from repro.mpc.errors import (
     CommunicationOverflow,
-    LocalMemoryExceeded,
     MPCError,
     RoundLimitExceeded,
 )

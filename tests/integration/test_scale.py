@@ -8,7 +8,6 @@ guarantees survive at n in the thousands.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core.distortion import distortion_report
 from repro.core.sequential import sequential_tree_embedding

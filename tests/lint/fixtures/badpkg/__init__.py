@@ -1,0 +1,9 @@
+"""MPC005 fixture: a phantom export and an executor-less entry point."""
+
+from badpkg.real import actual
+
+__all__ = ["actual", "phantom"]
+
+
+def mpc_widget(points):
+    return actual(points)

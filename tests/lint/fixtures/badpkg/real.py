@@ -1,0 +1,2 @@
+def actual(points):
+    return points

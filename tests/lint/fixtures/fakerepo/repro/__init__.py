@@ -1,0 +1,3 @@
+from repro.good import thing
+
+__all__ = ["thing", "good"]

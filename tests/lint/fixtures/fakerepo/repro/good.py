@@ -1,0 +1,6 @@
+def thing(points):
+    return points
+
+
+class Widget:
+    pass

@@ -1,0 +1,9 @@
+"""MPC005 fixture: exports all exist, entry point accepts executor=."""
+
+from goodpkg.real import actual
+
+__all__ = ["actual", "real", "mpc_widget"]
+
+
+def mpc_widget(points, *, executor=None):
+    return actual(points), executor

@@ -1,0 +1,25 @@
+"""MPC001 fixture: every unpicklable step shape the rule must catch."""
+
+from functools import partial
+
+
+def run_lambda(cluster):
+    cluster.round(lambda machine, ctx: None, label="bad-lambda")
+
+
+def run_nested(cluster):
+    def _inner_step(machine, ctx):
+        machine.put("x", 1)
+
+    cluster.round(_inner_step, label="bad-closure")
+
+
+_named_lambda = lambda machine, ctx: None
+
+
+def run_lambda_named(cluster):
+    cluster.round(_named_lambda, label="bad-lambda-name")
+
+
+def run_partial_lambda(cluster):
+    cluster.round(partial(lambda machine, ctx, k: None, k=3), label="bad-partial")

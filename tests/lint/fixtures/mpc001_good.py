@@ -1,0 +1,12 @@
+"""MPC001 fixture: the sanctioned step shapes."""
+
+from functools import partial
+
+
+def _scale_step(machine, ctx, *, factor=1):
+    machine.put("x", factor * (machine.get("x") or 0))
+
+
+def run(cluster):
+    cluster.round(_scale_step, label="plain")
+    cluster.round(partial(_scale_step, factor=2), label="partial-bound")

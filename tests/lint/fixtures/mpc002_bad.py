@@ -1,0 +1,14 @@
+"""MPC002 fixture: every global-randomness shape the rule must catch."""
+
+import random
+import time
+from random import choice
+
+import numpy as np
+
+
+def draw():
+    legacy = np.random.rand(3)
+    unseeded = np.random.default_rng()
+    wall_clock = np.random.default_rng(time.time_ns())
+    return legacy, unseeded, wall_clock, choice([1, 2]), random.random()

@@ -1,0 +1,10 @@
+"""MPC002 fixture: sanctioned randomness plumbing."""
+
+import numpy as np
+
+
+def draw(seed, machine_id):
+    seq = np.random.SeedSequence(entropy=int(seed), spawn_key=(int(machine_id),))
+    rng = np.random.default_rng(seq)
+    explicit = np.random.default_rng(1234)
+    return rng.normal(size=3), explicit.integers(0, 10)

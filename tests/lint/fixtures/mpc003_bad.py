@@ -1,0 +1,18 @@
+"""MPC003 fixture: step functions writing module-level mutable globals."""
+
+_CACHE = {}
+_LOG = []
+_COUNT = 0
+
+
+def _cache_write_step(machine, ctx):
+    _CACHE[machine.machine_id] = machine.get("x")
+
+
+def _append_step(machine, ctx):
+    _LOG.append(machine.machine_id)
+
+
+def _global_step(machine, ctx):
+    global _COUNT
+    _COUNT = _COUNT + 1

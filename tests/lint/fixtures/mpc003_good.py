@@ -1,0 +1,17 @@
+"""MPC003 fixture: step state lives on the machine (or is local)."""
+
+import numpy as np
+
+_LIMIT = 8  # read-only module constant is fine
+
+
+def _local_state_step(machine, ctx):
+    scratch = {}
+    scratch["rows"] = np.sort(np.asarray(machine.get("rows")))[:_LIMIT]
+    machine.put("rows", scratch["rows"])
+
+
+def _shadow_step(machine, ctx):
+    _CACHE = {}  # noqa: N806 - local shadowing a would-be global is fine
+    _CACHE["x"] = machine.get("x")
+    machine.put("x", _CACHE["x"])

@@ -1,0 +1,9 @@
+"""MPC004 fixture: rewriting charged message accounting."""
+
+
+def shrink(msg):
+    msg.size_words = 0
+
+
+def tamper(msg):
+    object.__setattr__(msg, "size_words", 7)

@@ -1,0 +1,9 @@
+"""MPC004 fixture: reading accounting and rebuilding messages is fine."""
+
+
+def total_words(messages):
+    return sum(msg.size_words for msg in messages)
+
+
+def readdress(message_cls, msg, dest):
+    return message_cls(msg.src, dest, msg.tag, msg.payload)

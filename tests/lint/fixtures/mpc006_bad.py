@@ -1,0 +1,7 @@
+"""MPC006 fixture: bare float-literal equality comparisons."""
+
+
+def bad(x, y):
+    if x == 1.5:
+        return True
+    return 0.0 != y or y == -2.5

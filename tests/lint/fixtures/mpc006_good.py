@@ -1,0 +1,13 @@
+"""MPC006 fixture: tolerant comparisons and exact-boundary inequalities."""
+
+import math
+
+import numpy as np
+
+
+def good(x, y):
+    if np.isclose(x, 1.5):
+        return True
+    if x <= 0.0:  # inequality against an exact boundary is fine
+        return False
+    return math.isclose(y, 2.5, abs_tol=1e-12) or x == 3  # int equality is fine

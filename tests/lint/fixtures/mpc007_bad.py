@@ -1,0 +1,27 @@
+"""MPC007 fixture: steps reaching beyond their own machine."""
+
+from functools import partial
+
+
+class FakeCluster:
+    def round(self, step, label=""):
+        return step
+
+
+cluster = FakeCluster()
+
+
+def _peek_step(machine, ctx):
+    return cluster  # free read of the enclosing cluster
+
+
+def _param_step(machine, ctx, *, cluster=None):
+    return cluster  # cluster smuggled in as a parameter
+
+
+def _bound_step(machine, ctx, **kw):
+    return kw
+
+
+def run():
+    cluster.round(partial(_bound_step, cluster=cluster), label="bad-bind")

@@ -1,0 +1,12 @@
+"""MPC007 fixture: steps that only touch (machine, ctx) and bound data."""
+
+from functools import partial
+
+
+def _forward_step(machine, ctx, *, splitters=()):
+    for dest, row in enumerate(splitters):
+        ctx.send(dest % ctx.num_machines, row, tag="fwd")
+
+
+def run(cluster, splitters):
+    cluster.round(partial(_forward_step, splitters=splitters), label="fwd")

@@ -1,0 +1,5 @@
+"""Suppression fixture: inline disable silences exactly the named rule."""
+
+
+def run(cluster):
+    cluster.round(lambda machine, ctx: None, label="ok")  # mpclint: disable=MPC001

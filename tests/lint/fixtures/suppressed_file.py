@@ -1,0 +1,6 @@
+"""File-level suppression fixture."""
+# mpclint: disable-file=MPC006
+
+
+def boundary(x):
+    return x == 0.25 or x != 1.75

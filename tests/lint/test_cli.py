@@ -1,0 +1,66 @@
+"""CLI contract: exit codes, JSON output, rule listing."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _run(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def test_clean_tree_exits_zero():
+    proc = _run("--root", str(ROOT))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_violations_exit_one_with_rule_id():
+    proc = _run(str(FIXTURES / "mpc001_bad.py"), "--root", str(FIXTURES))
+    assert proc.returncode == 1
+    assert "MPC001" in proc.stdout
+    assert "hint:" in proc.stdout
+
+
+def test_json_output_is_machine_readable():
+    proc = _run(
+        str(FIXTURES / "mpc006_bad.py"), "--root", str(FIXTURES), "--format", "json"
+    )
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["tool"] == "mpclint"
+    assert report["warnings"] == 3
+    assert {v["rule"] for v in report["violations"]} == {"MPC006"}
+
+
+def test_list_rules_catalogue():
+    proc = _run("--list-rules")
+    assert proc.returncode == 0
+    for i in range(1, 9):
+        assert f"MPC00{i}" in proc.stdout
+
+
+def test_select_filter():
+    proc = _run(
+        str(FIXTURES / "mpc002_bad.py"),
+        "--root",
+        str(FIXTURES),
+        "--select",
+        "MPC006",
+    )
+    assert proc.returncode == 0

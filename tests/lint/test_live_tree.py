@@ -1,0 +1,54 @@
+"""The self-check: the shipped tree is violation-free, and a seeded
+violation is caught — the lint gate actually protects the invariants."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.lint import all_rules, run_paths
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_rule_catalogue_complete():
+    ids = [rule.id for rule in all_rules()]
+    assert ids == [f"MPC00{i}" for i in range(1, 9)]
+    for rule in all_rules():
+        assert rule.title and rule.fix_hint, f"{rule.id} is missing docs"
+
+
+def test_live_tree_is_violation_free():
+    violations = run_paths(
+        [ROOT / "src" / "repro"], docs=[ROOT / "docs" / "API.md"], root=ROOT
+    )
+    assert violations == [], "\n".join(v.format_human() for v in violations)
+
+
+def test_seeded_violation_is_caught(tmp_path):
+    """Copy a real module aside, seed a lambda step and a global RNG call,
+    and check the right rule ids fire — the acceptance scenario."""
+    victim = ROOT / "src" / "repro" / "mpc" / "dedup.py"
+    patched = tmp_path / "dedup.py"
+    source = victim.read_text()
+    source += (
+        "\n\n"
+        "def _seeded_bad(cluster):\n"
+        "    cluster.round(lambda machine, ctx: None, label='seeded')\n"
+        "    return np.random.rand(3)\n"
+    )
+    patched.write_text(source)
+    violations = run_paths([patched], root=tmp_path)
+    assert {v.rule_id for v in violations} == {"MPC001", "MPC002"}
+
+
+def test_seeded_docs_drift_is_caught(tmp_path):
+    api = (ROOT / "docs" / "API.md").read_text()
+    api += "\n## `repro.mpc`\n\n* `definitely_not_a_symbol` — drifted.\n"
+    doc = tmp_path / "API.md"
+    doc.write_text(api)
+    src_copy = tmp_path / "repro"
+    shutil.copytree(ROOT / "src" / "repro", src_copy)
+    violations = run_paths([src_copy], docs=[doc], root=tmp_path)
+    assert {v.rule_id for v in violations} == {"MPC008"}
+    assert any("definitely_not_a_symbol" in v.message for v in violations)

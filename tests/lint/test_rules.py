@@ -1,0 +1,87 @@
+"""Per-rule fixture tests: every rule fires on its bad fixture and stays
+quiet on the good one, and suppression comments silence findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: rule id -> (bad fixture, expected violation count, good fixture)
+CASES = {
+    "MPC001": ("mpc001_bad.py", 4, "mpc001_good.py"),
+    "MPC002": ("mpc002_bad.py", 5, "mpc002_good.py"),
+    "MPC003": ("mpc003_bad.py", 3, "mpc003_good.py"),
+    "MPC004": ("mpc004_bad.py", 2, "mpc004_good.py"),
+    "MPC005": ("badpkg", 2, "goodpkg"),
+    "MPC006": ("mpc006_bad.py", 3, "mpc006_good.py"),
+    "MPC007": ("mpc007_bad.py", 3, "mpc007_good.py"),
+}
+
+
+def _lint(target, **kwargs):
+    return run_paths([FIXTURES / target], root=FIXTURES, **kwargs)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_bad_fixture_fires(rule_id):
+    bad, expected, _good = CASES[rule_id]
+    violations = _lint(bad)
+    assert [v.rule_id for v in violations] == [rule_id] * expected, violations
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_good_fixture_clean(rule_id):
+    _bad, _expected, good = CASES[rule_id]
+    assert _lint(good) == []
+
+
+def test_mpc008_fires_on_drifted_docs():
+    violations = run_paths(
+        [FIXTURES / "fakerepo"], docs=[FIXTURES / "docs_bad.md"], root=FIXTURES
+    )
+    assert [v.rule_id for v in violations] == ["MPC008"] * 3
+    messages = "\n".join(v.message for v in violations)
+    assert "gone_symbol" in messages
+    assert "vanished" in messages
+    assert "repro.missing_mod" in messages
+
+
+def test_mpc008_clean_on_accurate_docs():
+    violations = run_paths(
+        [FIXTURES / "fakerepo"], docs=[FIXTURES / "docs_good.md"], root=FIXTURES
+    )
+    assert violations == []
+
+
+def test_inline_suppression_silences_rule():
+    assert _lint("suppressed.py") == []
+    # Without suppression handling the same code does violate MPC001.
+    violations = _lint("mpc001_bad.py", select=["MPC001"])
+    assert violations, "sanity: the unsuppressed twin fires"
+
+
+def test_file_suppression_silences_rule():
+    assert _lint("suppressed_file.py") == []
+
+
+def test_select_and_ignore_filters():
+    all_bad = _lint("mpc002_bad.py")
+    assert {v.rule_id for v in all_bad} == {"MPC002"}
+    assert _lint("mpc002_bad.py", ignore=["MPC002"]) == []
+    assert _lint("mpc002_bad.py", select=["MPC004"]) == []
+
+
+def test_violation_fields_are_reportable():
+    violation = _lint("mpc004_bad.py")[0]
+    assert violation.path.endswith("mpc004_bad.py")
+    assert violation.line > 0
+    assert violation.severity == "error"
+    assert violation.fix_hint
+    as_dict = violation.as_dict()
+    assert as_dict["rule"] == "MPC004"
+    assert "size_words" in str(as_dict["message"])

@@ -1,0 +1,53 @@
+"""mpclint — AST-based invariant checker for the repro MPC simulator.
+
+The simulator's correctness rests on conventions the runtime can only
+police *after* the fact (pickle failures in the process executor,
+``StorageIsolationViolation`` guards, accounting asserts).  mpclint
+enforces them statically, across the whole tree, at lint time:
+
+* step functions must be module-level, picklable callables (MPC001);
+* all randomness must flow from ``machine_rng`` / explicit generators,
+  never global RNG state (MPC002);
+* step functions must not write module-level mutable globals (MPC003);
+* ``Message`` word accounting is charged exactly once (MPC004);
+* the exported API must exist and ``mpc_*`` entry points must accept
+  ``executor=`` (MPC005);
+* numeric code must not compare floats with bare ``==`` (MPC006);
+* steps only touch the machine they are handed (MPC007);
+* ``docs/API.md`` must not drift from the tree (MPC008).
+
+Run it as ``python -m repro.lint`` (with ``PYTHONPATH=src``), via
+``make lint``, or import :func:`run_paths` programmatically.  Rules are
+pluggable — see ``docs/LINTING.md`` for the catalogue, the
+``# mpclint: disable=RULE`` suppression syntax, and how to add a rule.
+"""
+
+from mpclint.core import (
+    Project,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    register,
+    run_paths,
+)
+
+# Importing the rule modules registers every built-in rule.
+from mpclint import rules_steps  # noqa: F401  (registration side effect)
+from mpclint import rules_rng  # noqa: F401
+from mpclint import rules_message  # noqa: F401
+from mpclint import rules_api  # noqa: F401
+from mpclint import rules_numeric  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Project",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_rules",
+    "register",
+    "run_paths",
+    "__version__",
+]

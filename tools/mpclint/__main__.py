@@ -1,0 +1,7 @@
+"""``python -m mpclint`` entry point (with tools/ on sys.path)."""
+
+import sys
+
+from mpclint.cli import main
+
+sys.exit(main())

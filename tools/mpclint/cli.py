@@ -1,0 +1,152 @@
+"""mpclint command line interface.
+
+Exit codes: 0 — clean; 1 — violations found; 2 — usage or internal
+error.  Output is human-readable by default, ``--format json`` emits a
+machine-readable report (one object with a ``violations`` list), which
+is what CI and the test suite consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from mpclint.core import Severity, Violation, all_rules, run_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mpclint",
+        description="AST-based invariant checker for the repro MPC simulator",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro under --root)",
+    )
+    parser.add_argument(
+        "--docs",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="markdown file for the docs-drift rule (default: docs/API.md "
+        "under --root if it exists; pass --docs none to disable)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="repository root used to resolve defaults and report paths",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_rule_args(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if values is None:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.severity}]  {rule.title}")
+        if rule.fix_hint:
+            lines.append(f"    fix: {rule.fix_hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root).resolve()
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        default = root / "src" / "repro"
+        if not default.exists():
+            parser.error(f"no paths given and {default} does not exist")
+        paths = [default]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"path does not exist: {path}")
+
+    if args.docs is None:
+        default_doc = root / "docs" / "API.md"
+        docs = [default_doc] if default_doc.exists() else []
+    else:
+        docs = [Path(d) for d in args.docs if d.lower() != "none"]
+
+    try:
+        violations = run_paths(
+            paths,
+            docs=docs,
+            root=root,
+            select=_split_rule_args(args.select),
+            ignore=_split_rule_args(args.ignore),
+        )
+    except Exception as exc:  # pragma: no cover - internal error path
+        print(f"mpclint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(_json_report(violations), indent=2, sort_keys=True))
+    else:
+        for violation in violations:
+            print(violation.format_human())
+        errors = sum(1 for v in violations if v.severity == Severity.ERROR)
+        warnings = len(violations) - errors
+        if violations:
+            print(f"mpclint: {errors} error(s), {warnings} warning(s)")
+        else:
+            print(f"mpclint: clean ({len(all_rules())} rules)")
+    return 1 if violations else 0
+
+
+def _json_report(violations: Sequence[Violation]) -> dict:
+    return {
+        "tool": "mpclint",
+        "rules": [rule.id for rule in all_rules()],
+        "errors": sum(1 for v in violations if v.severity == Severity.ERROR),
+        "warnings": sum(1 for v in violations if v.severity == Severity.WARNING),
+        "violations": [v.as_dict() for v in violations],
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

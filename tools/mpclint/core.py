@@ -1,0 +1,507 @@
+"""mpclint framework: rule registry, project model, suppressions, runner.
+
+The analyzer is deliberately self-contained (stdlib only — ``ast``,
+``re``, ``json``) so it can lint the tree without importing it; every
+check is static.  The moving parts:
+
+* :class:`ModuleInfo` — one parsed source file: AST, raw lines,
+  top-level bindings, and the ``# mpclint: disable=`` suppression map.
+* :class:`Project` — all modules plus any docs files, with a static
+  symbol table (``top_level``/``is_module``/``resolve_dotted``) shared
+  by the cross-module rules (MPC005, MPC008).
+* :class:`Rule` — base class.  Subclasses set ``id`` / ``severity`` /
+  ``title`` / ``fix_hint`` and implement ``check_module`` (called once
+  per file) and/or ``check_project`` (called once per run).
+* :func:`register` — decorator adding a rule class to the registry;
+  importing a rule module is all it takes to enable its rules.
+* :func:`run_paths` — the entry point the CLI and the tests share.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+
+class Severity:
+    """Violation severities (plain strings so JSON output stays trivial)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, what went wrong, how to fix it."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    fix_hint: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def format_human(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
+        if self.fix_hint:
+            text += f"\n    hint: {self.fix_hint}"
+        return text
+
+
+#: ``# mpclint: disable=MPC001,MPC002`` on (or at the end of) a line
+#: suppresses those rules for that line; ``disable=all`` suppresses every
+#: rule.  ``# mpclint: disable-file=MPC006`` anywhere in the first
+#: FILE_SUPPRESSION_WINDOW lines suppresses for the whole file.
+_SUPPRESS_RE = re.compile(r"#\s*mpclint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*mpclint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+FILE_SUPPRESSION_WINDOW = 15
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+class ModuleInfo:
+    """One parsed python source file plus the static facts rules share."""
+
+    def __init__(self, path: Path, rel: str, name: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.name = name
+        self.source = source
+        self.lines = source.splitlines()
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        self.suppressions: Dict[int, Set[str]] = {}
+        self.file_suppressions: Set[str] = set()
+        self._scan_suppressions()
+        self.top_level: Set[str] = set()
+        self.module_aliases: Set[str] = set()
+        self.star_imports: List[str] = []
+        self.all_exports: Optional[List[Tuple[str, int]]] = None
+        if self.tree is not None:
+            self._scan_top_level()
+
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                self.suppressions.setdefault(lineno, set()).update(
+                    _parse_rule_list(match.group(1))
+                )
+            if lineno <= FILE_SUPPRESSION_WINDOW:
+                match = _SUPPRESS_FILE_RE.search(text)
+                if match:
+                    self.file_suppressions.update(_parse_rule_list(match.group(1)))
+
+    def _scan_top_level(self) -> None:
+        assert self.tree is not None
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.top_level.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            self.top_level.add(name_node.id)
+                if (
+                    len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "__all__"
+                    and isinstance(node.value, (ast.List, ast.Tuple))
+                ):
+                    self.all_exports = [
+                        (elt.value, elt.lineno)
+                        for elt in node.value.elts
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    ]
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self.top_level.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    self.top_level.add(bound)
+                    self.module_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        if node.module and node.level == 0:
+                            self.star_imports.append(node.module)
+                    else:
+                        self.top_level.add(alias.asname or alias.name)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rule_id = rule_id.upper()
+        if rule_id in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        active = self.suppressions.get(line, ())
+        return rule_id in active or "ALL" in active
+
+
+class Project:
+    """All modules under analysis plus docs files and the symbol table."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.modules: List[ModuleInfo] = []
+        self.by_name: Dict[str, ModuleInfo] = {}
+        self.docs: Dict[str, str] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_module(self, path: Path) -> ModuleInfo:
+        rel = self._relpath(path)
+        name = module_name_for(path)
+        info = ModuleInfo(path, rel, name, path.read_text())
+        self.modules.append(info)
+        self.by_name[name] = info
+        return info
+
+    def add_doc(self, path: Path) -> None:
+        self.docs[self._relpath(path)] = path.read_text()
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return str(path.resolve().relative_to(self.root.resolve()))
+        except ValueError:
+            return str(path)
+
+    # -- symbol table ---------------------------------------------------
+
+    def is_module(self, dotted: str) -> bool:
+        """Is ``dotted`` a module (or package) in the analyzed set?"""
+        return dotted in self.by_name or f"{dotted}.__init__" in self.by_name
+
+    def module(self, dotted: str) -> Optional[ModuleInfo]:
+        info = self.by_name.get(dotted)
+        if info is None:
+            info = self.by_name.get(f"{dotted}.__init__")
+        return info
+
+    def submodules(self, dotted: str) -> Set[str]:
+        prefix = dotted + "."
+        out = set()
+        for name in self.by_name:
+            if name.startswith(prefix):
+                child = name[len(prefix) :].split(".")[0]
+                if child != "__init__":
+                    out.add(child)
+        return out
+
+    def top_level_names(self, dotted: str, *, follow_stars: bool = True) -> Set[str]:
+        """Names bound at the top level of ``dotted`` (plus submodules)."""
+        info = self.module(dotted)
+        if info is None:
+            return set()
+        names = set(info.top_level) | self.submodules(dotted)
+        if follow_stars:
+            for star in info.star_imports:
+                names |= self.top_level_names(star, follow_stars=False)
+        return names
+
+    def resolve_dotted(self, dotted: str) -> bool:
+        """Can ``dotted`` (e.g. ``repro.mpc.sort.sort_by_key``) be resolved?
+
+        Walks module segments as far as the analyzed set extends, then
+        requires the next segment to be a top-level name of the last
+        module.  Segments *past* a resolved non-module symbol (attribute
+        chains like ``Cluster.round``) are not checkable statically and
+        are accepted.  Returns False only on a definite miss.
+        """
+        parts = dotted.split(".")
+        if not self.is_module(parts[0]):
+            return False
+        current = parts[0]
+        for idx in range(1, len(parts)):
+            candidate = f"{current}.{parts[idx]}"
+            if self.is_module(candidate):
+                current = candidate
+                continue
+            return parts[idx] in self.top_level_names(current)
+        return True
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` exists.
+
+    ``src/repro/mpc/sort.py`` -> ``repro.mpc.sort``; a loose fixture file
+    maps to its stem.  ``__init__.py`` maps to ``package.__init__`` so a
+    package and its init file are distinguishable in the table.
+    """
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts))
+
+
+# -- AST helpers shared by rule modules ---------------------------------
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def is_partial_call(node: ast.AST) -> bool:
+    """Is ``node`` a ``functools.partial(...)`` / ``partial(...)`` call?"""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted(node.func)
+    return name in {"partial", "functools.partial"}
+
+
+@dataclass
+class FunctionScope:
+    """One function definition plus its nesting context."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef | Lambda
+    depth: int  # 0 == module level
+    parent: Optional["FunctionScope"]
+
+    @property
+    def name(self) -> Optional[str]:
+        return getattr(self.node, "name", None)
+
+
+def function_scopes(tree: ast.Module) -> List[FunctionScope]:
+    """Every function/lambda in the module with its nesting depth.
+
+    Depth counts enclosing *functions* only — a method of a module-level
+    class has depth 0 (it is picklable by qualified name just like a
+    module-level def is).
+    """
+    scopes: List[FunctionScope] = []
+
+    def visit(node: ast.AST, depth: int, parent: Optional[FunctionScope]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                scope = FunctionScope(child, depth, parent)
+                scopes.append(scope)
+                visit(child, depth + 1, scope)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, depth, parent)
+            else:
+                visit(child, depth, parent)
+
+    visit(tree, 0, None)
+    return scopes
+
+
+def local_names(func: ast.AST) -> Set[str]:
+    """Names bound inside ``func``: params, assignments, loop/with/except
+    targets, comprehension variables, and nested def/class names."""
+    names: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+    body = getattr(func, "body", [])
+    nodes = body if isinstance(body, list) else [body]
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+# -- rules ---------------------------------------------------------------
+
+
+class Rule:
+    """Base class for mpclint rules.
+
+    Subclasses set the class attributes and override ``check_module``
+    and/or ``check_project``.  Violations the base helpers emit are
+    created unsuppressed; the runner applies the suppression map.
+    """
+
+    id: str = "MPC000"
+    severity: str = Severity.ERROR
+    title: str = ""
+    fix_hint: str = ""
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        return iter(())
+
+    # -- helpers --------------------------------------------------------
+
+    def violation(
+        self,
+        module: ModuleInfo,
+        node: object,
+        message: str,
+        *,
+        fix_hint: Optional[str] = None,
+    ) -> Violation:
+        line = getattr(node, "lineno", node if isinstance(node, int) else 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            path=module.rel,
+            line=int(line),
+            col=int(col),
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+    def doc_violation(self, rel: str, line: int, message: str) -> Violation:
+        return Violation(
+            path=rel,
+            line=line,
+            col=0,
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+            fix_hint=self.fix_hint,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add to the global registry."""
+    rule = cls()
+    if rule.id in _REGISTRY and type(_REGISTRY[rule.id]) is not cls:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+# -- runner --------------------------------------------------------------
+
+
+def _iter_py_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        yield path
+        return
+    for sub in sorted(path.rglob("*.py")):
+        if "__pycache__" not in sub.parts:
+            yield sub
+
+
+def build_project(
+    paths: Sequence[Path], docs: Sequence[Path] = (), root: Optional[Path] = None
+) -> Project:
+    root = (root or Path.cwd()).resolve()
+    project = Project(root)
+    seen: Set[Path] = set()
+    for path in paths:
+        for file in _iter_py_files(Path(path)):
+            resolved = file.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                project.add_module(resolved)
+    for doc in docs:
+        doc = Path(doc)
+        if doc.exists():
+            project.add_doc(doc)
+    return project
+
+
+def run_project(
+    project: Project,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    selected = {r.upper() for r in select} if select else None
+    ignored = {r.upper() for r in ignore} if ignore else set()
+    violations: List[Violation] = []
+
+    for module in project.modules:
+        if module.syntax_error is not None:
+            violations.append(
+                Violation(
+                    path=module.rel,
+                    line=module.syntax_error.lineno or 1,
+                    col=module.syntax_error.offset or 0,
+                    rule_id="MPC000",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {module.syntax_error.msg}",
+                )
+            )
+
+    for rule in all_rules():
+        if selected is not None and rule.id not in selected:
+            continue
+        if rule.id in ignored:
+            continue
+        for violation in rule.check_project(project):
+            violations.append(violation)
+        for module in project.modules:
+            if module.tree is None:
+                continue
+            for violation in rule.check_module(module, project):
+                violations.append(violation)
+
+    by_rel = {m.rel: m for m in project.modules}
+    kept = []
+    for violation in violations:
+        module = by_rel.get(violation.path)
+        if module is not None and module.is_suppressed(violation.rule_id, violation.line):
+            continue
+        kept.append(violation)
+    kept.sort(key=Violation.sort_key)
+    return kept
+
+
+def run_paths(
+    paths: Sequence[Path],
+    docs: Sequence[Path] = (),
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint ``paths`` (files or directories) and return sorted violations."""
+    project = build_project(paths, docs=docs, root=root)
+    return run_project(project, select=select, ignore=ignore)

@@ -1,0 +1,157 @@
+"""API-surface rules: MPC005 (export integrity) and MPC008 (docs drift).
+
+MPC005 keeps the declared surface honest: every name a package lists in
+``__all__`` must actually be bound in its ``__init__``, and every public
+``mpc_*`` entry point must accept ``executor=`` (the PR-2 contract that
+lets callers choose serial/thread/process scheduling everywhere).
+
+MPC008 keeps ``docs/API.md`` honest: under a ``## `repro.xyz```
+section heading, the leading code span of each bullet / table row names
+an export of that module — flag spans that no longer resolve against the
+tree's static symbol table.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional
+
+from mpclint.core import ModuleInfo, Project, Rule, Severity, Violation, register
+
+_IDENTIFIER_PATH = re.compile(r"[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*\Z")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_SPAN = re.compile(r"`([^`]+)`")
+_BULLET = re.compile(r"^\s*[*+-]\s+(.*)$")
+_TABLE_ROW = re.compile(r"^\s*\|(.+)\|\s*$")
+_MODULE_PATH = re.compile(r"repro(\.[A-Za-z_][A-Za-z0-9_]*)*\Z")
+
+
+@register
+class ExportIntegrityRule(Rule):
+    """MPC005: __all__ entries exist; mpc_* entry points take executor=."""
+
+    id = "MPC005"
+    severity = Severity.ERROR
+    title = "declared API must exist and mpc_* entry points take executor="
+    fix_hint = (
+        "bind (import or define) every name listed in __all__, and give "
+        "mpc_* entry points an `executor: ExecutorLike = None` parameter "
+        "threaded to the Cluster"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if module.name.endswith(".__init__") and module.all_exports is not None:
+            package = module.name[: -len(".__init__")]
+            available = project.top_level_names(package)
+            for name, line in module.all_exports:
+                if name not in available:
+                    yield self.violation(
+                        module,
+                        line,
+                        f"__all__ lists {name!r} but {package} does not bind it",
+                    )
+        assert module.tree is not None
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name.startswith("mpc_")
+                and not node.name.startswith("_")
+            ):
+                params = {
+                    arg.arg
+                    for arg in (
+                        list(node.args.posonlyargs)
+                        + list(node.args.args)
+                        + list(node.args.kwonlyargs)
+                    )
+                }
+                if "executor" not in params and node.args.kwarg is None:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"MPC entry point {node.name!r} does not accept "
+                        "executor= — callers cannot choose the round executor",
+                    )
+
+
+def _normalize_span(raw: str) -> Optional[str]:
+    """Code span -> dotted identifier path, or None if it is prose."""
+    text = raw.strip().split("(")[0].strip()
+    if not text or not _IDENTIFIER_PATH.match(text):
+        return None
+    return text
+
+
+def _leading_spans(line: str) -> List[str]:
+    """Candidate symbol spans: bullet first-span, or all first-cell spans."""
+    table = _TABLE_ROW.match(line)
+    if table:
+        cells = [c for c in table.group(1).split("|") if c.strip()]
+        if not cells or set(cells[0].strip()) <= {"-", ":", " "}:
+            return []
+        return _CODE_SPAN.findall(cells[0])
+    bullet = _BULLET.match(line)
+    if bullet:
+        spans = _CODE_SPAN.findall(bullet.group(1))
+        return spans[:1]
+    return []
+
+
+@register
+class DocsDriftRule(Rule):
+    """MPC008: docs/API.md symbols must resolve against the tree."""
+
+    id = "MPC008"
+    severity = Severity.ERROR
+    title = "docs/API.md references a symbol that no longer exists"
+    fix_hint = (
+        "update docs/API.md (or restore the export): section headings name "
+        "a module, and each bullet/table row leads with one of its symbols"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        for rel, text in project.docs.items():
+            if not rel.endswith(".md"):
+                continue
+            yield from self._check_doc(project, rel, text)
+
+    def _check_doc(self, project: Project, rel: str, text: str) -> Iterator[Violation]:
+        current: Optional[str] = None
+        in_code_fence = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            heading = _HEADING.match(line)
+            if heading:
+                current = None
+                for span in _CODE_SPAN.findall(heading.group(2)):
+                    span = span.strip()
+                    if _MODULE_PATH.match(span):
+                        if project.is_module(span):
+                            current = span
+                        else:
+                            yield self.doc_violation(
+                                rel,
+                                lineno,
+                                f"section heading names missing module `{span}`",
+                            )
+                        break
+                continue
+            if current is None:
+                continue
+            for raw in _leading_spans(line):
+                span = _normalize_span(raw)
+                if span is None:
+                    continue
+                full = span if span.split(".")[0] == "repro" else f"{current}.{span}"
+                if not project.resolve_dotted(full):
+                    yield self.doc_violation(
+                        rel,
+                        lineno,
+                        f"`{raw.strip()}` (resolved as {full}) is not defined "
+                        "in the tree",
+                    )

@@ -1,0 +1,69 @@
+"""MPC004: Message word accounting is charged exactly once.
+
+``Message.size_words`` is computed once at construction on the sending
+side and travels with the message (including through pickling).  The
+cluster's communication accounting reads it at delivery; mutating it —
+or rebuilding it via ``object.__setattr__`` — after construction makes
+the charged cost and the delivered cost disagree, silently breaking the
+bit-identical-accounting contract between executors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from mpclint.core import ModuleInfo, Project, Rule, Severity, Violation, dotted, register
+
+#: Fields that carry the charged cost.
+_ACCOUNTING_FIELDS = {"size_words"}
+
+#: The module that owns Message construction/unpickling.
+_OWNER_MODULE = "repro.mpc.message"
+
+
+@register
+class MessageAccountingRule(Rule):
+    """MPC004: no mutation of Message size fields after construction."""
+
+    id = "MPC004"
+    severity = Severity.ERROR
+    title = "Message size fields are write-once (charged at construction)"
+    fix_hint = (
+        "construct a new Message instead of mutating size_words; the word "
+        "count is charged exactly once, on the sending side"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if module.name == _OWNER_MODULE:
+            return
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _ACCOUNTING_FIELDS
+                    ):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"assignment to `.{target.attr}` rewrites message "
+                            "accounting after it was charged",
+                        )
+            elif isinstance(node, ast.Call):
+                callee = dotted(node.func)
+                if callee == "object.__setattr__" and len(node.args) >= 2:
+                    field = node.args[1]
+                    if (
+                        isinstance(field, ast.Constant)
+                        and field.value in _ACCOUNTING_FIELDS
+                    ):
+                        yield self.violation(
+                            module,
+                            node,
+                            "object.__setattr__(..., 'size_words', ...) outside "
+                            "repro.mpc.message bypasses the frozen dataclass to "
+                            "rewrite charged accounting",
+                        )

@@ -1,0 +1,60 @@
+"""MPC006: no bare ``==`` / ``!=`` against float literals.
+
+Distortion bounds, cost ratios, and geometry predicates all live in
+floating point; exact comparison against a float literal is almost
+always a latent bug (it worked on the one input it was written against).
+Require ``np.isclose`` / ``math.isclose`` or an explicit tolerance — or
+an inequality when the value is exactly representable (``x <= 0.0``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from mpclint.core import ModuleInfo, Project, Rule, Severity, Violation, register
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Unary minus on a float literal: ``x == -1.5``.
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, float)
+    ):
+        return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """MPC006: float literals must not be compared with bare ==/!=."""
+
+    id = "MPC006"
+    severity = Severity.WARNING
+    title = "bare float equality comparison"
+    fix_hint = (
+        "use np.isclose(x, v) / math.isclose(x, v, abs_tol=...) with an "
+        "explicit tolerance, or an inequality if the boundary is exact"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.violation(
+                        module,
+                        node,
+                        "exact ==/!= against a float literal — floating-point "
+                        "results rarely hit literals exactly",
+                    )
+                    break

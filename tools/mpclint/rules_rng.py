@@ -1,0 +1,116 @@
+"""MPC002: all randomness must flow from explicit, seedable generators.
+
+Executor independence (and reproducibility at all) requires every random
+draw in ``src/repro`` to come from ``repro.util.rng.machine_rng`` or an
+explicit ``numpy.random.Generator`` argument.  Global RNG state —
+``np.random.rand``-style legacy calls, the stdlib ``random`` module,
+unseeded ``default_rng()``, time-derived seeds — silently couples
+results to call order, process layout, and the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from mpclint.core import ModuleInfo, Project, Rule, Severity, Violation, dotted, register
+
+#: np.random attributes that are constructors/types, not global-state draws.
+_ALLOWED_NP_RANDOM = {
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "default_rng",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Seed factories whose arguments must not be wall-clock derived.
+_SEED_FACTORIES = {"default_rng", "SeedSequence", "seed"}
+
+_TIME_FNS = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+
+
+@register
+class GlobalRandomnessRule(Rule):
+    """MPC002: no global-state randomness."""
+
+    id = "MPC002"
+    severity = Severity.ERROR
+    title = "randomness must come from machine_rng or an explicit Generator"
+    fix_hint = (
+        "derive randomness from repro.util.rng (machine_rng(base_seed, "
+        "machine_id) inside steps, as_generator(seed) at entry points) "
+        "instead of global RNG state"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "stdlib `random` uses hidden global state — use "
+                            "numpy Generators from repro.util.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.violation(
+                        module,
+                        node,
+                        "stdlib `random` uses hidden global state — use "
+                        "numpy Generators from repro.util.rng",
+                    )
+            elif isinstance(node, ast.Attribute):
+                name = dotted(node)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) >= 3
+                    and parts[0] in {"np", "numpy"}
+                    and parts[1] == "random"
+                    and parts[2] not in _ALLOWED_NP_RANDOM
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"`{name}` draws from numpy's global RNG — results "
+                        "depend on call order across machines/executors",
+                    )
+            elif isinstance(node, ast.Call):
+                callee = (dotted(node.func) or "").split(".")[-1]
+                if callee == "default_rng" and not node.args and not node.keywords:
+                    yield self.violation(
+                        module,
+                        node,
+                        "unseeded default_rng() — thread the caller's seed or "
+                        "Generator through instead",
+                    )
+                if callee in _SEED_FACTORIES:
+                    yield from self._check_time_seed(module, node)
+
+    def _check_time_seed(self, module: ModuleInfo, call: ast.Call) -> Iterator[Violation]:
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call):
+                    name = dotted(sub.func) or ""
+                    parts = name.split(".")
+                    if (
+                        len(parts) == 2
+                        and parts[0] == "time"
+                        and parts[1] in _TIME_FNS
+                    ) or (len(parts) == 1 and parts[0] in {"time_ns"}):
+                        yield self.violation(
+                            module,
+                            sub,
+                            f"wall-clock seed `{name}()` makes runs "
+                            "irreproducible — derive seeds with "
+                            "repro.util.rng.derive_seed",
+                        )

@@ -1,0 +1,343 @@
+"""Rules about MPC step functions: MPC001, MPC003, MPC007.
+
+A *step function* is what :meth:`Cluster.round` / ``RoundExecutor.run_round``
+schedules onto machines.  The executor contract (``repro/mpc/executor.py``)
+requires steps to be module-level picklable callables that touch nothing
+but the ``Machine`` and ``RoundContext`` they are handed.  These rules
+enforce that shape statically:
+
+* MPC001 — steps must be module-level defs (or ``functools.partial`` of
+  one), never lambdas or closures.  Today this only fails at pickle time
+  under the process executor.
+* MPC003 — steps must not write module-level mutable globals (the static
+  companion to the runtime ``StorageIsolationViolation`` guard: global
+  writes are invisible to accounting and diverge across processes).
+* MPC007 — steps must not capture a ``Cluster`` or foreign ``Machine``;
+  the only machine in scope is their own argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from mpclint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    Violation,
+    dotted,
+    function_scopes,
+    is_partial_call,
+    local_names,
+    register,
+)
+
+#: Receivers whose ``.round(...)`` is numeric rounding, not an MPC round.
+_NUMERIC_RECEIVERS = {"np", "numpy", "math", "builtins", "operator", "decimal"}
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "update",
+    "add",
+    "discard",
+    "setdefault",
+    "popitem",
+    "sort",
+    "reverse",
+    "appendleft",
+    "extendleft",
+}
+
+
+def _round_step_exprs(module: ModuleInfo) -> List[Tuple[ast.Call, ast.AST]]:
+    """``(call, step_expression)`` for every MPC round dispatch in the module.
+
+    Matches ``<receiver>.round(step, ...)`` where the receiver looks like
+    a cluster (name contains "cluster") or the call carries the
+    simulator's ``label=`` keyword, plus ``<executor>.run_round(machines,
+    ids, step, ...)``.  ``np.round`` and friends are excluded.
+    """
+    out: List[Tuple[ast.Call, ast.AST]] = []
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        receiver = dotted(node.func.value) or ""
+        root = receiver.split(".")[0]
+        if node.func.attr == "round" and root not in _NUMERIC_RECEIVERS:
+            cluster_like = "cluster" in receiver.lower()
+            has_label = any(kw.arg == "label" for kw in node.keywords)
+            if (cluster_like or has_label) and node.args:
+                out.append((node, node.args[0]))
+        elif node.func.attr == "run_round":
+            step: Optional[ast.AST] = None
+            if len(node.args) >= 3:
+                step = node.args[2]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "step":
+                        step = kw.value
+            if step is not None:
+                out.append((node, step))
+    return out
+
+
+def _def_name_depths(module: ModuleInfo) -> Tuple[Set[str], Set[str], Set[str]]:
+    """(module-level def names, nested def names, names bound to lambdas)."""
+    assert module.tree is not None
+    module_defs: Set[str] = set()
+    nested_defs: Set[str] = set()
+    for scope in function_scopes(module.tree):
+        if scope.name is None:
+            continue
+        (module_defs if scope.depth == 0 else nested_defs).add(scope.name)
+    lambda_named: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    lambda_named.add(target.id)
+    return module_defs, nested_defs, lambda_named
+
+
+def _partial_inner(call: ast.Call) -> Optional[ast.AST]:
+    return call.args[0] if call.args else None
+
+
+def _step_function_defs(module: ModuleInfo) -> List[ast.FunctionDef]:
+    """Module-level defs that are (or look like) round step functions.
+
+    A def counts as a step when its name is passed to a round dispatch in
+    this module (directly or as the first ``partial`` argument) or when
+    it follows the tree-wide ``*_step`` naming convention.
+    """
+    assert module.tree is not None
+    step_names: Set[str] = set()
+    for _call, expr in _round_step_exprs(module):
+        if is_partial_call(expr):
+            expr = _partial_inner(expr) or expr
+        if isinstance(expr, ast.Name):
+            step_names.add(expr.id)
+    defs = []
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef) and (
+            node.name in step_names or node.name.endswith("_step")
+        ):
+            defs.append(node)
+    return defs
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """Root ``Name`` of a Subscript/Attribute chain (``X[0].y`` -> ``X``)."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@register
+class StepPicklabilityRule(Rule):
+    """MPC001: steps must be module-level defs or partials of one."""
+
+    id = "MPC001"
+    severity = Severity.ERROR
+    title = "step functions must be module-level picklable callables"
+    fix_hint = (
+        "lift the step to a module-level def and bind per-call data with "
+        "functools.partial(step, key=value); lambdas and closures fail to "
+        "pickle under the process executor"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        module_defs, nested_defs, lambda_named = _def_name_depths(module)
+        for call, expr in _round_step_exprs(module):
+            yield from self._check_step_expr(module, expr, module_defs, nested_defs,
+                                             lambda_named, via_partial=False)
+
+    def _check_step_expr(
+        self,
+        module: ModuleInfo,
+        expr: ast.AST,
+        module_defs: Set[str],
+        nested_defs: Set[str],
+        lambda_named: Set[str],
+        *,
+        via_partial: bool,
+    ) -> Iterator[Violation]:
+        where = "partial-wrapped step" if via_partial else "step"
+        if isinstance(expr, ast.Lambda):
+            yield self.violation(
+                module, expr, f"{where} is a lambda — not picklable by the process executor"
+            )
+        elif is_partial_call(expr) and not via_partial:
+            inner = _partial_inner(expr)  # type: ignore[arg-type]
+            if inner is None:
+                yield self.violation(module, expr, "partial(...) step has no target callable")
+            else:
+                yield from self._check_step_expr(
+                    module, inner, module_defs, nested_defs, lambda_named, via_partial=True
+                )
+        elif isinstance(expr, ast.Name):
+            if expr.id in lambda_named:
+                yield self.violation(
+                    module,
+                    expr,
+                    f"{where} {expr.id!r} is bound to a lambda — lambdas have no "
+                    "qualified name and cannot be pickled",
+                )
+            elif expr.id in nested_defs and expr.id not in module_defs:
+                yield self.violation(
+                    module,
+                    expr,
+                    f"{where} {expr.id!r} is a nested def (closure) — only "
+                    "module-level defs survive pickling",
+                )
+        # Attribute references (module.step) and opaque expressions are
+        # accepted: the runtime ExecutorStepError remains the backstop.
+
+
+@register
+class StepGlobalWriteRule(Rule):
+    """MPC003: no writes to module-level mutable globals inside steps."""
+
+    id = "MPC003"
+    severity = Severity.ERROR
+    title = "step functions must not write module-level globals"
+    fix_hint = (
+        "keep all step state on the Machine (machine.put/get) or bind it "
+        "via functools.partial; module-global writes bypass accounting and "
+        "diverge between the serial and process executors"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        for func in _step_function_defs(module):
+            locals_ = local_names(func)
+            globals_ = module.top_level - locals_
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"step {func.name!r} declares `global {', '.join(node.names)}` — "
+                        "step state must live on the machine",
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for target in targets:
+                        if isinstance(target, (ast.Subscript, ast.Attribute)):
+                            base = _base_name(target)
+                            if base is not None and base in globals_:
+                                yield self.violation(
+                                    module,
+                                    node,
+                                    f"step {func.name!r} mutates module-level "
+                                    f"{base!r} via assignment",
+                                )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                ):
+                    # Module aliases are exempt: np.sort(x) is a function
+                    # call, not a container mutation.
+                    base = _base_name(node.func.value)
+                    if (
+                        base is not None
+                        and base in globals_
+                        and base not in module.module_aliases
+                    ):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"step {func.name!r} mutates module-level {base!r} "
+                            f"via .{node.func.attr}()",
+                        )
+
+
+@register
+class StepCaptureRule(Rule):
+    """MPC007: steps must not capture a Cluster or foreign Machine."""
+
+    id = "MPC007"
+    severity = Severity.ERROR
+    title = "steps may only touch their own Machine argument"
+    fix_hint = (
+        "a step's whole world is (machine, ctx): broadcast shared data as "
+        "messages (so it is charged) instead of reaching into the cluster "
+        "or other machines"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        cluster_globals = self._cluster_globals(module)
+        for func in _step_function_defs(module):
+            yield from self._check_params(module, func)
+            locals_ = local_names(func)
+            forbidden = {"cluster", "machines"} | cluster_globals
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in forbidden
+                    and node.id not in locals_
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"step {func.name!r} reads {node.id!r} from an enclosing "
+                        "scope — steps must not see the cluster or other machines",
+                    )
+        for call, expr in _round_step_exprs(module):
+            if is_partial_call(expr):
+                yield from self._check_partial_bindings(module, expr)  # type: ignore[arg-type]
+
+    def _cluster_globals(self, module: ModuleInfo) -> Set[str]:
+        """Module-level names bound to ``*Cluster(...)`` instances."""
+        assert module.tree is not None
+        names: Set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = dotted(node.value.func) or ""
+                if callee.split(".")[-1].endswith("Cluster"):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    def _check_params(self, module: ModuleInfo, func: ast.FunctionDef) -> Iterator[Violation]:
+        args = list(func.args.posonlyargs) + list(func.args.args) + list(func.args.kwonlyargs)
+        for arg in args:
+            annotation = ast.unparse(arg.annotation) if arg.annotation is not None else ""
+            if "Cluster" in annotation or arg.arg in {"cluster", "machines"}:
+                yield self.violation(
+                    module,
+                    arg,
+                    f"step {func.name!r} takes a cluster-typed parameter "
+                    f"{arg.arg!r} — steps receive only (machine, ctx)",
+                )
+
+    def _check_partial_bindings(self, module: ModuleInfo, call: ast.Call) -> Iterator[Violation]:
+        cluster_globals = self._cluster_globals(module)
+        bound = list(call.args[1:]) + [kw.value for kw in call.keywords]
+        kw_names = {id(kw.value): kw.arg for kw in call.keywords}
+        for value in bound:
+            name = dotted(value)
+            callee = dotted(value.func) if isinstance(value, ast.Call) else None
+            kw = kw_names.get(id(value))
+            if (
+                (name is not None and (name == "cluster" or name in cluster_globals))
+                or (callee or "").split(".")[-1].endswith("Cluster")
+                or kw == "cluster"
+            ):
+                yield self.violation(
+                    module,
+                    value,
+                    "partial binds a Cluster into a step — ship data as "
+                    "messages, not the cluster object",
+                )
