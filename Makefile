@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-smoke examples figure1 all clean
+.PHONY: install test lint bench bench-smoke fault-smoke examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -39,6 +39,14 @@ bench:
 EXECUTOR ?= serial,thread,process
 bench-smoke:
 	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(EXECUTOR)
+
+# bench-smoke plus fault injection: each MPC arm reruns under a seeded
+# FaultPlan (random events + a guaranteed crash and worker death) and the
+# harness asserts the recovered accounting is bit-identical before
+# recording the recovery-overhead block (docs/RESILIENCE.md).
+FAULT_SEED ?= 11
+fault-smoke:
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor serial --faults $(FAULT_SEED)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; \

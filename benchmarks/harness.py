@@ -33,7 +33,15 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py --suite fjlt
     PYTHONPATH=src python benchmarks/harness.py --smoke          # n <= 256
     PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression
+    PYTHONPATH=src python benchmarks/harness.py --smoke --faults 11
     PYTHONPATH=src python benchmarks/harness.py --update-baseline
+
+``--faults SEED`` additionally runs each suite's MPC arm under a seeded
+fault plan (random events plus one guaranteed machine crash and one
+worker death) and records a ``fault_recovery`` block — injected/replay
+counts and the wall-clock overhead of recovery — after asserting the
+recovered run's model-level accounting is identical to the fault-free
+run (see docs/RESILIENCE.md).
 
 ``--check-regression`` exits non-zero when a batch path's calibrated
 wall-clock regressed by more than ``--tolerance`` (default 25%) against
@@ -143,6 +151,64 @@ def measure_executors(run_mpc: Callable[[str], "object"],
             "mpc_accounting": reports[base_name]}
 
 
+def measure_fault_recovery(run_mpc: Callable[..., "object"],
+                           fault_seed: int) -> Dict:
+    """Measure the recovery overhead of a faulty twin of one MPC arm.
+
+    ``run_mpc(executor, faults=None)`` runs the arm and returns its
+    :class:`~repro.mpc.accounting.CostReport`.  The arm runs fault-free
+    once to learn its shape (rounds, machines) and to time the clean
+    run; a seeded plan — random events at 15% rate *plus* one guaranteed
+    machine crash and one worker death in the final round — then drives
+    a faulty twin.  The model-level accounting must come out identical
+    ("recovered modulo recorded replays"); the block records the fault
+    counts and the wall-clock overhead of recovery.
+    """
+    from repro.mpc.faults import FaultEvent, FaultPlan
+
+    t0 = time.perf_counter()
+    base = run_mpc("serial")
+    clean_seconds = time.perf_counter() - t0
+    base_dict = base.core_dict()
+
+    last_round = base.rounds - 1
+    machines = base.num_machines
+    plan = FaultPlan(
+        tuple(
+            FaultPlan.random(
+                fault_seed,
+                num_machines=machines,
+                rounds=base.rounds,
+                rate=0.15,
+                straggler_delay=0.0005,
+            ).events
+        )
+        + (
+            FaultEvent("crash", last_round, 0),
+            FaultEvent("worker_death", last_round, min(1, machines - 1)),
+        )
+    )
+    t0 = time.perf_counter()
+    faulty = run_mpc("serial", faults=plan)
+    faulty_seconds = time.perf_counter() - t0
+    assert faulty.core_dict() == base_dict, (
+        "recovered run's model-level accounting diverged from the "
+        "fault-free run — the recovery layer broke determinism"
+    )
+    return {
+        "fault_recovery": {
+            "seed": fault_seed,
+            "plan_events": len(plan),
+            "faults_injected": faulty.faults_injected,
+            "recovery_replays": faulty.recovery_replays,
+            "fault_free_seconds": clean_seconds,
+            "faulty_seconds": faulty_seconds,
+            "recovery_overhead_ratio": faulty_seconds / max(clean_seconds, 1e-12),
+            "core_accounting_identical": True,
+        }
+    }
+
+
 def scalar_estimate(measure: Callable[[int], float], n: int,
                     scalar_cap: int) -> Dict:
     """Extrapolate a scalar arm to ``n`` points from two capped runs.
@@ -187,7 +253,8 @@ def scalar_estimate(measure: Callable[[int], float], n: int,
 
 
 def suite_partition(n: int, d: int, *, scalar_cap: int,
-                    executors: List[str]) -> Dict:
+                    executors: List[str],
+                    fault_seed: Optional[int] = None) -> Dict:
     """Hybrid / ball / grid: batch kernels vs per-point references."""
     import repro.partition.hybrid as hy
     from repro.core.mpc_embedding import mpc_tree_embedding
@@ -239,13 +306,16 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
     # (size-capped: the metrics are counted words/rounds, not seconds),
     # timed under every requested executor.
     n_mpc = min(n, 256)
-    mpc = measure_executors(
-        lambda ex: mpc_tree_embedding(
+
+    def run_mpc(executor, faults=None):
+        return mpc_tree_embedding(
             points[:n_mpc, : min(d, 8)], seed=SEED + 4,
-            on_uncovered="singleton", executor=ex,
-        ).report,
-        executors,
-    )
+            on_uncovered="singleton", executor=executor, faults=faults,
+        ).report
+
+    mpc = measure_executors(run_mpc, executors)
+    if fault_seed is not None:
+        mpc.update(measure_fault_recovery(run_mpc, fault_seed))
 
     return {
         "config": {"n": n, "d": d, "w": w, "r": r, "num_grids": num_grids,
@@ -269,7 +339,8 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
 
 
 def suite_fjlt(n: int, d: int, *, scalar_cap: int,
-               executors: List[str]) -> Dict:
+               executors: List[str],
+               fault_seed: Optional[int] = None) -> Dict:
     """Batched FJLT vs row-at-a-time application."""
     from repro.jl.fjlt import FJLT
     from repro.jl.mpc_fjlt import mpc_fjlt
@@ -296,13 +367,16 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
 
     n_mpc = min(n, 512)
 
-    def run_mpc(executor):
+    def run_mpc(executor, faults=None):
         _, cluster = mpc_fjlt(
-            points[:n_mpc], xi=0.3, seed=SEED + 2, executor=executor
+            points[:n_mpc], xi=0.3, seed=SEED + 2, executor=executor,
+            faults=faults,
         )
         return cluster.report()
 
     mpc = measure_executors(run_mpc, executors)
+    if fault_seed is not None:
+        mpc.update(measure_fault_recovery(run_mpc, fault_seed))
 
     return {
         "config": {"n": n, "d": d, "k": transform.k, "q": transform.q,
@@ -320,7 +394,8 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
 
 
 def suite_tree(n: int, d: int, *, scalar_cap: int,
-               executors: List[str]) -> Dict:
+               executors: List[str],
+               fault_seed: Optional[int] = None) -> Dict:
     """Level-wise HST construction vs per-level/per-node references."""
     from repro.core.mpc_embedding import mpc_tree_embedding
     from repro.partition.base import FlatPartition
@@ -370,12 +445,16 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
     from repro.data.synthetic import gaussian_clusters
 
     pts = gaussian_clusters(n_mpc, min(d, 8), delta=512, clusters=4, seed=SEED)
-    mpc = measure_executors(
-        lambda ex: mpc_tree_embedding(
-            pts, seed=SEED + 3, on_uncovered="singleton", executor=ex
-        ).report,
-        executors,
-    )
+
+    def run_mpc(executor, faults=None):
+        return mpc_tree_embedding(
+            pts, seed=SEED + 3, on_uncovered="singleton", executor=executor,
+            faults=faults,
+        ).report
+
+    mpc = measure_executors(run_mpc, executors)
+    if fault_seed is not None:
+        mpc.update(measure_fault_recovery(run_mpc, fault_seed))
 
     return {
         "config": {"n": n, "d": d, "num_levels": num_levels,
@@ -450,8 +529,10 @@ def compare_to_baseline(entry: Dict, baseline: Optional[Dict],
 
 def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
               calibration: float, tolerance: float, smoke: bool,
-              executors: List[str]) -> Dict:
-    result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors)
+              executors: List[str],
+              fault_seed: Optional[int] = None) -> Dict:
+    result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors,
+                           fault_seed=fault_seed)
     entry = {
         "experiment": suite,
         "schema_version": 1,
@@ -497,6 +578,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated round executors to time the MPC "
                              "arm under (subset of serial,thread,process); "
                              "accounting is asserted identical across them")
+    parser.add_argument("--faults", type=int, default=None, metavar="SEED",
+                        help="also run each MPC arm under a seeded FaultPlan "
+                             "(random events plus one guaranteed crash and "
+                             "worker death) and record the recovery overhead "
+                             "as a fault_recovery block; asserts the "
+                             "recovered accounting matches the fault-free run")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny inputs (n<=256) for CI; implies scalar-cap 256")
     parser.add_argument("--out-dir", type=pathlib.Path, default=None,
@@ -547,6 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             tolerance=args.tolerance,
             smoke=args.smoke,
             executors=executors,
+            fault_seed=args.faults,
         )
         if (args.check_regression
                 and entry["baseline_comparison"]["status"] == "regression"):
@@ -562,6 +650,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 tolerance=args.tolerance,
                 smoke=args.smoke,
                 executors=executors,
+                fault_seed=args.faults,
             )
         entry["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
 
@@ -581,6 +670,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"    {key:28s} {value:.6g}")
         for name, secs in entry["executor_wall_clock"]["seconds"].items():
             print(f"    mpc[{name}]{'':<{max(0, 23 - len(name))}} {secs:.6g}")
+        recovery = entry.get("fault_recovery")
+        if recovery:
+            print(f"    fault_recovery: seed={recovery['seed']} "
+                  f"injected={recovery['faults_injected']} "
+                  f"replays={recovery['recovery_replays']} "
+                  f"overhead={recovery['recovery_overhead_ratio']:.2f}x")
         linearity = entry.get("scalar_linearity", {})
         if linearity.get("warning"):
             print(f"    WARNING: {linearity['warning']}")

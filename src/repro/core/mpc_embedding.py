@@ -33,6 +33,7 @@ from repro.data.aspect import pairwise_extremes
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.executor import ExecutorLike
+from repro.mpc.faults import FaultPlan, RecoveryLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
 from repro.partition.ball_partition import assign_balls
@@ -155,6 +156,8 @@ def mpc_tree_embedding(
     assembly: str = "god",
     seed: SeedLike = None,
     executor: ExecutorLike = None,
+    faults: Optional[FaultPlan] = None,
+    recovery: RecoveryLike = None,
 ) -> MPCEmbeddingResult:
     """Run Algorithm 2 on a simulated MPC cluster.
 
@@ -163,8 +166,12 @@ def mpc_tree_embedding(
     ``eps``/``memory_slack`` size an automatic cluster (when ``cluster``
     is None) and ``executor`` selects how its simulated machines are
     scheduled (results are executor-independent; a caller-provided
-    cluster keeps its own executor), ``on_uncovered="error"`` reproduces
-    the paper's
+    cluster keeps its own executor), ``faults``/``recovery`` inject a
+    seeded :class:`~repro.mpc.faults.FaultPlan` into the auto-built
+    cluster and cap its replay budget (results and model-level accounting
+    stay bit-identical to a fault-free run; pass faults on a
+    caller-provided cluster at construction instead),
+    ``on_uncovered="error"`` reproduces the paper's
     fail-and-report semantics (Lemma 7's U makes failure improbable), and
     ``weight_scale`` uniformly scales edge weights (the Theorem 1
     pipeline uses it to re-establish domination after the (1±ξ) JL step).
@@ -245,7 +252,20 @@ def mpc_tree_embedding(
             + 4096
         )
         local = max(base_local, per_machine)
-        cluster = Cluster(machines, local, strict=True, executor=executor)
+        cluster = Cluster(
+            machines,
+            local,
+            strict=True,
+            executor=executor,
+            faults=faults,
+            recovery=recovery,
+        )
+    else:
+        require(
+            faults is None and recovery is None,
+            "pass faults/recovery when constructing the cluster, not alongside "
+            "a caller-provided one",
+        )
 
     scatter_rows(cluster, padded, "embed/in")
     broadcast(

@@ -33,6 +33,7 @@ from repro.jl.hadamard import fwht_inplace
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.executor import ExecutorLike
+from repro.mpc.faults import FaultPlan, RecoveryLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
 from repro.util.rng import SeedLike, as_generator, derive_seed
@@ -76,6 +77,8 @@ def mpc_fjlt(
     eps: float = 0.6,
     memory_slack: float = 8.0,
     executor: ExecutorLike = None,
+    faults: Optional[FaultPlan] = None,
+    recovery: RecoveryLike = None,
 ) -> Tuple[np.ndarray, Cluster]:
     """Run Algorithm 3 on a (possibly caller-provided) cluster.
 
@@ -87,7 +90,10 @@ def mpc_fjlt(
     ``memory_slack * (n d)^eps`` words and enough machines to hold the
     input (the fully scalable regime); ``executor`` selects how the
     simulated machines are scheduled (results are identical for every
-    choice).  A caller-provided cluster keeps its own executor.
+    choice), and ``faults``/``recovery`` inject a seeded
+    :class:`~repro.mpc.faults.FaultPlan` with a replay budget (the
+    embedding and accounting stay bit-identical to a fault-free run).  A
+    caller-provided cluster keeps its own executor and fault plan.
     """
     pts = check_points(points, min_points=1)
     n, d = pts.shape
@@ -105,7 +111,20 @@ def mpc_fjlt(
         machines = machines_for(n * d, max(local, transform_words + row_words))
         shard_rows = -(-n // machines)
         local = max(local, transform_words + shard_rows * row_words + 512)
-        cluster = Cluster(machines, local, strict=True, executor=executor)
+        cluster = Cluster(
+            machines,
+            local,
+            strict=True,
+            executor=executor,
+            faults=faults,
+            recovery=recovery,
+        )
+    else:
+        require(
+            faults is None and recovery is None,
+            "pass faults/recovery when constructing the cluster, not alongside "
+            "a caller-provided one",
+        )
 
     scatter_rows(cluster, pts, "fjlt/in")
     broadcast(cluster, {"seed": transform_seed, "n": n, "d": d,

@@ -25,6 +25,12 @@ substrate:
   steps run serially (default), on a thread pool, or on a process pool
   (``Cluster(..., executor="process")``), with bit-identical results and
   accounting across all three.
+* :mod:`~repro.mpc.faults` / :mod:`~repro.mpc.checkpoint` — seeded
+  deterministic fault injection (``Cluster(..., faults=FaultPlan(...))``)
+  with round-level recovery: crashed machines and dead workers are
+  replayed from pre-round state bit-identically; per-round cluster
+  snapshots support full rollback (``Cluster.restore``).  See
+  docs/RESILIENCE.md.
 
 The *semantics* (what information is where after how many rounds, under
 which memory budget) are exactly those of the model regardless of
@@ -33,15 +39,18 @@ only determines whether wall-clock reflects the model's machine
 parallelism.
 """
 
-from repro.mpc.accounting import CostReport, fully_scalable_local_memory
+from repro.mpc.accounting import CostReport, FaultRecord, fully_scalable_local_memory
+from repro.mpc.checkpoint import CheckpointManager, CheckpointPolicy, ClusterSnapshot
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.errors import (
     CommunicationOverflow,
     ExecutorStepError,
     LocalMemoryExceeded,
     MPCError,
+    RecoveryExhausted,
     RoundLimitExceeded,
     StorageIsolationViolation,
+    WorkerDied,
 )
 from repro.mpc.executor import (
     EXECUTORS,
@@ -52,6 +61,7 @@ from repro.mpc.executor import (
     get_executor,
     shutdown_executors,
 )
+from repro.mpc.faults import FAULT_KINDS, FaultEvent, FaultPlan, RecoveryPolicy
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 
@@ -61,6 +71,7 @@ __all__ = [
     "Machine",
     "Message",
     "CostReport",
+    "FaultRecord",
     "fully_scalable_local_memory",
     "MPCError",
     "LocalMemoryExceeded",
@@ -68,6 +79,8 @@ __all__ = [
     "RoundLimitExceeded",
     "StorageIsolationViolation",
     "ExecutorStepError",
+    "WorkerDied",
+    "RecoveryExhausted",
     "RoundExecutor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -75,4 +88,11 @@ __all__ = [
     "EXECUTORS",
     "get_executor",
     "shutdown_executors",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "ClusterSnapshot",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 def fully_scalable_local_memory(
@@ -58,6 +58,30 @@ class RoundRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One fault-layer event: an injected fault or a recovery action.
+
+    ``action`` is what happened — ``"injected"`` (a fault from the
+    :class:`~repro.mpc.faults.FaultPlan` fired), ``"replayed"`` (the
+    cluster restored pre-round state and re-ran machine steps),
+    ``"retransmitted"`` / ``"deduplicated"`` (the delivery layer repaired
+    a dropped / duplicated message) or ``"delayed"`` (a straggler slept).
+    ``kind`` names the fault taxonomy entry (see docs/RESILIENCE.md);
+    ``attempt`` is the round attempt the event belongs to (0 = the first
+    execution, 1+ = replays).  Records are appended in a deterministic,
+    executor-independent order, so faulty runs keep the bit-identical
+    accounting contract across executors.
+    """
+
+    round_index: int
+    attempt: int
+    kind: str
+    machine_id: Optional[int]
+    action: str
+    detail: str = ""
+
+
+@dataclass
 class CostReport:
     """Aggregated resource usage of one MPC computation.
 
@@ -74,6 +98,14 @@ class CostReport:
     max_round_comm_words: int = 0
     peak_total_resident_words: int = 0
     round_log: List[RoundRecord] = field(default_factory=list)
+    # -- fault / recovery layer (see repro.mpc.faults) ------------------
+    # Injected faults and recovery actions are recorded *next to* the
+    # model counters, never folded into them: a recovered run keeps
+    # rounds/comm_words bit-identical to the fault-free run, and the
+    # recovery overhead is legible separately.
+    faults_injected: int = 0
+    recovery_replays: int = 0
+    fault_log: List[FaultRecord] = field(default_factory=list)
 
     @property
     def total_space(self) -> int:
@@ -95,7 +127,21 @@ class CostReport:
             "comm_words": self.comm_words,
             "max_local_words": self.max_local_words,
             "total_space": self.total_space,
+            "faults_injected": self.faults_injected,
+            "recovery_replays": self.recovery_replays,
         }
+
+    def core_dict(self) -> Dict[str, int]:
+        """``as_dict`` minus the fault-layer counters.
+
+        The comparison surface for "a recovered run matches the
+        fault-free run": every model-level number must agree; only the
+        recorded recovery events may differ.
+        """
+        out = self.as_dict()
+        out.pop("faults_injected")
+        out.pop("recovery_replays")
+        return out
 
     def merged_with(self, other: "CostReport") -> "CostReport":
         """Combine two sequential computations (rounds add, peaks max)."""
@@ -114,4 +160,7 @@ class CostReport:
             self.peak_total_resident_words, other.peak_total_resident_words
         )
         merged.round_log = list(self.round_log) + list(other.round_log)
+        merged.faults_injected = self.faults_injected + other.faults_injected
+        merged.recovery_replays = self.recovery_replays + other.recovery_replays
+        merged.fault_log = list(self.fault_log) + list(other.fault_log)
         return merged

@@ -1,0 +1,221 @@
+"""Per-round cluster snapshots and restore.
+
+Round recovery (docs/RESILIENCE.md) needs two granularities of state
+capture:
+
+* **machine backups** — the round engine snapshots each participating
+  machine's ``(store, inbox)`` immediately before dispatch, so a faulted
+  machine can be replayed from exactly its pre-round state;
+* **cluster snapshots** — a full picture of every machine plus the
+  accounting, taken on a configurable cadence
+  (:class:`CheckpointManager`), so a whole computation can be rolled
+  back (``Cluster.restore``) to the last delivered round — the
+  simulator-level analogue of checkpointing a production job to stable
+  storage.
+
+Copies are copy-on-write where that is cheap and safe: numpy arrays get
+a C-level ``copy()`` (steps may mutate stored arrays in place, so
+sharing them would corrupt the backup), immutable scalars are shared,
+:class:`~repro.mpc.message.Message` objects are shared (frozen
+dataclasses whose payloads the determinism contract declares immutable
+once sent — see docs/RESILIENCE.md), and anything else falls back to
+``copy.deepcopy``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.mpc.accounting import CostReport
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+
+_SHARED_SCALARS = (int, float, complex, bool, str, bytes, frozenset, type(None))
+
+
+def copy_value(value: Any) -> Any:
+    """Copy one stored value for a backup (copy-on-write where cheap)."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, _SHARED_SCALARS):
+        return value
+    if isinstance(value, Message):
+        return value  # frozen; payload immutable once sent
+    if isinstance(value, tuple):
+        return tuple(copy_value(v) for v in value)
+    if isinstance(value, dict):
+        return {k: copy_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [copy_value(v) for v in value]
+    return copy.deepcopy(value)
+
+
+def copy_store(store: Dict[str, Any]) -> Dict[str, Any]:
+    """Backup copy of a machine's key-value store."""
+    return {key: copy_value(value) for key, value in store.items()}
+
+
+def copy_inbox(inbox: List[Message]) -> List[Message]:
+    """Backup copy of an inbox (messages shared, list copied)."""
+    return list(inbox)
+
+
+MachineState = Tuple[Dict[str, Any], List[Message]]
+
+
+def backup_machine(machine: Machine) -> MachineState:
+    """Snapshot one machine's ``(store, inbox)`` for later restore."""
+    return copy_store(machine._store), copy_inbox(machine.inbox)
+
+
+def restore_machine(machine: Machine, state: MachineState) -> None:
+    """Reset a machine to a backup taken by :func:`backup_machine`.
+
+    The backup itself is re-copied so one backup supports any number of
+    replays (a replay may mutate the restored arrays in place again).
+    """
+    store, inbox = state
+    machine._store = copy_store(store)
+    machine.inbox = copy_inbox(inbox)
+
+
+@dataclass
+class ClusterSnapshot:
+    """Full cluster state as of the end of round ``round_index``.
+
+    Everything :meth:`repro.mpc.cluster.Cluster.restore` needs to resume
+    as if the later rounds never happened: per-machine stores and
+    inboxes, the accounting report (whose ``rounds`` field is the round
+    counter), and the lenient-mode violation log.
+    """
+
+    round_index: int
+    num_machines: int
+    local_memory: int
+    stores: List[Dict[str, Any]]
+    inboxes: List[List[Message]]
+    report: CostReport
+    violations: List[str]
+
+    @classmethod
+    def capture(cls, cluster: "Any") -> "ClusterSnapshot":
+        """Snapshot ``cluster`` (also available as ``Cluster.snapshot``)."""
+        return cls(
+            round_index=cluster.rounds,
+            num_machines=cluster.num_machines,
+            local_memory=cluster.local_memory,
+            stores=[copy_store(m._store) for m in cluster.machines],
+            inboxes=[copy_inbox(m.inbox) for m in cluster.machines],
+            report=copy.deepcopy(cluster._report),
+            violations=list(cluster.violations),
+        )
+
+    def apply(self, cluster: "Any") -> None:
+        """Restore ``cluster`` to this snapshot (the inverse of capture)."""
+        if cluster.num_machines != self.num_machines:
+            raise ValueError(
+                f"snapshot holds {self.num_machines} machines, cluster has "
+                f"{cluster.num_machines}"
+            )
+        for machine, store, inbox in zip(cluster.machines, self.stores, self.inboxes):
+            machine._store = copy_store(store)
+            machine.inbox = copy_inbox(inbox)
+        cluster._report = copy.deepcopy(self.report)
+        cluster.violations[:] = list(self.violations)
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to snapshot and how many snapshots to keep.
+
+    ``cadence=k`` snapshots after every ``k``-th delivered round;
+    ``keep`` bounds the retained history (oldest dropped first).
+    """
+
+    cadence: int = 1
+    keep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cadence < 1:
+            raise ValueError(f"cadence must be >= 1, got {self.cadence}")
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep}")
+
+
+CheckpointLike = Union[None, int, CheckpointPolicy, "CheckpointManager"]
+
+
+class CheckpointManager:
+    """Rolling window of :class:`ClusterSnapshot`\\ s for one cluster.
+
+    Attached via ``Cluster(..., checkpoints=...)`` (an ``int`` cadence,
+    a :class:`CheckpointPolicy`, or a manager instance) the cluster calls
+    :meth:`observe` after every successfully delivered round; snapshots
+    are taken on the policy's cadence and the window is pruned to
+    ``policy.keep`` entries.
+    """
+
+    def __init__(self, policy: Optional[CheckpointPolicy] = None) -> None:
+        self.policy = policy or CheckpointPolicy()
+        self.snapshots: List[ClusterSnapshot] = []
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def observe(self, cluster: "Any") -> Optional[ClusterSnapshot]:
+        """Called after a delivered round; snapshots on cadence."""
+        if cluster.rounds % self.policy.cadence != 0:
+            return None
+        snap = ClusterSnapshot.capture(cluster)
+        self.snapshots.append(snap)
+        overflow = len(self.snapshots) - self.policy.keep
+        if overflow > 0:
+            del self.snapshots[:overflow]
+        return snap
+
+    def latest(self) -> ClusterSnapshot:
+        if not self.snapshots:
+            raise LookupError("no checkpoint has been taken yet")
+        return self.snapshots[-1]
+
+    def restore_latest(self, cluster: "Any") -> ClusterSnapshot:
+        """Roll the cluster back to the most recent checkpoint."""
+        snap = self.latest()
+        snap.apply(cluster)
+        return snap
+
+
+def get_checkpoint_manager(spec: CheckpointLike) -> Optional[CheckpointManager]:
+    """Coerce the ``Cluster(checkpoints=...)`` argument.
+
+    ``None`` disables checkpointing; an ``int`` is a cadence shorthand;
+    policies and managers pass through.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, CheckpointManager):
+        return spec
+    if isinstance(spec, CheckpointPolicy):
+        return CheckpointManager(spec)
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        return CheckpointManager(CheckpointPolicy(cadence=spec))
+    raise TypeError(
+        f"checkpoints must be None, int, CheckpointPolicy, or "
+        f"CheckpointManager, got {type(spec)}"
+    )
+
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "ClusterSnapshot",
+    "backup_machine",
+    "copy_store",
+    "copy_value",
+    "get_checkpoint_manager",
+    "restore_machine",
+]

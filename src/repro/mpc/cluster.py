@@ -22,29 +22,71 @@ nothing else is in scope unless the caller broadcast it — in which case
 it was charged.)  All executors produce bit-identical results and cost
 accounting; see :mod:`repro.mpc.executor` for the determinism contract
 and the picklability requirement process execution puts on steps.
+
+**Faults and recovery.**  A cluster built with ``faults=FaultPlan(...)``
+injects the plan's seeded failures (machine crashes, worker deaths,
+message drop/duplication, stragglers) and *recovers* from the retryable
+ones: because rounds are synchronous barriers and all per-machine
+randomness is derived from per-machine seeds, a failed machine's step
+can be replayed from its pre-round state with a bit-identical outcome —
+the O(1)-round structure is exactly what makes recovery this cheap.
+Replays are capped by a :class:`~repro.mpc.faults.RecoveryPolicy`
+(``recovery=``); past the cap a typed
+:class:`~repro.mpc.errors.RecoveryExhausted` identifies the machine,
+round, and fault kind.  Every injected fault and every replay is
+recorded in the :class:`~repro.mpc.accounting.CostReport`'s fault log;
+the model-level counters (rounds, words) stay identical to a fault-free
+run.  See docs/RESILIENCE.md for the taxonomy and the determinism
+contract under replay.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
-from repro.mpc.accounting import CostReport, RoundRecord
+from repro.mpc.accounting import CostReport, FaultRecord, RoundRecord
+from repro.mpc.checkpoint import (
+    CheckpointLike,
+    ClusterSnapshot,
+    backup_machine,
+    get_checkpoint_manager,
+    restore_machine,
+)
 from repro.mpc.errors import (
     CommunicationOverflow,
     LocalMemoryExceeded,
+    RecoveryExhausted,
     RoundLimitExceeded,
     StorageIsolationViolation,
+    WorkerDied,
 )
 from repro.mpc.executor import (
     ExecutorLike,
+    MachineRoundResult,
     RoundContext,
     StepFn,
     get_executor,
+)
+from repro.mpc.faults import (
+    CRASH_MARKER,
+    FaultPlan,
+    RecoveryLike,
+    fault_injection_step,
+    get_recovery_policy,
 )
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 
 __all__ = ["Cluster", "RoundContext", "StepFn"]
+
+#: Exceptions the recovery engine treats as retryable round failures.
+#: ``BrokenProcessPool`` is included for third-party executors that do
+#: not wrap it into :class:`WorkerDied` themselves.
+_RETRYABLE = (WorkerDied, BrokenProcessPool)
 
 
 class Cluster:
@@ -69,6 +111,21 @@ class Cluster:
         ``"thread"``, ``"process"``, or a
         :class:`~repro.mpc.executor.RoundExecutor` instance.  The choice
         affects wall-clock only — results and accounting are identical.
+    faults:
+        Optional :class:`~repro.mpc.faults.FaultPlan` to inject.  Every
+        injected event is recorded in the report's fault log; retryable
+        faults are recovered by replaying the failed machines from their
+        pre-round state (results stay bit-identical to a fault-free run).
+    recovery:
+        Replay budget — ``None`` (defaults), an int (``max_retries``),
+        or a :class:`~repro.mpc.faults.RecoveryPolicy`.  Passing any
+        value enables recovery even without a fault plan, which makes
+        genuine worker deaths (``BrokenProcessPool``) survivable too.
+    checkpoints:
+        Per-round snapshot cadence — ``None`` (off), an int cadence, a
+        :class:`~repro.mpc.checkpoint.CheckpointPolicy`, or a
+        :class:`~repro.mpc.checkpoint.CheckpointManager`.  Snapshots are
+        taken after delivery and restored via :meth:`restore`.
     """
 
     def __init__(
@@ -79,6 +136,9 @@ class Cluster:
         strict: bool = True,
         round_limit: Optional[int] = None,
         executor: ExecutorLike = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: RecoveryLike = None,
+        checkpoints: CheckpointLike = None,
     ) -> None:
         if num_machines < 1:
             raise ValueError(f"num_machines must be >= 1, got {num_machines}")
@@ -89,6 +149,10 @@ class Cluster:
         self.strict = strict
         self.round_limit = round_limit
         self.executor = get_executor(executor)
+        self.faults = faults
+        self.recovery = get_recovery_policy(recovery)
+        self._recovery_active = faults is not None or recovery is not None
+        self.checkpoints = get_checkpoint_manager(checkpoints)
         self.machines: List[Machine] = [Machine(i) for i in range(num_machines)]
         self._report = CostReport(num_machines=num_machines, local_memory=local_memory)
         self.violations: List[str] = []
@@ -147,9 +211,12 @@ class Cluster:
                 if m.machine_id not in running
             }
 
-        results = self.executor.run_round(
-            self.machines, ids, step, index, self.num_machines
-        )
+        if self._recovery_active:
+            results = self._run_with_recovery(ids, step, index, label)
+        else:
+            results = self.executor.run_round(
+                self.machines, ids, step, index, self.num_machines
+            )
 
         all_messages: List[Message] = []
         sent_words = [0] * self.num_machines
@@ -169,6 +236,12 @@ class Cluster:
                     self._violate(
                         StorageIsolationViolation(mid, before, after, label)
                     )
+
+        # Transport faults: the delivery layer repairs drops (retransmit)
+        # and duplications (sequence-number dedup) for exactly-once
+        # semantics — delivered state is unchanged, events are recorded.
+        if self.faults is not None:
+            self._repair_transport(all_messages, index)
 
         recv_words = [0] * self.num_machines
         for msg in all_messages:
@@ -221,10 +294,210 @@ class Cluster:
             )
         )
 
+        if self.checkpoints is not None:
+            self.checkpoints.observe(self)
+
     def _violate(self, exc: Exception) -> None:
         if self.strict:
             raise exc
         self.violations.append(str(exc))
+
+    # -- fault injection + round recovery ---------------------------------
+
+    def _run_with_recovery(
+        self, ids: List[int], step: StepFn, index: int, label: str
+    ) -> List[MachineRoundResult]:
+        """Run the round's steps, recovering from retryable faults.
+
+        The synchronous-barrier structure makes recovery local: every
+        participating machine is backed up before dispatch, and a failed
+        machine is replayed from exactly that backup.  Two failure
+        shapes are handled:
+
+        * **crash markers** (injected machine crashes) — the failed
+          machines are identified per-result, restored, and *only they*
+          are replayed; already-completed machines keep their results.
+        * **executor-level failures** (a worker death — injected or a
+          genuine ``BrokenProcessPool``) — the whole pending set is
+          restored and replayed, since a dead worker returns nothing.
+
+        Replays share one per-round attempt counter capped by
+        ``self.recovery.max_retries``; determinism of steps plus
+        per-machine seeding makes each replay bit-identical, which the
+        integration tests assert against fault-free twins.
+        """
+        policy = self.recovery
+        plan = self.faults
+        backups = {mid: backup_machine(self.machines[mid]) for mid in ids}
+        done: Dict[int, MachineRoundResult] = {}
+        pending = list(ids)
+        attempt = 0
+        while True:
+            run_step = step
+            faults = None
+            if plan is not None:
+                faults = plan.step_faults(index, attempt, pending)
+                if faults.is_empty():
+                    faults = None
+                else:
+                    self._record_injected(faults, index, attempt)
+                    run_step = partial(
+                        fault_injection_step,
+                        step=step,
+                        crash_ids=faults.crash_ids,
+                        death_ids=faults.death_ids,
+                        stragglers=faults.stragglers,
+                        main_pid=os.getpid(),
+                    )
+            try:
+                results = self.executor.run_round(
+                    self.machines, pending, run_step, index, self.num_machines
+                )
+            except _RETRYABLE:
+                deaths = sorted(faults.death_ids) if faults is not None else []
+                failed_id = deaths[0] if deaths else None
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise RecoveryExhausted(
+                        failed_id, index, "worker_death", attempt, label
+                    ) from None
+                for mid in pending:
+                    restore_machine(self.machines[mid], backups[mid])
+                self._record_replay(index, attempt, "worker_death", failed_id,
+                                    detail="" if deaths else "genuine")
+                self._backoff(attempt)
+                continue
+
+            crashed = sorted(
+                res.machine_id for res in results if self._has_crash_marker(res)
+            )
+            for res in results:
+                if res.machine_id not in crashed:
+                    done[res.machine_id] = res
+            if not crashed:
+                return [done[mid] for mid in ids]
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise RecoveryExhausted(crashed[0], index, "crash", attempt, label)
+            for mid in crashed:
+                restore_machine(self.machines[mid], backups[mid])
+            self._record_replay(index, attempt, "crash", crashed[0],
+                                detail=f"machines={crashed}")
+            self._backoff(attempt)
+            pending = crashed
+
+    def _has_crash_marker(self, res: MachineRoundResult) -> bool:
+        store = (
+            res.store
+            if res.store is not None
+            else self.machines[res.machine_id]._store
+        )
+        return CRASH_MARKER in store
+
+    def _backoff(self, attempt: int) -> None:
+        seconds = self.recovery.backoff_seconds * attempt
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def _record_injected(self, faults: Any, index: int, attempt: int) -> None:
+        for mid in sorted(faults.crash_ids):
+            self._record_fault(index, attempt, "crash", mid, "injected")
+        for mid in sorted(faults.death_ids):
+            self._record_fault(index, attempt, "worker_death", mid, "injected")
+        for mid, delay in faults.stragglers:
+            self._record_fault(
+                index, attempt, "straggler", mid, "injected", detail=f"delay={delay}"
+            )
+
+    def _record_replay(
+        self, index: int, attempt: int, kind: str, machine_id: Optional[int],
+        detail: str = "",
+    ) -> None:
+        self._report.recovery_replays += 1
+        self._report.fault_log.append(
+            FaultRecord(
+                round_index=index,
+                attempt=attempt,
+                kind=kind,
+                machine_id=machine_id,
+                action="replayed",
+                detail=detail,
+            )
+        )
+
+    def _record_fault(
+        self,
+        index: int,
+        attempt: int,
+        kind: str,
+        machine_id: Optional[int],
+        action: str,
+        detail: str = "",
+    ) -> None:
+        self._report.faults_injected += 1
+        self._report.fault_log.append(
+            FaultRecord(
+                round_index=index,
+                attempt=attempt,
+                kind=kind,
+                machine_id=machine_id,
+                action=action,
+                detail=detail,
+            )
+        )
+
+    def _repair_transport(self, all_messages: List[Message], index: int) -> None:
+        """Record drop/duplication events and their exactly-once repair."""
+        assert self.faults is not None
+        drop_srcs, dup_srcs = self.faults.message_faults(index)
+        if not drop_srcs and not dup_srcs:
+            return
+        for msg in all_messages:
+            if msg.src in drop_srcs:
+                self._record_fault(
+                    index, 0, "drop", msg.src, "injected",
+                    detail=f"dest={msg.dest} tag={msg.tag}",
+                )
+                self._report.fault_log.append(
+                    FaultRecord(
+                        round_index=index,
+                        attempt=0,
+                        kind="drop",
+                        machine_id=msg.src,
+                        action="retransmitted",
+                        detail=f"dest={msg.dest} words={msg.size_words}",
+                    )
+                )
+            if msg.src in dup_srcs:
+                self._record_fault(
+                    index, 0, "duplicate", msg.src, "injected",
+                    detail=f"dest={msg.dest} tag={msg.tag}",
+                )
+                self._report.fault_log.append(
+                    FaultRecord(
+                        round_index=index,
+                        attempt=0,
+                        kind="duplicate",
+                        machine_id=msg.src,
+                        action="deduplicated",
+                        detail=f"dest={msg.dest} words={msg.size_words}",
+                    )
+                )
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Capture the full cluster state (stores, inboxes, accounting)."""
+        return ClusterSnapshot.capture(self)
+
+    def restore(self, snapshot: ClusterSnapshot) -> None:
+        """Reset the cluster to a snapshot taken by :meth:`snapshot`.
+
+        Machine stores, inboxes, the round counter, the full accounting
+        report, and the lenient-mode violation log all roll back; rounds
+        executed after the snapshot leave no trace.
+        """
+        snapshot.apply(self)
 
     # -- free (round-zero) input loading ----------------------------------
 

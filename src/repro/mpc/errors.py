@@ -83,6 +83,56 @@ class ExecutorStepError(MPCError):
     """
 
 
+class WorkerDied(MPCError):
+    """A machine's worker died mid-round (injected or genuine).
+
+    The *retryable* executor failure: under the process executor it wraps
+    ``concurrent.futures.process.BrokenProcessPool`` (a worker process
+    exited without returning its batch), and under the serial/thread
+    executors it is what an injected ``worker_death`` fault raises to
+    simulate the same event.  A cluster with recovery enabled catches it,
+    restores the round's pre-state, and replays; without recovery it
+    propagates — but the shared process pool is discarded either way, so
+    later clusters get a fresh pool instead of the poisoned one.
+    """
+
+    def __init__(self, round_index: int, machine_id: "int | None" = None) -> None:
+        self.round_index = round_index
+        self.machine_id = machine_id
+        who = f"machine {machine_id}" if machine_id is not None else "a worker"
+        super().__init__(
+            f"{who} died during round {round_index} before returning its state"
+        )
+
+
+class RecoveryExhausted(MPCError):
+    """Round recovery gave up: a fault kept firing past the retry cap.
+
+    Carries the coordinates a postmortem needs — which machine, which
+    round, which fault kind, and how many replays were attempted — so
+    tests and operators can assert on the exact failure, not a string.
+    """
+
+    def __init__(
+        self,
+        machine_id: "int | None",
+        round_index: int,
+        kind: str,
+        attempts: int,
+        context: str = "",
+    ) -> None:
+        self.machine_id = machine_id
+        self.round_index = round_index
+        self.kind = kind
+        self.attempts = attempts
+        who = f"machine {machine_id}" if machine_id is not None else "the round"
+        suffix = f" during {context}" if context else ""
+        super().__init__(
+            f"recovery exhausted after {attempts} attempts: {who} kept failing "
+            f"with {kind!r} faults in round {round_index}{suffix}"
+        )
+
+
 class InvalidAddress(MPCError):
     """A message was addressed to a machine id outside the cluster."""
 

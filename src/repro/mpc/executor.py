@@ -39,10 +39,11 @@ from __future__ import annotations
 import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.mpc.errors import ExecutorStepError, InvalidAddress
+from repro.mpc.errors import ExecutorStepError, InvalidAddress, WorkerDied
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 
@@ -198,24 +199,70 @@ def _shared_thread_pool() -> ThreadPoolExecutor:
     return _THREAD_POOL
 
 
+def _pool_is_broken(pool: ProcessPoolExecutor) -> bool:
+    """Has a worker death poisoned this pool?
+
+    ``ProcessPoolExecutor`` marks itself broken permanently once any
+    worker exits abnormally; every later submit raises
+    ``BrokenProcessPool``, so a broken shared pool must be discarded,
+    never reused.
+    """
+    return bool(getattr(pool, "_broken", False))
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without hanging on dead workers."""
+    if _pool_is_broken(pool):
+        # Waiting on a broken pool can block forever (its queue-management
+        # machinery may already be gone); abandon it instead.
+        pool.shutdown(wait=False, cancel_futures=True)
+    else:
+        pool.shutdown(wait=True)
+
+
+def _discard_process_pool() -> None:
+    """Drop the shared process pool so the next round builds a fresh one.
+
+    Called when a worker death breaks the pool: a broken
+    ``ProcessPoolExecutor`` rejects all future submissions, so keeping it
+    around would poison every later cluster in the process.
+    """
+    global _PROCESS_POOL, _PROCESS_POOL_WORKERS
+    if _PROCESS_POOL is not None:
+        _shutdown_pool(_PROCESS_POOL)
+        _PROCESS_POOL = None
+        _PROCESS_POOL_WORKERS = 0
+
+
 def _shared_process_pool(workers: int) -> ProcessPoolExecutor:
     global _PROCESS_POOL, _PROCESS_POOL_WORKERS
-    if _PROCESS_POOL is None or _PROCESS_POOL_WORKERS < workers:
+    rebuild = (
+        _PROCESS_POOL is None
+        or _PROCESS_POOL_WORKERS != workers
+        or _pool_is_broken(_PROCESS_POOL)
+    )
+    if rebuild:
         if _PROCESS_POOL is not None:
-            _PROCESS_POOL.shutdown(wait=True)
+            _shutdown_pool(_PROCESS_POOL)
         _PROCESS_POOL = ProcessPoolExecutor(max_workers=workers)
         _PROCESS_POOL_WORKERS = workers
+    assert _PROCESS_POOL is not None
     return _PROCESS_POOL
 
 
 def shutdown_executors() -> None:
-    """Shut down the shared thread and process pools (idempotent)."""
+    """Shut down the shared thread and process pools (idempotent).
+
+    Safe to call with a broken process pool: broken pools are abandoned
+    (``wait=False``) rather than joined, so this never hangs on dead
+    workers.
+    """
     global _THREAD_POOL, _PROCESS_POOL, _PROCESS_POOL_WORKERS
     if _THREAD_POOL is not None:
         _THREAD_POOL.shutdown(wait=True)
         _THREAD_POOL = None
     if _PROCESS_POOL is not None:
-        _PROCESS_POOL.shutdown(wait=True)
+        _shutdown_pool(_PROCESS_POOL)
         _PROCESS_POOL = None
         _PROCESS_POOL_WORKERS = 0
 
@@ -255,7 +302,21 @@ class ThreadExecutor(RoundExecutor):
             )
             for mid in ids
         ]
-        return [f.result() for f in futures]
+        # Drain *every* future before raising: if one step fails while
+        # others are still running, returning early would leave background
+        # threads mutating machines concurrently with the caller's
+        # recovery restore.  The barrier must be total.
+        results: List[MachineRoundResult] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
 
 
 class ProcessExecutor(RoundExecutor):
@@ -310,9 +371,14 @@ class ProcessExecutor(RoundExecutor):
             for chunk in self._chunks(ids)
         ]
         results: List[MachineRoundResult] = []
+        first_error: Optional[BaseException] = None
         for future in futures:
             try:
                 batch = future.result()
+            except BrokenProcessPool as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
             except Exception as exc:
                 if _is_pickling_error(exc):
                     raise ExecutorStepError(
@@ -331,18 +397,36 @@ class ProcessExecutor(RoundExecutor):
                         inbox=inbox,
                     )
                 )
+        if first_error is not None:
+            # A worker died mid-round.  The pool is permanently broken —
+            # discard it so the next run_round builds a fresh one instead
+            # of inheriting the poison — and surface the model-level
+            # WorkerDied, which the cluster's recovery treats as
+            # retryable.
+            _discard_process_pool()
+            raise WorkerDied(round_index) from first_error
         order = {mid: i for i, mid in enumerate(ids)}
         results.sort(key=lambda res: order[res.machine_id])
         return results
 
 
 def _is_pickling_error(exc: BaseException) -> bool:
-    """Heuristic: did a future fail because something wasn't picklable?"""
+    """Heuristic: did a future fail because something wasn't picklable?
+
+    Any ``pickle.PicklingError`` qualifies outright, whatever its message
+    ("Can't pickle ...", "Can't get local object ...", cPickle variants).
+    ``TypeError``/``AttributeError`` — which pickle also raises for
+    unpicklable payloads — qualify only when their text implicates
+    pickling, matched case-insensitively so both the "Can't pickle"
+    prefix and lowercase "cannot pickle" forms are caught.
+    """
     import pickle
 
-    if isinstance(exc, (pickle.PicklingError, TypeError, AttributeError)):
-        text = str(exc)
-        return "pickle" in text or "Can't get local object" in text or "lambda" in text
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    if isinstance(exc, (TypeError, AttributeError)):
+        text = str(exc).lower()
+        return "pickle" in text or "can't get local object" in text or "lambda" in text
     return False
 
 

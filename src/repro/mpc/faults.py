@@ -1,0 +1,336 @@
+"""Seeded, deterministic fault injection for the MPC simulator.
+
+Production MPC frameworks (the Spark/Dryad lineage the model abstracts)
+treat worker failure as the common case: rounds are synchronous
+barriers, so a crashed machine can be replayed from its pre-round state
+without coordinating with anyone else.  This module supplies the faults;
+:class:`~repro.mpc.cluster.Cluster` supplies the recovery (see its
+round engine and docs/RESILIENCE.md).
+
+A :class:`FaultPlan` is an immutable *specification* — a list of
+:class:`FaultEvent` entries saying which machine misbehaves in which
+round, how, and for how many attempts.  Plans are seeded
+(:meth:`FaultPlan.random`) or written out explicitly, and the same plan
+object can be handed to any number of clusters (``Cluster(...,
+faults=plan)``): each cluster derives its own read-only view, so a
+faulty run is exactly reproducible and a fault-free twin is one
+``faults=None`` away.
+
+Fault taxonomy (``kind``):
+
+* ``"crash"`` — the machine does no work in the round: its step is
+  skipped and a crash marker is left in its place.  The cluster restores
+  the machine's pre-round state and replays *only that machine's* step.
+* ``"worker_death"`` — the worker executing the machine dies mid-round.
+  Under the process executor the worker process genuinely exits (the
+  shared pool breaks and is rebuilt); under serial/thread execution the
+  equivalent :class:`~repro.mpc.errors.WorkerDied` is raised in-process.
+  The cluster restores every pending machine and replays the round.
+* ``"drop"`` / ``"duplicate"`` — the transport loses / duplicates every
+  message the machine sends that round.  The delivery layer repairs both
+  (retransmission with separately-accounted words; sequence-number
+  dedup), so delivered state is unchanged and the events are recorded.
+* ``"straggler"`` — the machine's step is delayed by ``delay`` seconds
+  before running.  Wall-clock only; results and accounting unchanged.
+
+Determinism contract: whether an event fires is a pure function of
+``(round_index, attempt, machine_id)`` — an event with ``count=c`` fires
+on attempts ``0..c-1`` of its round and is clean afterwards.  No mutable
+consumption state exists, so replays are exact and every executor sees
+the identical fault schedule (the acceptance tests assert bit-identical
+results and accounting across serial/thread/process under one plan).
+
+The step wrapper :func:`fault_wrapped_step` is a module-level callable
+with all per-round data bound via :func:`functools.partial`, so it runs
+unchanged under every round executor (MPC001's picklability contract).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.mpc.errors import WorkerDied
+from repro.mpc.executor import RoundContext, StepFn
+from repro.mpc.machine import Machine
+from repro.util.rng import SeedLike, as_generator
+
+#: Storage key a crashed machine carries back instead of its step's work.
+#: The cluster's recovery scan looks for it; it never survives into a
+#: delivered round (the machine is restored from its pre-round backup).
+CRASH_MARKER = "faults/crashed"
+
+#: Every fault kind a plan may contain, in taxonomy order.
+FAULT_KINDS: Tuple[str, ...] = (
+    "crash",
+    "worker_death",
+    "drop",
+    "duplicate",
+    "straggler",
+)
+
+#: Kinds that abort machine steps and trigger replay (vs delivery/delay).
+_STEP_KINDS = frozenset({"crash", "worker_death", "straggler"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``machine_id`` is the faulting machine (for ``drop``/``duplicate``:
+    the *sender* whose messages the transport mangles).  ``count`` is how
+    many round attempts the fault keeps firing for — ``1`` (default)
+    means the first execution fails and the replay is clean; a count
+    above the cluster's retry cap exhausts recovery, which is how tests
+    exercise :class:`~repro.mpc.errors.RecoveryExhausted`.  ``delay`` is
+    the straggler sleep in seconds (ignored by other kinds).
+    """
+
+    kind: str
+    round_index: int
+    machine_id: int
+    count: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {self.round_index}")
+        if self.machine_id < 0:
+            raise ValueError(f"machine_id must be >= 0, got {self.machine_id}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def fires(self, round_index: int, attempt: int) -> bool:
+        """Does this event fire on ``attempt`` of ``round_index``?"""
+        return self.round_index == round_index and attempt < self.count
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """The step-level faults active for one ``(round, attempt)``.
+
+    Computed parent-side by :meth:`FaultPlan.step_faults` so the cluster
+    records every injected event *before* dispatch (a dead worker cannot
+    report its own death) and so the wrapper receives only plain,
+    picklable containers.
+    """
+
+    crash_ids: FrozenSet[int] = frozenset()
+    death_ids: FrozenSet[int] = frozenset()
+    stragglers: Tuple[Tuple[int, float], ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (self.crash_ids or self.death_ids or self.stragglers)
+
+
+class FaultPlan:
+    """An immutable, reusable schedule of :class:`FaultEvent`\\ s.
+
+    Build one explicitly (``FaultPlan([FaultEvent("crash", 2, 1)])``) or
+    draw one from a seed (:meth:`random`).  Events addressing machines
+    or rounds a particular cluster never reaches simply do not fire —
+    one plan can parameterize differently-sized runs.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        by_round: Dict[int, List[FaultEvent]] = {}
+        for event in self.events:
+            by_round.setdefault(event.round_index, []).append(event)
+        self._by_round = by_round
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {}
+        for e in self.events:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        return f"FaultPlan({len(self.events)} events: {kinds})"
+
+    @classmethod
+    def random(
+        cls,
+        seed: SeedLike,
+        *,
+        num_machines: int,
+        rounds: int,
+        rate: float = 0.05,
+        kinds: Sequence[str] = FAULT_KINDS,
+        straggler_delay: float = 0.001,
+        max_events: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Draw a seeded plan: each (round, machine) faults w.p. ``rate``.
+
+        ``num_machines``/``rounds`` are sampling bounds, not promises —
+        they may exceed (or undershoot) what a given cluster actually
+        runs.  Deterministic given ``seed``; the same plan drives every
+        executor and every replay identically.
+        """
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        if not 0 <= rate <= 1:
+            raise ValueError(f"rate must lie in [0, 1], got {rate}")
+        rng = as_generator(seed)
+        events: List[FaultEvent] = []
+        for round_index in range(rounds):
+            for machine_id in range(num_machines):
+                if rng.random() >= rate:
+                    continue
+                kind = str(kinds[int(rng.integers(len(kinds)))])
+                events.append(
+                    FaultEvent(
+                        kind=kind,
+                        round_index=round_index,
+                        machine_id=machine_id,
+                        delay=straggler_delay if kind == "straggler" else 0.0,
+                    )
+                )
+                if max_events is not None and len(events) >= max_events:
+                    return cls(events)
+        return cls(events)
+
+    # -- queries the cluster's round engine makes -----------------------
+
+    def step_faults(
+        self, round_index: int, attempt: int, ids: Sequence[int]
+    ) -> RoundFaults:
+        """Step-level faults firing for ``attempt`` of this round.
+
+        Only machines in ``ids`` (this attempt's participants) are
+        considered; events for spectators do not fire.
+        """
+        running = set(ids)
+        crash: List[int] = []
+        death: List[int] = []
+        stragglers: List[Tuple[int, float]] = []
+        for event in self._by_round.get(round_index, ()):
+            if event.kind not in _STEP_KINDS or event.machine_id not in running:
+                continue
+            if not event.fires(round_index, attempt):
+                continue
+            if event.kind == "crash":
+                crash.append(event.machine_id)
+            elif event.kind == "worker_death":
+                death.append(event.machine_id)
+            else:
+                stragglers.append((event.machine_id, event.delay))
+        return RoundFaults(
+            crash_ids=frozenset(crash),
+            death_ids=frozenset(death),
+            stragglers=tuple(sorted(stragglers)),
+        )
+
+    def message_faults(self, round_index: int) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+        """``(drop_sources, duplicate_sources)`` for this round's delivery.
+
+        Delivery happens once per round (after any replays), so message
+        faults have no attempt dimension.
+        """
+        drops: List[int] = []
+        dups: List[int] = []
+        for event in self._by_round.get(round_index, ()):
+            if event.kind == "drop":
+                drops.append(event.machine_id)
+            elif event.kind == "duplicate":
+                dups.append(event.machine_id)
+        return frozenset(drops), frozenset(dups)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How hard the round engine tries before giving up.
+
+    ``max_retries`` caps replays *per round* (a fresh round starts at
+    zero).  ``backoff_seconds`` is the base of a linear backoff —
+    replay ``k`` sleeps ``k * backoff_seconds`` — kept at zero by
+    default so simulations and tests stay fast; a deployment-shaped
+    configuration would set it to its supervisor's re-schedule latency.
+    """
+
+    max_retries: int = 3
+    backoff_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+
+
+RecoveryLike = Union[None, int, RecoveryPolicy]
+
+
+def get_recovery_policy(spec: RecoveryLike) -> RecoveryPolicy:
+    """Coerce ``spec`` into a :class:`RecoveryPolicy`.
+
+    ``None`` means defaults; an ``int`` is a ``max_retries`` shorthand.
+    """
+    if spec is None:
+        return RecoveryPolicy()
+    if isinstance(spec, RecoveryPolicy):
+        return spec
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        return RecoveryPolicy(max_retries=spec)
+    raise TypeError(
+        f"recovery must be None, int, or RecoveryPolicy, got {type(spec)}"
+    )
+
+
+def fault_injection_step(
+    machine: Machine,
+    ctx: RoundContext,
+    *,
+    step: StepFn,
+    crash_ids: FrozenSet[int],
+    death_ids: FrozenSet[int],
+    stragglers: Tuple[Tuple[int, float], ...],
+    main_pid: int,
+) -> None:
+    """Run ``step`` under the round's injected faults.
+
+    Module-level and partial-bound, so it ships to worker processes
+    exactly like any other step.  A ``worker_death`` in a genuine worker
+    process exits the worker (``os._exit`` — the pool breaks, exactly as
+    a production worker loss would); in the main process (serial/thread
+    executors, or single-machine rounds the process executor inlines) it
+    raises :class:`~repro.mpc.errors.WorkerDied` instead, which the
+    cluster treats identically.  A ``crash`` leaves :data:`CRASH_MARKER`
+    in place of the step's work; the cluster restores and replays that
+    machine alone.
+    """
+    mid = machine.machine_id
+    if mid in death_ids:
+        if os.getpid() != main_pid:
+            os._exit(17)
+        raise WorkerDied(ctx.round_index, mid)
+    if mid in crash_ids:
+        machine.put(CRASH_MARKER, "crash")
+        return
+    for straggler_id, delay in stragglers:
+        if straggler_id == mid and delay > 0:
+            time.sleep(delay)
+    step(machine, ctx)
+
+
+__all__ = [
+    "CRASH_MARKER",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "RoundFaults",
+    "fault_injection_step",
+    "get_recovery_policy",
+]

@@ -4,16 +4,29 @@
 as an aligned text table (round-by-round label, message count, volume,
 hot senders/receivers), the tool we reach for when a computation blows
 its budget and the exception alone doesn't say which phase did it.
+
+Reports from faulty runs additionally carry a fault log (see
+:mod:`repro.mpc.faults`); its injected events and recovery actions are
+rendered as a dedicated section, and the headline line grows
+``faults=... replays=...`` so a recovered run is visibly distinct from a
+fault-free one even at a glance.  Pass a lenient-mode cluster's
+``violations`` list to see recorded (non-raising) constraint overshoots
+in execution order.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 from repro.mpc.accounting import CostReport
 
 
-def explain_report(report: CostReport, *, max_rounds: int = 50) -> str:
+def explain_report(
+    report: CostReport,
+    *,
+    max_rounds: int = 50,
+    violations: Optional[Sequence[str]] = None,
+) -> str:
     """Multi-line description of a computation's resource usage."""
     lines: List[str] = []
     lines.append(
@@ -21,12 +34,18 @@ def explain_report(report: CostReport, *, max_rounds: int = 50) -> str:
         f"{report.local_memory} words local memory "
         f"(total space {report.total_space})"
     )
-    lines.append(
+    headline = (
         f"  rounds={report.rounds}  messages={report.messages}  "
         f"comm={report.comm_words} words  "
         f"peak-local={report.max_local_words} "
         f"({_pct(report.max_local_words, report.local_memory)})"
     )
+    if report.faults_injected or report.recovery_replays:
+        headline += (
+            f"  faults={report.faults_injected}"
+            f"  replays={report.recovery_replays}"
+        )
+    lines.append(headline)
     if report.peak_total_resident_words:
         lines.append(
             f"  peak-total-resident={report.peak_total_resident_words} words"
@@ -44,6 +63,21 @@ def explain_report(report: CostReport, *, max_rounds: int = 50) -> str:
         hidden = len(report.round_log) - len(shown)
         if hidden > 0:
             lines.append(f"    ... {hidden} more rounds")
+    if report.fault_log:
+        lines.append("  faults:")
+        for rec in report.fault_log:
+            who = "-" if rec.machine_id is None else str(rec.machine_id)
+            entry = (
+                f"    round {rec.round_index} attempt {rec.attempt}: "
+                f"{rec.kind} machine {who} -> {rec.action}"
+            )
+            if rec.detail:
+                entry += f" ({rec.detail})"
+            lines.append(entry)
+    if violations:
+        lines.append(f"  violations ({len(violations)} recorded, lenient mode):")
+        for text in violations:
+            lines.append(f"    - {text}")
     return "\n".join(lines)
 
 

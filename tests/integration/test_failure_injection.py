@@ -1,5 +1,15 @@
 """Failure-injection tests: resource violations, coverage failures,
-and degraded configurations must fail loudly and informatively."""
+degraded configurations, and injected machine/worker faults.
+
+Two families:
+
+* *model violations* (memory, communication, rounds, coverage) must
+  fail loudly and informatively;
+* *injected faults* (crashes, worker deaths — the acceptance criterion
+  for the recovery layer) must be survived end to end by the real
+  algorithms, on every executor, with results and model-level
+  accounting bit-identical to the fault-free run.
+"""
 
 import numpy as np
 import pytest
@@ -14,7 +24,10 @@ from repro.mpc.errors import (
     MPCError,
     RoundLimitExceeded,
 )
+from repro.mpc.faults import FaultEvent, FaultPlan
 from repro.partition.base import CoverageFailure
+
+EXECUTOR_NAMES = ["serial", "thread", "process"]
 
 
 class TestMemoryPressure:
@@ -124,6 +137,80 @@ class TestCoverageDegradation:
         assert starved.domination_min >= 1.0
         # Early singletons inflate stretch: starving should not *help*.
         assert starved.mean_expected_ratio >= 0.5 * healthy.mean_expected_ratio
+
+
+class TestInjectedFaultRecovery:
+    """The tentpole acceptance criterion: the real algorithms survive a
+    plan with at least one machine crash and one worker death, on every
+    executor, and come out bit-identical to the fault-free run."""
+
+    @staticmethod
+    def _embedding_plan(report):
+        """Target the ballpart compute round of a fault-free run."""
+        idx = next(r.index for r in report.round_log if r.label == "ballpart")
+        return FaultPlan(
+            [
+                FaultEvent("crash", idx, 1),
+                FaultEvent("worker_death", idx, 2),
+                FaultEvent("straggler", idx, 0, delay=0.0005),
+            ]
+        )
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_tree_embedding_survives_crash_and_death(self, executor):
+        pts = uniform_lattice(60, 4, 128, seed=20, unique=True)
+        base = mpc_tree_embedding(pts, 2, seed=21)
+        plan = self._embedding_plan(base.report)
+        result = mpc_tree_embedding(
+            pts, 2, seed=21, executor=executor, faults=plan
+        )
+        np.testing.assert_array_equal(
+            result.tree.label_matrix, base.tree.label_matrix
+        )
+        np.testing.assert_array_equal(
+            result.tree.level_weights, base.tree.level_weights
+        )
+        report = result.report
+        assert report.core_dict() == base.report.core_dict()
+        assert report.round_log == base.report.round_log
+        assert report.faults_injected >= 2
+        assert report.recovery_replays >= 1
+        kinds = {(r.kind, r.action) for r in report.fault_log}
+        assert ("crash", "injected") in kinds
+        assert ("worker_death", "injected") in kinds
+        assert ("worker_death", "replayed") in kinds
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_fjlt_survives_crash_and_death(self, executor):
+        pts = np.random.default_rng(22).normal(size=(60, 32))
+        base_emb, base_cluster = mpc_fjlt(pts, xi=0.4, seed=23)
+        idx = next(
+            r.index
+            for r in base_cluster.report().round_log
+            if r.label == "fjlt-apply"
+        )
+        plan = FaultPlan(
+            [FaultEvent("crash", idx, 0), FaultEvent("worker_death", idx, 1)]
+        )
+        emb, cluster = mpc_fjlt(
+            pts, xi=0.4, seed=23, executor=executor, faults=plan
+        )
+        np.testing.assert_array_equal(emb, base_emb)
+        report = cluster.report()
+        assert report.core_dict() == base_cluster.report().core_dict()
+        assert report.recovery_replays >= 1
+        kinds = {(r.kind, r.action) for r in report.fault_log}
+        assert ("crash", "injected") in kinds
+        assert ("worker_death", "injected") in kinds
+
+    def test_faults_require_auto_built_cluster(self):
+        pts = np.random.default_rng(24).normal(size=(16, 8))
+        cluster = Cluster(2, 1 << 20)
+        plan = FaultPlan([FaultEvent("crash", 0, 0)])
+        with pytest.raises(ValueError, match="faults/recovery"):
+            mpc_fjlt(pts, seed=25, cluster=cluster, faults=plan)
+        with pytest.raises(ValueError, match="faults/recovery"):
+            mpc_tree_embedding(pts, 2, cluster=cluster, seed=25, faults=plan)
 
 
 class TestAdversarialData:

@@ -1,0 +1,31 @@
+"""MPC009 fixture: step functions swallowing the simulator's failure signals."""
+
+from repro.mpc.errors import MPCError
+
+
+def _swallow_mpcerror_step(machine, ctx):
+    try:
+        machine.put("x", machine.get("y"))
+    except MPCError:
+        pass
+
+
+def _swallow_exception_step(machine, ctx):
+    try:
+        ctx.send(0, machine.get("x"))
+    except Exception:
+        machine.put("failed", True)
+
+
+def _bare_except_step(machine, ctx):
+    try:
+        machine.put("x", 1)
+    except:  # noqa: E722 - the fixture exercises exactly this
+        pass
+
+
+def _tuple_catch_step(machine, ctx):
+    try:
+        machine.put("x", 1)
+    except (ValueError, MPCError):
+        pass

@@ -1,0 +1,31 @@
+"""MPC009 fixture: acceptable exception handling inside steps.
+
+Catching a *specific* failure a step genuinely handles is fine; so is
+broad handling in driver-side helpers that are not step functions.
+"""
+
+from repro.mpc.errors import InvalidAddress, MPCError
+
+
+def _narrow_catch_step(machine, ctx):
+    try:
+        ctx.send(machine.get("dest"), machine.get("x"))
+    except InvalidAddress:
+        machine.put("dest", 0)
+
+
+def _value_error_step(machine, ctx):
+    try:
+        machine.put("x", int(machine.get("raw")))
+    except ValueError:
+        machine.put("x", 0)
+
+
+def driver_helper(cluster):
+    # Not a step: drivers may legitimately treat any model violation as
+    # "this configuration does not fit" and fall back.
+    try:
+        cluster.round(_narrow_catch_step, label="send")
+    except MPCError:
+        return None
+    return cluster

@@ -20,6 +20,7 @@ CASES = {
     "MPC005": ("badpkg", 2, "goodpkg"),
     "MPC006": ("mpc006_bad.py", 3, "mpc006_good.py"),
     "MPC007": ("mpc007_bad.py", 3, "mpc007_good.py"),
+    "MPC009": ("mpc009_bad.py", 4, "mpc009_good.py"),
 }
 
 

@@ -1,0 +1,400 @@
+"""Fault injection, round recovery, checkpointing, and pool hardening.
+
+The contract under test (docs/RESILIENCE.md): a cluster driven by a
+:class:`~repro.mpc.faults.FaultPlan` must finish with **bit-identical
+machine state and model-level accounting** to its fault-free twin — the
+only trace of the faults is the report's fault log — and a fault that
+keeps firing past the replay cap must surface as a typed
+:class:`~repro.mpc.errors.RecoveryExhausted`.
+
+``REPRO_FAULT_SEEDS`` (comma-separated ints) widens the seeded-plan
+sweep; CI's fault-matrix job sets it to cover more seeds than the
+default local run.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.mpc import (
+    CheckpointManager,
+    CheckpointPolicy,
+    Cluster,
+    FaultEvent,
+    FaultPlan,
+    RecoveryExhausted,
+    RecoveryPolicy,
+    WorkerDied,
+)
+from repro.mpc import executor as executor_mod
+from repro.mpc.checkpoint import get_checkpoint_manager
+from repro.mpc.executor import _is_pickling_error, shutdown_executors
+from repro.mpc.faults import CRASH_MARKER, RoundFaults, get_recovery_policy
+from repro.util.rng import machine_rng
+
+EXECUTOR_NAMES = ["serial", "thread", "process"]
+
+FAULT_SEEDS = [
+    int(s) for s in os.environ.get("REPRO_FAULT_SEEDS", "5").split(",") if s.strip()
+]
+
+
+def _work_step(machine, ctx):
+    """Deterministic busywork: consume the ring mail, mutate, send on."""
+    inbox_sum = sum(float(msg.payload.sum()) for msg in machine.take_inbox(tag="ring"))
+    rng = machine_rng(1234 + ctx.round_index, machine.machine_id)
+    data = machine.get("data")
+    machine.put("data", data + rng.normal(size=data.shape) + inbox_sum)
+    ctx.send(
+        (machine.machine_id + 1) % ctx.num_machines,
+        np.array([float(machine.machine_id + ctx.round_index)]),
+        tag="ring",
+    )
+
+
+def _run_pipeline(
+    *, faults=None, recovery=None, executor="serial", machines=4, rounds=3
+):
+    cluster = Cluster(
+        machines, 4096, executor=executor, faults=faults, recovery=recovery
+    )
+    for mid in range(machines):
+        cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+    for r in range(rounds):
+        cluster.round(_work_step, label=f"work{r}")
+    state = {
+        mid: cluster.machine(mid).get("data").copy() for mid in range(machines)
+    }
+    return state, cluster
+
+
+def _assert_states_equal(a, b):
+    assert a.keys() == b.keys()
+    for mid in a:
+        np.testing.assert_array_equal(a[mid], b[mid])
+
+
+class TestFaultEvent:
+    def test_fires_for_count_attempts(self):
+        ev = FaultEvent("crash", round_index=2, machine_id=1, count=2)
+        assert ev.fires(2, 0) and ev.fires(2, 1)
+        assert not ev.fires(2, 2)
+        assert not ev.fires(3, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor", 0, 0)
+        with pytest.raises(ValueError, match="round_index"):
+            FaultEvent("crash", -1, 0)
+        with pytest.raises(ValueError, match="machine_id"):
+            FaultEvent("crash", 0, -1)
+        with pytest.raises(ValueError, match="count"):
+            FaultEvent("crash", 0, 0, count=0)
+        with pytest.raises(ValueError, match="delay"):
+            FaultEvent("straggler", 0, 0, delay=-1.0)
+
+
+class TestFaultPlan:
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(42, num_machines=8, rounds=10, rate=0.3)
+        b = FaultPlan.random(42, num_machines=8, rounds=10, rate=0.3)
+        assert a.events == b.events
+        c = FaultPlan.random(43, num_machines=8, rounds=10, rate=0.3)
+        assert a.events != c.events
+
+    def test_rate_zero_is_empty(self):
+        assert len(FaultPlan.random(1, num_machines=8, rounds=10, rate=0.0)) == 0
+
+    def test_max_events_caps(self):
+        plan = FaultPlan.random(
+            7, num_machines=16, rounds=16, rate=0.9, max_events=5
+        )
+        assert len(plan) == 5
+
+    def test_step_faults_only_fire_for_participants(self):
+        plan = FaultPlan([FaultEvent("crash", 0, 3)])
+        assert plan.step_faults(0, 0, [0, 1, 2]).is_empty()
+        assert plan.step_faults(0, 0, [0, 3]).crash_ids == frozenset({3})
+
+    def test_step_faults_attempt_window(self):
+        plan = FaultPlan([FaultEvent("worker_death", 1, 0, count=2)])
+        assert plan.step_faults(1, 0, [0]).death_ids == frozenset({0})
+        assert plan.step_faults(1, 1, [0]).death_ids == frozenset({0})
+        assert plan.step_faults(1, 2, [0]).is_empty()
+
+    def test_message_faults(self):
+        plan = FaultPlan(
+            [FaultEvent("drop", 0, 1), FaultEvent("duplicate", 0, 2)]
+        )
+        drops, dups = plan.message_faults(0)
+        assert drops == frozenset({1}) and dups == frozenset({2})
+        assert plan.message_faults(1) == (frozenset(), frozenset())
+
+    def test_round_faults_empty(self):
+        assert RoundFaults().is_empty()
+
+
+class TestRecoveryPolicy:
+    def test_coercions(self):
+        assert get_recovery_policy(None) == RecoveryPolicy()
+        assert get_recovery_policy(5).max_retries == 5
+        custom = RecoveryPolicy(max_retries=1, backoff_seconds=0.5)
+        assert get_recovery_policy(custom) is custom
+
+    def test_bad_specs(self):
+        with pytest.raises(TypeError):
+            get_recovery_policy(True)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_seconds=-0.1)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_crash_is_replayed_bit_identically(self, executor):
+        base_state, base = _run_pipeline(executor=executor)
+        plan = FaultPlan([FaultEvent("crash", 1, 2)])
+        state, cluster = _run_pipeline(executor=executor, faults=plan)
+        _assert_states_equal(state, base_state)
+        report = cluster.report()
+        assert report.core_dict() == base.report().core_dict()
+        assert report.round_log == base.report().round_log
+        assert report.faults_injected == 1
+        assert report.recovery_replays == 1
+        actions = [(r.kind, r.machine_id, r.action) for r in report.fault_log]
+        assert ("crash", 2, "injected") in actions
+        assert ("crash", 2, "replayed") in actions
+
+    def test_multiple_crashes_replay_selectively(self):
+        plan = FaultPlan([FaultEvent("crash", 0, 0), FaultEvent("crash", 0, 3)])
+        base_state, _ = _run_pipeline()
+        state, cluster = _run_pipeline(faults=plan)
+        _assert_states_equal(state, base_state)
+        # Both crashes recovered by ONE selective replay of the crashed pair.
+        assert cluster.report().recovery_replays == 1
+        assert cluster.report().faults_injected == 2
+
+    def test_crash_marker_never_survives(self):
+        plan = FaultPlan([FaultEvent("crash", 0, 1)])
+        _, cluster = _run_pipeline(faults=plan)
+        for machine in cluster:
+            assert CRASH_MARKER not in machine._store
+
+
+class TestWorkerDeathRecovery:
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_death_is_replayed_bit_identically(self, executor):
+        base_state, base = _run_pipeline(executor=executor)
+        plan = FaultPlan([FaultEvent("worker_death", 1, 0)])
+        state, cluster = _run_pipeline(executor=executor, faults=plan)
+        _assert_states_equal(state, base_state)
+        report = cluster.report()
+        assert report.core_dict() == base.report().core_dict()
+        assert report.recovery_replays == 1
+        actions = [(r.kind, r.machine_id, r.action) for r in report.fault_log]
+        assert ("worker_death", 0, "injected") in actions
+        assert ("worker_death", 0, "replayed") in actions
+
+    def test_process_pool_survives_for_later_clusters(self):
+        # A worker genuinely dies (os._exit in the worker); the poisoned
+        # pool must be discarded so the *next* cluster gets a fresh one.
+        plan = FaultPlan([FaultEvent("worker_death", 0, 1)])
+        state, _ = _run_pipeline(executor="process", faults=plan, rounds=1)
+        clean_state, _ = _run_pipeline(executor="process", rounds=1)
+        _assert_states_equal(state, clean_state)
+
+    def test_unrecovered_death_propagates(self):
+        # No faults= and no recovery= -> the failure is not intercepted.
+        cluster = Cluster(2, 1024)
+
+        def boom(machine, ctx):
+            raise WorkerDied(0, machine.machine_id)
+
+        with pytest.raises(WorkerDied):
+            cluster.round(boom)
+
+
+class TestTransportFaults:
+    @pytest.mark.parametrize("kind,repair", [
+        ("drop", "retransmitted"),
+        ("duplicate", "deduplicated"),
+    ])
+    def test_exactly_once_delivery_is_recorded(self, kind, repair):
+        base_state, base = _run_pipeline()
+        plan = FaultPlan([FaultEvent(kind, 1, 2)])
+        state, cluster = _run_pipeline(faults=plan)
+        _assert_states_equal(state, base_state)
+        report = cluster.report()
+        assert report.core_dict() == base.report().core_dict()
+        assert report.recovery_replays == 0
+        actions = [(r.kind, r.action) for r in report.fault_log]
+        assert (kind, "injected") in actions
+        assert (kind, repair) in actions
+
+    def test_silent_round_records_nothing(self):
+        # A drop scheduled in a round where the machine sends nothing.
+        plan = FaultPlan([FaultEvent("drop", 99, 0)])
+        _, cluster = _run_pipeline(faults=plan)
+        assert cluster.report().faults_injected == 0
+
+
+class TestStraggler:
+    def test_results_unchanged_and_recorded(self):
+        base_state, base = _run_pipeline()
+        plan = FaultPlan([FaultEvent("straggler", 0, 1, delay=0.001)])
+        state, cluster = _run_pipeline(faults=plan)
+        _assert_states_equal(state, base_state)
+        assert cluster.report().core_dict() == base.report().core_dict()
+        log = cluster.report().fault_log
+        assert [(r.kind, r.machine_id, r.action) for r in log] == [
+            ("straggler", 1, "injected")
+        ]
+
+
+class TestRecoveryExhausted:
+    @pytest.mark.parametrize("kind", ["crash", "worker_death"])
+    def test_persistent_fault_exhausts_with_coordinates(self, kind):
+        plan = FaultPlan([FaultEvent(kind, 1, 2, count=99)])
+        with pytest.raises(RecoveryExhausted) as exc:
+            _run_pipeline(faults=plan, recovery=2)
+        err = exc.value
+        assert err.machine_id == 2
+        assert err.round_index == 1
+        assert err.kind == kind
+        assert err.attempts == 3  # max_retries=2 -> 1 try + 2 replays
+        assert "machine 2" in str(err) and "round 1" in str(err)
+
+    def test_zero_retries_fails_on_first_fault(self):
+        plan = FaultPlan([FaultEvent("crash", 0, 0)])
+        with pytest.raises(RecoveryExhausted):
+            _run_pipeline(faults=plan, recovery=0)
+
+
+class TestSeededPlans:
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_random_plan_recovers_bit_identically(self, seed, executor):
+        base_state, base = _run_pipeline(executor=executor, rounds=4)
+        plan = FaultPlan.random(
+            seed, num_machines=4, rounds=4, rate=0.25, straggler_delay=0.0005
+        )
+        state, cluster = _run_pipeline(executor=executor, faults=plan, rounds=4)
+        _assert_states_equal(state, base_state)
+        assert cluster.report().core_dict() == base.report().core_dict()
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_fault_log_is_executor_independent(self, seed):
+        plan = FaultPlan.random(seed, num_machines=4, rounds=4, rate=0.25)
+        logs = []
+        for executor in EXECUTOR_NAMES:
+            _, cluster = _run_pipeline(executor=executor, faults=plan, rounds=4)
+            logs.append(cluster.report().fault_log)
+        assert logs[0] == logs[1] == logs[2]
+
+
+class TestCheckpoints:
+    def test_snapshot_restore_roundtrip(self):
+        cluster = Cluster(3, 4096)
+        for mid in range(3):
+            cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+        cluster.round(_work_step, label="one")
+        snap = cluster.snapshot()
+        before = {mid: cluster.machine(mid).get("data").copy() for mid in range(3)}
+        cluster.round(_work_step, label="two")
+        cluster.round(_work_step, label="three")
+        cluster.restore(snap)
+        assert cluster.rounds == 1
+        assert [r.label for r in cluster.report().round_log] == ["one"]
+        for mid in range(3):
+            np.testing.assert_array_equal(
+                cluster.machine(mid).get("data"), before[mid]
+            )
+
+    def test_restored_run_replays_identically(self):
+        base_state, _ = _run_pipeline(rounds=3)
+        cluster = Cluster(4, 4096, checkpoints=1)
+        for mid in range(4):
+            cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+        for r in range(3):
+            cluster.round(_work_step, label=f"work{r}")
+        cluster.checkpoints.restore_latest(cluster)  # back to round 3 state
+        state = {mid: cluster.machine(mid).get("data").copy() for mid in range(4)}
+        _assert_states_equal(state, base_state)
+
+    def test_cadence_and_keep(self):
+        manager = CheckpointManager(CheckpointPolicy(cadence=2, keep=2))
+        cluster = Cluster(2, 4096, checkpoints=manager)
+        for _ in range(7):
+            cluster.round(lambda m, ctx: None)
+        assert [s.round_index for s in manager.snapshots] == [4, 6]
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        cluster = Cluster(1, 4096)
+        cluster.load(0, "arr", np.zeros(4))
+        snap = cluster.snapshot()
+        cluster.machine(0).get("arr")[:] = 99.0
+        cluster.restore(snap)
+        np.testing.assert_array_equal(cluster.machine(0).get("arr"), np.zeros(4))
+
+    def test_restore_rejects_mismatched_cluster(self):
+        snap = Cluster(3, 64).snapshot()
+        with pytest.raises(ValueError, match="3 machines"):
+            Cluster(2, 64).restore(snap)
+
+    def test_coercions(self):
+        assert get_checkpoint_manager(None) is None
+        assert get_checkpoint_manager(3).policy.cadence == 3
+        manager = CheckpointManager()
+        assert get_checkpoint_manager(manager) is manager
+        with pytest.raises(TypeError):
+            get_checkpoint_manager(True)
+        with pytest.raises(LookupError):
+            manager.latest()
+        with pytest.raises(ValueError):
+            CheckpointPolicy(cadence=0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(keep=0)
+
+
+class TestSharedPoolLifecycle:
+    def teardown_method(self):
+        shutdown_executors()
+
+    def test_pool_shrinks_to_requested_size(self):
+        big = executor_mod._shared_process_pool(3)
+        small = executor_mod._shared_process_pool(2)
+        assert small is not big
+        assert small._max_workers == 2
+
+    def test_broken_pool_is_rebuilt(self):
+        pool = executor_mod._shared_process_pool(2)
+        pool._broken = "simulated worker death"
+        fresh = executor_mod._shared_process_pool(2)
+        assert fresh is not pool
+        assert not fresh._broken
+
+    def test_shutdown_with_broken_pool_does_not_hang(self):
+        pool = executor_mod._shared_process_pool(2)
+        pool._broken = "simulated worker death"
+        shutdown_executors()  # must return promptly, not join dead workers
+        assert executor_mod._PROCESS_POOL is None
+
+
+class TestPicklingErrorHeuristic:
+    def test_pickling_error_always_qualifies(self):
+        assert _is_pickling_error(pickle.PicklingError("anything at all"))
+
+    def test_cant_pickle_prefix(self):
+        assert _is_pickling_error(TypeError("Can't pickle <function <lambda>>"))
+        assert _is_pickling_error(TypeError("cannot pickle '_thread.lock' object"))
+        assert _is_pickling_error(
+            AttributeError("Can't get local object 'f.<locals>.g'")
+        )
+
+    def test_unrelated_errors_do_not(self):
+        assert not _is_pickling_error(TypeError("unsupported operand type(s)"))
+        assert not _is_pickling_error(ValueError("pickle"))
+        assert not _is_pickling_error(RuntimeError("Can't pickle"))

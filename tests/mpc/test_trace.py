@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.mpc.cluster import Cluster
+from repro.mpc.faults import FaultEvent, FaultPlan
 from repro.mpc.trace import explain_report, heaviest_rounds
 
 
@@ -43,6 +44,63 @@ class TestExplainReport:
         c = Cluster(1, 16)
         text = explain_report(c.report())
         assert "rounds=0" in text
+
+
+def _step(machine, ctx):
+    machine.put("x", float(machine.machine_id))
+
+
+def faulty_cluster():
+    plan = FaultPlan(
+        [
+            FaultEvent("crash", 0, 1),
+            FaultEvent("straggler", 0, 2, delay=0.0005),
+        ]
+    )
+    c = Cluster(3, 1024, faults=plan)
+    c.round(_step, label="compute")
+    return c
+
+
+class TestFaultRendering:
+    def test_headline_gains_fault_counters(self):
+        c = faulty_cluster()
+        text = explain_report(c.report())
+        assert "faults=2" in text
+        assert "replays=1" in text
+
+    def test_fault_log_section(self):
+        c = faulty_cluster()
+        text = explain_report(c.report())
+        assert "faults:" in text
+        assert "round 0 attempt 0: crash machine 1 -> injected" in text
+        assert "straggler machine 2 -> injected (delay=0.0005)" in text
+        assert "round 0 attempt 1: crash machine 1 -> replayed" in text
+
+    def test_fault_free_report_has_no_fault_section(self):
+        c = Cluster(2, 1024)
+        c.round(_step)
+        text = explain_report(c.report())
+        assert "faults" not in text
+        assert "replays" not in text
+
+
+class TestViolationRendering:
+    def test_lenient_violations_render_in_execution_order(self):
+        c = Cluster(2, 16, strict=False)
+        c.load(0, "a", np.zeros(40))
+        c.load(1, "b", np.zeros(60))
+        text = explain_report(c.report(), violations=c.violations)
+        assert "violations (2 recorded, lenient mode):" in text
+        lines = [ln for ln in text.splitlines() if ln.lstrip().startswith("- ")]
+        # Same order the overshoots happened in, machine 0 then machine 1.
+        assert "machine 0" in lines[0]
+        assert "machine 1" in lines[1]
+
+    def test_no_section_without_violations(self):
+        c = Cluster(1, 1024)
+        c.round(_step)
+        assert "violations" not in explain_report(c.report(), violations=[])
 
 
 class TestHeaviestRounds:

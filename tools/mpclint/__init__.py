@@ -14,7 +14,9 @@ enforces them statically, across the whole tree, at lint time:
   ``executor=`` (MPC005);
 * numeric code must not compare floats with bare ``==`` (MPC006);
 * steps only touch the machine they are handed (MPC007);
-* ``docs/API.md`` must not drift from the tree (MPC008).
+* ``docs/API.md`` must not drift from the tree (MPC008);
+* steps must not catch ``MPCError`` or broader — model violations and
+  fault-injection signals must reach the cluster (MPC009, warning).
 
 Run it as ``python -m repro.lint`` (with ``PYTHONPATH=src``), via
 ``make lint``, or import :func:`run_paths` programmatically.  Rules are

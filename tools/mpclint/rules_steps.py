@@ -1,4 +1,4 @@
-"""Rules about MPC step functions: MPC001, MPC003, MPC007.
+"""Rules about MPC step functions: MPC001, MPC003, MPC007, MPC009.
 
 A *step function* is what :meth:`Cluster.round` / ``RoundExecutor.run_round``
 schedules onto machines.  The executor contract (``repro/mpc/executor.py``)
@@ -14,6 +14,11 @@ enforce that shape statically:
   writes are invisible to accounting and diverge across processes).
 * MPC007 — steps must not capture a ``Cluster`` or foreign ``Machine``;
   the only machine in scope is their own argument.
+* MPC009 — steps must not catch ``MPCError`` (or anything broader)
+  wholesale: the simulator's typed failures — resource violations,
+  ``WorkerDied`` from fault injection — are the cluster's recovery and
+  enforcement signals, and a step that swallows them silently disables
+  both.  Catch the specific subclass a step genuinely handles.
 """
 
 from __future__ import annotations
@@ -341,3 +346,51 @@ class StepCaptureRule(Rule):
                     "partial binds a Cluster into a step — ship data as "
                     "messages, not the cluster object",
                 )
+
+
+#: Exception names whose handlers swallow the simulator's failure signals.
+_BROAD_EXCEPTIONS = {"MPCError", "Exception", "BaseException"}
+
+
+@register
+class StepBroadExceptRule(Rule):
+    """MPC009: steps must not catch MPCError (or broader) wholesale."""
+
+    id = "MPC009"
+    severity = Severity.WARNING
+    title = "steps must not swallow the simulator's failure signals"
+    fix_hint = (
+        "catch the specific MPCError subclass the step genuinely handles "
+        "(or let it propagate): resource violations and injected faults "
+        "like WorkerDied are the cluster's enforcement and recovery "
+        "signals, and a broad except inside a step disables both"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        for func in _step_function_defs(module):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                caught = self._broad_name(node.type)
+                if caught is None:
+                    continue
+                yield self.violation(
+                    module,
+                    node,
+                    f"step {func.name!r} catches {caught} — this swallows "
+                    "model violations and fault-injection signals the "
+                    "cluster needs to see",
+                )
+
+    def _broad_name(self, type_node: Optional[ast.AST]) -> Optional[str]:
+        """The broad exception this handler catches, or None if it is fine."""
+        if type_node is None:
+            return "everything (bare except)"
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for candidate in candidates:
+            name = (dotted(candidate) or "").split(".")[-1]
+            if name in _BROAD_EXCEPTIONS:
+                return name
+        return None
