@@ -35,10 +35,14 @@ bench:
 # kernel's calibrated wall-clock regressed >25% against the committed
 # smoke baseline in benchmarks/baselines/.  The MPC arm is timed under
 # every executor in EXECUTOR (comma list); accounting must be identical
-# across them or the harness fails.
+# across them or the harness fails.  DELTA=on (default) additionally
+# runs each MPC arm with full vs delta shipping under the process
+# executor and asserts the two are bit-identical while recording the
+# measured IPC volume (docs/MPC_MODEL.md).
 EXECUTOR ?= serial,thread,process
+DELTA ?= on
 bench-smoke:
-	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(EXECUTOR)
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(EXECUTOR) --delta-shipping $(DELTA)
 
 # bench-smoke plus fault injection: each MPC arm reruns under a seeded
 # FaultPlan (random events + a guaranteed crash and worker death) and the
@@ -46,7 +50,7 @@ bench-smoke:
 # recording the recovery-overhead block (docs/RESILIENCE.md).
 FAULT_SEED ?= 11
 fault-smoke:
-	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor serial --faults $(FAULT_SEED)
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor serial --faults $(FAULT_SEED) --delta-shipping $(DELTA)
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; \

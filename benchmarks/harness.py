@@ -43,6 +43,13 @@ counts and the wall-clock overhead of recovery — after asserting the
 recovered run's model-level accounting is identical to the fault-free
 run (see docs/RESILIENCE.md).
 
+``--delta-shipping on`` (the default) additionally runs each suite's
+MPC arm twice under the process executor — full shipping and delta
+shipping (``SimulationConfig(delta_shipping=True)``) — asserts the
+result fingerprint and model-level accounting are bit-identical between
+the modes, and records the measured coordinator<->worker IPC volume of
+both as the ``ipc_bytes`` block (see docs/MPC_MODEL.md).
+
 ``--check-regression`` exits non-zero when a batch path's calibrated
 wall-clock regressed by more than ``--tolerance`` (default 25%) against
 the committed baseline, or when the batch/scalar speedup fell below
@@ -53,6 +60,7 @@ file formats and how to read a trajectory entry.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import pathlib
@@ -209,6 +217,59 @@ def measure_fault_recovery(run_mpc: Callable[..., "object"],
     }
 
 
+def result_fingerprint(array: np.ndarray) -> str:
+    """Stable digest of a result array for exact-equality assertions."""
+    data = np.ascontiguousarray(array)
+    return hashlib.sha256(
+        str(data.dtype).encode() + str(data.shape).encode() + data.tobytes()
+    ).hexdigest()
+
+
+def measure_delta_shipping(run_arm: Callable[[bool], tuple]) -> Dict:
+    """Run one MPC arm with full vs delta shipping; assert bit-identity.
+
+    ``run_arm(delta_shipping)`` must run the arm on a fresh cluster
+    under the **process** executor and return ``(fingerprint, report)``
+    where ``fingerprint`` digests the embedding result.  Both the
+    fingerprint and :meth:`CostReport.core_dict` must be identical
+    between the modes — delta shipping may only change the physical IPC
+    volume, which the returned ``ipc_bytes`` block records from the
+    reports' transport counters (real pickle bytes, not model words).
+    """
+    t0 = time.perf_counter()
+    full_fp, full = run_arm(False)
+    full_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    delta_fp, delta = run_arm(True)
+    delta_seconds = time.perf_counter() - t0
+
+    assert full_fp == delta_fp, (
+        "delta shipping changed the embedding result — the shipped key "
+        "set missed a mutation"
+    )
+    assert delta.core_dict() == full.core_dict(), (
+        "delta shipping changed the model-level accounting — transport "
+        "optimizations must be invisible to the model"
+    )
+    tf, td = full.transport_dict(), delta.transport_dict()
+    returned_full = tf["ipc_bytes_returned"]
+    reduction = (
+        1.0 - td["ipc_bytes_returned"] / returned_full
+        if returned_full > 0 else 0.0
+    )
+    return {
+        "ipc_bytes": {
+            "executor": "process",
+            "full": tf,
+            "delta": td,
+            "full_seconds": full_seconds,
+            "delta_seconds": delta_seconds,
+            "returned_bytes_reduction": reduction,
+            "bit_identical": True,
+        }
+    }
+
+
 def scalar_estimate(measure: Callable[[int], float], n: int,
                     scalar_cap: int) -> Dict:
     """Extrapolate a scalar arm to ``n`` points from two capped runs.
@@ -254,7 +315,8 @@ def scalar_estimate(measure: Callable[[int], float], n: int,
 
 def suite_partition(n: int, d: int, *, scalar_cap: int,
                     executors: List[str],
-                    fault_seed: Optional[int] = None) -> Dict:
+                    fault_seed: Optional[int] = None,
+                    delta_shipping: bool = False) -> Dict:
     """Hybrid / ball / grid: batch kernels vs per-point references."""
     import repro.partition.hybrid as hy
     from repro.core.mpc_embedding import mpc_tree_embedding
@@ -316,6 +378,20 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
     mpc = measure_executors(run_mpc, executors)
     if fault_seed is not None:
         mpc.update(measure_fault_recovery(run_mpc, fault_seed))
+    if delta_shipping:
+        from repro.mpc import SimulationConfig
+
+        def run_delta_arm(delta):
+            result = mpc_tree_embedding(
+                points[:n_mpc, : min(d, 8)], seed=SEED + 4,
+                on_uncovered="singleton",
+                config=SimulationConfig(
+                    executor="process", delta_shipping=delta
+                ),
+            )
+            return result_fingerprint(result.tree.label_matrix), result.report
+
+        mpc.update(measure_delta_shipping(run_delta_arm))
 
     return {
         "config": {"n": n, "d": d, "w": w, "r": r, "num_grids": num_grids,
@@ -340,7 +416,8 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
 
 def suite_fjlt(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
-               fault_seed: Optional[int] = None) -> Dict:
+               fault_seed: Optional[int] = None,
+               delta_shipping: bool = False) -> Dict:
     """Batched FJLT vs row-at-a-time application."""
     from repro.jl.fjlt import FJLT
     from repro.jl.mpc_fjlt import mpc_fjlt
@@ -377,6 +454,19 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
     mpc = measure_executors(run_mpc, executors)
     if fault_seed is not None:
         mpc.update(measure_fault_recovery(run_mpc, fault_seed))
+    if delta_shipping:
+        from repro.mpc import SimulationConfig
+
+        def run_delta_arm(delta):
+            embedded, cluster = mpc_fjlt(
+                points[:n_mpc], xi=0.3, seed=SEED + 2,
+                config=SimulationConfig(
+                    executor="process", delta_shipping=delta
+                ),
+            )
+            return result_fingerprint(embedded), cluster.report()
+
+        mpc.update(measure_delta_shipping(run_delta_arm))
 
     return {
         "config": {"n": n, "d": d, "k": transform.k, "q": transform.q,
@@ -395,7 +485,8 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
 
 def suite_tree(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
-               fault_seed: Optional[int] = None) -> Dict:
+               fault_seed: Optional[int] = None,
+               delta_shipping: bool = False) -> Dict:
     """Level-wise HST construction vs per-level/per-node references."""
     from repro.core.mpc_embedding import mpc_tree_embedding
     from repro.partition.base import FlatPartition
@@ -455,6 +546,19 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
     mpc = measure_executors(run_mpc, executors)
     if fault_seed is not None:
         mpc.update(measure_fault_recovery(run_mpc, fault_seed))
+    if delta_shipping:
+        from repro.mpc import SimulationConfig
+
+        def run_delta_arm(delta):
+            result = mpc_tree_embedding(
+                pts, seed=SEED + 3, on_uncovered="singleton",
+                config=SimulationConfig(
+                    executor="process", delta_shipping=delta
+                ),
+            )
+            return result_fingerprint(result.tree.label_matrix), result.report
+
+        mpc.update(measure_delta_shipping(run_delta_arm))
 
     return {
         "config": {"n": n, "d": d, "num_levels": num_levels,
@@ -530,9 +634,11 @@ def compare_to_baseline(entry: Dict, baseline: Optional[Dict],
 def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
               calibration: float, tolerance: float, smoke: bool,
               executors: List[str],
-              fault_seed: Optional[int] = None) -> Dict:
+              fault_seed: Optional[int] = None,
+              delta_shipping: bool = False) -> Dict:
     result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors,
-                           fault_seed=fault_seed)
+                           fault_seed=fault_seed,
+                           delta_shipping=delta_shipping)
     entry = {
         "experiment": suite,
         "schema_version": 1,
@@ -584,6 +690,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "worker death) and record the recovery overhead "
                              "as a fault_recovery block; asserts the "
                              "recovered accounting matches the fault-free run")
+    parser.add_argument("--delta-shipping", choices=["on", "off"],
+                        default="on",
+                        help="'on' (default) also runs each MPC arm under the "
+                             "process executor with full and delta shipping, "
+                             "asserts the two are bit-identical (result "
+                             "fingerprint + model accounting), and records "
+                             "the measured IPC volume as an ipc_bytes block")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny inputs (n<=256) for CI; implies scalar-cap 256")
     parser.add_argument("--out-dir", type=pathlib.Path, default=None,
@@ -635,6 +748,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             smoke=args.smoke,
             executors=executors,
             fault_seed=args.faults,
+            delta_shipping=args.delta_shipping == "on",
         )
         if (args.check_regression
                 and entry["baseline_comparison"]["status"] == "regression"):
@@ -651,6 +765,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 smoke=args.smoke,
                 executors=executors,
                 fault_seed=args.faults,
+                delta_shipping=args.delta_shipping == "on",
             )
         entry["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
 
@@ -676,6 +791,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"injected={recovery['faults_injected']} "
                   f"replays={recovery['recovery_replays']} "
                   f"overhead={recovery['recovery_overhead_ratio']:.2f}x")
+        ipc = entry.get("ipc_bytes")
+        if ipc:
+            print(f"    ipc_bytes returned: "
+                  f"full={ipc['full']['ipc_bytes_returned']} "
+                  f"delta={ipc['delta']['ipc_bytes_returned']} "
+                  f"(-{ipc['returned_bytes_reduction']:.1%}, bit-identical)")
         linearity = entry.get("scalar_linearity", {})
         if linearity.get("warning"):
             print(f"    WARNING: {linearity['warning']}")

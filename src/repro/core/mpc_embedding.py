@@ -32,6 +32,7 @@ import numpy as np
 from repro.data.aspect import pairwise_extremes
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.faults import FaultPlan, RecoveryLike
 from repro.mpc.machine import Machine
@@ -158,6 +159,7 @@ def mpc_tree_embedding(
     executor: ExecutorLike = None,
     faults: Optional[FaultPlan] = None,
     recovery: RecoveryLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> MPCEmbeddingResult:
     """Run Algorithm 2 on a simulated MPC cluster.
 
@@ -195,7 +197,21 @@ def mpc_tree_embedding(
       rounds in total (one dedup per level).  The label matrices agree
       with ``"god"`` up to renaming; the paper avoids this cost by
       leaving the tree implicit, which is why it is not the default.
+
+    All simulator knobs (``eps``, ``memory_slack``, ``executor``,
+    ``faults``, ``recovery``, delta shipping, checkpoints) can instead
+    arrive bundled in one :class:`~repro.mpc.config.SimulationConfig`
+    via ``config=``; setting the same axis both directly and via
+    ``config=`` raises ``ValueError``.
     """
+    cfg = resolve_config(
+        config,
+        eps=eps,
+        memory_slack=memory_slack,
+        executor=executor,
+        faults=faults,
+        recovery=recovery,
+    )
     pts = check_points(points, min_points=2)
     n, d = pts.shape
     require(method in ("hybrid", "grid"), f"unknown method {method!r}")
@@ -239,7 +255,9 @@ def mpc_tree_embedding(
             )
 
     if cluster is None:
-        base_local = fully_scalable_local_memory(n, d, eps, slack=memory_slack)
+        base_local = fully_scalable_local_memory(
+            n, d, cfg.eps, slack=cfg.memory_slack
+        )
         machines = machines_for(n * d, base_local)
         shard_rows = -(-n // machines)
         # Lemma 8 floor: a machine must hold the grids (broadcast), its
@@ -252,19 +270,12 @@ def mpc_tree_embedding(
             + 4096
         )
         local = max(base_local, per_machine)
-        cluster = Cluster(
-            machines,
-            local,
-            strict=True,
-            executor=executor,
-            faults=faults,
-            recovery=recovery,
-        )
+        cluster = Cluster.from_config(machines, local, cfg)
     else:
         require(
-            faults is None and recovery is None,
-            "pass faults/recovery when constructing the cluster, not alongside "
-            "a caller-provided one",
+            cfg.faults is None and cfg.recovery is None,
+            "pass faults/recovery (directly or via config=) when constructing "
+            "the cluster, not alongside a caller-provided one",
         )
 
     scatter_rows(cluster, padded, "embed/in")

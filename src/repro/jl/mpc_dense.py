@@ -23,6 +23,7 @@ import numpy as np
 from repro.jl.dense import GaussianJL
 from repro.mpc.accounting import fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
@@ -52,13 +53,19 @@ def mpc_dense_jl(
     eps: float = 0.6,
     memory_slack: float = 8.0,
     executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> Tuple[np.ndarray, Cluster]:
     """Apply a dense Gaussian JL projection on the MPC simulator.
 
     Returns ``(embedded, cluster)``; ``cluster.report()`` carries the
     accounting — note ``peak_total_resident_words`` includes one full
-    ``k x d`` matrix per machine, the cost Theorem 3 removes.
+    ``k x d`` matrix per machine, the cost Theorem 3 removes.  All
+    simulator knobs can also arrive bundled as a
+    :class:`~repro.mpc.config.SimulationConfig` via ``config=``.
     """
+    cfg = resolve_config(
+        config, eps=eps, memory_slack=memory_slack, executor=executor
+    )
     pts = check_points(points, min_points=1)
     n, d = pts.shape
     require(k >= 1, f"k must be >= 1, got {k}")
@@ -66,11 +73,11 @@ def mpc_dense_jl(
     transform_seed = derive_seed(rng)
 
     if cluster is None:
-        local = fully_scalable_local_memory(n, d, eps, slack=memory_slack)
+        local = fully_scalable_local_memory(n, d, cfg.eps, slack=cfg.memory_slack)
         machines = machines_for(n * d, max(local, k * d + d + k + 64))
         shard_rows = -(-n // machines)
         local = max(local, 2 * k * d + shard_rows * (d + k) + 512)
-        cluster = Cluster(machines, local, strict=True, executor=executor)
+        cluster = Cluster.from_config(machines, local, cfg)
 
     scatter_rows(cluster, pts, "djl/in")
     broadcast(

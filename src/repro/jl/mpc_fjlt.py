@@ -32,6 +32,7 @@ from repro.jl.fjlt import FJLT
 from repro.jl.hadamard import fwht_inplace
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.faults import FaultPlan, RecoveryLike
 from repro.mpc.machine import Machine
@@ -79,6 +80,7 @@ def mpc_fjlt(
     executor: ExecutorLike = None,
     faults: Optional[FaultPlan] = None,
     recovery: RecoveryLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> Tuple[np.ndarray, Cluster]:
     """Run Algorithm 3 on a (possibly caller-provided) cluster.
 
@@ -94,14 +96,25 @@ def mpc_fjlt(
     :class:`~repro.mpc.faults.FaultPlan` with a replay budget (the
     embedding and accounting stay bit-identical to a fault-free run).  A
     caller-provided cluster keeps its own executor and fault plan.
+    Every simulator knob can instead arrive bundled in one
+    :class:`~repro.mpc.config.SimulationConfig` via ``config=``; setting
+    the same axis both ways raises ``ValueError``.
     """
+    cfg = resolve_config(
+        config,
+        eps=eps,
+        memory_slack=memory_slack,
+        executor=executor,
+        faults=faults,
+        recovery=recovery,
+    )
     pts = check_points(points, min_points=1)
     n, d = pts.shape
     rng = as_generator(seed)
     transform_seed = derive_seed(rng)
 
     if cluster is None:
-        local = fully_scalable_local_memory(n, d, eps, slack=memory_slack)
+        local = fully_scalable_local_memory(n, d, cfg.eps, slack=cfg.memory_slack)
         # A machine must hold its in+out shard rows, the regenerated
         # transform (signs + sparse P), and the padded working copy; grow
         # the budget when the fully scalable target is below that floor.
@@ -111,19 +124,12 @@ def mpc_fjlt(
         machines = machines_for(n * d, max(local, transform_words + row_words))
         shard_rows = -(-n // machines)
         local = max(local, transform_words + shard_rows * row_words + 512)
-        cluster = Cluster(
-            machines,
-            local,
-            strict=True,
-            executor=executor,
-            faults=faults,
-            recovery=recovery,
-        )
+        cluster = Cluster.from_config(machines, local, cfg)
     else:
         require(
-            faults is None and recovery is None,
-            "pass faults/recovery when constructing the cluster, not alongside "
-            "a caller-provided one",
+            cfg.faults is None and cfg.recovery is None,
+            "pass faults/recovery (directly or via config=) when constructing "
+            "the cluster, not alongside a caller-provided one",
         )
 
     scatter_rows(cluster, pts, "fjlt/in")

@@ -29,8 +29,16 @@ substrate:
   deterministic fault injection (``Cluster(..., faults=FaultPlan(...))``)
   with round-level recovery: crashed machines and dead workers are
   replayed from pre-round state bit-identically; per-round cluster
-  snapshots support full rollback (``Cluster.restore``).  See
-  docs/RESILIENCE.md.
+  snapshots — full or journal-driven deltas
+  (``CheckpointPolicy(delta=True)``) — support full rollback
+  (``Cluster.restore``).  See docs/RESILIENCE.md.
+* :mod:`~repro.mpc.config` — :class:`~repro.mpc.config.SimulationConfig`,
+  one frozen value bundling every simulator knob (executor, faults,
+  recovery, checkpoints, delta shipping, sizing), accepted as
+  ``config=`` by ``Cluster`` and every ``mpc_*`` entry point.  Delta
+  shipping (``delta_shipping=True``) makes the process executor return
+  only the keys each step touched; measured IPC/checkpoint volume is
+  reported via ``CostReport.transport_dict()``.
 
 The *semantics* (what information is where after how many rounds, under
 which memory budget) are exactly those of the model regardless of
@@ -40,8 +48,15 @@ parallelism.
 """
 
 from repro.mpc.accounting import CostReport, FaultRecord, fully_scalable_local_memory
-from repro.mpc.checkpoint import CheckpointManager, CheckpointPolicy, ClusterSnapshot
+from repro.mpc.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    ClusterDelta,
+    ClusterSnapshot,
+    MachineDelta,
+)
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.errors import (
     CommunicationOverflow,
     ExecutorStepError,
@@ -94,5 +109,9 @@ __all__ = [
     "RecoveryPolicy",
     "CheckpointManager",
     "CheckpointPolicy",
+    "ClusterDelta",
     "ClusterSnapshot",
+    "MachineDelta",
+    "SimulationConfig",
+    "resolve_config",
 ]

@@ -106,6 +106,22 @@ class CostReport:
     faults_injected: int = 0
     recovery_replays: int = 0
     fault_log: List[FaultRecord] = field(default_factory=list)
+    # -- physical transport / checkpoint volume -------------------------
+    # Measured bytes, not model words: what the process executor actually
+    # pickled across the process boundary (``ipc_*``) and what the
+    # checkpoint layer retained (``checkpoint_*``, model-word sizing at 8
+    # bytes/word since checkpoints never leave the coordinator).  These
+    # are *implementation* costs — serial execution ships 0 bytes — so
+    # they are excluded from ``as_dict``/``core_dict`` and from report
+    # equality (``compare=False``): the bit-identical-accounting contract
+    # across executors and shipping modes covers model-level numbers
+    # only.  Read them via :meth:`transport_dict`.
+    ipc_rounds: int = field(default=0, compare=False)
+    ipc_bytes_shipped: int = field(default=0, compare=False)
+    ipc_bytes_returned: int = field(default=0, compare=False)
+    checkpoint_snapshots: int = field(default=0, compare=False)
+    checkpoint_deltas: int = field(default=0, compare=False)
+    checkpoint_bytes: int = field(default=0, compare=False)
 
     @property
     def total_space(self) -> int:
@@ -143,6 +159,25 @@ class CostReport:
         out.pop("recovery_replays")
         return out
 
+    def transport_dict(self) -> Dict[str, int]:
+        """Physical IPC / checkpoint volume (executor-dependent).
+
+        ``ipc_bytes`` is what the process executor pickled across the
+        process boundary for rounds that actually dispatched to workers
+        (machine state out, results back); ``checkpoint_bytes`` is the
+        model-word volume (at 8 bytes/word) the checkpoint layer stored.
+        Both are 0 under serial/thread execution with checkpointing off.
+        """
+        return {
+            "ipc_rounds": self.ipc_rounds,
+            "ipc_bytes_shipped": self.ipc_bytes_shipped,
+            "ipc_bytes_returned": self.ipc_bytes_returned,
+            "ipc_bytes": self.ipc_bytes_shipped + self.ipc_bytes_returned,
+            "checkpoint_snapshots": self.checkpoint_snapshots,
+            "checkpoint_deltas": self.checkpoint_deltas,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+
     def merged_with(self, other: "CostReport") -> "CostReport":
         """Combine two sequential computations (rounds add, peaks max)."""
         merged = CostReport(
@@ -163,4 +198,14 @@ class CostReport:
         merged.faults_injected = self.faults_injected + other.faults_injected
         merged.recovery_replays = self.recovery_replays + other.recovery_replays
         merged.fault_log = list(self.fault_log) + list(other.fault_log)
+        merged.ipc_rounds = self.ipc_rounds + other.ipc_rounds
+        merged.ipc_bytes_shipped = self.ipc_bytes_shipped + other.ipc_bytes_shipped
+        merged.ipc_bytes_returned = (
+            self.ipc_bytes_returned + other.ipc_bytes_returned
+        )
+        merged.checkpoint_snapshots = (
+            self.checkpoint_snapshots + other.checkpoint_snapshots
+        )
+        merged.checkpoint_deltas = self.checkpoint_deltas + other.checkpoint_deltas
+        merged.checkpoint_bytes = self.checkpoint_bytes + other.checkpoint_bytes
         return merged

@@ -13,6 +13,20 @@ capture:
   simulator-level analogue of checkpointing a production job to stable
   storage.
 
+**Delta checkpoints** (``CheckpointPolicy(delta=True)``) replace both
+wholesale copies with journal-driven increments: one full base
+:class:`ClusterSnapshot` is captured before the first observed round,
+and every round thereafter records a :class:`ClusterDelta` — only the
+values of keys the round's steps wrote (per the machines' change
+journals, :meth:`repro.mpc.machine.Machine.journal`), the keys they
+deleted, and the inboxes that changed.  ``base + deltas`` reconstructs
+any covered state bit-identically; the recovery engine uses exactly that
+(:meth:`CheckpointManager.restore_pre_round`) instead of taking eager
+per-round machine backups, and ``restore_latest`` materializes the chain
+for full rollback.  Out-of-round mutations (``Cluster.load``, god-view
+staging between rounds) are flushed into interstitial deltas at the next
+round's start, so the chain never silently diverges from cluster state.
+
 Copies are copy-on-write where that is cheap and safe: numpy arrays get
 a C-level ``copy()`` (steps may mutate stored arrays in place, so
 sharing them would corrupt the backup), immutable scalars are shared,
@@ -25,7 +39,7 @@ once sent — see docs/RESILIENCE.md), and anything else falls back to
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -33,6 +47,7 @@ import numpy as np
 from repro.mpc.accounting import CostReport
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
+from repro.util.sizing import words
 
 _SHARED_SCALARS = (int, float, complex, bool, str, bytes, frozenset, type(None))
 
@@ -128,56 +143,325 @@ class ClusterSnapshot:
         cluster.violations[:] = list(self.violations)
 
 
+def _state_bytes(store: Dict[str, Any], inbox: List[Message]) -> int:
+    """Model-word volume of one machine state, at 8 bytes per word.
+
+    Checkpoints never cross a process boundary, so the honest size
+    measure is the model's own word accounting, not pickle bytes.
+    """
+    total = sum(words(k) + words(v) for k, v in store.items())
+    total += sum(m.size_words for m in inbox)
+    return 8 * total
+
+
+@dataclass
+class MachineDelta:
+    """One machine's changes over one recorded interval.
+
+    ``updates`` maps written keys to copied values, ``removed`` lists
+    deleted keys, and ``inbox`` is the full post-interval inbox when it
+    changed (``None`` = unchanged; inboxes are small and churn wholesale
+    via delivery/``take_inbox``, so per-message deltas buy nothing).
+    """
+
+    updates: Dict[str, Any] = field(default_factory=dict)
+    removed: Tuple[str, ...] = ()
+    inbox: Optional[List[Message]] = None
+
+    def state_bytes(self) -> int:
+        total = sum(words(k) + words(v) for k, v in self.updates.items())
+        total += sum(words(k) for k in self.removed)
+        if self.inbox is not None:
+            total += sum(m.size_words for m in self.inbox)
+        return 8 * total
+
+    def apply(self, store: Dict[str, Any], inbox: List[Message],
+              *, copy_values: bool) -> List[Message]:
+        """Apply onto ``(store, inbox)``; returns the resulting inbox.
+
+        ``copy_values=True`` installs fresh copies (reconstruction for a
+        live machine); ``False`` moves the stored references (folding a
+        consumed delta into a base the manager owns exclusively).
+        """
+        for key in self.removed:
+            store.pop(key, None)
+        for key, value in self.updates.items():
+            store[key] = copy_value(value) if copy_values else value
+        if self.inbox is not None:
+            return copy_inbox(self.inbox)
+        return inbox
+
+
+@dataclass
+class ClusterDelta:
+    """Changes to the whole cluster over one recorded interval.
+
+    ``round_index`` is the cluster's round counter *after* the interval;
+    interstitial deltas (out-of-round mutations flushed at a round's
+    start) carry the upcoming round's index and ``interstitial=True``.
+    The report/violations copies make a materialized ``base + deltas``
+    state carry the same accounting a full snapshot would.
+    """
+
+    round_index: int
+    machines: List[MachineDelta]
+    report: CostReport
+    violations: List[str]
+    interstitial: bool = False
+
+    def state_bytes(self) -> int:
+        return sum(md.state_bytes() for md in self.machines)
+
+
 @dataclass(frozen=True)
 class CheckpointPolicy:
     """When to snapshot and how many snapshots to keep.
 
     ``cadence=k`` snapshots after every ``k``-th delivered round;
     ``keep`` bounds the retained history (oldest dropped first).
+
+    ``delta=True`` switches the manager to delta checkpointing: one full
+    base snapshot plus per-round :class:`ClusterDelta`\\ s, with the
+    oldest deltas folded into the base once more than ``keep`` are
+    retained.  Delta mode records *every* round (the chain must be
+    gapless), so it requires ``cadence=1``.
     """
 
     cadence: int = 1
     keep: int = 2
+    delta: bool = False
 
     def __post_init__(self) -> None:
         if self.cadence < 1:
             raise ValueError(f"cadence must be >= 1, got {self.cadence}")
         if self.keep < 1:
             raise ValueError(f"keep must be >= 1, got {self.keep}")
+        if self.delta and self.cadence != 1:
+            raise ValueError(
+                "delta checkpointing records every round; cadence must be 1, "
+                f"got {self.cadence}"
+            )
 
 
 CheckpointLike = Union[None, int, CheckpointPolicy, "CheckpointManager"]
 
 
 class CheckpointManager:
-    """Rolling window of :class:`ClusterSnapshot`\\ s for one cluster.
+    """Rolling checkpoint window for one cluster, full or delta mode.
 
     Attached via ``Cluster(..., checkpoints=...)`` (an ``int`` cadence,
     a :class:`CheckpointPolicy`, or a manager instance) the cluster calls
-    :meth:`observe` after every successfully delivered round; snapshots
-    are taken on the policy's cadence and the window is pruned to
-    ``policy.keep`` entries.
+    :meth:`observe` after every successfully delivered round.
+
+    **Full mode** (default): snapshots are taken on the policy's cadence
+    into ``self.snapshots`` and the window is pruned to ``policy.keep``
+    entries — the pre-delta behavior, unchanged.
+
+    **Delta mode** (``CheckpointPolicy(delta=True)``): one full base
+    snapshot (``self.base``) is captured lazily before the first
+    observed round, then every round appends a journal-driven
+    :class:`ClusterDelta` to ``self.deltas``; once more than
+    ``policy.keep`` deltas are retained, the oldest are folded into the
+    base.  ``base + deltas`` reconstructs the covered state
+    bit-identically — :meth:`restore_pre_round` hands the recovery
+    engine a single machine's pre-round state without any eager backup
+    copies, and :meth:`restore_latest` materializes the chain for full
+    rollback.  ``self.snapshots`` stays empty in delta mode.
     """
 
     def __init__(self, policy: Optional[CheckpointPolicy] = None) -> None:
         self.policy = policy or CheckpointPolicy()
         self.snapshots: List[ClusterSnapshot] = []
+        self.base: Optional[ClusterSnapshot] = None
+        self.deltas: List[ClusterDelta] = []
+        # Round counter the chain last matched; a mismatch at the next
+        # before_round (manual Cluster.restore, reused manager) forces a
+        # rebase instead of recording deltas against a stale base.
+        self._chain_rounds: Optional[int] = None
+
+    @property
+    def is_delta(self) -> bool:
+        return self.policy.delta
 
     def __len__(self) -> int:
+        if self.policy.delta:
+            return (1 if self.base is not None else 0) + len(self.deltas)
         return len(self.snapshots)
 
+    # -- round hooks (called by Cluster.round) --------------------------
+
+    def before_round(self, cluster: "Any") -> None:
+        """Delta mode: make the chain equal the pre-round cluster state.
+
+        Captures the base on first contact (or after a rollback the
+        manager did not perform), and flushes any out-of-round mutations
+        (``Cluster.load``, god-view staging between rounds) into an
+        interstitial delta.  After this call the machines' journals are
+        empty and ``base + deltas`` *is* the pre-round state — which is
+        what lets the recovery engine skip eager per-round backups.
+        No-op in full mode.
+        """
+        if not self.policy.delta:
+            return
+        if self.base is None or self._chain_rounds != cluster.rounds:
+            self._rebase(cluster)
+            return
+        if not all(m.journal_is_empty() for m in cluster.machines):
+            self._record_delta(cluster, interstitial=True)
+
     def observe(self, cluster: "Any") -> Optional[ClusterSnapshot]:
-        """Called after a delivered round; snapshots on cadence."""
+        """Called after a delivered round; snapshots/deltas per policy."""
+        if self.policy.delta:
+            if self.base is None or self._chain_rounds is None:
+                # Externally-driven manager that never saw before_round.
+                self._rebase(cluster)
+                return None
+            self._record_delta(cluster, interstitial=False)
+            overflow = len(self.deltas) - self.policy.keep
+            if overflow > 0:
+                self._fold_into_base(overflow)
+            return None
         if cluster.rounds % self.policy.cadence != 0:
             return None
         snap = ClusterSnapshot.capture(cluster)
+        cluster._report.checkpoint_snapshots += 1
+        cluster._report.checkpoint_bytes += _snapshot_bytes(snap)
         self.snapshots.append(snap)
         overflow = len(self.snapshots) - self.policy.keep
         if overflow > 0:
             del self.snapshots[:overflow]
         return snap
 
+    # -- delta-chain internals ------------------------------------------
+
+    def _rebase(self, cluster: "Any") -> None:
+        """Drop the chain and capture a fresh full base snapshot."""
+        self.base = ClusterSnapshot.capture(cluster)
+        self.deltas = []
+        self._chain_rounds = cluster.rounds
+        for machine in cluster.machines:
+            machine.reset_journal()
+        cluster._report.checkpoint_snapshots += 1
+        cluster._report.checkpoint_bytes += _snapshot_bytes(self.base)
+
+    def _record_delta(self, cluster: "Any", *, interstitial: bool) -> ClusterDelta:
+        """Append one journal-driven delta and reset the journals."""
+        machine_deltas: List[MachineDelta] = []
+        for machine in cluster.machines:
+            written, deleted, inbox_dirty = machine.journal()
+            # Resolve the journal against the *final* store: a key that
+            # was written during a failed attempt and then restored away
+            # by recovery shows up journaled-but-absent — record it as
+            # removed (a no-op on reconstruction), never as an update.
+            touched = sorted(written | deleted)
+            updates = {
+                k: copy_value(machine._store[k])
+                for k in touched
+                if k in machine._store
+            }
+            removed = tuple(k for k in touched if k not in machine._store)
+            inbox = copy_inbox(machine.inbox) if inbox_dirty else None
+            machine_deltas.append(
+                MachineDelta(updates=updates, removed=removed, inbox=inbox)
+            )
+            machine.reset_journal()
+        delta = ClusterDelta(
+            round_index=cluster.rounds,
+            machines=machine_deltas,
+            report=copy.deepcopy(cluster._report),
+            violations=list(cluster.violations),
+            interstitial=interstitial,
+        )
+        self.deltas.append(delta)
+        self._chain_rounds = cluster.rounds
+        cluster._report.checkpoint_deltas += 1
+        cluster._report.checkpoint_bytes += delta.state_bytes()
+        return delta
+
+    def _fold_into_base(self, count: int) -> None:
+        """Merge the oldest ``count`` deltas into the base snapshot.
+
+        The folded deltas are consumed, so their values move into the
+        base by reference — reconstruction copies on the way out.
+        """
+        assert self.base is not None
+        for _ in range(count):
+            oldest = self.deltas.pop(0)
+            for mid, md in enumerate(oldest.machines):
+                self.base.inboxes[mid] = md.apply(
+                    self.base.stores[mid], self.base.inboxes[mid],
+                    copy_values=False,
+                )
+            self.base.round_index = oldest.round_index
+            self.base.report = oldest.report
+            self.base.violations = oldest.violations
+
+    # -- reconstruction -------------------------------------------------
+
+    def covers_pre_round(self, cluster: "Any") -> bool:
+        """Can :meth:`restore_pre_round` serve the round about to run?
+
+        True when the delta chain is synchronized with the cluster's
+        round counter — guaranteed right after :meth:`before_round`.
+        """
+        return (
+            self.policy.delta
+            and self.base is not None
+            and self._chain_rounds == cluster.rounds
+        )
+
+    def reconstruct_machine(self, machine_id: int) -> MachineState:
+        """Fresh copies of one machine's chain state (base + deltas)."""
+        if self.base is None:
+            raise LookupError("no checkpoint has been taken yet")
+        store = copy_store(self.base.stores[machine_id])
+        inbox = copy_inbox(self.base.inboxes[machine_id])
+        for delta in self.deltas:
+            inbox = delta.machines[machine_id].apply(
+                store, inbox, copy_values=True
+            )
+        return store, inbox
+
+    def restore_pre_round(self, cluster: "Any", machine_id: int) -> None:
+        """Reset one machine to its pre-round state from the chain.
+
+        The recovery engine's replacement for restoring an eager
+        :func:`backup_machine` copy; each call reconstructs fresh
+        copies, so any number of replays is supported.  The machine's
+        journal is deliberately left alone — entries from the failed
+        attempt resolve against the final store at the next delta.
+        """
+        machine = cluster.machines[machine_id]
+        machine._store, machine.inbox = self.reconstruct_machine(machine_id)
+
+    def _materialize(self) -> ClusterSnapshot:
+        """The chain's latest state as a standalone full snapshot."""
+        if self.base is None:
+            raise LookupError("no checkpoint has been taken yet")
+        snap = ClusterSnapshot(
+            round_index=self.base.round_index,
+            num_machines=self.base.num_machines,
+            local_memory=self.base.local_memory,
+            stores=[copy_store(s) for s in self.base.stores],
+            inboxes=[copy_inbox(i) for i in self.base.inboxes],
+            report=copy.deepcopy(self.base.report),
+            violations=list(self.base.violations),
+        )
+        for delta in self.deltas:
+            for mid, md in enumerate(delta.machines):
+                snap.inboxes[mid] = md.apply(
+                    snap.stores[mid], snap.inboxes[mid], copy_values=True
+                )
+            snap.round_index = delta.round_index
+            snap.report = copy.deepcopy(delta.report)
+            snap.violations = list(delta.violations)
+        return snap
+
+    # -- restore --------------------------------------------------------
+
     def latest(self) -> ClusterSnapshot:
+        if self.policy.delta:
+            return self._materialize()
         if not self.snapshots:
             raise LookupError("no checkpoint has been taken yet")
         return self.snapshots[-1]
@@ -186,7 +470,23 @@ class CheckpointManager:
         """Roll the cluster back to the most recent checkpoint."""
         snap = self.latest()
         snap.apply(cluster)
+        if self.policy.delta:
+            # The materialized snapshot shares nothing with the live
+            # machines (apply copies), so adopt it as the new base.
+            self.base = snap
+            self.deltas = []
+            self._chain_rounds = cluster.rounds
+            for machine in cluster.machines:
+                machine.reset_journal()
         return snap
+
+
+def _snapshot_bytes(snap: ClusterSnapshot) -> int:
+    """Model-word volume of a full snapshot's machine state, in bytes."""
+    return sum(
+        _state_bytes(store, inbox)
+        for store, inbox in zip(snap.stores, snap.inboxes)
+    )
 
 
 def get_checkpoint_manager(spec: CheckpointLike) -> Optional[CheckpointManager]:
@@ -212,7 +512,9 @@ def get_checkpoint_manager(spec: CheckpointLike) -> Optional[CheckpointManager]:
 __all__ = [
     "CheckpointManager",
     "CheckpointPolicy",
+    "ClusterDelta",
     "ClusterSnapshot",
+    "MachineDelta",
     "backup_machine",
     "copy_store",
     "copy_value",

@@ -52,10 +52,12 @@ from repro.mpc.accounting import CostReport, FaultRecord, RoundRecord
 from repro.mpc.checkpoint import (
     CheckpointLike,
     ClusterSnapshot,
+    MachineState,
     backup_machine,
     get_checkpoint_manager,
     restore_machine,
 )
+from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.errors import (
     CommunicationOverflow,
     LocalMemoryExceeded,
@@ -125,7 +127,24 @@ class Cluster:
         Per-round snapshot cadence — ``None`` (off), an int cadence, a
         :class:`~repro.mpc.checkpoint.CheckpointPolicy`, or a
         :class:`~repro.mpc.checkpoint.CheckpointManager`.  Snapshots are
-        taken after delivery and restored via :meth:`restore`.
+        taken after delivery and restored via :meth:`restore`.  A
+        ``CheckpointPolicy(delta=True)`` switches to journal-driven
+        delta checkpoints — and lets the recovery engine reconstruct a
+        faulted machine's pre-round state from the delta chain instead
+        of taking eager per-round backups.
+    delta_shipping:
+        When True, executors that support it (the process executor)
+        ship only the keys each step touched back to the coordinator
+        instead of the full machine state.  Results and model-level
+        accounting are bit-identical either way; only the measured
+        ``ipc_bytes`` (``report().transport_dict()``) change.  A no-op
+        for in-place executors (serial/thread).
+    config:
+        A :class:`~repro.mpc.config.SimulationConfig` bundling the
+        keyword arguments above (plus the entry-point sizing fields
+        ``eps``/``memory_slack``, which ``Cluster`` ignores).  Legacy
+        kwargs fold in; setting the same axis both ways raises
+        ``ValueError``.
     """
 
     def __init__(
@@ -139,23 +158,52 @@ class Cluster:
         faults: Optional[FaultPlan] = None,
         recovery: RecoveryLike = None,
         checkpoints: CheckpointLike = None,
+        delta_shipping: bool = False,
+        config: Optional[SimulationConfig] = None,
     ) -> None:
         if num_machines < 1:
             raise ValueError(f"num_machines must be >= 1, got {num_machines}")
         if local_memory < 1:
             raise ValueError(f"local_memory must be >= 1, got {local_memory}")
+        cfg = resolve_config(
+            config,
+            strict=strict,
+            round_limit=round_limit,
+            executor=executor,
+            faults=faults,
+            recovery=recovery,
+            checkpoints=checkpoints,
+            delta_shipping=delta_shipping,
+        )
         self.num_machines = num_machines
         self.local_memory = local_memory
-        self.strict = strict
-        self.round_limit = round_limit
-        self.executor = get_executor(executor)
-        self.faults = faults
-        self.recovery = get_recovery_policy(recovery)
-        self._recovery_active = faults is not None or recovery is not None
-        self.checkpoints = get_checkpoint_manager(checkpoints)
+        self.strict = cfg.strict
+        self.round_limit = cfg.round_limit
+        self.executor = get_executor(cfg.executor)
+        self.delta_shipping = bool(cfg.delta_shipping)
+        if self.delta_shipping and getattr(
+            self.executor, "supports_delta_shipping", False
+        ):
+            self.executor.delta_shipping = True
+        self.faults = cfg.faults
+        self.recovery = get_recovery_policy(cfg.recovery)
+        self._recovery_active = cfg.faults is not None or cfg.recovery is not None
+        self.checkpoints = get_checkpoint_manager(cfg.checkpoints)
         self.machines: List[Machine] = [Machine(i) for i in range(num_machines)]
         self._report = CostReport(num_machines=num_machines, local_memory=local_memory)
         self.violations: List[str] = []
+
+    @classmethod
+    def from_config(
+        cls, num_machines: int, local_memory: int, config: SimulationConfig
+    ) -> "Cluster":
+        """Build a cluster from a :class:`SimulationConfig`.
+
+        The config's ``eps``/``memory_slack`` fields are sizing inputs
+        for the ``mpc_*`` entry points; here the caller supplies the
+        machine count and budget explicitly and they are ignored.
+        """
+        return cls(num_machines, local_memory, config=config)
 
     # -- access ---------------------------------------------------------
 
@@ -197,6 +245,17 @@ class Cluster:
             else list(participants)
         )
 
+        # Journal lifecycle: a delta checkpoint manager owns the journals
+        # (before_round flushes out-of-round mutations into the chain and
+        # resets them); otherwise nothing consumes them, so clear before
+        # dispatch to keep each round's journal self-contained.
+        manager = self.checkpoints
+        if manager is not None and manager.is_delta:
+            manager.before_round(self)
+        else:
+            for machine in self.machines:
+                machine.reset_journal()
+
         # Storage-isolation guard: a step must only mutate the machine it
         # is handed.  Mutating a spectator through a captured reference is
         # a silent model violation in serial execution and *lost work*
@@ -218,13 +277,31 @@ class Cluster:
                 self.machines, ids, step, index, self.num_machines
             )
 
+        ipc = self.executor.pop_ipc_bytes()
+        if ipc is not None:
+            self._report.ipc_rounds += 1
+            self._report.ipc_bytes_shipped += ipc[0]
+            self._report.ipc_bytes_returned += ipc[1]
+
         all_messages: List[Message] = []
         sent_words = [0] * self.num_machines
         for res in results:
+            machine = self.machines[res.machine_id]
             if res.store is not None:
-                machine = self.machines[res.machine_id]
+                # Full shipping: install the worker's post-step state.
                 machine._store = res.store
                 machine.inbox = res.inbox if res.inbox is not None else []
+                machine.merge_journal(res.written, res.removed, res.inbox_dirty)
+            elif res.store_delta is not None:
+                # Delta shipping: merge only what the step touched; the
+                # coordinator's copy of every other key is bit-identical
+                # to the worker's by construction.
+                for key in res.removed:
+                    machine._store.pop(key, None)
+                machine._store.update(res.store_delta)
+                if res.inbox_dirty:
+                    machine.inbox = res.inbox if res.inbox is not None else []
+                machine.merge_journal(res.written, res.removed, res.inbox_dirty)
             for msg in res.outbox:
                 sent_words[res.machine_id] += msg.size_words
             all_messages.extend(res.outbox)
@@ -260,7 +337,9 @@ class Cluster:
                 )
 
         for msg in all_messages:
-            self.machines[msg.dest].inbox.append(msg)
+            dest = self.machines[msg.dest]
+            dest.inbox.append(msg)
+            dest.mark_inbox_dirty()
 
         # Post-delivery resident-storage check.
         total_resident = 0
@@ -325,10 +404,30 @@ class Cluster:
         ``self.recovery.max_retries``; determinism of steps plus
         per-machine seeding makes each replay bit-identical, which the
         integration tests assert against fault-free twins.
+
+        Pre-round state comes from one of two sources: with a delta
+        checkpoint manager attached and synchronized (its
+        ``before_round`` ran just above), the failed machine is
+        reconstructed lazily from ``base + deltas`` — the fault-free
+        fast path copies nothing; otherwise every participant is backed
+        up eagerly before dispatch, as before.
         """
         policy = self.recovery
         plan = self.faults
-        backups = {mid: backup_machine(self.machines[mid]) for mid in ids}
+        manager = self.checkpoints
+        lazy = manager is not None and manager.covers_pre_round(self)
+        backups: Dict[int, MachineState] = (
+            {}
+            if lazy
+            else {mid: backup_machine(self.machines[mid]) for mid in ids}
+        )
+
+        def restore_pre_round(mid: int) -> None:
+            if lazy:
+                assert manager is not None
+                manager.restore_pre_round(self, mid)
+            else:
+                restore_machine(self.machines[mid], backups[mid])
         done: Dict[int, MachineRoundResult] = {}
         pending = list(ids)
         attempt = 0
@@ -362,7 +461,7 @@ class Cluster:
                         failed_id, index, "worker_death", attempt, label
                     ) from None
                 for mid in pending:
-                    restore_machine(self.machines[mid], backups[mid])
+                    restore_pre_round(mid)
                 self._record_replay(index, attempt, "worker_death", failed_id,
                                     detail="" if deaths else "genuine")
                 self._backoff(attempt)
@@ -380,19 +479,20 @@ class Cluster:
             if attempt > policy.max_retries:
                 raise RecoveryExhausted(crashed[0], index, "crash", attempt, label)
             for mid in crashed:
-                restore_machine(self.machines[mid], backups[mid])
+                restore_pre_round(mid)
             self._record_replay(index, attempt, "crash", crashed[0],
                                 detail=f"machines={crashed}")
             self._backoff(attempt)
             pending = crashed
 
     def _has_crash_marker(self, res: MachineRoundResult) -> bool:
-        store = (
-            res.store
-            if res.store is not None
-            else self.machines[res.machine_id]._store
-        )
-        return CRASH_MARKER in store
+        if res.store is not None:
+            return CRASH_MARKER in res.store
+        if res.store_delta is not None:
+            # Delta shipping: the marker was put by the step in the
+            # worker, so it is journaled and travels in the delta.
+            return CRASH_MARKER in res.store_delta
+        return CRASH_MARKER in self.machines[res.machine_id]._store
 
     def _backoff(self, attempt: int) -> None:
         seconds = self.recovery.backoff_seconds * attempt

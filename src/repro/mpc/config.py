@@ -1,0 +1,125 @@
+"""One frozen configuration object for the whole simulator surface.
+
+Five PRs of simulator features each added keyword arguments to
+:class:`~repro.mpc.cluster.Cluster` and the ``mpc_*`` entry points —
+``executor=``, ``faults=``, ``recovery=``, ``checkpoints=``,
+``delta_shipping=``, plus the sizing knobs ``eps``/``memory_slack`` and
+the model guards ``strict``/``round_limit``.  :class:`SimulationConfig`
+consolidates that sprawl into one immutable value that can be built
+once and handed to every entry point::
+
+    cfg = SimulationConfig(executor="process", delta_shipping=True,
+                           faults=FaultPlan.random(seed=11), recovery=3)
+    result = mpc_tree_embedding(points, config=cfg)
+    embedded, cluster = mpc_fjlt(points, config=cfg)
+
+The legacy kwargs keep working everywhere and are *folded in*: passing
+``config=`` together with a direct kwarg is fine as long as only one of
+them sets a given axis away from its default; setting the same axis in
+both places raises ``ValueError`` (:func:`resolve_config` is the single
+merge point all call sites share).
+
+Field semantics:
+
+* ``executor``, ``faults``, ``recovery``, ``checkpoints``,
+  ``delta_shipping``, ``strict``, ``round_limit`` — consumed by
+  :class:`~repro.mpc.cluster.Cluster` (see its parameter docs);
+* ``eps``, ``memory_slack`` — consumed by the ``mpc_*`` entry points
+  when they size an automatic cluster (``local_memory =
+  memory_slack * (n d)^eps``); ``Cluster`` itself takes explicit
+  ``num_machines``/``local_memory`` and ignores these two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+from repro.mpc.checkpoint import CheckpointLike
+from repro.mpc.executor import ExecutorLike
+from repro.mpc.faults import FaultPlan, RecoveryLike
+
+__all__ = ["SimulationConfig", "resolve_config"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Immutable bundle of every simulator knob.
+
+    Defaults reproduce the seed semantics exactly: serial execution,
+    full shipping, no faults, no checkpoints, strict model enforcement.
+    """
+
+    executor: ExecutorLike = None
+    faults: Optional[FaultPlan] = None
+    recovery: RecoveryLike = None
+    checkpoints: CheckpointLike = None
+    delta_shipping: bool = False
+    eps: float = 0.6
+    memory_slack: float = 8.0
+    strict: bool = True
+    round_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.eps < 1:
+            raise ValueError(f"eps must lie in (0, 1), got {self.eps}")
+        if self.memory_slack <= 0:
+            raise ValueError(
+                f"memory_slack must be positive, got {self.memory_slack}"
+            )
+        if self.round_limit is not None and self.round_limit < 1:
+            raise ValueError(f"round_limit must be >= 1, got {self.round_limit}")
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """A copy with the given fields replaced (frozen-safe)."""
+        return replace(self, **changes)
+
+
+#: Field name -> default value, the reference for "was this axis set?".
+_FIELD_DEFAULTS: Dict[str, Any] = {
+    f.name: f.default for f in fields(SimulationConfig)
+}
+
+
+def _is_set(name: str, value: Any) -> bool:
+    """Does ``value`` differ from the field's default?
+
+    ``None``-defaulted fields compare by identity; the rest by equality.
+    An explicitly-passed default value is indistinguishable from "not
+    passed" — by design, so ``config=`` plus untouched legacy kwargs
+    never conflicts.
+    """
+    default = _FIELD_DEFAULTS[name]
+    if default is None:
+        return value is not None
+    return bool(value != default)
+
+
+def resolve_config(
+    config: Optional[SimulationConfig], **overrides: Any
+) -> SimulationConfig:
+    """Merge a ``config=`` argument with legacy per-axis kwargs.
+
+    Every ``Cluster``/``mpc_*`` call site funnels through here:
+    ``overrides`` are the legacy kwargs the call site accepts (whatever
+    the caller passed, defaults included).  A kwarg left at its default
+    is treated as unset; a non-default kwarg is folded into the config;
+    a non-default kwarg whose axis the config *also* sets raises —
+    silently preferring one source over the other would hide a caller
+    bug.
+    """
+    for name in overrides:
+        if name not in _FIELD_DEFAULTS:
+            raise TypeError(f"unknown SimulationConfig field {name!r}")
+    cfg = config if config is not None else SimulationConfig()
+    updates: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        if not _is_set(name, value):
+            continue
+        if config is not None and _is_set(name, getattr(config, name)):
+            raise ValueError(
+                f"{name!r} is set both directly ({value!r}) and via config= "
+                f"({getattr(config, name)!r}); pass it in one place only"
+            )
+        updates[name] = value
+    return cfg.replace(**updates) if updates else cfg

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -86,15 +87,32 @@ class RoundContext:
 class MachineRoundResult:
     """One machine's contribution to a round, as seen by the cluster.
 
-    ``store``/``inbox`` are ``None`` when the step ran in-process and
-    mutated the machine directly (serial/thread executors); the process
-    executor ships the post-step state back and the cluster installs it.
+    Three shapes, depending on how the step ran:
+
+    * in-process (serial/thread executors): the machine was mutated
+      directly — ``store``, ``store_delta``, and ``inbox`` are all
+      ``None``, only ``outbox`` matters;
+    * full shipping (process executor): ``store``/``inbox`` hold the
+      complete post-step state and the cluster installs it wholesale;
+    * delta shipping (process executor, ``delta_shipping=True``):
+      ``store_delta`` holds only the values of keys the step wrote,
+      ``removed`` the keys it deleted, and ``inbox`` ships only when
+      ``inbox_dirty`` — the cluster merges these into its own copy,
+      which is bit-identical to the worker's for every untouched key.
+
+    ``written``/``removed`` are the step's change journal in both
+    shipping modes; the cluster folds them into the coordinator-side
+    machine's journal so delta checkpoints see worker-side mutations.
     """
 
     machine_id: int
     outbox: List[Message] = field(default_factory=list)
     store: Optional[Dict[str, Any]] = None
     inbox: Optional[List[Message]] = None
+    store_delta: Optional[Dict[str, Any]] = None
+    written: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+    inbox_dirty: bool = False
 
 
 def _execute_inplace(
@@ -106,22 +124,64 @@ def _execute_inplace(
     return MachineRoundResult(machine_id=machine.machine_id, outbox=ctx._outbox)
 
 
+#: One machine's worker->parent payload: ``(machine_id, store, store_delta,
+#: written, removed, inbox, inbox_dirty, outbox)``.  Exactly one of
+#: ``store`` (full shipping) / ``store_delta`` (delta shipping) is set.
+WorkerResult = Tuple[
+    int,
+    Optional[Dict[str, Any]],
+    Optional[Dict[str, Any]],
+    Tuple[str, ...],
+    Tuple[str, ...],
+    Optional[List[Message]],
+    bool,
+    List[Message],
+]
+
+
 def _process_batch_worker(
-    machines: List[Machine], step: StepFn, round_index: int, num_machines: int
-) -> List[Tuple[int, Dict[str, Any], List[Message], List[Message]]]:
+    blob: bytes, step: StepFn, round_index: int, num_machines: int, delta: bool
+) -> bytes:
     """Worker-side round execution for a batch of machines.
 
-    Receives pickled machine copies, runs the step on each, and returns
-    ``(machine_id, store, inbox, outbox)`` tuples — the parent installs
-    the state, so mutation in the worker is equivalent to mutation in
-    place.
+    Receives the pickled machine batch as raw bytes and returns the
+    pickled :data:`WorkerResult` list as raw bytes — the parent does the
+    (un)pickling itself so ``len()`` of each blob *is* the measured IPC
+    volume, with no second serialization pass.
+
+    Each machine's change journal starts empty (journals are not
+    pickled), so after the step it records exactly the keys the step
+    touched.  Under ``delta`` shipping only those keys' values travel
+    back; the parent's copy of every untouched key is bit-identical to
+    the worker's by construction.  Keys are shipped in sorted order so
+    the payload bytes — and the parent's store layout — are independent
+    of per-process hash randomization.
     """
-    out = []
+    machines: List[Machine] = pickle.loads(blob)
+    out: List[WorkerResult] = []
     for machine in machines:
+        machine.reset_journal()
         ctx = RoundContext(num_machines, machine, round_index)
         step(machine, ctx)
-        out.append((machine.machine_id, machine._store, machine.inbox, ctx._outbox))
-    return out
+        written_keys, deleted_keys, inbox_dirty = machine.journal()
+        touched = sorted(written_keys | deleted_keys)
+        written = tuple(k for k in touched if k in machine._store)
+        removed = tuple(k for k in touched if k not in machine._store)
+        if delta:
+            store = None
+            store_delta: Optional[Dict[str, Any]] = {
+                k: machine._store[k] for k in written
+            }
+            inbox = machine.inbox if inbox_dirty else None
+        else:
+            store = machine._store
+            store_delta = None
+            inbox = machine.inbox
+        out.append(
+            (machine.machine_id, store, store_delta, written, removed,
+             inbox, inbox_dirty, ctx._outbox)
+        )
+    return pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class RoundExecutor:
@@ -147,6 +207,16 @@ class RoundExecutor:
 
     def close(self) -> None:
         """Release executor resources (shared pools are left running)."""
+
+    def pop_ipc_bytes(self) -> Optional[Tuple[int, int]]:
+        """Take the ``(shipped, returned)`` IPC bytes since the last pop.
+
+        ``None`` when the executor moved no state across a process
+        boundary (serial/thread executors, or inlined rounds).  The
+        cluster pops once per round, after recovery completes, so the
+        totals include replay attempts.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -329,15 +399,39 @@ class ProcessExecutor(RoundExecutor):
     machine-id order, so delivery, accounting, and all downstream state
     are bit-identical to serial execution.
 
+    With ``delta_shipping=True`` the return path ships only the keys
+    each step touched (plus the inbox when it changed) instead of the
+    full machine state — same bit-identical contract, less IPC volume.
+    The outbound path always ships full machines: pool workers are
+    stateless between rounds, so there is no worker-side copy to delta
+    against.  Measured volume is available via :meth:`pop_ipc_bytes`.
+
     Step functions must be picklable — module-level callables, with
     per-call data bound via :func:`functools.partial` (never closures
     over cluster state).
     """
 
     name = "process"
+    #: Cluster(..., delta_shipping=True) flips ``delta_shipping`` on
+    #: executors that declare support; serial/thread mutate in place and
+    #: have nothing to ship, so the flag is a no-op there.
+    supports_delta_shipping = True
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self, max_workers: Optional[int] = None, *, delta_shipping: bool = False
+    ) -> None:
         self.max_workers = max_workers or default_process_workers()
+        self.delta_shipping = delta_shipping
+        self._ipc_shipped = 0
+        self._ipc_returned = 0
+
+    def pop_ipc_bytes(self) -> Optional[Tuple[int, int]]:
+        if self._ipc_shipped == 0 and self._ipc_returned == 0:
+            return None
+        out = (self._ipc_shipped, self._ipc_returned)
+        self._ipc_shipped = 0
+        self._ipc_returned = 0
+        return out
 
     def _chunks(self, ids: List[int]) -> List[List[int]]:
         per = -(-len(ids) // self.max_workers)
@@ -360,21 +454,36 @@ class ProcessExecutor(RoundExecutor):
                 for mid in ids
             ]
         pool = _shared_process_pool(self.max_workers)
-        futures = [
-            pool.submit(
-                _process_batch_worker,
-                [machines[mid] for mid in chunk],
-                step,
-                round_index,
-                num_machines,
+        futures = []
+        for chunk in self._chunks(ids):
+            try:
+                blob = pickle.dumps(
+                    [machines[mid] for mid in chunk],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception as exc:
+                if _is_pickling_error(exc):
+                    raise ExecutorStepError(
+                        "machine state could not be pickled for the process "
+                        f"executor (original error: {exc!r})"
+                    ) from exc
+                raise
+            self._ipc_shipped += len(blob)
+            futures.append(
+                pool.submit(
+                    _process_batch_worker,
+                    blob,
+                    step,
+                    round_index,
+                    num_machines,
+                    self.delta_shipping,
+                )
             )
-            for chunk in self._chunks(ids)
-        ]
         results: List[MachineRoundResult] = []
         first_error: Optional[BaseException] = None
         for future in futures:
             try:
-                batch = future.result()
+                rblob = future.result()
             except BrokenProcessPool as exc:
                 if first_error is None:
                     first_error = exc
@@ -388,13 +497,20 @@ class ProcessExecutor(RoundExecutor):
                         f"closure/lambda (original error: {exc!r})"
                     ) from exc
                 raise
-            for machine_id, store, inbox, outbox in batch:
+            self._ipc_returned += len(rblob)
+            batch: List[WorkerResult] = pickle.loads(rblob)
+            for (machine_id, store, store_delta, written, removed,
+                 inbox, inbox_dirty, outbox) in batch:
                 results.append(
                     MachineRoundResult(
                         machine_id=machine_id,
                         outbox=outbox,
                         store=store,
                         inbox=inbox,
+                        store_delta=store_delta,
+                        written=written,
+                        removed=removed,
+                        inbox_dirty=inbox_dirty,
                     )
                 )
         if first_error is not None:

@@ -1,8 +1,26 @@
-"""A single simulated MPC machine: local key-value storage plus an inbox."""
+"""A single simulated MPC machine: local key-value storage plus an inbox.
+
+Storage mutations are tracked in a **change journal** — per machine, the
+set of keys written and deleted since the journal was last reset, plus a
+flag recording whether the inbox changed.  The journal powers two
+volume optimizations (see docs/MPC_MODEL.md):
+
+* **delta shipping** — the process executor ships only the journaled
+  keys back to the coordinator instead of the whole store;
+* **delta checkpoints** — :class:`~repro.mpc.checkpoint.CheckpointManager`
+  records per-round deltas against a full base snapshot.
+
+The journal is bookkeeping *outside* the model: it is never charged
+words, never pickled (worker copies start with a fresh journal), and
+resetting it does not touch stored values.  The one contract it imposes
+on step authors: a step that mutates a stored value **in place** (e.g.
+writes into an array obtained via :meth:`get`) must :meth:`put` it back
+so the mutation is journaled — every step in :mod:`repro` already does.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.mpc.message import Message
 from repro.util.sizing import words
@@ -16,18 +34,24 @@ class Machine:
     constraint checks) lives in :class:`repro.mpc.cluster.Cluster`.
     """
 
-    __slots__ = ("machine_id", "_store", "inbox")
+    __slots__ = ("machine_id", "_store", "inbox", "_j_written", "_j_deleted",
+                 "_j_inbox")
 
     def __init__(self, machine_id: int) -> None:
         self.machine_id = machine_id
         self._store: Dict[str, Any] = {}
         self.inbox: List[Message] = []
+        self._j_written: Set[str] = set()
+        self._j_deleted: Set[str] = set()
+        self._j_inbox: bool = False
 
     # -- storage ------------------------------------------------------
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` (overwrites)."""
         self._store[key] = value
+        self._j_written.add(key)
+        self._j_deleted.discard(key)
 
     def get(self, key: str, default: Any = None) -> Any:
         """Read a stored value, or ``default`` when absent."""
@@ -35,6 +59,9 @@ class Machine:
 
     def pop(self, key: str, default: Any = None) -> Any:
         """Remove and return a stored value."""
+        if key in self._store:
+            self._j_deleted.add(key)
+            self._j_written.discard(key)
         return self._store.pop(key, default)
 
     def __contains__(self, key: str) -> bool:
@@ -45,20 +72,65 @@ class Machine:
 
     def clear(self) -> None:
         """Drop all stored values (not the inbox)."""
+        self._j_deleted.update(self._store)
+        self._j_written.difference_update(self._store)
         self._store.clear()
+
+    # -- change journal -------------------------------------------------
+
+    def reset_journal(self) -> None:
+        """Forget tracked changes (stored values are untouched)."""
+        self._j_written.clear()
+        self._j_deleted.clear()
+        self._j_inbox = False
+
+    def journal(self) -> Tuple[Set[str], Set[str], bool]:
+        """``(written, deleted, inbox_changed)`` since the last reset.
+
+        The sets are live views — callers that keep them must copy.
+        A key appears in at most one set (a put after a pop moves it
+        back to *written* and vice versa).
+        """
+        return self._j_written, self._j_deleted, self._j_inbox
+
+    def journal_is_empty(self) -> bool:
+        return not (self._j_written or self._j_deleted or self._j_inbox)
+
+    def mark_inbox_dirty(self) -> None:
+        """Record that the inbox changed (delivery or ``take_inbox``)."""
+        self._j_inbox = True
+
+    def merge_journal(
+        self, written: Iterable[str], deleted: Iterable[str], inbox_dirty: bool
+    ) -> None:
+        """Fold a shipped journal (from a worker copy) into this one."""
+        for key in written:
+            self._j_written.add(key)
+            self._j_deleted.discard(key)
+        for key in deleted:
+            self._j_deleted.add(key)
+            self._j_written.discard(key)
+        if inbox_dirty:
+            self._j_inbox = True
 
     # -- pickling -------------------------------------------------------
 
     # Machines are shipped to worker processes by the process round
     # executor (``__slots__`` classes need explicit state methods).  The
     # whole state is (id, storage, inbox); word sizes are properties of
-    # the stored values and survive the round trip unchanged.
+    # the stored values and survive the round trip unchanged.  The
+    # change journal is deliberately *not* shipped — a worker copy
+    # starts fresh, so its journal records exactly what the step
+    # touched (the delta-shipping payload).
 
     def __getstate__(self) -> Tuple[int, Dict[str, Any], List[Message]]:
         return (self.machine_id, self._store, self.inbox)
 
     def __setstate__(self, state: Tuple[int, Dict[str, Any], List[Message]]) -> None:
         self.machine_id, self._store, self.inbox = state
+        self._j_written = set()
+        self._j_deleted = set()
+        self._j_inbox = False
 
     # -- accounting ----------------------------------------------------
 
@@ -83,6 +155,8 @@ class Machine:
         else:
             taken = [m for m in self.inbox if m.tag == tag]
             self.inbox = [m for m in self.inbox if m.tag != tag]
+        if taken:
+            self._j_inbox = True
         taken.sort(key=lambda m: (m.src, m.tag))
         return taken
 

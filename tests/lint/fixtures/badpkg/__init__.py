@@ -1,4 +1,4 @@
-"""MPC005 fixture: a phantom export and an executor-less entry point."""
+"""MPC005 fixture: a phantom export and executor-less entry points."""
 
 from badpkg.real import actual
 
@@ -7,3 +7,9 @@ __all__ = ["actual", "phantom"]
 
 def mpc_widget(points):
     return actual(points)
+
+
+def mpc_gadget(points, *, configuration=None):
+    # `configuration` is not `config` — the bundle parameter must be
+    # spelled exactly for callers to rely on it.
+    return actual(points), configuration

@@ -1,9 +1,15 @@
-"""MPC005 fixture: exports all exist, entry point accepts executor=."""
+"""MPC005 fixture: exports all exist, entry points accept executor=/config=."""
 
 from goodpkg.real import actual
 
-__all__ = ["actual", "real", "mpc_widget"]
+__all__ = ["actual", "real", "mpc_widget", "mpc_gadget"]
 
 
 def mpc_widget(points, *, executor=None):
     return actual(points), executor
+
+
+def mpc_gadget(points, *, config=None):
+    # A SimulationConfig bundle carries the executor axis, so config=
+    # alone satisfies the entry-point contract.
+    return actual(points), config

@@ -17,7 +17,7 @@ CASES = {
     "MPC002": ("mpc002_bad.py", 5, "mpc002_good.py"),
     "MPC003": ("mpc003_bad.py", 3, "mpc003_good.py"),
     "MPC004": ("mpc004_bad.py", 2, "mpc004_good.py"),
-    "MPC005": ("badpkg", 2, "goodpkg"),
+    "MPC005": ("badpkg", 3, "goodpkg"),
     "MPC006": ("mpc006_bad.py", 3, "mpc006_good.py"),
     "MPC007": ("mpc007_bad.py", 3, "mpc007_good.py"),
     "MPC009": ("mpc009_bad.py", 4, "mpc009_good.py"),
@@ -75,6 +75,17 @@ def test_select_and_ignore_filters():
     assert {v.rule_id for v in all_bad} == {"MPC002"}
     assert _lint("mpc002_bad.py", ignore=["MPC002"]) == []
     assert _lint("mpc002_bad.py", select=["MPC004"]) == []
+
+
+def test_mpc005_accepts_config_bundle():
+    """config= alone satisfies the entry-point contract; near-misses don't."""
+    violations = _lint("badpkg", select=["MPC005"])
+    messages = {v.message for v in violations if "entry point" in v.message}
+    assert any("'mpc_widget'" in m for m in messages)
+    assert any("'mpc_gadget'" in m for m in messages)
+    assert all("neither" in m for m in messages)
+    good = _lint("goodpkg", select=["MPC005"])
+    assert good == []
 
 
 def test_violation_fields_are_reportable():

@@ -1,0 +1,187 @@
+"""SimulationConfig: the one-value bundle of every simulator knob.
+
+Contract (docs/API.md): defaults reproduce the seed semantics exactly;
+legacy kwargs keep working and fold into a passed ``config=``; setting
+the same axis both ways raises; ``Cluster.from_config`` and the
+``config=`` parameter of every ``mpc_*`` entry point are equivalent to
+spelling the knobs out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.jl.mpc_dense import mpc_dense_jl
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.mpc import (
+    CheckpointPolicy,
+    Cluster,
+    FaultPlan,
+    SimulationConfig,
+    resolve_config,
+)
+from repro.mpc.config import _is_set
+from repro.mpc.executor import ProcessExecutor, SerialExecutor
+
+
+class TestDefaults:
+    def test_defaults_match_seed_semantics(self):
+        cfg = SimulationConfig()
+        assert cfg.executor is None
+        assert cfg.faults is None
+        assert cfg.recovery is None
+        assert cfg.checkpoints is None
+        assert cfg.delta_shipping is False
+        assert cfg.eps == 0.6
+        assert cfg.memory_slack == 8.0
+        assert cfg.strict is True
+        assert cfg.round_limit is None
+
+    def test_frozen(self):
+        cfg = SimulationConfig()
+        with pytest.raises(AttributeError):
+            cfg.executor = "thread"
+
+    def test_replace(self):
+        cfg = SimulationConfig().replace(executor="process", delta_shipping=True)
+        assert cfg.executor == "process" and cfg.delta_shipping
+        assert SimulationConfig().executor is None  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="eps"):
+            SimulationConfig(eps=1.5)
+        with pytest.raises(ValueError, match="eps"):
+            SimulationConfig(eps=0.0)
+        with pytest.raises(ValueError, match="memory_slack"):
+            SimulationConfig(memory_slack=-1.0)
+        with pytest.raises(ValueError, match="round_limit"):
+            SimulationConfig(round_limit=0)
+
+
+class TestResolveConfig:
+    def test_none_config_folds_overrides(self):
+        cfg = resolve_config(None, executor="thread", eps=0.5)
+        assert cfg.executor == "thread" and cfg.eps == 0.5
+
+    def test_default_overrides_are_unset(self):
+        base = SimulationConfig(executor="process")
+        cfg = resolve_config(base, executor=None, eps=0.6, strict=True)
+        assert cfg is base  # nothing was actually set -> no copy
+
+    def test_conflict_raises(self):
+        base = SimulationConfig(executor="process")
+        with pytest.raises(ValueError, match="one place only"):
+            resolve_config(base, executor="thread")
+
+    def test_disjoint_axes_merge(self):
+        base = SimulationConfig(executor="process")
+        cfg = resolve_config(base, eps=0.7)
+        assert cfg.executor == "process" and cfg.eps == 0.7
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError, match="unknown"):
+            resolve_config(None, warp_speed=9)
+
+    def test_is_set_semantics(self):
+        assert not _is_set("executor", None)
+        assert _is_set("executor", "serial")
+        assert not _is_set("eps", 0.6)
+        assert _is_set("eps", 0.61)
+        assert not _is_set("strict", True)
+        assert _is_set("strict", False)
+
+
+def _ring_step(machine, ctx):
+    data = machine.get("x")
+    machine.put("x", data + 1.0)
+    ctx.send((machine.machine_id + 1) % ctx.num_machines, np.ones(2), tag="r")
+
+
+class TestClusterFromConfig:
+    def test_equivalent_to_kwargs(self):
+        cfg = SimulationConfig(executor="thread", strict=False, round_limit=9)
+        via_config = Cluster.from_config(3, 2048, cfg)
+        via_kwargs = Cluster(3, 2048, strict=False, executor="thread",
+                             round_limit=9)
+        for cluster in (via_config, via_kwargs):
+            for mid in range(3):
+                cluster.load(mid, "x", np.zeros(4))
+            cluster.round(_ring_step)
+        assert via_config.report().as_dict() == via_kwargs.report().as_dict()
+
+    def test_config_kwarg_conflict_at_cluster(self):
+        cfg = SimulationConfig(executor="thread")
+        with pytest.raises(ValueError, match="one place only"):
+            Cluster(2, 1024, executor="process", config=cfg)
+
+    def test_delta_shipping_reaches_executor(self):
+        cfg = SimulationConfig(executor=ProcessExecutor(2),
+                               delta_shipping=True)
+        cluster = Cluster.from_config(2, 2048, cfg)
+        assert cluster.executor.delta_shipping is True
+
+    def test_delta_shipping_ignored_by_serial(self):
+        cfg = SimulationConfig(executor=SerialExecutor(), delta_shipping=True)
+        cluster = Cluster.from_config(2, 2048, cfg)
+        assert cluster.delta_shipping is True
+        assert not getattr(cluster.executor, "delta_shipping", False)
+
+    def test_checkpoints_via_config(self):
+        cfg = SimulationConfig(checkpoints=CheckpointPolicy(cadence=1))
+        cluster = Cluster.from_config(2, 4096, cfg)
+        for mid in range(2):
+            cluster.load(mid, "x", np.zeros(4))
+        cluster.round(_ring_step)
+        assert len(cluster.checkpoints) == 1
+
+
+class TestEntryPoints:
+    """config= must be accepted by every mpc_* entry point and produce
+    bit-identical results to the spelled-out kwargs."""
+
+    def test_tree_embedding_config_equals_kwargs(self):
+        pts = np.random.default_rng(0).normal(size=(30, 8))
+        cfg = SimulationConfig(executor="thread", memory_slack=6.0)
+        a = mpc_tree_embedding(pts, 2, seed=5, config=cfg)
+        b = mpc_tree_embedding(pts, 2, seed=5, executor="thread",
+                               memory_slack=6.0)
+        np.testing.assert_array_equal(a.tree.label_matrix, b.tree.label_matrix)
+        assert a.report.core_dict() == b.report.core_dict()
+
+    def test_fjlt_config_equals_kwargs(self):
+        pts = np.random.default_rng(1).normal(size=(24, 16))
+        cfg = SimulationConfig(eps=0.5)
+        a, ca = mpc_fjlt(pts, seed=2, config=cfg)
+        b, cb = mpc_fjlt(pts, seed=2, eps=0.5)
+        np.testing.assert_array_equal(a, b)
+        assert ca.report().core_dict() == cb.report().core_dict()
+
+    def test_dense_jl_accepts_config(self):
+        pts = np.random.default_rng(2).normal(size=(20, 8))
+        a, _ = mpc_dense_jl(pts, 4, seed=3,
+                            config=SimulationConfig(executor="serial"))
+        b, _ = mpc_dense_jl(pts, 4, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_entry_point_conflict_raises(self):
+        pts = np.random.default_rng(3).normal(size=(16, 4))
+        cfg = SimulationConfig(executor="thread")
+        with pytest.raises(ValueError, match="one place only"):
+            mpc_fjlt(pts, executor="serial", config=cfg)
+
+    def test_faults_via_config_with_caller_cluster_rejected(self):
+        pts = np.random.default_rng(4).normal(size=(16, 4))
+        cluster = Cluster(2, 1 << 16)
+        cfg = SimulationConfig(faults=FaultPlan.random(
+            5, num_machines=2, rounds=4, rate=0.2))
+        with pytest.raises(Exception, match="caller-provided"):
+            mpc_fjlt(pts, cluster=cluster, config=cfg)
+
+    def test_faults_via_config_recover_bit_identically(self):
+        pts = np.random.default_rng(6).normal(size=(24, 8))
+        plan = FaultPlan.random(11, num_machines=64, rounds=8, rate=0.1)
+        cfg = SimulationConfig(faults=plan, recovery=4)
+        a = mpc_tree_embedding(pts, 2, seed=9, config=cfg)
+        b = mpc_tree_embedding(pts, 2, seed=9)
+        np.testing.assert_array_equal(a.tree.label_matrix, b.tree.label_matrix)
+        assert a.report.core_dict() == b.report.core_dict()

@@ -1,0 +1,303 @@
+"""Delta shipping and delta checkpoints: bit-identity and volume wins.
+
+Two contracts (docs/MPC_MODEL.md, docs/RESILIENCE.md):
+
+* **delta shipping** changes only the *physical* IPC between the
+  coordinator and process-pool workers — results, machine state, and
+  every model-level number in the cost report stay bit-identical to
+  full shipping (and to the serial executor), while
+  ``ipc_bytes_returned`` drops;
+* **delta checkpoints** (``CheckpointPolicy(delta=True)``) reconstruct
+  any covered state bit-identically from ``base + deltas``, replace the
+  recovery engine's eager per-round backups, and record less volume
+  than full per-round snapshots.
+
+``REPRO_FAULT_SEEDS`` widens the seeded-plan sweep as in test_faults.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.mpc import (
+    CheckpointManager,
+    CheckpointPolicy,
+    Cluster,
+    FaultEvent,
+    FaultPlan,
+    SimulationConfig,
+)
+from repro.mpc.executor import ProcessExecutor
+from repro.mpc.primitives import collect_rows, scatter_rows
+from repro.mpc.sort import sort_by_key
+from repro.util.rng import machine_rng
+
+FAULT_SEEDS = [
+    int(s) for s in os.environ.get("REPRO_FAULT_SEEDS", "5").split(",") if s.strip()
+]
+
+
+def _work_step(machine, ctx):
+    inbox_sum = sum(float(m.payload.sum()) for m in machine.take_inbox(tag="ring"))
+    rng = machine_rng(1234 + ctx.round_index, machine.machine_id)
+    data = machine.get("data")
+    machine.put("data", data + rng.normal(size=data.shape) + inbox_sum)
+    ctx.send(
+        (machine.machine_id + 1) % ctx.num_machines,
+        np.array([float(machine.machine_id + ctx.round_index)]),
+        tag="ring",
+    )
+
+
+def _run_pipeline(*, machines=4, rounds=3, **cluster_kwargs):
+    cluster = Cluster(machines, 4096, **cluster_kwargs)
+    for mid in range(machines):
+        cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+    for r in range(rounds):
+        cluster.round(_work_step, label=f"work{r}")
+    state = {
+        mid: cluster.machine(mid).get("data").copy() for mid in range(machines)
+    }
+    return state, cluster
+
+
+def _assert_states_equal(a, b):
+    assert a.keys() == b.keys()
+    for mid in a:
+        np.testing.assert_array_equal(a[mid], b[mid])
+
+
+def _sort_workload(cluster, n=300, seed=5):
+    keys = np.random.default_rng(seed).normal(size=n)
+    scatter_rows(cluster, keys, "k")
+    sort_by_key(cluster, "k", seed=3)
+    return collect_rows(cluster, "k")
+
+
+class TestDeltaShipping:
+    def test_sort_pipeline_bit_identical_and_cheaper(self):
+        full = Cluster(6, 65536, executor="process")
+        delta = Cluster(6, 65536, executor="process", delta_shipping=True)
+        out_full = _sort_workload(full)
+        out_delta = _sort_workload(delta)
+        np.testing.assert_array_equal(out_full, out_delta)
+        rf, rd = full.report(), delta.report()
+        # Model-level accounting is untouched by the shipping mode...
+        assert rf.as_dict() == rd.as_dict()
+        # ...but the physical return path shrinks.
+        tf, td = rf.transport_dict(), rd.transport_dict()
+        assert tf["ipc_rounds"] > 0 and td["ipc_rounds"] > 0
+        assert 0 < td["ipc_bytes_returned"] < tf["ipc_bytes_returned"]
+
+    def test_ring_pipeline_matches_serial(self):
+        base_state, base = _run_pipeline()
+        state, cluster = _run_pipeline(executor="process", delta_shipping=True)
+        _assert_states_equal(state, base_state)
+        assert cluster.report().as_dict() == base.report().as_dict()
+
+    def test_serial_executor_ignores_flag(self):
+        state, cluster = _run_pipeline(executor="serial", delta_shipping=True)
+        base_state, _ = _run_pipeline()
+        _assert_states_equal(state, base_state)
+        assert cluster.report().transport_dict()["ipc_bytes"] == 0
+
+    def test_executor_flag_propagation(self):
+        ex = ProcessExecutor(2)
+        Cluster(2, 1024, executor=ex, delta_shipping=True)
+        assert ex.delta_shipping is True
+
+    def test_tree_embedding_bit_identical(self):
+        pts = np.random.default_rng(0).normal(size=(40, 16))
+        cfg = SimulationConfig(executor="process", delta_shipping=True)
+        a = mpc_tree_embedding(pts, 2, seed=7, config=cfg)
+        b = mpc_tree_embedding(pts, 2, seed=7, executor="process")
+        c = mpc_tree_embedding(pts, 2, seed=7)
+        np.testing.assert_array_equal(a.tree.label_matrix, b.tree.label_matrix)
+        np.testing.assert_array_equal(a.tree.label_matrix, c.tree.label_matrix)
+        assert (
+            a.report.core_dict() == b.report.core_dict() == c.report.core_dict()
+        )
+
+    def test_fjlt_bit_identical(self):
+        pts = np.random.default_rng(1).normal(size=(48, 16))
+        cfg = SimulationConfig(executor="process", delta_shipping=True)
+        a, ca = mpc_fjlt(pts, seed=4, config=cfg)
+        b, cb = mpc_fjlt(pts, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert ca.report().core_dict() == cb.report().core_dict()
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_fault_recovery_stays_bit_identical(self, seed):
+        base_state, base = _run_pipeline(rounds=4)
+        plan = FaultPlan.random(
+            seed, num_machines=4, rounds=4, rate=0.25, straggler_delay=0.0005
+        )
+        state, cluster = _run_pipeline(
+            rounds=4, executor="process", delta_shipping=True, faults=plan
+        )
+        _assert_states_equal(state, base_state)
+        assert cluster.report().core_dict() == base.report().core_dict()
+
+
+class TestDeltaCheckpoints:
+    def test_policy_requires_cadence_one(self):
+        with pytest.raises(ValueError, match="cadence must be 1"):
+            CheckpointPolicy(cadence=2, delta=True)
+
+    def test_restore_latest_roundtrip(self):
+        manager = CheckpointManager(CheckpointPolicy(delta=True, keep=4))
+        base_state, _ = _run_pipeline(rounds=3)
+        state, cluster = _run_pipeline(rounds=3, checkpoints=manager)
+        _assert_states_equal(state, base_state)
+        cluster.machine(0).put("data", np.zeros(8))  # diverge...
+        manager.restore_latest(cluster)  # ...and roll back
+        restored = {
+            mid: cluster.machine(mid).get("data").copy() for mid in range(4)
+        }
+        _assert_states_equal(restored, base_state)
+        assert cluster.rounds == 3
+
+    def test_fold_keeps_window_bounded(self):
+        manager = CheckpointManager(CheckpointPolicy(delta=True, keep=2))
+        state, cluster = _run_pipeline(rounds=6, checkpoints=manager)
+        assert len(manager.deltas) <= 2
+        snap = manager.latest()
+        assert snap.round_index == 6
+        for mid in range(4):
+            np.testing.assert_array_equal(snap.stores[mid]["data"], state[mid])
+
+    def test_interstitial_flushes_out_of_round_mutations(self):
+        manager = CheckpointManager(CheckpointPolicy(delta=True, keep=8))
+        state, cluster = _run_pipeline(rounds=2, checkpoints=manager)
+        # God-view mutation between rounds (no round() in sight)...
+        cluster.load(1, "staged", np.full(3, 7.0))
+        cluster.round(_work_step, label="after-staging")
+        assert any(d.interstitial for d in manager.deltas)
+        snap = manager.latest()
+        np.testing.assert_array_equal(snap.stores[1]["staged"], np.full(3, 7.0))
+
+    def test_manual_restore_triggers_rebase(self):
+        manager = CheckpointManager(CheckpointPolicy(delta=True, keep=8))
+        cluster = Cluster(2, 4096, checkpoints=manager)
+        for mid in range(2):
+            cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+        cluster.round(_work_step, label="one")
+        outside = cluster.snapshot()
+        cluster.round(_work_step, label="two")
+        cluster.restore(outside)  # behind the manager's back
+        cluster.round(_work_step, label="two-again")
+        snap = manager.latest()
+        assert snap.round_index == cluster.rounds == 2
+
+    @pytest.mark.parametrize("kind", ["crash", "worker_death"])
+    def test_lazy_recovery_replays_bit_identically(self, kind):
+        base_state, base = _run_pipeline(rounds=3)
+        plan = FaultPlan([FaultEvent(kind, 1, 2)])
+        state, cluster = _run_pipeline(
+            rounds=3,
+            faults=plan,
+            checkpoints=CheckpointPolicy(delta=True, keep=4),
+        )
+        _assert_states_equal(state, base_state)
+        report = cluster.report()
+        assert report.core_dict() == base.report().core_dict()
+        assert report.recovery_replays == 1
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    def test_seeded_plan_with_delta_everything(self, seed):
+        """The full stack at once: process pool + delta shipping + delta
+        checkpoints + seeded faults, still bit-identical to the plain
+        serial run."""
+        base_state, base = _run_pipeline(rounds=4)
+        plan = FaultPlan.random(
+            seed, num_machines=4, rounds=4, rate=0.25, straggler_delay=0.0005
+        )
+        cfg = SimulationConfig(
+            executor="process",
+            delta_shipping=True,
+            faults=plan,
+            checkpoints=CheckpointPolicy(delta=True, keep=4),
+        )
+        state, cluster = _run_pipeline(rounds=4, config=cfg)
+        _assert_states_equal(state, base_state)
+        assert cluster.report().core_dict() == base.report().core_dict()
+
+    def test_delta_volume_beats_full_snapshots(self):
+        """When rounds touch a fraction of resident state (the common
+        case — the ring step rewrites 8 words while a 512-word shard
+        sits untouched) deltas record far less than full snapshots."""
+
+        def run(checkpoints):
+            cluster = Cluster(4, 1 << 16, checkpoints=checkpoints)
+            for mid in range(4):
+                cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+                cluster.load(mid, "bulk", np.zeros(512))  # never touched
+            for r in range(5):
+                cluster.round(_work_step, label=f"work{r}")
+            return cluster
+
+        full = run(CheckpointPolicy(cadence=1))
+        delta = run(CheckpointPolicy(delta=True, keep=8))
+        rf, rd = full.report().transport_dict(), delta.report().transport_dict()
+        assert rf["checkpoint_snapshots"] == 5
+        assert rd["checkpoint_snapshots"] == 1  # the base
+        assert rd["checkpoint_deltas"] == 5
+        assert 0 < rd["checkpoint_bytes"] < rf["checkpoint_bytes"]
+        # The rolled-back states still agree exactly.
+        sf, sd = full.checkpoints.latest(), delta.checkpoints.latest()
+        for mid in range(4):
+            np.testing.assert_array_equal(
+                sf.stores[mid]["data"], sd.stores[mid]["data"]
+            )
+
+    def test_tree_embedding_mpc_assembly_with_delta_checkpoints(self):
+        """assembly="mpc" stages god-view state between rounds — the
+        interstitial-delta path — and must stay bit-identical."""
+        pts = np.random.default_rng(2).normal(size=(30, 8))
+        cfg = SimulationConfig(checkpoints=CheckpointPolicy(delta=True, keep=4))
+        a = mpc_tree_embedding(pts, 2, seed=3, assembly="mpc", config=cfg)
+        b = mpc_tree_embedding(pts, 2, seed=3, assembly="mpc")
+        np.testing.assert_array_equal(a.tree.label_matrix, b.tree.label_matrix)
+        assert a.report.core_dict() == b.report.core_dict()
+        manager = a.cluster.checkpoints
+        assert manager.is_delta and len(manager) >= 1
+
+
+class TestTransportAccounting:
+    def test_transport_dict_keys(self):
+        _, cluster = _run_pipeline()
+        t = cluster.report().transport_dict()
+        assert set(t) == {
+            "ipc_rounds",
+            "ipc_bytes_shipped",
+            "ipc_bytes_returned",
+            "ipc_bytes",
+            "checkpoint_snapshots",
+            "checkpoint_deltas",
+            "checkpoint_bytes",
+        }
+
+    def test_transport_excluded_from_model_dicts(self):
+        _, serial = _run_pipeline()
+        _, process = _run_pipeline(executor="process")
+        assert process.report().transport_dict()["ipc_bytes"] > 0
+        assert serial.report().transport_dict()["ipc_bytes"] == 0
+        # Equality of the model-level dicts is the executor-independence
+        # contract — physical transport must not leak into it.
+        assert serial.report().as_dict() == process.report().as_dict()
+        assert "ipc_bytes" not in serial.report().as_dict()
+
+    def test_merged_with_sums_transport(self):
+        _, a = _run_pipeline(executor="process")
+        _, b = _run_pipeline(executor="process")
+        merged = a.report().merged_with(b.report())
+        ta, tb, tm = (
+            a.report().transport_dict(),
+            b.report().transport_dict(),
+            merged.transport_dict(),
+        )
+        for key in ta:
+            assert tm[key] == ta[key] + tb[key]

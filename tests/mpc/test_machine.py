@@ -1,5 +1,7 @@
 """Tests for the Machine storage/inbox abstraction."""
 
+import pickle
+
 import numpy as np
 
 from repro.mpc.machine import Machine
@@ -67,6 +69,95 @@ class TestInbox:
         m.inbox = [Message(3, 0, "a", "z"), Message(1, 0, "a", "x")]
         taken = m.take_inbox()
         assert [t.src for t in taken] == [1, 3]
+
+
+class TestJournal:
+    """The change journal behind delta shipping and delta checkpoints."""
+
+    def test_fresh_machine_has_empty_journal(self):
+        assert Machine(0).journal_is_empty()
+
+    def test_put_journals_written(self):
+        m = Machine(0)
+        m.put("k", 1)
+        written, deleted, inbox = m.journal()
+        assert written == {"k"} and deleted == set() and not inbox
+
+    def test_pop_journals_deleted(self):
+        m = Machine(0)
+        m.put("k", 1)
+        m.reset_journal()
+        m.pop("k")
+        written, deleted, _ = m.journal()
+        assert written == set() and deleted == {"k"}
+
+    def test_pop_missing_key_journals_nothing(self):
+        m = Machine(0)
+        m.pop("ghost")
+        assert m.journal_is_empty()
+
+    def test_put_after_pop_moves_back_to_written(self):
+        m = Machine(0)
+        m.put("k", 1)
+        m.reset_journal()
+        m.pop("k")
+        m.put("k", 2)
+        written, deleted, _ = m.journal()
+        assert written == {"k"} and deleted == set()
+
+    def test_pop_after_put_moves_to_deleted(self):
+        m = Machine(0)
+        m.put("k", 1)
+        m.pop("k")
+        written, deleted, _ = m.journal()
+        assert written == set() and deleted == {"k"}
+
+    def test_clear_journals_all_deleted(self):
+        m = Machine(0)
+        m.put("a", 1)
+        m.put("b", 2)
+        m.reset_journal()
+        m.clear()
+        written, deleted, _ = m.journal()
+        assert written == set() and deleted == {"a", "b"}
+
+    def test_take_inbox_marks_dirty_only_when_nonempty(self):
+        m = Machine(0)
+        m.take_inbox()
+        assert not m.journal()[2]
+        m.inbox.append(Message(1, 0, "t", 3))
+        m.take_inbox()
+        assert m.journal()[2]
+
+    def test_take_inbox_by_absent_tag_stays_clean(self):
+        m = Machine(0)
+        m.inbox.append(Message(1, 0, "t", 3))
+        m.take_inbox(tag="other")
+        assert not m.journal()[2]
+
+    def test_reset_keeps_values(self):
+        m = Machine(0)
+        m.put("k", 7)
+        m.reset_journal()
+        assert m.journal_is_empty()
+        assert m.get("k") == 7
+
+    def test_merge_journal_maintains_one_set_invariant(self):
+        m = Machine(0)
+        m.put("a", 1)
+        m.merge_journal(["b"], ["a"], inbox_dirty=True)
+        written, deleted, inbox = m.journal()
+        assert written == {"b"} and deleted == {"a"} and inbox
+
+    def test_pickle_roundtrip_resets_journal(self):
+        m = Machine(3)
+        m.put("k", np.arange(4))
+        m.inbox.append(Message(1, 3, "t", 2))
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.journal_is_empty()
+        assert clone.machine_id == 3
+        np.testing.assert_array_equal(clone.get("k"), np.arange(4))
+        assert len(clone.inbox) == 1
 
 
 class TestMessage:

@@ -96,12 +96,32 @@ class TestBallEquivalence:
 
 
 class TestHybridEquivalence:
-    @settings(deadline=None, max_examples=25)
-    @given(cloud(max_n=25), st.sampled_from(["1", "2", "d"]), st.integers(0, 10_000))
-    def test_batch_matches_scalar_for_r_extremes(self, pts, r_kind, seed):
-        """assign_batch == assign_scalar for r in {1, 2, d} on one draw."""
+    @settings(deadline=None, max_examples=40)
+    @given(cloud(max_n=25, max_k=8), st.data())
+    def test_batch_matches_scalar_for_any_r(self, pts, data):
+        """assign_batch == assign_scalar for arbitrary r in [1, d].
+
+        Interior bucket counts exercise the padded last-bucket path
+        (``d`` not divisible by ``r``) that the old {1, 2, d} sweep
+        never hit.
+        """
         d = pts.shape[1]
-        r = {"1": 1, "2": min(2, d), "d": d}[r_kind]
+        r = data.draw(st.integers(1, d), label="r")
+        w = 3.0
+        shifts = hy.hybrid_shifts(pts.shape[0], d, w, r, num_grids=8, seed=7)
+        assert np.array_equal(
+            hy.assign_batch(pts, w, r, shifts=shifts),
+            hy.assign_scalar(pts, w, r, shifts=shifts),
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(cloud(max_n=25), st.sampled_from(["1", "d"]), st.integers(0, 10_000))
+    def test_batch_matches_scalar_for_r_endpoints(self, pts, r_kind, seed):
+        """Regression pin: the r=1 (pure ball) and r=d (pure grid)
+        endpoints stay exact — the degenerate shapes most likely to break
+        under refactors of the bucket-padding logic."""
+        d = pts.shape[1]
+        r = {"1": 1, "d": d}[r_kind]
         w = 3.0
         shifts = hy.hybrid_shifts(pts.shape[0], d, w, r, num_grids=8, seed=seed)
         assert np.array_equal(

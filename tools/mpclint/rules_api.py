@@ -2,8 +2,10 @@
 
 MPC005 keeps the declared surface honest: every name a package lists in
 ``__all__`` must actually be bound in its ``__init__``, and every public
-``mpc_*`` entry point must accept ``executor=`` (the PR-2 contract that
-lets callers choose serial/thread/process scheduling everywhere).
+``mpc_*`` entry point must accept ``executor=`` or ``config=`` (the
+PR-2 contract that lets callers choose serial/thread/process scheduling
+everywhere; a ``config: SimulationConfig`` parameter satisfies it since
+the bundle carries the executor axis).
 
 MPC008 keeps ``docs/API.md`` honest: under a ``## `repro.xyz```
 section heading, the leading code span of each bullet / table row names
@@ -37,7 +39,7 @@ class ExportIntegrityRule(Rule):
     fix_hint = (
         "bind (import or define) every name listed in __all__, and give "
         "mpc_* entry points an `executor: ExecutorLike = None` parameter "
-        "threaded to the Cluster"
+        "(or a `config: SimulationConfig` bundle) threaded to the Cluster"
     )
 
     def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
@@ -66,12 +68,17 @@ class ExportIntegrityRule(Rule):
                         + list(node.args.kwonlyargs)
                     )
                 }
-                if "executor" not in params and node.args.kwarg is None:
+                if (
+                    "executor" not in params
+                    and "config" not in params
+                    and node.args.kwarg is None
+                ):
                     yield self.violation(
                         module,
                         node,
-                        f"MPC entry point {node.name!r} does not accept "
-                        "executor= — callers cannot choose the round executor",
+                        f"MPC entry point {node.name!r} accepts neither "
+                        "executor= nor config= — callers cannot choose the "
+                        "round executor",
                     )
 
 
