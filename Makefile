@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-smoke fault-smoke examples figure1 all clean
+.PHONY: install test lint bench bench-smoke fault-smoke metrics examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -52,6 +52,17 @@ FAULT_SEED ?= 11
 fault-smoke:
 	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor serial --faults $(FAULT_SEED) --delta-shipping $(DELTA)
 
+# Observability pipeline (docs/OBSERVABILITY.md): run every suite's MPC
+# arm through the budget/metrics path — probe the peak load, attach a
+# tight CommBudget, assert adapt mode is bit-identical to report mode
+# with every delivery wave <= budget — writing METRICS_<suite>.jsonl
+# into .bench_metrics/, then validate the JSONL against METRICS_SCHEMA
+# and render the round-by-round SVG charts next to them.
+METRICS_N ?= 1000
+metrics:
+	PYTHONPATH=src python benchmarks/harness.py --n $(METRICS_N) --metrics on --executor $(EXECUTOR) --delta-shipping off --out-dir .bench_metrics
+	PYTHONPATH=src python benchmarks/plot_metrics.py --dir .bench_metrics --check
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; \
 	echo "all examples ran"
@@ -62,5 +73,5 @@ figure1:
 all: lint test bench
 
 clean:
-	rm -rf build src/repro.egg-info .pytest_cache .benchmarks
+	rm -rf build src/repro.egg-info .pytest_cache .benchmarks .bench_smoke .bench_metrics
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -34,6 +34,7 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py --smoke          # n <= 256
     PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression
     PYTHONPATH=src python benchmarks/harness.py --smoke --faults 11
+    PYTHONPATH=src python benchmarks/harness.py --metrics on
     PYTHONPATH=src python benchmarks/harness.py --update-baseline
 
 ``--faults SEED`` additionally runs each suite's MPC arm under a seeded
@@ -49,6 +50,18 @@ shipping (``SimulationConfig(delta_shipping=True)``) — asserts the
 result fingerprint and model-level accounting are bit-identical between
 the modes, and records the measured coordinator<->worker IPC volume of
 both as the ``ipc_bytes`` block (see docs/MPC_MODEL.md).
+
+``--metrics on`` additionally runs each suite's MPC arm through the
+budget/observability pipeline (see docs/OBSERVABILITY.md): a metrics-on
+probe run learns the natural peak per-machine load, a deliberately
+tight :class:`~repro.mpc.CommBudget` (60% of that peak) is attached in
+``report`` mode as the bit-identity base, and the same budget runs in
+``adapt`` mode under every requested executor — asserting the result
+fingerprint and model-level accounting match the base and that **no
+delivery wave exceeds the budget**.  The adapt run's per-round
+:class:`~repro.mpc.MetricsLog` is written as ``METRICS_<suite>.jsonl``
+next to the ``BENCH_<suite>.json`` entry (render it with
+``benchmarks/plot_metrics.py``; ``make metrics`` does both).
 
 ``--check-regression`` exits non-zero when a batch path's calibrated
 wall-clock regressed by more than ``--tolerance`` (default 25%) against
@@ -270,6 +283,131 @@ def measure_delta_shipping(run_arm: Callable[[bool], tuple]) -> Dict:
     }
 
 
+def measure_metrics(run_arm: Callable[..., tuple], executors: List[str],
+                    out_path: pathlib.Path) -> Dict:
+    """Budgeted observability arm: probe, then adapt under every executor.
+
+    ``run_arm(config)`` must run the arm on a fresh cluster under the
+    given :class:`~repro.mpc.SimulationConfig` and return
+    ``(fingerprint, cluster)`` where ``fingerprint`` digests the result.
+    Three phases:
+
+    1. **probe** — metrics on, no budget: learn the natural peak
+       per-machine load and the largest single message.  Because
+       attaching a budget tightens ``default_fanout`` and thereby
+       reshapes the round structure, a *calibration* report-mode run at
+       60% of the probe peak then measures the peak load that remains
+       once the fan-out trees have adapted — the fan-out-independent
+       (all-to-all) rounds — and the final budget is set to 60% of
+       *that* (never below the largest single message, so no delivery
+       is atomic-oversize);
+    2. **report base** — the final budget attached in ``report`` mode.
+       This — not the unbudgeted probe — is the bit-identity reference;
+    3. **adapt** — the same budget in ``adapt`` mode under every
+       requested executor, asserting the result fingerprint and
+       :meth:`CostReport.core_dict` match the report base and that no
+       delivery wave's per-machine send/receive exceeds the budget (the
+       Theorem 1/3 visualization contract of docs/OBSERVABILITY.md).
+
+    The first executor's adapt-mode :class:`~repro.mpc.MetricsLog` is
+    written to ``out_path`` as JSON lines for
+    ``benchmarks/plot_metrics.py``; the returned ``metrics`` block
+    records the budget, wave counters, and adapt-vs-report overhead.
+    """
+    from repro.mpc import CommBudget, SimulationConfig
+
+    def timed(config):
+        t0 = time.perf_counter()
+        fingerprint, cluster = run_arm(config)
+        return fingerprint, cluster, time.perf_counter() - t0
+
+    def load_shape(log):
+        peak = max(max(m.max_sent, m.max_received) for m in log)
+        biggest = max(m.max_message_words for m in log)
+        return peak, biggest
+
+    _, probe_cluster, probe_seconds = timed(SimulationConfig(metrics=True))
+    probe = probe_cluster.metrics
+    assert probe is not None and len(probe) > 0, "probe run recorded no rounds"
+    peak, biggest = load_shape(probe)
+    budget = max(1, biggest, (peak * 3) // 5)
+
+    # Calibration: measure the peak that survives fan-out reshaping, then
+    # tighten the budget below it so adapt mode has rounds to split.  A
+    # couple of passes suffice; the largest-message floor guarantees
+    # progress stops (budget can never drop below one atomic delivery).
+    for _ in range(2):
+        _, cal_cluster, _ = timed(SimulationConfig(
+            metrics=True, comm_budget=CommBudget(words=budget, mode="report"),
+        ))
+        cal_peak, cal_biggest = load_shape(cal_cluster.metrics)
+        tightened = max(1, cal_biggest, (cal_peak * 3) // 5)
+        if tightened == budget:
+            break
+        budget = tightened
+
+    base_fp, base_cluster, report_seconds = timed(SimulationConfig(
+        metrics=True, comm_budget=CommBudget(words=budget, mode="report"),
+    ))
+    base_core = base_cluster.report().core_dict()
+    _, base_biggest = load_shape(base_cluster.metrics)
+    assert base_biggest <= budget, (
+        f"budget calibration left an atomic {base_biggest}-word message "
+        f"above the {budget}-word budget"
+    )
+
+    adapt_seconds: Dict[str, float] = {}
+    adapt_runs: Dict[str, tuple] = {}
+    for name in executors:
+        fp, cluster, secs = timed(SimulationConfig(
+            executor=name, metrics=True,
+            comm_budget=CommBudget(words=budget, mode="adapt"),
+        ))
+        assert fp == base_fp, (
+            f"adapt-mode run under {name!r} changed the embedding result — "
+            "delivery-wave splitting must be invisible to the computation"
+        )
+        assert cluster.report().core_dict() == base_core, (
+            f"adapt-mode run under {name!r} changed the model-level "
+            "accounting relative to the report-mode base"
+        )
+        log = cluster.metrics
+        over = [m.round_index for m in log
+                if max(m.max_wave_sent, m.max_wave_recv) > budget]
+        assert not over, (
+            f"adapt mode exceeded the {budget}-word budget in rounds "
+            f"{over} under {name!r}"
+        )
+        adapt_seconds[name] = secs
+        adapt_runs[name] = (log, cluster.report())
+
+    log, report = adapt_runs[executors[0]]
+    log.to_jsonl(out_path)
+    return {
+        "metrics": {
+            "jsonl": out_path.name,
+            "executor": executors[0],
+            "budget_words": budget,
+            "probe_peak_machine_load": peak,
+            "probe_max_message_words": biggest,
+            "rounds": len(log),
+            "budget_counters": report.budget_dict(),
+            "max_wave_load": max(
+                max(m.max_wave_sent, m.max_wave_recv) for m in log
+            ),
+            "rounds_split": sum(1 for m in log if m.budget_action == "split"),
+            "probe_seconds": probe_seconds,
+            "report_mode_seconds": report_seconds,
+            "adapt_seconds": adapt_seconds,
+            "adapt_overhead_ratio": (
+                adapt_seconds[executors[0]] / max(report_seconds, 1e-12)
+            ),
+            "bit_identical": True,
+            "summary": log.summary(),
+        }
+    }
+
+
 def scalar_estimate(measure: Callable[[int], float], n: int,
                     scalar_cap: int) -> Dict:
     """Extrapolate a scalar arm to ``n`` points from two capped runs.
@@ -316,7 +454,8 @@ def scalar_estimate(measure: Callable[[int], float], n: int,
 def suite_partition(n: int, d: int, *, scalar_cap: int,
                     executors: List[str],
                     fault_seed: Optional[int] = None,
-                    delta_shipping: bool = False) -> Dict:
+                    delta_shipping: bool = False,
+                    metrics_out: Optional[pathlib.Path] = None) -> Dict:
     """Hybrid / ball / grid: batch kernels vs per-point references."""
     import repro.partition.hybrid as hy
     from repro.core.mpc_embedding import mpc_tree_embedding
@@ -392,6 +531,15 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
             return result_fingerprint(result.tree.label_matrix), result.report
 
         mpc.update(measure_delta_shipping(run_delta_arm))
+    if metrics_out is not None:
+        def run_metrics_arm(cfg):
+            result = mpc_tree_embedding(
+                points[:n_mpc, : min(d, 8)], seed=SEED + 4,
+                on_uncovered="singleton", config=cfg,
+            )
+            return result_fingerprint(result.tree.label_matrix), result.cluster
+
+        mpc.update(measure_metrics(run_metrics_arm, executors, metrics_out))
 
     return {
         "config": {"n": n, "d": d, "w": w, "r": r, "num_grids": num_grids,
@@ -417,7 +565,8 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
 def suite_fjlt(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
                fault_seed: Optional[int] = None,
-               delta_shipping: bool = False) -> Dict:
+               delta_shipping: bool = False,
+               metrics_out: Optional[pathlib.Path] = None) -> Dict:
     """Batched FJLT vs row-at-a-time application."""
     from repro.jl.fjlt import FJLT
     from repro.jl.mpc_fjlt import mpc_fjlt
@@ -467,6 +616,14 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
             return result_fingerprint(embedded), cluster.report()
 
         mpc.update(measure_delta_shipping(run_delta_arm))
+    if metrics_out is not None:
+        def run_metrics_arm(cfg):
+            embedded, cluster = mpc_fjlt(
+                points[:n_mpc], xi=0.3, seed=SEED + 2, config=cfg,
+            )
+            return result_fingerprint(embedded), cluster
+
+        mpc.update(measure_metrics(run_metrics_arm, executors, metrics_out))
 
     return {
         "config": {"n": n, "d": d, "k": transform.k, "q": transform.q,
@@ -486,7 +643,8 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
 def suite_tree(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
                fault_seed: Optional[int] = None,
-               delta_shipping: bool = False) -> Dict:
+               delta_shipping: bool = False,
+               metrics_out: Optional[pathlib.Path] = None) -> Dict:
     """Level-wise HST construction vs per-level/per-node references."""
     from repro.core.mpc_embedding import mpc_tree_embedding
     from repro.partition.base import FlatPartition
@@ -559,6 +717,14 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
             return result_fingerprint(result.tree.label_matrix), result.report
 
         mpc.update(measure_delta_shipping(run_delta_arm))
+    if metrics_out is not None:
+        def run_metrics_arm(cfg):
+            result = mpc_tree_embedding(
+                pts, seed=SEED + 3, on_uncovered="singleton", config=cfg,
+            )
+            return result_fingerprint(result.tree.label_matrix), result.cluster
+
+        mpc.update(measure_metrics(run_metrics_arm, executors, metrics_out))
 
     return {
         "config": {"n": n, "d": d, "num_levels": num_levels,
@@ -635,10 +801,16 @@ def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
               calibration: float, tolerance: float, smoke: bool,
               executors: List[str],
               fault_seed: Optional[int] = None,
-              delta_shipping: bool = False) -> Dict:
+              delta_shipping: bool = False,
+              metrics_dir: Optional[pathlib.Path] = None) -> Dict:
+    metrics_out = (
+        metrics_dir / f"METRICS_{suite}.jsonl"
+        if metrics_dir is not None else None
+    )
     result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors,
                            fault_seed=fault_seed,
-                           delta_shipping=delta_shipping)
+                           delta_shipping=delta_shipping,
+                           metrics_out=metrics_out)
     entry = {
         "experiment": suite,
         "schema_version": 1,
@@ -697,6 +869,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "asserts the two are bit-identical (result "
                              "fingerprint + model accounting), and records "
                              "the measured IPC volume as an ipc_bytes block")
+    parser.add_argument("--metrics", choices=["on", "off"], default="off",
+                        help="'on' also runs each MPC arm through the budget/"
+                             "observability pipeline: probe peak load, attach "
+                             "a tight CommBudget, assert adapt mode stays "
+                             "bit-identical to report mode under every "
+                             "executor with every delivery wave <= budget, "
+                             "and write METRICS_<suite>.jsonl beside the "
+                             "BENCH json (see docs/OBSERVABILITY.md)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny inputs (n<=256) for CI; implies scalar-cap 256")
     parser.add_argument("--out-dir", type=pathlib.Path, default=None,
@@ -749,6 +929,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             executors=executors,
             fault_seed=args.faults,
             delta_shipping=args.delta_shipping == "on",
+            metrics_dir=args.out_dir if args.metrics == "on" else None,
         )
         if (args.check_regression
                 and entry["baseline_comparison"]["status"] == "regression"):
@@ -766,6 +947,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 executors=executors,
                 fault_seed=args.faults,
                 delta_shipping=args.delta_shipping == "on",
+                metrics_dir=args.out_dir if args.metrics == "on" else None,
             )
         entry["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
 
@@ -797,6 +979,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"full={ipc['full']['ipc_bytes_returned']} "
                   f"delta={ipc['delta']['ipc_bytes_returned']} "
                   f"(-{ipc['returned_bytes_reduction']:.1%}, bit-identical)")
+        metrics = entry.get("metrics")
+        if metrics:
+            counters = metrics["budget_counters"]
+            print(f"    metrics: budget={metrics['budget_words']} words "
+                  f"(probe peak {metrics['probe_peak_machine_load']}), "
+                  f"waves={counters['comm_waves']} "
+                  f"across {metrics['rounds']} rounds "
+                  f"({metrics['rounds_split']} split), "
+                  f"max wave load={metrics['max_wave_load']}, "
+                  f"adapt overhead={metrics['adapt_overhead_ratio']:.2f}x, "
+                  f"bit-identical -> {metrics['jsonl']}")
         linearity = entry.get("scalar_linearity", {})
         if linearity.get("warning"):
             print(f"    WARNING: {linearity['warning']}")

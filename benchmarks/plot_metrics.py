@@ -1,0 +1,239 @@
+"""Render METRICS_<suite>.jsonl time series as self-contained SVG charts.
+
+Companion to ``benchmarks/harness.py --metrics on`` (see
+docs/OBSERVABILITY.md): each input file is one per-round
+:class:`~repro.mpc.metrics.MetricsLog` serialized as JSON lines, and
+each output SVG stacks four panels over the round axis —
+
+1. **communication**: total words exchanged, the peak per-machine load,
+   the peak per-*wave* load, and the budget as a dashed horizontal line
+   (the picture of the Theorem 1/3 ``O((nd)^eps)`` load bound being
+   respected round by round);
+2. **imbalance**: max/mean per-machine traffic ratio;
+3. **memory**: per-round max resident words and the running high-water;
+4. **wall-clock**: executor seconds per round.
+
+No third-party plotting dependency: the SVG is emitted directly, so the
+charts render in any browser or Markdown viewer straight from the repo.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/plot_metrics.py .bench_metrics/METRICS_tree.jsonl
+    PYTHONPATH=src python benchmarks/plot_metrics.py --dir .bench_metrics
+    PYTHONPATH=src python benchmarks/plot_metrics.py --dir .bench_metrics --check
+
+``--check`` is the CI gate: every line must validate against
+:data:`~repro.mpc.metrics.METRICS_SCHEMA`, and in adapt-mode logs every
+round's peak wave load must sit at or below the budget line.  Exits
+non-zero (before writing any SVG) when either fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.mpc.metrics import MetricsLog, RoundMetrics
+
+# -- chart geometry ---------------------------------------------------------
+
+PANEL_WIDTH = 760
+PANEL_HEIGHT = 130
+MARGIN_LEFT = 86
+MARGIN_RIGHT = 16
+PANEL_GAP = 34
+TOP = 42
+FONT_FAMILY = "font-family='Menlo, Consolas, monospace'"
+FONT = f"{FONT_FAMILY} font-size='11'"
+
+Series = Tuple[str, str, bool, Callable[[RoundMetrics], float]]
+
+#: Per-panel series: (legend, color, dashed, extractor).
+PANELS: "List[tuple[str, List[Series]]]" = [
+    (
+        "communication (words)",
+        [
+            ("total comm", "#4878cf", False, lambda m: m.comm_words),
+            ("peak machine load", "#d65f5f", False,
+             lambda m: max(m.max_sent, m.max_received)),
+            ("peak wave load", "#6acc65", False,
+             lambda m: max(m.max_wave_sent, m.max_wave_recv)),
+            ("budget", "#333333", True,
+             lambda m: float(m.budget_words) if m.budget_words else 0.0),
+        ],
+    ),
+    (
+        "imbalance (max/mean traffic)",
+        [("imbalance", "#956cb4", False, lambda m: m.imbalance)],
+    ),
+    (
+        "memory (words)",
+        [
+            ("max resident", "#d5bb67", False, lambda m: m.max_resident_words),
+            ("high-water", "#8c613c", False, lambda m: m.memory_high_water),
+        ],
+    ),
+    (
+        "wall-clock (seconds)",
+        [("round seconds", "#82c6e2", False, lambda m: m.wall_clock_seconds)],
+    ),
+]
+
+
+def _scale(values: Sequence[float], lo: float, hi: float,
+           out_lo: float, out_hi: float) -> List[float]:
+    span = hi - lo
+    if span <= 0:
+        return [(out_lo + out_hi) / 2.0 for _ in values]
+    return [out_lo + (v - lo) / span * (out_hi - out_lo) for v in values]
+
+
+def _fmt(value: float) -> str:
+    if value >= 10_000:
+        return f"{value:.3g}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _polyline(xs: Sequence[float], ys: Sequence[float], color: str,
+              dashed: bool) -> str:
+    pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    dash = " stroke-dasharray='7,4'" if dashed else ""
+    line = (f"<polyline points='{pts}' fill='none' stroke='{color}' "
+            f"stroke-width='1.6'{dash}/>")
+    if len(xs) == 1 and not dashed:
+        line += (f"<circle cx='{xs[0]:.1f}' cy='{ys[0]:.1f}' r='2.5' "
+                 f"fill='{color}'/>")
+    return line
+
+
+def render_svg(log: MetricsLog, title: str) -> str:
+    """One stacked-panel SVG document for a metrics log."""
+    rounds = log.rounds
+    n = len(rounds)
+    xs = _scale(list(range(n)), -0.5, max(n - 0.5, 0.5),
+                MARGIN_LEFT, MARGIN_LEFT + PANEL_WIDTH)
+    height = TOP + len(PANELS) * (PANEL_HEIGHT + PANEL_GAP)
+    width = MARGIN_LEFT + PANEL_WIDTH + MARGIN_RIGHT
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>",
+        f"<rect width='{width}' height='{height}' fill='white'/>",
+        f"<text x='{MARGIN_LEFT}' y='22' {FONT_FAMILY} font-size='14'>{title}"
+        f" — {n} rounds</text>",
+    ]
+    for i, (panel_title, series) in enumerate(PANELS):
+        y0 = TOP + i * (PANEL_HEIGHT + PANEL_GAP)
+        y1 = y0 + PANEL_HEIGHT
+        values = [[fn(m) for m in rounds] for (_, _, _, fn) in series]
+        hi = max((max(v) for v in values if v), default=1.0)
+        hi = hi if hi > 0 else 1.0
+        parts.append(
+            f"<rect x='{MARGIN_LEFT}' y='{y0}' width='{PANEL_WIDTH}' "
+            f"height='{PANEL_HEIGHT}' fill='#fafafa' stroke='#cccccc'/>"
+        )
+        parts.append(
+            f"<text x='{MARGIN_LEFT}' y='{y0 - 6}' {FONT}>{panel_title}</text>"
+        )
+        parts.append(
+            f"<text x='{MARGIN_LEFT - 6}' y='{y0 + 11}' {FONT} "
+            f"text-anchor='end'>{_fmt(hi)}</text>"
+        )
+        parts.append(
+            f"<text x='{MARGIN_LEFT - 6}' y='{y1}' {FONT} "
+            f"text-anchor='end'>0</text>"
+        )
+        legend_x = MARGIN_LEFT + 8
+        for (name, color, dashed, _), vals in zip(series, values):
+            if dashed and not any(vals):
+                continue  # no budget attached: skip the zero budget line
+            ys = _scale(vals, 0.0, hi, y1 - 4, y0 + 4)
+            parts.append(_polyline(xs, ys, color, dashed))
+            parts.append(
+                f"<text x='{legend_x}' y='{y1 + 14}' {FONT} "
+                f"fill='{color}'>— {name}</text>"
+            )
+            legend_x += 9 * len(name) + 40
+    axis_y = TOP + len(PANELS) * (PANEL_HEIGHT + PANEL_GAP) - PANEL_GAP + 28
+    parts.append(
+        f"<text x='{MARGIN_LEFT}' y='{axis_y}' {FONT}>round 0 .. {n - 1}"
+        f"</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def check_log(log: MetricsLog, name: str) -> List[str]:
+    """The CI assertions: schema already validated on load; budget next.
+
+    Returns a list of failure messages (empty = pass).  In adapt-mode
+    logs every round's peak per-wave load must be at or below the
+    budget — the harness's acceptance criterion, re-checked here from
+    the serialized artifact rather than trusted from the producer.
+    """
+    failures: List[str] = []
+    for m in log:
+        if m.budget_mode != "adapt" or m.budget_words is None:
+            continue
+        wave_load = max(m.max_wave_sent, m.max_wave_recv)
+        if wave_load > m.budget_words:
+            failures.append(
+                f"{name}: round {m.round_index} [{m.label}] peak wave load "
+                f"{wave_load} exceeds the {m.budget_words}-word budget"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="METRICS_<suite>.jsonl files to render")
+    parser.add_argument("--dir", type=pathlib.Path, default=None,
+                        help="render every METRICS_*.jsonl in this directory")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="where SVGs go (default: next to each input)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate schema + adapt-mode budget compliance; "
+                             "exit 1 on any failure")
+    args = parser.parse_args(argv)
+
+    files = list(args.files)
+    if args.dir is not None:
+        files.extend(sorted(args.dir.glob("METRICS_*.jsonl")))
+    if not files:
+        parser.error("no input files (pass paths or --dir)")
+
+    failures: List[str] = []
+    for path in files:
+        try:
+            log = MetricsLog.from_jsonl(path)  # validates every line
+        except (OSError, ValueError) as exc:
+            failures.append(f"{path}: {exc}")
+            continue
+        if not len(log):
+            failures.append(f"{path}: empty metrics log")
+            continue
+        failures.extend(check_log(log, str(path)))
+        summary = log.summary()
+        print(f"{path}: {summary['rounds']} rounds, "
+              f"peak wave load {summary['peak_wave_load']}, "
+              f"{summary['total_waves']} waves"
+              + (" [check]" if args.check else ""))
+        out_dir = args.out if args.out is not None else path.parent
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out = out_dir / (path.stem + ".svg")
+        out.write_text(render_svg(log, path.stem), encoding="utf-8")
+        print(f"  -> {out}")
+
+    if failures:
+        for f in failures:
+            print(f"CHECK FAILED: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

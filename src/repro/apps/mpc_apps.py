@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.tree.hst import HSTree
@@ -47,26 +48,32 @@ def _embedding_cluster(
     tree: HSTree,
     *,
     eps: float = 0.6,
-    memory_slack: float = 8.0,
     points: Optional[np.ndarray] = None,
     executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> Cluster:
     """Stand up a cluster holding the distributed tree representation.
 
     Machine i receives the label-path columns (and optionally the
     coordinates) of its shard of points — the state Algorithm 2's
     machines end with, re-created here so the application algorithms can
-    be used standalone.
+    be used standalone.  ``config`` carries the full simulator knob set
+    (executor, faults, budget, metrics, ...); the legacy ``eps`` /
+    ``executor`` kwargs fold in through :func:`resolve_config` exactly
+    like the other ``mpc_*`` entry points.
     """
+    cfg = resolve_config(config, eps=eps, executor=executor)
     n = tree.n
     levels = tree.num_levels
     d = points.shape[1] if points is not None else 1
     per_point = levels + d + 4
-    base_local = fully_scalable_local_memory(n, max(d, levels), eps, slack=memory_slack)
+    base_local = fully_scalable_local_memory(
+        n, max(d, levels), cfg.eps, slack=cfg.memory_slack
+    )
     machines = machines_for(n * per_point, base_local)
     shard_rows = -(-n // machines)
     local = max(base_local, int(3.0 * shard_rows * per_point) + 4096)
-    cluster = Cluster(machines, local, strict=True, executor=executor)
+    cluster = Cluster.from_config(machines, local, cfg)
 
     from repro.mpc.primitives import shard_bounds
 
@@ -193,11 +200,14 @@ def mpc_tree_mst(
     *,
     eps: float = 0.6,
     executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> MPCMSTResult:
     """Corollary 1(2): extract the spanning tree in O(1) MPC rounds."""
     pts = check_points(points)
     require(pts.shape[0] == tree.n, "points/tree size mismatch")
-    cluster = _embedding_cluster(tree, eps=eps, points=pts, executor=executor)
+    cluster = _embedding_cluster(
+        tree, eps=eps, points=pts, executor=executor, config=config
+    )
     levels = tree.num_levels
 
     cluster.round(
@@ -278,6 +288,7 @@ def mpc_tree_emd(
     demands: Optional[np.ndarray] = None,
     eps: float = 0.6,
     executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> MPCEMDResult:
     """Corollary 1(3): tree-metric EMD in O(1) MPC rounds.
 
@@ -299,7 +310,7 @@ def mpc_tree_emd(
             <= 1e-6 * max(1.0, float(np.abs(demands).sum())),
             "demands must balance (sum to zero)",
         )
-    cluster = _embedding_cluster(tree, eps=eps, executor=executor)
+    cluster = _embedding_cluster(tree, eps=eps, executor=executor, config=config)
     levels = tree.num_levels
     weights = tree.level_weights
 
@@ -372,6 +383,7 @@ def mpc_densest_ball(
     scale_factor: float = 2.0,
     eps: float = 0.6,
     executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> MPCDensestBallResult:
     """Corollary 1(1): bicriteria densest ball in O(1) MPC rounds."""
     check_positive("target_diameter", target_diameter)
@@ -385,7 +397,7 @@ def mpc_densest_ball(
             count=tree.n, cluster_key=0, level=0, report=report
         )
 
-    cluster = _embedding_cluster(tree, eps=eps, executor=executor)
+    cluster = _embedding_cluster(tree, eps=eps, executor=executor, config=config)
 
     cluster.round(
         partial(_ball_local_counts_step, level=level), label="ball-local-counts"

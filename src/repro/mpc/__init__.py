@@ -39,6 +39,13 @@ substrate:
   shipping (``delta_shipping=True``) makes the process executor return
   only the keys each step touched; measured IPC/checkpoint volume is
   reported via ``CostReport.transport_dict()``.
+* :mod:`~repro.mpc.budget` / :mod:`~repro.mpc.metrics` — per-round
+  communication budgets (``comm_budget=CommBudget(words, mode)`` with
+  ``report``/``enforce``/``adapt`` policies; adapt splits over-budget
+  rounds into budget-sized delivery waves bit-identically) and the
+  per-round observability time series (``metrics=True`` attaches a
+  ``MetricsLog``; serialize with ``to_jsonl`` for
+  ``benchmarks/plot_metrics.py``).  See docs/OBSERVABILITY.md.
 
 The *semantics* (what information is where after how many rounds, under
 which memory budget) are exactly those of the model regardless of
@@ -48,6 +55,14 @@ parallelism.
 """
 
 from repro.mpc.accounting import CostReport, FaultRecord, fully_scalable_local_memory
+from repro.mpc.budget import (
+    BUDGET_MODES,
+    BudgetRecord,
+    CommBudget,
+    PeakHoldEstimator,
+    WavePlan,
+    plan_delivery_waves,
+)
 from repro.mpc.checkpoint import (
     CheckpointManager,
     CheckpointPolicy,
@@ -58,6 +73,7 @@ from repro.mpc.checkpoint import (
 from repro.mpc.cluster import Cluster, RoundContext
 from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.errors import (
+    CommBudgetExceeded,
     CommunicationOverflow,
     ExecutorStepError,
     LocalMemoryExceeded,
@@ -79,6 +95,13 @@ from repro.mpc.executor import (
 from repro.mpc.faults import FAULT_KINDS, FaultEvent, FaultPlan, RecoveryPolicy
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
+from repro.mpc.metrics import (
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    MetricsLog,
+    RoundMetrics,
+    validate_metrics_dict,
+)
 
 __all__ = [
     "Cluster",
@@ -114,4 +137,16 @@ __all__ = [
     "MachineDelta",
     "SimulationConfig",
     "resolve_config",
+    "BUDGET_MODES",
+    "BudgetRecord",
+    "CommBudget",
+    "CommBudgetExceeded",
+    "PeakHoldEstimator",
+    "WavePlan",
+    "plan_delivery_waves",
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsLog",
+    "RoundMetrics",
+    "validate_metrics_dict",
 ]

@@ -14,8 +14,11 @@ recorded here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mpc.budget import BudgetRecord
 
 
 def fully_scalable_local_memory(
@@ -47,7 +50,17 @@ def machines_for(total_words: int, local_memory: int, *, slack: float = 2.0) -> 
 
 @dataclass
 class RoundRecord:
-    """Per-round communication statistics."""
+    """Per-round communication statistics.
+
+    The first six fields are model-level and executor-independent.
+    ``max_resident_words`` (post-delivery peak resident storage across
+    machines) is model-level too.  The wave and wall-clock fields are
+    budget-layer / physical measurements: ``waves`` is how many physical
+    delivery sub-rounds adapt mode used (1 otherwise), the wave maxima
+    are the per-machine peaks within a single wave, and
+    ``wall_clock_seconds`` is the executor's measured round time — all
+    ``compare=False`` so report equality stays a model-level contract.
+    """
 
     index: int
     label: str
@@ -55,6 +68,11 @@ class RoundRecord:
     comm_words: int
     max_sent: int
     max_received: int
+    max_resident_words: int = 0
+    waves: int = field(default=1, compare=False)
+    max_wave_sent: int = field(default=0, compare=False)
+    max_wave_recv: int = field(default=0, compare=False)
+    wall_clock_seconds: float = field(default=0.0, compare=False)
 
 
 @dataclass
@@ -122,6 +140,22 @@ class CostReport:
     checkpoint_snapshots: int = field(default=0, compare=False)
     checkpoint_deltas: int = field(default=0, compare=False)
     checkpoint_bytes: int = field(default=0, compare=False)
+    # -- communication budget layer (see repro.mpc.budget) ---------------
+    # Budget events follow the fault-layer convention: recorded next to
+    # the model counters, never folded into them.  ``comm_waves`` counts
+    # physical delivery sub-rounds (= rounds with a budget attached,
+    # higher when adapt mode split); ``budget_overruns`` counts
+    # per-machine/direction overruns report mode recorded;
+    # ``budget_splits`` counts rounds adapt mode chunked;
+    # ``oversize_messages`` counts atomic messages larger than the
+    # budget.  All ``compare=False`` and outside ``as_dict``/``core_dict``
+    # — the three budget modes keep model accounting bit-identical, and
+    # only this layer (read via :meth:`budget_dict`) differs.
+    comm_waves: int = field(default=0, compare=False)
+    budget_overruns: int = field(default=0, compare=False)
+    budget_splits: int = field(default=0, compare=False)
+    oversize_messages: int = field(default=0, compare=False)
+    budget_log: List["BudgetRecord"] = field(default_factory=list, compare=False)
 
     @property
     def total_space(self) -> int:
@@ -178,8 +212,34 @@ class CostReport:
             "checkpoint_bytes": self.checkpoint_bytes,
         }
 
+    def budget_dict(self) -> Dict[str, int]:
+        """Communication-budget layer counters (policy-dependent).
+
+        All zero when no :class:`~repro.mpc.budget.CommBudget` is
+        attached.  With one attached, ``comm_waves`` equals ``rounds``
+        in report/enforce mode and exceeds it by the number of extra
+        delivery waves adapt mode inserted.  Excluded from
+        ``as_dict``/``core_dict`` so budget policy never perturbs the
+        model-level bit-identity contract.
+        """
+        return {
+            "comm_waves": self.comm_waves,
+            "budget_overruns": self.budget_overruns,
+            "budget_splits": self.budget_splits,
+            "oversize_messages": self.oversize_messages,
+        }
+
     def merged_with(self, other: "CostReport") -> "CostReport":
-        """Combine two sequential computations (rounds add, peaks max)."""
+        """Combine two sequential computations (rounds add, peaks max).
+
+        Merges every layer: model counters, the per-round series
+        (``round_log``, with the second computation's round indices
+        shifted past the first so the merged series stays monotone), the
+        fault layer, the transport layer, and the budget layer — so a
+        pipeline's combined report (e.g. FJLT + embedding in
+        ``repro.core.pipeline``) is drillable round by round, not just
+        in aggregate.
+        """
         merged = CostReport(
             num_machines=max(self.num_machines, other.num_machines),
             local_memory=max(self.local_memory, other.local_memory),
@@ -194,10 +254,16 @@ class CostReport:
         merged.peak_total_resident_words = max(
             self.peak_total_resident_words, other.peak_total_resident_words
         )
-        merged.round_log = list(self.round_log) + list(other.round_log)
+        shift = self.rounds
+        merged.round_log = list(self.round_log) + [
+            replace(rec, index=rec.index + shift) for rec in other.round_log
+        ]
         merged.faults_injected = self.faults_injected + other.faults_injected
         merged.recovery_replays = self.recovery_replays + other.recovery_replays
-        merged.fault_log = list(self.fault_log) + list(other.fault_log)
+        merged.fault_log = list(self.fault_log) + [
+            replace(rec, round_index=rec.round_index + shift)
+            for rec in other.fault_log
+        ]
         merged.ipc_rounds = self.ipc_rounds + other.ipc_rounds
         merged.ipc_bytes_shipped = self.ipc_bytes_shipped + other.ipc_bytes_shipped
         merged.ipc_bytes_returned = (
@@ -208,4 +274,12 @@ class CostReport:
         )
         merged.checkpoint_deltas = self.checkpoint_deltas + other.checkpoint_deltas
         merged.checkpoint_bytes = self.checkpoint_bytes + other.checkpoint_bytes
+        merged.comm_waves = self.comm_waves + other.comm_waves
+        merged.budget_overruns = self.budget_overruns + other.budget_overruns
+        merged.budget_splits = self.budget_splits + other.budget_splits
+        merged.oversize_messages = self.oversize_messages + other.oversize_messages
+        merged.budget_log = list(self.budget_log) + [
+            replace(rec, round_index=rec.round_index + shift)
+            for rec in other.budget_log
+        ]
         return merged

@@ -1,0 +1,272 @@
+"""Per-round, per-machine communication budgets (report / enforce / adapt).
+
+Theorem 1 and Theorem 3 are *communication* claims: every machine
+touches ``O((nd)^eps)`` words per round.  The cluster has always
+*checked* per-round send/receive volume against local memory; a
+:class:`CommBudget` makes the budget line a first-class, separately
+configurable policy with three modes:
+
+* ``"report"`` — overruns of the budget are recorded in the report's
+  budget log (``CostReport.budget_log`` / ``budget_overruns``) and
+  execution continues.  The model-level local-memory constraint is
+  still enforced exactly as before; the budget is an *additional*
+  (typically tighter) line to measure against.
+* ``"enforce"`` — the first overrun raises
+  :class:`~repro.mpc.errors.CommBudgetExceeded`, carrying the machine,
+  direction, round index, and phase label.
+* ``"adapt"`` — the round's message exchange is split into **delivery
+  waves**: the logical round executes as ``k`` physical sub-rounds,
+  each of which keeps every machine's sent *and* received words within
+  the budget.  A :class:`PeakHoldEstimator` (peak-hold with decay over
+  recent round loads) pre-sizes the wave count so heavy phases chunk
+  proactively.  Results, message delivery order, and all model-level
+  accounting (``CostReport.core_dict()``) are bit-identical to
+  ``"report"`` mode — only the separately-reported wave counters and
+  the budget log differ.
+
+The budget also feeds forward into the primitives: with a budget
+attached, :func:`repro.mpc.primitives.default_fanout` sizes broadcast
+fan-out from the *effective budget* instead of raw local memory, so
+tree broadcast/gather (and the sample sort's splitter broadcast built
+on them) stay under the line by construction rather than by splitting.
+
+A single message larger than the budget cannot be split (payloads are
+atomic); adapt mode gives it a dedicated wave and records an
+``"oversize"`` budget event instead of raising.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.mpc.message import Message
+
+__all__ = [
+    "BUDGET_MODES",
+    "BudgetLike",
+    "BudgetRecord",
+    "CommBudget",
+    "PeakHoldEstimator",
+    "WavePlan",
+    "get_comm_budget",
+    "plan_delivery_waves",
+]
+
+#: The three budget policies, in increasing order of intervention.
+BUDGET_MODES: Tuple[str, ...] = ("report", "enforce", "adapt")
+
+
+@dataclass(frozen=True)
+class CommBudget:
+    """Per-round, per-machine communication budget policy.
+
+    ``words`` is the budget line in model words; ``None`` means "use the
+    cluster's local memory" (the model's own bound, making the policy a
+    pure mode switch).  The effective budget is always capped at local
+    memory — a budget looser than what a machine could store is
+    meaningless.  ``decay`` parameterizes the adapt-mode
+    :class:`PeakHoldEstimator`.
+    """
+
+    words: Optional[int] = None
+    mode: str = "report"
+    decay: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.mode not in BUDGET_MODES:
+            raise ValueError(
+                f"mode must be one of {BUDGET_MODES}, got {self.mode!r}"
+            )
+        if self.words is not None and self.words < 1:
+            raise ValueError(f"words must be >= 1, got {self.words}")
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError(f"decay must lie in [0, 1), got {self.decay}")
+
+    def effective_words(self, local_memory: int) -> int:
+        """The budget line against ``local_memory`` (never above it)."""
+        if self.words is None:
+            return local_memory
+        return min(self.words, local_memory)
+
+
+#: Coercion targets for ``comm_budget=``: ``None`` (no budget), an int
+#: (budget words, report mode), a mode name, or a full ``CommBudget``.
+BudgetLike = Union[None, int, str, CommBudget]
+
+
+def get_comm_budget(spec: BudgetLike) -> Optional[CommBudget]:
+    """Coerce ``spec`` into a :class:`CommBudget` (or ``None``)."""
+    if spec is None:
+        return None
+    if isinstance(spec, CommBudget):
+        return spec
+    if isinstance(spec, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("comm_budget must be None, int, str, or CommBudget")
+    if isinstance(spec, int):
+        return CommBudget(words=spec)
+    if isinstance(spec, str):
+        return CommBudget(mode=spec)
+    raise TypeError(
+        f"comm_budget must be None, int, str, or CommBudget, got {type(spec)}"
+    )
+
+
+@dataclass
+class BudgetRecord:
+    """One budget-layer event, recorded beside the model counters.
+
+    ``action`` is what happened: ``"reported"`` (report mode recorded an
+    overrun and continued), ``"split"`` (adapt mode executed the round's
+    delivery as ``waves`` sub-rounds), or ``"oversize"`` (adapt mode met
+    a single message larger than the budget — atomic, so it got a
+    dedicated wave).  ``machine_id`` is ``None`` for whole-round events
+    (splits); ``direction`` is ``"send"`` / ``"receive"`` for per-machine
+    overruns and ``"round"`` for splits.  Events are appended in a
+    deterministic, executor-independent order.
+    """
+
+    round_index: int
+    label: str
+    machine_id: Optional[int]
+    direction: str
+    words: int
+    budget: int
+    action: str
+    waves: int = 1
+    detail: str = ""
+
+
+class PeakHoldEstimator:
+    """Peak-hold load estimator with exponential decay.
+
+    Tracks the maximum per-machine communication load seen in recent
+    rounds: each observation sets the held peak to
+    ``max(load, decay * peak)``.  The hold means one heavy round keeps
+    the estimate high for the next few rounds (chunking proactively,
+    avoiding repacking churn inside bursty phases); the decay lets the
+    estimate relax once traffic genuinely drops.
+    """
+
+    __slots__ = ("decay", "_peak")
+
+    def __init__(self, decay: float = 0.8) -> None:
+        if not 0.0 <= decay < 1.0:
+            raise ValueError(f"decay must lie in [0, 1), got {decay}")
+        self.decay = decay
+        self._peak = 0.0
+
+    def observe(self, load: int) -> None:
+        """Fold one round's max per-machine load into the held peak."""
+        self._peak = max(float(load), self.decay * self._peak)
+
+    def predict(self) -> int:
+        """The held peak load estimate, in words."""
+        return int(math.ceil(self._peak))
+
+    def wave_hint(self, budget_words: int) -> int:
+        """Suggested delivery-wave count for the next over-budget round."""
+        if budget_words < 1:
+            return 1
+        return max(1, -(-self.predict() // budget_words))
+
+
+@dataclass
+class WavePlan:
+    """Adapt-mode chunking of one round's delivery into budget-sized waves.
+
+    ``wave_of[i]`` is the wave index of the round's ``i``-th message (in
+    original delivery order); ``wave_sent[w][m]`` / ``wave_recv[w][m]``
+    are machine ``m``'s words sent / received in wave ``w``.  The planner
+    preserves per-source and per-destination FIFO order across waves, so
+    delivering wave by wave yields exactly the original inbox order —
+    which is why adapt mode is bit-identical to report mode.
+    """
+
+    wave_of: List[int]
+    wave_sent: List[List[int]]
+    wave_recv: List[List[int]]
+    oversize: List[int] = field(default_factory=list)
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.wave_sent)
+
+    @property
+    def max_wave_sent(self) -> int:
+        return max((max(row) for row in self.wave_sent), default=0)
+
+    @property
+    def max_wave_recv(self) -> int:
+        return max((max(row) for row in self.wave_recv), default=0)
+
+
+def plan_delivery_waves(
+    messages: Sequence[Message],
+    num_machines: int,
+    budget_words: int,
+    *,
+    start_waves: int = 1,
+) -> WavePlan:
+    """Pack one round's messages into delivery waves within the budget.
+
+    Greedy earliest-fit in original delivery order, subject to two
+    constraints per message: (a) its wave's sender and receiver loads
+    stay within ``budget_words``, and (b) FIFO — a message never lands
+    in an earlier wave than a previous message sharing its source *or*
+    its destination, so wave-by-wave delivery reproduces the original
+    per-inbox order exactly.  ``start_waves`` (the estimator's hint)
+    pre-allocates the wave list.  A message larger than the budget is
+    atomic: it gets the first FIFO-legal wave where its sender and
+    receiver are both still idle, and is listed in ``oversize``.
+    """
+    if budget_words < 1:
+        raise ValueError(f"budget_words must be >= 1, got {budget_words}")
+    wave_sent: List[List[int]] = [
+        [0] * num_machines for _ in range(max(1, start_waves))
+    ]
+    wave_recv: List[List[int]] = [[0] * num_machines for _ in wave_sent]
+    last_src = [0] * num_machines
+    last_dest = [0] * num_machines
+    wave_of: List[int] = []
+    oversize: List[int] = []
+
+    def _grow_to(w: int) -> None:
+        while len(wave_sent) <= w:
+            wave_sent.append([0] * num_machines)
+            wave_recv.append([0] * num_machines)
+
+    for i, msg in enumerate(messages):
+        size = msg.size_words
+        w = max(last_src[msg.src], last_dest[msg.dest])
+        _grow_to(w)
+        if size > budget_words:
+            # Atomic oversize payload: a dedicated wave (both endpoints
+            # idle) keeps every *other* machine's wave loads within
+            # budget and isolates the unavoidable overshoot.
+            while wave_sent[w][msg.src] > 0 or wave_recv[w][msg.dest] > 0:
+                w += 1
+                _grow_to(w)
+            oversize.append(i)
+        else:
+            while (
+                wave_sent[w][msg.src] + size > budget_words
+                or wave_recv[w][msg.dest] + size > budget_words
+            ):
+                w += 1
+                _grow_to(w)
+        wave_sent[w][msg.src] += size
+        wave_recv[w][msg.dest] += size
+        last_src[msg.src] = w
+        last_dest[msg.dest] = w
+        wave_of.append(w)
+
+    # Drop trailing waves the hint over-allocated but packing never used.
+    used = (max(wave_of) + 1) if wave_of else 1
+    return WavePlan(
+        wave_of=wave_of,
+        wave_sent=wave_sent[:used],
+        wave_recv=wave_recv[:used],
+        oversize=oversize,
+    )

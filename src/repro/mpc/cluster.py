@@ -38,6 +38,19 @@ recorded in the :class:`~repro.mpc.accounting.CostReport`'s fault log;
 the model-level counters (rounds, words) stay identical to a fault-free
 run.  See docs/RESILIENCE.md for the taxonomy and the determinism
 contract under replay.
+
+**Budgets and observability.**  A cluster built with
+``comm_budget=CommBudget(...)`` enforces a per-round, per-machine
+communication budget — the Theorem 1/3 ``O((nd)^eps)`` line made
+operational.  ``report`` mode records overruns, ``enforce`` raises a
+typed :class:`~repro.mpc.errors.CommBudgetExceeded`, and ``adapt``
+splits an over-budget round's delivery into budget-sized waves
+(physical sub-rounds) while keeping results and model accounting
+bit-identical.  ``metrics=True`` attaches a
+:class:`~repro.mpc.metrics.MetricsLog` capturing a per-round time
+series (per-machine traffic, imbalance, memory high-water, waves vs.
+budget, fault and IPC activity, wall-clock) for the
+``benchmarks/plot_metrics.py`` plots.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -49,6 +62,15 @@ from functools import partial
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.mpc.accounting import CostReport, FaultRecord, RoundRecord
+from repro.mpc.budget import (
+    BudgetLike,
+    BudgetRecord,
+    CommBudget,
+    PeakHoldEstimator,
+    WavePlan,
+    get_comm_budget,
+    plan_delivery_waves,
+)
 from repro.mpc.checkpoint import (
     CheckpointLike,
     ClusterSnapshot,
@@ -59,6 +81,7 @@ from repro.mpc.checkpoint import (
 )
 from repro.mpc.config import SimulationConfig, resolve_config
 from repro.mpc.errors import (
+    CommBudgetExceeded,
     CommunicationOverflow,
     LocalMemoryExceeded,
     RecoveryExhausted,
@@ -82,6 +105,7 @@ from repro.mpc.faults import (
 )
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
+from repro.mpc.metrics import MetricsLike, RoundMetrics, get_metrics_log
 
 __all__ = ["Cluster", "RoundContext", "StepFn"]
 
@@ -139,6 +163,26 @@ class Cluster:
         accounting are bit-identical either way; only the measured
         ``ipc_bytes`` (``report().transport_dict()``) change.  A no-op
         for in-place executors (serial/thread).
+    comm_budget:
+        Optional per-round, per-machine communication budget — a
+        :class:`~repro.mpc.budget.CommBudget`, an int (budget words,
+        report mode), or a mode string (``"report"``/``"enforce"``/
+        ``"adapt"`` at the local-memory line).  ``report`` records
+        overruns in ``report().budget_log``; ``enforce`` raises
+        :class:`~repro.mpc.errors.CommBudgetExceeded` (regardless of
+        ``strict`` — enforce is the budget's own strictness); ``adapt``
+        splits an over-budget round's delivery into budget-sized waves
+        (sub-rounds) sized by a peak-hold load estimator.  At a fixed
+        budget value, all three modes produce bit-identical results and
+        ``core_dict()`` accounting; the budget also feeds
+        :func:`~repro.mpc.primitives.default_fanout`, so *attaching* a
+        budget may legitimately reshape broadcast/gather trees relative
+        to an unbudgeted run.
+    metrics:
+        Per-round observability — ``True`` for a fresh
+        :class:`~repro.mpc.metrics.MetricsLog` (read back via
+        ``cluster.metrics``) or an existing log to append to.  Purely
+        observational: results and accounting are unchanged.
     config:
         A :class:`~repro.mpc.config.SimulationConfig` bundling the
         keyword arguments above (plus the entry-point sizing fields
@@ -159,6 +203,8 @@ class Cluster:
         recovery: RecoveryLike = None,
         checkpoints: CheckpointLike = None,
         delta_shipping: bool = False,
+        comm_budget: BudgetLike = None,
+        metrics: MetricsLike = None,
         config: Optional[SimulationConfig] = None,
     ) -> None:
         if num_machines < 1:
@@ -174,6 +220,8 @@ class Cluster:
             recovery=recovery,
             checkpoints=checkpoints,
             delta_shipping=delta_shipping,
+            comm_budget=comm_budget,
+            metrics=metrics,
         )
         self.num_machines = num_machines
         self.local_memory = local_memory
@@ -189,6 +237,18 @@ class Cluster:
         self.recovery = get_recovery_policy(cfg.recovery)
         self._recovery_active = cfg.faults is not None or cfg.recovery is not None
         self.checkpoints = get_checkpoint_manager(cfg.checkpoints)
+        self.comm_budget: Optional[CommBudget] = get_comm_budget(cfg.comm_budget)
+        self._budget_words: Optional[int] = (
+            self.comm_budget.effective_words(local_memory)
+            if self.comm_budget is not None
+            else None
+        )
+        self._budget_estimator: Optional[PeakHoldEstimator] = (
+            PeakHoldEstimator(self.comm_budget.decay)
+            if self.comm_budget is not None and self.comm_budget.mode == "adapt"
+            else None
+        )
+        self.metrics = get_metrics_log(cfg.metrics)
         self.machines: List[Machine] = [Machine(i) for i in range(num_machines)]
         self._report = CostReport(num_machines=num_machines, local_memory=local_memory)
         self.violations: List[str] = []
@@ -220,6 +280,19 @@ class Cluster:
     def executor_name(self) -> str:
         return self.executor.name
 
+    @property
+    def effective_comm_budget(self) -> int:
+        """Words a machine may send/receive per round (or per wave).
+
+        The budget line the primitives size against: the configured
+        :class:`~repro.mpc.budget.CommBudget` capped at local memory, or
+        local memory itself when no budget is attached (the model's own
+        constraint — the seed behavior).
+        """
+        if self._budget_words is not None:
+            return self._budget_words
+        return self.local_memory
+
     # -- the round engine -------------------------------------------------
 
     def round(
@@ -238,6 +311,11 @@ class Cluster:
         index = self._report.rounds
         if self.round_limit is not None and index >= self.round_limit:
             raise RoundLimitExceeded(index + 1, self.round_limit)
+        round_started = time.perf_counter()
+        faults_before = self._report.faults_injected
+        replays_before = self._report.recovery_replays
+        ipc_shipped_before = self._report.ipc_bytes_shipped
+        ipc_returned_before = self._report.ipc_bytes_returned
 
         ids = (
             list(range(self.num_machines))
@@ -324,17 +402,56 @@ class Cluster:
         for msg in all_messages:
             recv_words[msg.dest] += msg.size_words
 
-        for mid in range(self.num_machines):
-            if sent_words[mid] > self.local_memory:
-                self._violate(
-                    CommunicationOverflow(mid, "send", sent_words[mid], self.local_memory)
-                )
-            if recv_words[mid] > self.local_memory:
-                self._violate(
-                    CommunicationOverflow(
-                        mid, "receive", recv_words[mid], self.local_memory
+        # Budget layer: runs once per *logical* round, after recovery has
+        # settled on the round's final message set — replayed attempts
+        # therefore never double-count budget events.
+        budget_action = ""
+        wave_plan: Optional[WavePlan] = None
+        if self.comm_budget is not None:
+            budget_action, wave_plan = self._apply_budget(
+                index, label, all_messages, sent_words, recv_words
+            )
+
+        if wave_plan is not None:
+            # Adapt mode executed the exchange as budget-sized delivery
+            # waves: the model's communication constraint applies to each
+            # physical sub-round.  Wave loads are within the (<= local
+            # memory) budget by construction, so only atomic oversize
+            # messages can still overflow here.
+            for wave in range(wave_plan.num_waves):
+                for mid in range(self.num_machines):
+                    if wave_plan.wave_sent[wave][mid] > self.local_memory:
+                        self._violate(
+                            CommunicationOverflow(
+                                mid,
+                                "send",
+                                wave_plan.wave_sent[wave][mid],
+                                self.local_memory,
+                            )
+                        )
+                    if wave_plan.wave_recv[wave][mid] > self.local_memory:
+                        self._violate(
+                            CommunicationOverflow(
+                                mid,
+                                "receive",
+                                wave_plan.wave_recv[wave][mid],
+                                self.local_memory,
+                            )
+                        )
+        else:
+            for mid in range(self.num_machines):
+                if sent_words[mid] > self.local_memory:
+                    self._violate(
+                        CommunicationOverflow(
+                            mid, "send", sent_words[mid], self.local_memory
+                        )
                     )
-                )
+                if recv_words[mid] > self.local_memory:
+                    self._violate(
+                        CommunicationOverflow(
+                            mid, "receive", recv_words[mid], self.local_memory
+                        )
+                    )
 
         for msg in all_messages:
             dest = self.machines[msg.dest]
@@ -343,9 +460,11 @@ class Cluster:
 
         # Post-delivery resident-storage check.
         total_resident = 0
+        round_max_resident = 0
         for machine in self.machines:
             resident = machine.storage_words() + machine.inbox_words()
             total_resident += resident
+            round_max_resident = max(round_max_resident, resident)
             self._report.max_local_words = max(self._report.max_local_words, resident)
             if resident > self.local_memory:
                 self._violate(
@@ -358,6 +477,16 @@ class Cluster:
         )
 
         comm = sum(m.size_words for m in all_messages)
+        max_sent = max(sent_words) if sent_words else 0
+        max_received = max(recv_words) if recv_words else 0
+        waves = wave_plan.num_waves if wave_plan is not None else 1
+        max_wave_sent = (
+            wave_plan.max_wave_sent if wave_plan is not None else max_sent
+        )
+        max_wave_recv = (
+            wave_plan.max_wave_recv if wave_plan is not None else max_received
+        )
+        wall_clock = time.perf_counter() - round_started
         self._report.rounds += 1
         self._report.messages += len(all_messages)
         self._report.comm_words += comm
@@ -368,10 +497,65 @@ class Cluster:
                 label=label,
                 messages=len(all_messages),
                 comm_words=comm,
-                max_sent=max(sent_words) if sent_words else 0,
-                max_received=max(recv_words) if recv_words else 0,
+                max_sent=max_sent,
+                max_received=max_received,
+                max_resident_words=round_max_resident,
+                waves=waves,
+                max_wave_sent=max_wave_sent,
+                max_wave_recv=max_wave_recv,
+                wall_clock_seconds=wall_clock,
             )
         )
+
+        if self.metrics is not None:
+            m = float(self.num_machines)
+            traffic = [sent_words[i] + recv_words[i] for i in range(self.num_machines)]
+            mean_traffic = sum(traffic) / m
+            self.metrics.record(
+                RoundMetrics(
+                    round_index=index,
+                    label=label,
+                    executor=self.executor.name,
+                    messages=len(all_messages),
+                    comm_words=comm,
+                    sent_words=list(sent_words),
+                    recv_words=list(recv_words),
+                    max_sent=max_sent,
+                    mean_sent=sum(sent_words) / m,
+                    max_received=max_received,
+                    mean_received=sum(recv_words) / m,
+                    imbalance=(
+                        max(traffic) / mean_traffic if mean_traffic > 0 else 0.0
+                    ),
+                    max_message_words=max(
+                        (msg.size_words for msg in all_messages), default=0
+                    ),
+                    max_resident_words=round_max_resident,
+                    total_resident_words=total_resident,
+                    memory_high_water=self._report.max_local_words,
+                    waves=waves,
+                    max_wave_sent=max_wave_sent,
+                    max_wave_recv=max_wave_recv,
+                    budget_words=self._budget_words,
+                    budget_mode=(
+                        self.comm_budget.mode if self.comm_budget is not None else ""
+                    ),
+                    budget_action=budget_action,
+                    over_budget=budget_action in ("reported", "split"),
+                    oversize_messages=(
+                        len(wave_plan.oversize) if wave_plan is not None else 0
+                    ),
+                    faults_injected=self._report.faults_injected - faults_before,
+                    recovery_replays=self._report.recovery_replays - replays_before,
+                    ipc_bytes_shipped=(
+                        self._report.ipc_bytes_shipped - ipc_shipped_before
+                    ),
+                    ipc_bytes_returned=(
+                        self._report.ipc_bytes_returned - ipc_returned_before
+                    ),
+                    wall_clock_seconds=wall_clock,
+                )
+            )
 
         if self.checkpoints is not None:
             self.checkpoints.observe(self)
@@ -380,6 +564,106 @@ class Cluster:
         if self.strict:
             raise exc
         self.violations.append(str(exc))
+
+    # -- communication budget ---------------------------------------------
+
+    def _apply_budget(
+        self,
+        index: int,
+        label: str,
+        all_messages: List[Message],
+        sent_words: List[int],
+        recv_words: List[int],
+    ) -> "tuple[str, Optional[WavePlan]]":
+        """Apply the configured budget policy to one logical round.
+
+        Returns ``(action, wave_plan)`` where ``action`` is
+        ``"ok"``/``"reported"``/``"split"`` and ``wave_plan`` is non-None
+        only when adapt mode chunked the delivery.  Overruns are scanned
+        in (machine id, send-before-receive) order so the recorded
+        events — and the exception enforce mode raises — are
+        deterministic and executor-independent.
+        """
+        budget = self.comm_budget
+        assert budget is not None and self._budget_words is not None
+        cap = self._budget_words
+        overruns: List["tuple[int, str, int]"] = []
+        for mid in range(self.num_machines):
+            if sent_words[mid] > cap:
+                overruns.append((mid, "send", sent_words[mid]))
+            if recv_words[mid] > cap:
+                overruns.append((mid, "receive", recv_words[mid]))
+        peak = max(
+            max(sent_words) if sent_words else 0,
+            max(recv_words) if recv_words else 0,
+        )
+        # The estimator predicts from *past* rounds: take the wave hint
+        # before folding in this round's load.
+        wave_hint = 1
+        if self._budget_estimator is not None:
+            wave_hint = self._budget_estimator.wave_hint(cap)
+            self._budget_estimator.observe(peak)
+
+        if not overruns:
+            self._report.comm_waves += 1
+            return "ok", None
+
+        if budget.mode == "enforce":
+            mid, direction, volume = overruns[0]
+            raise CommBudgetExceeded(mid, direction, volume, cap, index, label)
+
+        if budget.mode == "report":
+            self._report.comm_waves += 1
+            self._report.budget_overruns += len(overruns)
+            for mid, direction, volume in overruns:
+                self._report.budget_log.append(
+                    BudgetRecord(
+                        round_index=index,
+                        label=label,
+                        machine_id=mid,
+                        direction=direction,
+                        words=volume,
+                        budget=cap,
+                        action="reported",
+                    )
+                )
+            return "reported", None
+
+        # Adapt: chunk the delivery into budget-sized waves.
+        plan = plan_delivery_waves(
+            all_messages, self.num_machines, cap, start_waves=wave_hint
+        )
+        self._report.comm_waves += plan.num_waves
+        self._report.budget_splits += 1
+        self._report.oversize_messages += len(plan.oversize)
+        self._report.budget_log.append(
+            BudgetRecord(
+                round_index=index,
+                label=label,
+                machine_id=None,
+                direction="round",
+                words=peak,
+                budget=cap,
+                action="split",
+                waves=plan.num_waves,
+                detail=f"messages={len(all_messages)}",
+            )
+        )
+        for i in plan.oversize:
+            msg = all_messages[i]
+            self._report.budget_log.append(
+                BudgetRecord(
+                    round_index=index,
+                    label=label,
+                    machine_id=msg.src,
+                    direction="send",
+                    words=msg.size_words,
+                    budget=cap,
+                    action="oversize",
+                    detail=f"dest={msg.dest} tag={msg.tag}",
+                )
+            )
+        return "split", plan
 
     # -- fault injection + round recovery ---------------------------------
 

@@ -27,7 +27,14 @@ Field semantics:
 * ``eps``, ``memory_slack`` — consumed by the ``mpc_*`` entry points
   when they size an automatic cluster (``local_memory =
   memory_slack * (n d)^eps``); ``Cluster`` itself takes explicit
-  ``num_machines``/``local_memory`` and ignores these two.
+  ``num_machines``/``local_memory`` and ignores these two;
+* ``comm_budget`` — a per-round, per-machine communication budget
+  policy (:class:`~repro.mpc.budget.CommBudget`; an int is budget
+  words in report mode, a string is a bare mode at the local-memory
+  line);
+* ``metrics`` — per-round observability (``True`` for a fresh
+  :class:`~repro.mpc.metrics.MetricsLog`, or a log instance shared
+  across phases), read back from ``cluster.metrics``.
 """
 
 from __future__ import annotations
@@ -35,9 +42,11 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional
 
+from repro.mpc.budget import BudgetLike, get_comm_budget
 from repro.mpc.checkpoint import CheckpointLike
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.faults import FaultPlan, RecoveryLike
+from repro.mpc.metrics import MetricsLike, get_metrics_log
 
 __all__ = ["SimulationConfig", "resolve_config"]
 
@@ -59,6 +68,8 @@ class SimulationConfig:
     memory_slack: float = 8.0
     strict: bool = True
     round_limit: Optional[int] = None
+    comm_budget: BudgetLike = None
+    metrics: MetricsLike = None
 
     def __post_init__(self) -> None:
         if not 0 < self.eps < 1:
@@ -69,6 +80,12 @@ class SimulationConfig:
             )
         if self.round_limit is not None and self.round_limit < 1:
             raise ValueError(f"round_limit must be >= 1, got {self.round_limit}")
+        # Validate the coercible policy fields eagerly so a bad budget
+        # mode or metrics spec fails at config construction, not first
+        # round.  (The coerced values are rebuilt by the consumer; the
+        # config stores the caller's spec unchanged.)
+        get_comm_budget(self.comm_budget)
+        get_metrics_log(self.metrics)
 
     def replace(self, **changes: Any) -> "SimulationConfig":
         """A copy with the given fields replaced (frozen-safe)."""

@@ -41,6 +41,40 @@ class CommunicationOverflow(MPCError):
         )
 
 
+class CommBudgetExceeded(MPCError):
+    """A machine broke the configured communication budget (enforce mode).
+
+    Distinct from :class:`CommunicationOverflow` (the *model's* local
+    memory line, which still applies in every mode): this is the caller's
+    tighter :class:`~repro.mpc.budget.CommBudget` line, and it carries
+    the round/phase coordinates so tests and operators can pinpoint the
+    offending step.  Raised regardless of ``strict`` — enforce *is* the
+    budget's own strictness policy.
+    """
+
+    def __init__(
+        self,
+        machine_id: int,
+        direction: str,
+        volume: int,
+        budget: int,
+        round_index: int,
+        context: str = "",
+    ) -> None:
+        self.machine_id = machine_id
+        self.direction = direction
+        self.volume = volume
+        self.budget = budget
+        self.round_index = round_index
+        self.context = context
+        suffix = f" during {context}" if context else ""
+        super().__init__(
+            f"machine {machine_id} attempted to {direction} {volume} words in "
+            f"round {round_index}{suffix}, exceeding the communication budget "
+            f"of {budget} words"
+        )
+
+
 class RoundLimitExceeded(MPCError):
     """The computation used more rounds than the configured limit."""
 

@@ -1,0 +1,281 @@
+"""Per-round observability: the :class:`MetricsLog` time series.
+
+The cost report (:mod:`repro.mpc.accounting`) answers "did the run stay
+within the Theorem 1/3 bounds?" with end-of-run aggregates.  The metrics
+log answers "what did every round look like?": a per-round time series of
+communication volume and per-machine skew, memory high-water, delivery
+waves against the budget line, fault/recovery activity, physical IPC
+volume, and executor wall-clock.  Attach one via
+``SimulationConfig(metrics=True)`` (or pass a :class:`MetricsLog` to
+share across clusters), read it back from ``cluster.metrics``, and
+serialize with :meth:`MetricsLog.to_jsonl` — one JSON object per round,
+the format ``benchmarks/plot_metrics.py`` renders and CI validates
+against :data:`METRICS_SCHEMA`.
+
+Recording is observational only: enabling metrics never changes results,
+rounds, or any model-level counter (it is not part of report equality).
+Units are model *words* for all volume fields except the ``ipc_bytes_*``
+pair, which is measured pickle bytes from the process executor (see
+``CostReport.transport_dict()``), and ``wall_clock_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsLike",
+    "MetricsLog",
+    "RoundMetrics",
+    "validate_metrics_dict",
+]
+
+#: Bump when the JSONL record layout changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
+#: Field name -> (type tag, unit, when/what).  The single source of truth
+#: for the JSONL layout: ``validate_metrics_dict`` checks records against
+#: it and docs/OBSERVABILITY.md documents it field by field.  Type tags:
+#: ``int`` / ``float`` / ``str`` / ``bool`` / ``int?`` (int or null) /
+#: ``int[]`` (list of ints, one per machine).
+METRICS_SCHEMA: Dict[str, "tuple[str, str, str]"] = {
+    "schema_version": ("int", "-", "layout version of this record"),
+    "round_index": ("int", "-", "0-based logical round number"),
+    "label": ("str", "-", "phase label passed to Cluster.round"),
+    "executor": ("str", "-", "round executor name (serial/thread/process)"),
+    "messages": ("int", "count", "messages exchanged this round"),
+    "comm_words": ("int", "words", "total words exchanged this round"),
+    "sent_words": ("int[]", "words", "words sent, per machine"),
+    "recv_words": ("int[]", "words", "words received, per machine"),
+    "max_sent": ("int", "words", "max over machines of words sent"),
+    "mean_sent": ("float", "words", "mean over machines of words sent"),
+    "max_received": ("int", "words", "max over machines of words received"),
+    "mean_received": ("float", "words", "mean words received per machine"),
+    "imbalance": (
+        "float",
+        "ratio",
+        "max/(mean) of per-machine traffic (sent+received); 0 if no traffic",
+    ),
+    "max_message_words": ("int", "words", "largest single message"),
+    "max_resident_words": (
+        "int",
+        "words",
+        "largest post-delivery resident storage on any machine",
+    ),
+    "total_resident_words": (
+        "int",
+        "words",
+        "post-delivery resident storage summed over machines",
+    ),
+    "memory_high_water": (
+        "int",
+        "words",
+        "running max of max_resident_words up to this round",
+    ),
+    "waves": ("int", "count", "physical delivery waves (1 unless adapt split)"),
+    "max_wave_sent": (
+        "int",
+        "words",
+        "max per-machine words sent in any single wave",
+    ),
+    "max_wave_recv": (
+        "int",
+        "words",
+        "max per-machine words received in any single wave",
+    ),
+    "budget_words": ("int?", "words", "effective budget line; null if none"),
+    "budget_mode": ("str", "-", "report/enforce/adapt; empty if no budget"),
+    "budget_action": (
+        "str",
+        "-",
+        "ok / reported / split; empty if no budget attached",
+    ),
+    "over_budget": ("bool", "-", "any machine exceeded the budget this round"),
+    "oversize_messages": (
+        "int",
+        "count",
+        "atomic messages larger than the budget (adapt mode)",
+    ),
+    "faults_injected": ("int", "count", "faults injected during this round"),
+    "recovery_replays": ("int", "count", "recovery replays during this round"),
+    "ipc_bytes_shipped": (
+        "int",
+        "bytes",
+        "pickle bytes shipped to workers this round (process executor)",
+    ),
+    "ipc_bytes_returned": (
+        "int",
+        "bytes",
+        "pickle bytes returned from workers this round",
+    ),
+    "wall_clock_seconds": ("float", "seconds", "executor wall-clock for the round"),
+}
+
+
+@dataclass
+class RoundMetrics:
+    """One round's observability record (see :data:`METRICS_SCHEMA`)."""
+
+    round_index: int
+    label: str
+    executor: str
+    messages: int
+    comm_words: int
+    sent_words: List[int]
+    recv_words: List[int]
+    max_sent: int
+    mean_sent: float
+    max_received: int
+    mean_received: float
+    imbalance: float
+    max_message_words: int
+    max_resident_words: int
+    total_resident_words: int
+    memory_high_water: int
+    waves: int = 1
+    max_wave_sent: int = 0
+    max_wave_recv: int = 0
+    budget_words: Optional[int] = None
+    budget_mode: str = ""
+    budget_action: str = ""
+    over_budget: bool = False
+    oversize_messages: int = 0
+    faults_injected: int = 0
+    recovery_replays: int = 0
+    ipc_bytes_shipped: int = 0
+    ipc_bytes_returned: int = 0
+    wall_clock_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dict, schema-stamped."""
+        out: Dict[str, Any] = {"schema_version": METRICS_SCHEMA_VERSION}
+        out.update(asdict(self))
+        return out
+
+
+_TYPE_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "int?": lambda v: v is None
+    or (isinstance(v, int) and not isinstance(v, bool)),
+    "int[]": lambda v: isinstance(v, list)
+    and all(isinstance(x, int) and not isinstance(x, bool) for x in v),
+}
+
+
+def validate_metrics_dict(record: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``record`` matches :data:`METRICS_SCHEMA`.
+
+    Checks version, presence, and type of every field, and flags unknown
+    fields — the contract the CI metrics smoke job enforces on the JSONL
+    the harness emits.
+    """
+    version = record.get("schema_version")
+    if version != METRICS_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {version!r} != {METRICS_SCHEMA_VERSION}"
+        )
+    for name, (tag, _unit, _desc) in METRICS_SCHEMA.items():
+        if name not in record:
+            raise ValueError(f"metrics record missing field {name!r}")
+        if not _TYPE_CHECKS[tag](record[name]):
+            raise ValueError(
+                f"metrics field {name!r} should be {tag}, got "
+                f"{type(record[name]).__name__} ({record[name]!r})"
+            )
+    unknown = set(record) - set(METRICS_SCHEMA)
+    if unknown:
+        raise ValueError(f"metrics record has unknown fields {sorted(unknown)}")
+
+
+class MetricsLog:
+    """Append-only per-round time series with JSONL (de)serialization."""
+
+    def __init__(self) -> None:
+        self.rounds: List[RoundMetrics] = []
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __iter__(self) -> Iterator[RoundMetrics]:
+        return iter(self.rounds)
+
+    def record(self, metrics: RoundMetrics) -> None:
+        self.rounds.append(metrics)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [m.as_dict() for m in self.rounds]
+
+    def summary(self) -> Dict[str, Any]:
+        """End-of-run aggregates over the recorded series."""
+        if not self.rounds:
+            return {"rounds": 0}
+        return {
+            "rounds": len(self.rounds),
+            "comm_words": sum(m.comm_words for m in self.rounds),
+            "peak_round_comm": max(m.comm_words for m in self.rounds),
+            "peak_machine_load": max(
+                max(m.max_sent, m.max_received) for m in self.rounds
+            ),
+            "peak_wave_load": max(
+                max(m.max_wave_sent, m.max_wave_recv) for m in self.rounds
+            ),
+            "max_imbalance": max(m.imbalance for m in self.rounds),
+            "memory_high_water": max(m.memory_high_water for m in self.rounds),
+            "total_waves": sum(m.waves for m in self.rounds),
+            "rounds_over_budget": sum(1 for m in self.rounds if m.over_budget),
+            "faults_injected": sum(m.faults_injected for m in self.rounds),
+            "recovery_replays": sum(m.recovery_replays for m in self.rounds),
+            "ipc_bytes": sum(
+                m.ipc_bytes_shipped + m.ipc_bytes_returned for m in self.rounds
+            ),
+            "wall_clock_seconds": sum(m.wall_clock_seconds for m in self.rounds),
+        }
+
+    def to_jsonl(self, path: "str | Any") -> None:
+        """Write one JSON object per round (:data:`METRICS_SCHEMA` layout)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.as_dicts():
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: "str | Any") -> "MetricsLog":
+        """Load and validate a file written by :meth:`to_jsonl`."""
+        log = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                try:
+                    validate_metrics_dict(record)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+                record = dict(record)
+                record.pop("schema_version")
+                log.record(RoundMetrics(**record))
+        return log
+
+
+#: Coercion targets for ``metrics=``: off, on (fresh log), or a caller-
+#: supplied log shared across clusters/phases.
+MetricsLike = Union[None, bool, MetricsLog]
+
+
+def get_metrics_log(spec: MetricsLike) -> Optional[MetricsLog]:
+    """Coerce ``spec`` into a :class:`MetricsLog` (or ``None`` = off)."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return MetricsLog()
+    if isinstance(spec, MetricsLog):
+        return spec
+    raise TypeError(
+        f"metrics must be None, bool, or MetricsLog, got {type(spec)}"
+    )

@@ -79,9 +79,17 @@ def peek(cluster: Cluster, machine_id: int, key: str) -> Any:
 
 
 def default_fanout(cluster: Cluster, payload_words: int) -> int:
-    """Largest fan-out so one machine's sends fit its memory budget."""
+    """Largest fan-out so one machine's sends fit its communication line.
+
+    The line is :attr:`~repro.mpc.cluster.Cluster.effective_comm_budget`:
+    local memory when no :class:`~repro.mpc.budget.CommBudget` is
+    attached (the seed behavior), otherwise the tighter budget — so the
+    broadcast/gather trees (and sample sort's splitter broadcast built on
+    them) stay under the budget *by construction*, trading fan-out (and
+    hence rounds) instead of relying on adapt-mode delivery splitting.
+    """
     per_copy = max(1, payload_words + 2)  # header + tag
-    return max(2, cluster.local_memory // per_copy)
+    return max(2, cluster.effective_comm_budget // per_copy)
 
 
 # -- broadcast ----------------------------------------------------------

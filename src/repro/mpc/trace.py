@@ -12,6 +12,13 @@ rendered as a dedicated section, and the headline line grows
 fault-free one even at a glance.  Pass a lenient-mode cluster's
 ``violations`` list to see recorded (non-raising) constraint overshoots
 in execution order.
+
+Runs with a :class:`~repro.mpc.budget.CommBudget` attached render a
+budget section (overruns recorded, rounds split into delivery waves,
+oversize messages) and the headline grows ``waves=...``;
+``summarize_metrics`` renders a :class:`~repro.mpc.metrics.MetricsLog`'s
+end-of-run aggregates as one aligned block — the textual companion to
+the ``benchmarks/plot_metrics.py`` charts.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.mpc.accounting import CostReport
+from repro.mpc.metrics import MetricsLog
 
 
 def explain_report(
@@ -45,6 +53,8 @@ def explain_report(
             f"  faults={report.faults_injected}"
             f"  replays={report.recovery_replays}"
         )
+    if report.comm_waves:
+        headline += f"  waves={report.comm_waves}"
     lines.append(headline)
     if report.peak_total_resident_words:
         lines.append(
@@ -63,6 +73,20 @@ def explain_report(
         hidden = len(report.round_log) - len(shown)
         if hidden > 0:
             lines.append(f"    ... {hidden} more rounds")
+    if report.budget_log:
+        lines.append("  budget events:")
+        for brec in report.budget_log:
+            who = "-" if brec.machine_id is None else str(brec.machine_id)
+            entry = (
+                f"    round {brec.round_index} [{brec.label}]: "
+                f"{brec.action} machine {who} {brec.direction} "
+                f"{brec.words}/{brec.budget} words"
+            )
+            if brec.waves > 1:
+                entry += f" in {brec.waves} waves"
+            if brec.detail:
+                entry += f" ({brec.detail})"
+            lines.append(entry)
     if report.fault_log:
         lines.append("  faults:")
         for rec in report.fault_log:
@@ -78,6 +102,42 @@ def explain_report(
         lines.append(f"  violations ({len(violations)} recorded, lenient mode):")
         for text in violations:
             lines.append(f"    - {text}")
+    return "\n".join(lines)
+
+
+def summarize_metrics(log: MetricsLog) -> str:
+    """Aligned text block of a metrics log's end-of-run aggregates.
+
+    The textual companion to the ``benchmarks/plot_metrics.py`` charts —
+    what the harness prints next to each suite so a terminal run still
+    shows the budget line being respected (``peak wave load`` vs.
+    ``budget``) without opening an SVG.
+    """
+    summary = log.summary()
+    if not summary.get("rounds"):
+        return "metrics: no rounds recorded"
+    lines = [f"metrics: {summary['rounds']} rounds"]
+    order = [
+        ("comm_words", "total comm (words)"),
+        ("peak_round_comm", "peak round comm (words)"),
+        ("peak_machine_load", "peak machine load (words)"),
+        ("peak_wave_load", "peak wave load (words)"),
+        ("max_imbalance", "max imbalance (x mean)"),
+        ("memory_high_water", "memory high-water (words)"),
+        ("total_waves", "delivery waves"),
+        ("rounds_over_budget", "rounds over budget"),
+        ("faults_injected", "faults injected"),
+        ("recovery_replays", "recovery replays"),
+        ("ipc_bytes", "ipc bytes"),
+        ("wall_clock_seconds", "wall clock (s)"),
+    ]
+    for key, title in order:
+        value = summary[key]
+        shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {title:26} {shown:>12}")
+    budgets = {m.budget_words for m in log.rounds if m.budget_words is not None}
+    if budgets:
+        lines.append(f"  {'budget line (words)':26} {min(budgets):>12}")
     return "\n".join(lines)
 
 

@@ -4,9 +4,12 @@ import pytest
 
 from repro.mpc.accounting import (
     CostReport,
+    FaultRecord,
+    RoundRecord,
     fully_scalable_local_memory,
     machines_for,
 )
+from repro.mpc.budget import BudgetRecord
 
 
 class TestLocalMemory:
@@ -64,3 +67,39 @@ class TestCostReport:
         assert m.max_local_words == 9
         assert m.comm_words == 150
         assert m.num_machines == 4
+
+    def test_merged_shifts_per_round_series(self):
+        # Regression: merged_with used to concatenate the logs verbatim,
+        # so the second computation's round indices restarted at 0 and
+        # the merged series was no longer monotone/drillable.
+        def rec(i, label):
+            return RoundRecord(index=i, label=label, messages=1,
+                               comm_words=10, max_sent=5, max_received=5)
+
+        a = CostReport(num_machines=2, local_memory=10)
+        a.rounds = 2
+        a.round_log = [rec(0, "a0"), rec(1, "a1")]
+        a.fault_log = [FaultRecord(1, 0, "crash", 0, "injected")]
+        a.budget_log = [BudgetRecord(1, "a1", 0, "send", 20, 10, "reported")]
+        a.comm_waves, a.budget_overruns = 2, 1
+
+        b = CostReport(num_machines=2, local_memory=10)
+        b.rounds = 2
+        b.round_log = [rec(0, "b0"), rec(1, "b1")]
+        b.fault_log = [FaultRecord(0, 1, "crash", 1, "replayed")]
+        b.budget_log = [BudgetRecord(0, "b0", None, "round", 30, 10,
+                                     "split", waves=3)]
+        b.comm_waves, b.budget_splits = 4, 1
+
+        m = a.merged_with(b)
+        assert [r.index for r in m.round_log] == [0, 1, 2, 3]
+        assert [r.label for r in m.round_log] == ["a0", "a1", "b0", "b1"]
+        assert [r.round_index for r in m.fault_log] == [1, 2]
+        assert [r.round_index for r in m.budget_log] == [1, 2]
+        assert m.budget_dict() == {
+            "comm_waves": 6, "budget_overruns": 1,
+            "budget_splits": 1, "oversize_messages": 0,
+        }
+        # The originals are untouched (replace() copies, not mutates).
+        assert [r.index for r in b.round_log] == [0, 1]
+        assert b.fault_log[0].round_index == 0

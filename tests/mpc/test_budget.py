@@ -1,0 +1,334 @@
+"""Communication budgets: report / enforce / adapt (docs/OBSERVABILITY.md).
+
+The contracts under test:
+
+* the three modes share one budget line, and at a fixed budget the
+  results and the model-level accounting (``CostReport.core_dict()``)
+  are bit-identical between ``report`` and ``adapt`` under every round
+  executor — only the separately-reported budget layer differs;
+* ``adapt`` keeps every physical delivery wave's per-machine sent and
+  received words at or below the budget (oversize atomic messages get a
+  dedicated wave and a recorded event instead);
+* ``enforce`` raises :class:`~repro.mpc.CommBudgetExceeded` naming the
+  machine, direction, round, and phase label — regardless of ``strict``,
+  because enforce *is* the budget's own strictness policy;
+* the budget layer runs once per logical round, after recovery settles,
+  so a faulty run's replays never double-count budget events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpc import (
+    BUDGET_MODES,
+    Cluster,
+    CommBudget,
+    CommBudgetExceeded,
+    FaultEvent,
+    FaultPlan,
+    PeakHoldEstimator,
+    SimulationConfig,
+    plan_delivery_waves,
+)
+from repro.mpc.budget import get_comm_budget
+from repro.mpc.message import Message
+
+# -- workload: all-to-all traffic that genuinely exceeds small budgets --
+
+
+def _alltoall_step(machine, ctx):
+    acc = machine.get("acc")
+    for msg in machine.take_inbox(tag="x"):
+        acc = acc + msg.payload
+    machine.put("acc", acc)
+    for dest in range(ctx.num_machines):
+        if dest != machine.machine_id:
+            ctx.send(
+                dest,
+                np.full(8, float(machine.machine_id * 10 + ctx.round_index)),
+                tag="x",
+            )
+
+
+def _run(comm_budget=None, *, executor="serial", faults=None, strict=True,
+         machines=4, rounds=4, metrics=None):
+    cluster = Cluster(
+        machines, 4096, executor=executor, comm_budget=comm_budget,
+        faults=faults, strict=strict, metrics=metrics,
+    )
+    for mid in range(machines):
+        cluster.load(mid, "acc", np.zeros(8))
+    for r in range(rounds):
+        cluster.round(_alltoall_step, label=f"xchg{r}")
+    result = np.stack([m.get("acc") for m in cluster])
+    return result, cluster
+
+
+#: Tight enough that every all-to-all round overruns (each machine sends
+#: 3 x ~11 words), loose enough that no single message is oversize.
+TIGHT = 16
+
+
+# -- CommBudget / coercion ---------------------------------------------
+
+
+class TestCommBudget:
+    def test_modes_catalogue(self):
+        assert BUDGET_MODES == ("report", "enforce", "adapt")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            CommBudget(mode="explode")
+
+    def test_bad_words(self):
+        with pytest.raises(ValueError, match="words"):
+            CommBudget(words=0)
+
+    def test_bad_decay(self):
+        with pytest.raises(ValueError, match="decay"):
+            CommBudget(decay=1.0)
+
+    def test_effective_words_caps_at_local_memory(self):
+        assert CommBudget(words=100).effective_words(64) == 64
+        assert CommBudget(words=100).effective_words(200) == 100
+        assert CommBudget().effective_words(64) == 64
+
+    def test_coercions(self):
+        assert get_comm_budget(None) is None
+        budget = get_comm_budget(32)
+        assert budget == CommBudget(words=32, mode="report")
+        assert get_comm_budget("adapt") == CommBudget(mode="adapt")
+        passthrough = CommBudget(words=8, mode="enforce")
+        assert get_comm_budget(passthrough) is passthrough
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            get_comm_budget(True)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            get_comm_budget(3.5)
+
+    def test_bad_mode_string_rejected_by_config(self):
+        with pytest.raises(ValueError, match="mode"):
+            SimulationConfig(comm_budget="explode")
+
+
+class TestPeakHoldEstimator:
+    def test_peak_holds_then_decays(self):
+        est = PeakHoldEstimator(decay=0.5)
+        est.observe(100)
+        assert est.predict() == 100
+        est.observe(10)  # held peak decays to 50, above the new load
+        assert est.predict() == 50
+        est.observe(10)
+        assert est.predict() == 25
+
+    def test_wave_hint_is_ceil(self):
+        est = PeakHoldEstimator()
+        est.observe(100)
+        assert est.wave_hint(40) == 3
+        assert est.wave_hint(100) == 1
+        assert est.wave_hint(0) == 1
+
+    def test_bad_decay(self):
+        with pytest.raises(ValueError):
+            PeakHoldEstimator(decay=-0.1)
+
+
+# -- wave planner -------------------------------------------------------
+
+
+def _msgs(triples):
+    return [Message(src, dest, "t", np.zeros(size)) for src, dest, size in triples]
+
+
+class TestPlanDeliveryWaves:
+    def test_within_budget_single_wave(self):
+        plan = plan_delivery_waves(_msgs([(0, 1, 4), (1, 0, 4)]), 2, 100)
+        assert plan.num_waves == 1
+        assert plan.wave_of == [0, 0]
+
+    def test_split_respects_budget(self):
+        # 4 machines all sending 8-word payloads to machine 0.
+        msgs = _msgs([(s, 0, 8) for s in range(1, 4)])
+        budget = msgs[0].size_words + 1  # one message per wave at the dest
+        plan = plan_delivery_waves(msgs, 4, budget)
+        assert plan.num_waves == 3
+        assert plan.max_wave_sent <= budget
+        assert plan.max_wave_recv <= budget
+
+    def test_fifo_per_source_and_destination(self):
+        msgs = _msgs([(0, 1, 8), (0, 2, 8), (0, 1, 8), (3, 1, 8)])
+        plan = plan_delivery_waves(msgs, 4, msgs[0].size_words)
+        by_src, by_dest = {}, {}
+        for i, w in enumerate(plan.wave_of):
+            src, dest = msgs[i].src, msgs[i].dest
+            assert w >= by_src.get(src, 0), "per-source order violated"
+            assert w >= by_dest.get(dest, 0), "per-destination order violated"
+            by_src[src], by_dest[dest] = w, w
+
+    def test_oversize_gets_dedicated_wave(self):
+        msgs = _msgs([(0, 1, 4), (2, 1, 50), (3, 1, 4)])
+        plan = plan_delivery_waves(msgs, 4, 10)
+        assert plan.oversize == [1]
+        big_wave = plan.wave_of[1]
+        # The oversize message is alone at both endpoints of its wave.
+        assert plan.wave_sent[big_wave][2] == msgs[1].size_words
+        assert plan.wave_recv[big_wave][1] == msgs[1].size_words
+
+    def test_overallocated_hint_is_trimmed(self):
+        plan = plan_delivery_waves(_msgs([(0, 1, 2)]), 2, 100, start_waves=5)
+        assert plan.num_waves == 1
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            plan_delivery_waves([], 2, 0)
+
+
+# -- cluster integration ------------------------------------------------
+
+
+class TestReportMode:
+    def test_overruns_recorded_not_raised(self):
+        result, cluster = _run(CommBudget(words=TIGHT, mode="report"))
+        report = cluster.report()
+        counters = report.budget_dict()
+        assert counters["budget_overruns"] > 0
+        assert counters["budget_splits"] == 0
+        assert counters["comm_waves"] == report.rounds
+        assert all(rec.action == "reported" for rec in report.budget_log)
+
+    def test_no_budget_means_empty_budget_layer(self):
+        _, cluster = _run(None)
+        report = cluster.report()
+        assert report.budget_dict() == {
+            "comm_waves": 0, "budget_overruns": 0,
+            "budget_splits": 0, "oversize_messages": 0,
+        }
+        assert report.budget_log == []
+
+
+class TestEnforceMode:
+    def test_raises_with_context(self):
+        with pytest.raises(CommBudgetExceeded) as excinfo:
+            _run(CommBudget(words=TIGHT, mode="enforce"))
+        message = str(excinfo.value)
+        assert "machine 0" in message
+        assert "round 0" in message
+        assert "xchg0" in message
+        assert str(TIGHT) in message
+
+    def test_raises_even_in_lenient_mode(self):
+        # strict=False downgrades *model* violations to records; the
+        # budget's own strictness policy is its mode, so enforce still
+        # raises.
+        with pytest.raises(CommBudgetExceeded):
+            _run(CommBudget(words=TIGHT, mode="enforce"), strict=False)
+
+    def test_within_budget_does_not_raise(self):
+        result, cluster = _run(CommBudget(words=4096, mode="enforce"))
+        assert cluster.report().budget_dict()["budget_overruns"] == 0
+
+
+class TestAdaptMode:
+    @pytest.mark.executor_matrix
+    def test_bit_identical_to_report_mode(self, mpc_executor):
+        base_result, base_cluster = _run(CommBudget(words=TIGHT, mode="report"))
+        result, cluster = _run(
+            CommBudget(words=TIGHT, mode="adapt"), executor=mpc_executor
+        )
+        np.testing.assert_array_equal(result, base_result)
+        assert cluster.report().core_dict() == base_cluster.report().core_dict()
+        # Even the full model-level report (round log included) matches:
+        # wave counters are compare=False by design.
+        assert cluster.report().round_log == base_cluster.report().round_log
+
+    @pytest.mark.executor_matrix
+    def test_waves_stay_within_budget(self, mpc_executor):
+        _, cluster = _run(
+            CommBudget(words=TIGHT, mode="adapt"), executor=mpc_executor
+        )
+        report = cluster.report()
+        assert report.budget_dict()["budget_splits"] > 0
+        assert report.comm_waves > report.rounds
+        for rec in report.round_log:
+            assert rec.max_wave_sent <= TIGHT
+            assert rec.max_wave_recv <= TIGHT
+
+    def test_split_events_recorded(self):
+        _, cluster = _run(CommBudget(words=TIGHT, mode="adapt"))
+        report = cluster.report()
+        splits = [r for r in report.budget_log if r.action == "split"]
+        assert len(splits) == report.budget_dict()["budget_splits"]
+        assert all(rec.waves > 1 for rec in splits)
+        assert all(rec.direction == "round" for rec in splits)
+
+    def test_oversize_message_recorded_not_raised(self):
+        def big_step(machine, ctx):
+            if machine.machine_id == 0 and ctx.round_index == 0:
+                ctx.send(1, np.zeros(64), tag="big")
+
+        cluster = Cluster(2, 4096, comm_budget=CommBudget(words=16, mode="adapt"))
+        cluster.round(big_step, label="big")
+        report = cluster.report()
+        assert report.budget_dict()["oversize_messages"] == 1
+        oversize = [r for r in report.budget_log if r.action == "oversize"]
+        assert len(oversize) == 1
+        assert oversize[0].machine_id == 0
+
+    def test_budget_reshapes_primitive_fanout(self):
+        # An attached budget tightens default_fanout: broadcast trees
+        # stay under the line by construction (more, narrower rounds).
+        from repro.mpc.primitives import broadcast
+
+        wide = Cluster(8, 4096)
+        narrow = Cluster(8, 4096, comm_budget=CommBudget(words=64))
+        payload = np.arange(16, dtype=np.float64)
+        broadcast(wide, payload, "v")
+        broadcast(narrow, payload, "v")
+        assert narrow.effective_comm_budget == 64
+        assert narrow.report().rounds > wide.report().rounds
+        for rec in narrow.report().round_log:
+            assert rec.max_sent <= 64
+
+
+class TestBudgetWithFaults:
+    def test_replays_do_not_double_count_budget_events(self):
+        plan = FaultPlan((
+            FaultEvent("crash", 1, 0),
+            FaultEvent("crash", 2, 1),
+        ))
+        budget = CommBudget(words=TIGHT, mode="adapt")
+        base_result, base_cluster = _run(budget)
+        result, cluster = _run(budget, faults=plan)
+        assert cluster.report().faults_injected > 0
+
+        np.testing.assert_array_equal(result, base_result)
+        assert cluster.report().core_dict() == base_cluster.report().core_dict()
+        # The budget layer runs once per *logical* round, after recovery
+        # settles — replayed attempts leave it untouched.
+        assert cluster.report().budget_dict() == base_cluster.report().budget_dict()
+        assert len(cluster.report().budget_log) == len(base_cluster.report().budget_log)
+
+
+class TestBudgetViaConfig:
+    def test_config_and_kwarg_agree(self):
+        _, via_kwarg = _run(CommBudget(words=TIGHT, mode="adapt"))
+        cluster = Cluster(
+            4, 4096, config=SimulationConfig(
+                comm_budget=CommBudget(words=TIGHT, mode="adapt")
+            ),
+        )
+        for mid in range(4):
+            cluster.load(mid, "acc", np.zeros(8))
+        for r in range(4):
+            cluster.round(_alltoall_step, label=f"xchg{r}")
+        assert cluster.report().budget_dict() == via_kwarg.report().budget_dict()
+
+    def test_conflicting_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(
+                2, 256, comm_budget=32,
+                config=SimulationConfig(comm_budget=CommBudget(words=16)),
+            )

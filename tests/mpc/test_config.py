@@ -36,6 +36,14 @@ class TestDefaults:
         assert cfg.memory_slack == 8.0
         assert cfg.strict is True
         assert cfg.round_limit is None
+        assert cfg.comm_budget is None
+        assert cfg.metrics is None
+
+    def test_budget_and_metrics_specs_validated_eagerly(self):
+        with pytest.raises(ValueError, match="mode"):
+            SimulationConfig(comm_budget="explode")
+        with pytest.raises(TypeError):
+            SimulationConfig(metrics="yes")
 
     def test_frozen(self):
         cfg = SimulationConfig()

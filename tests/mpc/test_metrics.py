@@ -1,0 +1,226 @@
+"""MetricsLog observability layer: schema, JSONL round trip, recording.
+
+Contracts (docs/OBSERVABILITY.md):
+
+* every serialized record matches :data:`~repro.mpc.METRICS_SCHEMA`
+  exactly — field presence, types, and version stamp — and
+  ``validate_metrics_dict`` rejects anything that doesn't;
+* ``to_jsonl`` / ``from_jsonl`` round-trip losslessly;
+* recording is observational only: attaching ``metrics=True`` changes
+  neither results nor any model-level counter, and the recorded series
+  agrees with the cost report's round log.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpc import (
+    Cluster,
+    CommBudget,
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    MetricsLog,
+    RoundMetrics,
+    SimulationConfig,
+    validate_metrics_dict,
+)
+from repro.mpc.metrics import get_metrics_log
+from repro.mpc.trace import summarize_metrics
+
+
+def _metrics(index=0, **overrides):
+    base = dict(
+        round_index=index,
+        label=f"phase{index}",
+        executor="serial",
+        messages=2,
+        comm_words=20,
+        sent_words=[10, 10],
+        recv_words=[10, 10],
+        max_sent=10,
+        mean_sent=10.0,
+        max_received=10,
+        mean_received=10.0,
+        imbalance=1.0,
+        max_message_words=10,
+        max_resident_words=32,
+        total_resident_words=64,
+        memory_high_water=32,
+    )
+    base.update(overrides)
+    return RoundMetrics(**base)
+
+
+def _ring_step(machine, ctx):
+    for msg in machine.take_inbox(tag="ring"):
+        machine.put("acc", machine.get("acc") + msg.payload)
+    ctx.send(
+        (machine.machine_id + 1) % ctx.num_machines,
+        np.full(4, 1.0 + machine.machine_id),
+        tag="ring",
+    )
+
+
+def _run(machines=3, rounds=3, **cluster_kwargs):
+    cluster = Cluster(machines, 2048, **cluster_kwargs)
+    for mid in range(machines):
+        cluster.load(mid, "acc", np.zeros(4))
+    for r in range(rounds):
+        cluster.round(_ring_step, label=f"ring{r}")
+    return np.stack([m.get("acc") for m in cluster]), cluster
+
+
+class TestSchema:
+    def test_as_dict_is_schema_complete(self):
+        record = _metrics().as_dict()
+        assert set(record) == set(METRICS_SCHEMA)
+        assert record["schema_version"] == METRICS_SCHEMA_VERSION
+        validate_metrics_dict(record)
+
+    def test_wrong_version_rejected(self):
+        record = _metrics().as_dict()
+        record["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_metrics_dict(record)
+
+    def test_missing_field_rejected(self):
+        record = _metrics().as_dict()
+        del record["comm_words"]
+        with pytest.raises(ValueError, match="missing field 'comm_words'"):
+            validate_metrics_dict(record)
+
+    def test_wrong_type_rejected(self):
+        record = _metrics().as_dict()
+        record["messages"] = "two"
+        with pytest.raises(ValueError, match="messages"):
+            validate_metrics_dict(record)
+
+    def test_unknown_field_rejected(self):
+        record = _metrics().as_dict()
+        record["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            validate_metrics_dict(record)
+
+    def test_nullable_budget_words(self):
+        record = _metrics(budget_words=None).as_dict()
+        validate_metrics_dict(record)
+        record = _metrics(budget_words=64).as_dict()
+        validate_metrics_dict(record)
+
+
+class TestMetricsLog:
+    def test_record_len_iter(self):
+        log = MetricsLog()
+        assert len(log) == 0
+        log.record(_metrics(0))
+        log.record(_metrics(1))
+        assert len(log) == 2
+        assert [m.round_index for m in log] == [0, 1]
+
+    def test_summary_aggregates(self):
+        log = MetricsLog()
+        log.record(_metrics(0, comm_words=10, max_sent=5, max_wave_sent=5))
+        log.record(_metrics(1, comm_words=30, max_sent=20, max_wave_sent=12,
+                            over_budget=True, waves=2))
+        summary = log.summary()
+        assert summary["rounds"] == 2
+        assert summary["comm_words"] == 40
+        assert summary["peak_round_comm"] == 30
+        assert summary["peak_machine_load"] == 20
+        assert summary["peak_wave_load"] == 12
+        assert summary["total_waves"] == 3
+        assert summary["rounds_over_budget"] == 1
+
+    def test_empty_summary(self):
+        assert MetricsLog().summary() == {"rounds": 0}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = MetricsLog()
+        log.record(_metrics(0))
+        log.record(_metrics(1, budget_words=64, budget_mode="adapt",
+                            budget_action="split", waves=3, over_budget=True))
+        path = tmp_path / "metrics.jsonl"
+        log.to_jsonl(path)
+        loaded = MetricsLog.from_jsonl(path)
+        assert loaded.as_dicts() == log.as_dicts()
+
+    def test_from_jsonl_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = _metrics().as_dict()
+        import json
+
+        bad = dict(good)
+        del bad["label"]
+        path.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match=":2:"):
+            MetricsLog.from_jsonl(path)
+
+    def test_coercions(self):
+        assert get_metrics_log(None) is None
+        assert get_metrics_log(False) is None
+        assert isinstance(get_metrics_log(True), MetricsLog)
+        shared = MetricsLog()
+        assert get_metrics_log(shared) is shared
+        with pytest.raises(TypeError):
+            get_metrics_log("yes")
+
+
+class TestClusterIntegration:
+    def test_metrics_are_observational_only(self):
+        base_result, base_cluster = _run()
+        result, cluster = _run(metrics=True)
+        np.testing.assert_array_equal(result, base_result)
+        assert cluster.report() == base_cluster.report()
+        assert len(cluster.metrics) == cluster.report().rounds
+
+    def test_series_agrees_with_round_log(self):
+        _, cluster = _run(metrics=True)
+        for metric, rec in zip(cluster.metrics, cluster.report().round_log):
+            assert metric.round_index == rec.index
+            assert metric.label == rec.label
+            assert metric.messages == rec.messages
+            assert metric.comm_words == rec.comm_words
+            assert metric.max_sent == rec.max_sent
+            assert metric.max_received == rec.max_received
+            assert metric.waves == rec.waves
+            assert sum(metric.sent_words) == metric.comm_words
+            assert metric.executor == "serial"
+
+    def test_budget_fields_flow_through(self):
+        _, cluster = _run(
+            metrics=True, comm_budget=CommBudget(words=16, mode="adapt")
+        )
+        modes = {m.budget_mode for m in cluster.metrics}
+        assert modes == {"adapt"}
+        assert all(m.budget_words == 16 for m in cluster.metrics)
+        assert all(m.budget_action in ("ok", "split") for m in cluster.metrics)
+
+    def test_shared_log_spans_clusters(self):
+        shared = MetricsLog()
+        _run(metrics=shared, rounds=2)
+        _run(metrics=shared, rounds=3)
+        assert len(shared) == 5
+
+    def test_via_config(self):
+        _, cluster = _run(config=SimulationConfig(metrics=True))
+        assert cluster.metrics is not None
+        assert len(cluster.metrics) == 3
+
+    def test_records_validate_end_to_end(self):
+        _, cluster = _run(metrics=True,
+                          comm_budget=CommBudget(words=16, mode="report"))
+        for record in cluster.metrics.as_dicts():
+            validate_metrics_dict(record)
+
+
+class TestSummarizeMetrics:
+    def test_renders_aggregates(self):
+        _, cluster = _run(metrics=True,
+                          comm_budget=CommBudget(words=16, mode="adapt"))
+        text = summarize_metrics(cluster.metrics)
+        assert "rounds" in text
+        assert "peak wave load" in text
+        assert "budget line (words)" in text and "16" in text
+
+    def test_empty_log(self):
+        assert "no rounds" in summarize_metrics(MetricsLog())
