@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-smoke fault-smoke metrics examples figure1 all clean
+.PHONY: install test lint bench bench-smoke fault-smoke shm-smoke metrics examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -38,11 +38,22 @@ bench:
 # across them or the harness fails.  DELTA=on (default) additionally
 # runs each MPC arm with full vs delta shipping under the process
 # executor and asserts the two are bit-identical while recording the
-# measured IPC volume (docs/MPC_MODEL.md).
-EXECUTOR ?= serial,thread,process
+# measured IPC volume; SHM=on (default) does the same for process vs
+# shm, recording the shm_transport block (docs/MPC_MODEL.md).
+EXECUTOR ?= serial,thread,process,shm
 DELTA ?= on
+SHM ?= on
 bench-smoke:
-	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(EXECUTOR) --delta-shipping $(DELTA)
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(EXECUTOR) --delta-shipping $(DELTA) --shm-transport $(SHM)
+
+# Shared-memory gate: the shm executor's tests (arena, journal
+# semantics, checkpoint round-trips, fault replay, leak cleanliness)
+# plus a smoke harness pass that asserts shm results are bit-identical
+# to serial/process and records the IPC -> shared-memory shift
+# (docs/MPC_MODEL.md, zero-copy contract).
+shm-smoke:
+	PYTHONPATH=src python -m pytest -q tests/mpc/test_shm.py
+	PYTHONPATH=src python benchmarks/harness.py --smoke --executor serial,shm --delta-shipping off --shm-transport on
 
 # bench-smoke plus fault injection: each MPC arm reruns under a seeded
 # FaultPlan (random events + a guaranteed crash and worker death) and the

@@ -51,6 +51,15 @@ result fingerprint and model-level accounting are bit-identical between
 the modes, and records the measured coordinator<->worker IPC volume of
 both as the ``ipc_bytes`` block (see docs/MPC_MODEL.md).
 
+``--shm-transport on`` (the default) additionally runs each suite's MPC
+arm under the process and shm executors, asserts the result fingerprint
+and model-level accounting are bit-identical, and records both
+transport profiles as the ``shm_transport`` block: what the process
+executor pickles across the pipe every round, the shm executor maps
+once as shared-memory segments (``shm_bytes_mapped``), shipping only
+array handles, scalars, and outboxes as ``ipc_bytes`` (see the
+zero-copy contract in docs/MPC_MODEL.md).
+
 ``--metrics on`` additionally runs each suite's MPC arm through the
 budget/observability pipeline (see docs/OBSERVABILITY.md): a metrics-on
 probe run learns the natural peak per-machine load, a deliberately
@@ -84,7 +93,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-DEFAULT_EXECUTORS = "serial,process"
+DEFAULT_EXECUTORS = "serial,process,shm"
 
 #: Two-cap scalar extrapolation estimates diverging more than this are
 #: flagged in the JSON entry (the O(n) assumption did not hold at the
@@ -283,6 +292,51 @@ def measure_delta_shipping(run_arm: Callable[[bool], tuple]) -> Dict:
     }
 
 
+def measure_shm_transport(run_arm: Callable[[str], tuple]) -> Dict:
+    """Run one MPC arm under the process and shm executors; record the
+    IPC volume that moved into shared memory.
+
+    ``run_arm(executor)`` must run the arm on a fresh cluster under the
+    named executor and return ``(fingerprint, report)``.  Both the
+    fingerprint and :meth:`CostReport.core_dict` must be identical —
+    the shm executor is just another scheduler.  The returned
+    ``shm_transport`` block records both executors' transport counters:
+    bytes the process executor pickles across the pipe every round, the
+    shm executor maps once as shared segments (``shm_bytes_mapped``),
+    shipping only handles, scalars, and outboxes as ``ipc_bytes``.
+    """
+    t0 = time.perf_counter()
+    proc_fp, proc = run_arm("process")
+    proc_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    shm_fp, shm = run_arm("shm")
+    shm_seconds = time.perf_counter() - t0
+
+    assert proc_fp == shm_fp, (
+        "the shm executor changed the embedding result — zero-copy "
+        "promotion must be invisible to step code"
+    )
+    assert shm.core_dict() == proc.core_dict(), (
+        "the shm executor changed the model-level accounting — segment "
+        "transport must be invisible to the model"
+    )
+    tp, ts = proc.transport_dict(), shm.transport_dict()
+    total_proc = tp["ipc_bytes"]
+    reduction = (
+        1.0 - ts["ipc_bytes"] / total_proc if total_proc > 0 else 0.0
+    )
+    return {
+        "shm_transport": {
+            "process": tp,
+            "shm": ts,
+            "process_seconds": proc_seconds,
+            "shm_seconds": shm_seconds,
+            "ipc_bytes_reduction": reduction,
+            "bit_identical": True,
+        }
+    }
+
+
 def measure_metrics(run_arm: Callable[..., tuple], executors: List[str],
                     out_path: pathlib.Path) -> Dict:
     """Budgeted observability arm: probe, then adapt under every executor.
@@ -455,6 +509,7 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
                     executors: List[str],
                     fault_seed: Optional[int] = None,
                     delta_shipping: bool = False,
+                    shm_transport: bool = False,
                     metrics_out: Optional[pathlib.Path] = None) -> Dict:
     """Hybrid / ball / grid: batch kernels vs per-point references."""
     import repro.partition.hybrid as hy
@@ -531,6 +586,15 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
             return result_fingerprint(result.tree.label_matrix), result.report
 
         mpc.update(measure_delta_shipping(run_delta_arm))
+    if shm_transport:
+        def run_shm_arm(executor):
+            result = mpc_tree_embedding(
+                points[:n_mpc, : min(d, 8)], seed=SEED + 4,
+                on_uncovered="singleton", executor=executor,
+            )
+            return result_fingerprint(result.tree.label_matrix), result.report
+
+        mpc.update(measure_shm_transport(run_shm_arm))
     if metrics_out is not None:
         def run_metrics_arm(cfg):
             result = mpc_tree_embedding(
@@ -566,6 +630,7 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
                fault_seed: Optional[int] = None,
                delta_shipping: bool = False,
+               shm_transport: bool = False,
                metrics_out: Optional[pathlib.Path] = None) -> Dict:
     """Batched FJLT vs row-at-a-time application."""
     from repro.jl.fjlt import FJLT
@@ -616,6 +681,14 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
             return result_fingerprint(embedded), cluster.report()
 
         mpc.update(measure_delta_shipping(run_delta_arm))
+    if shm_transport:
+        def run_shm_arm(executor):
+            embedded, cluster = mpc_fjlt(
+                points[:n_mpc], xi=0.3, seed=SEED + 2, executor=executor,
+            )
+            return result_fingerprint(embedded), cluster.report()
+
+        mpc.update(measure_shm_transport(run_shm_arm))
     if metrics_out is not None:
         def run_metrics_arm(cfg):
             embedded, cluster = mpc_fjlt(
@@ -644,6 +717,7 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
                fault_seed: Optional[int] = None,
                delta_shipping: bool = False,
+               shm_transport: bool = False,
                metrics_out: Optional[pathlib.Path] = None) -> Dict:
     """Level-wise HST construction vs per-level/per-node references."""
     from repro.core.mpc_embedding import mpc_tree_embedding
@@ -717,6 +791,15 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
             return result_fingerprint(result.tree.label_matrix), result.report
 
         mpc.update(measure_delta_shipping(run_delta_arm))
+    if shm_transport:
+        def run_shm_arm(executor):
+            result = mpc_tree_embedding(
+                pts, seed=SEED + 3, on_uncovered="singleton",
+                executor=executor,
+            )
+            return result_fingerprint(result.tree.label_matrix), result.report
+
+        mpc.update(measure_shm_transport(run_shm_arm))
     if metrics_out is not None:
         def run_metrics_arm(cfg):
             result = mpc_tree_embedding(
@@ -802,6 +885,7 @@ def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
               executors: List[str],
               fault_seed: Optional[int] = None,
               delta_shipping: bool = False,
+              shm_transport: bool = False,
               metrics_dir: Optional[pathlib.Path] = None) -> Dict:
     metrics_out = (
         metrics_dir / f"METRICS_{suite}.jsonl"
@@ -810,6 +894,7 @@ def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
     result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors,
                            fault_seed=fault_seed,
                            delta_shipping=delta_shipping,
+                           shm_transport=shm_transport,
                            metrics_out=metrics_out)
     entry = {
         "experiment": suite,
@@ -854,7 +939,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="max points the per-point scalar arms loop over")
     parser.add_argument("--executor", default=DEFAULT_EXECUTORS,
                         help="comma-separated round executors to time the MPC "
-                             "arm under (subset of serial,thread,process); "
+                             "arm under (subset of serial,thread,process,shm); "
                              "accounting is asserted identical across them")
     parser.add_argument("--faults", type=int, default=None, metavar="SEED",
                         help="also run each MPC arm under a seeded FaultPlan "
@@ -869,6 +954,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "asserts the two are bit-identical (result "
                              "fingerprint + model accounting), and records "
                              "the measured IPC volume as an ipc_bytes block")
+    parser.add_argument("--shm-transport", choices=["on", "off"],
+                        default="on",
+                        help="'on' (default) also runs each MPC arm under the "
+                             "process and shm executors, asserts bit-identity "
+                             "(result fingerprint + model accounting), and "
+                             "records both transport profiles — pickled "
+                             "ipc_bytes vs shm_bytes_mapped — as a "
+                             "shm_transport block")
     parser.add_argument("--metrics", choices=["on", "off"], default="off",
                         help="'on' also runs each MPC arm through the budget/"
                              "observability pipeline: probe peak load, attach "
@@ -929,6 +1022,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             executors=executors,
             fault_seed=args.faults,
             delta_shipping=args.delta_shipping == "on",
+            shm_transport=args.shm_transport == "on",
             metrics_dir=args.out_dir if args.metrics == "on" else None,
         )
         if (args.check_regression
@@ -947,6 +1041,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 executors=executors,
                 fault_seed=args.faults,
                 delta_shipping=args.delta_shipping == "on",
+                shm_transport=args.shm_transport == "on",
                 metrics_dir=args.out_dir if args.metrics == "on" else None,
             )
         entry["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")

@@ -22,9 +22,11 @@ substrate:
   benchmark harnesses to check the paper's round/space bounds.
 
 * :mod:`~repro.mpc.executor` — pluggable round executors: machine
-  steps run serially (default), on a thread pool, or on a process pool
-  (``Cluster(..., executor="process")``), with bit-identical results and
-  accounting across all three.
+  steps run serially (default), on a thread pool, on a process pool
+  (``Cluster(..., executor="process")``), or on a process pool backed by
+  a zero-copy shared-memory arena (``executor="shm"``,
+  :mod:`~repro.mpc.arena`), with bit-identical results and accounting
+  across all four.
 * :mod:`~repro.mpc.faults` / :mod:`~repro.mpc.checkpoint` — seeded
   deterministic fault injection (``Cluster(..., faults=FaultPlan(...))``)
   with round-level recovery: crashed machines and dead workers are
@@ -55,6 +57,7 @@ parallelism.
 """
 
 from repro.mpc.accounting import CostReport, FaultRecord, fully_scalable_local_memory
+from repro.mpc.arena import Arena, StoredArray
 from repro.mpc.budget import (
     BUDGET_MODES,
     BudgetRecord,
@@ -88,6 +91,7 @@ from repro.mpc.executor import (
     ProcessExecutor,
     RoundExecutor,
     SerialExecutor,
+    ShmExecutor,
     ThreadExecutor,
     get_executor,
     shutdown_executors,
@@ -123,6 +127,9 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ShmExecutor",
+    "Arena",
+    "StoredArray",
     "EXECUTORS",
     "get_executor",
     "shutdown_executors",

@@ -137,6 +137,14 @@ class CostReport:
     ipc_rounds: int = field(default=0, compare=False)
     ipc_bytes_shipped: int = field(default=0, compare=False)
     ipc_bytes_returned: int = field(default=0, compare=False)
+    # Under the shm executor, array contents move through shared-memory
+    # segments instead of the pickle stream: ``shm_bytes_mapped`` is the
+    # total size of segments the arena created (each counted once, when
+    # it enters the arena) and ``shm_segments`` the segment count.  The
+    # before/after story is ``ipc_bytes`` (way down) vs
+    # ``shm_bytes_mapped`` (where the volume went).
+    shm_bytes_mapped: int = field(default=0, compare=False)
+    shm_segments: int = field(default=0, compare=False)
     checkpoint_snapshots: int = field(default=0, compare=False)
     checkpoint_deltas: int = field(default=0, compare=False)
     checkpoint_bytes: int = field(default=0, compare=False)
@@ -196,17 +204,22 @@ class CostReport:
     def transport_dict(self) -> Dict[str, int]:
         """Physical IPC / checkpoint volume (executor-dependent).
 
-        ``ipc_bytes`` is what the process executor pickled across the
-        process boundary for rounds that actually dispatched to workers
-        (machine state out, results back); ``checkpoint_bytes`` is the
-        model-word volume (at 8 bytes/word) the checkpoint layer stored.
-        Both are 0 under serial/thread execution with checkpointing off.
+        ``ipc_bytes`` is what the process/shm executors pickled across
+        the process boundary for rounds that actually dispatched to
+        workers (machine state out, results back);
+        ``shm_bytes_mapped``/``shm_segments`` is the array volume the
+        shm executor placed in shared-memory segments instead;
+        ``checkpoint_bytes`` is the model-word volume (at 8 bytes/word)
+        the checkpoint layer stored.  All are 0 under serial/thread
+        execution with checkpointing off.
         """
         return {
             "ipc_rounds": self.ipc_rounds,
             "ipc_bytes_shipped": self.ipc_bytes_shipped,
             "ipc_bytes_returned": self.ipc_bytes_returned,
             "ipc_bytes": self.ipc_bytes_shipped + self.ipc_bytes_returned,
+            "shm_bytes_mapped": self.shm_bytes_mapped,
+            "shm_segments": self.shm_segments,
             "checkpoint_snapshots": self.checkpoint_snapshots,
             "checkpoint_deltas": self.checkpoint_deltas,
             "checkpoint_bytes": self.checkpoint_bytes,
@@ -269,6 +282,8 @@ class CostReport:
         merged.ipc_bytes_returned = (
             self.ipc_bytes_returned + other.ipc_bytes_returned
         )
+        merged.shm_bytes_mapped = self.shm_bytes_mapped + other.shm_bytes_mapped
+        merged.shm_segments = self.shm_segments + other.shm_segments
         merged.checkpoint_snapshots = (
             self.checkpoint_snapshots + other.checkpoint_snapshots
         )

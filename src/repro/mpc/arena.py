@@ -1,0 +1,750 @@
+"""Shared-memory arena: named, ref-counted numpy segments for machines.
+
+The zero-copy executor (``Cluster(executor="shm")``) stores large machine
+arrays in POSIX shared memory (``multiprocessing.shared_memory``) so
+worker processes read and write *views* instead of shipping pickled
+copies.  This module owns that storage:
+
+* :class:`StoredArray` — an immutable *handle*: segment name, dtype,
+  shape, byte offset.  Handles live in machine stores and message
+  payloads in place of the arrays they describe; only handles (a few
+  dozen bytes) cross the process boundary.  A handle charges exactly the
+  words of the array it replaces (``mpc_words()`` — one word per
+  element), so every model-level number is bit-identical to the
+  plain-dict storage path.
+* :class:`Arena` — the coordinator-side owner of segments.  It promotes
+  eligible arrays into fresh segments, resolves handles back to numpy
+  views, adopts segments that workers created, and garbage-collects by
+  reachability: after every round it re-scans the machines and unlinks
+  any segment no store slot or inbox payload references any more
+  (set-based ref-counting over the single source of truth, the machines
+  themselves).
+* :class:`WorkerArena` — the worker-process twin: attaches to parent
+  segments on demand, creates new segments for arrays the step wrote,
+  and detaches everything at batch end so long-lived pool workers never
+  pin freed memory.
+
+**Leak-proofing.**  Every segment name starts with the arena's unique
+``prefix`` (which itself starts with :data:`SEGMENT_PREFIX`), so cleanup
+never needs a registry: ``destroy()`` — also run via ``weakref.finalize``
+at garbage collection or interpreter exit — unlinks everything it owns
+and then sweeps ``/dev/shm`` for any prefix-matching stragglers (e.g.
+segments a worker created just before ``os._exit``).  The executor runs
+the same sweep after a ``BrokenProcessPool``.  Python <= 3.12 registers
+every segment with the ``multiprocessing`` resource tracker, which both
+double-unlinks and spams warnings for segments shared across processes;
+:func:`_untrack` opts each handle out — the arena's own reachability
+collection plus the prefix sweeps are the actual guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpc.message import Message, message_with_payload
+
+__all__ = [
+    "Arena",
+    "StoredArray",
+    "WorkerArena",
+    "DEFAULT_SHM_MIN_BYTES",
+    "SEGMENT_PREFIX",
+    "active_segment_files",
+    "shm_dir",
+]
+
+#: Arrays below this many bytes stay in the plain dict store: a handle
+#: plus a segment plus an attach round-trip costs more than pickling a
+#: few hundred bytes.  Tunable via ``SimulationConfig(shm_min_bytes=...)``.
+DEFAULT_SHM_MIN_BYTES = 512
+
+#: Every segment any arena ever creates starts with this, so tests and
+#: teardown sweeps can identify simulator segments among unrelated
+#: ``/dev/shm`` entries without a registry.
+SEGMENT_PREFIX = "mpcshm"
+
+
+def shm_dir() -> Optional[str]:
+    """Directory where POSIX shared memory appears, or ``None``.
+
+    Linux exposes segments as files under ``/dev/shm``; on platforms
+    without it the name-based sweeps degrade to no-ops (the registry
+    unlink path still runs everywhere).
+    """
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def active_segment_files(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Simulator segment files currently present (sorted names).
+
+    The test suite's leak fixture asserts this is empty after every
+    test; ``prefix`` narrows the scan to one arena.
+    """
+    directory = shm_dir()
+    if directory is None:
+        return []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return sorted(name for name in names if name.startswith(prefix))
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Opt a segment out of the multiprocessing resource tracker.
+
+    The tracker assumes one owning process per segment and unlinks (plus
+    warns) on exit; arena segments are shared across the pool and owned
+    by the arena's reachability collection instead (bpo-39959).
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a tracker-exempt segment's name (idempotent).
+
+    ``SharedMemory.unlink()`` also tells the resource tracker to forget
+    the name — but :func:`_untrack` already did, and the tracker logs a
+    ``KeyError`` traceback for names it does not know.  Go through the
+    low-level primitive instead; fall back to re-register + unlink on
+    platforms without it.
+    """
+    try:
+        shared_memory._posixshmem.shm_unlink(shm._name)  # type: ignore[attr-defined]
+    except FileNotFoundError:
+        pass
+    except AttributeError:  # pragma: no cover - non-POSIX fallback
+        try:
+            resource_tracker.register(shm._name, "shared_memory")  # type: ignore[attr-defined]
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _open_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment by name (tracker-exempt)."""
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(shm)
+    return shm
+
+
+def _create_segment(name: str, nbytes: int) -> shared_memory.SharedMemory:
+    """Create a fresh segment (tracker-exempt)."""
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+    _untrack(shm)
+    return shm
+
+
+def _buffer_address(buf: memoryview) -> int:
+    """Start address of a segment buffer (for view-aliasing detection)."""
+    probe = np.frombuffer(buf, dtype=np.uint8)
+    return int(probe.__array_interface__["data"][0])
+
+
+@dataclass(frozen=True)
+class StoredArray:
+    """Handle to an array living in a shared-memory segment.
+
+    ``segment`` names the :class:`multiprocessing.shared_memory` block,
+    ``dtype`` is the numpy dtype string (endianness included), ``shape``
+    the array shape, and ``offset`` the byte offset of element 0 within
+    the segment.  Handles are plain picklable values — *this* is what
+    crosses the IPC boundary and what sits in a machine's store between
+    rounds.
+
+    A handle charges ``mpc_words()`` = one word per element, identical
+    to :func:`repro.util.sizing.words` on the array it stands for, which
+    is why promoting a value to the arena never perturbs storage,
+    message, or budget accounting.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int = 0
+
+    @property
+    def size(self) -> int:
+        """Element count (the numpy ``size`` of the described array)."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * np.dtype(self.dtype).itemsize
+
+    def mpc_words(self) -> int:
+        """Word charge: one per element, exactly like the raw array."""
+        return max(1, self.size)
+
+    def materialize(self) -> np.ndarray:
+        """Attach, copy the array out, detach — no arena needed.
+
+        The checkpoint layer uses this so backups and snapshots hold
+        self-contained copies that survive the segment being unlinked.
+        """
+        shm = _open_segment(self.segment)
+        try:
+            out = np.ndarray(
+                self.shape, dtype=np.dtype(self.dtype),
+                buffer=shm.buf, offset=self.offset,
+            ).copy()
+        finally:
+            # The view above dies inside ndarray.copy's expression, so
+            # the buffer has no exports left and close() cannot fail.
+            shm.close()
+        return out
+
+
+class _SegmentTable:
+    """Shared machinery of the coordinator and worker arena halves.
+
+    Keeps the open-segment registry plus the two maps view-aliasing
+    detection needs: buffer identity -> segment name, and segment name
+    -> buffer start address.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._buffer_owner: Dict[int, str] = {}
+        self._owner_ids: Dict[str, List[int]] = {}
+        self._buffer_start: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def segment_names(self) -> List[str]:
+        return sorted(self._segments)
+
+    def _register(self, name: str, shm: shared_memory.SharedMemory) -> None:
+        self._segments[name] = shm
+        # Views root at either the exported memoryview (``shm.buf``) or
+        # the mmap behind it — numpy unwraps a memoryview buffer to its
+        # underlying object when it sets ``.base``.  Map both identities
+        # (recorded now, so forgetting stays exact after ``close()``
+        # nulls the attributes).
+        ids = [id(shm.buf)]
+        mm = getattr(shm, "_mmap", None)
+        if mm is not None:
+            ids.append(id(mm))
+        self._owner_ids[name] = ids
+        for obj_id in ids:
+            self._buffer_owner[obj_id] = name
+        self._buffer_start[name] = _buffer_address(shm.buf)
+
+    def _forget(self, name: str) -> Optional[shared_memory.SharedMemory]:
+        shm = self._segments.pop(name, None)
+        if shm is not None:
+            for obj_id in self._owner_ids.pop(name, ()):
+                self._buffer_owner.pop(obj_id, None)
+            self._buffer_start.pop(name, None)
+        return shm
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        raise NotImplementedError
+
+    # -- handle resolution ---------------------------------------------
+
+    def view(self, handle: StoredArray) -> np.ndarray:
+        """A live numpy view over the handle's segment (zero-copy)."""
+        shm = self._segments.get(handle.segment)
+        if shm is None:
+            shm = self._attach(handle.segment)
+        return np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype),
+            buffer=shm.buf, offset=handle.offset,
+        )
+
+    def resolve_value(self, value: Any) -> Any:
+        """Handles -> live views, recursing into plain containers.
+
+        Containers are rebuilt only when something inside them actually
+        resolved, so values without handles pass through untouched (same
+        object identity as the serial executor would return).
+        """
+        if type(value) is StoredArray:
+            return self.view(value)
+        if type(value) is dict:
+            resolved = {k: self.resolve_value(v) for k, v in value.items()}
+            if any(resolved[k] is not value[k] for k in resolved):
+                return resolved
+            return value
+        if type(value) in (list, tuple):
+            items = [self.resolve_value(v) for v in value]
+            if any(a is not b for a, b in zip(items, value)):
+                return type(value)(items)
+            return value
+        return value
+
+    def resolve_message(self, msg: Message) -> Message:
+        """Swap handle payloads for their views (word size preserved)."""
+        payload = self.resolve_value(msg.payload)
+        if payload is not msg.payload:
+            return message_with_payload(msg, payload)
+        return msg
+
+    # -- aliasing detection --------------------------------------------
+
+    def as_handle(self, value: Any) -> Optional[StoredArray]:
+        """The handle ``value`` aliases, or ``None``.
+
+        A step that gets a view, mutates it in place, and puts it back
+        stores an ndarray whose backing buffer is an arena segment; this
+        maps it back to a handle without copying (the mutation is
+        already visible through the segment).  Only exact, C-contiguous
+        layouts within the segment qualify — anything else is treated as
+        a new value and copied.
+        """
+        if not isinstance(value, np.ndarray):
+            return None
+        root: Any = value
+        while isinstance(root, np.ndarray) and root.base is not None:
+            root = root.base
+        name = self._buffer_owner.get(id(root))
+        if name is None:
+            return None
+        if not value.flags["C_CONTIGUOUS"] or value.dtype.hasobject:
+            return None
+        shm = self._segments[name]
+        offset = int(value.__array_interface__["data"][0]) - self._buffer_start[name]
+        if offset < 0 or offset + value.nbytes > shm.size:
+            return None
+        return StoredArray(name, value.dtype.str, tuple(value.shape), offset)
+
+    # -- promotion ------------------------------------------------------
+
+    def _new_name(self) -> str:
+        raise NotImplementedError
+
+    def _eligible(self, value: Any, min_bytes: int) -> bool:
+        """Should this value move into a segment?
+
+        Only plain C-contiguous ndarrays of non-object dtype, at least
+        ``min_bytes`` large.  Subclasses (masked arrays, matrices) and
+        object dtypes keep the pickled path — a segment round-trip would
+        lose their type.
+        """
+        return (
+            type(value) is np.ndarray
+            and value.nbytes >= min_bytes
+            and not value.dtype.hasobject
+            and value.flags["C_CONTIGUOUS"]
+        )
+
+    def store_array(self, value: np.ndarray) -> StoredArray:
+        """Copy an array into a fresh segment and return its handle."""
+        name = self._new_name()
+        shm = _create_segment(name, value.nbytes)
+        self._register(name, shm)
+        self._note_segment(value.nbytes)
+        view = np.ndarray(value.shape, dtype=value.dtype, buffer=shm.buf)
+        np.copyto(view, value, casting="no")
+        return StoredArray(name, value.dtype.str, tuple(value.shape), 0)
+
+    def _note_segment(self, nbytes: int) -> None:
+        """Stats hook: a segment entered this table (created or adopted)."""
+
+    def promote_value(self, value: Any, min_bytes: int) -> Any:
+        """Value -> handle where possible; otherwise the value unchanged.
+
+        Existing handles pass through; views of known segments map back
+        to handles without copying; eligible fresh arrays are copied
+        into new segments.  Plain containers (dict/list/tuple) are
+        walked so the arrays *inside* them promote too — a broadcast
+        dict of shift tables should cross the boundary as handles, not
+        re-pickle its arrays every round.  A container is rebuilt only
+        when something inside it promoted.
+        """
+        if type(value) is StoredArray:
+            return value
+        alias = self.as_handle(value)
+        if alias is not None:
+            return alias
+        if self._eligible(value, min_bytes):
+            return self.store_array(value)
+        if type(value) is dict:
+            promoted = {
+                k: self.promote_value(v, min_bytes) for k, v in value.items()
+            }
+            if any(promoted[k] is not value[k] for k in promoted):
+                return promoted
+            return value
+        if type(value) in (list, tuple):
+            items = [self.promote_value(v, min_bytes) for v in value]
+            if any(a is not b for a, b in zip(items, value)):
+                return type(value)(items)
+            return value
+        return value
+
+    def promote_message(self, msg: Message, min_bytes: int) -> Message:
+        """Message with its payload promoted (word size preserved)."""
+        payload = self.promote_value(msg.payload, min_bytes)
+        if payload is msg.payload:
+            return msg
+        return message_with_payload(msg, payload)
+
+
+
+
+def materialize_value(value: Any) -> Any:
+    """Handles -> self-contained array copies, recursing into containers.
+
+    The checkpoint layer uses this so snapshots and backups survive
+    their segments being unlinked.  No arena needed — handles attach,
+    copy, and detach on their own (:meth:`StoredArray.materialize`).
+    """
+    if type(value) is StoredArray:
+        return value.materialize()
+    if type(value) is dict:
+        out = {k: materialize_value(v) for k, v in value.items()}
+        if any(out[k] is not value[k] for k in out):
+            return out
+        return value
+    if type(value) in (list, tuple):
+        items = [materialize_value(v) for v in value]
+        if any(a is not b for a, b in zip(items, value)):
+            return type(value)(items)
+        return value
+    return value
+
+
+# ``SharedMemory.close()`` unmaps silently even while numpy views still
+# point into the segment: the views borrow the buffer through the
+# memoryview, so neither the memoryview nor the mmap ever learns about
+# them, and a later read through such a view is a segfault rather than
+# an exception.  Terminal teardown therefore only unlinks the *name*
+# and parks the still-open mapping here; POSIX keeps unlinked mappings
+# valid, and the OS reclaims them when the process exits.  Mid-run
+# reclamation stays with :meth:`Arena.reconcile`, which closes only
+# segments proven unreachable from machine state.
+_parked_mappings: List[shared_memory.SharedMemory] = []
+
+
+def _release_segments(
+    segments: Dict[str, shared_memory.SharedMemory], prefix: str
+) -> None:
+    """Unlink every registered segment's name, then sweep the prefix.
+
+    Module-level (not a method) so ``weakref.finalize`` can run it after
+    the arena object itself is gone.  Mappings are parked rather than
+    closed — results handed out as zero-copy views must stay readable
+    after teardown (see ``_parked_mappings``), while ``unlink`` makes
+    sure nothing outlives the run on disk.
+    """
+    for name, shm in list(segments.items()):
+        _unlink_segment(shm)
+        _parked_mappings.append(shm)
+    segments.clear()
+    _sweep_prefix(prefix)
+
+
+def _sweep_prefix(prefix: str, keep: Sequence[str] = ()) -> List[str]:
+    """Unlink stray ``/dev/shm`` files matching ``prefix`` (orphans).
+
+    Covers segments whose handles never made it back to the coordinator
+    — e.g. created by a worker that ``os._exit``-ed mid-step.  Returns
+    the names removed.
+    """
+    removed: List[str] = []
+    directory = shm_dir()
+    if directory is None:
+        return removed
+    survivors = set(keep)
+    for name in active_segment_files(prefix):
+        if name in survivors:
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+            removed.append(name)
+        except OSError:
+            pass
+    return removed
+
+
+class Arena(_SegmentTable):
+    """Coordinator-side segment owner for one shm executor.
+
+    One arena per :class:`~repro.mpc.executor.ShmExecutor` instance (and
+    therefore per cluster).  Responsibilities:
+
+    * **promotion** — before machines ship to workers, replace their
+      large arrays (stores and inbox payloads) with handles, deduplicated
+      by object identity so a broadcast array shared by many machines
+      lands in one segment;
+    * **adoption** — attach segments that workers created for newly
+      written arrays, so their handles resolve on the coordinator;
+    * **collection** — :meth:`reconcile` drops any segment the machines
+      no longer reference (reachability is the ref-count);
+    * **teardown** — :meth:`destroy`, also registered via
+      ``weakref.finalize`` so an abandoned cluster cleans up at GC or
+      interpreter exit.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        super().__init__()
+        pid = os.getpid()
+        self.prefix = prefix or f"{SEGMENT_PREFIX}{pid:x}x{secrets.token_hex(3)}"
+        self._counter = 0
+        self.bytes_mapped = 0
+        self.segments_mapped = 0
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments, self.prefix
+        )
+
+    def _new_name(self) -> str:
+        self._counter += 1
+        return f"{self.prefix}s{self._counter}"
+
+    def _note_segment(self, nbytes: int) -> None:
+        self.bytes_mapped += int(nbytes)
+        self.segments_mapped += 1
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        """Adopt a worker-created segment (counted as newly mapped)."""
+        shm = _open_segment(name)
+        self._register(name, shm)
+        self._note_segment(shm.size)
+        return shm
+
+    # -- round lifecycle (called by ShmExecutor) ------------------------
+
+    def promote_machines(
+        self, machines: Sequence[Any], ids: Sequence[int], min_bytes: int
+    ) -> None:
+        """Swap participants' large arrays for handles before shipping.
+
+        This is a representation change, not a model write: slots are
+        assigned directly (no journaling) and word counts are identical
+        by :meth:`StoredArray.mpc_words`.  ``seen`` dedups by object
+        identity within the pass, so one array staged onto several
+        machines maps to a single shared segment.
+        """
+        seen: Dict[int, Any] = {}
+
+        def promote(value: Any) -> Any:
+            if type(value) is StoredArray:
+                return value
+            key = id(value)
+            cached = seen.get(key)
+            if cached is not None:
+                return cached
+            promoted = self.promote_value(value, min_bytes)
+            if promoted is not value:
+                # A handle or a container that now holds handles — either
+                # way, a broadcast value shared by several machines must
+                # map to the same segments, not one copy per machine.
+                seen[key] = promoted
+            return promoted
+
+        for mid in ids:
+            machine = machines[mid]
+            store = machine._store
+            for key in list(store):
+                value = store[key]
+                promoted = promote(value)
+                if promoted is not value:
+                    store[key] = promoted
+            if machine.inbox:
+                new_inbox: List[Message] = []
+                changed = False
+                for msg in machine.inbox:
+                    promoted = promote(msg.payload)
+                    if promoted is not msg.payload:
+                        msg = message_with_payload(msg, promoted)
+                        changed = True
+                    new_inbox.append(msg)
+                if changed:
+                    # Representation swap only — never journaled as an
+                    # inbox mutation.
+                    machine.inbox = new_inbox
+
+    def adopt_handles(self, values: Iterable[Any]) -> None:
+        """Attach any worker-created segments referenced by ``values``.
+
+        Recurses into plain containers — a worker may return a dict or
+        list whose inner arrays it promoted.
+        """
+        for value in values:
+            if type(value) is StoredArray:
+                if value.segment not in self._segments:
+                    try:
+                        self._attach(value.segment)
+                    except FileNotFoundError:
+                        # Dangling handle (its worker died before the
+                        # data landed); resolving it later raises, which
+                        # is the honest failure.
+                        pass
+            elif type(value) is dict:
+                self.adopt_handles(value.values())
+            elif type(value) in (list, tuple):
+                self.adopt_handles(value)
+
+    def _segment_of(self, value: Any) -> Optional[str]:
+        """Registered segment ``value`` keeps alive, or ``None``.
+
+        Both representations count: a :class:`StoredArray` handle, and a
+        raw numpy view whose backing buffer is one of our segments (a
+        step run inline put a resolved view back; promotion will map it
+        to its handle at the next shipped round).
+        """
+        if type(value) is StoredArray:
+            return value.segment
+        if isinstance(value, np.ndarray):
+            root: Any = value
+            while isinstance(root, np.ndarray) and root.base is not None:
+                root = root.base
+            return self._buffer_owner.get(id(root))
+        return None
+
+    def _collect_segments(self, value: Any, names: "set[str]") -> None:
+        """Add every segment ``value`` keeps alive (containers walked)."""
+        name = self._segment_of(value)
+        if name is not None:
+            names.add(name)
+        elif type(value) is dict:
+            for item in value.values():
+                self._collect_segments(item, names)
+        elif type(value) in (list, tuple):
+            for item in value:
+                self._collect_segments(item, names)
+
+    def _live_segments(self, machines: Iterable[Any]) -> "set[str]":
+        """Segment names reachable from any machine's store or inbox.
+
+        The machines are the single source of truth for liveness: a
+        segment nothing references any more (key deleted, value
+        overwritten, state restored from a checkpoint) is garbage.
+        """
+        names: "set[str]" = set()
+        for machine in machines:
+            for value in machine._store.values():
+                self._collect_segments(value, names)
+            for msg in machine.inbox:
+                self._collect_segments(msg.payload, names)
+        return names
+
+    def reconcile(self, machines: Sequence[Any]) -> None:
+        """Garbage-collect: drop segments no machine references.
+
+        Run at the start of every round, when all state is settled
+        (results installed, messages delivered).  Also adopts referenced
+        segments the arena has not seen yet (e.g. after state was
+        installed outside the executor's own return path).
+        """
+        live = self._live_segments(machines)
+        for name in list(self._segments):
+            if name not in live:
+                shm = self._forget(name)
+                if shm is not None:
+                    try:
+                        shm.close()
+                    except BufferError:
+                        pass
+                    _unlink_segment(shm)
+        for name in sorted(live):
+            if name not in self._segments:
+                try:
+                    self._attach(name)
+                except FileNotFoundError:
+                    pass
+
+    def sweep_orphans(self) -> List[str]:
+        """Unlink prefix-matching files not in the registry.
+
+        The post-crash path: after a worker death, segments created by
+        the dead worker (whose handles were lost with the round's
+        results) are unreachable orphans.  Registered segments survive.
+        """
+        return _sweep_prefix(self.prefix, keep=self.segment_names())
+
+    def pop_stats(self) -> Tuple[int, int]:
+        """Take ``(bytes_mapped, segments)`` accumulated since last pop."""
+        out = (self.bytes_mapped, self.segments_mapped)
+        self.bytes_mapped = 0
+        self.segments_mapped = 0
+        return out
+
+    def destroy(self) -> None:
+        """Unlink everything now (idempotent; finalizer is disarmed)."""
+        if self._finalizer.detach() is not None:
+            _release_segments(self._segments, self.prefix)
+        self._buffer_owner.clear()
+        self._owner_ids.clear()
+        self._buffer_start.clear()
+
+
+class WorkerArena(_SegmentTable):
+    """Worker-process segment client (one per worker process).
+
+    Attaches to parent segments on demand to resolve handles, and
+    creates new segments — under the parent arena's prefix, extended
+    with a worker-unique infix — for large arrays the step wrote.
+    :meth:`release_batch` detaches everything when the batch ends so a
+    long-lived pool worker never pins memory the coordinator has freed;
+    the files themselves persist until the coordinator (which adopts
+    worker segments by name) unlinks them.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._token = f"w{os.getpid():x}x{secrets.token_hex(3)}"
+        self._counter = 0
+        self._prefix = SEGMENT_PREFIX
+
+    def set_prefix(self, prefix: str) -> None:
+        """Adopt the coordinator arena's prefix for this batch."""
+        self._prefix = prefix
+
+    def _new_name(self) -> str:
+        self._counter += 1
+        return f"{self._prefix}{self._token}n{self._counter}"
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        shm = _open_segment(name)
+        self._register(name, shm)
+        return shm
+
+    def release_batch(self) -> None:
+        """Detach every cached segment (views permitting).
+
+        A segment whose buffer is still exported (a step stashed a view
+        somewhere — an MPC010 lint violation) raises ``BufferError`` on
+        close; it stays cached rather than crashing the worker.
+
+        The table entry is removed *before* closing: ``close()`` nulls
+        the buffer attribute, so forgetting afterwards would leave the
+        aliasing map holding the dead buffer's id — which a future
+        attachment can legitimately reuse.
+        """
+        for name in list(self._segments):
+            shm = self._forget(name)
+            if shm is None:
+                continue
+            try:
+                shm.close()
+            except BufferError:
+                self._register(name, shm)
+
+
+_WORKER_ARENA: Optional[WorkerArena] = None
+
+
+def worker_arena(prefix: str) -> WorkerArena:
+    """The process-global :class:`WorkerArena`, bound to ``prefix``."""
+    global _WORKER_ARENA
+    if _WORKER_ARENA is None:
+        _WORKER_ARENA = WorkerArena()
+    _WORKER_ARENA.set_prefix(prefix)
+    return _WORKER_ARENA

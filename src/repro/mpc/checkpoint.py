@@ -45,8 +45,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.mpc.accounting import CostReport
+from repro.mpc.arena import StoredArray, materialize_value
 from repro.mpc.machine import Machine
-from repro.mpc.message import Message
+from repro.mpc.message import Message, message_with_payload
 from repro.util.sizing import words
 
 _SHARED_SCALARS = (int, float, complex, bool, str, bytes, frozenset, type(None))
@@ -54,11 +55,19 @@ _SHARED_SCALARS = (int, float, complex, bool, str, bytes, frozenset, type(None))
 
 def copy_value(value: Any) -> Any:
     """Copy one stored value for a backup (copy-on-write where cheap)."""
+    if type(value) is StoredArray:
+        # Shared-memory handles are materialized: a backup must outlive
+        # the segment (restores may happen after the arena collected
+        # it), so snapshots and delta chains hold raw arrays only.
+        return value.materialize()
     if isinstance(value, np.ndarray):
         return value.copy()
     if isinstance(value, _SHARED_SCALARS):
         return value
     if isinstance(value, Message):
+        payload = materialize_value(value.payload)
+        if payload is not value.payload:
+            return message_with_payload(value, payload)
         return value  # frozen; payload immutable once sent
     if isinstance(value, tuple):
         return tuple(copy_value(v) for v in value)
@@ -75,8 +84,20 @@ def copy_store(store: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def copy_inbox(inbox: List[Message]) -> List[Message]:
-    """Backup copy of an inbox (messages shared, list copied)."""
-    return list(inbox)
+    """Backup copy of an inbox (messages shared, list copied).
+
+    Messages are immutable and normally shared with the backup — except
+    shared-memory handle payloads (top-level or inside containers),
+    which are materialized like stored handles: the backup must not
+    depend on a segment the arena may collect before a restore.
+    """
+    out: List[Message] = []
+    for m in inbox:
+        payload = materialize_value(m.payload)
+        out.append(
+            message_with_payload(m, payload) if payload is not m.payload else m
+        )
+    return out
 
 
 MachineState = Tuple[Dict[str, Any], List[Message]]

@@ -13,8 +13,10 @@ synchronous rounds.  One round is:
 
 *How* the machine steps are scheduled onto hardware is delegated to a
 pluggable :class:`~repro.mpc.executor.RoundExecutor` — serially in one
-thread (default), on a thread pool, or on a process pool
-(``executor="serial" | "thread" | "process"``).  Information flow is
+thread (default), on a thread pool, on a process pool, or on a process
+pool backed by a zero-copy shared-memory arena
+(``executor="serial" | "thread" | "process" | "shm"``).  Information
+flow is
 restricted exactly as in the model regardless of executor: a machine can
 only act on its own storage plus messages *delivered in earlier rounds*.
 (The step function receives only the `Machine` and a `RoundContext`;
@@ -62,6 +64,7 @@ from functools import partial
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.mpc.accounting import CostReport, FaultRecord, RoundRecord
+from repro.mpc.arena import DEFAULT_SHM_MIN_BYTES
 from repro.mpc.budget import (
     BudgetLike,
     BudgetRecord,
@@ -134,7 +137,8 @@ class Cluster:
         logarithmic loops in what should be O(1)-round code).
     executor:
         How machine steps are scheduled: ``"serial"`` (default),
-        ``"thread"``, ``"process"``, or a
+        ``"thread"``, ``"process"``, ``"shm"`` (process pool with large
+        arrays in a shared-memory arena), or a
         :class:`~repro.mpc.executor.RoundExecutor` instance.  The choice
         affects wall-clock only — results and accounting are identical.
     faults:
@@ -157,7 +161,8 @@ class Cluster:
         faulted machine's pre-round state from the delta chain instead
         of taking eager per-round backups.
     delta_shipping:
-        When True, executors that support it (the process executor)
+        When True, executors that support it (process; shm ships deltas
+        natively regardless of the flag)
         ship only the keys each step touched back to the coordinator
         instead of the full machine state.  Results and model-level
         accounting are bit-identical either way; only the measured
@@ -228,6 +233,13 @@ class Cluster:
         self.strict = cfg.strict
         self.round_limit = cfg.round_limit
         self.executor = get_executor(cfg.executor)
+        if cfg.shm_min_bytes != DEFAULT_SHM_MIN_BYTES and hasattr(
+            self.executor, "shm_min_bytes"
+        ):
+            # A non-default config knob reaches the shm executor; left
+            # at the default, an explicitly constructed executor
+            # instance keeps whatever threshold it was built with.
+            self.executor.shm_min_bytes = cfg.shm_min_bytes
         self.delta_shipping = bool(cfg.delta_shipping)
         if self.delta_shipping and getattr(
             self.executor, "supports_delta_shipping", False
@@ -360,6 +372,10 @@ class Cluster:
             self._report.ipc_rounds += 1
             self._report.ipc_bytes_shipped += ipc[0]
             self._report.ipc_bytes_returned += ipc[1]
+        shm_stats = self.executor.pop_shm_stats()
+        if shm_stats is not None:
+            self._report.shm_bytes_mapped += shm_stats[0]
+            self._report.shm_segments += shm_stats[1]
 
         all_messages: List[Message] = []
         sent_words = [0] * self.num_machines
@@ -559,6 +575,14 @@ class Cluster:
 
         if self.checkpoints is not None:
             self.checkpoints.observe(self)
+
+        # The round is fully settled — results installed, messages
+        # delivered, checkpoints taken.  This (and only this) is when an
+        # executor may garbage-collect round-crossing resources: the shm
+        # arena reconciles its segments against machine reachability
+        # here, never mid-recovery when kept results still hold handles
+        # the stores do not reference yet.
+        self.executor.finish_round(self.machines)
 
     def _violate(self, exc: Exception) -> None:
         if self.strict:

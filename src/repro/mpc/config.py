@@ -34,7 +34,10 @@ Field semantics:
   line);
 * ``metrics`` — per-round observability (``True`` for a fresh
   :class:`~repro.mpc.metrics.MetricsLog`, or a log instance shared
-  across phases), read back from ``cluster.metrics``.
+  across phases), read back from ``cluster.metrics``;
+* ``shm_min_bytes`` — promotion threshold of the shared-memory arena
+  when ``executor="shm"`` (arrays this large or larger live in
+  segments); ignored by the other executors.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional
 
+from repro.mpc.arena import DEFAULT_SHM_MIN_BYTES
 from repro.mpc.budget import BudgetLike, get_comm_budget
 from repro.mpc.checkpoint import CheckpointLike
 from repro.mpc.executor import ExecutorLike
@@ -70,6 +74,10 @@ class SimulationConfig:
     round_limit: Optional[int] = None
     comm_budget: BudgetLike = None
     metrics: MetricsLike = None
+    # Arena promotion threshold for ``executor="shm"``: arrays at least
+    # this many bytes move into shared-memory segments; smaller values
+    # ride the pickle stream.  Ignored by the other executors.
+    shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES
 
     def __post_init__(self) -> None:
         if not 0 < self.eps < 1:
@@ -80,6 +88,10 @@ class SimulationConfig:
             )
         if self.round_limit is not None and self.round_limit < 1:
             raise ValueError(f"round_limit must be >= 1, got {self.round_limit}")
+        if self.shm_min_bytes < 0:
+            raise ValueError(
+                f"shm_min_bytes must be >= 0, got {self.shm_min_bytes}"
+            )
         # Validate the coercible policy fields eagerly so a bad budget
         # mode or metrics spec fails at config construction, not first
         # round.  (The coerced values are rebuilt by the consumer; the

@@ -14,8 +14,13 @@ scheduled onto hardware.  This module makes that choice pluggable:
   worker, the step runs there, and the mutated state plus the outbox
   come back.  This is the executor whose wall-clock reflects the
   machine-parallelism the model promises (on multi-core hosts).
+* :class:`ShmExecutor` — process pool plus a shared-memory
+  :class:`~repro.mpc.arena.Arena`: large arrays live in named segments
+  and only :class:`~repro.mpc.arena.StoredArray` handles, scalars, and
+  journals cross the IPC boundary.  Same scheduling as the process
+  executor with the pickling volume removed.
 
-All three produce **bit-identical results and cost accounting**: a step
+All four produce **bit-identical results and cost accounting**: a step
 function only ever sees its own :class:`~repro.mpc.machine.Machine` and
 a :class:`RoundContext`, outboxes are collected per machine and
 assembled in machine-id order, and any randomness is derived from
@@ -27,7 +32,8 @@ Requirements on step functions
 ------------------------------
 
 :class:`SerialExecutor` and :class:`ThreadExecutor` accept any callable.
-:class:`ProcessExecutor` additionally requires the step to be
+:class:`ProcessExecutor` and :class:`ShmExecutor` additionally require
+the step to be
 *picklable*: a module-level function, or a :func:`functools.partial` of
 one with picklable bound arguments.  Closures and lambdas raise
 :class:`ExecutorStepError` with a pointer to this rule.  Every step
@@ -44,6 +50,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.mpc.arena import DEFAULT_SHM_MIN_BYTES, Arena, worker_arena
 from repro.mpc.errors import ExecutorStepError, InvalidAddress, WorkerDied
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
@@ -217,6 +224,25 @@ class RoundExecutor:
         totals include replay attempts.
         """
         return None
+
+    def pop_shm_stats(self) -> Optional[Tuple[int, int]]:
+        """Take ``(bytes_mapped, segments)`` placed in shared memory.
+
+        ``None`` for executors without an arena.  Same pop discipline as
+        :meth:`pop_ipc_bytes`; the cluster accumulates the totals into
+        ``CostReport.shm_bytes_mapped`` / ``shm_segments``.
+        """
+        return None
+
+    def finish_round(self, machines: Sequence[Machine]) -> None:
+        """Hook run by the cluster once a round is fully settled.
+
+        Called after results are installed, messages delivered, and
+        checkpoints taken — the only point where machine state is the
+        complete picture of what the computation references.  The shm
+        executor garbage-collects arena segments here; the in-process
+        and process executors have nothing to reclaim.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -526,6 +552,268 @@ class ProcessExecutor(RoundExecutor):
         return results
 
 
+def _run_shm_batch(
+    machines: List[Machine],
+    client: Any,
+    step: StepFn,
+    round_index: int,
+    num_machines: int,
+    min_bytes: int,
+) -> bytes:
+    """Step a batch of machines against the shared-memory arena.
+
+    Mirrors :func:`_process_batch_worker`'s journal-driven delta path,
+    with two twists: the machines arrive holding :class:`StoredArray`
+    handles (resolved to views on read via the worker arena installed as
+    ``machine._arena``), and on the way out every journaled value and
+    outbox payload is *promoted* — views of known segments map back to
+    their handles without copying (the in-place mutation is already
+    visible through the segment), and large freshly-written arrays move
+    into new worker-created segments the coordinator adopts by name.
+    Only handles, small values, and journals end up in the return blob.
+    """
+    out: List[WorkerResult] = []
+    for machine in machines:
+        machine._arena = client
+        machine.reset_journal()
+        ctx = RoundContext(num_machines, machine, round_index)
+        step(machine, ctx)
+        written_keys, deleted_keys, inbox_dirty = machine.journal()
+        touched = sorted(written_keys | deleted_keys)
+        written = tuple(k for k in touched if k in machine._store)
+        removed = tuple(k for k in touched if k not in machine._store)
+        store_delta: Dict[str, Any] = {}
+        for key in written:
+            store_delta[key] = client.promote_value(machine._store[key], min_bytes)
+        outbox = [client.promote_message(msg, min_bytes) for msg in ctx._outbox]
+        inbox = machine.inbox if inbox_dirty else None
+        out.append(
+            (machine.machine_id, None, store_delta, written, removed,
+             inbox, inbox_dirty, outbox)
+        )
+    return pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _shm_batch_worker(
+    blob: bytes,
+    step: StepFn,
+    round_index: int,
+    num_machines: int,
+    min_bytes: int,
+    prefix: str,
+) -> bytes:
+    """Worker-side round execution for the shm executor.
+
+    Raw-bytes in/out like :func:`_process_batch_worker` (so ``len()`` of
+    each blob is the measured IPC volume — now dominated by handles and
+    scalars rather than array contents).  All segment attachments are
+    released once the result blob exists: the batch's locals die inside
+    :func:`_run_shm_batch`, so nothing exports the buffers any more and
+    a long-lived pool worker never pins memory the coordinator freed.
+    """
+    client = worker_arena(prefix)
+    try:
+        return _run_shm_batch(
+            pickle.loads(blob), client, step, round_index, num_machines, min_bytes
+        )
+    finally:
+        client.release_batch()
+
+
+class ShmExecutor(RoundExecutor):
+    """Zero-copy variant of the process executor (``executor="shm"``).
+
+    Machine batches still run on the shared process pool, but large
+    arrays never cross the pipe: before dispatch the executor's
+    :class:`~repro.mpc.arena.Arena` *promotes* them — store values and
+    inbox payloads alike — into named shared-memory segments, leaving
+    tiny :class:`~repro.mpc.arena.StoredArray` handles in their place.
+    Workers attach to the segments and read/write numpy views directly;
+    the return path is the delta-shipping protocol with every large
+    value likewise reduced to a handle.  ``pop_ipc_bytes`` therefore
+    measures only the residue (handles, scalars, journals, small
+    values); the array volume appears under :meth:`pop_shm_stats` as
+    ``shm_bytes_mapped``, each segment counted once when it enters the
+    arena.
+
+    Results and model accounting are bit-identical to the other three
+    executors: a handle charges exactly the words of its array,
+    promotion never touches journals, and scheduling is unchanged.  The
+    aliasing contract steps already obey (mutate in place -> put back)
+    is what makes writes safe; see docs/MPC_MODEL.md ("zero-copy
+    contract").
+
+    Delta shipping is the executor's native return protocol, always on;
+    the ``delta_shipping`` flag exists for registry compatibility and is
+    ignored.  On teardown — explicit :meth:`close`, garbage collection,
+    or interpreter exit — the arena unlinks every segment and sweeps its
+    name prefix, including after a ``BrokenProcessPool`` (a dead
+    worker's half-registered segments are orphans by then).
+    """
+
+    name = "shm"
+    supports_delta_shipping = True
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        shm_min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+        delta_shipping: bool = True,
+    ) -> None:
+        self.max_workers = max_workers or default_process_workers()
+        self.shm_min_bytes = shm_min_bytes
+        self.delta_shipping = True  # native protocol; the flag is a no-op
+        self._arena: Optional[Arena] = None
+        self._ipc_shipped = 0
+        self._ipc_returned = 0
+
+    @property
+    def arena(self) -> Arena:
+        """The executor's arena, created on first use."""
+        if self._arena is None:
+            self._arena = Arena()
+        return self._arena
+
+    def pop_ipc_bytes(self) -> Optional[Tuple[int, int]]:
+        if self._ipc_shipped == 0 and self._ipc_returned == 0:
+            return None
+        out = (self._ipc_shipped, self._ipc_returned)
+        self._ipc_shipped = 0
+        self._ipc_returned = 0
+        return out
+
+    def pop_shm_stats(self) -> Optional[Tuple[int, int]]:
+        if self._arena is None:
+            return None
+        stats = self._arena.pop_stats()
+        return stats if stats != (0, 0) else None
+
+    def finish_round(self, machines: Sequence[Machine]) -> None:
+        """Reclaim segments no store, inbox, or pending outbox reaches.
+
+        Runs at the settled end of a round (after delivery, accounting
+        and checkpoint observation) — the only point where the machines'
+        stores are the complete picture of what is live.
+        """
+        if self._arena is not None:
+            self._arena.reconcile(machines)
+
+    def close(self) -> None:
+        """Unlink every arena segment now (handles become dangling)."""
+        if self._arena is not None:
+            self._arena.destroy()
+            self._arena = None
+
+    def _chunks(self, ids: List[int]) -> List[List[int]]:
+        per = -(-len(ids) // self.max_workers)
+        return [ids[i : i + per] for i in range(0, len(ids), per)]
+
+    def run_round(
+        self,
+        machines: Sequence[Machine],
+        ids: Sequence[int],
+        step: StepFn,
+        round_index: int,
+        num_machines: int,
+    ) -> List[MachineRoundResult]:
+        arena = self.arena
+        for machine in machines:
+            if machine._arena is not arena:
+                machine._arena = arena
+        ids = list(ids)
+        if len(ids) <= 1:
+            # One-machine rounds run inline like the process executor;
+            # ``machine._arena`` resolves any handles the step reads.
+            return [
+                _execute_inplace(machines[mid], step, round_index, num_machines)
+                for mid in ids
+            ]
+        arena.promote_machines(machines, ids, self.shm_min_bytes)
+        pool = _shared_process_pool(self.max_workers)
+        futures = []
+        for chunk in self._chunks(ids):
+            try:
+                blob = pickle.dumps(
+                    [machines[mid] for mid in chunk],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception as exc:
+                if _is_pickling_error(exc):
+                    raise ExecutorStepError(
+                        "machine state could not be pickled for the shm "
+                        f"executor (original error: {exc!r})"
+                    ) from exc
+                raise
+            self._ipc_shipped += len(blob)
+            futures.append(
+                pool.submit(
+                    _shm_batch_worker,
+                    blob,
+                    step,
+                    round_index,
+                    num_machines,
+                    self.shm_min_bytes,
+                    arena.prefix,
+                )
+            )
+        results: List[MachineRoundResult] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                rblob = future.result()
+            except BrokenProcessPool as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            except Exception as exc:
+                if _is_pickling_error(exc):
+                    raise ExecutorStepError(
+                        "step function (or its payloads) could not be pickled "
+                        "for the shm executor; use a module-level callable "
+                        "with functools.partial-bound arguments instead of a "
+                        f"closure/lambda (original error: {exc!r})"
+                    ) from exc
+                raise
+            self._ipc_returned += len(rblob)
+            batch: List[WorkerResult] = pickle.loads(rblob)
+            for (machine_id, store, store_delta, written, removed,
+                 inbox, inbox_dirty, outbox) in batch:
+                results.append(
+                    MachineRoundResult(
+                        machine_id=machine_id,
+                        outbox=outbox,
+                        store=store,
+                        inbox=inbox,
+                        store_delta=store_delta,
+                        written=written,
+                        removed=removed,
+                        inbox_dirty=inbox_dirty,
+                    )
+                )
+        if first_error is not None:
+            # Same contract as the process executor, plus shm hygiene:
+            # a dead worker's freshly-created segments are unreachable
+            # (their handles died with the round's results), so sweep
+            # the prefix before surfacing the retryable failure.
+            _discard_process_pool()
+            arena.sweep_orphans()
+            raise WorkerDied(round_index) from first_error
+        # Adopt worker-created segments eagerly so their handles resolve
+        # on the coordinator and the round's stats include them.
+        handles: List[Any] = []
+        for res in results:
+            if res.store_delta:
+                handles.extend(res.store_delta.values())
+            if res.inbox:
+                handles.extend(msg.payload for msg in res.inbox)
+            handles.extend(msg.payload for msg in res.outbox)
+        arena.adopt_handles(handles)
+        order = {mid: i for i, mid in enumerate(ids)}
+        results.sort(key=lambda res: order[res.machine_id])
+        return results
+
+
 def _is_pickling_error(exc: BaseException) -> bool:
     """Heuristic: did a future fail because something wasn't picklable?
 
@@ -552,6 +840,7 @@ EXECUTORS: Dict[str, Callable[[], RoundExecutor]] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "shm": ShmExecutor,
 }
 
 ExecutorLike = Union[None, str, RoundExecutor]

@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
 
+from repro.mpc.arena import StoredArray
 from repro.mpc.message import Message
 from repro.util.sizing import words
+
+_MISSING = object()
 
 
 class Machine:
@@ -35,7 +38,7 @@ class Machine:
     """
 
     __slots__ = ("machine_id", "_store", "inbox", "_j_written", "_j_deleted",
-                 "_j_inbox")
+                 "_j_inbox", "_arena")
 
     def __init__(self, machine_id: int) -> None:
         self.machine_id = machine_id
@@ -44,6 +47,12 @@ class Machine:
         self._j_written: Set[str] = set()
         self._j_deleted: Set[str] = set()
         self._j_inbox: bool = False
+        # Under the shm executor large arrays live in a shared-memory
+        # arena and the store/inbox hold StoredArray *handles*; the
+        # resolver (an Arena on the coordinator, a WorkerArena in pool
+        # workers) turns them back into numpy views on read.  ``None``
+        # everywhere else — the plain dict path is untouched.
+        self._arena: Any = None
 
     # -- storage ------------------------------------------------------
 
@@ -54,8 +63,23 @@ class Machine:
         self._j_deleted.discard(key)
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Read a stored value, or ``default`` when absent."""
-        return self._store.get(key, default)
+        """Read a stored value, or ``default`` when absent.
+
+        A value held as a shared-memory handle resolves to a live numpy
+        view — step code sees arrays either way, and in-place mutations
+        through the view hit the segment directly (put the value back,
+        as always, so the write is journaled).  Containers are resolved
+        recursively: a dict whose arrays were promoted reads back as a
+        dict of views.
+        """
+        value = self._store.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        if self._arena is not None and type(value) in (
+            StoredArray, dict, list, tuple
+        ):
+            return self._arena.resolve_value(value)
+        return value
 
     def pop(self, key: str, default: Any = None) -> Any:
         """Remove and return a stored value."""
@@ -123,6 +147,10 @@ class Machine:
     # starts fresh, so its journal records exactly what the step
     # touched (the delta-shipping payload).
 
+    # The arena resolver is process-local (it wraps live shared-memory
+    # attachments) and is likewise not shipped; the worker installs its
+    # own before running the step.
+
     def __getstate__(self) -> Tuple[int, Dict[str, Any], List[Message]]:
         return (self.machine_id, self._store, self.inbox)
 
@@ -131,6 +159,7 @@ class Machine:
         self._j_written = set()
         self._j_deleted = set()
         self._j_inbox = False
+        self._arena = None
 
     # -- accounting ----------------------------------------------------
 
@@ -158,6 +187,11 @@ class Machine:
         if taken:
             self._j_inbox = True
         taken.sort(key=lambda m: (m.src, m.tag))
+        if self._arena is not None:
+            # Handle payloads resolve to live views on the way out, so
+            # step code always receives arrays.  Messages left in the
+            # inbox keep their handles (nothing to re-pack on shipping).
+            taken = [self._arena.resolve_message(m) for m in taken]
         return taken
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

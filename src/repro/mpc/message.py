@@ -51,3 +51,18 @@ class Message:
         object.__setattr__(self, "tag", tag)
         object.__setattr__(self, "payload", payload)
         object.__setattr__(self, "size_words", size_words)
+
+
+def message_with_payload(msg: Message, payload: Any) -> Message:
+    """A copy of ``msg`` carrying ``payload``, word size preserved.
+
+    The shared-memory arena swaps payloads between an array and its
+    :class:`~repro.mpc.arena.StoredArray` handle in both directions.
+    The two representations charge identical words (one per element),
+    but the cached ``size_words`` is carried over rather than recomputed
+    so a payload is only ever sized once, at original construction —
+    same rule as the pickling path above.
+    """
+    clone = Message.__new__(Message)
+    clone.__setstate__((msg.src, msg.dest, msg.tag, payload, msg.size_words))
+    return clone

@@ -2,15 +2,34 @@
 
 from __future__ import annotations
 
+import gc
+
 import numpy as np
 import pytest
 
 from repro.data.synthetic import gaussian_clusters, uniform_lattice
+from repro.mpc.arena import active_segment_files
 
 #: Round executors the ``executor_matrix`` marker parametrizes over —
 #: every marked test runs once per entry and must produce identical
 #: results (the executor-independence contract of repro.mpc.executor).
-EXECUTOR_MATRIX = ["serial", "thread", "process"]
+EXECUTOR_MATRIX = ["serial", "thread", "process", "shm"]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_shm_segments():
+    """Assert every test leaves ``/dev/shm`` free of arena segments.
+
+    The arena's leak-proofing contract (docs/MPC_MODEL.md): no simulator
+    segment survives a test, including tests that kill pool workers via
+    ``os._exit``.  ``gc.collect()`` first so arenas that went
+    unreachable during the test run their finalizers before the sweep.
+    """
+    before = set(active_segment_files())
+    yield
+    gc.collect()
+    leaked = [name for name in active_segment_files() if name not in before]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 # The executor_matrix marker itself is registered in pyproject.toml

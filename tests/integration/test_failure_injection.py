@@ -27,7 +27,7 @@ from repro.mpc.errors import (
 from repro.mpc.faults import FaultEvent, FaultPlan
 from repro.partition.base import CoverageFailure
 
-EXECUTOR_NAMES = ["serial", "thread", "process"]
+EXECUTOR_NAMES = ["serial", "thread", "process", "shm"]
 
 
 class TestMemoryPressure:

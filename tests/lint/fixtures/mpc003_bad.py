@@ -1,4 +1,5 @@
 """MPC003 fixture: step functions writing module-level mutable globals."""
+# mpclint: disable-file=MPC010
 
 _CACHE = {}
 _LOG = []

@@ -1,0 +1,42 @@
+"""MPC010 fixture: steps leaking arena views and shipping raw buffers.
+
+MPC003 is file-disabled because every global stash here would also fire
+it — this fixture isolates the zero-copy-contract rule.
+"""
+# mpclint: disable-file=MPC003
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+_VIEW_CACHE = []
+_LAST_VIEW = None
+
+
+def _mint_segment_step(machine, ctx):
+    seg = shared_memory.SharedMemory(create=True, size=1024)
+    machine.put("name", seg.name)
+
+
+def _send_memoryview_step(machine, ctx):
+    data = np.asarray(machine.get("data"))
+    ctx.send(0, memoryview(data), tag="raw")
+
+
+def _send_buf_step(machine, ctx):
+    seg = machine.get("segment")
+    ctx.send(1, seg.buf, tag="raw")
+
+
+def _put_memoryview_step(machine, ctx):
+    block = np.zeros(128)
+    machine.put("raw", memoryview(block))
+
+
+def _global_stash_step(machine, ctx):
+    global _LAST_VIEW
+    _LAST_VIEW = machine.get("data")
+
+
+def _append_stash_step(machine, ctx):
+    _VIEW_CACHE.append(machine.get("data"))

@@ -1,0 +1,34 @@
+"""MPC010 clean twin: views stay local, payloads are arrays, copies
+outlive the round, and segment plumbing lives outside step functions."""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def _local_view_step(machine, ctx):
+    # Views are fine while they stay inside the step.
+    view = machine.get("data")
+    machine.put("total", float(np.asarray(view).sum()))
+
+
+def _send_array_step(machine, ctx):
+    # Sending the array itself is the supported path — the executor
+    # promotes it to a segment when it is large enough.
+    ctx.send(0, np.asarray(machine.get("data")), tag="data")
+
+
+def _copy_before_keep_step(machine, ctx):
+    # A copy owns its memory, so keeping it in the store is safe.
+    machine.put("kept", np.asarray(machine.get("data")).copy())
+
+
+def harness_allocates_segments():
+    # Not a step: arena internals and test harnesses may manage
+    # segments directly.
+    seg = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        return memoryview(seg.buf)[:0].tobytes()
+    finally:
+        seg.close()
+        seg.unlink()

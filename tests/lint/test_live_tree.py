@@ -13,7 +13,7 @@ ROOT = Path(__file__).resolve().parents[2]
 
 def test_rule_catalogue_complete():
     ids = [rule.id for rule in all_rules()]
-    assert ids == [f"MPC00{i}" for i in range(1, 10)]
+    assert ids == [f"MPC00{i}" for i in range(1, 10)] + ["MPC010"]
     for rule in all_rules():
         assert rule.title and rule.fix_hint, f"{rule.id} is missing docs"
 
@@ -40,6 +40,24 @@ def test_seeded_violation_is_caught(tmp_path):
     patched.write_text(source)
     violations = run_paths([patched], root=tmp_path)
     assert {v.rule_id for v in violations} == {"MPC001", "MPC002"}
+
+
+def test_seeded_arena_leak_is_caught(tmp_path):
+    """Seed a step that stashes a view globally and ships a raw buffer —
+    MPC010's acceptance scenario on a real module."""
+    victim = ROOT / "src" / "repro" / "mpc" / "dedup.py"
+    patched = tmp_path / "dedup.py"
+    source = victim.read_text()
+    source += (
+        "\n\n"
+        "_LEAKED = []\n\n\n"
+        "def _seeded_leak_step(machine, ctx):\n"
+        "    _LEAKED.append(machine.get('keys'))\n"
+        "    ctx.send(0, memoryview(np.zeros(8)), tag='raw')\n"
+    )
+    patched.write_text(source)
+    violations = run_paths([patched], root=tmp_path, select=["MPC010"])
+    assert [v.rule_id for v in violations] == ["MPC010", "MPC010"]
 
 
 def test_seeded_docs_drift_is_caught(tmp_path):

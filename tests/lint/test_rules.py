@@ -21,6 +21,7 @@ CASES = {
     "MPC006": ("mpc006_bad.py", 3, "mpc006_good.py"),
     "MPC007": ("mpc007_bad.py", 3, "mpc007_good.py"),
     "MPC009": ("mpc009_bad.py", 4, "mpc009_good.py"),
+    "MPC010": ("mpc010_bad.py", 6, "mpc010_good.py"),
 }
 
 

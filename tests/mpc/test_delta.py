@@ -275,6 +275,8 @@ class TestTransportAccounting:
             "ipc_bytes_shipped",
             "ipc_bytes_returned",
             "ipc_bytes",
+            "shm_bytes_mapped",
+            "shm_segments",
             "checkpoint_snapshots",
             "checkpoint_deltas",
             "checkpoint_bytes",

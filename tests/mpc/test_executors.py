@@ -31,7 +31,7 @@ from repro.mpc.message import Message
 from repro.mpc.primitives import collect_rows, scatter_rows
 from repro.mpc.sort import sort_by_key
 
-EXECUTOR_NAMES = ["serial", "thread", "process"]
+EXECUTOR_NAMES = ["serial", "thread", "process", "shm"]
 
 
 class TestGetExecutor:

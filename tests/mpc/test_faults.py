@@ -34,7 +34,7 @@ from repro.mpc.executor import _is_pickling_error, shutdown_executors
 from repro.mpc.faults import CRASH_MARKER, RoundFaults, get_recovery_policy
 from repro.util.rng import machine_rng
 
-EXECUTOR_NAMES = ["serial", "thread", "process"]
+EXECUTOR_NAMES = ["serial", "thread", "process", "shm"]
 
 FAULT_SEEDS = [
     int(s) for s in os.environ.get("REPRO_FAULT_SEEDS", "5").split(",") if s.strip()

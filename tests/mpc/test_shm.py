@@ -1,0 +1,512 @@
+"""The shared-memory executor and its arena (``executor="shm"``).
+
+The zero-copy contract (docs/MPC_MODEL.md): large arrays live in named
+shared-memory segments and machines hold :class:`StoredArray` handles;
+workers attach and read/write views; only handles, scalars, and journals
+cross the IPC boundary.  Everything observable — results, ``core_dict``
+accounting, journal semantics, checkpoint round-trips, fault replay —
+must be bit-identical to the serial executor, and no segment may outlive
+its arena (the autouse leak fixture in conftest.py audits ``/dev/shm``
+after every test here).
+"""
+
+import gc
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.jl.mpc_fjlt import mpc_fjlt
+from repro.mpc import (
+    Arena,
+    CheckpointPolicy,
+    Cluster,
+    CommBudget,
+    FaultEvent,
+    FaultPlan,
+    ShmExecutor,
+    SimulationConfig,
+    StoredArray,
+)
+from repro.mpc.arena import (
+    DEFAULT_SHM_MIN_BYTES,
+    SEGMENT_PREFIX,
+    WorkerArena,
+    active_segment_files,
+)
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+from repro.mpc.primitives import broadcast, collect_rows, scatter_rows
+from repro.util.rng import machine_rng
+
+
+def _work_step(machine, ctx):
+    """Deterministic busywork touching arrays, messages, and scalars."""
+    inbox_sum = sum(float(m.payload.sum()) for m in machine.take_inbox(tag="ring"))
+    rng = machine_rng(4321 + ctx.round_index, machine.machine_id)
+    data = machine.get("data")
+    machine.put("data", data + rng.normal(size=data.shape) + inbox_sum)
+    machine.put("steps", machine.get("steps", 0) + 1)
+    ctx.send(
+        (machine.machine_id + 1) % ctx.num_machines,
+        machine.get("data")[:16].copy(),
+        tag="ring",
+    )
+
+
+def _run_pipeline(executor, *, machines=4, rounds=3, n=512, **kwargs):
+    cluster = Cluster(machines, 1 << 20, executor=executor, **kwargs)
+    rng = np.random.default_rng(99)
+    for machine in cluster:
+        machine.put("data", rng.normal(size=n))
+    for _ in range(rounds):
+        cluster.round(_work_step, label="work")
+    state = [np.asarray(m.get("data")).copy() for m in cluster]
+    return state, cluster
+
+
+class TestStoredArray:
+    def test_words_match_raw_array(self):
+        from repro.util.sizing import words
+
+        arr = np.arange(20.0).reshape(4, 5)
+        handle = StoredArray("seg", arr.dtype.str, arr.shape, 0)
+        assert handle.mpc_words() == words(arr)
+        assert words(handle) == words(arr)
+
+    def test_handle_pickles_small(self):
+        handle = StoredArray("seg", "<f8", (1 << 20,), 0)
+        assert len(pickle.dumps(handle)) < 200
+
+    def test_materialize_roundtrip(self):
+        arena = Arena()
+        try:
+            arr = np.random.default_rng(0).normal(size=(32, 8))
+            handle = arena.store_array(arr)
+            np.testing.assert_array_equal(handle.materialize(), arr)
+        finally:
+            arena.destroy()
+
+
+class TestArena:
+    def test_promote_and_view_zero_copy(self):
+        arena = Arena()
+        try:
+            arr = np.arange(256.0)
+            handle = arena.promote_value(arr, min_bytes=8)
+            assert type(handle) is StoredArray
+            view = arena.view(handle)
+            np.testing.assert_array_equal(view, arr)
+            # The view writes through to the segment: a second view sees it.
+            view[0] = -1.0
+            assert arena.view(handle)[0] == -1.0
+        finally:
+            arena.destroy()
+
+    def test_small_values_stay_inline(self):
+        arena = Arena()
+        try:
+            assert arena.promote_value(np.arange(4.0), DEFAULT_SHM_MIN_BYTES) is not None
+            small = np.arange(4.0)
+            assert arena.promote_value(small, DEFAULT_SHM_MIN_BYTES) is small
+            assert arena.promote_value("scalar", DEFAULT_SHM_MIN_BYTES) == "scalar"
+            assert arena.promote_value(3.5, DEFAULT_SHM_MIN_BYTES) == 3.5
+        finally:
+            arena.destroy()
+
+    def test_container_values_promote_inner_arrays(self):
+        # A broadcast dict of shift tables must cross the boundary as
+        # handles, not re-pickle its arrays every round.
+        arena = Arena()
+        try:
+            big = np.arange(512.0)
+            value = {"shifts": big, "scale": 2.0, "rows": [np.arange(256.0), 7]}
+            promoted = arena.promote_value(value, min_bytes=8)
+            assert promoted is not value
+            assert type(promoted["shifts"]) is StoredArray
+            assert promoted["scale"] == 2.0
+            assert type(promoted["rows"][0]) is StoredArray
+            assert promoted["rows"][1] == 7
+            # Handle pickles are tiny; that is the whole point.
+            assert len(pickle.dumps(promoted)) < 600
+            resolved = arena.resolve_value(promoted)
+            np.testing.assert_array_equal(resolved["shifts"], big)
+            # The resolved view writes through to the shared segment.
+            resolved["shifts"][0] = -5.0
+            assert arena.resolve_value(promoted)["shifts"][0] == -5.0
+        finally:
+            arena.destroy()
+
+    def test_container_without_eligible_arrays_passes_through(self):
+        arena = Arena()
+        try:
+            value = {"k": 3, "small": np.arange(4.0)}
+            assert arena.promote_value(value, DEFAULT_SHM_MIN_BYTES) is value
+            assert arena.resolve_value(value) is value
+        finally:
+            arena.destroy()
+
+    def test_view_maps_back_to_same_segment(self):
+        # get -> mutate in place -> put must alias, not copy: the round
+        # trip yields a handle naming the original segment.
+        arena = Arena()
+        try:
+            handle = arena.store_array(np.arange(128.0))
+            view = arena.view(handle)
+            view *= 2.0
+            again = arena.promote_value(view, min_bytes=8)
+            assert type(again) is StoredArray
+            assert again.segment == handle.segment
+            assert len(arena) == 1
+        finally:
+            arena.destroy()
+
+    def test_reconcile_collects_unreferenced(self):
+        arena = Arena()
+        try:
+            machine = Machine(0)
+            machine._arena = arena
+            machine._store["keep"] = arena.store_array(np.arange(128.0))
+            arena.store_array(np.arange(64.0))  # unreferenced
+            assert len(arena) == 2
+            arena.reconcile([machine])
+            assert len(arena) == 1
+            assert arena.segment_names() == [machine._store["keep"].segment]
+        finally:
+            arena.destroy()
+
+    def test_reconcile_keeps_segments_aliased_by_raw_views(self):
+        # Inline rounds leave numpy *views* (not handles) in stores; the
+        # collector must treat them as references to the segment.
+        arena = Arena()
+        try:
+            machine = Machine(0)
+            machine._arena = arena
+            handle = arena.store_array(np.arange(128.0))
+            machine._store["v"] = arena.view(handle)
+            arena.reconcile([machine])
+            assert arena.segment_names() == [handle.segment]
+        finally:
+            arena.destroy()
+
+    def test_destroy_unlinks_everything(self):
+        arena = Arena()
+        prefix = arena.prefix
+        arena.store_array(np.arange(512.0))
+        assert active_segment_files(prefix)
+        arena.destroy()
+        assert active_segment_files(prefix) == []
+
+    def test_finalizer_runs_on_gc(self):
+        arena = Arena()
+        prefix = arena.prefix
+        arena.store_array(np.arange(512.0))
+        del arena
+        gc.collect()
+        assert active_segment_files(prefix) == []
+
+    def test_pop_stats_counts_each_segment_once(self):
+        arena = Arena()
+        try:
+            arr = np.arange(256.0)
+            arena.store_array(arr)
+            arena.store_array(arr)
+            assert arena.pop_stats() == (2 * arr.nbytes, 2)
+            assert arena.pop_stats() == (0, 0)
+        finally:
+            arena.destroy()
+
+    def test_worker_arena_release_batch_purges_alias_maps(self):
+        # close() nulls the buffer attribute; releasing must not leave
+        # the dead buffer's id in the aliasing map (ids get reused).
+        arena = Arena()
+        worker = WorkerArena()
+        try:
+            handle = arena.store_array(np.arange(128.0))
+            worker.view(handle)
+            assert len(worker) == 1
+            worker.release_batch()
+            assert len(worker) == 0
+            assert worker._buffer_owner == {}
+            assert worker._buffer_start == {}
+        finally:
+            arena.destroy()
+
+
+class TestHandleJournalSemantics:
+    """Promotion is a representation change, never a journal event."""
+
+    def test_parent_promotion_not_journaled(self):
+        executor = ShmExecutor(max_workers=2)
+        try:
+            machines = [Machine(i) for i in range(2)]
+            for m in machines:
+                m.put("data", np.random.default_rng(m.machine_id).normal(size=512))
+                m.reset_journal()
+            executor.run_round(machines, [0, 1], _noop_step, 0, 2)
+            for m in machines:
+                written, deleted, inbox_dirty = m.journal()
+                assert written == set() and deleted == set() and not inbox_dirty
+        finally:
+            executor.close()
+
+    def test_worker_writes_journal_as_usual(self):
+        executor = ShmExecutor(max_workers=2)
+        try:
+            machines = [Machine(i) for i in range(2)]
+            for m in machines:
+                m.put("data", np.random.default_rng(m.machine_id).normal(size=512))
+                m.reset_journal()
+            results = executor.run_round(machines, [0, 1], _double_step, 0, 2)
+            for res in results:
+                assert res.written == ("data",)
+                assert type(res.store_delta["data"]) is StoredArray
+        finally:
+            executor.close()
+
+    def test_get_resolves_handle_to_array(self):
+        executor = ShmExecutor(max_workers=2)
+        try:
+            machines = [Machine(i) for i in range(2)]
+            base = np.random.default_rng(5).normal(size=512)
+            for m in machines:
+                m.put("data", base.copy())
+            results = executor.run_round(machines, [0, 1], _double_step, 0, 2)
+            for res in results:  # install deltas, as the cluster would
+                machines[res.machine_id]._store.update(res.store_delta)
+            for m in machines:
+                assert type(m._store["data"]) is StoredArray
+                np.testing.assert_array_equal(m.get("data"), base * 2.0)
+        finally:
+            executor.close()
+
+
+def _noop_step(machine, ctx):
+    pass
+
+
+def _double_step(machine, ctx):
+    machine.put("data", machine.get("data") * 2.0)
+
+
+class TestBitIdentity:
+    def test_pipeline_matches_serial(self):
+        base_state, base = _run_pipeline("serial")
+        state, cluster = _run_pipeline("shm")
+        for a, b in zip(state, base_state):
+            np.testing.assert_array_equal(a, b)
+        assert cluster.report() == base.report()
+
+    def test_tree_embedding_matches_serial(self, small_lattice):
+        base = mpc_tree_embedding(small_lattice, seed=5, executor="serial")
+        result = mpc_tree_embedding(small_lattice, seed=5, executor="shm")
+        np.testing.assert_array_equal(
+            result.tree.label_matrix, base.tree.label_matrix
+        )
+        assert result.report.core_dict() == base.report.core_dict()
+        assert result.report == base.report
+
+    def test_tree_embedding_grid_method_matches_serial(self, small_lattice):
+        base = mpc_tree_embedding(
+            small_lattice, seed=5, method="grid", executor="serial"
+        )
+        result = mpc_tree_embedding(
+            small_lattice, seed=5, method="grid", executor="shm"
+        )
+        np.testing.assert_array_equal(
+            result.tree.label_matrix, base.tree.label_matrix
+        )
+        assert result.report.core_dict() == base.report.core_dict()
+
+    def test_fjlt_matches_serial(self):
+        pts = np.random.default_rng(4).normal(size=(48, 16))
+        base, base_cluster = mpc_fjlt(pts, seed=11, executor="serial")
+        out, cluster = mpc_fjlt(pts, seed=11, executor="shm")
+        np.testing.assert_array_equal(out, base)
+        assert cluster.report() == base_cluster.report()
+
+    def test_fault_replay_matches_serial(self):
+        plan = FaultPlan(
+            [FaultEvent("crash", 1, 2), FaultEvent("worker_death", 2, 0)]
+        )
+        base_state, base = _run_pipeline("serial", faults=plan)
+        state, cluster = _run_pipeline("shm", faults=plan)
+        for a, b in zip(state, base_state):
+            np.testing.assert_array_equal(a, b)
+        assert cluster.report().core_dict() == base.report().core_dict()
+        assert cluster.report().recovery_replays == base.report().recovery_replays
+
+    def test_budget_adapt_matches_serial(self):
+        budget = CommBudget(words=600, mode="adapt")
+        base_state, base = _run_pipeline("serial", comm_budget=budget)
+        state, cluster = _run_pipeline("shm", comm_budget=budget)
+        for a, b in zip(state, base_state):
+            np.testing.assert_array_equal(a, b)
+        assert cluster.report().core_dict() == base.report().core_dict()
+        assert cluster.report().budget_dict() == base.report().budget_dict()
+
+    def test_delta_checkpoint_fault_replay_matches_serial(self):
+        # Recovery reconstructs pre-round state from the delta chain —
+        # which must have materialized any handles it recorded.
+        plan = FaultPlan([FaultEvent("crash", 2, 1)])
+        cfg = SimulationConfig(checkpoints=CheckpointPolicy(delta=True, keep=4))
+        base_state, base = _run_pipeline("serial", faults=plan, config=cfg)
+        state, cluster = _run_pipeline("shm", faults=plan, config=cfg)
+        for a, b in zip(state, base_state):
+            np.testing.assert_array_equal(a, b)
+        assert cluster.report().core_dict() == base.report().core_dict()
+
+
+class TestCheckpointRestore:
+    def test_snapshot_restore_roundtrip(self):
+        state, cluster = _run_pipeline("shm", rounds=2)
+        snap = cluster.snapshot()
+        # Snapshots hold raw arrays, not handles: they must survive the
+        # arena collecting the segments they were taken from.
+        for store in snap.stores:
+            assert all(type(v) is not StoredArray for v in store.values())
+        for _ in range(2):
+            cluster.round(_work_step, label="more")
+        cluster.restore(snap)
+        for machine, expected in zip(cluster, state):
+            np.testing.assert_array_equal(machine.get("data"), expected)
+        # The restored cluster keeps computing correctly under shm.
+        cluster.round(_work_step, label="after")
+
+    def test_restore_matches_serial_restore(self):
+        def run(executor):
+            state, cluster = _run_pipeline(executor, rounds=2)
+            snap = cluster.snapshot()
+            cluster.round(_work_step, label="extra")
+            cluster.restore(snap)
+            cluster.round(_work_step, label="resumed")
+            return [np.asarray(m.get("data")).copy() for m in cluster]
+
+        for a, b in zip(run("shm"), run("serial")):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestConcurrentSharing:
+    def test_one_broadcast_payload_shared_by_many_machines(self):
+        # One large broadcast array is promoted once; every machine's
+        # store slot holds a handle to the same segment, and every
+        # machine reads the same contents.
+        cluster = Cluster(8, 1 << 20, executor="shm")
+        payload = np.random.default_rng(3).normal(size=4096)
+        broadcast(cluster, payload, "shared")
+        cluster.round(_reader_step, label="read")
+        sums = {float(np.asarray(m.get("sum"))) for m in cluster}
+        assert sums == {float(payload.sum())}
+        handles = {
+            m._store["shared"].segment
+            for m in cluster
+            if type(m._store.get("shared")) is StoredArray
+        }
+        # Dedup by identity at promotion: at most one segment backs the
+        # broadcast payload among machines holding handles.
+        assert len(handles) <= 1
+
+    def test_readonly_sharing_does_not_corrupt(self):
+        cluster = Cluster(6, 1 << 20, executor="shm")
+        payload = np.arange(2048.0)
+        broadcast(cluster, payload, "shared")
+        for _ in range(3):
+            cluster.round(_reader_step, label="read")
+        for m in cluster:
+            np.testing.assert_array_equal(np.asarray(m.get("shared")), payload)
+
+
+def _reader_step(machine, ctx):
+    machine.take_inbox()
+    machine.put("sum", float(np.asarray(machine.get("shared")).sum()))
+
+
+class TestLeakCleanliness:
+    def test_worker_death_leaves_no_segments(self):
+        plan = FaultPlan([FaultEvent("worker_death", 1, 0)])
+        state, cluster = _run_pipeline("shm", faults=plan, recovery=3)
+        clean_state, _ = _run_pipeline("serial")
+        for a, b in zip(state, clean_state):
+            np.testing.assert_array_equal(a, b)
+        prefix = cluster.executor.arena.prefix
+        cluster.executor.close()
+        assert active_segment_files(prefix) == []
+
+    def test_close_unlinks_while_results_stay_valid(self):
+        state, cluster = _run_pipeline("shm", rounds=1)
+        views = [m.get("data") for m in cluster]
+        cluster.executor.close()
+        # POSIX unlink-while-mapped: names are gone, mappings persist.
+        assert active_segment_files(SEGMENT_PREFIX) == []
+        for view, expected in zip(views, state):
+            np.testing.assert_array_equal(view, expected)
+
+
+class TestConfig:
+    def test_shm_min_bytes_validates(self):
+        with pytest.raises(ValueError, match="shm_min_bytes"):
+            SimulationConfig(shm_min_bytes=-1)
+
+    def test_shm_min_bytes_reaches_executor(self):
+        cfg = SimulationConfig(executor="shm", shm_min_bytes=4096)
+        cluster = Cluster(2, 1 << 20, config=cfg)
+        assert cluster.executor.shm_min_bytes == 4096
+        cluster.executor.close()
+
+    def test_instance_threshold_kept_when_config_default(self):
+        executor = ShmExecutor(shm_min_bytes=64)
+        cluster = Cluster(2, 1 << 20, executor=executor)
+        assert cluster.executor.shm_min_bytes == 64
+        executor.close()
+
+    def test_transport_reports_shm_volume(self):
+        _, cluster = _run_pipeline("shm")
+        t = cluster.report().transport_dict()
+        assert t["shm_bytes_mapped"] > 0
+        assert t["shm_segments"] > 0
+        # The shm executor's pickle stream carries handles, not arrays:
+        # far below the array volume it placed in segments.
+        assert t["ipc_bytes"] < t["shm_bytes_mapped"]
+
+    def test_serial_reports_zero_shm(self):
+        _, cluster = _run_pipeline("serial")
+        t = cluster.report().transport_dict()
+        assert t["shm_bytes_mapped"] == 0 and t["shm_segments"] == 0
+
+
+class TestInlineRounds:
+    def test_single_participant_round_inline(self):
+        # One-machine rounds run in the coordinator; handles from prior
+        # shipped rounds must resolve, and views the inline step stores
+        # must keep their segments alive (reconcile counts raw views).
+        cluster = Cluster(4, 1 << 20, executor="shm")
+        rng = np.random.default_rng(1)
+        for m in cluster:
+            m.put("data", rng.normal(size=512))
+        cluster.round(_double_step, label="shipped")
+        cluster.round(_double_step, participants=[0], label="inline")
+        cluster.round(_double_step, label="shipped-again")
+        expected = np.random.default_rng(1)
+        for i, m in enumerate(cluster):
+            factor = 8.0 if i == 0 else 4.0
+            np.testing.assert_array_equal(
+                np.asarray(m.get("data")), expected.normal(size=512) * factor
+            )
+
+
+class TestGodViewInterop:
+    def test_scatter_collect_roundtrip(self):
+        rows = np.random.default_rng(8).normal(size=(96, 8))
+        cluster = Cluster(5, 1 << 20, executor="shm")
+        scatter_rows(cluster, rows, "rows")
+        cluster.round(_double_rows_step, label="work")
+        out = collect_rows(cluster, "rows")
+        np.testing.assert_array_equal(out, rows * 2.0)
+
+
+def _double_rows_step(machine, ctx):
+    rows = machine.get("rows")
+    if rows is not None:
+        machine.put("rows", rows * 2.0)

@@ -16,7 +16,10 @@ enforces them statically, across the whole tree, at lint time:
 * steps only touch the machine they are handed (MPC007);
 * ``docs/API.md`` must not drift from the tree (MPC008);
 * steps must not catch ``MPCError`` or broader — model violations and
-  fault-injection signals must reach the cluster (MPC009, warning).
+  fault-injection signals must reach the cluster (MPC009, warning);
+* steps must not stash arena views outside the machine or ship raw
+  memoryview/SharedMemory buffers — the shm executor's zero-copy
+  lifetime contract (MPC010).
 
 Run it as ``python -m repro.lint`` (with ``PYTHONPATH=src``), via
 ``make lint``, or import :func:`run_paths` programmatically.  Rules are
@@ -40,6 +43,7 @@ from mpclint import rules_rng  # noqa: F401
 from mpclint import rules_message  # noqa: F401
 from mpclint import rules_api  # noqa: F401
 from mpclint import rules_numeric  # noqa: F401
+from mpclint import rules_shm  # noqa: F401
 
 __version__ = "1.0.0"
 

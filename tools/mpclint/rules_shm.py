@@ -1,0 +1,196 @@
+"""Rule about the shm executor's zero-copy lifetime contract: MPC010.
+
+The shm executor (``repro/mpc/executor.py``) backs large machine state
+with shared-memory segments owned by an :class:`~repro.mpc.arena.Arena`.
+Values a step reads via ``machine.get`` may be zero-copy views into
+those segments, and the arena reclaims a segment the moment no machine
+state references it (``Arena.reconcile``).  Two step-code patterns break
+that contract in ways the runtime cannot police:
+
+* stashing an arena view somewhere the reachability scan cannot see —
+  a module global, a ``global``-declared name, a cache appended to from
+  inside the step.  The arena frees the segment under the view and the
+  next read is a use-after-unmap, which crashes the process rather than
+  raising.
+* putting a raw buffer object — a ``memoryview``, a segment's ``.buf``,
+  or a ``SharedMemory`` instance — into an outbox or the machine store.
+  Raw buffers do not pickle across the worker boundary, bypass word
+  accounting, and pin mappings the coordinator believes it owns.
+
+Steps also must not create or attach ``SharedMemory`` themselves: the
+arena is the single owner of segment lifecycle, and a segment minted
+inside a step leaks on worker death because no handle for it ever
+reaches the coordinator.  Arrays are always safe to ``put``/``send`` —
+promotion and materialisation are the executor's job, not the step's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from mpclint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    Violation,
+    dotted,
+    local_names,
+    register,
+)
+
+from mpclint.rules_steps import _MUTATORS, _base_name, _step_function_defs
+
+#: Methods whose result is (or may be) a zero-copy view into an arena
+#: segment when running under the shm executor.
+_VIEW_SOURCES = {"get", "view", "materialize"}
+
+#: Dotted-name tails that denote a raw shared-memory object.
+_RAW_CONSTRUCTORS = {"SharedMemory", "memoryview"}
+
+
+def _raw_buffer_reason(expr: ast.AST) -> Optional[str]:
+    """Why ``expr`` is a raw buffer object, or None if it is not one."""
+    if isinstance(expr, ast.Call):
+        tail = (dotted(expr.func) or "").split(".")[-1]
+        if tail in _RAW_CONSTRUCTORS:
+            return f"a {tail} object"
+    if isinstance(expr, ast.Attribute) and expr.attr == "buf":
+        return "a segment's raw .buf"
+    return None
+
+
+def _derives_view(expr: ast.AST) -> bool:
+    """True when any part of ``expr`` calls a view-returning method."""
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _VIEW_SOURCES
+        ):
+            return True
+    return False
+
+
+@register
+class StepArenaLifetimeRule(Rule):
+    """MPC010: steps must respect the arena's zero-copy lifetime contract."""
+
+    id = "MPC010"
+    severity = Severity.ERROR
+    title = "steps must not leak arena views or ship raw buffers"
+    fix_hint = (
+        "keep views local to the step (machine state is the only place "
+        "the arena's reachability scan looks); copy with np.asarray(...)."
+        "copy() if a value must outlive the round; send/put arrays, never "
+        "memoryview/.buf/SharedMemory — segment lifecycle belongs to the "
+        "Arena, not to step code"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        for func in _step_function_defs(module):
+            yield from self._check_step(module, func)
+
+    def _check_step(
+        self, module: ModuleInfo, func: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        locals_ = local_names(func)
+        globals_ = module.top_level - locals_
+        declared_global: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    module, func, node, globals_, declared_global
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                yield from self._check_stash(
+                    module, func, node, globals_, declared_global
+                )
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef,
+        call: ast.Call,
+        globals_: Set[str],
+        declared_global: Set[str],
+    ) -> Iterator[Violation]:
+        callee = dotted(call.func) or ""
+        tail = callee.split(".")[-1]
+        if tail == "SharedMemory":
+            yield self.violation(
+                module,
+                call,
+                f"step {func.name!r} creates/attaches SharedMemory directly — "
+                "segment lifecycle belongs to the Arena; store arrays and let "
+                "the executor promote them",
+            )
+            return
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in {"send", "put"}:
+                # ctx.send(dest, payload, ...) / machine.put(key, value):
+                # the payload is the second positional (or its keyword).
+                payloads: List[ast.AST] = list(call.args[1:2])
+                for kw in call.keywords:
+                    if kw.arg in {"payload", "value"}:
+                        payloads.append(kw.value)
+                for payload in payloads:
+                    reason = _raw_buffer_reason(payload)
+                    if reason is not None:
+                        yield self.violation(
+                            module,
+                            payload,
+                            f"step {func.name!r} passes {reason} to .{attr}() — "
+                            "raw buffers do not pickle across the worker "
+                            "boundary and bypass word accounting; pass the "
+                            "array itself",
+                        )
+            elif attr in _MUTATORS:
+                base = _base_name(call.func.value)
+                if (
+                    base is not None
+                    and (base in globals_ or base in declared_global)
+                    and base not in module.module_aliases
+                    and any(_derives_view(arg) for arg in call.args)
+                ):
+                    yield self.violation(
+                        module,
+                        call,
+                        f"step {func.name!r} stashes an arena view into "
+                        f"module-level {base!r} via .{attr}() — the arena "
+                        "cannot see it and will unmap the segment under it",
+                    )
+
+    def _check_stash(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef,
+        node: ast.AST,
+        globals_: Set[str],
+        declared_global: Set[str],
+    ) -> Iterator[Violation]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not _derives_view(node.value):
+            return
+        for target in targets:
+            escapes = False
+            if isinstance(target, ast.Name):
+                escapes = target.id in declared_global
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = _base_name(target)
+                escapes = base is not None and (
+                    base in globals_ or base in declared_global
+                )
+            if escapes:
+                yield self.violation(
+                    module,
+                    node,
+                    f"step {func.name!r} stashes an arena view outside the "
+                    "machine — views are only valid while machine state "
+                    "references the segment; copy before caching",
+                )
