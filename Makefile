@@ -1,4 +1,4 @@
-.PHONY: install test lint bench bench-smoke fault-smoke shm-smoke metrics examples figure1 all clean
+.PHONY: install test lint lint-rounds bench bench-smoke fault-smoke shm-smoke metrics examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -27,6 +27,12 @@ lint:
 	else \
 		echo "== mypy not installed; skipping (pip install mypy)"; \
 	fi
+
+# The static round ledger alone (MPC011, docs/LINTING.md): JSON report
+# with the per-entry-point round bounds under "round_analysis".  CI runs
+# this in the lint-rounds step and uploads the report as an artifact.
+lint-rounds:
+	@PYTHONPATH=src python -m repro.lint src/repro --root . --select MPC011 --format json
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

@@ -149,7 +149,8 @@ def calibration_seconds() -> float:
 
 
 def measure_executors(run_mpc: Callable[[str], "object"],
-                      executors: List[str]) -> Dict:
+                      executors: List[str],
+                      entry: Optional[str] = None) -> Dict:
     """Time one MPC arm under each executor; assert identical accounting.
 
     ``run_mpc(executor_name)`` must run the arm on a fresh cluster and
@@ -158,6 +159,11 @@ def measure_executors(run_mpc: Callable[[str], "object"],
     first one's — the executor-independence contract, enforced at
     benchmark time too.  Returns the ``executor_wall_clock`` block plus
     the (shared) accounting dict.
+
+    ``entry`` names the ``mpc_*`` entry point driving the arm; when
+    given, measured rounds are asserted against the committed manifest
+    cap (``tools/mpclint/round_budgets.toml`` — the runtime half of the
+    MPC011 round ledger) and a ``round_budget`` block is recorded.
     """
     seconds: Dict[str, float] = {}
     reports: Dict[str, Dict] = {}
@@ -177,8 +183,24 @@ def measure_executors(run_mpc: Callable[[str], "object"],
         block["process_speedup_vs_serial"] = (
             seconds["serial"] / seconds["process"]
         )
-    return {"executor_wall_clock": block,
-            "mpc_accounting": reports[base_name]}
+    out = {"executor_wall_clock": block,
+           "mpc_accounting": reports[base_name]}
+    if entry is not None:
+        from repro.lint import round_cap
+
+        cap = round_cap(entry, REPO_ROOT)
+        measured = reports[base_name]["rounds"]
+        assert measured <= cap, (
+            f"{entry} measured {measured} rounds, over the committed cap "
+            f"{cap} (tools/mpclint/round_budgets.toml) — round-complexity "
+            "regression"
+        )
+        out["round_budget"] = {
+            "entry": entry,
+            "measured_rounds": measured,
+            "cap": cap,
+        }
+    return out
 
 
 def measure_fault_recovery(run_mpc: Callable[..., "object"],
@@ -569,7 +591,7 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
             on_uncovered="singleton", executor=executor, faults=faults,
         ).report
 
-    mpc = measure_executors(run_mpc, executors)
+    mpc = measure_executors(run_mpc, executors, entry="mpc_tree_embedding")
     if fault_seed is not None:
         mpc.update(measure_fault_recovery(run_mpc, fault_seed))
     if delta_shipping:
@@ -665,7 +687,7 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
         )
         return cluster.report()
 
-    mpc = measure_executors(run_mpc, executors)
+    mpc = measure_executors(run_mpc, executors, entry="mpc_fjlt")
     if fault_seed is not None:
         mpc.update(measure_fault_recovery(run_mpc, fault_seed))
     if delta_shipping:
@@ -775,7 +797,7 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
             faults=faults,
         ).report
 
-    mpc = measure_executors(run_mpc, executors)
+    mpc = measure_executors(run_mpc, executors, entry="mpc_tree_embedding")
     if fault_seed is not None:
         mpc.update(measure_fault_recovery(run_mpc, fault_seed))
     if delta_shipping:

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.5.0",
+    version="1.7.0",
     description=(
         "Massively parallel tree embeddings for high dimensional spaces "
         "(SPAA 2023 reproduction)"

@@ -26,7 +26,7 @@ from repro.jl.fjlt import FJLT
 from repro.mpc.cluster import Cluster
 from repro.tree.hst import HSTree
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "embed",

@@ -238,7 +238,7 @@ def mpc_blocked_fwht(
 
     # Cross stages, radix_bits at a time over block-index bits low→high.
     bit = 0
-    while bit < cross_bits:
+    while bit < cross_bits:  # mpclint: rounds=O(log2(m)/radix_bits)
         g = min(radix_bits, cross_bits - bit)
         signs = _group_hadamard_signs(g)
         group_mask = ((1 << g) - 1) << bit

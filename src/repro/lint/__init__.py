@@ -42,6 +42,11 @@ all_rules = _mpclint.all_rules
 register = _mpclint.register
 run_paths = _mpclint.run_paths
 lint_version = _mpclint.__version__
+#: Round-budget manifest accessors (tools/mpclint/round_budgets.toml) —
+#: the runtime half of MPC011: tests and the benchmark harness assert
+#: measured CostReport.rounds <= round_cap(entry).
+load_round_budgets = _mpclint.load_round_budgets
+round_cap = _mpclint.round_cap
 
 __all__ = [
     "Project",
@@ -49,7 +54,9 @@ __all__ = [
     "Severity",
     "Violation",
     "all_rules",
+    "load_round_budgets",
     "register",
+    "round_cap",
     "run_paths",
     "lint_version",
 ]

@@ -136,7 +136,7 @@ def broadcast(
     if root != 0:
         ids[0], ids[root] = ids[root], ids[0]
 
-    while covered < cluster.num_machines:
+    while covered < cluster.num_machines:  # mpclint: rounds=O(log_f m)
         holders = ids[:covered]
         targets = ids[covered : min(cluster.num_machines, covered * f)]
         assignments: Dict[int, List[int]] = {}
@@ -225,7 +225,7 @@ def tree_gather(
 
     active = [m.machine_id for m in cluster if work_key in m]
     rounds = 0
-    while len(active) > 1:
+    while len(active) > 1:  # mpclint: rounds=O(log_f m)
         groups = [active[i : i + fanin] for i in range(0, len(active), fanin)]
         heads = {g[0]: g for g in groups}
         members = {mid: g[0] for g in groups for mid in g[1:]}

@@ -42,12 +42,17 @@ class TestMpcMST:
         assert mpc_tree_mst(tree, pts).cost >= exact_emst(pts).cost - 1e-9
 
     def test_constant_rounds(self):
+        from repro.lint import round_cap
+
         rounds = []
         for n in (48, 96, 192):
             pts = uniform_lattice(n, 4, 256, seed=n, unique=True)
             tree = sequential_tree_embedding(pts, 2, seed=63)
             rounds.append(mpc_tree_mst(tree, pts).report.rounds)
         assert len(set(rounds)) == 1, rounds
+        # MPC011's runtime cross-check: measured rounds within the
+        # committed manifest cap.
+        assert max(rounds) <= round_cap("mpc_tree_mst")
 
     def test_memory_within_budget(self, embedded):
         pts, tree = embedded
@@ -79,12 +84,15 @@ class TestMpcEMD:
         assert mpc_tree_emd(tree, a.shape[0]).estimate >= exact_emd(a, b) - 1e-9
 
     def test_constant_rounds(self):
+        from repro.lint import round_cap
+
         rounds = []
         for n in (16, 32, 64):
             a, b = shifted_cloud_instance(n, 3, 128, seed=n)
             tree = sequential_tree_embedding(np.vstack([a, b]), 2, seed=66)
             rounds.append(mpc_tree_emd(tree, n).report.rounds)
         assert max(rounds) - min(rounds) <= 2, rounds
+        assert max(rounds) <= round_cap("mpc_tree_emd")
 
     def test_source_count_validated(self, emd_instance):
         _, _, tree = emd_instance
@@ -112,12 +120,15 @@ class TestMpcDensestBall:
         assert res.report.rounds == 0
 
     def test_constant_rounds(self):
+        from repro.lint import round_cap
+
         rounds = []
         for n in (40, 80, 160):
             pts = uniform_lattice(n, 3, 512, seed=n, unique=True)
             tree = sequential_tree_embedding(pts, 1, seed=71)
             rounds.append(mpc_densest_ball(tree, 8.0, r=1).report.rounds)
         assert max(rounds) - min(rounds) <= 2, rounds
+        assert max(rounds) <= round_cap("mpc_densest_ball")
 
     def test_validation(self):
         pts = uniform_lattice(16, 2, 64, seed=72, unique=True)

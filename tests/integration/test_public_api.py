@@ -58,7 +58,7 @@ class TestPackageMetadata:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_module_docstrings(self):
         for pkg_name in PACKAGES:

@@ -1,0 +1,27 @@
+"""MPC011 bad fixture: round dispatches with unprovable bounds."""
+
+
+def work_step(machine, ctx):
+    machine.put("x", 1)
+
+
+def mpc_unproven(cluster, executor=None):
+    # Seeded violation: an entry point driving rounds from a while loop
+    # with no `# mpclint: rounds=` annotation.
+    done = False
+    while not done:
+        cluster.round(work_step, label="wave")
+        done = cluster.num_machines < 2
+
+
+def drain(cluster, queue):
+    # A for loop whose trip count the analyzer cannot recognize.
+    for _item in queue:
+        cluster.round(work_step, label="drain")
+
+
+def recurse(cluster, depth):
+    # Rounds dispatched through a recursive cycle.
+    cluster.round(work_step, label="rec")
+    if depth:
+        recurse(cluster, depth - 1)

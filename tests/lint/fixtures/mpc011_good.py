@@ -1,0 +1,16 @@
+"""MPC011 good fixture: every round loop has a provable or annotated bound."""
+
+
+def work_step(machine, ctx):
+    machine.put("x", 1)
+
+
+def mpc_bounded(cluster, num_levels, executor=None):
+    covered = 1
+    while covered < cluster.num_machines:  # mpclint: rounds=O(log_f m)
+        cluster.round(work_step, label="fanout")
+        covered *= 2
+    for _lvl in range(num_levels):
+        cluster.round(work_step, label="level")
+    for _ in range(3):
+        cluster.round(work_step, label="fixed")

@@ -1,0 +1,5 @@
+"""MPC012 bad fixture: suppression markers that silence nothing."""
+# mpclint: disable-file=MPC004
+
+SCALE = 1.0  # mpclint: disable=MPC006
+OFFSET = 2  # mpclint: disable=MPC999

@@ -51,8 +51,11 @@ def test_json_output_is_machine_readable():
 def test_list_rules_catalogue():
     proc = _run("--list-rules")
     assert proc.returncode == 0
-    for i in range(1, 9):
+    for i in range(1, 10):
         assert f"MPC00{i}" in proc.stdout
+    assert "MPC010" in proc.stdout
+    assert "MPC011" in proc.stdout
+    assert "MPC012" in proc.stdout
 
 
 def test_select_filter():
@@ -64,3 +67,66 @@ def test_select_filter():
         "MPC006",
     )
     assert proc.returncode == 0
+
+
+def test_json_header_carries_version():
+    from repro.lint import lint_version
+
+    proc = _run("--root", str(ROOT), "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["version"] == lint_version
+    assert report["rules"][-2:] == ["MPC011", "MPC012"]
+
+
+def test_json_round_analysis_block():
+    """--json on the live tree embeds the per-entry-point round report
+    (the artifact CI uploads from the lint-rounds step)."""
+    proc = _run("--root", str(ROOT), "--select", "MPC011", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(proc.stdout)
+    rounds = report["round_analysis"]
+    assert rounds["manifest_found"] is True
+    entries = {e["entry"]: e for e in rounds["entries"]}
+    assert "mpc_tree_embedding" in entries
+    assert "mpc_fjlt" in entries
+    for entry in entries.values():
+        assert entry["within_budget"] is True, entry
+        assert entry["cap"] > 0
+    assert rounds["unbounded_loops"] == []
+    assert rounds["recursive"] == []
+
+
+def test_usage_error_exits_two():
+    proc = _run(str(FIXTURES / "does_not_exist.py"), "--root", str(FIXTURES))
+    assert proc.returncode == 2
+    assert "does not exist" in proc.stderr
+
+
+def test_suppression_parsing_edge_cases(tmp_path):
+    """Inline vs file-level markers, multiple rule ids on one marker."""
+    multi = tmp_path / "multi.py"
+    multi.write_text(
+        "import numpy as np\n"
+        "z = np.random.default_rng() == 0.5  # mpclint: disable=MPC002,MPC006\n"
+    )
+    proc = _run(str(multi), "--root", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    file_level = tmp_path / "file_level.py"
+    file_level.write_text(
+        "# mpclint: disable-file=MPC002\n"
+        "import random\n"
+        "x = random.random()\n"
+        "y = random.random()\n"
+    )
+    proc = _run(str(file_level), "--root", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    # The file-level window is 15 lines: a marker buried past it is inert
+    # (and the violations above it fire).
+    late = tmp_path / "late.py"
+    late.write_text("\n" * 20 + "# mpclint: disable-file=MPC002\nimport random\nz = random.random()\n")
+    proc = _run(str(late), "--root", str(tmp_path))
+    assert proc.returncode == 1
+    assert "MPC002" in proc.stdout

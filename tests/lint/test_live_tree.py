@@ -6,21 +6,23 @@ from __future__ import annotations
 import shutil
 from pathlib import Path
 
-from repro.lint import all_rules, run_paths
+from repro.lint import all_rules, load_round_budgets, round_cap, run_paths
 
 ROOT = Path(__file__).resolve().parents[2]
 
 
 def test_rule_catalogue_complete():
     ids = [rule.id for rule in all_rules()]
-    assert ids == [f"MPC00{i}" for i in range(1, 10)] + ["MPC010"]
+    assert ids == [f"MPC00{i}" for i in range(1, 10)] + ["MPC010", "MPC011", "MPC012"]
     for rule in all_rules():
         assert rule.title and rule.fix_hint, f"{rule.id} is missing docs"
 
 
 def test_live_tree_is_violation_free():
     violations = run_paths(
-        [ROOT / "src" / "repro"], docs=[ROOT / "docs" / "API.md"], root=ROOT
+        [ROOT / "src" / "repro"],
+        docs=[ROOT / "docs" / "API.md", ROOT / "docs" / "LINTING.md"],
+        root=ROOT,
     )
     assert violations == [], "\n".join(v.format_human() for v in violations)
 
@@ -58,6 +60,47 @@ def test_seeded_arena_leak_is_caught(tmp_path):
     patched.write_text(source)
     violations = run_paths([patched], root=tmp_path, select=["MPC010"])
     assert [v.rule_id for v in violations] == ["MPC010", "MPC010"]
+
+
+def test_round_budget_manifest_covers_every_entry_point():
+    """Every exported mpc_* entry point has a committed round budget,
+    no manifest row is stale, and every cap is usable at runtime."""
+    import ast
+
+    budgets = load_round_budgets(ROOT)
+    exported = set()
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name.startswith("mpc_"):
+                exported.add(node.name)
+    assert exported == set(budgets), (
+        "round_budgets.toml out of sync with the tree's mpc_* entry points"
+    )
+    for name, budget in budgets.items():
+        assert budget.declared in {"constant", "log_delta", "unbounded"}
+        assert round_cap(name, ROOT) == budget.cap > 0
+
+
+def test_seeded_round_violation_is_caught(tmp_path):
+    """MPC011's acceptance scenario: appending an entry point that drives
+    rounds from an unannotated while loop to a real module fails lint."""
+    victim = ROOT / "src" / "repro" / "mpc" / "dedup.py"
+    patched = tmp_path / "dedup.py"
+    source = victim.read_text()
+    source += (
+        "\n\n"
+        "def mpc_seeded_unbounded(cluster, executor=None):\n"
+        "    converged = False\n"
+        "    while not converged:\n"
+        "        cluster.round(_count_step, label='seeded-wave')\n"
+        "        converged = cluster.num_machines < 2\n"
+    )
+    patched.write_text(source)
+    violations = run_paths([patched], root=tmp_path, select=["MPC011"])
+    assert [v.rule_id for v in violations] == ["MPC011"], violations
+    assert "while loop" in violations[0].message
+    assert "rounds=" in violations[0].message
 
 
 def test_seeded_docs_drift_is_caught(tmp_path):

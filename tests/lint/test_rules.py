@@ -22,6 +22,8 @@ CASES = {
     "MPC007": ("mpc007_bad.py", 3, "mpc007_good.py"),
     "MPC009": ("mpc009_bad.py", 4, "mpc009_good.py"),
     "MPC010": ("mpc010_bad.py", 6, "mpc010_good.py"),
+    "MPC011": ("mpc011_bad.py", 3, "mpc011_good.py"),
+    "MPC012": ("mpc012_bad.py", 3, "mpc012_good.py"),
 }
 
 
@@ -87,6 +89,83 @@ def test_mpc005_accepts_config_bundle():
     assert all("neither" in m for m in messages)
     good = _lint("goodpkg", select=["MPC005"])
     assert good == []
+
+
+def test_mpc011_seeded_entry_point_fails():
+    """The acceptance check: an entry point whose rounds run from an
+    unannotated while loop must fail MPC011, on its own."""
+    violations = _lint("mpc011_bad.py", select=["MPC011"])
+    assert violations and all(v.rule_id == "MPC011" for v in violations)
+    assert any("mpc_unproven" in v.message for v in violations)
+    assert any("while loop" in v.message for v in violations)
+
+
+def test_mpc011_annotation_bounds_the_loop():
+    assert _lint("mpc011_good.py", select=["MPC011"]) == []
+
+
+def test_mpc011_manifest_budget_mismatch(tmp_path):
+    (tmp_path / "entry.py").write_text(
+        "def work_step(machine, ctx):\n"
+        "    machine.put('x', 1)\n"
+        "\n"
+        "def mpc_leveled(cluster, num_levels, executor=None):\n"
+        "    for _lvl in range(num_levels):\n"
+        "        cluster.round(work_step, label='level')\n"
+    )
+    manifest_dir = tmp_path / "tools" / "mpclint"
+    manifest_dir.mkdir(parents=True)
+    manifest = manifest_dir / "round_budgets.toml"
+
+    # Declared constant but inferred log_delta -> MPC011.
+    manifest.write_text("[mpc_leveled]\nclass = 'constant'\ncap = 4\n")
+    violations = run_paths([tmp_path / "entry.py"], root=tmp_path, select=["MPC011"])
+    assert [v.rule_id for v in violations] == ["MPC011"]
+    assert "log_delta" in violations[0].message
+
+    # Honest declaration -> clean.
+    manifest.write_text("[mpc_leveled]\nclass = 'log_delta'\ncap = 64\n")
+    violations = run_paths([tmp_path / "entry.py"], root=tmp_path, select=["MPC011"])
+    assert violations == []
+
+
+def test_mpc011_manifest_coverage_and_staleness(tmp_path):
+    (tmp_path / "entry.py").write_text(
+        "def mpc_quiet(points, executor=None):\n    return points\n"
+    )
+    manifest_dir = tmp_path / "tools" / "mpclint"
+    manifest_dir.mkdir(parents=True)
+    manifest = manifest_dir / "round_budgets.toml"
+
+    # Missing entry -> flagged at the def site.
+    manifest.write_text("")
+    violations = run_paths([tmp_path / "entry.py"], root=tmp_path, select=["MPC011"])
+    assert [v.rule_id for v in violations] == ["MPC011"]
+    assert "no round budget" in violations[0].message
+
+    # A manifest row for a vanished entry point -> stale.
+    manifest.write_text(
+        "[mpc_quiet]\nclass = 'constant'\ncap = 4\n"
+        "[mpc_gone]\nclass = 'constant'\ncap = 4\n"
+    )
+    violations = run_paths([tmp_path / "entry.py"], root=tmp_path, select=["MPC011"])
+    assert [v.rule_id for v in violations] == ["MPC011"]
+    assert "mpc_gone" in violations[0].message
+
+    # Malformed manifest -> one loud violation, not a crash.
+    manifest.write_text("[mpc_quiet]\nclass = 'bogus'\ncap = 4\n")
+    violations = run_paths([tmp_path / "entry.py"], root=tmp_path, select=["MPC011"])
+    assert [v.rule_id for v in violations] == ["MPC011"]
+    assert "class" in violations[0].message
+
+
+def test_mpc012_judges_only_rules_that_ran():
+    """--select MPC006 must not call a disable=MPC004 marker stale."""
+    violations = _lint("mpc012_bad.py", select=["MPC006", "MPC012"])
+    lines = {v.line for v in violations}
+    assert 4 in lines  # the unused MPC006 marker is judged (MPC006 ran)
+    assert 2 not in lines  # the MPC004 file marker is not (MPC004 skipped)
+    assert 5 not in lines  # unknown ids are flagged on full runs only
 
 
 def test_violation_fields_are_reportable():

@@ -96,15 +96,23 @@ class TestBitIdenticalAccounting:
 
 class TestIdenticalOutputs:
     def test_mpc_fjlt_output_executor_independent(self):
+        from repro.lint import round_cap
+
         pts = np.random.default_rng(4).normal(size=(48, 16))
         base, base_cluster = mpc_fjlt(pts, seed=11, executor="serial")
+        # Runtime half of the MPC011 round ledger: measured rounds stay
+        # under the committed manifest cap (tools/mpclint/round_budgets.toml).
+        assert base_cluster.report().rounds <= round_cap("mpc_fjlt")
         for name in EXECUTOR_NAMES[1:]:
             out, cluster = mpc_fjlt(pts, seed=11, executor=name)
             np.testing.assert_array_equal(out, base)
             assert cluster.report() == base_cluster.report()
 
     def test_tree_embedding_executor_independent(self, small_lattice):
+        from repro.lint import round_cap
+
         base = mpc_tree_embedding(small_lattice, seed=5, executor="serial")
+        assert base.report.rounds <= round_cap("mpc_tree_embedding")
         for name in EXECUTOR_NAMES[1:]:
             result = mpc_tree_embedding(small_lattice, seed=5, executor=name)
             np.testing.assert_array_equal(

@@ -19,7 +19,13 @@ enforces them statically, across the whole tree, at lint time:
   fault-injection signals must reach the cluster (MPC009, warning);
 * steps must not stash arena views outside the machine or ship raw
   memoryview/SharedMemory buffers — the shm executor's zero-copy
-  lifetime contract (MPC010).
+  lifetime contract (MPC010);
+* every ``mpc_*`` entry point's statically inferred round complexity
+  must fit its declared budget in ``tools/mpclint/round_budgets.toml``,
+  and every loop that performs rounds must have a provable or annotated
+  bound (MPC011 — see :mod:`mpclint.rounds`);
+* every ``# mpclint: disable=`` suppression must still silence something
+  (MPC012, warning — the unused-noqa check).
 
 Run it as ``python -m repro.lint`` (with ``PYTHONPATH=src``), via
 ``make lint``, or import :func:`run_paths` programmatically.  Rules are
@@ -36,6 +42,7 @@ from mpclint.core import (
     register,
     run_paths,
 )
+from mpclint.rounds import load_round_budgets, round_cap
 
 # Importing the rule modules registers every built-in rule.
 from mpclint import rules_steps  # noqa: F401  (registration side effect)
@@ -44,8 +51,9 @@ from mpclint import rules_message  # noqa: F401
 from mpclint import rules_api  # noqa: F401
 from mpclint import rules_numeric  # noqa: F401
 from mpclint import rules_shm  # noqa: F401
+from mpclint import rules_rounds  # noqa: F401
 
-__version__ = "1.0.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Project",
@@ -53,7 +61,9 @@ __all__ = [
     "Severity",
     "Violation",
     "all_rules",
+    "load_round_budgets",
     "register",
+    "round_cap",
     "run_paths",
     "__version__",
 ]

@@ -14,7 +14,16 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from mpclint.core import Severity, Violation, all_rules, run_paths
+import mpclint
+from mpclint.core import (
+    Project,
+    Severity,
+    Violation,
+    all_rules,
+    build_project,
+    run_project,
+)
+from mpclint.rounds import report_dict
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,16 +116,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"path does not exist: {path}")
 
     if args.docs is None:
-        default_doc = root / "docs" / "API.md"
-        docs = [default_doc] if default_doc.exists() else []
+        docs = [
+            doc
+            for doc in (root / "docs" / "API.md", root / "docs" / "LINTING.md")
+            if doc.exists()
+        ]
     else:
         docs = [Path(d) for d in args.docs if d.lower() != "none"]
 
     try:
-        violations = run_paths(
-            paths,
-            docs=docs,
-            root=root,
+        project = build_project(paths, docs=docs, root=root)
+        violations = run_project(
+            project,
             select=_split_rule_args(args.select),
             ignore=_split_rule_args(args.ignore),
         )
@@ -125,7 +136,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.format == "json":
-        print(json.dumps(_json_report(violations), indent=2, sort_keys=True))
+        print(json.dumps(_json_report(violations, project), indent=2, sort_keys=True))
     else:
         for violation in violations:
             print(violation.format_human())
@@ -138,13 +149,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 1 if violations else 0
 
 
-def _json_report(violations: Sequence[Violation]) -> dict:
+def _json_report(violations: Sequence[Violation], project: Project) -> dict:
     return {
         "tool": "mpclint",
+        "version": mpclint.__version__,
         "rules": [rule.id for rule in all_rules()],
         "errors": sum(1 for v in violations if v.severity == Severity.ERROR),
         "warnings": sum(1 for v in violations if v.severity == Severity.WARNING),
         "violations": [v.as_dict() for v in violations],
+        "round_analysis": report_dict(project),
     }
 
 

@@ -74,6 +74,10 @@ _SUPPRESS_RE = re.compile(r"#\s*mpclint:\s*disable=([A-Za-z0-9_,\s]+)")
 _SUPPRESS_FILE_RE = re.compile(r"#\s*mpclint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 FILE_SUPPRESSION_WINDOW = 15
 
+#: ``# mpclint: rounds=O(log_f m)`` on a loop header declares the loop's
+#: symbolic round bound for the round-complexity analyzer (MPC011).
+_ROUNDS_RE = re.compile(r"#\s*mpclint:\s*rounds=([^#]+)")
+
 
 def _parse_rule_list(raw: str) -> Set[str]:
     return {part.strip().upper() for part in raw.split(",") if part.strip()}
@@ -96,9 +100,14 @@ class ModuleInfo:
             self.syntax_error = exc
         self.suppressions: Dict[int, Set[str]] = {}
         self.file_suppressions: Set[str] = set()
+        self.file_suppression_lines: Dict[str, int] = {}
+        self.round_annotations: Dict[int, str] = {}
         self._scan_suppressions()
         self.top_level: Set[str] = set()
         self.module_aliases: Set[str] = set()
+        #: locally bound name -> dotted import target (``broadcast`` ->
+        #: ``repro.mpc.primitives.broadcast``), used by the call graph.
+        self.import_map: Dict[str, str] = {}
         self.star_imports: List[str] = []
         self.all_exports: Optional[List[Tuple[str, int]]] = None
         if self.tree is not None:
@@ -114,7 +123,12 @@ class ModuleInfo:
             if lineno <= FILE_SUPPRESSION_WINDOW:
                 match = _SUPPRESS_FILE_RE.search(text)
                 if match:
-                    self.file_suppressions.update(_parse_rule_list(match.group(1)))
+                    for token in _parse_rule_list(match.group(1)):
+                        self.file_suppressions.add(token)
+                        self.file_suppression_lines.setdefault(token, lineno)
+            match = _ROUNDS_RE.search(text)
+            if match:
+                self.round_annotations[lineno] = match.group(1).strip()
 
     def _scan_top_level(self) -> None:
         assert self.tree is not None
@@ -144,20 +158,62 @@ class ModuleInfo:
                     bound = alias.asname or alias.name.split(".")[0]
                     self.top_level.add(bound)
                     self.module_aliases.add(bound)
+                    self.import_map[bound] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
             elif isinstance(node, ast.ImportFrom):
+                base = self.resolve_import_base(node)
                 for alias in node.names:
                     if alias.name == "*":
                         if node.module and node.level == 0:
                             self.star_imports.append(node.module)
                     else:
-                        self.top_level.add(alias.asname or alias.name)
+                        bound = alias.asname or alias.name
+                        self.top_level.add(bound)
+                        if base is not None:
+                            self.import_map[bound] = f"{base}.{alias.name}"
+
+    def resolve_import_base(self, node: ast.ImportFrom) -> Optional[str]:
+        """Dotted module a ``from ... import`` pulls from, or None.
+
+        Relative imports resolve against this module's package (``from .
+        import x`` in ``repro.mpc.sort`` -> ``repro.mpc``); levels deeper
+        than the package nesting give None.
+        """
+        if node.level == 0:
+            return node.module
+        # ``repro.mpc.sort`` and ``repro.mpc.__init__`` both live in
+        # package ``repro.mpc``; each extra dot climbs one level.
+        parts = self.name.split(".")[:-1]
+        if node.level - 1 > len(parts):
+            return None
+        base_parts = parts[: len(parts) - (node.level - 1)]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return self.suppression_hit(rule_id, line) is not None
+
+    def suppression_hit(
+        self, rule_id: str, line: int
+    ) -> Optional[Tuple[str, str, int]]:
+        """The suppression that silences ``rule_id`` at ``line``, if any.
+
+        Returns ``(scope, token, marker_line)`` with scope ``"file"`` or
+        ``"line"`` and token the rule id (or ``"ALL"``) that matched —
+        the runner uses this to track which markers actually fire so
+        MPC012 can warn about the stale ones.
+        """
         rule_id = rule_id.upper()
-        if rule_id in self.file_suppressions or "ALL" in self.file_suppressions:
-            return True
+        for token in (rule_id, "ALL"):
+            if token in self.file_suppressions:
+                return ("file", token, self.file_suppression_lines.get(token, 1))
         active = self.suppressions.get(line, ())
-        return rule_id in active or "ALL" in active
+        for token in (rule_id, "ALL"):
+            if token in active:
+                return ("line", token, line)
+        return None
 
 
 class Project:
@@ -168,6 +224,13 @@ class Project:
         self.modules: List[ModuleInfo] = []
         self.by_name: Dict[str, ModuleInfo] = {}
         self.docs: Dict[str, str] = {}
+        self._call_graph: Optional["CallGraph"] = None
+
+    def call_graph(self) -> "CallGraph":
+        """The project-wide call graph, built on first use and cached."""
+        if self._call_graph is None:
+            self._call_graph = CallGraph(self)
+        return self._call_graph
 
     # -- construction ---------------------------------------------------
 
@@ -347,6 +410,146 @@ def local_names(func: ast.AST) -> Set[str]:
     return names
 
 
+#: Receivers whose ``.round(...)`` is numeric rounding, not an MPC round.
+NUMERIC_ROUND_RECEIVERS = {"np", "numpy", "math", "builtins", "operator", "decimal"}
+
+
+def round_dispatches(tree: ast.AST) -> List[Tuple[ast.Call, ast.AST]]:
+    """``(call, step_expression)`` for every MPC round dispatch under ``tree``.
+
+    Matches ``<receiver>.round(step, ...)`` where the receiver looks like
+    a cluster (name contains "cluster") or the call carries the
+    simulator's ``label=`` keyword, plus ``<executor>.run_round(machines,
+    ids, step, ...)``.  ``np.round`` and friends are excluded.  Shared by
+    the step-shape rules (MPC001/003/007/009) and the round-complexity
+    analyzer (MPC011).
+    """
+    out: List[Tuple[ast.Call, ast.AST]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        receiver = dotted(node.func.value) or ""
+        root = receiver.split(".")[0]
+        if node.func.attr == "round" and root not in NUMERIC_ROUND_RECEIVERS:
+            cluster_like = "cluster" in receiver.lower()
+            has_label = any(kw.arg == "label" for kw in node.keywords)
+            if (cluster_like or has_label) and node.args:
+                out.append((node, node.args[0]))
+        elif node.func.attr == "run_round":
+            step: Optional[ast.AST] = None
+            if len(node.args) >= 3:
+                step = node.args[2]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "step":
+                        step = kw.value
+            if step is not None:
+                out.append((node, step))
+    return out
+
+
+# -- call graph ----------------------------------------------------------
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function in the analyzed set."""
+
+    qualname: str  # ``repro.mpc.primitives.broadcast``
+    module: ModuleInfo
+    node: ast.FunctionDef
+
+
+class CallGraph:
+    """Project-wide static call graph over module-level functions.
+
+    Nodes are top-level ``def``s keyed by dotted qualname; edges are
+    resolved direct calls (``broadcast(...)`` through the import table,
+    ``primitives.broadcast(...)`` through module aliases, including
+    function-local imports and one re-export hop through a package
+    ``__init__``).  Method calls and out-of-tree callees are not nodes —
+    callers get ``None`` back from :meth:`resolve_call` for those.
+    """
+
+    _MAX_REEXPORT_HOPS = 4
+
+    def __init__(self, project: "Project"):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        for module in project.modules:
+            if module.tree is None:
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.FunctionDef):
+                    qual = f"{self._owner(module)}.{node.name}"
+                    self.functions[qual] = FunctionInfo(qual, module, node)
+
+    @staticmethod
+    def _owner(module: ModuleInfo) -> str:
+        name = module.name
+        return name[: -len(".__init__")] if name.endswith(".__init__") else name
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def _chase_reexport(self, dotted_target: str) -> Optional[str]:
+        """Follow ``pkg.__init__`` import chains to a function qualname."""
+        current = dotted_target
+        for _ in range(self._MAX_REEXPORT_HOPS):
+            if current in self.functions:
+                return current
+            mod_path, _, symbol = current.rpartition(".")
+            if not symbol:
+                return None
+            info = self.project.module(mod_path)
+            if info is None or symbol not in info.import_map:
+                return None
+            current = info.import_map[symbol]
+        return None
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        func_expr: ast.AST,
+        local_imports: Optional[Dict[str, str]] = None,
+    ) -> Optional[str]:
+        """Qualname of the analyzed function ``func_expr`` calls, or None."""
+        name = dotted(func_expr)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        target: Optional[str] = None
+        if local_imports and head in local_imports:
+            target = local_imports[head]
+        elif head in module.import_map:
+            target = module.import_map[head]
+        elif not rest and f"{self._owner(module)}.{head}" in self.functions:
+            return f"{self._owner(module)}.{head}"
+        if target is None:
+            return None
+        if rest:
+            target = f"{target}.{rest}"
+        return self._chase_reexport(target)
+
+    @staticmethod
+    def local_import_map(func: ast.FunctionDef, module: ModuleInfo) -> Dict[str, str]:
+        """Import bindings made inside ``func`` (deferred-import idiom)."""
+        out: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    out[bound] = alias.name if alias.asname else bound
+            elif isinstance(node, ast.ImportFrom):
+                base = module.resolve_import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name != "*":
+                        out[alias.asname or alias.name] = f"{base}.{alias.name}"
+        return out
+
+
 # -- rules ---------------------------------------------------------------
 
 
@@ -418,6 +621,30 @@ def all_rules() -> List[Rule]:
     return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
 
 
+def rule_ids() -> Set[str]:
+    return set(_REGISTRY)
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """MPC012: every ``# mpclint: disable=`` marker must still suppress
+    something (ruff's unused-noqa, for mpclint).
+
+    The logic lives in the runner (:func:`run_project`): only after all
+    selected rules have fired is it known which markers matched.  This
+    class exists so the rule has a catalogue entry, documentation, and a
+    stable id for ``--select`` / ``--ignore`` / ``disable=``.
+    """
+
+    id = "MPC012"
+    severity = Severity.WARNING
+    title = "unused # mpclint: disable= suppression"
+    fix_hint = (
+        "remove the stale suppression comment (or fix its rule id): it no "
+        "longer silences any violation"
+    )
+
+
 # -- runner --------------------------------------------------------------
 
 
@@ -471,11 +698,13 @@ def run_project(
                 )
             )
 
+    ran: Set[str] = set()
     for rule in all_rules():
         if selected is not None and rule.id not in selected:
             continue
         if rule.id in ignored:
             continue
+        ran.add(rule.id)
         for violation in rule.check_project(project):
             violations.append(violation)
         for module in project.modules:
@@ -485,14 +714,77 @@ def run_project(
                 violations.append(violation)
 
     by_rel = {m.rel: m for m in project.modules}
+    #: (module rel, scope, token, marker line) markers that matched.
+    used: Set[Tuple[str, str, str, int]] = set()
     kept = []
     for violation in violations:
         module = by_rel.get(violation.path)
-        if module is not None and module.is_suppressed(violation.rule_id, violation.line):
+        hit = (
+            module.suppression_hit(violation.rule_id, violation.line)
+            if module is not None
+            else None
+        )
+        if hit is not None:
+            used.add((violation.path, *hit))
             continue
         kept.append(violation)
+
+    if "MPC012" in ran:
+        for warning in _unused_suppressions(project, ran, used, selected):
+            module = by_rel.get(warning.path)
+            if module is None or not module.is_suppressed("MPC012", warning.line):
+                kept.append(warning)
+
     kept.sort(key=Violation.sort_key)
     return kept
+
+
+def _unused_suppressions(
+    project: Project,
+    ran: Set[str],
+    used: Set[Tuple[str, str, str, int]],
+    selected: Optional[Set[str]],
+) -> Iterator[Violation]:
+    """MPC012 warnings: every disable marker that silenced nothing.
+
+    A marker is checkable only for rules that actually ran this pass
+    (``--select MPC006`` must not call a ``disable=MPC001`` stale), and
+    unknown rule ids are flagged only on full runs.  ``disable=MPC012``
+    markers are meta (they silence these warnings) and never reported.
+    """
+    rule = _REGISTRY["MPC012"]
+    known = rule_ids()
+    for module in project.modules:
+        markers: List[Tuple[str, str, int]] = [
+            ("line", token, line)
+            for line, tokens in module.suppressions.items()
+            for token in sorted(tokens)
+        ] + [
+            ("file", token, line)
+            for token, line in module.file_suppression_lines.items()
+        ]
+        for scope, token, line in markers:
+            if token == "MPC012":
+                continue
+            where = "file-level suppression" if scope == "file" else "suppression"
+            if token != "ALL" and token not in known:
+                if selected is None:
+                    yield rule.violation(
+                        module,
+                        line,
+                        f"{where} names unknown rule {token!r} — not in the "
+                        "catalogue, so it can never match",
+                    )
+                continue
+            if token != "ALL" and token not in ran:
+                continue  # rule skipped this pass; cannot judge the marker
+            if token == "ALL" and selected is not None:
+                continue  # blanket markers are judged on full runs only
+            if (module.rel, scope, token, line) not in used:
+                label = "all rules" if token == "ALL" else token
+                yield rule.violation(
+                    module, line, f"unused {where} of {label} — nothing fires here"
+                )
 
 
 def run_paths(

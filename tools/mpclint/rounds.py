@@ -1,0 +1,666 @@
+"""Interprocedural round-complexity analysis: the static round ledger.
+
+Theorems 1 and 3 claim the embedding pipeline runs in O(1) (really
+O(1/eps)) MPC rounds.  ``CostReport.rounds`` measures that per run; this
+module *proves* a symbolic bound per entry point at lint time, so the
+claim survives refactors that never run the benchmarks:
+
+1. Build the project call graph (:meth:`mpclint.core.Project.call_graph`)
+   over every analyzed module.
+2. Find each ``cluster.round(...)`` dispatch (direct, or inside the
+   primitives / sort / aggregate / dedup helpers) and classify it by its
+   enclosing loops:
+
+   * ``constant`` — straight-line, or a loop with a literal bound;
+   * ``budget`` — a loop whose trip count is the fan-out tree depth
+     (``O(log_f m)`` with f chosen from local memory / the comm budget —
+     the paper's O(1/eps), annotated ``# mpclint: rounds=O(log_f m)``);
+   * ``log_delta`` — a loop over the level schedule (``range(num_levels)``
+     and friends: O(log Delta) trips);
+   * ``unbounded`` — a ``while`` without a ``# mpclint: rounds=`` bound,
+     an unrecognized loop bound, or any recursion through a
+     round-performing cycle.
+
+3. Propagate classes bottom-up through the call graph (a call site
+   inside a loop lifts its callee's class by the loop's class; the
+   lattice is the max — the ledger tracks the dominant term, not exact
+   exponents) and compare each public ``mpc_*`` entry point against the
+   committed manifest ``tools/mpclint/round_budgets.toml``.
+
+The manifest also carries a concrete ``cap`` per entry point — a hard
+ceiling on *measured* ``CostReport.rounds`` in the repo's committed test
+and benchmark configurations — which the executor-matrix tests and the
+benchmark harness assert at runtime (:func:`round_cap`).  MPC011
+(:mod:`mpclint.rules_rounds`) turns the static side into lint failures.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from mpclint.core import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    round_dispatches,
+)
+
+# -- the class lattice ---------------------------------------------------
+
+CONSTANT = "constant"
+BUDGET = "budget"
+LOG_DELTA = "log_delta"
+UNBOUNDED = "unbounded"
+
+#: Lattice order: the inferred class of a function is the max over its
+#: sites; ``budget`` sits inside the paper's O(1/eps) "constant rounds"
+#: claim, which is why a declared ``constant`` budget admits it.
+RANK = {CONSTANT: 0, BUDGET: 1, LOG_DELTA: 2, UNBOUNDED: 3}
+
+#: Declared manifest class -> highest inferred rank it admits.
+DECLARED_ADMITS = {"constant": RANK[BUDGET], "log_delta": RANK[LOG_DELTA],
+                   "unbounded": RANK[UNBOUNDED]}
+
+#: Human-facing bound per class, used in reports.
+CLASS_BOUND = {
+    CONSTANT: "O(1)",
+    BUDGET: "O(1/eps)",
+    LOG_DELTA: "O(log Delta)",
+    UNBOUNDED: "unbounded",
+}
+
+#: Loop-bound symbols that mean "once per level of the scale schedule"
+#: (the O(log Delta) loops of Algorithm 2's optional in-model assembly).
+_LEVEL_SYMBOLS = {
+    "num_levels", "num_levels_", "n_levels", "levels", "scales",
+    "level_schedule", "max_levels", "chain",
+}
+
+_INT_RE = re.compile(r"\d+\Z")
+_O1_RE = re.compile(r"o\(\s*1\s*\)\Z")
+
+
+def classify_annotation(text: str) -> str:
+    """Map a ``# mpclint: rounds=<bound>`` expression onto the lattice."""
+    t = text.strip().lower().replace(" ", "")
+    if _O1_RE.match(t) or _INT_RE.match(t):
+        return CONSTANT
+    if "log_f" in t or "log2(m)" in t or "log(m)" in t or "eps" in t:
+        return BUDGET
+    if "delta" in t or "log" in t or "level" in t:
+        return LOG_DELTA
+    return UNBOUNDED
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def _classify_for_loop(node: ast.For, module: ModuleInfo) -> Tuple[str, str]:
+    """(class, bound text) of a ``for`` loop's trip count."""
+    ann = module.round_annotations.get(node.lineno)
+    if ann is not None:
+        return classify_annotation(ann), ann
+    it = node.iter
+    # Unwrap enumerate(...)
+    if (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Name)
+        and it.func.id == "enumerate"
+        and it.args
+    ):
+        it = it.args[0]
+    if isinstance(it, ast.Call) and isinstance(it.func, ast.Name) and it.func.id == "range":
+        args = it.args
+        bound_expr = args[1] if len(args) >= 2 else args[0] if args else None
+        if bound_expr is None:
+            return UNBOUNDED, "range()"
+        if all(isinstance(a, ast.Constant) for a in args):
+            return CONSTANT, ast.unparse(it)
+        bound = ast.unparse(bound_expr)
+        if _names_in(bound_expr) & _LEVEL_SYMBOLS:
+            return LOG_DELTA, f"O({bound})"
+        return UNBOUNDED, f"O({bound}) [unrecognized bound]"
+    bound = ast.unparse(it)
+    if _names_in(it) & _LEVEL_SYMBOLS:
+        return LOG_DELTA, f"O(len({bound}))"
+    if isinstance(it, (ast.List, ast.Tuple)):
+        return CONSTANT, f"x{len(it.elts)}"
+    return UNBOUNDED, f"O(len({bound})) [unrecognized bound]"
+
+
+def _classify_while_loop(node: ast.While, module: ModuleInfo) -> Tuple[str, Optional[str]]:
+    """(class, bound text) of a ``while`` loop; None bound == unannotated."""
+    ann = module.round_annotations.get(node.lineno)
+    if ann is None:
+        return UNBOUNDED, None
+    return classify_annotation(ann), ann
+
+
+# -- per-function facts --------------------------------------------------
+
+
+@dataclass
+class RoundSite:
+    """One ``cluster.round(...)`` dispatch with its loop context."""
+
+    path: str
+    line: int
+    function: str  # qualname of the containing function
+    label: Optional[str]
+    classification: str
+    bound: str  # human bound text, e.g. "O(log_f m)" or "O(1)"
+
+
+@dataclass
+class LoopIssue:
+    """A loop that performs rounds but whose trip count is not provable."""
+
+    path: str
+    line: int
+    function: str
+    kind: str  # "while-unannotated" | "for-unrecognized"
+    detail: str
+
+
+@dataclass
+class FunctionRounds:
+    """Round facts for one function: direct sites and round-lifting calls."""
+
+    qualname: str
+    sites: List[RoundSite] = field(default_factory=list)
+    #: (callee qualname, loop class at the call site, line)
+    calls: List[Tuple[str, str, int]] = field(default_factory=list)
+    loop_issues: List[LoopIssue] = field(default_factory=list)
+    #: while loops (line -> annotated?) that contain calls; re-checked
+    #: after propagation, when callees' round behavior is known.
+    while_calls: List[Tuple[int, bool, str]] = field(default_factory=list)
+    cls: Optional[str] = None  # resolved class; None == performs no rounds
+    recursive: bool = False
+
+
+def _loop_class(stack: Sequence[Tuple[str, str]]) -> str:
+    """Combined class of an enclosing-loop stack (max over the stack)."""
+    cls = CONSTANT
+    for loop_cls, _bound in stack:
+        if RANK[loop_cls] > RANK[cls]:
+            cls = loop_cls
+    return cls
+
+
+def _call_label(call: ast.Call) -> Optional[str]:
+    for kw in call.keywords:
+        if kw.arg == "label" and isinstance(kw.value, ast.Constant):
+            return str(kw.value.value)
+    return None
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Walk one function body collecting sites/calls with loop context."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        graph: CallGraph,
+        facts: FunctionRounds,
+        round_calls: Set[int],  # id()s of round-dispatch Call nodes
+    ):
+        self.info = info
+        self.graph = graph
+        self.facts = facts
+        self.round_calls = round_calls
+        self.local_imports = CallGraph.local_import_map(info.node, info.module)
+        self.stack: List[Tuple[str, str]] = []
+        self.while_stack: List[List[Tuple[int, bool]]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.info.node:
+            return  # nested defs (steps) do not run in the driver
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_For(self, node: ast.For) -> None:
+        cls, bound = _classify_for_loop(node, self.info.module)
+        if cls == UNBOUNDED:
+            # Only an issue if the loop actually performs rounds; record
+            # provisionally and let the analysis decide.
+            self._visit_loop(node, cls, bound, for_issue=(node.lineno, bound))
+        else:
+            self._visit_loop(node, cls, bound)
+
+    def visit_While(self, node: ast.While) -> None:
+        cls, bound = _classify_while_loop(node, self.info.module)
+        annotated = bound is not None
+        self.while_stack.append([(node.lineno, annotated)])
+        self._visit_loop(node, cls, bound or "unannotated while")
+        self.while_stack.pop()
+
+    def _visit_loop(
+        self,
+        node: ast.AST,
+        cls: str,
+        bound: str,
+        for_issue: Optional[Tuple[int, str]] = None,
+    ) -> None:
+        self.stack.append((cls, bound))
+        self._for_issue = getattr(self, "_for_issue", [])
+        if for_issue is not None:
+            self._for_issue.append(for_issue)
+        self.generic_visit(node)
+        if for_issue is not None:
+            self._for_issue.pop()
+        self.stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if id(node) in self.round_calls:
+            cls = _loop_class(self.stack)
+            bound = self.stack[-1][1] if self.stack else "O(1)"
+            if not self.stack:
+                bound = "O(1)"
+            self.facts.sites.append(
+                RoundSite(
+                    path=self.info.module.rel,
+                    line=node.lineno,
+                    function=self.facts.qualname,
+                    label=_call_label(node),
+                    classification=cls,
+                    bound=bound,
+                )
+            )
+            self._record_loop_issues(node.lineno, performs_rounds=True)
+        else:
+            callee = self.graph.resolve_call(
+                self.info.module, node.func, self.local_imports
+            )
+            if callee is not None and callee != self.facts.qualname:
+                self.facts.calls.append((callee, _loop_class(self.stack), node.lineno))
+                if self.while_stack:
+                    for line, annotated in self.while_stack[-1]:
+                        self.facts.while_calls.append((line, annotated, callee))
+            elif callee == self.facts.qualname:
+                self.facts.recursive = True
+        self.generic_visit(node)
+
+    def _record_loop_issues(self, line: int, *, performs_rounds: bool) -> None:
+        if not performs_rounds:
+            return
+        for while_line, annotated in (self.while_stack[-1] if self.while_stack else ()):
+            if not annotated:
+                self.facts.loop_issues.append(
+                    LoopIssue(
+                        path=self.info.module.rel,
+                        line=while_line,
+                        function=self.facts.qualname,
+                        kind="while-unannotated",
+                        detail=f"round dispatch at line {line}",
+                    )
+                )
+        for for_line, bound in getattr(self, "_for_issue", []):
+            self.facts.loop_issues.append(
+                LoopIssue(
+                    path=self.info.module.rel,
+                    line=for_line,
+                    function=self.facts.qualname,
+                    kind="for-unrecognized",
+                    detail=f"{bound}; round dispatch at line {line}",
+                )
+            )
+
+
+# -- whole-project analysis ----------------------------------------------
+
+
+@dataclass
+class EntrySummary:
+    """Inferred round behavior of one ``mpc_*`` entry point."""
+
+    name: str
+    qualname: str
+    path: str
+    line: int
+    cls: Optional[str]  # None == performs no rounds at all
+    sites: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def bound(self) -> str:
+        return "0" if self.cls is None else CLASS_BOUND[self.cls]
+
+
+@dataclass
+class RoundAnalysis:
+    """Everything MPC011 and the CLI report need."""
+
+    functions: Dict[str, FunctionRounds]
+    graph: CallGraph
+    entries: Dict[str, EntrySummary]
+    loop_issues: List[LoopIssue]
+    recursive: List[str]
+
+    def function_class(self, qualname: str) -> Optional[str]:
+        facts = self.functions.get(qualname)
+        return facts.cls if facts is not None else None
+
+
+def _tarjan_sccs(nodes: Sequence[str], edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components, iterative Tarjan (no rec. limit)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(edges.get(node, ()))
+            for i in range(child_i, len(children)):
+                child = children[i]
+                if child not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def analyze_project(project: Project) -> RoundAnalysis:
+    """Run the full interprocedural analysis (cached on the project)."""
+    cached = getattr(project, "_round_analysis", None)
+    if cached is not None:
+        return cached
+
+    graph = project.call_graph()
+    functions: Dict[str, FunctionRounds] = {}
+    for qualname, info in graph.functions.items():
+        facts = FunctionRounds(qualname)
+        round_call_ids = {id(call) for call, _step in round_dispatches(info.node)}
+        walker = _FunctionWalker(info, graph, facts, round_call_ids)
+        walker.generic_visit(info.node)
+        functions[qualname] = facts
+
+    # SCCs: recursion through a round-performing cycle is unbounded.
+    edges = {q: {c for c, _cls, _line in f.calls} for q, f in functions.items()}
+    recursive: Set[str] = {q for q, f in functions.items() if f.recursive}
+    for scc in _tarjan_sccs(sorted(functions), edges):
+        if len(scc) > 1:
+            recursive.update(scc)
+
+    # Bottom-up fixpoint over the finite lattice (max is monotone).
+    changed = True
+    while changed:
+        changed = False
+        for qualname, facts in functions.items():
+            cls = facts.cls
+            for site in facts.sites:
+                if cls is None or RANK[site.classification] > RANK[cls]:
+                    cls = site.classification
+            for callee, loop_cls, _line in facts.calls:
+                callee_cls = functions[callee].cls if callee in functions else None
+                if callee_cls is None:
+                    continue
+                lifted = callee_cls if RANK[callee_cls] >= RANK[loop_cls] else loop_cls
+                if cls is None or RANK[lifted] > RANK[cls]:
+                    cls = lifted
+            if cls != facts.cls:
+                facts.cls = cls
+                changed = True
+    for qualname in recursive:
+        facts = functions[qualname]
+        if facts.cls is not None:
+            facts.cls = UNBOUNDED
+
+    # Loop issues: the per-function walk already caught direct dispatches
+    # inside bad loops; now that callees are resolved, flag while loops
+    # whose *calls* perform rounds too.
+    loop_issues: List[LoopIssue] = []
+    seen_issue: Set[Tuple[str, int, str]] = set()
+    for facts in functions.values():
+        for issue in facts.loop_issues:
+            key = (issue.path, issue.line, issue.kind)
+            if key not in seen_issue:
+                seen_issue.add(key)
+                loop_issues.append(issue)
+        for line, annotated, callee in facts.while_calls:
+            if annotated:
+                continue
+            callee_cls = functions[callee].cls if callee in functions else None
+            if callee_cls is None:
+                continue
+            info = graph.functions[facts.qualname]
+            key = (info.module.rel, line, "while-unannotated")
+            if key not in seen_issue:
+                seen_issue.add(key)
+                loop_issues.append(
+                    LoopIssue(
+                        path=info.module.rel,
+                        line=line,
+                        function=facts.qualname,
+                        kind="while-unannotated",
+                        detail=f"calls round-performing {callee}",
+                    )
+                )
+
+    entries: Dict[str, EntrySummary] = {}
+    for qualname, info in graph.functions.items():
+        short = info.node.name
+        if not short.startswith("mpc_"):
+            continue
+        entries[short] = EntrySummary(
+            name=short,
+            qualname=qualname,
+            path=info.module.rel,
+            line=info.node.lineno,
+            cls=functions[qualname].cls,
+            sites=_collect_sites(qualname, functions),
+        )
+
+    analysis = RoundAnalysis(
+        functions=functions,
+        graph=graph,
+        entries=entries,
+        loop_issues=loop_issues,
+        recursive=sorted(recursive),
+    )
+    project._round_analysis = analysis  # type: ignore[attr-defined]
+    return analysis
+
+
+def _collect_sites(
+    entry: str, functions: Dict[str, FunctionRounds]
+) -> List[Dict[str, object]]:
+    """Flatten every round site reachable from ``entry`` with its lifted
+    class and the call chain it is reached through."""
+    out: List[Dict[str, object]] = []
+    seen: Set[Tuple[str, str]] = set()  # (function, lift class) pairs visited
+
+    def visit(qualname: str, lift: str, via: Tuple[str, ...]) -> None:
+        if (qualname, lift) in seen or qualname not in functions:
+            return
+        seen.add((qualname, lift))
+        facts = functions[qualname]
+        for site in facts.sites:
+            effective = site.classification if RANK[site.classification] >= RANK[lift] else lift
+            out.append(
+                {
+                    "path": site.path,
+                    "line": site.line,
+                    "label": site.label,
+                    "classification": effective,
+                    "bound": site.bound,
+                    "via": list(via + (qualname,)),
+                }
+            )
+        for callee, loop_cls, _line in facts.calls:
+            next_lift = loop_cls if RANK[loop_cls] >= RANK[lift] else lift
+            visit(callee, next_lift, via + (qualname,))
+
+    visit(entry, CONSTANT, ())
+    out.sort(key=lambda s: (s["path"], s["line"]))
+    return out
+
+
+# -- the committed manifest ----------------------------------------------
+
+MANIFEST_RELPATH = Path("tools") / "mpclint" / "round_budgets.toml"
+VALID_DECLARED = frozenset(DECLARED_ADMITS)
+
+
+@dataclass(frozen=True)
+class RoundBudget:
+    """One manifest entry: declared class + concrete runtime cap."""
+
+    entry: str
+    declared: str  # "constant" | "log_delta" | "unbounded"
+    cap: int
+    module: str = ""
+    note: str = ""
+
+
+def repo_root() -> Path:
+    """The checkout root (this file lives at tools/mpclint/rounds.py)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def manifest_path(root: Optional[Path] = None) -> Path:
+    return (root or repo_root()) / MANIFEST_RELPATH
+
+
+def load_round_budgets(root: Optional[Path] = None) -> Dict[str, RoundBudget]:
+    """Parse ``round_budgets.toml`` into {entry name: RoundBudget}.
+
+    Raises ``FileNotFoundError`` when the manifest is missing and
+    ``ValueError`` on malformed entries — the runtime cross-checks want
+    loud failures, while MPC011 catches both and reports violations.
+    """
+    import tomllib
+
+    path = manifest_path(root)
+    with open(path, "rb") as fh:
+        raw = tomllib.load(fh)
+    budgets: Dict[str, RoundBudget] = {}
+    for entry, table in raw.items():
+        if not isinstance(table, dict):
+            raise ValueError(f"round_budgets.toml: [{entry}] must be a table")
+        declared = table.get("class")
+        cap = table.get("cap")
+        if declared not in VALID_DECLARED:
+            raise ValueError(
+                f"round_budgets.toml: [{entry}] class must be one of "
+                f"{sorted(VALID_DECLARED)}, got {declared!r}"
+            )
+        if not isinstance(cap, int) or isinstance(cap, bool) or cap <= 0:
+            raise ValueError(
+                f"round_budgets.toml: [{entry}] cap must be a positive int, "
+                f"got {cap!r}"
+            )
+        budgets[entry] = RoundBudget(
+            entry=entry,
+            declared=declared,
+            cap=cap,
+            module=str(table.get("module", "")),
+            note=str(table.get("note", "")),
+        )
+    return budgets
+
+
+def round_cap(entry: str, root: Optional[Path] = None) -> int:
+    """The manifest's concrete round cap for ``entry``.
+
+    The runtime cross-check: executor-matrix tests and the benchmark
+    harness assert ``CostReport.rounds <= round_cap(name)`` after running
+    an entry point, closing the loop between the static ledger and the
+    measured accounting.
+    """
+    budgets = load_round_budgets(root)
+    if entry not in budgets:
+        raise KeyError(
+            f"{entry!r} has no round budget — add it to {MANIFEST_RELPATH}"
+        )
+    return budgets[entry].cap
+
+
+def report_dict(project: Project, root: Optional[Path] = None) -> Dict[str, object]:
+    """The per-entry-point round report the CLI embeds in ``--json``."""
+    analysis = analyze_project(project)
+    try:
+        budgets = load_round_budgets(root or project.root)
+    except (FileNotFoundError, ValueError):
+        budgets = {}
+    entries = []
+    for name in sorted(analysis.entries):
+        entry = analysis.entries[name]
+        budget = budgets.get(name)
+        entries.append(
+            {
+                "entry": name,
+                "qualname": entry.qualname,
+                "path": entry.path,
+                "line": entry.line,
+                "inferred_class": entry.cls,
+                "inferred_bound": entry.bound,
+                "declared_class": budget.declared if budget else None,
+                "cap": budget.cap if budget else None,
+                "within_budget": (
+                    None
+                    if budget is None
+                    else (entry.cls is None
+                          or RANK[entry.cls] <= DECLARED_ADMITS[budget.declared])
+                ),
+                "sites": entry.sites,
+            }
+        )
+    return {
+        "manifest": str(MANIFEST_RELPATH),
+        "manifest_found": bool(budgets),
+        "entries": entries,
+        "unbounded_loops": [
+            {
+                "path": issue.path,
+                "line": issue.line,
+                "function": issue.function,
+                "kind": issue.kind,
+                "detail": issue.detail,
+            }
+            for issue in sorted(
+                analysis.loop_issues, key=lambda i: (i.path, i.line)
+            )
+        ],
+        "recursive": [
+            q for q in analysis.recursive
+            if analysis.functions[q].cls is not None
+        ],
+    }

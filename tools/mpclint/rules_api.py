@@ -19,7 +19,15 @@ import ast
 import re
 from typing import Iterator, List, Optional
 
-from mpclint.core import ModuleInfo, Project, Rule, Severity, Violation, register
+from mpclint.core import (
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    register,
+)
 
 _IDENTIFIER_PATH = re.compile(r"[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*\Z")
 _HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
@@ -27,6 +35,8 @@ _CODE_SPAN = re.compile(r"`([^`]+)`")
 _BULLET = re.compile(r"^\s*[*+-]\s+(.*)$")
 _TABLE_ROW = re.compile(r"^\s*\|(.+)\|\s*$")
 _MODULE_PATH = re.compile(r"repro(\.[A-Za-z_][A-Za-z0-9_]*)*\Z")
+#: A rule-catalogue table row in docs/LINTING.md: ``| MPC0xx | severity | ...``
+_RULE_ROW = re.compile(r"^\s*\|\s*(MPC\d{3})\s*\|\s*(\w+)\s*\|")
 
 
 @register
@@ -122,6 +132,48 @@ class DocsDriftRule(Rule):
             if not rel.endswith(".md"):
                 continue
             yield from self._check_doc(project, rel, text)
+            if rel.endswith("LINTING.md"):
+                yield from self._check_rule_catalogue(rel, text)
+
+    def _check_rule_catalogue(self, rel: str, text: str) -> Iterator[Violation]:
+        """The LINTING.md rule table must match ``all_rules()`` exactly.
+
+        Every ``| MPC0xx | severity |`` row must name a registered rule
+        with the right severity, and every registered rule must have a
+        row — the catalogue drifting is exactly the failure mode MPC008
+        exists to catch.
+        """
+        registry = {rule.id: rule for rule in all_rules()}
+        documented = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            row = _RULE_ROW.match(line)
+            if row is None:
+                continue
+            rule_id, severity = row.group(1), row.group(2).lower()
+            documented.setdefault(rule_id, lineno)
+            rule = registry.get(rule_id)
+            if rule is None:
+                yield self.doc_violation(
+                    rel,
+                    lineno,
+                    f"rule catalogue lists {rule_id} but no such rule is "
+                    "registered — remove the stale row",
+                )
+            elif severity != rule.severity:
+                yield self.doc_violation(
+                    rel,
+                    lineno,
+                    f"rule catalogue says {rule_id} is {severity!r} but the "
+                    f"registered severity is {rule.severity!r}",
+                )
+        if documented:  # only judge completeness when the table exists
+            for rule_id in sorted(set(registry) - set(documented)):
+                yield self.doc_violation(
+                    rel,
+                    1,
+                    f"rule {rule_id} ({registry[rule_id].title}) is missing "
+                    "from the rule catalogue table",
+                )
 
     def _check_doc(self, project: Project, rel: str, text: str) -> Iterator[Violation]:
         current: Optional[str] = None

@@ -1,0 +1,132 @@
+"""MPC011: the static round ledger (round-complexity budget rule).
+
+Backed by :mod:`mpclint.rounds`.  The rule fails lint when:
+
+* a loop performs MPC rounds but its trip count is not provable — a
+  ``while`` whose header lacks a ``# mpclint: rounds=<bound>`` annotation,
+  or a ``for`` over an unrecognized bound (annotate the header to fix);
+* rounds are dispatched through a recursive call cycle;
+* the manifest ``tools/mpclint/round_budgets.toml`` is malformed, names
+  an entry point that no longer exists, or misses an exported ``mpc_*``
+  entry point;
+* an entry point's inferred round class exceeds what its declared class
+  admits (``constant`` admits budget-wave ``O(1/eps)`` fan-out trees, the
+  paper's notion of constant rounds; ``log_delta`` admits up to
+  O(log Delta); anything inferred ``unbounded`` always fails).
+
+Projects without a manifest (rule fixtures, scratch trees) skip the
+manifest checks; the loop/recursion checks still apply, so the seeded
+violation fixtures exercise the analyzer without one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from mpclint.core import Project, Rule, Severity, Violation, register
+from mpclint.rounds import (
+    CLASS_BOUND,
+    DECLARED_ADMITS,
+    MANIFEST_RELPATH,
+    RANK,
+    UNBOUNDED,
+    analyze_project,
+    load_round_budgets,
+)
+
+
+@register
+class RoundComplexityRule(Rule):
+    """MPC011: every entry point's inferred round bound fits its budget."""
+
+    id = "MPC011"
+    severity = Severity.ERROR
+    title = "round-complexity budget violated or unprovable"
+    fix_hint = (
+        "bound the loop with a `# mpclint: rounds=<bound>` annotation, or "
+        "update tools/mpclint/round_budgets.toml if the complexity class "
+        "genuinely changed"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        analysis = analyze_project(project)
+        by_rel = {m.rel: m for m in project.modules}
+
+        for issue in analysis.loop_issues:
+            module = by_rel.get(issue.path)
+            if module is None:
+                continue
+            if issue.kind == "while-unannotated":
+                message = (
+                    f"while loop in {issue.function} performs MPC rounds "
+                    f"({issue.detail}) without a `# mpclint: rounds=<bound>` "
+                    "annotation — its round count is unprovable"
+                )
+            else:
+                message = (
+                    f"for loop in {issue.function} performs MPC rounds with an "
+                    f"unrecognized bound ({issue.detail}) — annotate the loop "
+                    "header with `# mpclint: rounds=<bound>`"
+                )
+            yield self.violation(module, issue.line, message)
+
+        for qualname in analysis.recursive:
+            facts = analysis.functions[qualname]
+            if facts.cls is None:
+                continue  # recursion that never touches the cluster is fine
+            info = analysis.graph.functions[qualname]
+            yield self.violation(
+                info.module,
+                info.node,
+                f"{qualname} dispatches MPC rounds through a recursive call "
+                "cycle — round count is unbounded",
+                fix_hint="restructure the recursion into a bounded loop and "
+                "annotate it",
+            )
+
+        try:
+            budgets = load_round_budgets(project.root)
+        except FileNotFoundError:
+            return  # no manifest: fixture/scratch tree, skip budget checks
+        except ValueError as exc:
+            yield self.doc_violation(str(MANIFEST_RELPATH), 1, str(exc))
+            return
+
+        for name in sorted(analysis.entries):
+            entry = analysis.entries[name]
+            budget = budgets.get(name)
+            module = by_rel.get(entry.path)
+            if budget is None:
+                if module is not None:
+                    yield self.violation(
+                        module,
+                        entry.line,
+                        f"entry point {name} has no round budget — add a "
+                        f"[{name}] table to {MANIFEST_RELPATH}",
+                    )
+                continue
+            if entry.cls is None:
+                continue  # performs no rounds: trivially within any budget
+            if RANK[entry.cls] > DECLARED_ADMITS[budget.declared]:
+                detail = (
+                    "unbounded round site (see the loop/recursion findings)"
+                    if entry.cls == UNBOUNDED
+                    else f"inferred {CLASS_BOUND[entry.cls]}"
+                )
+                if module is not None:
+                    yield self.violation(
+                        module,
+                        entry.line,
+                        f"entry point {name} declares class "
+                        f"{budget.declared!r} but analysis infers "
+                        f"{entry.cls!r} ({detail})",
+                    )
+
+        for name in sorted(budgets):
+            if name not in analysis.entries:
+                yield self.doc_violation(
+                    str(MANIFEST_RELPATH),
+                    1,
+                    f"manifest entry [{name}] names no exported mpc_* entry "
+                    "point in the analyzed tree — remove or rename it",
+                )

@@ -37,10 +37,8 @@ from mpclint.core import (
     is_partial_call,
     local_names,
     register,
+    round_dispatches,
 )
-
-#: Receivers whose ``.round(...)`` is numeric rounding, not an MPC round.
-_NUMERIC_RECEIVERS = {"np", "numpy", "math", "builtins", "operator", "decimal"}
 
 #: Methods that mutate their receiver in place.
 _MUTATORS = {
@@ -65,34 +63,12 @@ _MUTATORS = {
 def _round_step_exprs(module: ModuleInfo) -> List[Tuple[ast.Call, ast.AST]]:
     """``(call, step_expression)`` for every MPC round dispatch in the module.
 
-    Matches ``<receiver>.round(step, ...)`` where the receiver looks like
-    a cluster (name contains "cluster") or the call carries the
-    simulator's ``label=`` keyword, plus ``<executor>.run_round(machines,
-    ids, step, ...)``.  ``np.round`` and friends are excluded.
+    Thin wrapper over :func:`mpclint.core.round_dispatches` (shared with
+    the round-complexity analyzer) keeping the historical per-module
+    signature these rules use.
     """
-    out: List[Tuple[ast.Call, ast.AST]] = []
     assert module.tree is not None
-    for node in ast.walk(module.tree):
-        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
-            continue
-        receiver = dotted(node.func.value) or ""
-        root = receiver.split(".")[0]
-        if node.func.attr == "round" and root not in _NUMERIC_RECEIVERS:
-            cluster_like = "cluster" in receiver.lower()
-            has_label = any(kw.arg == "label" for kw in node.keywords)
-            if (cluster_like or has_label) and node.args:
-                out.append((node, node.args[0]))
-        elif node.func.attr == "run_round":
-            step: Optional[ast.AST] = None
-            if len(node.args) >= 3:
-                step = node.args[2]
-            else:
-                for kw in node.keywords:
-                    if kw.arg == "step":
-                        step = kw.value
-            if step is not None:
-                out.append((node, step))
-    return out
+    return round_dispatches(module.tree)
 
 
 def _def_name_depths(module: ModuleInfo) -> Tuple[Set[str], Set[str], Set[str]]:
