@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-rounds bench bench-smoke fault-smoke shm-smoke metrics examples figure1 all clean
+.PHONY: install test lint lint-rounds bench bench-smoke fault-smoke chaos-smoke shm-smoke metrics examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -65,9 +65,27 @@ shm-smoke:
 # FaultPlan (random events + a guaranteed crash and worker death) and the
 # harness asserts the recovered accounting is bit-identical before
 # recording the recovery-overhead block (docs/RESILIENCE.md).
+# FAULT_EXECUTOR picks the round executor the recovery twin runs under;
+# CI's fault-matrix job sweeps serial and shm so recovery is exercised
+# with shared-memory segments in play too.
 FAULT_SEED ?= 11
+FAULT_EXECUTOR ?= serial
 fault-smoke:
-	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor serial --faults $(FAULT_SEED) --delta-shipping $(DELTA)
+	PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression --executor $(FAULT_EXECUTOR) --faults $(FAULT_SEED) --fault-executor $(FAULT_EXECUTOR) --delta-shipping $(DELTA)
+
+# Hop-fault chaos soak (docs/RESILIENCE.md, "Hop-level failure model"):
+# sweep CHAOS_SEEDS x CHAOS_EXECUTOR x CHAOS_DENSITIES over the tree and
+# partition suites with pure hop-level fault plans (drop / duplicate /
+# corrupt / delay on specific delivery edges) under a tight
+# DeadlinePolicy.  Every cell must stay bit-identical to the fault-free
+# base and within the committed MPC011 round cap; per-seed MetricsLog
+# JSONL artifacts plus CHAOS_soak.json land in .bench_chaos/ (the CI
+# chaos-soak job uploads them).
+CHAOS_SEEDS ?= 5,11,23,47,61
+CHAOS_DENSITIES ?= 0.01,0.05,0.15
+CHAOS_EXECUTOR ?= serial,thread,process,shm
+chaos-smoke:
+	PYTHONPATH=src python benchmarks/harness.py --chaos --smoke --executor $(CHAOS_EXECUTOR) --chaos-seeds $(CHAOS_SEEDS) --chaos-densities $(CHAOS_DENSITIES) --out-dir .bench_chaos
 
 # Observability pipeline (docs/OBSERVABILITY.md): run every suite's MPC
 # arm through the budget/metrics path — probe the peak load, attach a
@@ -90,5 +108,5 @@ figure1:
 all: lint test bench
 
 clean:
-	rm -rf build src/repro.egg-info .pytest_cache .benchmarks .bench_smoke .bench_metrics
+	rm -rf build src/repro.egg-info .pytest_cache .benchmarks .bench_smoke .bench_metrics .bench_chaos
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -34,6 +34,7 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py --smoke          # n <= 256
     PYTHONPATH=src python benchmarks/harness.py --smoke --check-regression
     PYTHONPATH=src python benchmarks/harness.py --smoke --faults 11
+    PYTHONPATH=src python benchmarks/harness.py --chaos --smoke
     PYTHONPATH=src python benchmarks/harness.py --metrics on
     PYTHONPATH=src python benchmarks/harness.py --update-baseline
 
@@ -42,7 +43,25 @@ fault plan (random events plus one guaranteed machine crash and one
 worker death) and records a ``fault_recovery`` block — injected/replay
 counts and the wall-clock overhead of recovery — after asserting the
 recovered run's model-level accounting is identical to the fault-free
-run (see docs/RESILIENCE.md).
+run (see docs/RESILIENCE.md).  ``--fault-executor`` picks the round
+executor the faulty twin runs under (default ``serial``; CI also sweeps
+``shm`` so recovery is exercised with shared-memory segments in play).
+
+``--chaos`` switches the harness into the hop-fault soak mode
+(docs/RESILIENCE.md, "Hop-level failure model"): for each of the tree
+and partition suites it sweeps ``--chaos-seeds`` x the ``--executor``
+list x ``--chaos-densities``, driving each cell with a seeded
+:class:`~repro.mpc.faults.FaultPlan` of pure hop-level events (drop /
+duplicate / corrupt / delay on specific delivery edges) under a tight
+:class:`~repro.mpc.faults.DeadlinePolicy` so deadline misses and
+speculative re-dispatch fire too.  Every cell must be bit-identical to
+the fault-free base — result fingerprint, ``core_dict`` accounting, and
+the full ``as_dict`` (fault counters included) across executors — and
+stay within the committed MPC011 round cap (repairs are sub-round
+redeliveries, never new rounds).  Per-seed MetricsLog JSONL artifacts
+(``CHAOS_<suite>_seed<seed>.jsonl``) and a ``CHAOS_soak.json`` summary
+land in ``--out-dir``; ``make chaos-smoke`` runs the sweep and the CI
+``chaos-soak`` job uploads the artifacts.
 
 ``--delta-shipping on`` (the default) additionally runs each suite's
 MPC arm twice under the process executor — full shipping and delta
@@ -204,7 +223,8 @@ def measure_executors(run_mpc: Callable[[str], "object"],
 
 
 def measure_fault_recovery(run_mpc: Callable[..., "object"],
-                           fault_seed: int) -> Dict:
+                           fault_seed: int,
+                           executor: str = "serial") -> Dict:
     """Measure the recovery overhead of a faulty twin of one MPC arm.
 
     ``run_mpc(executor, faults=None)`` runs the arm and returns its
@@ -212,14 +232,15 @@ def measure_fault_recovery(run_mpc: Callable[..., "object"],
     once to learn its shape (rounds, machines) and to time the clean
     run; a seeded plan — random events at 15% rate *plus* one guaranteed
     machine crash and one worker death in the final round — then drives
-    a faulty twin.  The model-level accounting must come out identical
-    ("recovered modulo recorded replays"); the block records the fault
-    counts and the wall-clock overhead of recovery.
+    a faulty twin, both under ``executor``.  The model-level accounting
+    must come out identical ("recovered modulo recorded replays"); the
+    block records the fault counts and the wall-clock overhead of
+    recovery.
     """
     from repro.mpc.faults import FaultEvent, FaultPlan
 
     t0 = time.perf_counter()
-    base = run_mpc("serial")
+    base = run_mpc(executor)
     clean_seconds = time.perf_counter() - t0
     base_dict = base.core_dict()
 
@@ -241,7 +262,7 @@ def measure_fault_recovery(run_mpc: Callable[..., "object"],
         )
     )
     t0 = time.perf_counter()
-    faulty = run_mpc("serial", faults=plan)
+    faulty = run_mpc(executor, faults=plan)
     faulty_seconds = time.perf_counter() - t0
     assert faulty.core_dict() == base_dict, (
         "recovered run's model-level accounting diverged from the "
@@ -250,6 +271,7 @@ def measure_fault_recovery(run_mpc: Callable[..., "object"],
     return {
         "fault_recovery": {
             "seed": fault_seed,
+            "executor": executor,
             "plan_events": len(plan),
             "faults_injected": faulty.faults_injected,
             "recovery_replays": faulty.recovery_replays,
@@ -484,6 +506,183 @@ def measure_metrics(run_arm: Callable[..., tuple], executors: List[str],
     }
 
 
+# ---------------------------------------------------------------------------
+# chaos soak (hop-level fault sweep)
+# ---------------------------------------------------------------------------
+
+#: Suites the chaos soak runs over — the two whose MPC arm drives the
+#: full tree-embedding pipeline (fan-out broadcast/gather/exchange
+#: rounds, the surfaces hop faults target).
+CHAOS_SUITES = ("partition", "tree")
+DEFAULT_CHAOS_SEEDS = "5,11,23,47,61"
+DEFAULT_CHAOS_DENSITIES = "0.01,0.05,0.15"
+#: Simulated latency carried by chaos "delay" hop events, and the
+#: DeadlinePolicy timeout the sweep runs under.  delay > timeout on
+#: purpose: every delay event crosses the deadline, so straggler
+#: mitigation (deadline miss -> speculative re-dispatch, which at
+#: timeout + 0 latency always beats the late primary) is exercised in
+#: every sweep, not just on lucky seeds.
+CHAOS_HOP_DELAY = 0.002
+CHAOS_HOP_TIMEOUT = 0.001
+
+
+def _chaos_arm(suite: str, n: int, d: int) -> Callable[..., tuple]:
+    """Build one suite's chaos arm: ``run(config) -> (fingerprint, cluster)``.
+
+    Mirrors the suite's MPC arm exactly (same points, same seeds, same
+    size caps) so chaos cells are comparable with the suite's other
+    accounting blocks.
+    """
+    from repro.core.mpc_embedding import mpc_tree_embedding
+    from repro.data.synthetic import gaussian_clusters
+
+    n_mpc = min(n, 256)
+    if suite == "partition":
+        points = gaussian_clusters(
+            n_mpc, min(d, 8), delta=1024, clusters=8, seed=SEED
+        )
+        embed_seed = SEED + 4
+    elif suite == "tree":
+        points = gaussian_clusters(
+            n_mpc, min(d, 8), delta=512, clusters=4, seed=SEED
+        )
+        embed_seed = SEED + 3
+    else:
+        raise ValueError(f"no chaos arm for suite {suite!r}")
+
+    def run(config):
+        result = mpc_tree_embedding(
+            points, seed=embed_seed, on_uncovered="singleton", config=config,
+        )
+        return result_fingerprint(result.tree.label_matrix), result.cluster
+
+    return run
+
+
+def chaos_soak(suites: List[str], *, n: int, d: int, seeds: List[int],
+               densities: List[float], executors: List[str],
+               out_dir: pathlib.Path) -> Dict:
+    """Seed x executor x density sweep of hop-level faults over ``suites``.
+
+    Every cell runs the suite's MPC arm under a seeded pure-hop
+    :class:`~repro.mpc.faults.FaultPlan` (machine-event rate 0, hop rate
+    = the cell's density) with a tight :class:`DeadlinePolicy`, and must
+
+    * reproduce the fault-free base bit-for-bit — result fingerprint and
+      :meth:`CostReport.core_dict`;
+    * agree with every other executor on the **full** ``as_dict()``,
+      fault counters included (the injection itself is deterministic);
+    * stay within the committed MPC011 round cap for
+      ``mpc_tree_embedding`` — hop repairs are sub-round redeliveries,
+      so a cap violation means a repair leaked a new round.
+
+    The first executor's per-round metrics accumulate into one
+    :class:`MetricsLog` per (suite, seed), written to
+    ``CHAOS_<suite>_seed<seed>.jsonl`` under ``out_dir``; the sweep as a
+    whole must inject at least one hop fault per suite (a silent
+    zero-event soak proves nothing).  Returns the ``chaos_soak`` summary
+    block that ``main`` writes to ``CHAOS_soak.json``.
+    """
+    from repro.lint import round_cap
+    from repro.mpc import MetricsLog, SimulationConfig
+    from repro.mpc.faults import FaultPlan
+
+    cap = round_cap("mpc_tree_embedding", REPO_ROOT)
+    block: Dict = {
+        "seeds": seeds,
+        "densities": densities,
+        "executors": executors,
+        "round_cap": cap,
+        "hop_delay_seconds": CHAOS_HOP_DELAY,
+        "hop_timeout_seconds": CHAOS_HOP_TIMEOUT,
+        "suites": {},
+    }
+    for suite in suites:
+        t0 = time.perf_counter()
+        run = _chaos_arm(suite, n, d)
+        base_fp, base_cluster = run(SimulationConfig())
+        base_report = base_cluster.report()
+        base_core = base_report.core_dict()
+        assert base_report.rounds <= cap, (
+            f"[{suite}] fault-free base ran {base_report.rounds} rounds, "
+            f"over the committed MPC011 cap {cap}"
+        )
+        cells: List[Dict] = []
+        injected_total = 0
+        artifacts: List[str] = []
+        for seed in seeds:
+            log = MetricsLog()
+            for density in densities:
+                plan = FaultPlan.random(
+                    seed,
+                    num_machines=base_report.num_machines,
+                    rounds=base_report.rounds,
+                    rate=0.0,
+                    hop_rate=density,
+                    hop_delay=CHAOS_HOP_DELAY,
+                )
+                per_exec: Dict[str, Dict] = {}
+                for name in executors:
+                    fp, cluster = run(SimulationConfig(
+                        executor=name,
+                        faults=plan,
+                        deadline=CHAOS_HOP_TIMEOUT,
+                        metrics=log if name == executors[0] else True,
+                    ))
+                    report = cluster.report()
+                    cell = f"{suite} seed={seed} density={density} {name!r}"
+                    assert fp == base_fp, (
+                        f"[{cell}] hop faults changed the embedding result — "
+                        "a repair delivered wrong or missing payload"
+                    )
+                    assert report.core_dict() == base_core, (
+                        f"[{cell}] hop faults changed the model-level "
+                        "accounting — repair must be invisible to the model"
+                    )
+                    assert report.rounds <= cap, (
+                        f"[{cell}] ran {report.rounds} rounds, over the "
+                        f"MPC011 cap {cap} — a hop repair leaked a new round"
+                    )
+                    per_exec[name] = report.as_dict()
+                first = per_exec[executors[0]]
+                for name, rep in per_exec.items():
+                    assert rep == first, (
+                        f"[{suite} seed={seed} density={density}] full "
+                        f"accounting (fault counters included) diverged "
+                        f"between executors {executors[0]!r} and {name!r}"
+                    )
+                injected_total += first["hop_faults_injected"]
+                cells.append({
+                    "seed": seed,
+                    "density": density,
+                    "plan_events": len(plan),
+                    "hop_faults_injected": first["hop_faults_injected"],
+                    "hop_retries": first["hop_retries"],
+                    "speculative_wins": first["speculative_wins"],
+                    "deadline_misses": first["deadline_misses"],
+                    "rounds": first["rounds"],
+                })
+            jsonl = out_dir / f"CHAOS_{suite}_seed{seed}.jsonl"
+            log.to_jsonl(jsonl)
+            artifacts.append(jsonl.name)
+        assert injected_total > 0, (
+            f"[{suite}] the whole sweep injected zero hop faults — raise "
+            "--chaos-densities or widen --chaos-seeds; a fault-free soak "
+            "asserts nothing"
+        )
+        block["suites"][suite] = {
+            "cells": cells,
+            "hop_faults_injected": injected_total,
+            "hop_retries": sum(c["hop_retries"] for c in cells),
+            "speculative_wins": sum(c["speculative_wins"] for c in cells),
+            "deadline_misses": sum(c["deadline_misses"] for c in cells),
+            "jsonl": artifacts,
+            "seconds": time.perf_counter() - t0,
+            "bit_identical": True,
+        }
+    return block
+
+
 def scalar_estimate(measure: Callable[[int], float], n: int,
                     scalar_cap: int) -> Dict:
     """Extrapolate a scalar arm to ``n`` points from two capped runs.
@@ -530,6 +729,7 @@ def scalar_estimate(measure: Callable[[int], float], n: int,
 def suite_partition(n: int, d: int, *, scalar_cap: int,
                     executors: List[str],
                     fault_seed: Optional[int] = None,
+                    fault_executor: str = "serial",
                     delta_shipping: bool = False,
                     shm_transport: bool = False,
                     metrics_out: Optional[pathlib.Path] = None) -> Dict:
@@ -593,7 +793,9 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
 
     mpc = measure_executors(run_mpc, executors, entry="mpc_tree_embedding")
     if fault_seed is not None:
-        mpc.update(measure_fault_recovery(run_mpc, fault_seed))
+        mpc.update(
+            measure_fault_recovery(run_mpc, fault_seed, fault_executor)
+        )
     if delta_shipping:
         from repro.mpc import SimulationConfig
 
@@ -651,6 +853,7 @@ def suite_partition(n: int, d: int, *, scalar_cap: int,
 def suite_fjlt(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
                fault_seed: Optional[int] = None,
+               fault_executor: str = "serial",
                delta_shipping: bool = False,
                shm_transport: bool = False,
                metrics_out: Optional[pathlib.Path] = None) -> Dict:
@@ -689,7 +892,9 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
 
     mpc = measure_executors(run_mpc, executors, entry="mpc_fjlt")
     if fault_seed is not None:
-        mpc.update(measure_fault_recovery(run_mpc, fault_seed))
+        mpc.update(
+            measure_fault_recovery(run_mpc, fault_seed, fault_executor)
+        )
     if delta_shipping:
         from repro.mpc import SimulationConfig
 
@@ -738,6 +943,7 @@ def suite_fjlt(n: int, d: int, *, scalar_cap: int,
 def suite_tree(n: int, d: int, *, scalar_cap: int,
                executors: List[str],
                fault_seed: Optional[int] = None,
+               fault_executor: str = "serial",
                delta_shipping: bool = False,
                shm_transport: bool = False,
                metrics_out: Optional[pathlib.Path] = None) -> Dict:
@@ -799,7 +1005,9 @@ def suite_tree(n: int, d: int, *, scalar_cap: int,
 
     mpc = measure_executors(run_mpc, executors, entry="mpc_tree_embedding")
     if fault_seed is not None:
-        mpc.update(measure_fault_recovery(run_mpc, fault_seed))
+        mpc.update(
+            measure_fault_recovery(run_mpc, fault_seed, fault_executor)
+        )
     if delta_shipping:
         from repro.mpc import SimulationConfig
 
@@ -906,6 +1114,7 @@ def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
               calibration: float, tolerance: float, smoke: bool,
               executors: List[str],
               fault_seed: Optional[int] = None,
+              fault_executor: str = "serial",
               delta_shipping: bool = False,
               shm_transport: bool = False,
               metrics_dir: Optional[pathlib.Path] = None) -> Dict:
@@ -915,6 +1124,7 @@ def run_suite(suite: str, *, n: int, d: int, scalar_cap: int,
     )
     result = SUITES[suite](n, d, scalar_cap=scalar_cap, executors=executors,
                            fault_seed=fault_seed,
+                           fault_executor=fault_executor,
                            delta_shipping=delta_shipping,
                            shm_transport=shm_transport,
                            metrics_out=metrics_out)
@@ -969,6 +1179,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "worker death) and record the recovery overhead "
                              "as a fault_recovery block; asserts the "
                              "recovered accounting matches the fault-free run")
+    parser.add_argument("--fault-executor", default="serial",
+                        help="round executor the --faults recovery twin runs "
+                             "under (one name; CI sweeps serial and shm)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="hop-fault soak mode: sweep --chaos-seeds x "
+                             "--executor x --chaos-densities over the tree "
+                             "and partition suites with pure hop-level fault "
+                             "plans, asserting bit-identity and the MPC011 "
+                             "round cap in every cell and writing per-seed "
+                             "CHAOS_<suite>_seed<seed>.jsonl plus a "
+                             "CHAOS_soak.json summary to --out-dir "
+                             "(docs/RESILIENCE.md); skips the normal "
+                             "benchmark arms entirely")
+    parser.add_argument("--chaos-seeds", default=DEFAULT_CHAOS_SEEDS,
+                        help="comma-separated FaultPlan seeds for --chaos")
+    parser.add_argument("--chaos-densities", default=DEFAULT_CHAOS_DENSITIES,
+                        help="comma-separated per-edge hop fault rates for "
+                             "--chaos")
     parser.add_argument("--delta-shipping", choices=["on", "off"],
                         default="on",
                         help="'on' (default) also runs each MPC arm under the "
@@ -1015,7 +1243,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.d = min(args.d, 16)
         args.scalar_cap = min(args.scalar_cap, 256)
     if args.out_dir is None:
-        args.out_dir = REPO_ROOT / ".bench_smoke" if args.smoke else REPO_ROOT
+        if args.chaos:
+            args.out_dir = REPO_ROOT / ".bench_chaos"
+        else:
+            args.out_dir = REPO_ROOT / ".bench_smoke" if args.smoke else REPO_ROOT
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
     from repro.mpc.executor import EXECUTORS
@@ -1027,6 +1258,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--executor must be a comma list from {sorted(EXECUTORS)}, "
             f"got {args.executor!r}"
         )
+    if args.fault_executor not in EXECUTORS:
+        parser.error(
+            f"--fault-executor must be one of {sorted(EXECUTORS)}, "
+            f"got {args.fault_executor!r}"
+        )
+
+    if args.chaos:
+        chaos_suites = [s for s in CHAOS_SUITES if args.suite in ("all", s)]
+        if not chaos_suites:
+            parser.error(
+                f"--chaos sweeps the {'/'.join(CHAOS_SUITES)} suites only; "
+                f"--suite {args.suite!r} selects none of them"
+            )
+        seeds = [int(s) for s in args.chaos_seeds.split(",") if s.strip()]
+        densities = [
+            float(s) for s in args.chaos_densities.split(",") if s.strip()
+        ]
+        if not seeds or not densities:
+            parser.error(
+                "--chaos-seeds and --chaos-densities must be non-empty "
+                "comma lists"
+            )
+        block = chaos_soak(
+            chaos_suites, n=args.n, d=args.d, seeds=seeds,
+            densities=densities, executors=executors, out_dir=args.out_dir,
+        )
+        block["created_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        out = args.out_dir / "CHAOS_soak.json"
+        out.write_text(json.dumps(block, indent=2) + "\n")
+        for suite, summary in block["suites"].items():
+            print(f"[chaos:{suite}] {len(summary['cells'])} cells "
+                  f"({len(seeds)} seeds x {len(executors)} executors x "
+                  f"{len(densities)} densities): "
+                  f"hop-faults={summary['hop_faults_injected']} "
+                  f"retries={summary['hop_retries']} "
+                  f"deadline-misses={summary['deadline_misses']} "
+                  f"spec-wins={summary['speculative_wins']}, "
+                  f"bit-identical, rounds<=cap {block['round_cap']}, "
+                  f"{summary['seconds']:.1f}s -> {out.name}")
+        return 0
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     calibration = calibration_seconds()
@@ -1043,6 +1314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             smoke=args.smoke,
             executors=executors,
             fault_seed=args.faults,
+            fault_executor=args.fault_executor,
             delta_shipping=args.delta_shipping == "on",
             shm_transport=args.shm_transport == "on",
             metrics_dir=args.out_dir if args.metrics == "on" else None,
@@ -1062,6 +1334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 smoke=args.smoke,
                 executors=executors,
                 fault_seed=args.faults,
+                fault_executor=args.fault_executor,
                 delta_shipping=args.delta_shipping == "on",
                 shm_transport=args.shm_transport == "on",
                 metrics_dir=args.out_dir if args.metrics == "on" else None,

@@ -96,7 +96,15 @@ from repro.mpc.executor import (
     get_executor,
     shutdown_executors,
 )
-from repro.mpc.faults import FAULT_KINDS, FaultEvent, FaultPlan, RecoveryPolicy
+from repro.mpc.faults import (
+    FAULT_KINDS,
+    HOP_FAULT_KINDS,
+    DeadlinePolicy,
+    FaultEvent,
+    FaultPlan,
+    HopFault,
+    RecoveryPolicy,
+)
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 from repro.mpc.metrics import (
@@ -134,8 +142,11 @@ __all__ = [
     "get_executor",
     "shutdown_executors",
     "FAULT_KINDS",
+    "HOP_FAULT_KINDS",
+    "DeadlinePolicy",
     "FaultEvent",
     "FaultPlan",
+    "HopFault",
     "RecoveryPolicy",
     "CheckpointManager",
     "CheckpointPolicy",

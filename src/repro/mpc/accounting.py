@@ -89,6 +89,17 @@ class FaultRecord:
     execution, 1+ = replays).  Records are appended in a deterministic,
     executor-independent order, so faulty runs keep the bit-identical
     accounting contract across executors.
+
+    Hop-level transport events (see :class:`~repro.mpc.faults.HopFault`)
+    carry their delivery hop index in ``hop`` (``None`` for
+    machine-granular events); ``attempt`` is then the delivery attempt
+    on that edge and ``machine_id`` the *destination* machine.  Their
+    actions extend the vocabulary: ``"retransmitted"`` /
+    ``"redelivered"`` (a dropped / corrupted copy was re-sent),
+    ``"deduplicated"``, ``"delayed"``, ``"deadline_missed"``,
+    ``"speculated"`` (a late hop was speculatively re-dispatched), and
+    ``"speculation_won"`` / ``"speculation_lost"`` (the adjudicated
+    outcome).
     """
 
     round_index: int
@@ -97,6 +108,7 @@ class FaultRecord:
     machine_id: Optional[int]
     action: str
     detail: str = ""
+    hop: Optional[int] = None
 
 
 @dataclass
@@ -123,6 +135,18 @@ class CostReport:
     # recovery overhead is legible separately.
     faults_injected: int = 0
     recovery_replays: int = 0
+    # Hop-level transport faults (repro.mpc.faults.HopFault), same
+    # convention: counted beside the model counters, never folded in.
+    # ``hop_faults_injected`` counts hop events that fired;
+    # ``hop_retries`` counts redeliveries (drop retransmits + corrupt
+    # redeliveries + speculative re-dispatches); ``deadline_misses``
+    # counts hops whose simulated latency crossed the DeadlinePolicy
+    # line; ``speculative_wins`` counts misses where the speculative
+    # copy beat the late primary.
+    hop_faults_injected: int = 0
+    hop_retries: int = 0
+    speculative_wins: int = 0
+    deadline_misses: int = 0
     fault_log: List[FaultRecord] = field(default_factory=list)
     # -- physical transport / checkpoint volume -------------------------
     # Measured bytes, not model words: what the process executor actually
@@ -187,6 +211,10 @@ class CostReport:
             "total_space": self.total_space,
             "faults_injected": self.faults_injected,
             "recovery_replays": self.recovery_replays,
+            "hop_faults_injected": self.hop_faults_injected,
+            "hop_retries": self.hop_retries,
+            "speculative_wins": self.speculative_wins,
+            "deadline_misses": self.deadline_misses,
         }
 
     def core_dict(self) -> Dict[str, int]:
@@ -199,6 +227,10 @@ class CostReport:
         out = self.as_dict()
         out.pop("faults_injected")
         out.pop("recovery_replays")
+        out.pop("hop_faults_injected")
+        out.pop("hop_retries")
+        out.pop("speculative_wins")
+        out.pop("deadline_misses")
         return out
 
     def transport_dict(self) -> Dict[str, int]:
@@ -273,6 +305,12 @@ class CostReport:
         ]
         merged.faults_injected = self.faults_injected + other.faults_injected
         merged.recovery_replays = self.recovery_replays + other.recovery_replays
+        merged.hop_faults_injected = (
+            self.hop_faults_injected + other.hop_faults_injected
+        )
+        merged.hop_retries = self.hop_retries + other.hop_retries
+        merged.speculative_wins = self.speculative_wins + other.speculative_wins
+        merged.deadline_misses = self.deadline_misses + other.deadline_misses
         merged.fault_log = list(self.fault_log) + [
             replace(rec, round_index=rec.round_index + shift)
             for rec in other.fault_log

@@ -38,8 +38,14 @@ Replays are capped by a :class:`~repro.mpc.faults.RecoveryPolicy`
 round, and fault kind.  Every injected fault and every replay is
 recorded in the :class:`~repro.mpc.accounting.CostReport`'s fault log;
 the model-level counters (rounds, words) stay identical to a fault-free
-run.  See docs/RESILIENCE.md for the taxonomy and the determinism
-contract under replay.
+run.  Plans may additionally carry hop-level transport faults
+(:class:`~repro.mpc.faults.HopFault`: drop/duplicate/corrupt/delay on
+one ``(round, hop, src, dst)`` delivery edge); those are injected and
+repaired exactly-once at the delivery layer under a
+:class:`~repro.mpc.faults.DeadlinePolicy` (``deadline=``), including
+deadline-based speculative redispatch of late hops.  See
+docs/RESILIENCE.md for the taxonomy and the determinism contract under
+replay and repair.
 
 **Budgets and observability.**  A cluster built with
 ``comm_budget=CommBudget(...)`` enforces a per-round, per-machine
@@ -57,11 +63,14 @@ budget, fault and IPC activity, wall-clock) for the
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.mpc.accounting import CostReport, FaultRecord, RoundRecord
 from repro.mpc.arena import DEFAULT_SHM_MIN_BYTES
@@ -101,9 +110,13 @@ from repro.mpc.executor import (
 )
 from repro.mpc.faults import (
     CRASH_MARKER,
+    DeadlineLike,
+    DeadlinePolicy,
     FaultPlan,
+    HopFault,
     RecoveryLike,
     fault_injection_step,
+    get_deadline_policy,
     get_recovery_policy,
 )
 from repro.mpc.machine import Machine
@@ -151,6 +164,17 @@ class Cluster:
         or a :class:`~repro.mpc.faults.RecoveryPolicy`.  Passing any
         value enables recovery even without a fault plan, which makes
         genuine worker deaths (``BrokenProcessPool``) survivable too.
+    deadline:
+        Per-hop delivery deadlines for hop-level transport faults
+        (:class:`~repro.mpc.faults.HopFault` entries in the plan) —
+        ``None`` (defaults), a number of seconds
+        (``hop_timeout_seconds`` shorthand), or a
+        :class:`~repro.mpc.faults.DeadlinePolicy` controlling the
+        retry cap, backoff, and deadline-based speculative redispatch
+        of late hops.  Hop repair is exactly-once: delivered inboxes
+        and model accounting stay bit-identical to a fault-free run,
+        with every repair recorded in the fault log and the
+        ``hop_*``/``deadline_misses``/``speculative_wins`` counters.
     checkpoints:
         Per-round snapshot cadence — ``None`` (off), an int cadence, a
         :class:`~repro.mpc.checkpoint.CheckpointPolicy`, or a
@@ -206,6 +230,7 @@ class Cluster:
         executor: ExecutorLike = None,
         faults: Optional[FaultPlan] = None,
         recovery: RecoveryLike = None,
+        deadline: DeadlineLike = None,
         checkpoints: CheckpointLike = None,
         delta_shipping: bool = False,
         comm_budget: BudgetLike = None,
@@ -223,6 +248,7 @@ class Cluster:
             executor=executor,
             faults=faults,
             recovery=recovery,
+            deadline=deadline,
             checkpoints=checkpoints,
             delta_shipping=delta_shipping,
             comm_budget=comm_budget,
@@ -247,6 +273,7 @@ class Cluster:
             self.executor.delta_shipping = True
         self.faults = cfg.faults
         self.recovery = get_recovery_policy(cfg.recovery)
+        self.deadline: DeadlinePolicy = get_deadline_policy(cfg.deadline)
         self._recovery_active = cfg.faults is not None or cfg.recovery is not None
         self.checkpoints = get_checkpoint_manager(cfg.checkpoints)
         self.comm_budget: Optional[CommBudget] = get_comm_budget(cfg.comm_budget)
@@ -326,6 +353,10 @@ class Cluster:
         round_started = time.perf_counter()
         faults_before = self._report.faults_injected
         replays_before = self._report.recovery_replays
+        hop_faults_before = self._report.hop_faults_injected
+        hop_retries_before = self._report.hop_retries
+        spec_wins_before = self._report.speculative_wins
+        misses_before = self._report.deadline_misses
         ipc_shipped_before = self._report.ipc_bytes_shipped
         ipc_returned_before = self._report.ipc_bytes_returned
 
@@ -469,10 +500,7 @@ class Cluster:
                         )
                     )
 
-        for msg in all_messages:
-            dest = self.machines[msg.dest]
-            dest.inbox.append(msg)
-            dest.mark_inbox_dirty()
+        self._deliver(all_messages, index, label, wave_plan)
 
         # Post-delivery resident-storage check.
         total_resident = 0
@@ -563,6 +591,16 @@ class Cluster:
                     ),
                     faults_injected=self._report.faults_injected - faults_before,
                     recovery_replays=self._report.recovery_replays - replays_before,
+                    hop_faults_injected=(
+                        self._report.hop_faults_injected - hop_faults_before
+                    ),
+                    hop_retries=self._report.hop_retries - hop_retries_before,
+                    speculative_wins=(
+                        self._report.speculative_wins - spec_wins_before
+                    ),
+                    deadline_misses=(
+                        self._report.deadline_misses - misses_before
+                    ),
                     ipc_bytes_shipped=(
                         self._report.ipc_bytes_shipped - ipc_shipped_before
                     ),
@@ -891,6 +929,204 @@ class Cluster:
                         detail=f"dest={msg.dest} words={msg.size_words}",
                     )
                 )
+
+    # -- delivery + hop-level repair ---------------------------------------
+
+    def _deliver(
+        self,
+        all_messages: List[Message],
+        index: int,
+        label: str,
+        wave_plan: Optional[WavePlan],
+    ) -> None:
+        """Deliver the round's messages, repairing hop-level faults.
+
+        The fast path (no :class:`~repro.mpc.faults.HopFault` addresses
+        this round) is the seed delivery loop, byte for byte.  With hop
+        events, every message is mapped to its delivery hop — the adapt
+        wave index when the budget split the round, hop 0 otherwise —
+        and any events on its ``(hop, src, dst)`` edge are injected and
+        repaired in place by :meth:`_repair_hop`.
+
+        Repair is exactly-once: each message is appended to its
+        destination inbox exactly once, in original order, so delivered
+        state is bit-identical to a fault-free run.  Retransmissions are
+        recorded, never re-planned — the wave plan was computed before
+        delivery, so a re-sent hop counts against the wave budget
+        exactly once and repairs never add ``cluster.round`` dispatches
+        (the MPC011 ledger sees the same round count either way).
+        """
+        plan = self.faults
+        if plan is None or not plan.has_hop_faults(index):
+            for msg in all_messages:
+                dest = self.machines[msg.dest]
+                dest.inbox.append(msg)
+                dest.mark_inbox_dirty()
+            return
+        edges = plan.hop_faults(index)
+        for i, msg in enumerate(all_messages):
+            hop = wave_plan.wave_of[i] if wave_plan is not None else 0
+            events = edges.get((hop, msg.src, msg.dest))
+            if events:
+                self._repair_hop(msg, events, index, hop, label)
+            dest = self.machines[msg.dest]
+            dest.inbox.append(msg)
+            dest.mark_inbox_dirty()
+
+    def _repair_hop(
+        self,
+        msg: Message,
+        events: "tuple[HopFault, ...]",
+        index: int,
+        hop: int,
+        label: str,
+    ) -> None:
+        """Inject one edge's hop faults and repair them exactly-once.
+
+        Every path through here ends with the caller delivering the one
+        pristine copy (or raising) — the repair loop only *accounts* for
+        the damaged/extra/late copies a real transport would produce:
+
+        * ``drop``/``corrupt`` — redeliver up to
+          ``DeadlinePolicy.max_hop_retries`` times (linear backoff);
+          a fault outliving the cap raises
+          :class:`~repro.mpc.errors.RecoveryExhausted` carrying the hop
+          coordinate.
+        * ``duplicate`` — the extra copies are sequence-number-deduped
+          on arrival.
+        * ``delay`` — latencies are *simulated* seconds compared against
+          the policy's timeout; a miss triggers (when enabled) a
+          speculative re-dispatch whose winner is adjudicated
+          arithmetically, so every executor agrees without consulting
+          the wall clock.
+        """
+        policy = self.deadline
+        edge = f"edge {msg.src}->{msg.dest} tag={msg.tag}"
+        for event in events:
+            self._report.hop_faults_injected += 1
+            self._record_hop(index, 0, event.kind, msg.dest, "injected", hop,
+                             detail=edge)
+            if event.kind in ("drop", "corrupt"):
+                if event.count > policy.max_hop_retries:
+                    raise RecoveryExhausted(
+                        msg.dest,
+                        index,
+                        event.kind,
+                        policy.max_hop_retries + 1,
+                        label,
+                        hop=hop,
+                    )
+                action = (
+                    "retransmitted" if event.kind == "drop" else "redelivered"
+                )
+                for retry in range(1, event.count + 1):
+                    self._report.hop_retries += 1
+                    if event.kind == "corrupt":
+                        detail = f"{edge} {self._checksum_mismatch(msg)}"
+                    else:
+                        detail = f"{edge} words={msg.size_words}"
+                    self._record_hop(
+                        index, retry, event.kind, msg.dest, action, hop,
+                        detail=detail,
+                    )
+                    if policy.backoff_seconds > 0:
+                        time.sleep(policy.backoff_seconds * retry)
+            elif event.kind == "duplicate":
+                self._record_hop(
+                    index, 0, event.kind, msg.dest, "deduplicated", hop,
+                    detail=f"{edge} extra_copies={event.count}",
+                )
+            else:  # "delay"
+                if event.delay <= policy.hop_timeout_seconds:
+                    self._record_hop(
+                        index, 0, event.kind, msg.dest, "delayed", hop,
+                        detail=f"{edge} delay={event.delay}",
+                    )
+                    continue
+                self._report.deadline_misses += 1
+                self._record_hop(
+                    index, 0, event.kind, msg.dest, "deadline_missed", hop,
+                    detail=(
+                        f"{edge} delay={event.delay} "
+                        f"timeout={policy.hop_timeout_seconds}"
+                    ),
+                )
+                if not policy.speculate:
+                    continue
+                self._report.hop_retries += 1
+                spec_arrival = (
+                    policy.hop_timeout_seconds
+                    + policy.speculation_latency_seconds
+                )
+                self._record_hop(
+                    index, 1, event.kind, msg.dest, "speculated", hop,
+                    detail=f"{edge} arrival={spec_arrival}",
+                )
+                if spec_arrival < event.delay:
+                    self._report.speculative_wins += 1
+                    self._record_hop(
+                        index, 1, event.kind, msg.dest, "speculation_won", hop,
+                        detail=(
+                            f"{edge} speculative {spec_arrival} < primary "
+                            f"{event.delay}; late primary deduplicated"
+                        ),
+                    )
+                else:
+                    self._record_hop(
+                        index, 1, event.kind, msg.dest, "speculation_lost",
+                        hop,
+                        detail=(
+                            f"{edge} primary {event.delay} <= speculative "
+                            f"{spec_arrival}; speculative copy deduplicated"
+                        ),
+                    )
+
+    @staticmethod
+    def _checksum_mismatch(msg: Message) -> str:
+        """Demonstrate corruption detection on the damaged copy.
+
+        For numeric-array payloads the check is real: hash the pristine
+        bytes, flip one byte of a throwaway copy (what the corrupt fault
+        did to the wire copy), and show the digests disagree.  Payloads
+        the coordinator cannot safely byte-inspect (shm handles, nested
+        containers, object arrays) get a simulated verdict — detection
+        is part of the fault model either way.
+        """
+        payload = msg.payload
+        if (
+            isinstance(payload, np.ndarray)
+            and payload.size
+            and payload.dtype.kind in "biufc"
+        ):
+            data = np.ascontiguousarray(payload)
+            pristine = hashlib.sha256(data.tobytes()).hexdigest()
+            damaged = data.copy()
+            damaged.reshape(-1).view(np.uint8)[0] ^= 0xFF
+            wire = hashlib.sha256(damaged.tobytes()).hexdigest()
+            return f"checksum {wire[:12]} != {pristine[:12]}"
+        return "checksum mismatch (simulated)"
+
+    def _record_hop(
+        self,
+        index: int,
+        attempt: int,
+        kind: str,
+        machine_id: int,
+        action: str,
+        hop: int,
+        detail: str = "",
+    ) -> None:
+        self._report.fault_log.append(
+            FaultRecord(
+                round_index=index,
+                attempt=attempt,
+                kind=kind,
+                machine_id=machine_id,
+                action=action,
+                detail=detail,
+                hop=hop,
+            )
+        )
 
     # -- checkpoint / restore ----------------------------------------------
 

@@ -35,6 +35,9 @@ Field semantics:
 * ``metrics`` — per-round observability (``True`` for a fresh
   :class:`~repro.mpc.metrics.MetricsLog`, or a log instance shared
   across phases), read back from ``cluster.metrics``;
+* ``deadline`` — per-hop delivery deadlines for hop-level transport
+  faults (:class:`~repro.mpc.faults.DeadlinePolicy`; a number is a
+  ``hop_timeout_seconds`` shorthand);
 * ``shm_min_bytes`` — promotion threshold of the shared-memory arena
   when ``executor="shm"`` (arrays this large or larger live in
   segments); ignored by the other executors.
@@ -49,7 +52,12 @@ from repro.mpc.arena import DEFAULT_SHM_MIN_BYTES
 from repro.mpc.budget import BudgetLike, get_comm_budget
 from repro.mpc.checkpoint import CheckpointLike
 from repro.mpc.executor import ExecutorLike
-from repro.mpc.faults import FaultPlan, RecoveryLike
+from repro.mpc.faults import (
+    DeadlineLike,
+    FaultPlan,
+    RecoveryLike,
+    get_deadline_policy,
+)
 from repro.mpc.metrics import MetricsLike, get_metrics_log
 
 __all__ = ["SimulationConfig", "resolve_config"]
@@ -66,6 +74,12 @@ class SimulationConfig:
     executor: ExecutorLike = None
     faults: Optional[FaultPlan] = None
     recovery: RecoveryLike = None
+    # Per-hop delivery deadlines (retry / timeout / backoff /
+    # speculation) for hop-level transport faults: a
+    # :class:`~repro.mpc.faults.DeadlinePolicy`, or a number of seconds
+    # as a ``hop_timeout_seconds`` shorthand.  ``None`` means defaults —
+    # hop repair is always on when the plan contains hop events.
+    deadline: DeadlineLike = None
     checkpoints: CheckpointLike = None
     delta_shipping: bool = False
     eps: float = 0.6
@@ -98,6 +112,7 @@ class SimulationConfig:
         # config stores the caller's spec unchanged.)
         get_comm_budget(self.comm_budget)
         get_metrics_log(self.metrics)
+        get_deadline_policy(self.deadline)
 
     def replace(self, **changes: Any) -> "SimulationConfig":
         """A copy with the given fields replaced (frozen-safe)."""

@@ -143,8 +143,12 @@ class RecoveryExhausted(MPCError):
     """Round recovery gave up: a fault kept firing past the retry cap.
 
     Carries the coordinates a postmortem needs — which machine, which
-    round, which fault kind, and how many replays were attempted — so
-    tests and operators can assert on the exact failure, not a string.
+    round, which fault kind, how many replays were attempted, and (for
+    hop-level transport faults) which delivery hop — so tests and
+    operators can assert on the exact failure, not a string.  ``hop`` is
+    ``None`` for machine-granular (step-level) exhaustion; for a
+    hop-level failure it is the delivery hop index and ``machine_id``
+    is the destination machine whose copy never arrived cleanly.
     """
 
     def __init__(
@@ -154,16 +158,19 @@ class RecoveryExhausted(MPCError):
         kind: str,
         attempts: int,
         context: str = "",
+        hop: "int | None" = None,
     ) -> None:
         self.machine_id = machine_id
         self.round_index = round_index
         self.kind = kind
         self.attempts = attempts
+        self.hop = hop
         who = f"machine {machine_id}" if machine_id is not None else "the round"
+        where = f" (delivery hop {hop})" if hop is not None else ""
         suffix = f" during {context}" if context else ""
         super().__init__(
             f"recovery exhausted after {attempts} attempts: {who} kept failing "
-            f"with {kind!r} faults in round {round_index}{suffix}"
+            f"with {kind!r} faults in round {round_index}{where}{suffix}"
         )
 
 

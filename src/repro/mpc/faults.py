@@ -40,6 +40,33 @@ consumption state exists, so replays are exact and every executor sees
 the identical fault schedule (the acceptance tests assert bit-identical
 results and accounting across serial/thread/process under one plan).
 
+**Hop-level faults.**  Machine-granular events model whole workers
+misbehaving; :class:`HopFault` drills into the transport itself — one
+edge of one delivery hop inside the fan-out trees that ``broadcast``/
+``tree_gather``/``exchange`` build.  A hop is a physical delivery
+sub-round: hop 0 is the (only) delivery of an unsplit round, and when
+``CommBudget`` adapt mode chunks a round into waves, each wave is a hop.
+A ``HopFault`` addresses ``(round_index, hop, src, dst)`` and is one of
+
+* ``"drop"`` — delivery attempts ``0..count-1`` of that edge are lost;
+  the delivery layer retransmits (bounded by
+  :class:`DeadlinePolicy.max_hop_retries`) until a copy lands.
+* ``"duplicate"`` — the edge delivers ``count`` extra copies; sequence
+  numbering dedups them on arrival.
+* ``"corrupt"`` — attempts ``0..count-1`` arrive checksum-damaged; the
+  receiver detects the mismatch and requests a pristine redelivery.
+* ``"delay"`` — the copy arrives ``delay`` *simulated* seconds late.
+  Past the policy's ``hop_timeout_seconds`` that is a deadline miss;
+  with speculation enabled the cluster re-dispatches the hop and the
+  earlier arrival wins (adjudicated arithmetically — wall clock is
+  never consulted, so every executor agrees on the winner).
+
+Firing is a pure function of ``(round_index, hop, src, dst, attempt)``;
+repair is exactly-once (the destination inbox ends bit-identical to a
+fault-free run, in the same order) and happens *inside* the logical
+round — a repaired hop is a sub-round redelivery, never a new
+``cluster.round`` dispatch, so the MPC011 round ledger is unaffected.
+
 The step wrapper :func:`fault_wrapped_step` is a module-level callable
 with all per-round data bound via :func:`functools.partial`, so it runs
 unchanged under every round executor (MPC001's picklability contract).
@@ -73,6 +100,14 @@ FAULT_KINDS: Tuple[str, ...] = (
 
 #: Kinds that abort machine steps and trigger replay (vs delivery/delay).
 _STEP_KINDS = frozenset({"crash", "worker_death", "straggler"})
+
+#: Every hop-level (per-edge, per-delivery-hop) fault kind.
+HOP_FAULT_KINDS: Tuple[str, ...] = (
+    "drop",
+    "duplicate",
+    "corrupt",
+    "delay",
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +149,70 @@ class FaultEvent:
 
 
 @dataclass(frozen=True)
+class HopFault:
+    """One per-edge, per-hop transport fault (see the module docstring).
+
+    ``hop`` is the delivery sub-round within the logical round: 0 for an
+    unsplit round, the wave index when ``CommBudget`` adapt mode split
+    the delivery.  ``src``/``dst`` name the edge — events addressing
+    edges that carry no message simply do not fire, exactly like machine
+    events addressing absent machines.  ``count`` is how many delivery
+    attempts the fault keeps firing for (a ``drop``/``corrupt`` with
+    ``count`` above ``DeadlinePolicy.max_hop_retries`` exhausts hop
+    recovery; for ``duplicate`` it is the number of extra copies).
+    ``delay`` is the simulated arrival latency of a ``"delay"`` fault in
+    seconds; it must be positive there and is ignored (zeroed) for every
+    other kind.
+    """
+
+    kind: str
+    round_index: int
+    hop: int
+    src: int
+    dst: int
+    count: int = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in HOP_FAULT_KINDS:
+            raise ValueError(
+                f"unknown hop fault kind {self.kind!r}; "
+                f"expected one of {HOP_FAULT_KINDS}"
+            )
+        for name in ("round_index", "hop", "src", "dst"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.kind == "delay":
+            if self.delay <= 0:
+                raise ValueError(
+                    f"a 'delay' hop fault with delay={self.delay} would be a "
+                    f"silent no-op; pass a positive simulated latency"
+                )
+        else:
+            # Zero rather than reject: kinds other than "delay" never
+            # consult the latency, and a plan generator may share one
+            # constructor call across kinds.
+            object.__setattr__(self, "delay", 0.0)
+
+    def fires(self, round_index: int, hop: int, attempt: int) -> bool:
+        """Does this event fire on delivery ``attempt`` of ``hop``?"""
+        return (
+            self.round_index == round_index
+            and self.hop == hop
+            and attempt < self.count
+        )
+
+
+#: Sort key making per-edge event order deterministic and seed-stable.
+def _hop_sort_key(event: HopFault) -> Tuple[int, int, float]:
+    return (HOP_FAULT_KINDS.index(event.kind), event.count, event.delay)
+
+
+@dataclass(frozen=True)
 class RoundFaults:
     """The step-level faults active for one ``(round, attempt)``.
 
@@ -140,21 +239,45 @@ class FaultPlan:
     one plan can parameterize differently-sized runs.
     """
 
-    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+    def __init__(
+        self,
+        events: Iterable[FaultEvent] = (),
+        hop_events: Iterable[HopFault] = (),
+    ) -> None:
         self.events: Tuple[FaultEvent, ...] = tuple(events)
         by_round: Dict[int, List[FaultEvent]] = {}
         for event in self.events:
             by_round.setdefault(event.round_index, []).append(event)
         self._by_round = by_round
+        self.hop_events: Tuple[HopFault, ...] = tuple(hop_events)
+        hop_index: Dict[int, Dict[Tuple[int, int, int], List[HopFault]]] = {}
+        for hop_event in self.hop_events:
+            edge = (hop_event.hop, hop_event.src, hop_event.dst)
+            hop_index.setdefault(hop_event.round_index, {}).setdefault(
+                edge, []
+            ).append(hop_event)
+        # Per-edge order is part of the determinism contract (repairs are
+        # applied kind by kind), so fix it here, independent of the order
+        # the caller listed events in.
+        self._hop_index: Dict[int, Dict[Tuple[int, int, int], Tuple[HopFault, ...]]] = {
+            round_index: {
+                edge: tuple(sorted(edge_events, key=_hop_sort_key))
+                for edge, edge_events in edges.items()
+            }
+            for round_index, edges in hop_index.items()
+        }
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.events) + len(self.hop_events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = {}
         for e in self.events:
             kinds[e.kind] = kinds.get(e.kind, 0) + 1
-        return f"FaultPlan({len(self.events)} events: {kinds})"
+        for h in self.hop_events:
+            key = f"hop:{h.kind}"
+            kinds[key] = kinds.get(key, 0) + 1
+        return f"FaultPlan({len(self)} events: {kinds})"
 
     @classmethod
     def random(
@@ -167,6 +290,10 @@ class FaultPlan:
         kinds: Sequence[str] = FAULT_KINDS,
         straggler_delay: float = 0.001,
         max_events: Optional[int] = None,
+        hop_rate: float = 0.0,
+        hop_kinds: Sequence[str] = HOP_FAULT_KINDS,
+        hop_delay: float = 0.002,
+        max_hop_events: Optional[int] = None,
     ) -> "FaultPlan":
         """Draw a seeded plan: each (round, machine) faults w.p. ``rate``.
 
@@ -174,16 +301,46 @@ class FaultPlan:
         they may exceed (or undershoot) what a given cluster actually
         runs.  Deterministic given ``seed``; the same plan drives every
         executor and every replay identically.
+
+        ``hop_rate > 0`` additionally samples hop-level transport faults:
+        each directed ``(round, src, dst)`` edge faults with probability
+        ``hop_rate``, drawing a kind from ``hop_kinds`` (``"delay"``
+        events carry ``hop_delay`` simulated seconds of latency).  Hop
+        events are sampled at hop 0 — the delivery wave every round has —
+        so plans stay meaningful whether or not a budget splits rounds.
+        The machine-event draw sequence is unchanged by ``hop_rate``, so
+        a plan extended with hop faults keeps its machine events
+        bit-identical to the ``hop_rate=0`` plan from the same seed.
         """
         for kind in kinds:
             if kind not in FAULT_KINDS:
                 raise ValueError(f"unknown fault kind {kind!r}")
+        for kind in hop_kinds:
+            if kind not in HOP_FAULT_KINDS:
+                raise ValueError(f"unknown hop fault kind {kind!r}")
         if not 0 <= rate <= 1:
             raise ValueError(f"rate must lie in [0, 1], got {rate}")
+        if not 0 <= hop_rate <= 1:
+            raise ValueError(f"hop_rate must lie in [0, 1], got {hop_rate}")
+        if "straggler" in kinds and straggler_delay <= 0:
+            raise ValueError(
+                f"straggler_delay={straggler_delay} with 'straggler' in kinds "
+                f"would draw no-op events that never delay anything; pass a "
+                f"positive delay or drop 'straggler' from kinds"
+            )
+        if "delay" in hop_kinds and hop_rate > 0 and hop_delay <= 0:
+            raise ValueError(
+                f"hop_delay={hop_delay} with 'delay' in hop_kinds would draw "
+                f"no-op events; pass a positive simulated latency or drop "
+                f"'delay' from hop_kinds"
+            )
         rng = as_generator(seed)
         events: List[FaultEvent] = []
+        full = False
         for round_index in range(rounds):
             for machine_id in range(num_machines):
+                if full:
+                    break
                 if rng.random() >= rate:
                     continue
                 kind = str(kinds[int(rng.integers(len(kinds)))])
@@ -192,12 +349,39 @@ class FaultPlan:
                         kind=kind,
                         round_index=round_index,
                         machine_id=machine_id,
+                        # Only stragglers delay; other kinds carry 0 so a
+                        # plan never holds dead weight a consumer might
+                        # misread as schedule.
                         delay=straggler_delay if kind == "straggler" else 0.0,
                     )
                 )
-                if max_events is not None and len(events) >= max_events:
-                    return cls(events)
-        return cls(events)
+                full = max_events is not None and len(events) >= max_events
+            if full:
+                break
+        hop_events: List[HopFault] = []
+        if hop_rate > 0:
+            for round_index in range(rounds):
+                for src in range(num_machines):
+                    for dst in range(num_machines):
+                        if rng.random() >= hop_rate:
+                            continue
+                        kind = str(hop_kinds[int(rng.integers(len(hop_kinds)))])
+                        hop_events.append(
+                            HopFault(
+                                kind=kind,
+                                round_index=round_index,
+                                hop=0,
+                                src=src,
+                                dst=dst,
+                                delay=hop_delay if kind == "delay" else 0.0,
+                            )
+                        )
+                        if (
+                            max_hop_events is not None
+                            and len(hop_events) >= max_hop_events
+                        ):
+                            return cls(events, hop_events)
+        return cls(events, hop_events)
 
     # -- queries the cluster's round engine makes -----------------------
 
@@ -245,6 +429,22 @@ class FaultPlan:
                 dups.append(event.machine_id)
         return frozenset(drops), frozenset(dups)
 
+    def has_hop_faults(self, round_index: int) -> bool:
+        """Does any hop-level event address this round?  (Fast-path gate.)"""
+        return round_index in self._hop_index
+
+    def hop_faults(
+        self, round_index: int
+    ) -> Dict[Tuple[int, int, int], Tuple[HopFault, ...]]:
+        """Hop events for this round, keyed by ``(hop, src, dst)`` edge.
+
+        Per-edge tuples are in a fixed deterministic order (kind
+        taxonomy order, then count) regardless of construction order —
+        the delivery layer applies repairs edge by edge in message
+        order, so this is the only ordering freedom left to pin down.
+        """
+        return self._hop_index.get(round_index, {})
+
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
@@ -269,7 +469,82 @@ class RecoveryPolicy:
             )
 
 
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Per-hop delivery deadlines: retry, backoff, and speculation.
+
+    Governs the delivery layer's reaction to :class:`HopFault` events
+    (the hop-level sibling of :class:`RecoveryPolicy`):
+
+    * ``hop_timeout_seconds`` — the simulated latency past which a hop
+      counts as a deadline miss.  A ``"delay"`` fault under the line is
+      recorded but tolerated; over the line it is mitigated.
+    * ``max_hop_retries`` — redelivery cap per edge per hop, shared by
+      drop retransmits and corrupt redeliveries.  A fault whose
+      ``count`` exceeds the cap raises
+      :class:`~repro.mpc.errors.RecoveryExhausted` with the hop
+      coordinate set.
+    * ``backoff_seconds`` — base of a linear real-time backoff between
+      redeliveries (retry ``k`` sleeps ``k * backoff_seconds``); zero by
+      default so simulations stay fast.
+    * ``speculate`` — on a deadline miss, re-dispatch the hop
+      speculatively instead of waiting out the primary.
+    * ``speculation_latency_seconds`` — simulated latency of the
+      speculative copy (on top of the timeout at which it is launched).
+      The winner is adjudicated arithmetically: the speculative copy
+      wins iff ``hop_timeout_seconds + speculation_latency_seconds <
+      delay``; the loser is deduplicated.  Wall clock is never
+      consulted, so the outcome is deterministic and
+      executor-independent.
+    """
+
+    hop_timeout_seconds: float = 0.005
+    max_hop_retries: int = 3
+    backoff_seconds: float = 0.0
+    speculate: bool = True
+    speculation_latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hop_timeout_seconds <= 0:
+            raise ValueError(
+                f"hop_timeout_seconds must be > 0, got {self.hop_timeout_seconds}"
+            )
+        if self.max_hop_retries < 0:
+            raise ValueError(
+                f"max_hop_retries must be >= 0, got {self.max_hop_retries}"
+            )
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.speculation_latency_seconds < 0:
+            raise ValueError(
+                f"speculation_latency_seconds must be >= 0, "
+                f"got {self.speculation_latency_seconds}"
+            )
+
+
 RecoveryLike = Union[None, int, RecoveryPolicy]
+
+DeadlineLike = Union[None, int, float, DeadlinePolicy]
+
+
+def get_deadline_policy(spec: DeadlineLike) -> DeadlinePolicy:
+    """Coerce ``spec`` into a :class:`DeadlinePolicy`.
+
+    ``None`` means defaults; a number is a ``hop_timeout_seconds``
+    shorthand.
+    """
+    if spec is None:
+        return DeadlinePolicy()
+    if isinstance(spec, DeadlinePolicy):
+        return spec
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return DeadlinePolicy(hop_timeout_seconds=float(spec))
+    raise TypeError(
+        f"deadline must be None, a number of seconds, or DeadlinePolicy, "
+        f"got {type(spec)}"
+    )
 
 
 def get_recovery_policy(spec: RecoveryLike) -> RecoveryPolicy:
@@ -327,10 +602,14 @@ def fault_injection_step(
 __all__ = [
     "CRASH_MARKER",
     "FAULT_KINDS",
+    "HOP_FAULT_KINDS",
+    "DeadlinePolicy",
     "FaultEvent",
     "FaultPlan",
+    "HopFault",
     "RecoveryPolicy",
     "RoundFaults",
     "fault_injection_step",
+    "get_deadline_policy",
     "get_recovery_policy",
 ]

@@ -35,7 +35,9 @@ __all__ = [
 ]
 
 #: Bump when the JSONL record layout changes incompatibly.
-METRICS_SCHEMA_VERSION = 1
+#: v2 added the hop-level fault fields (``hop_faults_injected``,
+#: ``hop_retries``, ``speculative_wins``, ``deadline_misses``).
+METRICS_SCHEMA_VERSION = 2
 
 #: Field name -> (type tag, unit, when/what).  The single source of truth
 #: for the JSONL layout: ``validate_metrics_dict`` checks records against
@@ -102,6 +104,27 @@ METRICS_SCHEMA: Dict[str, "tuple[str, str, str]"] = {
     ),
     "faults_injected": ("int", "count", "faults injected during this round"),
     "recovery_replays": ("int", "count", "recovery replays during this round"),
+    "hop_faults_injected": (
+        "int",
+        "count",
+        "hop-level transport faults that fired during this round's delivery",
+    ),
+    "hop_retries": (
+        "int",
+        "count",
+        "hop redeliveries (drop retransmits, corrupt redeliveries, "
+        "speculative re-dispatches) this round",
+    ),
+    "speculative_wins": (
+        "int",
+        "count",
+        "deadline misses where the speculative copy beat the late primary",
+    ),
+    "deadline_misses": (
+        "int",
+        "count",
+        "hops whose simulated latency crossed the DeadlinePolicy timeout",
+    ),
     "ipc_bytes_shipped": (
         "int",
         "bytes",
@@ -146,6 +169,10 @@ class RoundMetrics:
     oversize_messages: int = 0
     faults_injected: int = 0
     recovery_replays: int = 0
+    hop_faults_injected: int = 0
+    hop_retries: int = 0
+    speculative_wins: int = 0
+    deadline_misses: int = 0
     ipc_bytes_shipped: int = 0
     ipc_bytes_returned: int = 0
     wall_clock_seconds: float = 0.0
@@ -232,6 +259,12 @@ class MetricsLog:
             "rounds_over_budget": sum(1 for m in self.rounds if m.over_budget),
             "faults_injected": sum(m.faults_injected for m in self.rounds),
             "recovery_replays": sum(m.recovery_replays for m in self.rounds),
+            "hop_faults_injected": sum(
+                m.hop_faults_injected for m in self.rounds
+            ),
+            "hop_retries": sum(m.hop_retries for m in self.rounds),
+            "speculative_wins": sum(m.speculative_wins for m in self.rounds),
+            "deadline_misses": sum(m.deadline_misses for m in self.rounds),
             "ipc_bytes": sum(
                 m.ipc_bytes_shipped + m.ipc_bytes_returned for m in self.rounds
             ),

@@ -53,6 +53,16 @@ def explain_report(
             f"  faults={report.faults_injected}"
             f"  replays={report.recovery_replays}"
         )
+    if report.hop_faults_injected:
+        headline += (
+            f"  hop-faults={report.hop_faults_injected}"
+            f"  hop-retries={report.hop_retries}"
+        )
+        if report.deadline_misses:
+            headline += (
+                f"  deadline-misses={report.deadline_misses}"
+                f"  spec-wins={report.speculative_wins}"
+            )
     if report.comm_waves:
         headline += f"  waves={report.comm_waves}"
     lines.append(headline)
@@ -91,17 +101,88 @@ def explain_report(
         lines.append("  faults:")
         for rec in report.fault_log:
             who = "-" if rec.machine_id is None else str(rec.machine_id)
-            entry = (
-                f"    round {rec.round_index} attempt {rec.attempt}: "
-                f"{rec.kind} machine {who} -> {rec.action}"
-            )
+            if rec.hop is not None:
+                entry = (
+                    f"    round {rec.round_index} hop {rec.hop} attempt "
+                    f"{rec.attempt}: {rec.kind} -> machine {who} "
+                    f"-> {rec.action}"
+                )
+            else:
+                entry = (
+                    f"    round {rec.round_index} attempt {rec.attempt}: "
+                    f"{rec.kind} machine {who} -> {rec.action}"
+                )
             if rec.detail:
                 entry += f" ({rec.detail})"
             lines.append(entry)
+    timeline = hop_recovery_timeline(report)
+    if timeline:
+        lines.append(timeline)
     if violations:
         lines.append(f"  violations ({len(violations)} recorded, lenient mode):")
         for text in violations:
             lines.append(f"    - {text}")
+    return "\n".join(lines)
+
+
+#: How each hop-repair action reads in the timeline.  Repeatable actions
+#: (retransmit/redeliver) are counted and rendered once with "xN".
+_HOP_STEP_TEXT = {
+    "retransmitted": "retransmitted",
+    "redelivered": "redelivered pristine",
+    "deduplicated": "extra copies deduplicated",
+    "delayed": "arrived late, within deadline",
+    "deadline_missed": "deadline missed",
+    "speculated": "speculative redispatch",
+    "speculation_won": "speculative copy won",
+    "speculation_lost": "primary won, speculative copy deduplicated",
+}
+
+
+def hop_recovery_timeline(report: CostReport) -> str:
+    """Readable per-edge timeline of every hop-level fault and its repair.
+
+    One line per injected :class:`~repro.mpc.faults.HopFault`, walking
+    the recovery from injection to clean delivery — the narrative
+    rendering of what the raw fault log records event by event.  Empty
+    string when the report holds no hop-level records, so callers can
+    append it unconditionally.
+    """
+    hop_records = [rec for rec in report.fault_log if rec.hop is not None]
+    if not hop_records:
+        return ""
+    lines: List[str] = ["  hop recovery timeline:"]
+    header = ""
+    steps: List[str] = []
+    counts: dict[str, int] = {}
+
+    def flush() -> None:
+        if not header:
+            return
+        rendered = []
+        for step in steps:
+            n = counts[step]
+            text = _HOP_STEP_TEXT.get(step, step)
+            rendered.append(f"{text} x{n}" if n > 1 else text)
+        rendered.append("delivered clean")
+        lines.append(f"{header}: " + ", then ".join(rendered))
+
+    for rec in hop_records:
+        if rec.action == "injected":
+            flush()
+            where = f" on {rec.detail}" if rec.detail else ""
+            header = (
+                f"    round {rec.round_index} hop {rec.hop}: {rec.kind}"
+                f"{where} -> machine {rec.machine_id}"
+            )
+            steps = []
+            counts = {}
+            continue
+        if rec.action not in counts:
+            counts[rec.action] = 0
+            steps.append(rec.action)
+        counts[rec.action] += 1
+    flush()
     return "\n".join(lines)
 
 
@@ -128,6 +209,10 @@ def summarize_metrics(log: MetricsLog) -> str:
         ("rounds_over_budget", "rounds over budget"),
         ("faults_injected", "faults injected"),
         ("recovery_replays", "recovery replays"),
+        ("hop_faults_injected", "hop faults injected"),
+        ("hop_retries", "hop retries"),
+        ("speculative_wins", "speculative wins"),
+        ("deadline_misses", "deadline misses"),
         ("ipc_bytes", "ipc bytes"),
         ("wall_clock_seconds", "wall clock (s)"),
     ]

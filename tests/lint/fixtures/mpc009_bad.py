@@ -29,3 +29,24 @@ def _tuple_catch_step(machine, ctx):
         machine.put("x", 1)
     except (ValueError, MPCError):
         pass
+
+
+def _hop_repair_retry_step(machine, ctx):
+    # Hop-repair shape: a retry loop that redelivers a dropped message.
+    # Swallowing everything inside the loop hides RecoveryExhausted —
+    # the exactly-once repair contract's failure signal never escapes.
+    for attempt in range(3):
+        try:
+            ctx.send(0, machine.get("payload"), tag="retry")
+            break
+        except Exception:
+            machine.put("last_attempt", attempt)
+
+
+def _hop_deadline_step(machine, ctx):
+    # Speculative-redispatch shape with a bare except around the
+    # deadline check: deadline misses must surface, not be absorbed.
+    try:
+        machine.put("deadline_ok", machine.get("arrival") < machine.get("timeout"))
+    except:  # noqa: E722 - the fixture exercises exactly this
+        ctx.send(0, machine.get("payload"), tag="speculative")

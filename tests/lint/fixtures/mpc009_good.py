@@ -21,6 +21,20 @@ def _value_error_step(machine, ctx):
         machine.put("x", 0)
 
 
+def _hop_repair_retry_step(machine, ctx):
+    # Hop-repair shape done right: the retry loop catches only the
+    # specific addressing failure it can fix; RecoveryExhausted and
+    # every other simulator signal still propagate to the cluster.
+    from repro.mpc.errors import RecoveryExhausted  # noqa: F401 - narrow set
+
+    for _ in range(3):
+        try:
+            ctx.send(machine.get("dest"), machine.get("payload"), tag="retry")
+            break
+        except InvalidAddress:
+            machine.put("dest", 0)
+
+
 def driver_helper(cluster):
     # Not a step: drivers may legitimately treat any model violation as
     # "this configuration does not fit" and fall back.

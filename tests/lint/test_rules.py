@@ -20,7 +20,7 @@ CASES = {
     "MPC005": ("badpkg", 3, "goodpkg"),
     "MPC006": ("mpc006_bad.py", 3, "mpc006_good.py"),
     "MPC007": ("mpc007_bad.py", 3, "mpc007_good.py"),
-    "MPC009": ("mpc009_bad.py", 4, "mpc009_good.py"),
+    "MPC009": ("mpc009_bad.py", 6, "mpc009_good.py"),
     "MPC010": ("mpc010_bad.py", 6, "mpc010_good.py"),
     "MPC011": ("mpc011_bad.py", 3, "mpc011_good.py"),
     "MPC012": ("mpc012_bad.py", 3, "mpc012_good.py"),

@@ -1,0 +1,517 @@
+"""Hop-level transport faults: injection, repair, deadlines, speculation.
+
+The contract under test (docs/RESILIENCE.md, "Hop-level failure model"):
+a :class:`~repro.mpc.faults.HopFault` fires on a specific
+``(round, hop, src, dst)`` delivery edge as a pure function of the plan
+— never of timing or executor — and the repair layer redelivers the one
+pristine copy exactly once, so machine state and
+:meth:`CostReport.core_dict` stay **bit-identical** to the fault-free
+twin under every executor.  Repairs are sub-round redeliveries: they
+never add ``cluster.round`` dispatches (round counts and MPC011 caps are
+unchanged) and a re-sent hop counts against an adapt-mode wave budget
+exactly once.  A drop/corrupt fault outliving
+``DeadlinePolicy.max_hop_retries`` surfaces as a typed
+:class:`~repro.mpc.errors.RecoveryExhausted` carrying the hop
+coordinate; a delay past the deadline triggers (when enabled) a
+speculative re-dispatch adjudicated arithmetically.
+
+``REPRO_FAULT_SEEDS`` (comma-separated ints) widens the seeded-plan
+sweep; CI's fault-matrix and chaos-soak jobs set it.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.mpc import (
+    Cluster,
+    CommBudget,
+    DeadlinePolicy,
+    FaultPlan,
+    HOP_FAULT_KINDS,
+    HopFault,
+    RecoveryExhausted,
+    SimulationConfig,
+)
+from repro.mpc.arena import active_segment_files
+from repro.mpc.faults import get_deadline_policy
+from repro.mpc.metrics import validate_metrics_dict
+from repro.mpc.primitives import tree_gather
+from repro.mpc.trace import explain_report, hop_recovery_timeline
+from repro.util.rng import machine_rng
+
+EXECUTOR_NAMES = ["serial", "thread", "process", "shm"]
+
+FAULT_SEEDS = [
+    int(s) for s in os.environ.get("REPRO_FAULT_SEEDS", "5").split(",") if s.strip()
+]
+
+HOP_DENSITIES = [0.05, 0.2]
+
+
+def _work_step(machine, ctx):
+    """Deterministic busywork: consume the ring mail, mutate, send on."""
+    inbox_sum = sum(float(msg.payload.sum()) for msg in machine.take_inbox(tag="ring"))
+    rng = machine_rng(9876 + ctx.round_index, machine.machine_id)
+    data = machine.get("data")
+    machine.put("data", data + rng.normal(size=data.shape) + inbox_sum)
+    ctx.send(
+        (machine.machine_id + 1) % ctx.num_machines,
+        np.array([float(machine.machine_id + ctx.round_index)]),
+        tag="ring",
+    )
+
+
+def _run_pipeline(*, machines=4, rounds=3, config=None, **kwargs):
+    cluster = Cluster(machines, 4096, config=config, **kwargs)
+    for mid in range(machines):
+        cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+    for r in range(rounds):
+        cluster.round(_work_step, label=f"work{r}")
+    state = {
+        mid: cluster.machine(mid).get("data").copy() for mid in range(machines)
+    }
+    return state, cluster
+
+
+def _assert_states_equal(a, b):
+    assert a.keys() == b.keys()
+    for mid in a:
+        np.testing.assert_array_equal(a[mid], b[mid])
+
+
+def _fanout_step(machine, ctx):
+    """All-to-all busywork: heavy enough for a tight budget to split."""
+    total = sum(float(msg.payload.sum()) for msg in machine.take_inbox(tag="fan"))
+    machine.put("data", machine.get("data") + total + machine.machine_id)
+    for off in range(1, ctx.num_machines):
+        dest = (machine.machine_id + off) % ctx.num_machines
+        ctx.send(dest, np.full(4, float(machine.machine_id)), tag="fan")
+
+
+#: One event of each kind, all on edges the ring pipeline actually
+#: drives (machine i -> i+1 mod 4, every round, hop 0).
+RING_HOP_EVENTS = (
+    HopFault("drop", 0, 0, 0, 1, count=2),
+    HopFault("corrupt", 1, 0, 1, 2),
+    HopFault("duplicate", 1, 0, 2, 3, count=3),
+    HopFault("delay", 2, 0, 3, 0, delay=0.02),
+)
+
+
+class TestHopFault:
+    def test_fires_for_count_attempts(self):
+        ev = HopFault("drop", round_index=2, hop=1, src=0, dst=3, count=2)
+        assert ev.fires(2, 1, 0) and ev.fires(2, 1, 1)
+        assert not ev.fires(2, 1, 2)
+        assert not ev.fires(2, 0, 0)
+        assert not ev.fires(3, 1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown hop fault kind"):
+            HopFault("meteor", 0, 0, 0, 1)
+        with pytest.raises(ValueError, match="round_index"):
+            HopFault("drop", -1, 0, 0, 1)
+        with pytest.raises(ValueError, match="hop"):
+            HopFault("drop", 0, -1, 0, 1)
+        with pytest.raises(ValueError, match="count"):
+            HopFault("drop", 0, 0, 0, 1, count=0)
+
+    def test_delay_kind_requires_positive_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            HopFault("delay", 0, 0, 0, 1)
+        with pytest.raises(ValueError, match="delay"):
+            HopFault("delay", 0, 0, 0, 1, delay=-0.5)
+
+    def test_non_delay_kinds_zero_their_delay(self):
+        # A stray delay on a drop event is dead weight a consumer might
+        # misread as schedule; the constructor normalizes it away.
+        assert HopFault("drop", 0, 0, 0, 1, delay=0.5).delay == 0.0
+        assert HopFault("duplicate", 0, 0, 0, 1, delay=0.5).delay == 0.0
+
+
+class TestDeadlinePolicy:
+    def test_coercion(self):
+        assert get_deadline_policy(None) == DeadlinePolicy()
+        assert get_deadline_policy(0.25) == DeadlinePolicy(hop_timeout_seconds=0.25)
+        policy = DeadlinePolicy(max_hop_retries=7, speculate=False)
+        assert get_deadline_policy(policy) is policy
+        with pytest.raises(TypeError):
+            get_deadline_policy(True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hop_timeout_seconds"):
+            DeadlinePolicy(hop_timeout_seconds=0.0)
+        with pytest.raises(ValueError, match="max_hop_retries"):
+            DeadlinePolicy(max_hop_retries=-1)
+        with pytest.raises(ValueError, match="backoff_seconds"):
+            DeadlinePolicy(backoff_seconds=-1.0)
+        with pytest.raises(ValueError, match="speculation_latency_seconds"):
+            DeadlinePolicy(speculation_latency_seconds=-0.1)
+
+    def test_config_validates_eagerly(self):
+        with pytest.raises(ValueError, match="hop_timeout_seconds"):
+            SimulationConfig(deadline=-1.0)
+
+
+class TestFaultPlanHopEvents:
+    def test_random_hop_events_are_seed_deterministic(self):
+        a = FaultPlan.random(42, num_machines=6, rounds=8, rate=0.0, hop_rate=0.3)
+        b = FaultPlan.random(42, num_machines=6, rounds=8, rate=0.0, hop_rate=0.3)
+        assert a.hop_events == b.hop_events
+        assert len(a.hop_events) > 0
+        c = FaultPlan.random(43, num_machines=6, rounds=8, rate=0.0, hop_rate=0.3)
+        assert a.hop_events != c.hop_events
+
+    def test_hop_rate_leaves_machine_events_bit_identical(self):
+        # Extending a plan with hop faults must not perturb the machine
+        # event draws: same seed, same machine events, hop_rate or not.
+        plain = FaultPlan.random(11, num_machines=6, rounds=8, rate=0.4)
+        extended = FaultPlan.random(
+            11, num_machines=6, rounds=8, rate=0.4, hop_rate=0.3
+        )
+        assert extended.events == plain.events
+        assert len(extended.hop_events) > 0
+
+    def test_straggler_delay_must_be_positive(self):
+        with pytest.raises(ValueError, match="straggler_delay"):
+            FaultPlan.random(
+                1, num_machines=4, rounds=4, rate=0.5, straggler_delay=0.0
+            )
+        # Dropping 'straggler' from kinds makes the zero delay legal.
+        plan = FaultPlan.random(
+            1, num_machines=4, rounds=4, rate=0.5,
+            kinds=("crash", "worker_death"), straggler_delay=0.0,
+        )
+        assert all(ev.delay == 0.0 for ev in plan.events)
+
+    def test_hop_delay_must_be_positive_when_delay_sampled(self):
+        with pytest.raises(ValueError, match="hop_delay"):
+            FaultPlan.random(
+                1, num_machines=4, rounds=4, hop_rate=0.5, hop_delay=0.0
+            )
+        # Legal when 'delay' cannot be drawn at all.
+        FaultPlan.random(
+            1, num_machines=4, rounds=4, hop_rate=0.5,
+            hop_kinds=("drop", "duplicate"), hop_delay=0.0,
+        )
+
+    def test_max_hop_events_caps(self):
+        plan = FaultPlan.random(
+            7, num_machines=8, rounds=8, rate=0.0, hop_rate=0.9,
+            max_hop_events=5,
+        )
+        assert len(plan.hop_events) == 5
+
+    def test_hop_index_lookup(self):
+        plan = FaultPlan(hop_events=RING_HOP_EVENTS)
+        assert len(plan) == len(RING_HOP_EVENTS)
+        assert plan.has_hop_faults(0) and plan.has_hop_faults(1)
+        assert not plan.has_hop_faults(3)
+        assert plan.hop_faults(0) == {(0, 0, 1): (RING_HOP_EVENTS[0],)}
+        assert set(plan.hop_faults(1)) == {(0, 1, 2), (0, 2, 3)}
+
+
+class TestHopRepairBitIdentity:
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_all_kinds_recover_bit_identically(self, executor):
+        clean_state, clean_cluster = _run_pipeline()
+        plan = FaultPlan(hop_events=RING_HOP_EVENTS)
+        state, cluster = _run_pipeline(executor=executor, faults=plan)
+        _assert_states_equal(state, clean_state)
+        report = cluster.report()
+        assert report.core_dict() == clean_cluster.report().core_dict()
+        assert report.hop_faults_injected == len(RING_HOP_EVENTS)
+        assert report.hop_retries >= 3  # 2 drop retransmits + 1 corrupt
+        assert report.rounds == clean_cluster.report().rounds
+
+    @pytest.mark.parametrize("kind", HOP_FAULT_KINDS)
+    def test_each_kind_alone(self, kind):
+        clean_state, clean_cluster = _run_pipeline()
+        delay = 0.5 if kind == "delay" else 0.0
+        plan = FaultPlan(
+            hop_events=(HopFault(kind, 1, 0, 0, 1, delay=delay),)
+        )
+        state, cluster = _run_pipeline(faults=plan)
+        _assert_states_equal(state, clean_state)
+        assert cluster.report().hop_faults_injected == 1
+        assert cluster.report().core_dict() == clean_cluster.report().core_dict()
+
+    @pytest.mark.parametrize("seed", FAULT_SEEDS)
+    @pytest.mark.parametrize("density", HOP_DENSITIES)
+    def test_seeded_hop_sweep(self, seed, density):
+        clean_state, clean_cluster = _run_pipeline(rounds=4)
+        plan = FaultPlan.random(
+            seed, num_machines=4, rounds=4, rate=0.0, hop_rate=density
+        )
+        base = None
+        for executor in ["serial", "process"]:
+            state, cluster = _run_pipeline(
+                rounds=4, executor=executor, faults=plan, deadline=0.001
+            )
+            _assert_states_equal(state, clean_state)
+            report = cluster.report()
+            assert report.core_dict() == clean_cluster.report().core_dict()
+            # Full accounting — injected/retry/speculation counters
+            # included — must agree across executors: the injection is a
+            # pure function of the plan, never of scheduling.
+            if base is None:
+                base = report.as_dict()
+            else:
+                assert report.as_dict() == base
+
+    def test_machine_and_hop_faults_compose(self, tmp_path):
+        clean_state, clean_cluster = _run_pipeline(rounds=4)
+        plan = FaultPlan.random(
+            23, num_machines=4, rounds=4, rate=0.3, hop_rate=0.3
+        )
+        state, cluster = _run_pipeline(rounds=4, faults=plan, recovery=5)
+        _assert_states_equal(state, clean_state)
+        assert cluster.report().core_dict() == clean_cluster.report().core_dict()
+
+
+class TestRecoveryExhausted:
+    def test_drop_past_retry_cap_raises_with_hop_coordinates(self):
+        plan = FaultPlan(hop_events=(HopFault("drop", 1, 0, 0, 1, count=3),))
+        deadline = DeadlinePolicy(max_hop_retries=2)
+        with pytest.raises(RecoveryExhausted) as excinfo:
+            _run_pipeline(faults=plan, deadline=deadline)
+        exc = excinfo.value
+        assert (exc.machine_id, exc.round_index, exc.kind, exc.hop) == (
+            1, 1, "drop", 0,
+        )
+        assert exc.attempts == 3
+        assert "delivery hop 0" in str(exc)
+
+    def test_within_cap_recovers(self):
+        plan = FaultPlan(hop_events=(HopFault("corrupt", 1, 0, 0, 1, count=3),))
+        clean_state, _ = _run_pipeline()
+        state, cluster = _run_pipeline(
+            faults=plan, deadline=DeadlinePolicy(max_hop_retries=3)
+        )
+        _assert_states_equal(state, clean_state)
+        assert cluster.report().hop_retries == 3
+
+
+class TestDeadlinesAndSpeculation:
+    def _delayed(self, *, delay, deadline):
+        plan = FaultPlan(hop_events=(HopFault("delay", 1, 0, 0, 1, delay=delay),))
+        return _run_pipeline(faults=plan, deadline=deadline)
+
+    def test_within_deadline_is_not_a_miss(self):
+        _, cluster = self._delayed(
+            delay=0.001, deadline=DeadlinePolicy(hop_timeout_seconds=0.005)
+        )
+        report = cluster.report()
+        assert report.hop_faults_injected == 1
+        assert report.deadline_misses == 0
+        assert report.hop_retries == 0
+
+    def test_miss_with_speculation_win(self):
+        # Speculative copy dispatched at the timeout beats the primary
+        # iff timeout + speculation latency < the primary's delay.
+        _, cluster = self._delayed(
+            delay=0.02, deadline=DeadlinePolicy(hop_timeout_seconds=0.005)
+        )
+        report = cluster.report()
+        assert report.deadline_misses == 1
+        assert report.hop_retries == 1
+        assert report.speculative_wins == 1
+
+    def test_miss_with_speculation_loss(self):
+        _, cluster = self._delayed(
+            delay=0.02,
+            deadline=DeadlinePolicy(
+                hop_timeout_seconds=0.005, speculation_latency_seconds=0.1
+            ),
+        )
+        report = cluster.report()
+        assert report.deadline_misses == 1
+        assert report.hop_retries == 1
+        assert report.speculative_wins == 0
+
+    def test_speculation_disabled(self):
+        _, cluster = self._delayed(
+            delay=0.02,
+            deadline=DeadlinePolicy(hop_timeout_seconds=0.005, speculate=False),
+        )
+        report = cluster.report()
+        assert report.deadline_misses == 1
+        assert report.hop_retries == 0
+        assert report.speculative_wins == 0
+
+    def test_adjudication_is_executor_independent(self):
+        # The winner is decided arithmetically from the policy and the
+        # event — no wall clock — so every executor must agree exactly.
+        results = {}
+        for executor in EXECUTOR_NAMES:
+            _, cluster = _run_pipeline(
+                executor=executor,
+                faults=FaultPlan(
+                    hop_events=(HopFault("delay", 1, 0, 0, 1, delay=0.02),)
+                ),
+                deadline=DeadlinePolicy(hop_timeout_seconds=0.005),
+            )
+            results[executor] = cluster.report().as_dict()
+        first = results["serial"]
+        for executor, report in results.items():
+            assert report == first, executor
+
+
+class TestComposition:
+    def test_with_delta_shipping(self):
+        clean_state, clean_cluster = _run_pipeline()
+        plan = FaultPlan(hop_events=RING_HOP_EVENTS)
+        state, cluster = _run_pipeline(
+            config=SimulationConfig(
+                executor="process", delta_shipping=True, faults=plan
+            )
+        )
+        _assert_states_equal(state, clean_state)
+        assert cluster.report().core_dict() == clean_cluster.report().core_dict()
+        assert cluster.report().hop_faults_injected == len(RING_HOP_EVENTS)
+
+    def test_snapshot_restore_preserves_hop_counters(self):
+        plan = FaultPlan(hop_events=(HopFault("drop", 0, 0, 0, 1, count=2),))
+        cluster = Cluster(4, 4096, faults=plan)
+        for mid in range(4):
+            cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+        cluster.round(_work_step, label="work0")
+        snap = cluster.snapshot()
+        injected_at_snap = cluster.report().hop_faults_injected
+        retries_at_snap = cluster.report().hop_retries
+        assert injected_at_snap == 1 and retries_at_snap == 2
+        cluster.round(_work_step, label="work1")
+        cluster.restore(snap)
+        assert cluster.report().hop_faults_injected == injected_at_snap
+        assert cluster.report().hop_retries == retries_at_snap
+
+    def test_budget_adapt_waves_give_hops_past_zero(self):
+        # Find a round the adapt budget splits, then address hop >= 1
+        # events at every edge of that round: they can only fire if the
+        # delivery really ran in multiple waves and messages map to
+        # their wave index.  The same plan under no budget must inject
+        # nothing — unsplit rounds only have hop 0.
+        def run(config):
+            cluster = Cluster(4, 4096, config=config)
+            for mid in range(4):
+                cluster.load(mid, "data", np.arange(8, dtype=np.float64) + mid)
+            for r in range(3):
+                cluster.round(_fanout_step, label=f"fan{r}")
+            state = {
+                mid: cluster.machine(mid).get("data").copy() for mid in range(4)
+            }
+            return state, cluster
+
+        probe_cfg = SimulationConfig(
+            metrics=True, comm_budget=CommBudget(words=4, mode="adapt")
+        )
+        clean_state, probe = run(probe_cfg)
+        split_rounds = [m.round_index for m in probe.metrics if m.waves > 1]
+        assert split_rounds, "a 4-word budget must split the all-to-all rounds"
+        target = split_rounds[0]
+        plan = FaultPlan(
+            hop_events=tuple(
+                HopFault("drop", target, 1, src, dst)
+                for src in range(4)
+                for dst in range(4)
+                if src != dst
+            )
+        )
+
+        state, cluster = run(probe_cfg.replace(faults=plan))
+        _assert_states_equal(state, clean_state)
+        report = cluster.report()
+        assert report.hop_faults_injected > 0
+        assert report.core_dict() == probe.report().core_dict()
+        # A re-sent hop counts against the wave budget exactly once:
+        # the wave plan (and thus every per-wave load) is unchanged.
+        faulted = {m.round_index: m for m in cluster.metrics}
+        for m in probe.metrics:
+            assert faulted[m.round_index].waves == m.waves
+            assert faulted[m.round_index].max_wave_sent == m.max_wave_sent
+            assert faulted[m.round_index].max_wave_recv == m.max_wave_recv
+
+        no_budget_state, no_budget = run(SimulationConfig(faults=plan))
+        _assert_states_equal(no_budget_state, clean_state)
+        assert no_budget.report().hop_faults_injected == 0
+
+    def test_metrics_rows_sum_to_report_counters(self):
+        plan = FaultPlan(hop_events=RING_HOP_EVENTS)
+        _, cluster = _run_pipeline(
+            config=SimulationConfig(faults=plan, metrics=True)
+        )
+        report = cluster.report()
+        log = cluster.metrics
+        for record in log.as_dicts():
+            validate_metrics_dict(record)
+        assert sum(m.hop_faults_injected for m in log) == report.hop_faults_injected
+        assert sum(m.hop_retries for m in log) == report.hop_retries
+        assert sum(m.speculative_wins for m in log) == report.speculative_wins
+        assert sum(m.deadline_misses for m in log) == report.deadline_misses
+
+
+class TestTraceRendering:
+    def _faulted_report(self):
+        plan = FaultPlan(hop_events=RING_HOP_EVENTS)
+        _, cluster = _run_pipeline(faults=plan)
+        return cluster.report()
+
+    def test_headline_and_fault_log(self):
+        text = explain_report(self._faulted_report())
+        assert "hop-faults=4" in text
+        assert "hop-retries=" in text
+        assert "deadline-misses=1" in text
+        assert "round 0 hop 0 attempt 1: drop -> machine 1 -> retransmitted" in text
+
+    def test_recovery_timeline_reads_as_narrative(self):
+        timeline = hop_recovery_timeline(self._faulted_report())
+        assert "hop recovery timeline:" in timeline
+        assert (
+            "round 0 hop 0: drop on edge 0->1 tag=ring -> machine 1: "
+            "retransmitted x2, then delivered clean"
+        ) in timeline
+        assert "redelivered pristine" in timeline
+        assert "extra copies deduplicated" in timeline
+        assert "speculative copy won" in timeline
+
+    def test_timeline_empty_without_hop_records(self):
+        _, cluster = _run_pipeline()
+        assert hop_recovery_timeline(cluster.report()) == ""
+
+
+def _combine_concat(values):
+    return np.concatenate([np.atleast_1d(np.asarray(v)) for v in values])
+
+
+class TestShmHygiene:
+    def test_mid_tree_gather_hop_fault_leaves_no_segments(self):
+        # A hop fault repaired mid-gather must not strand /dev/shm
+        # segments: the repair path never allocates arena storage of its
+        # own, and close() unlinks everything the run mapped.
+        def gather(executor, faults=None):
+            cluster = Cluster(8, 1 << 20, executor=executor, faults=faults)
+            for m in cluster:
+                m.put("part", np.full(64, float(m.machine_id)))
+            tree_gather(cluster, "part", _combine_concat, out_key="all", fanin=2)
+            return np.sort(np.asarray(cluster.machine(0).get("all"))), cluster
+
+        clean, _ = gather("serial")
+        # Saturate every gather edge at hop 0 so the fan-in tree is hit
+        # mid-flight no matter how the groups are laid out.
+        plan = FaultPlan(
+            hop_events=tuple(
+                HopFault("drop", r, 0, src, dst)
+                for r in range(4)
+                for src in range(8)
+                for dst in range(8)
+                if src != dst
+            )
+        )
+        result, cluster = gather("shm", faults=plan)
+        np.testing.assert_array_equal(result, clean)
+        assert cluster.report().hop_faults_injected > 0
+        prefix = cluster.executor.arena.prefix
+        cluster.executor.close()
+        assert active_segment_files(prefix) == []
