@@ -1,4 +1,4 @@
-.PHONY: install test lint lint-rounds bench bench-smoke fault-smoke chaos-smoke shm-smoke metrics examples figure1 all clean
+.PHONY: install test lint lint-rounds bench bench-smoke fault-smoke chaos-smoke shm-smoke serve-smoke metrics examples figure1 all clean
 
 install:
 	pip install -e . --no-build-isolation --no-deps || python setup.py develop --no-deps
@@ -86,6 +86,20 @@ CHAOS_DENSITIES ?= 0.01,0.05,0.15
 CHAOS_EXECUTOR ?= serial,thread,process,shm
 chaos-smoke:
 	PYTHONPATH=src python benchmarks/harness.py --chaos --smoke --executor $(CHAOS_EXECUTOR) --chaos-seeds $(CHAOS_SEEDS) --chaos-densities $(CHAOS_DENSITIES) --out-dir .bench_chaos
+
+# Serving gate (docs/SERVING.md): the serve test suite (dynamic
+# maintenance bit-identity, batched-query exactness, the Hypothesis
+# state machine), then the seeded closed-loop load generator at
+# SERVE_N points with --check on — every answer must match the offline
+# query functions, p99 latency must stay under SERVE_P99_MS, ~1% churn
+# must re-partition <10% of cells, and the emitted MetricsLog must
+# survive a JSONL round trip against METRICS_SCHEMA (v3).  Results land
+# in benchmarks/results/BENCH_serve.json.
+SERVE_N ?= 1000
+SERVE_P99_MS ?= 250
+serve-smoke:
+	PYTHONPATH=src python -m pytest -q tests/serve tests/property/test_tie_break.py
+	PYTHONPATH=src python benchmarks/loadgen.py --n $(SERVE_N) --p99-ms $(SERVE_P99_MS) --check
 
 # Observability pipeline (docs/OBSERVABILITY.md): run every suite's MPC
 # arm through the budget/metrics path — probe the peak load, attach a

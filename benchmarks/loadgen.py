@@ -1,0 +1,185 @@
+"""Seeded closed-loop load generator for the embedding service.
+
+Drives :class:`repro.serve.service.EmbeddingService` through three
+phases — a pure-query warmup, a churn phase (≈``--churn`` of the
+resident points inserted then deleted through the dynamic entry
+points), and a post-churn query phase — while asserting, for every
+single answer, exactness against the offline functions in
+:mod:`repro.tree.queries` evaluated on the service's current tree.
+
+Records ``benchmarks/results/BENCH_serve.json``: latency percentiles,
+closed-loop throughput, the per-update re-partition fractions, and the
+MetricsLog JSONL round-trip check.  With ``--check`` the run becomes a
+CI gate (the ``serve-smoke`` job)::
+
+    PYTHONPATH=src python benchmarks/loadgen.py --n 1000 --check
+
+which fails unless p99 latency stays under ``--p99-ms``, every answer
+was exact, and each ~1% churn update re-partitioned under 10% of cells.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from common import record
+
+from repro.mpc.metrics import MetricsLog, validate_metrics_dict
+from repro.serve.service import EmbeddingService
+from repro.tree.metric import tree_distance
+from repro.tree.queries import range_query, tree_nearest
+
+#: The pinned build recipe (see tests/serve/test_dynamic.py): grids are
+#: a pure function of (seed, level) so dynamic maintenance stays
+#: bit-identical to fresh builds.
+BUILD_KW = dict(num_grids=12, min_separation=0.25, on_uncovered="singleton")
+
+
+def _dataset(n: int, d: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    anchors = np.array([[-9.0] * d, [9.0] * d])
+    return np.vstack([anchors, rng.normal(size=(n - 2, d))])
+
+
+def _query_batch(rng: np.random.Generator, n: int, size: int) -> List[tuple]:
+    """A mixed batch of (kind, *args) requests over resident indices."""
+    kinds = rng.integers(0, 3, size=size)
+    batch: List[tuple] = []
+    for kind in kinds:
+        i = int(rng.integers(0, n))
+        if kind == 0:
+            batch.append(("nearest", i))
+        elif kind == 1:
+            batch.append(("range", i, float(rng.uniform(0.5, 50.0))))
+        else:
+            batch.append(("distance", i, int(rng.integers(0, n))))
+    return batch
+
+
+def _check_answers(svc: EmbeddingService, batch, answers) -> int:
+    """Count exact answers (offline re-derivation on the current tree)."""
+    tree = svc.tree
+    exact = 0
+    for req, res in zip(batch, answers):
+        if req[0] == "nearest":
+            j, dist = tree_nearest(tree, req[1])
+            ok = res.neighbor == j and np.isclose(res.distance, dist)
+        elif req[0] == "range":
+            want = np.sort(range_query(tree, req[1], req[2]))
+            ok = np.array_equal(np.sort(res.indices), want)
+        else:
+            ok = np.isclose(res.distance, tree_distance(tree, req[1], req[2]))
+        exact += bool(ok)
+    return exact
+
+
+def run(args: argparse.Namespace) -> Dict:
+    points = _dataset(args.n, args.d, args.seed)
+    svc = EmbeddingService(
+        points, seed=args.seed, max_batch=args.max_batch, **BUILD_KW
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    queries = exact = 0
+    churn_fracs: List[float] = []
+
+    with svc:
+        t0 = time.perf_counter()
+        # Phase 1 + 3 bracket the churn phase; the closed loop keeps one
+        # batch in flight at a time (throughput = answered / wall).
+        for phase in ("warmup", "churn", "steady"):
+            if phase == "churn":
+                m = max(1, int(round(args.churn * svc.n)))
+                extra = rng.normal(size=(m, args.d))
+                up = svc.insert_sync(extra)
+                churn_fracs.append(up.frac_cells_touched)
+                victims = 2 + rng.choice(svc.n - 2 - m, size=m, replace=False)
+                up = svc.delete_sync(np.asarray(victims, dtype=np.int64))
+                churn_fracs.append(up.frac_cells_touched)
+                continue
+            for _ in range(args.batches):
+                batch = _query_batch(rng, svc.n, args.batch_size)
+                answers = svc.submit_batch_sync(batch)
+                queries += len(batch)
+                exact += _check_answers(svc, batch, answers)
+        wall = time.perf_counter() - t0
+        pct = svc.latency_percentiles()
+        report = svc.report()
+
+    # MetricsLog round-trip: every row (build, mutation rounds, serve
+    # batches) must survive to_jsonl -> from_jsonl re-validation.
+    with tempfile.NamedTemporaryFile(suffix=".jsonl") as tmp:
+        svc.metrics.to_jsonl(tmp.name)
+        reloaded = MetricsLog.from_jsonl(tmp.name)
+    assert len(reloaded.rounds) == len(svc.metrics.rounds)
+    for row in reloaded.as_dicts():
+        validate_metrics_dict(row)
+
+    serve_rows = [r for r in svc.metrics.rounds if r.label == "serve-query"]
+    return {
+        "n": args.n,
+        "d": args.d,
+        "seed": args.seed,
+        "queries": queries,
+        "exact": exact,
+        "exactness": exact / max(queries, 1),
+        "throughput_qps": queries / wall,
+        "p50_ms": pct["p50_ms"],
+        "p99_ms": pct["p99_ms"],
+        "mean_batch": queries / max(len(serve_rows), 1),
+        "churn": args.churn,
+        "max_churn_frac_cells": max(churn_fracs),
+        "updates_applied": report.update_dict()["updates_applied"],
+        "update_cells_touched": report.update_dict()["update_cells_touched"],
+        "metrics_rows": len(svc.metrics.rounds),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--d", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--batches", type=int, default=10,
+                        help="query batches per query phase")
+    parser.add_argument("--batch-size", type=int, default=30)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--churn", type=float, default=0.01)
+    parser.add_argument("--p99-ms", type=float, default=250.0,
+                        help="--check gate on p99 query latency")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless all gates hold")
+    args = parser.parse_args(argv)
+
+    row = run(args)
+    record("BENCH_serve", [row])
+
+    if not args.check:
+        return 0
+    failures = []
+    if row["exact"] != row["queries"]:
+        failures.append(
+            f"exactness: {row['exact']}/{row['queries']} answers matched "
+            "the offline query functions"
+        )
+    if row["p99_ms"] >= args.p99_ms:
+        failures.append(f"p99 latency {row['p99_ms']:.2f}ms >= {args.p99_ms}ms")
+    if row["max_churn_frac_cells"] >= 0.10:
+        failures.append(
+            f"{args.churn:.0%} churn re-partitioned "
+            f"{row['max_churn_frac_cells']:.1%} of cells (gate: <10%)"
+        )
+    for failure in failures:
+        print(f"[BENCH_serve] GATE FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("[BENCH_serve] all gates passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,9 +24,17 @@ from repro.core.pipeline import theorem1_pipeline
 from repro.core.sequential import sequential_tree_embedding
 from repro.jl.fjlt import FJLT
 from repro.mpc.cluster import Cluster
+from repro.mpc.config import SimulationConfig
+from repro.results import (
+    DynamicUpdateResult,
+    EmbeddingResult,
+    FWHTResult,
+    QueryResult,
+    TransformResult,
+)
 from repro.tree.hst import HSTree
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "embed",
@@ -37,5 +45,11 @@ __all__ = [
     "FJLT",
     "Cluster",
     "HSTree",
+    "SimulationConfig",
+    "EmbeddingResult",
+    "TransformResult",
+    "FWHTResult",
+    "DynamicUpdateResult",
+    "QueryResult",
     "__version__",
 ]

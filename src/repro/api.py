@@ -1,0 +1,191 @@
+"""The one-stop import surface for the library.
+
+Everything a downstream user needs lives here under stable names:
+
+* :func:`embed` — the backend-dispatching entry point
+  (sequential / mpc / pipeline);
+* :class:`Session` — a reusable bundle of simulator configuration plus
+  a base seed, with one method per ``mpc_*`` entry point so sweeps
+  never repeat knob plumbing;
+* the typed result objects (:class:`~repro.results.EmbeddingResult`,
+  :class:`~repro.results.TransformResult`, ...) and
+  :class:`~repro.serve.service.EmbeddingService`.
+
+All seven ``mpc_*`` entry points share one signature shape: data
+arguments first, algorithm knobs as keywords, and every simulator knob
+bundled in ``config=`` (a :class:`~repro.mpc.config.SimulationConfig`).
+The legacy per-knob kwargs (``eps=``, ``executor=``, ``faults=``, ...)
+still work but emit ``DeprecationWarning`` through one shared fold-in
+helper — see docs/API.md, "Deprecation policy for legacy per-knob
+kwargs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.apps.mpc_apps import (
+    MPCDensestBallResult,
+    MPCEMDResult,
+    MPCMSTResult,
+    mpc_densest_ball,
+    mpc_tree_emd,
+    mpc_tree_mst,
+)
+from repro.core.embedding import TreeEmbedding, embed
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.core.pipeline import PipelineResult, theorem1_pipeline
+from repro.jl.mpc_dense import mpc_dense_jl
+from repro.jl.mpc_fjlt import mpc_blocked_fwht, mpc_fjlt
+from repro.mpc.config import SimulationConfig
+from repro.results import (
+    DynamicUpdateResult,
+    EmbeddingResult,
+    FWHTResult,
+    QueryResult,
+    TransformResult,
+)
+from repro.serve.maintenance import mpc_dynamic_delete, mpc_dynamic_insert
+from repro.serve.service import EmbeddingService
+from repro.tree.hst import HSTree
+from repro.util.rng import SeedLike, as_generator, spawn_many
+
+__all__ = [
+    "DynamicUpdateResult",
+    "EmbeddingResult",
+    "EmbeddingService",
+    "FWHTResult",
+    "PipelineResult",
+    "QueryResult",
+    "Session",
+    "SimulationConfig",
+    "TransformResult",
+    "TreeEmbedding",
+    "embed",
+    "mpc_blocked_fwht",
+    "mpc_dense_jl",
+    "mpc_densest_ball",
+    "mpc_dynamic_delete",
+    "mpc_dynamic_insert",
+    "mpc_fjlt",
+    "mpc_tree_emd",
+    "mpc_tree_embedding",
+    "mpc_tree_mst",
+    "theorem1_pipeline",
+]
+
+
+@dataclass
+class Session:
+    """A configuration + randomness bundle for repeated entry-point calls.
+
+    Construct once, call many times: every method forwards
+    ``config=self.config`` and draws a fresh child seed from the
+    session's base seed (so repeated calls differ deterministically, and
+    two sessions built with the same seed replay the same sequence)::
+
+        session = Session(config=SimulationConfig(executor="process"),
+                          seed=7)
+        result = session.tree_embedding(points, r=2)
+        service = session.serve(points, r=2)
+
+    Pass ``seed=`` explicitly to any method to override the drawn one.
+    """
+
+    config: SimulationConfig = SimulationConfig()
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        self._rng = as_generator(self.seed)
+
+    def _next_seed(self, override: SeedLike) -> Any:
+        if override is not None:
+            return override
+        return spawn_many(self._rng, 1)[0]
+
+    def embed(
+        self, points: np.ndarray, *, backend: str = "sequential", **kwargs: Any
+    ) -> TreeEmbedding:
+        return embed(
+            points, backend=backend, seed=self._next_seed(kwargs.pop("seed", None)),
+            **kwargs,
+        )
+
+    def tree_embedding(
+        self, points: np.ndarray, r: Optional[int] = None,
+        *, seed: SeedLike = None, **kwargs: Any,
+    ) -> EmbeddingResult:
+        return mpc_tree_embedding(
+            points, r, seed=self._next_seed(seed), config=self.config, **kwargs
+        )
+
+    def pipeline(
+        self, points: np.ndarray, *, seed: SeedLike = None, **kwargs: Any
+    ) -> PipelineResult:
+        return theorem1_pipeline(
+            points, seed=self._next_seed(seed), config=self.config, **kwargs
+        )
+
+    def fjlt(
+        self, points: np.ndarray, *, seed: SeedLike = None, **kwargs: Any
+    ) -> TransformResult:
+        return mpc_fjlt(
+            points, seed=self._next_seed(seed), config=self.config, **kwargs
+        )
+
+    def dense_jl(
+        self, points: np.ndarray, k: int, *, seed: SeedLike = None, **kwargs: Any
+    ) -> TransformResult:
+        return mpc_dense_jl(
+            points, k, seed=self._next_seed(seed), config=self.config, **kwargs
+        )
+
+    def blocked_fwht(
+        self, vectors: np.ndarray, num_machines: int, **kwargs: Any
+    ) -> FWHTResult:
+        return mpc_blocked_fwht(
+            vectors, num_machines, config=self.config, **kwargs
+        )
+
+    def mst(
+        self, tree: HSTree, points: np.ndarray, **kwargs: Any
+    ) -> MPCMSTResult:
+        return mpc_tree_mst(tree, points, config=self.config, **kwargs)
+
+    def emd(
+        self, tree: HSTree, num_sources: int, **kwargs: Any
+    ) -> MPCEMDResult:
+        return mpc_tree_emd(tree, num_sources, config=self.config, **kwargs)
+
+    def densest_ball(
+        self, tree: HSTree, target_diameter: float, **kwargs: Any
+    ) -> MPCDensestBallResult:
+        return mpc_densest_ball(
+            tree, target_diameter, config=self.config, **kwargs
+        )
+
+    def dynamic_insert(
+        self, tree: HSTree, points: np.ndarray, **kwargs: Any
+    ) -> DynamicUpdateResult:
+        return mpc_dynamic_insert(tree, points, config=self.config, **kwargs)
+
+    def dynamic_delete(
+        self, tree: HSTree, indices: Any, **kwargs: Any
+    ) -> DynamicUpdateResult:
+        return mpc_dynamic_delete(tree, indices, config=self.config, **kwargs)
+
+    def serve(
+        self,
+        points: np.ndarray,
+        r: Optional[int] = None,
+        *,
+        seed: SeedLike = None,
+        **kwargs: Any,
+    ) -> EmbeddingService:
+        """Build an :class:`EmbeddingService` under this session's config."""
+        return EmbeddingService(
+            points, r, seed=self._next_seed(seed), config=self.config, **kwargs
+        )

@@ -37,9 +37,10 @@ import numpy as np
 
 from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
-from repro.mpc.config import SimulationConfig, resolve_config
+from repro.mpc.config import SimulationConfig, fold_legacy_kwargs, resolve_config
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
+from repro.mpc.metrics import MetricsLog
 from repro.tree.hst import HSTree
 from repro.util.validation import check_points, check_positive, require
 
@@ -95,6 +96,7 @@ class MPCMSTResult:
     edges: np.ndarray
     cost: float
     report: CostReport
+    metrics: Optional[MetricsLog] = None
 
 
 def _mst_local_mins_step(
@@ -203,11 +205,10 @@ def mpc_tree_mst(
     config: Optional[SimulationConfig] = None,
 ) -> MPCMSTResult:
     """Corollary 1(2): extract the spanning tree in O(1) MPC rounds."""
+    cfg = fold_legacy_kwargs("mpc_tree_mst", config, eps=eps, executor=executor)
     pts = check_points(points)
     require(pts.shape[0] == tree.n, "points/tree size mismatch")
-    cluster = _embedding_cluster(
-        tree, eps=eps, points=pts, executor=executor, config=config
-    )
+    cluster = _embedding_cluster(tree, points=pts, config=cfg)
     levels = tree.num_levels
 
     cluster.round(
@@ -226,13 +227,16 @@ def mpc_tree_mst(
     edges = np.concatenate([s for s in shards if s is not None], axis=0)
     diffs = pts[edges[:, 0]] - pts[edges[:, 1]]
     cost = float(np.sqrt(np.einsum("ij,ij->i", diffs, diffs)).sum())
-    return MPCMSTResult(edges=edges, cost=cost, report=cluster.report())
+    return MPCMSTResult(
+        edges=edges, cost=cost, report=cluster.report(), metrics=cluster.metrics
+    )
 
 
 @dataclass
 class MPCEMDResult:
     estimate: float
     report: CostReport
+    metrics: Optional[MetricsLog] = None
 
 
 def _emd_local_counts_step(
@@ -310,7 +314,8 @@ def mpc_tree_emd(
             <= 1e-6 * max(1.0, float(np.abs(demands).sum())),
             "demands must balance (sum to zero)",
         )
-    cluster = _embedding_cluster(tree, eps=eps, executor=executor, config=config)
+    cfg = fold_legacy_kwargs("mpc_tree_emd", config, eps=eps, executor=executor)
+    cluster = _embedding_cluster(tree, config=cfg)
     levels = tree.num_levels
     weights = tree.level_weights
 
@@ -332,7 +337,9 @@ def mpc_tree_emd(
 
     reduce_scalar(cluster, "emd/partial", np.sum, out_key="emd/total", fanin=8)
     total = float(cluster.machine(0).get("emd/total"))
-    return MPCEMDResult(estimate=total, report=cluster.report())
+    return MPCEMDResult(
+        estimate=total, report=cluster.report(), metrics=cluster.metrics
+    )
 
 
 @dataclass
@@ -341,6 +348,7 @@ class MPCDensestBallResult:
     cluster_key: int
     level: int
     report: CostReport
+    metrics: Optional[MetricsLog] = None
 
 
 def _ball_local_counts_step(
@@ -386,6 +394,7 @@ def mpc_densest_ball(
     config: Optional[SimulationConfig] = None,
 ) -> MPCDensestBallResult:
     """Corollary 1(1): bicriteria densest ball in O(1) MPC rounds."""
+    cfg = fold_legacy_kwargs("mpc_densest_ball", config, eps=eps, executor=executor)
     check_positive("target_diameter", target_diameter)
     check_positive("scale_factor", scale_factor)
     scales = tree.level_weights / (2.0 * math.sqrt(r))
@@ -397,7 +406,7 @@ def mpc_densest_ball(
             count=tree.n, cluster_key=0, level=0, report=report
         )
 
-    cluster = _embedding_cluster(tree, eps=eps, executor=executor, config=config)
+    cluster = _embedding_cluster(tree, config=cfg)
 
     cluster.round(
         partial(_ball_local_counts_step, level=level), label="ball-local-counts"
@@ -415,5 +424,9 @@ def mpc_densest_ball(
     )
     count, key = cluster.machine(0).get("ball/winner")
     return MPCDensestBallResult(
-        count=int(count), cluster_key=int(key), level=level, report=cluster.report()
+        count=int(count),
+        cluster_key=int(key),
+        level=level,
+        report=cluster.report(),
+        metrics=cluster.metrics,
     )

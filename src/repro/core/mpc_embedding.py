@@ -23,26 +23,29 @@ FJLT — living in :mod:`repro.core.pipeline`):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from dataclasses import replace
 from typing import List, Optional
 
 import numpy as np
 
 from repro.data.aspect import pairwise_extremes
-from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
+from repro.mpc.accounting import fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
-from repro.mpc.config import SimulationConfig, resolve_config
+from repro.mpc.config import SimulationConfig, fold_legacy_kwargs
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.faults import FaultPlan, RecoveryLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
-from repro.partition.ball_partition import assign_balls
-from repro.partition.base import CoverageFailure, FlatPartition, canonicalize_labels, refine
+from repro.partition.base import CoverageFailure
 from repro.partition.grids import build_grid_shifts
-from repro.partition.hybrid import pad_for_buckets
-from repro.tree.build import build_hst, level_schedule
-from repro.tree.hst import HSTree
+from repro.partition.hybrid import ballpart_path_keys, pad_for_buckets
+from repro.results import EmbeddingResult
+from repro.tree.build import (
+    build_hst,
+    level_rows_from_path_keys,
+    level_schedule,
+    refine_from_level_rows,
+)
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_points, require
 
@@ -52,7 +55,10 @@ def _ballpart_step(machine: Machine, ctx: RoundContext) -> None:
 
     All inputs (grids, scales, the point shard) live in machine storage,
     so the step is a module-level callable and runs unchanged under any
-    round executor.
+    round executor.  The per-point kernel is
+    :func:`repro.partition.hybrid.ballpart_path_keys` — the same code
+    the incremental maintenance path (:mod:`repro.tree.dynamic`) runs
+    for inserted points.
     """
     params = machine.get("embed/grids")
     shard = machine.get("embed/in")
@@ -60,29 +66,13 @@ def _ballpart_step(machine: Machine, ctx: RoundContext) -> None:
     if shard is None or shard.shape[0] == 0:
         machine.put("embed/paths", None)
         return
-    m_rows = shard.shape[0]
-    g = params["shifts"]
-    num_levels_, r_, _, k_ = g.shape
-    # Path keys: for each level, r buckets x (grid id, vertex coords).
-    keys = np.empty((num_levels_, m_rows, r_ * (k_ + 1)), dtype=np.int64)
-    uncovered_any = np.zeros(m_rows, dtype=bool)
-    for lvl in range(num_levels_):
-        w = float(params["scales"][lvl])
-        for j in range(r_):
-            block = shard[:, j * k_ : (j + 1) * k_]
-            assignment = assign_balls(
-                block, w, g[lvl, j], cell_factor=params["cell_factor"]
-            )
-            col = j * (k_ + 1)
-            keys[lvl, :, col] = assignment.grid_index
-            keys[lvl, :, col + 1 : col + 1 + k_] = assignment.cell_index
-            miss = assignment.uncovered
-            if miss.any():
-                uncovered_any |= miss
-                # Globally unique negative key (paper: failure; here
-                # recorded so the driver can honor on_uncovered).
-                keys[lvl, miss, col] = -1
-                keys[lvl, miss, col + 1] = -(offset + np.flatnonzero(miss) + 1)
+    keys, uncovered_any = ballpart_path_keys(
+        shard,
+        params["shifts"],
+        params["scales"],
+        cell_factor=params["cell_factor"],
+        offset=offset,
+    )
     machine.put("embed/paths", keys)
     machine.put("embed/uncovered", int(uncovered_any.sum()))
     machine.pop("embed/in")
@@ -123,20 +113,10 @@ def _assemble_labels_in_model(cluster: Cluster, n: int, num_levels: int):
     return level_rows
 
 
-@dataclass
-class MPCEmbeddingResult:
-    """Output of :func:`mpc_tree_embedding`."""
-
-    tree: HSTree
-    report: CostReport
-    r: int
-    num_grids: int
-    scales: np.ndarray
-    cluster: Cluster
-
-    @property
-    def rounds(self) -> int:
-        return self.report.rounds
+#: Historical name for :class:`repro.results.EmbeddingResult`, kept as a
+#: back-compat alias (same class object; ``isinstance`` checks and the
+#: tuple-unpacking ``__iter__`` both keep working).
+MPCEmbeddingResult = EmbeddingResult
 
 
 def mpc_tree_embedding(
@@ -204,7 +184,8 @@ def mpc_tree_embedding(
     via ``config=``; setting the same axis both directly and via
     ``config=`` raises ``ValueError``.
     """
-    cfg = resolve_config(
+    cfg = fold_legacy_kwargs(
+        "mpc_tree_embedding",
         config,
         eps=eps,
         memory_slack=memory_slack,
@@ -303,6 +284,7 @@ def mpc_tree_embedding(
         raise CoverageFailure(total_uncovered, num_grids)
 
     require(assembly in ("god", "mpc"), f"unknown assembly {assembly!r}")
+    all_keys: Optional[np.ndarray] = None
     if assembly == "mpc":
         level_rows = _assemble_labels_in_model(cluster, n, num_levels)
     else:
@@ -316,27 +298,35 @@ def mpc_tree_embedding(
         order = np.argsort(offsets, kind="stable")
         all_keys = np.concatenate([key_shards[i] for i in order], axis=1)
         require(all_keys.shape[1] == n, "path assembly lost points")
-        level_rows = []
-        for lvl in range(num_levels):
-            _, labels = np.unique(all_keys[lvl], axis=0, return_inverse=True)
-            level_rows.append(labels.astype(np.int64))
+        level_rows = level_rows_from_path_keys(all_keys)
 
-    chain: List[FlatPartition] = []
-    weights: List[float] = []
-    current = FlatPartition.trivial(n)
-    weight_factor = 2.0 * math.sqrt(r) * weight_scale
-    for lvl in range(num_levels):
-        flat = FlatPartition(
-            canonicalize_labels(level_rows[lvl]), scale=float(scales[lvl])
-        )
-        current = refine(current, flat, scale=float(scales[lvl]))
-        chain.append(current)
-        weights.append(weight_factor * float(scales[lvl]))
-        if current.is_singletons():
-            break
+    chain, weights = refine_from_level_rows(
+        level_rows, scales, r=r, weight_scale=weight_scale
+    )
 
     tree = build_hst(chain, weights, points=pts, already_refined=True)
-    return MPCEmbeddingResult(
+    if all_keys is not None:
+        # The default god assembly already holds every ingredient of
+        # incremental maintenance (grids, schedule, cached path keys);
+        # pin them to the tree so HSTree.insert/delete can re-run the
+        # partition for changed points only (repro.tree.dynamic).  The
+        # "mpc" assembly arm leaves the tree implicit in the model and
+        # carries no plan.
+        from repro.tree.dynamic import MaintenancePlan
+
+        plan = MaintenancePlan(
+            shifts=shifts,
+            scales=np.asarray(scales),
+            r=r,
+            k=k,
+            dim=d,
+            cell_factor=cell_factor,
+            weight_scale=weight_scale,
+            on_uncovered=on_uncovered,
+            path_keys=all_keys,
+        )
+        tree = replace(tree, plan=plan)
+    return EmbeddingResult(
         tree=tree,
         report=cluster.report(),
         r=r,

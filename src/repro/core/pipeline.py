@@ -19,7 +19,7 @@ high-probability event actually held.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -28,6 +28,8 @@ from scipy.spatial.distance import pdist
 from repro.core.mpc_embedding import MPCEmbeddingResult, mpc_tree_embedding
 from repro.jl.mpc_fjlt import mpc_fjlt
 from repro.mpc.accounting import CostReport
+from repro.mpc.config import SimulationConfig, fold_legacy_kwargs
+from repro.mpc.executor import ExecutorLike
 from repro.tree.hst import HSTree
 from repro.util.rng import SeedLike, as_generator, spawn_many
 from repro.util.validation import check_points, require
@@ -58,6 +60,11 @@ class PipelineResult:
     @property
     def combined_report(self) -> CostReport:
         return self.fjlt_report.merged_with(self.embed_report)
+
+    @property
+    def report(self) -> CostReport:
+        """Alias for :attr:`combined_report` (uniform ``.report`` access)."""
+        return self.combined_report
 
     @property
     def domination_certified(self) -> bool:
@@ -103,13 +110,26 @@ def theorem1_pipeline(
     on_uncovered: str = "singleton",
     memory_slack: float = 8.0,
     seed: SeedLike = None,
+    executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
 ) -> PipelineResult:
     """Run the full Theorem 1 algorithm on simulated MPC clusters.
 
     ``on_uncovered`` defaults to ``"singleton"`` here (rather than the
     paper's report-failure) so sweeps never abort; pass ``"error"`` for
-    the verbatim semantics.
+    the verbatim semantics.  Simulator knobs bundle into ``config=``
+    and apply to both stages; the resulting tree pins the stage-1 FJLT
+    into its maintenance plan, so incremental inserts
+    (:meth:`repro.tree.hst.HSTree.insert`) accept *raw* ``d``-dimensional
+    points and project them through the identical seeded transform.
     """
+    cfg = fold_legacy_kwargs(
+        "theorem1_pipeline",
+        config,
+        eps=eps,
+        memory_slack=memory_slack,
+        executor=executor,
+    )
     pts = check_points(points, min_points=2)
     n, d = pts.shape
     require(0 < xi < 0.5, f"xi must lie in (0, 0.5), got {xi}")
@@ -123,9 +143,7 @@ def theorem1_pipeline(
         # small n the Θ(ξ^{-2} log n) target can exceed d, so clip.
         k = min(target_dimension(n, xi), d)
 
-    embedded, fjlt_cluster = mpc_fjlt(
-        pts, xi=xi, k=k, seed=r_fjlt, eps=eps, memory_slack=memory_slack
-    )
+    embedded, fjlt_cluster = mpc_fjlt(pts, xi=xi, k=k, seed=r_fjlt, config=cfg)
     jl_min, jl_max = _jl_ratio_range(pts, embedded, seed=r_pairs)
 
     if r is None:
@@ -136,17 +154,24 @@ def theorem1_pipeline(
     result: MPCEmbeddingResult = mpc_tree_embedding(
         embedded,
         r,
-        eps=eps,
-        memory_slack=memory_slack,
         num_grids=num_grids,
         delta_fail=delta_fail,
         on_uncovered=on_uncovered,
         weight_scale=1.0 / (1.0 - xi),
         seed=r_embed,
+        config=cfg,
     )
 
+    tree = result.tree
+    if tree.plan is not None:
+        # Pin the realized FJLT (the exact params stage 1 broadcast) so
+        # incremental inserts project raw points through the same
+        # transform the resident points went through.
+        fjlt_params = dict(fjlt_cluster.machine(0).get("fjlt/params"))
+        tree = replace(tree, plan=replace(tree.plan, transform=fjlt_params))
+
     return PipelineResult(
-        tree=result.tree,
+        tree=tree,
         embedded=embedded,
         r=r,
         xi=xi,

@@ -16,17 +16,18 @@ two arms are directly comparable in the T3 benchmark.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.jl.dense import GaussianJL
 from repro.mpc.accounting import fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
-from repro.mpc.config import SimulationConfig, resolve_config
+from repro.mpc.config import SimulationConfig, fold_legacy_kwargs
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
+from repro.results import TransformResult
 from repro.util.rng import SeedLike, as_generator, derive_seed
 from repro.util.validation import check_points, require
 
@@ -54,17 +55,18 @@ def mpc_dense_jl(
     memory_slack: float = 8.0,
     executor: ExecutorLike = None,
     config: Optional[SimulationConfig] = None,
-) -> Tuple[np.ndarray, Cluster]:
+) -> TransformResult:
     """Apply a dense Gaussian JL projection on the MPC simulator.
 
-    Returns ``(embedded, cluster)``; ``cluster.report()`` carries the
+    Returns a :class:`~repro.results.TransformResult` (unpacks as the
+    historical ``(embedded, cluster)`` pair); ``.report`` carries the
     accounting — note ``peak_total_resident_words`` includes one full
     ``k x d`` matrix per machine, the cost Theorem 3 removes.  All
     simulator knobs can also arrive bundled as a
     :class:`~repro.mpc.config.SimulationConfig` via ``config=``.
     """
-    cfg = resolve_config(
-        config, eps=eps, memory_slack=memory_slack, executor=executor
+    cfg = fold_legacy_kwargs(
+        "mpc_dense_jl", config, eps=eps, memory_slack=memory_slack, executor=executor
     )
     pts = check_points(points, min_points=1)
     n, d = pts.shape
@@ -93,4 +95,4 @@ def mpc_dense_jl(
     ]
     embedded = np.concatenate(shards, axis=0)
     require(embedded.shape[0] == n, "dense JL lost rows — shard accounting bug")
-    return embedded, cluster
+    return TransformResult(embedded=embedded, cluster=cluster)

@@ -24,19 +24,20 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.jl.fjlt import FJLT
 from repro.jl.hadamard import fwht_inplace
-from repro.mpc.accounting import CostReport, fully_scalable_local_memory, machines_for
+from repro.mpc.accounting import fully_scalable_local_memory, machines_for
 from repro.mpc.cluster import Cluster, RoundContext
-from repro.mpc.config import SimulationConfig, resolve_config
+from repro.mpc.config import SimulationConfig, fold_legacy_kwargs
 from repro.mpc.executor import ExecutorLike
 from repro.mpc.faults import FaultPlan, RecoveryLike
 from repro.mpc.machine import Machine
 from repro.mpc.primitives import broadcast, scatter_rows
+from repro.results import FWHTResult, TransformResult
 from repro.util.rng import SeedLike, as_generator, derive_seed
 from repro.util.validation import check_points, check_power_of_two, require
 
@@ -81,12 +82,14 @@ def mpc_fjlt(
     faults: Optional[FaultPlan] = None,
     recovery: RecoveryLike = None,
     config: Optional[SimulationConfig] = None,
-) -> Tuple[np.ndarray, Cluster]:
+) -> TransformResult:
     """Run Algorithm 3 on a (possibly caller-provided) cluster.
 
-    Returns ``(embedded, cluster)`` where ``embedded`` is the ``(n, k)``
-    output collected god-view style and ``cluster.report()`` carries the
-    round/space accounting that Theorem 3 bounds.
+    Returns a :class:`~repro.results.TransformResult` whose
+    ``.embedded`` is the ``(n, k)`` output collected god-view style and
+    whose ``.report``/``.metrics`` carry the round/space accounting that
+    Theorem 3 bounds; it unpacks as the historical ``(embedded,
+    cluster)`` pair.
 
     When ``cluster`` is None one is sized automatically: local memory
     ``memory_slack * (n d)^eps`` words and enough machines to hold the
@@ -100,7 +103,8 @@ def mpc_fjlt(
     :class:`~repro.mpc.config.SimulationConfig` via ``config=``; setting
     the same axis both ways raises ``ValueError``.
     """
-    cfg = resolve_config(
+    cfg = fold_legacy_kwargs(
+        "mpc_fjlt",
         config,
         eps=eps,
         memory_slack=memory_slack,
@@ -145,7 +149,7 @@ def mpc_fjlt(
     ]
     embedded = np.concatenate(out_shards, axis=0)
     require(embedded.shape[0] == n, "FJLT output lost rows — shard accounting bug")
-    return embedded, cluster
+    return TransformResult(embedded=embedded, cluster=cluster)
 
 
 def _group_hadamard_signs(g: int) -> np.ndarray:
@@ -201,7 +205,8 @@ def mpc_blocked_fwht(
     local_memory: Optional[int] = None,
     normalize: bool = True,
     executor: ExecutorLike = None,
-) -> Tuple[np.ndarray, CostReport]:
+    config: Optional[SimulationConfig] = None,
+) -> FWHTResult:
     """Distributed FWHT over coordinate-sharded vectors.
 
     ``vectors`` is ``(batch, d)`` with ``d`` and ``num_machines`` powers
@@ -210,10 +215,12 @@ def mpc_blocked_fwht(
     butterfly stages run for free inside blocks; the ``log2(m)`` cross
     stages run ``radix_bits`` at a time via group all-to-alls.
 
-    Returns the transformed vectors and the cluster's cost report —
-    ``rounds == ceil(log2(m)/radix_bits)`` plus the final no-op, which the
-    cost benchmark asserts.
+    Returns a :class:`~repro.results.FWHTResult` (unpacks as the
+    historical ``(transformed, report)`` pair) whose report has
+    ``rounds == ceil(log2(m)/radix_bits)`` plus the final no-op, which
+    the cost benchmark asserts.
     """
+    cfg = fold_legacy_kwargs("mpc_blocked_fwht", config, executor=executor)
     vec = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
     batch, d = vec.shape
     check_power_of_two("d", d)
@@ -227,7 +234,7 @@ def mpc_blocked_fwht(
         # Group members hold 2^g blocks of the whole batch simultaneously.
         local_memory = 8 * (1 << radix_bits) * block * batch + 256
 
-    cluster = Cluster(num_machines, local_memory, strict=True, executor=executor)
+    cluster = Cluster.from_config(num_machines, local_memory, cfg)
     for j in range(num_machines):
         cluster.load(j, "fwht/block", vec[:, j * block : (j + 1) * block].copy())
 
@@ -258,4 +265,4 @@ def mpc_blocked_fwht(
     )
     if normalize:
         result = result / math.sqrt(d)
-    return result, cluster.report()
+    return FWHTResult(transformed=result, report=cluster.report(), cluster=cluster)

@@ -188,6 +188,17 @@ class CostReport:
     budget_splits: int = field(default=0, compare=False)
     oversize_messages: int = field(default=0, compare=False)
     budget_log: List["BudgetRecord"] = field(default_factory=list, compare=False)
+    # -- incremental maintenance layer (see repro.tree.dynamic) ----------
+    # Update-cost accounting for dynamic HST mutations applied through
+    # the serving entry points (repro.serve.maintenance): how many
+    # insert/delete mutations this report covers and how much of the
+    # tree they re-partitioned.  Same convention as the other layers —
+    # recorded beside the model counters, ``compare=False``, read via
+    # :meth:`update_dict` — so a cluster that served mutations still
+    # satisfies the bit-identical core accounting contract.
+    updates_applied: int = field(default=0, compare=False)
+    update_cells_touched: int = field(default=0, compare=False)
+    update_levels_repartitioned: int = field(default=0, compare=False)
 
     @property
     def total_space(self) -> int:
@@ -274,6 +285,20 @@ class CostReport:
             "oversize_messages": self.oversize_messages,
         }
 
+    def update_dict(self) -> Dict[str, int]:
+        """Incremental-maintenance counters (dynamic HST updates).
+
+        All zero unless mutations ran through
+        :mod:`repro.serve.maintenance`.  ``update_cells_touched`` /
+        ``update_levels_repartitioned`` sum the per-mutation
+        :class:`~repro.tree.dynamic.UpdateReport` numbers.
+        """
+        return {
+            "updates_applied": self.updates_applied,
+            "update_cells_touched": self.update_cells_touched,
+            "update_levels_repartitioned": self.update_levels_repartitioned,
+        }
+
     def merged_with(self, other: "CostReport") -> "CostReport":
         """Combine two sequential computations (rounds add, peaks max).
 
@@ -335,4 +360,11 @@ class CostReport:
             replace(rec, round_index=rec.round_index + shift)
             for rec in other.budget_log
         ]
+        merged.updates_applied = self.updates_applied + other.updates_applied
+        merged.update_cells_touched = (
+            self.update_cells_touched + other.update_cells_touched
+        )
+        merged.update_levels_repartitioned = (
+            self.update_levels_repartitioned + other.update_levels_repartitioned
+        )
         return merged

@@ -45,6 +45,7 @@ Field semantics:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional
 
@@ -60,7 +61,7 @@ from repro.mpc.faults import (
 )
 from repro.mpc.metrics import MetricsLike, get_metrics_log
 
-__all__ = ["SimulationConfig", "resolve_config"]
+__all__ = ["SimulationConfig", "fold_legacy_kwargs", "resolve_config"]
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,38 @@ def _is_set(name: str, value: Any) -> bool:
     if default is None:
         return value is not None
     return bool(value != default)
+
+
+def fold_legacy_kwargs(
+    entry: str,
+    config: Optional[SimulationConfig] = None,
+    **legacy: Any,
+) -> SimulationConfig:
+    """:func:`resolve_config` plus the shared deprecation warning.
+
+    The one fold-in helper every ``mpc_*`` entry point funnels its
+    per-knob simulator kwargs (``eps=``, ``executor=``, ``faults=``,
+    ...) through: any knob set away from its default emits a single
+    ``DeprecationWarning`` naming the entry point and the offending
+    kwargs, then folds into the config exactly like
+    :func:`resolve_config` (including the both-set ``ValueError``).
+    The legacy kwargs keep working for now — see docs/API.md
+    ("Deprecation policy for legacy per-knob kwargs") for the timeline.
+    """
+    set_names = sorted(
+        name for name, value in legacy.items()
+        if name in _FIELD_DEFAULTS and _is_set(name, value)
+    )
+    if set_names:
+        warnings.warn(
+            f"{entry}: per-knob simulator keyword(s) "
+            f"{', '.join(repr(n) for n in set_names)} are deprecated; "
+            "bundle them in config=SimulationConfig(...) instead "
+            "(docs/API.md, deprecation policy)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return resolve_config(config, **legacy)
 
 
 def resolve_config(

@@ -37,7 +37,13 @@ __all__ = [
 #: Bump when the JSONL record layout changes incompatibly.
 #: v2 added the hop-level fault fields (``hop_faults_injected``,
 #: ``hop_retries``, ``speculative_wins``, ``deadline_misses``).
-METRICS_SCHEMA_VERSION = 2
+#: v3 added the serving fields (``queries_served``, ``query_groups``,
+#: ``serve_mutations``, ``serve_latency_p50_ms``,
+#: ``serve_latency_p99_ms``, ``update_cells_touched``,
+#: ``update_levels_repartitioned``) — all defaulted, recorded by
+#: :class:`repro.serve.service.EmbeddingService` on its synthetic
+#: per-batch rows and left at defaults on ordinary compute rounds.
+METRICS_SCHEMA_VERSION = 3
 
 #: Field name -> (type tag, unit, when/what).  The single source of truth
 #: for the JSONL layout: ``validate_metrics_dict`` checks records against
@@ -136,6 +142,41 @@ METRICS_SCHEMA: Dict[str, "tuple[str, str, str]"] = {
         "pickle bytes returned from workers this round",
     ),
     "wall_clock_seconds": ("float", "seconds", "executor wall-clock for the round"),
+    "queries_served": (
+        "int",
+        "count",
+        "queries answered in this serving batch (0 on compute rounds)",
+    ),
+    "query_groups": (
+        "int",
+        "count",
+        "broadcast groups the batch coalesced into (shared-cell queries)",
+    ),
+    "serve_mutations": (
+        "int",
+        "count",
+        "insert/delete mutations applied in this serving batch",
+    ),
+    "serve_latency_p50_ms": (
+        "float",
+        "ms",
+        "median enqueue-to-answer latency over the batch",
+    ),
+    "serve_latency_p99_ms": (
+        "float",
+        "ms",
+        "p99 enqueue-to-answer latency over the batch",
+    ),
+    "update_cells_touched": (
+        "int",
+        "count",
+        "tree cells re-partitioned by this batch's mutations",
+    ),
+    "update_levels_repartitioned": (
+        "int",
+        "count",
+        "tree levels re-partitioned by this batch's mutations",
+    ),
 }
 
 
@@ -176,6 +217,13 @@ class RoundMetrics:
     ipc_bytes_shipped: int = 0
     ipc_bytes_returned: int = 0
     wall_clock_seconds: float = 0.0
+    queries_served: int = 0
+    query_groups: int = 0
+    serve_mutations: int = 0
+    serve_latency_p50_ms: float = 0.0
+    serve_latency_p99_ms: float = 0.0
+    update_cells_touched: int = 0
+    update_levels_repartitioned: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat JSON-ready dict, schema-stamped."""
@@ -269,6 +317,11 @@ class MetricsLog:
                 m.ipc_bytes_shipped + m.ipc_bytes_returned for m in self.rounds
             ),
             "wall_clock_seconds": sum(m.wall_clock_seconds for m in self.rounds),
+            "queries_served": sum(m.queries_served for m in self.rounds),
+            "serve_mutations": sum(m.serve_mutations for m in self.rounds),
+            "update_cells_touched": sum(
+                m.update_cells_touched for m in self.rounds
+            ),
         }
 
     def to_jsonl(self, path: "str | Any") -> None:

@@ -181,6 +181,63 @@ def hybrid_assign(
     return HybridAssignment(assignments, w, r)
 
 
+def ballpart_path_keys(
+    points: np.ndarray,
+    shifts: np.ndarray,
+    scales: np.ndarray,
+    *,
+    cell_factor: float = 4.0,
+    offset: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """BallPart path keys for every point at every level (Algorithm 2).
+
+    ``points`` is an ``(m, r*k)`` bucket-padded shard, ``shifts`` the
+    ``(L, r, U, k)`` grid draws and ``scales`` the ``(L,)`` schedule.
+    Returns ``(keys, uncovered)`` where ``keys`` has shape
+    ``(L, m, r*(k+1))`` — per level, ``r`` blocks of (grid id, cell
+    coords) — and ``uncovered`` marks points missed by every grid in at
+    least one (level, bucket).  Uncovered slots carry the globally
+    unique negative key ``-(offset + local index + 1)`` so factorization
+    gives them singleton parts.
+
+    Each point's keys depend only on its own coordinates (plus the shared
+    shifts/scales), which is what makes incremental maintenance possible:
+    :mod:`repro.tree.dynamic` re-runs this kernel for inserted points
+    only and reuses cached keys for the rest, and the MPC build
+    (:func:`repro.core.mpc_embedding.mpc_tree_embedding`) runs it
+    per-shard inside the ballpart round — both paths share this one
+    implementation, which is the root of the dynamic-vs-fresh
+    bit-identity guarantee.
+    """
+    shard = np.asarray(points, dtype=np.float64)
+    num_levels, r, _, k = shifts.shape
+    m_rows = shard.shape[0]
+    require(
+        shard.ndim == 2 and shard.shape[1] == r * k,
+        f"shard must be (m, r*k) = (m, {r * k}), got {shard.shape}",
+    )
+    keys = np.empty((num_levels, m_rows, r * (k + 1)), dtype=np.int64)
+    uncovered_any = np.zeros(m_rows, dtype=bool)
+    for lvl in range(num_levels):
+        w = float(scales[lvl])
+        for j in range(r):
+            block = shard[:, j * k : (j + 1) * k]
+            assignment = assign_balls(
+                block, w, shifts[lvl, j], cell_factor=cell_factor
+            )
+            col = j * (k + 1)
+            keys[lvl, :, col] = assignment.grid_index
+            keys[lvl, :, col + 1 : col + 1 + k] = assignment.cell_index
+            miss = assignment.uncovered
+            if miss.any():
+                uncovered_any |= miss
+                # Globally unique negative key (paper: failure; recorded
+                # so the driver can honor on_uncovered).
+                keys[lvl, miss, col] = -1
+                keys[lvl, miss, col + 1] = -(offset + np.flatnonzero(miss) + 1)
+    return keys, uncovered_any
+
+
 def _combine_bucket_labels(assignment: HybridAssignment) -> np.ndarray:
     """Join per-bucket assignments into hybrid part labels in one pass.
 

@@ -1,0 +1,159 @@
+"""Typed result objects shared by every ``mpc_*`` entry point.
+
+Historically each entry point grew its own ad-hoc return shape —
+``mpc_tree_embedding`` a bespoke dataclass, ``mpc_fjlt`` /
+``mpc_dense_jl`` bare ``(array, cluster)`` tuples, ``mpc_blocked_fwht``
+an ``(array, report)`` tuple.  This module normalizes them: every entry
+point returns a dataclass with the same three attributes where they
+apply —
+
+* ``.tree`` — the structural output (``None`` for transforms);
+* ``.report`` — the :class:`~repro.mpc.accounting.CostReport`;
+* ``.metrics`` — the attached :class:`~repro.mpc.metrics.MetricsLog`
+  (or ``None`` when observability was off) —
+
+plus ``__iter__`` so historical tuple unpacking (``embedded, cluster =
+mpc_fjlt(...)``) keeps working unchanged.  See docs/API.md ("Result
+objects") for the full shape table and the deprecation policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.mpc.accounting import CostReport
+from repro.mpc.metrics import MetricsLog
+from repro.tree.hst import HSTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import weight
+    from repro.mpc.cluster import Cluster
+    from repro.tree.dynamic import UpdateReport
+
+__all__ = [
+    "EmbeddingResult",
+    "TransformResult",
+    "FWHTResult",
+    "DynamicUpdateResult",
+    "QueryResult",
+]
+
+
+def _cluster_metrics(cluster: "Optional[Cluster]") -> Optional[MetricsLog]:
+    return cluster.metrics if cluster is not None else None
+
+
+@dataclass
+class EmbeddingResult:
+    """Output of :func:`repro.core.mpc_embedding.mpc_tree_embedding`.
+
+    ``r`` / ``num_grids`` / ``scales`` record the realized parameters
+    (needed to reproduce the build); ``cluster`` is the simulator the
+    build ran on, kept alive so serving layers can reuse it.
+    """
+
+    tree: HSTree
+    report: CostReport
+    r: int
+    num_grids: int
+    scales: np.ndarray
+    cluster: "Cluster"
+
+    @property
+    def rounds(self) -> int:
+        return self.report.rounds
+
+    @property
+    def metrics(self) -> Optional[MetricsLog]:
+        return _cluster_metrics(self.cluster)
+
+    def __iter__(self) -> Iterator:
+        """Tuple back-compat: ``tree, report = mpc_tree_embedding(...)``."""
+        return iter((self.tree, self.report))
+
+
+@dataclass
+class TransformResult:
+    """Output of ``mpc_fjlt`` / ``mpc_dense_jl``.
+
+    Unpacks as the historical ``(embedded, cluster)`` pair.
+    """
+
+    embedded: np.ndarray
+    cluster: "Cluster"
+    tree: Optional[HSTree] = None
+
+    @property
+    def report(self) -> CostReport:
+        return self.cluster.report()
+
+    @property
+    def metrics(self) -> Optional[MetricsLog]:
+        return _cluster_metrics(self.cluster)
+
+    def __iter__(self) -> Iterator:
+        """Tuple back-compat: ``embedded, cluster = mpc_fjlt(...)``."""
+        return iter((self.embedded, self.cluster))
+
+
+@dataclass
+class FWHTResult:
+    """Output of ``mpc_blocked_fwht``; unpacks as ``(transformed, report)``."""
+
+    transformed: np.ndarray
+    report: CostReport
+    cluster: "Optional[Cluster]" = None
+    tree: Optional[HSTree] = None
+
+    @property
+    def metrics(self) -> Optional[MetricsLog]:
+        return _cluster_metrics(self.cluster)
+
+    def __iter__(self) -> Iterator:
+        return iter((self.transformed, self.report))
+
+
+@dataclass
+class DynamicUpdateResult:
+    """Output of ``mpc_dynamic_insert`` / ``mpc_dynamic_delete``.
+
+    ``tree`` is the maintained tree after the mutation (carrying its
+    refreshed :class:`~repro.tree.dynamic.MaintenancePlan`); ``update``
+    is the per-mutation cost accounting (cells touched, levels
+    re-partitioned); ``report`` the cumulative cluster report with the
+    update layer folded in (``CostReport.update_dict()``).
+    """
+
+    tree: HSTree
+    update: "UpdateReport"
+    report: CostReport
+    cluster: "Cluster"
+
+    @property
+    def metrics(self) -> Optional[MetricsLog]:
+        return _cluster_metrics(self.cluster)
+
+    def __iter__(self) -> Iterator:
+        return iter((self.tree, self.update))
+
+
+@dataclass
+class QueryResult:
+    """One answered query from :class:`repro.serve.service.EmbeddingService`.
+
+    ``kind`` is ``"nearest"`` / ``"range"`` / ``"distance"``; exactly
+    the fields that apply to the kind are populated (`neighbor`/`distance`
+    for nearest, ``indices`` for range, ``distance`` for distance).
+    ``version`` is the tree version the answer was computed against and
+    ``latency_ms`` the measured enqueue-to-answer latency.
+    """
+
+    kind: str
+    source: int
+    distance: Optional[float] = None
+    neighbor: Optional[int] = None
+    indices: Optional[np.ndarray] = field(default=None, repr=False)
+    version: int = 0
+    latency_ms: float = 0.0

@@ -1,0 +1,21 @@
+"""Serving layer: dynamic HST maintenance + a long-lived query service.
+
+Two surfaces:
+
+* :mod:`repro.serve.maintenance` — ``mpc_dynamic_insert`` /
+  ``mpc_dynamic_delete``: constant-round MPC entry points that mutate an
+  existing tree through its :class:`~repro.tree.dynamic.MaintenancePlan`
+  (bit-identical to a fresh build on the final point set);
+* :mod:`repro.serve.service` — :class:`EmbeddingService`: an async
+  batched query façade over a long-lived cluster, coalescing concurrent
+  queries by broadcast-grouping and recording per-batch latency into a
+  schema-v3 :class:`~repro.mpc.metrics.MetricsLog`.
+
+See docs/SERVING.md for the full API, batching semantics, and the
+bit-identity preconditions.
+"""
+
+from repro.serve.maintenance import mpc_dynamic_delete, mpc_dynamic_insert
+from repro.serve.service import EmbeddingService
+
+__all__ = ["EmbeddingService", "mpc_dynamic_delete", "mpc_dynamic_insert"]

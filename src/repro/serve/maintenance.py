@@ -1,0 +1,290 @@
+"""Constant-round MPC entry points for dynamic HST mutations.
+
+``mpc_dynamic_insert`` runs the hybrid-partition kernel for the inserted
+points *in the model* — the new points are scattered, the build's
+``embed/grids`` broadcast state is reused (re-broadcast only onto a
+fresh cluster), and one compute round produces their path keys — then
+merges god-side through :func:`repro.tree.dynamic.finish_insert`, the
+same merge the local :meth:`~repro.tree.hst.HSTree.insert` uses, so both
+paths produce bit-identical trees.
+
+``mpc_dynamic_delete`` needs no geometric work: the deleted points'
+cached keys are scattered and one compute round identifies the touched
+cells per level; the god-side rebuild drops their key columns and
+re-factorizes (:func:`repro.tree.dynamic.apply_delete`).  The in-model
+touched-cell count is cross-checked against the god-side accounting.
+
+Both return a :class:`~repro.results.DynamicUpdateResult`; the attached
+:class:`~repro.mpc.accounting.CostReport` carries the cumulative update
+layer (``report.update_dict()``) for the cluster — mutation totals
+persist in god state, so a long-lived serving cluster accumulates them
+across calls.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpc.accounting import fully_scalable_local_memory, machines_for
+from repro.mpc.cluster import Cluster, RoundContext
+from repro.mpc.config import SimulationConfig, fold_legacy_kwargs
+from repro.mpc.executor import ExecutorLike
+from repro.mpc.machine import Machine
+from repro.mpc.primitives import broadcast, peek, scatter_rows
+from repro.partition.hybrid import ballpart_path_keys
+from repro.results import DynamicUpdateResult
+from repro.tree.dynamic import (
+    MaintenancePlan,
+    UpdateReport,
+    _project_new_points,
+    apply_delete,
+    finish_insert,
+)
+from repro.tree.hst import HSTree
+from repro.util.validation import check_points, require
+
+__all__ = ["mpc_dynamic_insert", "mpc_dynamic_delete"]
+
+#: God-state key holding cumulative mutation totals for a cluster.
+_TOTALS_KEY = "serve/update_totals"
+
+
+def _insert_ballpart_step(machine: Machine, ctx: RoundContext) -> None:
+    """Path keys for this machine's shard of inserted points.
+
+    Identical kernel to the build's ballpart round
+    (:func:`repro.partition.hybrid.ballpart_path_keys`), reading the
+    same ``embed/grids`` broadcast state.
+    """
+    params = machine.get("embed/grids")
+    shard = machine.get("serve/in")
+    if shard is None or shard.shape[0] == 0:
+        machine.put("serve/uncovered", 0)
+        return
+    keys, uncovered_any = ballpart_path_keys(
+        shard,
+        params["shifts"],
+        params["scales"],
+        cell_factor=params["cell_factor"],
+        offset=int(machine.get("serve/in/offset")),
+    )
+    machine.put("serve/paths", keys)
+    machine.put("serve/uncovered", int(uncovered_any.sum()))
+    machine.pop("serve/in")
+
+
+def _delete_touched_step(
+    machine: Machine, ctx: RoundContext, *, num_levels: int, width: int
+) -> None:
+    """Distinct touched key-rows per level for this shard of deletions."""
+    shard = machine.get("serve/del")
+    if shard is None or shard.shape[0] == 0:
+        return
+    keys = shard.reshape(shard.shape[0], num_levels, width)
+    machine.put(
+        "serve/touched",
+        [np.unique(keys[:, lvl, :], axis=0) for lvl in range(num_levels)],
+    )
+    machine.pop("serve/del")
+
+
+def _require_plan(tree: HSTree) -> MaintenancePlan:
+    require(
+        tree.plan is not None,
+        "tree carries no MaintenancePlan — dynamic entry points need a "
+        "god-assembled mpc_tree_embedding build",
+    )
+    return tree.plan
+
+
+def _maintenance_cluster(
+    plan: MaintenancePlan, num_points: int, cfg: SimulationConfig
+) -> Cluster:
+    """Size a cluster for a mutation batch of ``num_points`` points.
+
+    Every machine must hold the grids broadcast plus its shard's rows
+    and their full key paths.
+    """
+    width = plan.key_width
+    grids_words = int(plan.shifts.size) + len(plan.scales) + 32
+    per_point = plan.r * plan.k + plan.num_levels * width + 16
+    base_local = fully_scalable_local_memory(
+        max(num_points, 2), max(plan.dim, width), cfg.eps, slack=cfg.memory_slack
+    )
+    machines = machines_for(
+        num_points * per_point, max(base_local, grids_words + per_point)
+    )
+    shard_rows = -(-num_points // machines)
+    local = max(base_local, grids_words + 3 * shard_rows * per_point + 4096)
+    return Cluster.from_config(machines, local, cfg)
+
+
+def _ensure_grids(cluster: Cluster, plan: MaintenancePlan) -> None:
+    """Re-broadcast the build's grid state onto clusters lacking it."""
+    if peek(cluster, cluster.num_machines - 1, "embed/grids") is None:
+        broadcast(cluster, plan.grids_payload(), "embed/grids", root=0)
+
+
+def _bump_totals(cluster: Cluster, update: UpdateReport) -> Dict[str, int]:
+    """Accumulate mutation totals in god state; returns the new totals."""
+    totals = peek(cluster, 0, _TOTALS_KEY) or {
+        "updates_applied": 0,
+        "update_cells_touched": 0,
+        "update_levels_repartitioned": 0,
+    }
+    totals = {
+        "updates_applied": totals["updates_applied"] + 1,
+        "update_cells_touched": totals["update_cells_touched"]
+        + update.cells_touched,
+        "update_levels_repartitioned": totals["update_levels_repartitioned"]
+        + update.levels_repartitioned,
+    }
+    cluster.load(0, _TOTALS_KEY, totals)
+    return totals
+
+
+def _result(
+    cluster: Cluster, tree: HSTree, update: UpdateReport
+) -> DynamicUpdateResult:
+    totals = _bump_totals(cluster, update)
+    report = cluster.report()
+    report.updates_applied = totals["updates_applied"]
+    report.update_cells_touched = totals["update_cells_touched"]
+    report.update_levels_repartitioned = totals["update_levels_repartitioned"]
+    return DynamicUpdateResult(
+        tree=tree, update=update, report=report, cluster=cluster
+    )
+
+
+def mpc_dynamic_insert(
+    tree: HSTree,
+    new_points: np.ndarray,
+    *,
+    cluster: Optional[Cluster] = None,
+    eps: float = 0.6,
+    memory_slack: float = 8.0,
+    executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
+) -> DynamicUpdateResult:
+    """Insert points into a maintained tree in O(1) MPC rounds.
+
+    One broadcast (skipped when ``cluster`` already holds the build's
+    ``embed/grids`` state — e.g. the cluster ``mpc_tree_embedding``
+    returned) plus one ballpart compute round for the new points only;
+    the merge is god-side and shared with :meth:`HSTree.insert`, so the
+    result is bit-identical to a fresh build on the final point set.
+    """
+    cfg = fold_legacy_kwargs(
+        "mpc_dynamic_insert",
+        config,
+        eps=eps,
+        memory_slack=memory_slack,
+        executor=executor,
+    )
+    plan = _require_plan(tree)
+    raw = check_points(new_points, min_points=1)
+    padded = _project_new_points(plan, raw)
+
+    if cluster is None:
+        cluster = _maintenance_cluster(plan, raw.shape[0], cfg)
+    else:
+        require(
+            cfg.faults is None and cfg.recovery is None,
+            "pass faults/recovery when constructing the cluster, not "
+            "alongside a caller-provided one",
+        )
+
+    scatter_rows(cluster, padded, "serve/in")
+    _ensure_grids(cluster, plan)
+    cluster.round(_insert_ballpart_step, label="dyn-insert-ballpart")
+
+    pieces: List[Tuple[int, np.ndarray]] = []
+    uncovered = 0
+    for machine in cluster:
+        keys = machine.get("serve/paths")
+        if keys is not None:
+            pieces.append((int(machine.get("serve/in/offset")), keys))
+            machine.pop("serve/paths")
+        uncovered += int(machine.get("serve/uncovered") or 0)
+    pieces.sort(key=lambda item: item[0])
+    new_keys = np.concatenate([piece for _, piece in pieces], axis=1)
+
+    new_tree, update = finish_insert(tree, raw, new_keys, uncovered)
+    return _result(cluster, new_tree, update)
+
+
+def mpc_dynamic_delete(
+    tree: HSTree,
+    indices: Any,
+    *,
+    cluster: Optional[Cluster] = None,
+    eps: float = 0.6,
+    memory_slack: float = 8.0,
+    executor: ExecutorLike = None,
+    config: Optional[SimulationConfig] = None,
+) -> DynamicUpdateResult:
+    """Delete points from a maintained tree in O(1) MPC rounds.
+
+    The deleted points' cached path keys are scattered and one compute
+    round reports the touched cells per level (cross-checked against
+    the god-side accounting); the rebuild drops their key columns and
+    re-factorizes via :func:`repro.tree.dynamic.apply_delete`.
+    """
+    cfg = fold_legacy_kwargs(
+        "mpc_dynamic_delete",
+        config,
+        eps=eps,
+        memory_slack=memory_slack,
+        executor=executor,
+    )
+    plan = _require_plan(tree)
+    idx = np.unique(np.asarray(indices, dtype=np.int64))
+    require(idx.size > 0, "need at least one index to delete")
+    require(
+        bool((idx >= 0).all()) and bool((idx < tree.n).all()),
+        f"delete indices out of range [0, {tree.n})",
+    )
+
+    num_levels, width = plan.num_levels, plan.key_width
+    removed = plan.path_keys[:, idx, :]
+    flat = np.ascontiguousarray(removed.transpose(1, 0, 2)).reshape(
+        idx.size, num_levels * width
+    )
+
+    if cluster is None:
+        cluster = _maintenance_cluster(plan, int(idx.size), cfg)
+    else:
+        require(
+            cfg.faults is None and cfg.recovery is None,
+            "pass faults/recovery when constructing the cluster, not "
+            "alongside a caller-provided one",
+        )
+
+    scatter_rows(cluster, flat, "serve/del")
+    cluster.round(
+        partial(_delete_touched_step, num_levels=num_levels, width=width),
+        label="dyn-delete-touched",
+    )
+
+    model_cells = 0
+    for lvl in range(num_levels):
+        shards = [
+            machine.get("serve/touched")[lvl]
+            for machine in cluster
+            if machine.get("serve/touched") is not None
+        ]
+        if shards:
+            model_cells += int(np.unique(np.concatenate(shards), axis=0).shape[0])
+    for machine in cluster:
+        if machine.get("serve/touched") is not None:
+            machine.pop("serve/touched")
+
+    new_tree, update = apply_delete(tree, idx)
+    require(
+        model_cells == update.cells_touched,
+        "in-model touched-cell count diverged from god-side accounting",
+    )
+    return _result(cluster, new_tree, update)

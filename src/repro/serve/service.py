@@ -1,0 +1,482 @@
+"""A long-lived embedding service with an async batched query API.
+
+:class:`EmbeddingService` wraps one :class:`~repro.mpc.cluster.Cluster`
+for its whole lifetime: the tree is built once
+(:func:`~repro.core.mpc_embedding.mpc_tree_embedding`), queries are
+answered from per-version :class:`~repro.tree.queries.TreeQueryIndex`
+structures, and mutations run through the dynamic entry points
+(:mod:`repro.serve.maintenance`) on the same cluster.
+
+**Batching.**  Requests enqueue into a FIFO; a single drain task
+processes it.  Concurrent queries coalesce into one batch (up to
+``max_batch``) answered by the batch kernels, which group queries by
+their containing cell at the answer level — broadcast-grouping: queries
+resolved in the same cell share one (simulated) broadcast, and the
+per-batch ``query_groups`` metric records how much coalescing happened.
+Mutations are barriers: a mutation waits for queries ahead of it, runs
+alone, bumps the tree version, and later queries see the new tree.
+Answers are *exact* per the offline functions in
+:mod:`repro.tree.queries` — the loadgen asserts this.
+
+**Observability.**  Every processed batch appends a schema-v3 row to the
+service's :class:`~repro.mpc.metrics.MetricsLog` (shared with the
+build/mutation clusters): ``queries_served``, ``query_groups``,
+``serve_mutations``, latency percentiles over the batch, and the
+update-cost fields.  ``service.report()`` returns the cluster's
+cumulative :class:`~repro.mpc.accounting.CostReport` including the
+update layer (``update_dict()``).
+
+Use it async (``async with EmbeddingService.build(...) as svc``) or
+synchronously: :meth:`start` spins a background event loop thread and
+the ``*_sync`` methods submit onto it, so plain test code (and the
+Hypothesis state machine) can drive the same batching path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.mpc.accounting import CostReport
+from repro.mpc.cluster import Cluster
+from repro.mpc.config import SimulationConfig
+from repro.mpc.metrics import MetricsLog, RoundMetrics
+from repro.results import QueryResult
+from repro.serve.maintenance import mpc_dynamic_delete, mpc_dynamic_insert
+from repro.tree.dynamic import UpdateReport
+from repro.tree.hst import HSTree
+from repro.util.rng import SeedLike
+from repro.util.validation import require
+
+__all__ = ["EmbeddingService"]
+
+
+@dataclass
+class _Request:
+    kind: str  # nearest | range | distance | insert | delete
+    payload: Tuple[Any, ...]
+    future: "asyncio.Future[Any]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.kind in ("insert", "delete")
+
+
+def _percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+class EmbeddingService:
+    """Async batched query/mutation façade over a long-lived cluster."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        r: Optional[int] = None,
+        *,
+        num_grids: Optional[int] = None,
+        min_separation: Optional[float] = None,
+        on_uncovered: str = "singleton",
+        seed: SeedLike = None,
+        max_batch: int = 256,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        cfg = config if config is not None else SimulationConfig()
+        self.metrics: MetricsLog = cfg.metrics if isinstance(
+            cfg.metrics, MetricsLog
+        ) else MetricsLog()
+        cfg = cfg.replace(metrics=self.metrics)
+        self._cfg = cfg
+        self._max_batch = int(max_batch)
+        require(self._max_batch >= 1, "max_batch must be >= 1")
+
+        build = mpc_tree_embedding(
+            points,
+            r,
+            num_grids=num_grids,
+            min_separation=min_separation,
+            on_uncovered=on_uncovered,
+            seed=seed,
+            config=cfg,
+        )
+        require(
+            build.tree.plan is not None,
+            "service requires a god-assembled build (maintenance plan)",
+        )
+        self._tree: HSTree = build.tree
+        self._cluster: Cluster = build.cluster
+        self._build_report: CostReport = build.report
+        self.version: int = 0
+
+        self._pending: Deque[_Request] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._drain_task: Optional["asyncio.Task[None]"] = None
+        self._running = False
+        self._batches_processed = 0
+        self.updates: List[UpdateReport] = []
+        self.query_latencies_ms: List[float] = []
+        # Sync facade state (start()/stop()).
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def tree(self) -> HSTree:
+        """The current tree version (immutable snapshot)."""
+        return self._tree
+
+    @property
+    def n(self) -> int:
+        return self._tree.n
+
+    def report(self) -> CostReport:
+        """Cumulative cluster cost report, update layer included."""
+        return self._cluster.report()
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p99 over every query latency the service measured."""
+        return {
+            "p50_ms": _percentile(self.query_latencies_ms, 50.0),
+            "p99_ms": _percentile(self.query_latencies_ms, 99.0),
+        }
+
+    # -- async lifecycle --------------------------------------------------
+
+    async def __aenter__(self) -> "EmbeddingService":
+        await self.start_async()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close_async()
+
+    async def start_async(self) -> None:
+        """Start the drain task on the running event loop."""
+        require(not self._running, "service already started")
+        self._wake = asyncio.Event()
+        self._running = True
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain_loop()
+        )
+
+    async def close_async(self) -> None:
+        """Stop accepting work, flush the queue, stop the drain task."""
+        if not self._running:
+            return
+        self._running = False
+        assert self._wake is not None
+        self._wake.set()
+        if self._drain_task is not None:
+            await self._drain_task
+            self._drain_task = None
+
+    # -- async API --------------------------------------------------------
+
+    async def query_nearest(self, i: int) -> QueryResult:
+        """Tree-nearest neighbor of resident point ``i`` (exact)."""
+        return await self._submit("nearest", (int(i),))
+
+    async def query_range(self, i: int, radius: float) -> QueryResult:
+        """All resident points within tree-metric ``radius`` of ``i``."""
+        return await self._submit("range", (int(i), float(radius)))
+
+    async def query_distance(self, i: int, j: int) -> QueryResult:
+        """Tree-metric distance between resident points ``i`` and ``j``."""
+        return await self._submit("distance", (int(i), int(j)))
+
+    async def insert(self, points: np.ndarray) -> UpdateReport:
+        """Insert points (barrier; later queries see the new tree)."""
+        return await self._submit("insert", (np.asarray(points, dtype=float),))
+
+    async def delete(self, indices: Any) -> UpdateReport:
+        """Delete points by index (barrier)."""
+        return await self._submit("delete", (np.asarray(indices, dtype=np.int64),))
+
+    # -- sync facade ------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the service on a background event-loop thread."""
+        require(self._loop is None, "service already started")
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(
+            target=loop.run_forever, name="embedding-service", daemon=True
+        )
+        thread.start()
+        asyncio.run_coroutine_threadsafe(self.start_async(), loop).result()
+        self._loop = loop
+        self._thread = thread
+
+    def stop(self) -> None:
+        """Flush and stop the background loop started by :meth:`start`."""
+        if self._loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.close_async(), self._loop).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join()
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "EmbeddingService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _sync(self, coro: Any) -> Any:
+        require(self._loop is not None, "call start() first (sync mode)")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def query_nearest_sync(self, i: int) -> QueryResult:
+        return self._sync(self.query_nearest(i))
+
+    def query_range_sync(self, i: int, radius: float) -> QueryResult:
+        return self._sync(self.query_range(i, radius))
+
+    def query_distance_sync(self, i: int, j: int) -> QueryResult:
+        return self._sync(self.query_distance(i, j))
+
+    def insert_sync(self, points: np.ndarray) -> UpdateReport:
+        return self._sync(self.insert(points))
+
+    def delete_sync(self, indices: Any) -> UpdateReport:
+        return self._sync(self.delete(indices))
+
+    def submit_batch_sync(self, requests: List[Tuple[Any, ...]]) -> List[Any]:
+        """Submit many requests concurrently; returns answers in order.
+
+        Each request is ``(kind, *args)`` with the same kinds/args as the
+        async methods.  All requests enter the queue together, so pure
+        query batches coalesce into single drain batches — the loadgen's
+        closed-loop driver.
+        """
+
+        async def _gather() -> List[Any]:
+            coros = []
+            for kind, *args in requests:
+                method = {
+                    "nearest": self.query_nearest,
+                    "range": self.query_range,
+                    "distance": self.query_distance,
+                    "insert": self.insert,
+                    "delete": self.delete,
+                }[kind]
+                coros.append(method(*args))
+            return list(await asyncio.gather(*coros))
+
+        return self._sync(_gather())
+
+    # -- drain loop -------------------------------------------------------
+
+    async def _submit(self, kind: str, payload: Tuple[Any, ...]) -> Any:
+        require(self._running, "service is not running")
+        assert self._wake is not None
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending.append(_Request(kind, payload, future))
+        self._wake.set()
+        return await future
+
+    async def _drain_loop(self) -> None:
+        assert self._wake is not None
+        while self._running or self._pending:
+            if not self._pending:
+                await self._wake.wait()
+                self._wake.clear()
+                continue
+            # Yield once so every already-scheduled producer lands its
+            # request before the batch is cut.
+            await asyncio.sleep(0)
+            if self._pending[0].is_mutation:
+                self._process_mutation(self._pending.popleft())
+                continue
+            batch: List[_Request] = []
+            while (
+                self._pending
+                and not self._pending[0].is_mutation
+                and len(batch) < self._max_batch
+            ):
+                batch.append(self._pending.popleft())
+            self._process_queries(batch)
+
+    # -- batch processing (synchronous worker code) -----------------------
+
+    def _process_mutation(self, request: _Request) -> None:
+        try:
+            if request.kind == "insert":
+                result = mpc_dynamic_insert(
+                    self._tree, request.payload[0], cluster=self._cluster
+                )
+            else:
+                result = mpc_dynamic_delete(
+                    self._tree, request.payload[0], cluster=self._cluster
+                )
+        except Exception as exc:  # surface to the caller, keep serving
+            request.future.set_exception(exc)
+            return
+        self._tree = result.tree
+        self.version += 1
+        self.updates.append(result.update)
+        latency_ms = (time.perf_counter() - request.enqueued_at) * 1e3
+        self._record_batch(
+            label=f"serve-{request.kind}",
+            mutations=1,
+            latencies=[latency_ms],
+            update=result.update,
+        )
+        request.future.set_result(result.update)
+
+    def _process_queries(self, batch: List[_Request]) -> None:
+        index = self._tree.query_index
+        labels = self._tree.label_matrix
+        thresholds = 2.0 * self._tree.suffix_weights
+        group_keys: List[Tuple[int, int, int]] = []
+        answered = time.perf_counter()
+        latencies: List[float] = []
+
+        by_kind: Dict[str, List[int]] = {}
+        for pos, request in enumerate(batch):
+            by_kind.setdefault(request.kind, []).append(pos)
+
+        results: List[Optional[QueryResult]] = [None] * len(batch)
+        failures: List[Tuple[int, Exception]] = []
+
+        if "nearest" in by_kind:
+            positions = by_kind["nearest"]
+            src = np.array([batch[p].payload[0] for p in positions])
+            try:
+                neighbors, dists = index.nearest_batch(src)
+                # Answer level: the unique level whose threshold equals
+                # the distance (thresholds strictly decrease) — queries
+                # sharing (level, cell) form one broadcast group.
+                lvl = np.searchsorted(-thresholds, -dists, side="left")
+                lvl = np.minimum(lvl, self._tree.num_levels)
+                for k, pos in enumerate(positions):
+                    t = int(lvl[k])
+                    group_keys.append((0, t, int(labels[t, src[k]])))
+                    results[pos] = QueryResult(
+                        kind="nearest",
+                        source=int(src[k]),
+                        distance=float(dists[k]),
+                        neighbor=int(neighbors[k]),
+                        version=self.version,
+                    )
+            except Exception as exc:
+                failures.extend((p, exc) for p in positions)
+
+        if "range" in by_kind:
+            positions = by_kind["range"]
+            src = np.array([batch[p].payload[0] for p in positions])
+            radii = np.array([batch[p].payload[1] for p in positions])
+            try:
+                hits = index.range_batch(src, radii)
+                lvl = np.minimum(
+                    np.searchsorted(-thresholds, -radii, side="left"),
+                    self._tree.num_levels,
+                )
+                for k, pos in enumerate(positions):
+                    group_keys.append((1, int(lvl[k]), int(labels[lvl[k], src[k]])))
+                    results[pos] = QueryResult(
+                        kind="range",
+                        source=int(src[k]),
+                        indices=hits[k],
+                        version=self.version,
+                    )
+            except Exception as exc:
+                failures.extend((p, exc) for p in positions)
+
+        if "distance" in by_kind:
+            positions = by_kind["distance"]
+            src = np.array([batch[p].payload[0] for p in positions])
+            dst = np.array([batch[p].payload[1] for p in positions])
+            try:
+                dists = index.distance_batch(src, dst)
+                lvl = np.minimum(
+                    np.searchsorted(-thresholds, -dists, side="left"),
+                    self._tree.num_levels,
+                )
+                for k, pos in enumerate(positions):
+                    group_keys.append((2, int(lvl[k]), int(labels[lvl[k], src[k]])))
+                    results[pos] = QueryResult(
+                        kind="distance",
+                        source=int(src[k]),
+                        neighbor=int(dst[k]),
+                        distance=float(dists[k]),
+                        version=self.version,
+                    )
+            except Exception as exc:
+                failures.extend((p, exc) for p in positions)
+
+        failed = {p for p, _ in failures}
+        for pos, exc in failures:
+            batch[pos].future.set_exception(exc)
+        for pos, request in enumerate(batch):
+            if pos in failed:
+                continue
+            result = results[pos]
+            assert result is not None
+            latency_ms = (answered - request.enqueued_at) * 1e3
+            result.latency_ms = latency_ms
+            latencies.append(latency_ms)
+            self.query_latencies_ms.append(latency_ms)
+            request.future.set_result(result)
+
+        self._record_batch(
+            label="serve-query",
+            queries=len(batch) - len(failed),
+            groups=len(set(group_keys)),
+            latencies=latencies,
+        )
+
+    def _record_batch(
+        self,
+        *,
+        label: str,
+        queries: int = 0,
+        groups: int = 0,
+        mutations: int = 0,
+        latencies: Optional[List[float]] = None,
+        update: Optional[UpdateReport] = None,
+    ) -> None:
+        lat = latencies or []
+        self.metrics.record(
+            RoundMetrics(
+                round_index=self._batches_processed,
+                label=label,
+                executor=str(self._cfg.executor or "serial"),
+                messages=0,
+                comm_words=0,
+                sent_words=[],
+                recv_words=[],
+                max_sent=0,
+                mean_sent=0.0,
+                max_received=0,
+                mean_received=0.0,
+                imbalance=0.0,
+                max_message_words=0,
+                max_resident_words=0,
+                total_resident_words=0,
+                memory_high_water=0,
+                queries_served=queries,
+                query_groups=groups,
+                serve_mutations=mutations,
+                serve_latency_p50_ms=_percentile(lat, 50.0),
+                serve_latency_p99_ms=_percentile(lat, 99.0),
+                update_cells_touched=update.cells_touched if update else 0,
+                update_levels_repartitioned=(
+                    update.levels_repartitioned if update else 0
+                ),
+            )
+        )
+        self._batches_processed += 1

@@ -7,7 +7,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.partition.base import FlatPartition, refine
+from repro.partition.base import FlatPartition, canonicalize_labels, refine
 from repro.tree.hst import HSTree
 from repro.util.validation import require
 
@@ -125,6 +125,57 @@ def cumulative_refinements_scalar(
             FlatPartition(np.asarray(prev, dtype=np.int64), scale=part.scale)
         )
     return chain
+
+
+def level_rows_from_path_keys(all_keys: np.ndarray) -> List[np.ndarray]:
+    """Factorize per-level path keys into dense per-level label rows.
+
+    ``all_keys`` is ``(L, n, width)`` int64 (one path-key row per point
+    per level, e.g. from
+    :func:`repro.partition.hybrid.ballpart_path_keys`); two points share
+    a level-``l`` cluster iff their key rows at level ``l`` are equal.
+    One ``np.unique`` per level — the god-view assembly of Algorithm 2's
+    "T is implicitly the union of the returned T_i s", shared by the
+    fresh MPC build and the incremental maintenance path so both
+    factorize identically.
+    """
+    keys = np.asarray(all_keys, dtype=np.int64)
+    require(keys.ndim == 3, "path keys must be (L, n, width)")
+    rows: List[np.ndarray] = []
+    for lvl in range(keys.shape[0]):
+        _, labels = np.unique(keys[lvl], axis=0, return_inverse=True)
+        rows.append(labels.astype(np.int64))
+    return rows
+
+
+def refine_from_level_rows(
+    level_rows: Sequence[np.ndarray],
+    scales: Sequence[float],
+    *,
+    r: int,
+    weight_scale: float = 1.0,
+) -> tuple:
+    """Canonicalize + refine per-level label rows into an HST chain.
+
+    The shared assembly tail of Algorithm 2: each level's labels are
+    canonicalized, refined against the chain so far, and weighted
+    ``2 sqrt(r) * weight_scale * scale``; the chain stops early once
+    every cluster is a singleton.  Returns ``(chain, weights)`` ready
+    for :func:`build_hst` with ``already_refined=True``.
+    """
+    require(len(level_rows) <= len(scales), "need one scale per level row")
+    chain: List[FlatPartition] = []
+    weights: List[float] = []
+    current = FlatPartition.trivial(int(np.asarray(level_rows[0]).shape[0]))
+    weight_factor = 2.0 * math.sqrt(r) * weight_scale
+    for lvl, row in enumerate(level_rows):
+        flat = FlatPartition(canonicalize_labels(row), scale=float(scales[lvl]))
+        current = refine(current, flat, scale=float(scales[lvl]))
+        chain.append(current)
+        weights.append(weight_factor * float(scales[lvl]))
+        if current.is_singletons():
+            break
+    return chain, weights
 
 
 def build_hst(

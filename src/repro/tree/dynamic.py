@@ -1,0 +1,380 @@
+"""Incremental HST maintenance (insert / delete without a full rebuild).
+
+Goranci et al. ("Tree Embedding in High Dimensions: Dynamic and
+Massively Parallel", PAPERS.md) observe that the hybrid-partition
+recursion is *per-point decomposable*: a point's label path is a pure
+function of its own coordinates plus the shared randomness (grid
+shifts, scale schedule).  Updating the point set therefore never
+requires re-running the geometric work for unchanged points — only the
+membership bookkeeping of the cells the changed points touch.
+
+This module implements that for the repo's HSTs.  A build pins a
+:class:`MaintenancePlan` — the realized grid shifts, the scale
+schedule, the fixed partition parameters, and the cached per-point path
+keys.  :func:`apply_insert` runs
+:func:`repro.partition.hybrid.ballpart_path_keys` (the *same* kernel
+the MPC ballpart round runs) for the new points only, merges the key
+columns, and re-factorizes; :func:`apply_delete` drops key columns and
+re-factorizes.  Because every stage is shared with the fresh build —
+one kernel, one factorization (:func:`~repro.tree.build
+.level_rows_from_path_keys`), one refinement tail
+(:func:`~repro.tree.build.refine_from_level_rows`) — the maintained
+tree is **bit-identical** to a fresh build on the final point set,
+provided the fresh build pins the same parameters (``r``, ``num_grids``,
+``seed``, ``min_separation``) and the final set keeps the diameter
+inside the same power-of-two bracket (so the schedule agrees).  The
+bit-identity sweep in ``tests/serve/test_dynamic.py`` asserts exactly
+this across all four executors.
+
+Update cost is reported per mutation through :class:`UpdateReport`
+(cells touched, levels re-partitioned) and aggregated into
+``CostReport.update_dict()`` by the serving entry points
+(:mod:`repro.serve.maintenance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.partition.base import CoverageFailure
+from repro.partition.hybrid import ballpart_path_keys, pad_for_buckets
+from repro.tree.build import (
+    build_hst,
+    level_rows_from_path_keys,
+    refine_from_level_rows,
+)
+from repro.tree.hst import HSTree
+from repro.util.validation import check_points, require
+
+__all__ = [
+    "MaintenancePlan",
+    "UpdateReport",
+    "apply_insert",
+    "apply_delete",
+    "finish_insert",
+    "reindex_uncovered_keys",
+]
+
+
+@dataclass(frozen=True)
+class MaintenancePlan:
+    """Everything needed to extend a build to new points, pinned.
+
+    ``shifts`` are the realized grid draws ``(L, r, U, k)`` — the
+    randomness is *frozen*, not re-drawn, which is what makes updates
+    deterministic.  ``path_keys`` is the ``(L, n, r*(k+1))`` key cache
+    for the current point set (exactly the concatenated ``T_i`` pieces
+    of Algorithm 2's god assembly).  ``transform``, when present, pins a
+    seeded FJLT (``{"d", "n", "xi", "k", "q", "seed"}`` as accepted by
+    :meth:`repro.jl.fjlt.FJLT.cached`) applied to raw inserts before
+    partitioning — how pipeline-built trees keep one projection for
+    their whole serving lifetime.
+    """
+
+    shifts: np.ndarray
+    scales: np.ndarray
+    r: int
+    k: int
+    dim: int
+    cell_factor: float
+    weight_scale: float
+    on_uncovered: str
+    path_keys: np.ndarray = field(repr=False)
+    transform: Optional[Dict[str, Any]] = None
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.shifts.shape[0])
+
+    @property
+    def num_grids(self) -> int:
+        return int(self.shifts.shape[2])
+
+    @property
+    def n(self) -> int:
+        return int(self.path_keys.shape[1])
+
+    @property
+    def key_width(self) -> int:
+        return self.r * (self.k + 1)
+
+    def grids_payload(self) -> Dict[str, Any]:
+        """The ``embed/grids`` broadcast dict of the original build.
+
+        The serve entry points re-broadcast this onto fresh clusters so
+        the in-model insert round reads the identical state the build's
+        ballpart round read.
+        """
+        return {
+            "shifts": self.shifts,
+            "scales": np.asarray(self.scales),
+            "r": self.r,
+            "k": self.k,
+            "cell_factor": self.cell_factor,
+            "on_uncovered": self.on_uncovered,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Cost accounting for one incremental mutation.
+
+    ``cells_touched`` counts, summed over plan levels, the distinct
+    cells whose membership changed (cells gaining members on insert,
+    losing members on delete); ``total_cells`` counts all distinct
+    cells over the same plan levels after the mutation, so
+    ``frac_cells_touched`` is the re-partitioning fraction the serving
+    benchmark gates (< 10% at 1% churn).  ``paths_recomputed`` counts
+    points whose full hybrid partition was re-run (inserted points; 0
+    for deletes — their keys were cached).
+    """
+
+    kind: str
+    points_changed: int
+    paths_recomputed: int
+    cells_touched: int
+    total_cells: int
+    levels_repartitioned: int
+    num_levels: int
+    n_before: int
+    n_after: int
+
+    @property
+    def frac_cells_touched(self) -> float:
+        return self.cells_touched / max(1, self.total_cells)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "points_changed": self.points_changed,
+            "paths_recomputed": self.paths_recomputed,
+            "cells_touched": self.cells_touched,
+            "total_cells": self.total_cells,
+            "frac_cells_touched": self.frac_cells_touched,
+            "levels_repartitioned": self.levels_repartitioned,
+            "num_levels": self.num_levels,
+            "n_before": self.n_before,
+            "n_after": self.n_after,
+        }
+
+
+def _require_plan(tree: HSTree) -> MaintenancePlan:
+    require(
+        tree.plan is not None,
+        "tree carries no MaintenancePlan — incremental maintenance needs "
+        "the default god assembly of mpc_tree_embedding (assembly='god')",
+    )
+    require(
+        tree.points is not None,
+        "tree carries no points — maintenance needs coordinates to keep "
+        "the coincident-leaf grouping consistent",
+    )
+    plan: MaintenancePlan = tree.plan
+    require(
+        plan.n == tree.n,
+        f"stale plan: caches {plan.n} points, tree has {tree.n}",
+    )
+    return plan
+
+
+def reindex_uncovered_keys(keys: np.ndarray, k: int) -> np.ndarray:
+    """Rewrite uncovered-point slots to the canonical global encoding.
+
+    An uncovered (level, bucket) slot carries the negative key
+    ``-(global index + 1)`` so factorization yields a singleton part.
+    Global indices shift when points are inserted or deleted, so every
+    merge re-canonicalizes — in place (callers pass freshly copied
+    arrays) — making the cache agree bit-for-bit with what a fresh
+    build would have produced for the same final indexing.
+    """
+    num_levels, n, width = keys.shape
+    idx = np.broadcast_to(np.arange(n, dtype=np.int64), (num_levels, n))
+    for col in range(0, width, k + 1):
+        miss = keys[:, :, col] < 0
+        if miss.any():
+            keys[:, :, col + 1] = np.where(miss, -(idx + 1), keys[:, :, col + 1])
+    return keys
+
+
+def _project_new_points(plan: MaintenancePlan, raw: np.ndarray) -> np.ndarray:
+    """Raw inserts -> the bucket-padded space the plan partitions in."""
+    if plan.transform is not None:
+        spec = plan.transform
+        require(
+            raw.shape[1] == int(spec["d"]),
+            f"insert dimension {raw.shape[1]} != pinned transform input "
+            f"dimension {spec['d']}",
+        )
+        from repro.jl.fjlt import FJLT
+
+        transform = FJLT.cached(
+            spec["d"],
+            spec["n"],
+            xi=spec["xi"],
+            k=spec["k"],
+            q=spec["q"],
+            seed=spec["seed"],
+        )
+        projected = transform(raw)
+    else:
+        projected = raw
+    require(
+        projected.shape[1] == plan.dim,
+        f"insert dimension {projected.shape[1]} != plan dimension {plan.dim}",
+    )
+    return pad_for_buckets(projected, plan.r)
+
+
+def _touched_cells(changed_keys: np.ndarray) -> Tuple[int, int]:
+    """(distinct cells over levels, levels with any touched cell)."""
+    cells = 0
+    levels = 0
+    for lvl in range(changed_keys.shape[0]):
+        if changed_keys.shape[1] == 0:
+            continue
+        distinct = np.unique(changed_keys[lvl], axis=0).shape[0]
+        cells += int(distinct)
+        levels += 1
+    return cells, levels
+
+
+def _assemble(
+    plan: MaintenancePlan, points: np.ndarray, all_keys: np.ndarray
+) -> Tuple[HSTree, int]:
+    """Shared factorization tail: keys -> HSTree with a refreshed plan.
+
+    Identical, stage for stage, to the fresh build's god assembly —
+    this function *is* the bit-identity argument.  Also returns the
+    total distinct-cell count over plan levels (the ``total_cells``
+    denominator, measured on the same key-row footing as
+    ``cells_touched``).
+    """
+    level_rows = level_rows_from_path_keys(all_keys)
+    total_cells = int(sum(int(row.max()) + 1 for row in level_rows))
+    chain, weights = refine_from_level_rows(
+        level_rows, plan.scales, r=plan.r, weight_scale=plan.weight_scale
+    )
+    tree = build_hst(chain, weights, points=points, already_refined=True)
+    return replace(tree, plan=replace(plan, path_keys=all_keys)), total_cells
+
+
+def finish_insert(
+    tree: HSTree,
+    new_points: np.ndarray,
+    new_keys: np.ndarray,
+    uncovered: int,
+) -> Tuple[HSTree, UpdateReport]:
+    """Merge pre-computed path keys of inserted points into ``tree``.
+
+    The god-side half of an insert, shared by the local
+    :func:`apply_insert` and the in-model
+    :func:`repro.serve.maintenance.mpc_dynamic_insert` (which computes
+    ``new_keys`` inside a compute round) — one merge path, so both
+    produce the same tree.  ``new_points`` are raw (pre-transform)
+    coordinates; ``uncovered`` is the count of new points missed by
+    every grid in some (level, bucket).
+    """
+    plan = _require_plan(tree)
+    raw = check_points(new_points, min_points=1)
+    if uncovered and plan.on_uncovered == "error":
+        raise CoverageFailure(int(uncovered), plan.num_grids)
+    require(
+        new_keys.shape == (plan.num_levels, raw.shape[0], plan.key_width),
+        "inserted path keys have the wrong shape",
+    )
+
+    merged = np.concatenate([plan.path_keys, new_keys], axis=1)
+    reindex_uncovered_keys(merged, plan.k)
+    if plan.transform is not None:
+        # Pipeline trees live in the transformed space: append the
+        # projected coordinates, matching tree.points' existing rows.
+        appended = _project_new_points(plan, raw)[:, : plan.dim]
+    else:
+        appended = raw
+    points = np.vstack([np.asarray(tree.points, dtype=np.float64), appended])
+
+    new_tree, total_cells = _assemble(plan, points, merged)
+    cells, levels = _touched_cells(new_keys)
+    report = UpdateReport(
+        kind="insert",
+        points_changed=int(raw.shape[0]),
+        paths_recomputed=int(raw.shape[0]),
+        cells_touched=cells,
+        total_cells=total_cells,
+        levels_repartitioned=levels,
+        num_levels=plan.num_levels,
+        n_before=tree.n,
+        n_after=new_tree.n,
+    )
+    return new_tree, report
+
+
+def apply_insert(
+    tree: HSTree, new_points: np.ndarray
+) -> Tuple[HSTree, UpdateReport]:
+    """Insert ``new_points``, re-partitioning only what they touch.
+
+    Runs the hybrid-partition kernel for the inserted points alone
+    (cached keys cover the resident points), then merges and
+    re-factorizes.  See the module docstring for the bit-identity
+    contract with a fresh build.
+    """
+    plan = _require_plan(tree)
+    raw = check_points(new_points, min_points=1)
+    padded = _project_new_points(plan, raw)
+    new_keys, uncovered_mask = ballpart_path_keys(
+        padded,
+        plan.shifts,
+        plan.scales,
+        cell_factor=plan.cell_factor,
+        offset=tree.n,
+    )
+    return finish_insert(tree, raw, new_keys, int(uncovered_mask.sum()))
+
+
+def apply_delete(tree: HSTree, indices) -> Tuple[HSTree, UpdateReport]:
+    """Delete points by index; surviving points keep their relative order.
+
+    No geometric work at all: the deleted points' cached keys identify
+    the touched cells, their key columns are dropped, and the remaining
+    cache is re-factorized (with uncovered-slot indices
+    re-canonicalized so the result matches a fresh build on the
+    survivors).
+    """
+    plan = _require_plan(tree)
+    idx = np.unique(np.asarray(indices, dtype=np.int64))
+    require(idx.size > 0, "need at least one index to delete")
+    require(
+        bool((idx >= 0).all()) and bool((idx < tree.n).all()),
+        f"delete indices out of range [0, {tree.n})",
+    )
+    remaining = tree.n - int(idx.size)
+    require(
+        remaining >= 2,
+        f"cannot delete down to {remaining} point(s); trees need >= 2",
+    )
+
+    removed_keys = plan.path_keys[:, idx, :]
+    keep = np.ones(tree.n, dtype=bool)
+    keep[idx] = False
+    kept = plan.path_keys[:, keep, :].copy()
+    reindex_uncovered_keys(kept, plan.k)
+    points = np.asarray(tree.points, dtype=np.float64)[keep]
+
+    new_tree, total_cells = _assemble(plan, points, kept)
+    cells, levels = _touched_cells(removed_keys)
+    report = UpdateReport(
+        kind="delete",
+        points_changed=int(idx.size),
+        paths_recomputed=0,
+        cells_touched=cells,
+        total_cells=total_cells,
+        levels_repartitioned=levels,
+        num_levels=plan.num_levels,
+        n_before=tree.n,
+        n_after=new_tree.n,
+    )
+    return new_tree, report

@@ -28,20 +28,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.util.validation import require
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.tree.dynamic import UpdateReport
+    from repro.tree.queries import TreeQueryIndex
+
 
 @dataclass(frozen=True)
 class HSTree:
-    """A hierarchically well-separated tree over ``n`` points."""
+    """A hierarchically well-separated tree over ``n`` points.
+
+    ``plan`` (when present) is the :class:`repro.tree.dynamic
+    .MaintenancePlan` pinned by the build — the grids, scale schedule,
+    and cached per-point path keys that :meth:`insert` / :meth:`delete`
+    need to maintain the tree incrementally.  It is excluded from
+    equality/repr and not persisted by :meth:`save`.
+    """
 
     label_matrix: np.ndarray
     level_weights: np.ndarray
     points: Optional[np.ndarray] = None
+    plan: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         labels = np.asarray(self.label_matrix, dtype=np.int64)
@@ -85,6 +97,46 @@ class HSTree:
         return np.array(
             [len(np.unique(row)) for row in self.label_matrix], dtype=np.int64
         )
+
+    # -- incremental maintenance ------------------------------------------
+
+    @cached_property
+    def query_index(self) -> "TreeQueryIndex":
+        """Per-level batched-query statistics (lazily built, cached).
+
+        The broadcast-grouping structure behind
+        :func:`repro.tree.queries.tree_nearest_batch` and friends; the
+        serving layer caches one per tree version.
+        """
+        from repro.tree.queries import TreeQueryIndex
+
+        return TreeQueryIndex(self)
+
+    def insert(self, points: np.ndarray) -> "Tuple[HSTree, UpdateReport]":
+        """Incrementally insert ``points``; returns ``(tree, report)``.
+
+        Requires the build to have pinned a maintenance plan (the
+        default god assembly of
+        :func:`repro.core.mpc_embedding.mpc_tree_embedding` does).  The
+        per-level hybrid partition is re-run for the inserted points
+        only; cached path keys cover the rest, and the resulting tree is
+        bit-identical to a fresh build on the final point set under the
+        same pinned parameters (see docs/SERVING.md, "Bit-identity").
+        """
+        from repro.tree.dynamic import apply_insert
+
+        return apply_insert(self, points)
+
+    def delete(self, indices) -> "Tuple[HSTree, UpdateReport]":
+        """Incrementally delete points by index; returns ``(tree, report)``.
+
+        Same plan requirement and bit-identity contract as
+        :meth:`insert`; remaining points keep their relative order, so
+        index ``j`` of the new tree is the ``j``-th surviving point.
+        """
+        from repro.tree.dynamic import apply_delete
+
+        return apply_delete(self, indices)
 
     # -- node materialization ---------------------------------------------
 

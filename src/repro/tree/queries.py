@@ -21,12 +21,16 @@ neighbor is within an O(distortion) factor of the tree answer.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.tree.hst import HSTree
-from repro.tree.metric import tree_distances_from_point
+from repro.tree.metric import (
+    distances_for_separation,
+    separation_levels,
+    tree_distances_from_point,
+)
 from repro.util.validation import require
 
 
@@ -81,6 +85,165 @@ def closest_pair(tree: HSTree) -> Tuple[int, int, float]:
             return int(members[0]), int(members[1]), dist
     # All levels singleton above the root: pair split at level 1.
     return 0, 1, float(2.0 * suffix[0])
+
+
+class TreeQueryIndex:
+    """Per-level inverted structure for broadcast-grouped batch queries.
+
+    One pass over the label matrix precomputes, per level: cluster
+    sizes, each cluster's member list (global indices ascending), and
+    each cluster's two smallest member indices.  Batched queries then
+    reduce to label lookups — no per-query distance vector — while
+    answering *exactly* what the per-point functions answer:
+
+    * :meth:`nearest_batch` matches :func:`tree_nearest` including its
+      lowest-index tie-break: the nearest set of ``i`` is its cluster at
+      the deepest level where it has a companion (label rows are nested,
+      so members there are exactly the minimum-distance points), and
+      ``np.argmin`` over the distance vector picks the smallest global
+      index in that set — which is ``min1`` (or ``min2`` when ``min1``
+      is ``i`` itself).
+    * :meth:`range_batch` matches :func:`range_query`: ``dist <= radius``
+      iff the pair is still co-clustered at the first level ``t`` whose
+      threshold ``2 * suffix_weights[t]`` drops to ``radius`` or below.
+
+    The index is immutable and bound to one tree version; the serving
+    layer (:mod:`repro.serve.service`) rebuilds it after each mutation.
+    """
+
+    def __init__(self, tree: HSTree):
+        require(tree.n >= 2, "need at least two points to answer queries")
+        self.tree = tree
+        labels = tree.label_matrix
+        self._counts: List[np.ndarray] = []
+        self._order: List[np.ndarray] = []
+        self._starts: List[np.ndarray] = []
+        self._min1: List[np.ndarray] = []
+        self._min2: List[np.ndarray] = []
+        for lvl in range(labels.shape[0]):
+            row = labels[lvl]
+            num_labels = int(row.max()) + 1
+            counts = np.bincount(row, minlength=num_labels)
+            # Stable sort: within a label, members stay index-ascending.
+            order = np.argsort(row, kind="stable")
+            starts = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]]
+            )
+            min1 = order[starts]
+            second = np.minimum(starts + 1, row.shape[0] - 1)
+            min2 = np.where(counts > 1, order[second], -1)
+            self._counts.append(counts)
+            self._order.append(order)
+            self._starts.append(starts)
+            self._min1.append(min1)
+            self._min2.append(min2)
+
+    def nearest_batch(
+        self, sources: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, distances)`` for a batch of source indices.
+
+        Element-wise identical to calling :func:`tree_nearest` per
+        source (same answers, same tie-breaks).
+        """
+        tree = self.tree
+        src = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        require(
+            bool((src >= 0).all()) and bool((src < tree.n).all()),
+            "source index out of range",
+        )
+        labels = tree.label_matrix
+        num_levels = tree.num_levels
+        # Deepest label row where each source has a companion; row 0
+        # (the root) always qualifies since n >= 2.
+        deepest = np.zeros(src.shape, dtype=np.int64)
+        undecided = np.ones(src.shape, dtype=bool)
+        for lvl in range(num_levels, 0, -1):
+            if not undecided.any():
+                break
+            lab = labels[lvl][src]
+            newly = undecided & (self._counts[lvl][lab] > 1)
+            deepest[newly] = lvl
+            undecided &= ~newly
+        neighbors = np.empty(src.shape, dtype=np.int64)
+        for lvl in np.unique(deepest):
+            mask = deepest == lvl
+            lab = labels[lvl][src[mask]]
+            first = self._min1[lvl][lab]
+            second = self._min2[lvl][lab]
+            neighbors[mask] = np.where(first == src[mask], second, first)
+        distances = distances_for_separation(tree, deepest + 1)
+        return neighbors, distances
+
+    def range_batch(
+        self, sources: np.ndarray, radii: np.ndarray
+    ) -> List[np.ndarray]:
+        """Per-source arrays of points within the tree-metric radius.
+
+        Element-wise identical to :func:`range_query` (sorted indices,
+        source excluded).
+        """
+        tree = self.tree
+        src = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        rad = np.broadcast_to(
+            np.asarray(radii, dtype=np.float64), src.shape
+        )
+        require(
+            bool((src >= 0).all()) and bool((src < tree.n).all()),
+            "source index out of range",
+        )
+        require(bool((rad >= 0).all()), "radii must be >= 0")
+        # First level whose distance threshold 2*suffix[t] is <= radius:
+        # pairs co-clustered there (and only those) lie within range.
+        thresholds = 2.0 * tree.suffix_weights
+        levels = np.searchsorted(-thresholds, -rad, side="left")
+        levels = np.minimum(levels, tree.num_levels)
+        labels = tree.label_matrix
+        out: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * src.shape[0]
+        for lvl in np.unique(levels):
+            counts, order, starts = (
+                self._counts[lvl],
+                self._order[lvl],
+                self._starts[lvl],
+            )
+            for pos in np.flatnonzero(levels == lvl):
+                lab = int(labels[lvl][src[pos]])
+                members = order[starts[lab] : starts[lab] + counts[lab]]
+                out[pos] = members[members != src[pos]]
+        return out
+
+    def distance_batch(
+        self, pairs_i: np.ndarray, pairs_j: np.ndarray
+    ) -> np.ndarray:
+        """Tree distances for index pairs (vectorized, exact)."""
+        tree = self.tree
+        i = np.atleast_1d(np.asarray(pairs_i, dtype=np.int64))
+        j = np.atleast_1d(np.asarray(pairs_j, dtype=np.int64))
+        require(i.shape == j.shape, "pair index arrays must align")
+        require(
+            bool((i >= 0).all()) and bool((i < tree.n).all())
+            and bool((j >= 0).all()) and bool((j < tree.n).all()),
+            "pair index out of range",
+        )
+        dists = distances_for_separation(
+            tree, separation_levels(tree, i, j)
+        )
+        dists[i == j] = 0.0
+        return dists
+
+
+def tree_nearest_batch(
+    tree: HSTree, sources: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`tree_nearest` (one shared index, same answers)."""
+    return TreeQueryIndex(tree).nearest_batch(sources)
+
+
+def range_query_batch(
+    tree: HSTree, sources: np.ndarray, radii: np.ndarray
+) -> List[np.ndarray]:
+    """Batched :func:`range_query` (one shared index, same answers)."""
+    return TreeQueryIndex(tree).range_batch(sources, radii)
 
 
 def nearest_via_levels(tree: HSTree, i: int) -> Optional[int]:

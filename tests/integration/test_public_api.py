@@ -18,6 +18,8 @@ PACKAGES = [
     "repro.tree",
     "repro.jl",
     "repro.apps",
+    "repro.api",
+    "repro.serve",
     "repro.geometry",
     "repro.data",
     "repro.viz",
@@ -58,7 +60,7 @@ class TestPackageMetadata:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_module_docstrings(self):
         for pkg_name in PACKAGES:

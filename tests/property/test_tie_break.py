@@ -1,0 +1,85 @@
+"""The nearest-neighbor tie-break contract.
+
+Tree distances are quantized (one value per separation level), so ties
+are the common case, not the corner case.  ``tree_nearest`` — and the
+batch index the service answers from — pins the lowest-index winner,
+matching ``np.argmin`` over the full distance row.  The contract must
+hold on arbitrary inputs and be executor-independent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.core.sequential import sequential_tree_embedding
+from repro.mpc.config import SimulationConfig
+from repro.tree.metric import tree_distances_from_point
+from repro.tree.queries import tree_nearest, tree_nearest_batch
+
+
+def _brute_force_nearest(tree, i):
+    row = tree_distances_from_point(tree, i).copy()
+    row[i] = np.inf
+    j = int(np.argmin(row))  # argmin returns the lowest index on ties
+    return j, float(row[j])
+
+
+def lattice_point_sets():
+    return st.integers(min_value=3, max_value=16).flatmap(
+        lambda n: arrays(
+            np.float64,
+            (n, 3),
+            elements=st.integers(min_value=0, max_value=7).map(float),
+        )
+    )
+
+
+class TestTieBreakProperty:
+    @given(pts=lattice_point_sets(), seed=st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_argmin_on_arbitrary_lattices(self, pts, seed):
+        pts = np.unique(pts, axis=0)
+        if pts.shape[0] < 3:
+            return
+        tree = sequential_tree_embedding(pts, seed=seed)
+        for i in range(tree.n):
+            assert tree_nearest(tree, i) == _brute_force_nearest(tree, i)
+
+    def test_batch_index_agrees_with_scalar_path(self):
+        rng = np.random.default_rng(13)
+        pts = np.round(rng.normal(size=(60, 4)) * 2.0)  # heavy ties
+        tree = sequential_tree_embedding(pts, seed=1)
+        neighbors, dists = tree_nearest_batch(tree, np.arange(tree.n))
+        for i in range(tree.n):
+            j, dist = tree_nearest(tree, i)
+            assert neighbors[i] == j
+            assert dists[i] == pytest.approx(dist)
+
+
+@pytest.mark.executor_matrix
+class TestTieBreakAcrossExecutors:
+    def test_nearest_identical_under_every_executor(self, mpc_executor):
+        rng = np.random.default_rng(23)
+        pts = np.vstack(
+            [[[-9.0] * 4, [9.0] * 4], np.round(rng.normal(size=(40, 4)))]
+        )
+        kw = dict(
+            num_grids=12, seed=11, min_separation=0.25, on_uncovered="singleton"
+        )
+        serial = mpc_tree_embedding(
+            pts, config=SimulationConfig(executor="serial"), **kw
+        )
+        other = mpc_tree_embedding(
+            pts, config=SimulationConfig(executor=mpc_executor), **kw
+        )
+        base_n, base_d = tree_nearest_batch(serial.tree, np.arange(serial.tree.n))
+        got_n, got_d = tree_nearest_batch(other.tree, np.arange(other.tree.n))
+        np.testing.assert_array_equal(got_n, base_n)
+        np.testing.assert_allclose(got_d, base_d)
+        for i in range(serial.tree.n):
+            assert tree_nearest(other.tree, i) == _brute_force_nearest(
+                serial.tree, i
+            )

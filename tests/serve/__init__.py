@@ -1,0 +1,1 @@
+"""Tests for repro.serve — dynamic maintenance and the embedding service."""

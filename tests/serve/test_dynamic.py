@@ -1,0 +1,238 @@
+"""Bit-identity of maintained trees against fresh builds.
+
+The contract of :mod:`repro.tree.dynamic` (docs/SERVING.md,
+"Bit-identity"): with the build's grids pinned (``num_grids``, ``seed``,
+``min_separation``), ``insert``/``delete`` on a maintained tree produce
+*exactly* the tree a fresh build would produce on the final point set —
+same ``label_matrix``, same ``level_weights`` — under every executor.
+
+The corner anchors keep the diameter's power-of-2 bracket stable, so
+mutations in the interior never change the level schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mpc_embedding import mpc_tree_embedding
+from repro.core.pipeline import theorem1_pipeline
+from repro.data.synthetic import gaussian_clusters
+from repro.mpc.config import SimulationConfig
+from repro.serve.maintenance import mpc_dynamic_delete, mpc_dynamic_insert
+from repro.tree.dynamic import apply_delete, apply_insert
+
+#: The pinned build recipe every bit-identity test shares.  With these
+#: knobs the per-level grids are a pure function of (seed, level), so a
+#: maintained tree and a fresh build draw identical shifts.
+KW = dict(num_grids=12, seed=11, min_separation=0.25, on_uncovered="singleton")
+
+DIM = 6
+
+#: Corner anchors (never mutated) bracketing every interior point.
+ANCHORS = np.array([[-9.0] * DIM, [9.0] * DIM])
+
+
+def _dataset(seed, n=40):
+    rng = np.random.default_rng(seed)
+    return np.vstack([ANCHORS, rng.normal(size=(n, DIM))])
+
+
+def _extra(seed, m=5):
+    return np.random.default_rng(1000 + seed).normal(size=(m, DIM))
+
+
+def _assert_trees_identical(got, want):
+    np.testing.assert_array_equal(got.label_matrix, want.label_matrix)
+    np.testing.assert_allclose(got.level_weights, want.level_weights)
+    np.testing.assert_allclose(got.suffix_weights, want.suffix_weights)
+    np.testing.assert_allclose(got.points, want.points)
+
+
+@pytest.mark.executor_matrix
+@pytest.mark.parametrize("data_seed", [3, 17])
+class TestBitIdentitySweep:
+    def test_insert_matches_fresh_build(self, data_seed, mpc_executor):
+        cfg = SimulationConfig(executor=mpc_executor)
+        pts = _dataset(data_seed)
+        extra = _extra(data_seed)
+        base = mpc_tree_embedding(pts, config=cfg, **KW)
+        grown = mpc_dynamic_insert(base.tree, extra, config=cfg)
+        fresh = mpc_tree_embedding(np.vstack([pts, extra]), config=cfg, **KW)
+        _assert_trees_identical(grown.tree, fresh.tree)
+
+    def test_delete_matches_fresh_build(self, data_seed, mpc_executor):
+        cfg = SimulationConfig(executor=mpc_executor)
+        pts = _dataset(data_seed)
+        idx = np.array([4, 9, 23])  # interior points only (anchors are 0, 1)
+        base = mpc_tree_embedding(pts, config=cfg, **KW)
+        shrunk = mpc_dynamic_delete(base.tree, idx, config=cfg)
+        fresh = mpc_tree_embedding(np.delete(pts, idx, axis=0), config=cfg, **KW)
+        _assert_trees_identical(shrunk.tree, fresh.tree)
+
+
+class TestExecutorIndependence:
+    """One mutation sequence, four executors, one answer."""
+
+    def test_insert_then_delete_identical_across_executors(self):
+        pts, extra = _dataset(5), _extra(5)
+        results = {}
+        for name in ["serial", "thread", "process", "shm"]:
+            cfg = SimulationConfig(executor=name)
+            base = mpc_tree_embedding(pts, config=cfg, **KW)
+            grown = mpc_dynamic_insert(base.tree, extra, config=cfg)
+            shrunk = mpc_dynamic_delete(grown.tree, [6, 12], config=cfg)
+            results[name] = shrunk
+        baseline = results["serial"]
+        for name in ["thread", "process", "shm"]:
+            _assert_trees_identical(results[name].tree, baseline.tree)
+            assert (
+                results[name].update.as_dict() == baseline.update.as_dict()
+            ), f"{name} update accounting diverged"
+            assert (
+                results[name].report.core_dict() == baseline.report.core_dict()
+            ), f"{name} cost accounting diverged"
+
+
+class TestLocalMpcEquivalence:
+    """HSTree.insert/.delete (god-side) and the mpc_dynamic_* entry
+    points (in-model kernel round) are two routes to the same merge."""
+
+    def test_insert_routes_agree(self):
+        pts, extra = _dataset(7), _extra(7)
+        base = mpc_tree_embedding(pts, **KW)
+        local_tree, local_update = base.tree.insert(extra)
+        mpc = mpc_dynamic_insert(base.tree, extra)
+        _assert_trees_identical(mpc.tree, local_tree)
+        assert mpc.update.as_dict() == local_update.as_dict()
+
+    def test_delete_routes_agree(self):
+        pts = _dataset(7)
+        base = mpc_tree_embedding(pts, **KW)
+        local_tree, local_update = base.tree.delete([3, 8, 30])
+        mpc = mpc_dynamic_delete(base.tree, [3, 8, 30])
+        _assert_trees_identical(mpc.tree, local_tree)
+        assert mpc.update.as_dict() == local_update.as_dict()
+
+    def test_tuple_unpacking_back_compat(self):
+        base = mpc_tree_embedding(_dataset(7), **KW)
+        tree, update = mpc_dynamic_insert(base.tree, _extra(7))
+        assert tree.n == base.tree.n + 5
+        assert update.kind == "insert"
+
+
+class TestUpdateReport:
+    def test_insert_accounting(self):
+        pts, extra = _dataset(2), _extra(2)
+        base = mpc_tree_embedding(pts, **KW)
+        result = mpc_dynamic_insert(base.tree, extra)
+        up = result.update
+        assert up.kind == "insert"
+        assert up.points_changed == extra.shape[0]
+        assert up.n_before == pts.shape[0]
+        assert up.n_after == pts.shape[0] + extra.shape[0]
+        assert 0 < up.cells_touched <= up.total_cells
+        assert 0.0 < up.frac_cells_touched <= 1.0
+        assert 0 < up.levels_repartitioned <= up.num_levels
+        d = up.as_dict()
+        assert d["kind"] == "insert"
+        assert d["frac_cells_touched"] == pytest.approx(up.frac_cells_touched)
+
+    def test_small_churn_touches_few_cells(self):
+        # The sparsity claim behind incremental maintenance: a small
+        # mutation re-partitions a small fraction of cells.
+        pts = _dataset(2, n=400)
+        base = mpc_tree_embedding(pts, **KW)
+        result = mpc_dynamic_insert(base.tree, _extra(2, m=4))  # ~1% churn
+        assert result.update.frac_cells_touched < 0.10
+
+    def test_cumulative_totals_on_shared_cluster(self):
+        pts = _dataset(4)
+        base = mpc_tree_embedding(pts, **KW)
+        first = mpc_dynamic_insert(base.tree, _extra(4), cluster=base.cluster)
+        second = mpc_dynamic_delete(first.tree, [5], cluster=base.cluster)
+        totals = second.report.update_dict()
+        assert totals["updates_applied"] == 2
+        assert totals["update_cells_touched"] == (
+            first.update.cells_touched + second.update.cells_touched
+        )
+
+    def test_delete_validates_indices(self):
+        base = mpc_tree_embedding(_dataset(4), **KW)
+        with pytest.raises(ValueError, match="out of range"):
+            mpc_dynamic_delete(base.tree, [10_000])
+        with pytest.raises(ValueError, match="at least one"):
+            mpc_dynamic_delete(base.tree, [])
+
+
+class TestRoundCaps:
+    """Runtime half of the MPC011 ledger for the dynamic entry points."""
+
+    def test_insert_rounds_under_cap(self):
+        from repro.lint import round_cap
+
+        base = mpc_tree_embedding(_dataset(6), **KW)
+        before = base.cluster.report().rounds
+        result = mpc_dynamic_insert(base.tree, _extra(6), cluster=base.cluster)
+        spent = result.report.rounds - before
+        assert 0 < spent <= round_cap("mpc_dynamic_insert")
+
+    def test_delete_rounds_under_cap(self):
+        from repro.lint import round_cap
+
+        base = mpc_tree_embedding(_dataset(6), **KW)
+        before = base.cluster.report().rounds
+        result = mpc_dynamic_delete(base.tree, [7, 11], cluster=base.cluster)
+        spent = result.report.rounds - before
+        assert 0 < spent <= round_cap("mpc_dynamic_delete")
+
+    def test_fresh_cluster_rounds_under_cap(self):
+        from repro.lint import round_cap
+
+        base = mpc_tree_embedding(_dataset(6), **KW)
+        result = mpc_dynamic_insert(base.tree, _extra(6))  # cluster=None
+        assert result.report.rounds <= round_cap("mpc_dynamic_insert")
+
+
+class TestPipelineTransformPinning:
+    """Pipeline trees pin the stage-1 FJLT: inserts take *raw* points."""
+
+    def test_insert_then_delete_round_trips(self):
+        pts = gaussian_clusters(48, 32, 256, clusters=3, seed=21)
+        res = theorem1_pipeline(pts, xi=0.3, seed=9)
+        assert res.tree.plan is not None
+        assert res.tree.plan.transform is not None
+
+        raw_new = gaussian_clusters(4, 32, 256, clusters=1, seed=22)
+        grown, up = res.tree.insert(raw_new)
+        assert up.kind == "insert" and grown.n == res.tree.n + 4
+        # The stored leaf coordinates are the *projected* ones.
+        assert grown.points.shape[1] == res.tree.points.shape[1]
+
+        back, _ = grown.delete(np.arange(res.tree.n, grown.n))
+        np.testing.assert_array_equal(back.label_matrix, res.tree.label_matrix)
+        np.testing.assert_allclose(back.level_weights, res.tree.level_weights)
+        np.testing.assert_allclose(back.points, res.tree.points)
+
+    def test_insert_rejects_wrong_input_dim(self):
+        pts = gaussian_clusters(48, 32, 256, clusters=3, seed=21)
+        res = theorem1_pipeline(pts, xi=0.3, seed=9)
+        with pytest.raises(ValueError):
+            res.tree.insert(np.zeros((2, 7)))
+
+
+class TestApplyFunctions:
+    """The god-side primitives compose: insert ∘ delete round-trips."""
+
+    def test_insert_then_delete_inverse(self):
+        pts = _dataset(8)
+        base = mpc_tree_embedding(pts, **KW)
+        grown, _ = apply_insert(base.tree, _extra(8))
+        back, _ = apply_delete(grown, np.arange(pts.shape[0], grown.n))
+        _assert_trees_identical(back, base.tree)
+
+    def test_delete_everything_but_two_still_works(self):
+        pts = _dataset(8, n=6)
+        base = mpc_tree_embedding(pts, **KW)
+        keep_two, _ = apply_delete(base.tree, np.arange(2, pts.shape[0]))
+        assert keep_two.n == 2
+        with pytest.raises(ValueError):
+            apply_delete(keep_two, [0])

@@ -1,0 +1,225 @@
+"""EmbeddingService: batching exactness, barriers, and observability.
+
+Every answer the service returns must equal the offline functions in
+:mod:`repro.tree.queries` evaluated on ``service.tree`` — batching and
+broadcast-grouping are a scheduling optimization, never a semantic one.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.mpc.config import SimulationConfig
+from repro.mpc.metrics import MetricsLog, validate_metrics_dict
+from repro.results import QueryResult
+from repro.serve.service import EmbeddingService
+from repro.tree.metric import tree_distance
+from repro.tree.queries import range_query, tree_nearest
+
+KW = dict(num_grids=12, seed=11, min_separation=0.25, on_uncovered="singleton")
+
+DIM = 5
+ANCHORS = np.array([[-9.0] * DIM, [9.0] * DIM])
+
+
+def _points(seed=3, n=30):
+    rng = np.random.default_rng(seed)
+    return np.vstack([ANCHORS, rng.normal(size=(n, DIM))])
+
+
+@pytest.fixture
+def service():
+    svc = EmbeddingService(_points(), **KW)
+    with svc:
+        yield svc
+
+
+class TestBatchedQueryExactness:
+    def test_nearest_matches_offline(self, service):
+        tree = service.tree
+        requests = [("nearest", i) for i in range(tree.n)]
+        answers = service.submit_batch_sync(requests)
+        for i, res in enumerate(answers):
+            j, dist = tree_nearest(tree, i)
+            assert isinstance(res, QueryResult)
+            assert res.kind == "nearest"
+            assert res.source == i
+            assert res.neighbor == j
+            assert res.distance == pytest.approx(dist)
+
+    def test_range_matches_offline(self, service):
+        tree = service.tree
+        radii = [0.5, 2.0, 40.0, 1e9]
+        requests = [
+            ("range", i, r) for i in range(0, tree.n, 3) for r in radii
+        ]
+        answers = service.submit_batch_sync(requests)
+        for (_, i, r), res in zip(requests, answers):
+            np.testing.assert_array_equal(
+                np.sort(res.indices), np.sort(range_query(tree, i, r))
+            )
+
+    def test_distance_matches_offline(self, service):
+        tree = service.tree
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, tree.n, size=(40, 2))
+        answers = service.submit_batch_sync(
+            [("distance", int(i), int(j)) for i, j in pairs]
+        )
+        for (i, j), res in zip(pairs, answers):
+            assert res.distance == pytest.approx(tree_distance(tree, i, j))
+        same = service.query_distance_sync(4, 4)
+        assert same.distance == 0.0
+
+    def test_mixed_batch(self, service):
+        answers = service.submit_batch_sync(
+            [("nearest", 2), ("distance", 2, 3), ("range", 2, 1.5)]
+        )
+        assert [a.kind for a in answers] == ["nearest", "distance", "range"]
+
+    def test_invalid_index_raises_without_killing_service(self, service):
+        with pytest.raises(ValueError, match="out of range"):
+            service.query_nearest_sync(10_000)
+        # The drain loop survived; later queries still answer.
+        assert service.query_nearest_sync(0).kind == "nearest"
+
+
+class TestMutationBarriers:
+    def test_insert_bumps_version_and_later_queries_see_it(self, service):
+        n0, v0 = service.n, service.version
+        extra = np.random.default_rng(9).normal(size=(3, DIM))
+        update = service.insert_sync(extra)
+        assert update.kind == "insert"
+        assert service.n == n0 + 3 and service.version == v0 + 1
+        res = service.query_nearest_sync(n0 + 1)  # an inserted point
+        assert res.version == v0 + 1
+        j, dist = tree_nearest(service.tree, n0 + 1)
+        assert (res.neighbor, res.distance) == (j, pytest.approx(dist))
+
+    def test_delete_shrinks_and_remaps(self, service):
+        n0 = service.n
+        service.delete_sync([5, 7])
+        assert service.n == n0 - 2
+        j, dist = tree_nearest(service.tree, 3)
+        res = service.query_nearest_sync(3)
+        assert (res.neighbor, res.distance) == (j, pytest.approx(dist))
+
+    def test_interleaved_batch_respects_barrier_order(self, service):
+        n0 = service.n
+        extra = np.random.default_rng(10).normal(size=(2, DIM))
+        answers = service.submit_batch_sync(
+            [("nearest", 1), ("insert", extra), ("nearest", n0)]
+        )
+        # Query before the barrier ran against version 0; the one after
+        # sees the grown tree (index n0 only exists post-insert).
+        assert answers[0].version == 0
+        assert answers[1].kind == "insert"
+        assert answers[2].version == 1 and answers[2].source == n0
+
+    def test_failed_mutation_keeps_serving(self, service):
+        with pytest.raises(ValueError, match="out of range"):
+            service.delete_sync([10_000])
+        assert service.version == 0
+        assert service.query_nearest_sync(0).kind == "nearest"
+
+
+class TestObservability:
+    def test_metrics_rows_validate_against_schema_v3(self, service):
+        service.submit_batch_sync([("nearest", i) for i in range(8)])
+        service.insert_sync(np.random.default_rng(1).normal(size=(2, DIM)))
+        for row in service.metrics.as_dicts():
+            validate_metrics_dict(row)
+        labels = [r.label for r in service.metrics.rounds]
+        assert "serve-query" in labels and "serve-insert" in labels
+
+    def test_queries_coalesce_into_one_batch(self, service):
+        before = sum(
+            r.queries_served
+            for r in service.metrics.rounds
+            if r.label == "serve-query"
+        )
+        service.submit_batch_sync([("nearest", i) for i in range(12)])
+        rows = [
+            r
+            for r in service.metrics.rounds
+            if r.label == "serve-query" and r.queries_served > 0
+        ]
+        assert sum(r.queries_served for r in rows) == before + 12
+        biggest = max(rows, key=lambda r: r.queries_served)
+        # Coalesced: one drain batch answered many queries, grouped into
+        # at most as many broadcast groups as queries.
+        assert biggest.queries_served > 1
+        assert 1 <= biggest.query_groups <= biggest.queries_served
+        assert biggest.serve_latency_p99_ms >= biggest.serve_latency_p50_ms >= 0.0
+
+    def test_latency_percentiles(self, service):
+        service.submit_batch_sync([("nearest", i) for i in range(10)])
+        pct = service.latency_percentiles()
+        assert pct["p99_ms"] >= pct["p50_ms"] > 0.0
+        assert len(service.query_latencies_ms) >= 10
+
+    def test_report_carries_update_layer(self, service):
+        service.insert_sync(np.random.default_rng(2).normal(size=(2, DIM)))
+        service.delete_sync([4])
+        totals = service.report().update_dict()
+        assert totals["updates_applied"] == 2
+        assert totals["update_cells_touched"] == sum(
+            u.cells_touched for u in service.updates
+        )
+        mut_rows = [r for r in service.metrics.rounds if r.serve_mutations]
+        assert len(mut_rows) == 2
+        assert all(r.update_cells_touched > 0 for r in mut_rows)
+
+    def test_shared_metrics_log_via_config(self):
+        log = MetricsLog()
+        svc = EmbeddingService(
+            _points(), config=SimulationConfig(metrics=log), **KW
+        )
+        assert svc.metrics is log
+        assert len(log.rounds) > 0  # the build already recorded rows
+
+
+class TestAsyncApi:
+    def test_async_context_manager_and_gather(self):
+        async def scenario():
+            async with EmbeddingService(_points(), **KW) as svc:
+                answers = await asyncio.gather(
+                    *[svc.query_nearest(i) for i in range(6)]
+                )
+                await svc.insert(
+                    np.random.default_rng(3).normal(size=(2, DIM))
+                )
+                after = await svc.query_distance(0, svc.n - 1)
+                return svc, answers, after
+
+        svc, answers, after = asyncio.run(scenario())
+        for i, res in enumerate(answers):
+            j, dist = tree_nearest(svc.tree, i) if i >= svc.tree.n else (None, None)
+            assert res.source == i and res.version == 0
+        assert after.version == 1
+        assert after.distance == pytest.approx(
+            tree_distance(svc.tree, 0, svc.n - 1)
+        )
+
+    def test_submit_after_close_rejected(self):
+        async def scenario():
+            svc = EmbeddingService(_points(), **KW)
+            async with svc:
+                pass
+            with pytest.raises(ValueError, match="not running"):
+                await svc.query_nearest(0)
+
+        asyncio.run(scenario())
+
+    def test_max_batch_splits_batches(self):
+        svc = EmbeddingService(_points(), max_batch=4, **KW)
+        with svc:
+            svc.submit_batch_sync([("nearest", i) for i in range(10)])
+        rows = [
+            r
+            for r in svc.metrics.rounds
+            if r.label == "serve-query" and r.queries_served
+        ]
+        assert all(r.queries_served <= 4 for r in rows)
+        assert sum(r.queries_served for r in rows) == 10

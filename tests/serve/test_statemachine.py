@@ -1,0 +1,112 @@
+"""Hypothesis state machine over the live service.
+
+Random interleavings of inserts, deletes, and the three query kinds run
+against the sync facade; every answer is checked against the offline
+functions (:mod:`repro.tree.queries`) on the service's current tree
+snapshot, and the tree/version bookkeeping is asserted as invariants.
+
+The two corner anchors live at indices 0 and 1 and are never deleted
+(deletes target indices >= 2, which cannot shift the anchors), so the
+diameter bracket — and with it bit-identity — survives any interleaving.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.serve.service import EmbeddingService
+from repro.tree.metric import tree_distance
+from repro.tree.queries import range_query, tree_nearest
+
+KW = dict(num_grids=12, seed=11, min_separation=0.25, on_uncovered="singleton")
+
+DIM = 4
+ANCHORS = np.array([[-9.0] * DIM, [9.0] * DIM])
+
+
+class ServiceMachine(RuleBasedStateMachine):
+    @initialize()
+    def build(self):
+        rng = np.random.default_rng(5)
+        pts = np.vstack([ANCHORS, rng.normal(size=(12, DIM))])
+        self.svc = EmbeddingService(pts, **KW)
+        self.svc.start()
+        self.mutations = 0
+
+    def teardown(self):
+        if hasattr(self, "svc"):
+            self.svc.stop()
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def nearest(self, pick):
+        i = pick % self.svc.n
+        res = self.svc.query_nearest_sync(i)
+        j, dist = tree_nearest(self.svc.tree, i)
+        assert res.neighbor == j
+        assert np.isclose(res.distance, dist)
+
+    @rule(
+        pick=st.integers(min_value=0, max_value=10**6),
+        radius=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def range_hits(self, pick, radius):
+        i = pick % self.svc.n
+        res = self.svc.query_range_sync(i, radius)
+        np.testing.assert_array_equal(
+            np.sort(res.indices),
+            np.sort(range_query(self.svc.tree, i, radius)),
+        )
+
+    @rule(
+        pick_i=st.integers(min_value=0, max_value=10**6),
+        pick_j=st.integers(min_value=0, max_value=10**6),
+    )
+    def distance(self, pick_i, pick_j):
+        i, j = pick_i % self.svc.n, pick_j % self.svc.n
+        res = self.svc.query_distance_sync(i, j)
+        assert np.isclose(res.distance, tree_distance(self.svc.tree, i, j))
+
+    @rule(
+        seed=st.integers(min_value=0, max_value=10**6),
+        m=st.integers(min_value=1, max_value=3),
+    )
+    def insert(self, seed, m):
+        pts = np.random.default_rng(seed).normal(size=(m, DIM)) * 2.0
+        before = self.svc.n
+        update = self.svc.insert_sync(pts)
+        assert update.kind == "insert"
+        assert self.svc.n == before + m
+        self.mutations += 1
+
+    @rule(pick=st.integers(min_value=0, max_value=10**6))
+    def delete(self, pick):
+        if self.svc.n <= 5:
+            return
+        idx = 2 + pick % (self.svc.n - 2)  # never an anchor
+        before = self.svc.n
+        update = self.svc.delete_sync([idx])
+        assert update.kind == "delete"
+        assert self.svc.n == before - 1
+        self.mutations += 1
+
+    @invariant()
+    def bookkeeping_consistent(self):
+        if not hasattr(self, "svc"):
+            return
+        assert self.svc.version == self.mutations
+        assert len(self.svc.updates) == self.mutations
+        assert self.svc.tree.n == self.svc.n
+        # Anchors never move.
+        np.testing.assert_array_equal(self.svc.tree.points[:2], ANCHORS)
+
+
+TestServiceStateMachine = ServiceMachine.TestCase
+TestServiceStateMachine.settings = settings(
+    max_examples=10, stateful_step_count=15, deadline=None
+)
